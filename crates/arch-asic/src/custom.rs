@@ -1,0 +1,326 @@
+//! The customised low-power DDC ASIC (§3.2 of the paper).
+//!
+//! The original is unpublished ("personal communication"); what the
+//! paper states is its method — *"The power consumption is based on
+//! gate count and activity rate estimation"* — and its results: 27 mW
+//! at 64.512 MHz in 0.18 µm / 1.8 V, 1.7 mm² core, decimation 2–65536.
+//!
+//! We rebuild exactly that estimation procedure. The datapath of the
+//! reference DDC (the same one `ddc-core` executes) is itemised into
+//! gate-equivalent (GE) counts per component; each component toggles
+//! at its stage's event rate weighted by a switching-activity factor;
+//! dynamic power is `Σ GE·rate·activity·E_ge` with a single
+//! energy-per-gate-toggle constant calibrated once against the
+//! published 27 mW operating point. The model then *predicts* power
+//! for other configurations (different decimations, widths,
+//! activities), which the ablation benches exercise.
+
+use ddc_arch_model::{
+    arch::Flexibility, Architecture, Area, Frequency, Power, PowerBreakdown, TechnologyNode,
+};
+use ddc_core::activity::ChainProbes;
+use ddc_core::params::DdcConfig;
+
+/// Energy per gate-equivalent toggle at 0.18 µm / 1.8 V, picojoules.
+/// Calibrated once so the reference DRM workload reproduces the
+/// published 27 mW (see `calibration_hits_published_power`).
+pub const PJ_PER_GE_TOGGLE_018: f64 = 0.235_704;
+
+/// Gate-equivalents per bit of a ripple-carry adder/subtractor.
+const GE_PER_ADDER_BIT: f64 = 8.0;
+/// Gate-equivalents per bit of a register (flip-flop + clock buffer).
+const GE_PER_REG_BIT: f64 = 6.0;
+/// Gate-equivalents of an N×N array multiplier per bit².
+const GE_PER_MULT_BIT2: f64 = 6.0;
+/// Gate-equivalents charged per bit of a memory access port.
+const GE_PER_MEM_BIT: f64 = 4.0;
+
+/// One itemised datapath component.
+#[derive(Clone, Debug)]
+pub struct GateComponent {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Gate-equivalent count.
+    pub gates: f64,
+    /// Events (clock activations) per second.
+    pub event_rate: f64,
+    /// Fraction of gates toggling per event (0..=1).
+    pub activity: f64,
+}
+
+impl GateComponent {
+    /// GE-toggles per second contributed by this component.
+    pub fn toggle_rate(&self) -> f64 {
+        self.gates * self.event_rate * self.activity
+    }
+}
+
+/// Decimation limits of the customised ASIC (§3.2).
+pub const DECIM_MIN: u32 = 2;
+/// Maximum decimation of the customised ASIC.
+pub const DECIM_MAX: u32 = 65_536;
+
+/// The gate/activity power model of the customised low-power DDC.
+#[derive(Clone, Debug)]
+pub struct CustomAsic {
+    components: Vec<GateComponent>,
+    clock_hz: f64,
+    node: TechnologyNode,
+}
+
+impl CustomAsic {
+    /// Builds the gate inventory for a DDC configuration with default
+    /// activity factors (0.5 at the random-data front end, tapering
+    /// with the natural smoothing of the filters).
+    pub fn for_config(cfg: &DdcConfig) -> Self {
+        assert!(
+            (DECIM_MIN..=DECIM_MAX).contains(&cfg.total_decimation()),
+            "decimation {} outside the ASIC's 2..=65536 range",
+            cfg.total_decimation()
+        );
+        let f = cfg.format;
+        let [r_in, r_cic2, r_fir, r_out] = cfg.stage_rates();
+        let w = f.data_bits as f64;
+        let cw = f.coeff_bits as f64;
+        let cic1_reg = cfg.cic1_params().register_bits() as f64;
+        let cic2_reg = cfg.cic2_params().register_bits() as f64;
+        let n1 = cfg.cic1_order as f64;
+        let n2 = cfg.cic2_order as f64;
+        let taps = cfg.fir_taps.len() as f64;
+        // Default activity factors. 0.5 models random data; integrator
+        // state words toggle less in their high bits (0.4); the slow
+        // back end sees smoothed, correlated data (0.3).
+        let components = vec![
+            GateComponent {
+                name: "NCO phase accumulator",
+                gates: 32.0 * (GE_PER_ADDER_BIT + GE_PER_REG_BIT),
+                event_rate: r_in,
+                activity: 0.5,
+            },
+            GateComponent {
+                name: "NCO sine/cosine LUT ports",
+                gates: 2.0 * cw * GE_PER_MEM_BIT,
+                event_rate: r_in,
+                activity: 0.5,
+            },
+            GateComponent {
+                name: "mixer multipliers (I+Q)",
+                gates: 2.0 * w * cw * GE_PER_MULT_BIT2,
+                event_rate: r_in,
+                activity: 0.5,
+            },
+            GateComponent {
+                name: "CIC2 integrators (I+Q)",
+                gates: 2.0 * n1 * cic1_reg * (GE_PER_ADDER_BIT + GE_PER_REG_BIT),
+                event_rate: r_in,
+                activity: 0.4,
+            },
+            GateComponent {
+                name: "CIC2 combs (I+Q)",
+                gates: 2.0 * n1 * cic1_reg * (GE_PER_ADDER_BIT + GE_PER_REG_BIT),
+                event_rate: r_cic2,
+                activity: 0.4,
+            },
+            GateComponent {
+                name: "CIC5 integrators (I+Q)",
+                gates: 2.0 * n2 * cic2_reg * (GE_PER_ADDER_BIT + GE_PER_REG_BIT),
+                event_rate: r_cic2,
+                activity: 0.4,
+            },
+            GateComponent {
+                name: "CIC5 combs (I+Q)",
+                gates: 2.0 * n2 * cic2_reg * (GE_PER_ADDER_BIT + GE_PER_REG_BIT),
+                event_rate: r_fir,
+                activity: 0.4,
+            },
+            GateComponent {
+                name: "FIR sample RAM write ports (I+Q)",
+                gates: 2.0 * w * GE_PER_MEM_BIT,
+                event_rate: r_fir,
+                activity: 0.3,
+            },
+            GateComponent {
+                name: "FIR MAC engines (I+Q)",
+                gates: 2.0
+                    * (w * cw * GE_PER_MULT_BIT2
+                        + f.fir_acc_bits as f64 * (GE_PER_ADDER_BIT + GE_PER_REG_BIT)
+                        + 2.0 * w * GE_PER_MEM_BIT),
+                event_rate: r_out * taps,
+                activity: 0.3,
+            },
+        ];
+        CustomAsic {
+            components,
+            clock_hz: r_in,
+            node: TechnologyNode::UM_180,
+        }
+    }
+
+    /// The paper's operating point: the DRM reference configuration.
+    pub fn paper_reference() -> Self {
+        CustomAsic::for_config(&DdcConfig::drm(10e6))
+    }
+
+    /// Replaces the default activity factors with rates measured by
+    /// [`ChainProbes`] on a live simulation: input activity drives the
+    /// front end, the internal average drives the filters.
+    pub fn with_measured_activity(mut self, probes: &ChainProbes) -> Self {
+        let input = probes.input.toggle_rate();
+        let internal = probes.internal_rate();
+        for c in self.components.iter_mut() {
+            c.activity = match c.name {
+                "NCO phase accumulator" | "NCO sine/cosine LUT ports" | "mixer multipliers (I+Q)" => {
+                    input
+                }
+                _ => internal,
+            };
+        }
+        self
+    }
+
+    /// The itemised inventory.
+    pub fn components(&self) -> &[GateComponent] {
+        &self.components
+    }
+
+    /// Total gate-equivalent count (the "gate count" of the paper's
+    /// method).
+    pub fn total_gates(&self) -> f64 {
+        self.components.iter().map(|c| c.gates).sum()
+    }
+
+    /// Dynamic power from the gate/activity estimate.
+    pub fn dynamic_power(&self) -> Power {
+        let toggles_per_sec: f64 = self.components.iter().map(GateComponent::toggle_rate).sum();
+        // pJ/toggle × toggles/s = pW → mW
+        Power::from_mw(toggles_per_sec * PJ_PER_GE_TOGGLE_018 * 1e-9)
+    }
+}
+
+impl Architecture for CustomAsic {
+    fn name(&self) -> &str {
+        "Customised low-power DDC"
+    }
+
+    fn technology(&self) -> TechnologyNode {
+        self.node
+    }
+
+    fn clock(&self) -> Frequency {
+        Frequency::from_hz(self.clock_hz)
+    }
+
+    fn power(&self) -> PowerBreakdown {
+        PowerBreakdown::dynamic(self.dynamic_power())
+    }
+
+    fn area(&self) -> Option<Area> {
+        // §3.2: "The size of the core is 1.7 mm²" (Table 7 prints
+        // 17 mm², an obvious typo against the body text).
+        Some(Area::from_mm2(1.7))
+    }
+
+    fn flexibility(&self) -> Flexibility {
+        Flexibility::Dedicated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_published_power() {
+        let asic = CustomAsic::paper_reference();
+        let p = asic.dynamic_power().mw();
+        assert!((p - 27.0).abs() < 0.1, "calibrated power {p} mW");
+    }
+
+    #[test]
+    fn table7_scaled_value() {
+        let asic = CustomAsic::paper_reference();
+        let p = asic.power_scaled_to(TechnologyNode::UM_130);
+        assert!((p.mw() - 8.7).abs() < 0.1, "{}", p.mw());
+    }
+
+    #[test]
+    fn front_end_dominates_power() {
+        // The paper: the first stages consume most of the energy. The
+        // NCO+mixer+CIC2-integrator components (all at 64.512 MHz)
+        // must be > 80 % of the total.
+        let asic = CustomAsic::paper_reference();
+        let total: f64 = asic.components().iter().map(GateComponent::toggle_rate).sum();
+        let front: f64 = asic
+            .components()
+            .iter()
+            .filter(|c| c.event_rate > 60e6)
+            .map(GateComponent::toggle_rate)
+            .sum();
+        assert!(front / total > 0.8, "front-end fraction {}", front / total);
+    }
+
+    #[test]
+    fn higher_decimation_saves_back_end_power() {
+        // Increasing the first CIC's decimation slows every later
+        // stage → lower total power.
+        let base = CustomAsic::for_config(&DdcConfig::drm(10e6));
+        let mut cfg = DdcConfig::drm(10e6);
+        cfg.cic1_decim = 64;
+        let deeper = CustomAsic::for_config(&cfg);
+        assert!(deeper.dynamic_power().mw() < base.dynamic_power().mw());
+    }
+
+    #[test]
+    fn wider_datapath_costs_more() {
+        let p12 = CustomAsic::for_config(&DdcConfig::drm(10e6)).dynamic_power();
+        let p16 = CustomAsic::for_config(&DdcConfig::drm_montium(10e6)).dynamic_power();
+        assert!(p16.mw() > p12.mw());
+    }
+
+    #[test]
+    fn measured_activity_changes_estimate() {
+        use ddc_core::FixedDdc;
+        use ddc_dsp::signal::{adc_quantize, SampleSource, WhiteNoise};
+        let cfg = DdcConfig::drm(10e6);
+        let mut ddc = FixedDdc::new(cfg.clone()).with_activity();
+        let analog = WhiteNoise::new(5, 0.9).take_vec(2688 * 20);
+        let _ = ddc.process_block(&adc_quantize(&analog, 12));
+        let probes = ddc.probes().unwrap();
+        let modeled = CustomAsic::for_config(&cfg);
+        let measured = CustomAsic::for_config(&cfg).with_measured_activity(probes);
+        let a = modeled.dynamic_power().mw();
+        let b = measured.dynamic_power().mw();
+        // Should be in the same ballpark (default factors were chosen
+        // to be realistic) but not identical.
+        assert!((a - b).abs() > 1e-6, "activities made no difference");
+        assert!(b > a * 0.5 && b < a * 2.0, "modeled {a} vs measured {b}");
+    }
+
+    #[test]
+    fn gate_count_is_plausible_for_the_published_area() {
+        // 1.7 mm² at 0.18 µm is roughly 150–250 kGE of standard-cell
+        // area; a bare DDC datapath occupies a fraction of that. Sanity
+        // band: 10 kGE – 150 kGE.
+        let g = CustomAsic::paper_reference().total_gates();
+        assert!((10_000.0..150_000.0).contains(&g), "total {g} GE");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_decimation_beyond_range() {
+        let mut cfg = DdcConfig::drm(10e6);
+        cfg.cic1_decim = 100;
+        cfg.cic2_decim = 100;
+        cfg.fir_decim = 8; // 80000 > 65536
+        CustomAsic::for_config(&cfg);
+    }
+
+    #[test]
+    fn architecture_row_fields() {
+        let asic = CustomAsic::paper_reference();
+        assert_eq!(asic.name(), "Customised low-power DDC");
+        assert_eq!(asic.technology(), TechnologyNode::UM_180);
+        assert!((asic.clock().mhz() - 64.512).abs() < 1e-9);
+        assert_eq!(asic.area().unwrap().mm2(), 1.7);
+    }
+}

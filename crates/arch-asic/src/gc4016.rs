@@ -1,0 +1,604 @@
+//! Behavioural and power model of the TI GC4016 quad DDC (§3.1).
+//!
+//! Figure 4 of the paper: each of the four channels is an NCO-driven
+//! mixer followed by a 5-stage CIC (decimation 8–4096), a 21-tap CFIR
+//! decimating by 2 and a 63-tap PFIR decimating by 2 — total
+//! decimation 32–16384 (Table 2). The chip is clocked at the rate the
+//! samples arrive; the datasheet's GSM example (the paper's power
+//! anchor) runs a channel at 80 MHz for 115 mW at 2.5 V / 0.25 µm.
+
+use ddc_arch_model::{
+    arch::Flexibility, Architecture, Frequency, Power, PowerBreakdown, TechnologyNode,
+};
+use ddc_core::cic::CicDecimator;
+use ddc_core::fir::SequentialFir;
+use ddc_core::mixer::{FixedMixer, Iq};
+use ddc_core::nco::{tuning_word, LutNco};
+use ddc_dsp::firdes;
+use ddc_dsp::window::{kaiser_beta, Window};
+
+/// CFIR length (fixed by the silicon).
+pub const CFIR_TAPS: usize = 21;
+/// PFIR length (fixed by the silicon).
+pub const PFIR_TAPS: usize = 63;
+/// Smallest supported CIC decimation.
+pub const CIC_DECIM_MIN: u32 = 8;
+/// Largest supported CIC decimation.
+pub const CIC_DECIM_MAX: u32 = 4096;
+/// The datasheet power anchor: one channel, GSM configuration.
+pub const GSM_POWER_MW: f64 = 115.0;
+/// Clock of the GSM example.
+pub const GSM_CLOCK_HZ: f64 = 80.0e6;
+
+/// Errors from [`Gc4016Config::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Gc4016Error {
+    /// CIC decimation outside 8..=4096.
+    CicDecimation(u32),
+    /// Input width must be 14 (4 channels) or 16 (3 channels).
+    InputWidth(u32),
+    /// Output width must be one of 12/16/20/24 (Table 2).
+    OutputWidth(u32),
+    /// Requested more channels than the input width allows.
+    TooManyChannels {
+        /// Requested channel count.
+        requested: usize,
+        /// Permitted maximum for the input width.
+        max: usize,
+    },
+    /// Input rate above the 100 MSPS limit.
+    InputRate(f64),
+}
+
+/// Static configuration of one GC4016 channel.
+#[derive(Clone, Debug)]
+pub struct Gc4016Config {
+    /// Input sample rate (= chip clock), Hz. Up to 100 MSPS.
+    pub input_rate: f64,
+    /// NCO tuning frequency, Hz.
+    pub tune_freq: f64,
+    /// CIC5 decimation, 8..=4096.
+    pub cic_decim: u32,
+    /// Input width: 14 (four channels available) or 16 (three).
+    pub input_bits: u32,
+    /// Output width: 12, 16, 20 or 24.
+    pub output_bits: u32,
+}
+
+impl Gc4016Config {
+    /// The datasheet GSM example the paper anchors on: 69.333 MSPS in,
+    /// CIC ÷64, both FIRs ÷2 (total 256), 270.833 kHz out.
+    pub fn gsm_example() -> Self {
+        Gc4016Config {
+            input_rate: 69_333_000.0,
+            tune_freq: 12_000_000.0,
+            cic_decim: 64,
+            input_bits: 14,
+            output_bits: 16,
+        }
+    }
+
+    /// A configuration approximating the paper's DRM reference on this
+    /// chip: nearest achievable decimation to 2688 is CIC ÷672 × 4 =
+    /// 2688 exactly (672 is within the CIC range).
+    pub fn drm_equivalent(tune_freq: f64) -> Self {
+        Gc4016Config {
+            input_rate: 64_512_000.0,
+            tune_freq,
+            cic_decim: 672,
+            input_bits: 14,
+            output_bits: 16,
+        }
+    }
+
+    /// Validates against the Table 2 envelope.
+    pub fn validate(&self) -> Result<(), Gc4016Error> {
+        if !(CIC_DECIM_MIN..=CIC_DECIM_MAX).contains(&self.cic_decim) {
+            return Err(Gc4016Error::CicDecimation(self.cic_decim));
+        }
+        if self.input_bits != 14 && self.input_bits != 16 {
+            return Err(Gc4016Error::InputWidth(self.input_bits));
+        }
+        if ![12, 16, 20, 24].contains(&self.output_bits) {
+            return Err(Gc4016Error::OutputWidth(self.output_bits));
+        }
+        if self.input_rate > 100e6 || self.input_rate <= 0.0 {
+            return Err(Gc4016Error::InputRate(self.input_rate));
+        }
+        Ok(())
+    }
+
+    /// Total decimation: CIC × 2 (CFIR) × 2 (PFIR).
+    pub fn total_decimation(&self) -> u32 {
+        self.cic_decim * 4
+    }
+
+    /// Output sample rate, Hz.
+    pub fn output_rate(&self) -> f64 {
+        self.input_rate / self.total_decimation() as f64
+    }
+
+    /// Maximum channels at this input width (Table 2: 14-bit → 4,
+    /// 16-bit → 3).
+    pub fn max_channels(&self) -> usize {
+        if self.input_bits == 14 {
+            4
+        } else {
+            3
+        }
+    }
+}
+
+/// One behavioural GC4016 channel: NCO → mixer → CIC5 → CFIR → PFIR.
+///
+/// Internal datapath runs at the input width; the final requantisation
+/// to `output_bits` models the chip's output formatter.
+#[derive(Clone, Debug)]
+pub struct Gc4016Channel {
+    nco: LutNco,
+    mixer: FixedMixer,
+    cic_i: CicDecimator,
+    cic_q: CicDecimator,
+    cfir_i: SequentialFir,
+    cfir_q: SequentialFir,
+    pfir_i: SequentialFir,
+    pfir_q: SequentialFir,
+    out_shift: i32,
+    config: Gc4016Config,
+}
+
+impl Gc4016Channel {
+    /// Builds a channel. Filter coefficients are designed for the
+    /// classic roles: the CFIR protects the ÷2 from aliasing, the PFIR
+    /// shapes the channel (and is "programmable" — callers wanting a
+    /// specific channel mask can use [`Gc4016Channel::with_pfir`]).
+    pub fn new(config: Gc4016Config) -> Self {
+        let pfir = firdes::lowpass(PFIR_TAPS, 0.20, Window::Kaiser(kaiser_beta(70.0)));
+        Self::with_pfir(config, &pfir)
+    }
+
+    /// Builds a channel whose PFIR is an equiripple (Parks–McClellan)
+    /// design — what a real GC4016 deployment loads into the
+    /// "programmable" filter. `f_pass`/`f_stop` are normalised to the
+    /// PFIR input rate (`input_rate / (cic_decim·2)`).
+    pub fn with_remez_pfir(config: Gc4016Config, f_pass: f64, f_stop: f64) -> Self {
+        let design = ddc_dsp::remez::remez_lowpass(ddc_dsp::remez::LowpassSpec {
+            taps: PFIR_TAPS,
+            f_pass,
+            f_stop,
+            pass_weight: 1.0,
+        })
+        .expect("equiripple design converges");
+        Self::with_pfir(config, &design.taps)
+    }
+
+    /// Builds a channel with caller-supplied PFIR taps (must have unit
+    /// DC gain; length is fixed at 63 by zero-padding or truncation).
+    pub fn with_pfir(config: Gc4016Config, pfir_taps: &[f64]) -> Self {
+        config.validate().expect("invalid GC4016 configuration");
+        let bits = config.input_bits;
+        let word = tuning_word(config.tune_freq, config.input_rate);
+        let cfir = firdes::lowpass(CFIR_TAPS, 0.22, Window::Kaiser(kaiser_beta(60.0)));
+        let mut pfir = pfir_taps.to_vec();
+        pfir.resize(PFIR_TAPS, 0.0);
+        let qc = firdes::quantize_taps(&cfir, bits, bits - 1);
+        let qp = firdes::quantize_taps(&pfir, bits, bits - 1);
+        let mk_cic = || CicDecimator::new(5, config.cic_decim, bits, bits);
+        let mk_cfir = || SequentialFir::new(&qc, 2, bits, bits, 40);
+        let mk_pfir = || SequentialFir::new(&qp, 2, bits, bits, 40);
+        Gc4016Channel {
+            nco: LutNco::new(word, 10, bits),
+            mixer: FixedMixer::new(bits, bits),
+            cic_i: mk_cic(),
+            cic_q: mk_cic(),
+            cfir_i: mk_cfir(),
+            cfir_q: mk_cfir(),
+            pfir_i: mk_pfir(),
+            pfir_q: mk_pfir(),
+            out_shift: config.output_bits as i32 - bits as i32,
+            config,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &Gc4016Config {
+        &self.config
+    }
+
+    /// Feeds one ADC word; produces an output every
+    /// `total_decimation` inputs, formatted to `output_bits`.
+    #[inline]
+    pub fn process(&mut self, x: i64) -> Option<Iq> {
+        let cs = self.nco.next();
+        let m = self.mixer.mix(x, cs);
+        let (i1, q1) = match (self.cic_i.process(m.i), self.cic_q.process(m.q)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return None,
+        };
+        let (i2, q2) = match (self.cfir_i.process(i1), self.cfir_q.process(q1)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return None,
+        };
+        let (i3, q3) = match (self.pfir_i.process(i2), self.pfir_q.process(q2)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return None,
+        };
+        Some(Iq {
+            i: self.format_out(i3),
+            q: self.format_out(q3),
+        })
+    }
+
+    /// Output formatter: widens by left shift or narrows by rounding
+    /// shift + saturation.
+    #[inline]
+    fn format_out(&self, v: i64) -> i64 {
+        if self.out_shift >= 0 {
+            v << self.out_shift
+        } else {
+            ddc_dsp::fixed::saturate(
+                ddc_dsp::fixed::round_shift(v, (-self.out_shift) as u32),
+                self.config.output_bits,
+            )
+        }
+    }
+
+    /// Processes a block of input words.
+    pub fn process_block(&mut self, input: &[i32]) -> Vec<Iq> {
+        input.iter().filter_map(|&x| self.process(i64::from(x))).collect()
+    }
+}
+
+/// How the chip combines its channels at the output (Table 2: "using
+/// either a multiplexer or an adder").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputCombiner {
+    /// Channels delivered separately (time-multiplexed pins).
+    Multiplex,
+    /// Channel outputs summed (used for wider-band splits).
+    Sum,
+}
+
+/// The full quad chip: up to four channels sharing one input stream.
+pub struct Gc4016 {
+    channels: Vec<Gc4016Channel>,
+    combiner: OutputCombiner,
+}
+
+impl Gc4016 {
+    /// Builds a chip from per-channel configurations. All channels
+    /// must share the input rate and width; the count must fit the
+    /// width (4 at 14-bit, 3 at 16-bit).
+    pub fn new(configs: Vec<Gc4016Config>, combiner: OutputCombiner) -> Result<Self, Gc4016Error> {
+        assert!(!configs.is_empty(), "need at least one channel");
+        let first = &configs[0];
+        first.validate()?;
+        let max = first.max_channels();
+        if configs.len() > max {
+            return Err(Gc4016Error::TooManyChannels {
+                requested: configs.len(),
+                max,
+            });
+        }
+        for c in &configs[1..] {
+            c.validate()?;
+            assert_eq!(c.input_rate, first.input_rate, "channels share the input");
+            assert_eq!(c.input_bits, first.input_bits, "channels share the width");
+        }
+        Ok(Gc4016 {
+            channels: configs.into_iter().map(Gc4016Channel::new).collect(),
+            combiner,
+        })
+    }
+
+    /// Number of active channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Feeds one input word to every channel. With
+    /// [`OutputCombiner::Multiplex`] the per-channel outputs are
+    /// returned in channel order; with [`OutputCombiner::Sum`] a
+    /// single summed output is returned when *all* channels produce
+    /// one (which requires equal decimations).
+    pub fn process(&mut self, x: i64) -> Vec<Option<Iq>> {
+        let outs: Vec<Option<Iq>> = self.channels.iter_mut().map(|ch| ch.process(x)).collect();
+        match self.combiner {
+            OutputCombiner::Multiplex => outs,
+            OutputCombiner::Sum => {
+                if outs.iter().all(Option::is_some) {
+                    let sum = outs.iter().flatten().fold(Iq { i: 0, q: 0 }, |a, b| Iq {
+                        i: a.i + b.i,
+                        q: a.q + b.q,
+                    });
+                    vec![Some(sum)]
+                } else if outs.iter().any(Option::is_some) && self.channels.len() > 1 {
+                    // Unequal decimations under Sum: surface nothing
+                    // until all channels align (datasheet requires
+                    // matched rates in summing mode).
+                    vec![None]
+                } else {
+                    vec![outs.into_iter().flatten().next()]
+                }
+            }
+        }
+    }
+}
+
+/// The GC4016 as a comparable architecture: the paper's Table 7 row.
+///
+/// Power model: the datasheet GSM point, one channel, scaled linearly
+/// with clock frequency (dynamic CMOS power is linear in f at fixed
+/// workload structure).
+#[derive(Clone, Debug)]
+pub struct Gc4016Model {
+    clock_hz: f64,
+    active_channels: u32,
+}
+
+impl Gc4016Model {
+    /// The paper's configuration: the GSM example (80 MHz, 1 channel).
+    pub fn paper_reference() -> Self {
+        Gc4016Model {
+            clock_hz: GSM_CLOCK_HZ,
+            active_channels: 1,
+        }
+    }
+
+    /// A custom operating point.
+    pub fn new(clock_hz: f64, active_channels: u32) -> Self {
+        assert!(clock_hz > 0.0 && clock_hz <= 100e6);
+        assert!((1..=4).contains(&active_channels));
+        Gc4016Model {
+            clock_hz,
+            active_channels,
+        }
+    }
+
+    /// Per-channel power at this clock (mW).
+    pub fn per_channel_power(&self) -> Power {
+        Power::from_mw(GSM_POWER_MW * self.clock_hz / GSM_CLOCK_HZ)
+    }
+}
+
+impl Architecture for Gc4016Model {
+    fn name(&self) -> &str {
+        "TI GC4016"
+    }
+
+    fn technology(&self) -> TechnologyNode {
+        TechnologyNode::UM_250
+    }
+
+    fn clock(&self) -> Frequency {
+        Frequency::from_hz(self.clock_hz)
+    }
+
+    fn power(&self) -> PowerBreakdown {
+        PowerBreakdown::dynamic(self.per_channel_power() * self.active_channels as f64)
+    }
+
+    fn flexibility(&self) -> Flexibility {
+        Flexibility::Dedicated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_dsp::signal::{adc_quantize, MskCarrier, SampleSource, Tone};
+    use ddc_dsp::spectrum::periodogram_complex;
+    use ddc_dsp::window::Window;
+    use ddc_dsp::C64;
+
+    #[test]
+    fn gsm_example_matches_datasheet_arithmetic() {
+        let c = Gc4016Config::gsm_example();
+        c.validate().unwrap();
+        assert_eq!(c.total_decimation(), 256);
+        // 69.333 MHz / 256 = 270.83 kHz
+        assert!((c.output_rate() - 270_832.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn drm_equivalent_hits_2688() {
+        let c = Gc4016Config::drm_equivalent(10e6);
+        c.validate().unwrap();
+        assert_eq!(c.total_decimation(), 2688);
+        assert!((c.output_rate() - 24_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation_envelope() {
+        let mut c = Gc4016Config::gsm_example();
+        c.cic_decim = 4;
+        assert_eq!(c.validate(), Err(Gc4016Error::CicDecimation(4)));
+        c.cic_decim = 8192;
+        assert_eq!(c.validate(), Err(Gc4016Error::CicDecimation(8192)));
+        let mut c = Gc4016Config::gsm_example();
+        c.input_bits = 12;
+        assert_eq!(c.validate(), Err(Gc4016Error::InputWidth(12)));
+        let mut c = Gc4016Config::gsm_example();
+        c.output_bits = 13;
+        assert_eq!(c.validate(), Err(Gc4016Error::OutputWidth(13)));
+        let mut c = Gc4016Config::gsm_example();
+        c.input_rate = 120e6;
+        assert!(matches!(c.validate(), Err(Gc4016Error::InputRate(_))));
+    }
+
+    #[test]
+    fn channel_output_rate() {
+        let mut ch = Gc4016Channel::new(Gc4016Config {
+            input_rate: 64e6,
+            tune_freq: 1e6,
+            cic_decim: 16,
+            input_bits: 14,
+            output_bits: 16,
+        });
+        let n = 64 * 100;
+        let input: Vec<i32> = (0..n).map(|k| ((k * 37) % 1000) as i32).collect();
+        let out = ch.process_block(&input);
+        assert_eq!(out.len(), n / 64);
+    }
+
+    #[test]
+    fn channel_selects_gsm_carrier() {
+        // An MSK "GSM" carrier at the tuning frequency plus a far-away
+        // interferer: the channel output must be dominated by the MSK
+        // energy near DC.
+        let cfg = Gc4016Config::gsm_example();
+        let fs = cfg.input_rate;
+        let f0 = cfg.tune_freq;
+        let mut src = ddc_dsp::signal::Mix(
+            MskCarrier::new(f0, 270_833.0, fs, 0.4, 7),
+            Tone::new(f0 + 8_000_000.0, fs, 0.4, 0.0),
+        );
+        let mut ch = Gc4016Channel::new(cfg.clone());
+        let adc = adc_quantize(&src.take_vec(256 * 3000), 14);
+        let out = ch.process_block(&adc);
+        let scale = 1.0 / 32768.0;
+        let z: Vec<C64> = out[out.len() - 512..]
+            .iter()
+            .map(|iq| C64::new(iq.i as f64 * scale, iq.q as f64 * scale))
+            .collect();
+        let sp = periodogram_complex(&z, cfg.output_rate(), 512, Window::BlackmanHarris);
+        // MSK occupies roughly ±170 kHz; the interferer would fold in
+        // at some alias — require in-band dominance.
+        let inb = sp.band_power(-100_000.0, 100_000.0);
+        let total: f64 = sp.power.iter().sum();
+        assert!(inb / total > 0.8, "in-band fraction {}", inb / total);
+    }
+
+    #[test]
+    fn output_width_formatting() {
+        let mk = |output_bits: u32| Gc4016Channel::new(Gc4016Config {
+            input_rate: 64e6,
+            tune_freq: 0.0,
+            cic_decim: 8,
+            input_bits: 14,
+            output_bits,
+        });
+        // Drive with DC; 24-bit output must be wider than 12-bit.
+        let input: Vec<i32> = vec![4000; 32 * 200];
+        let out24 = mk(24).process_block(&input);
+        let out12 = mk(12).process_block(&input);
+        let max24 = out24.iter().map(|z| z.i.abs()).max().unwrap();
+        let max12 = out12.iter().map(|z| z.i.abs()).max().unwrap();
+        assert!(max24 > max12 * 100, "24-bit {max24} vs 12-bit {max12}");
+        assert!(max12 <= 2047);
+    }
+
+    #[test]
+    fn quad_chip_channel_limits() {
+        let c14 = Gc4016Config::gsm_example();
+        let four = Gc4016::new(vec![c14.clone(); 4], OutputCombiner::Multiplex);
+        assert!(four.is_ok());
+        let five = Gc4016::new(vec![c14.clone(); 5], OutputCombiner::Multiplex);
+        assert!(matches!(five, Err(Gc4016Error::TooManyChannels { max: 4, .. })));
+        let mut c16 = c14;
+        c16.input_bits = 16;
+        let four16 = Gc4016::new(vec![c16; 4], OutputCombiner::Multiplex);
+        assert!(matches!(four16, Err(Gc4016Error::TooManyChannels { max: 3, .. })));
+    }
+
+    #[test]
+    fn quad_chip_multiplex_matches_single_channels() {
+        let mut cfgs = Vec::new();
+        for k in 0..3 {
+            cfgs.push(Gc4016Config {
+                input_rate: 64e6,
+                tune_freq: 5e6 + k as f64 * 2e6,
+                cic_decim: 16,
+                input_bits: 14,
+                output_bits: 16,
+            });
+        }
+        let mut chip = Gc4016::new(cfgs.clone(), OutputCombiner::Multiplex).unwrap();
+        let mut solos: Vec<_> = cfgs.into_iter().map(Gc4016Channel::new).collect();
+        let input: Vec<i64> = (0..64 * 50).map(|k| ((k * 91) % 8000) as i64 - 4000).collect();
+        for &x in &input {
+            let chip_out = chip.process(x);
+            for (c, solo) in chip_out.iter().zip(solos.iter_mut()) {
+                assert_eq!(*c, solo.process(x));
+            }
+        }
+    }
+
+    #[test]
+    fn quad_chip_sum_combines() {
+        let cfg = Gc4016Config {
+            input_rate: 64e6,
+            tune_freq: 5e6,
+            cic_decim: 16,
+            input_bits: 14,
+            output_bits: 16,
+        };
+        let mut chip = Gc4016::new(vec![cfg.clone(), cfg.clone()], OutputCombiner::Sum).unwrap();
+        let mut solo = Gc4016Channel::new(cfg);
+        for k in 0..64 * 20 {
+            let x = ((k * 57) % 6000) as i64 - 3000;
+            let chip_out = chip.process(x);
+            let solo_out = solo.process(x);
+            assert_eq!(chip_out.len(), 1);
+            // identical channels → sum = 2× solo
+            match (chip_out[0], solo_out) {
+                (Some(s), Some(a)) => {
+                    assert_eq!(s.i, 2 * a.i);
+                    assert_eq!(s.q, 2 * a.q);
+                }
+                (None, None) => {}
+                other => panic!("misaligned outputs {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn remez_pfir_sharpens_the_gsm_channel() {
+        // Same 63 taps, but equiripple with its stopband pulled in: a
+        // blocker at 120 kHz sits in the default windowed PFIR's
+        // transition band (cutoff 0.20 of the 541.7 kHz PFIR rate ≈
+        // 108 kHz) but inside the equiripple design's stopband — the
+        // sharper filter must reject it much harder.
+        let cfg = Gc4016Config::gsm_example();
+        let fs = cfg.input_rate;
+        let pfir_rate = fs / (cfg.cic_decim as f64 * 2.0);
+        let measure = |mut ch: Gc4016Channel| -> f64 {
+            let mut src = Tone::new(cfg.tune_freq + 120_000.0, fs, 0.7, 0.0);
+            let adc = adc_quantize(&src.take_vec(256 * 1200), 14);
+            let out = ch.process_block(&adc);
+            out[out.len() - 256..]
+                .iter()
+                .map(|z| (z.i * z.i + z.q * z.q) as f64)
+                .sum::<f64>()
+        };
+        let windowed = measure(Gc4016Channel::new(cfg.clone()));
+        let equiripple = measure(Gc4016Channel::with_remez_pfir(
+            cfg.clone(),
+            80_000.0 / pfir_rate,
+            115_000.0 / pfir_rate,
+        ));
+        assert!(
+            equiripple * 10.0 < windowed,
+            "equiripple leakage {equiripple} vs windowed {windowed}"
+        );
+    }
+
+    #[test]
+    fn power_model_anchor_and_scaling() {
+        let m = Gc4016Model::paper_reference();
+        assert_eq!(m.power().total().mw(), 115.0);
+        // linear in clock
+        let slow = Gc4016Model::new(40e6, 1);
+        assert!((slow.power().total().mw() - 57.5).abs() < 1e-9);
+        // four channels cost 4×
+        let quad = Gc4016Model::new(80e6, 4);
+        assert_eq!(quad.power().total().mw(), 460.0);
+    }
+
+    #[test]
+    fn table7_scaled_value() {
+        let m = Gc4016Model::paper_reference();
+        let p = m.power_scaled_to(TechnologyNode::UM_130);
+        assert!((p.mw() - 13.8).abs() < 0.05);
+    }
+}

@@ -1,0 +1,289 @@
+//! The Cyclone device database.
+//!
+//! Capacities from the Cyclone I/II handbooks (references \[2\]\[3\]
+//! of the paper); timing and power constants calibrated against the
+//! paper's published synthesis and PowerPlay results (Table 4,
+//! Table 5, §5.2.2) — the calibration points are quoted next to each
+//! constant.
+
+use ddc_arch_model::{Power, TechnologyNode};
+
+/// Which device family/part.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// Altera Cyclone I EP1C3T100C6 (0.13 µm, 1.5 V core).
+    CycloneI,
+    /// Altera Cyclone II EP2C5T144C6 (0.09 µm, 1.2 V core).
+    CycloneII,
+}
+
+/// One FPGA device with its capacities and calibrated constants.
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// Family/part.
+    pub kind: DeviceKind,
+    /// Marketing part number.
+    pub part: &'static str,
+    /// Logic elements available.
+    pub logic_elements: u32,
+    /// Usable I/O pins.
+    pub pins: u32,
+    /// Total block-RAM bits (M4K blocks × 4608).
+    pub memory_bits: u32,
+    /// Embedded 9-bit multipliers (0 on Cyclone I).
+    pub mult9: u32,
+    /// PLLs.
+    pub plls: u32,
+    /// Process node.
+    pub node: TechnologyNode,
+    /// Static power of the powered device (PowerPlay's
+    /// toggle-independent component).
+    pub static_power: Power,
+    /// Timing model: fixed path overhead (register + routing), ns.
+    pub t_base_ns: f64,
+    /// Timing model: ripple-carry delay per adder bit, ns.
+    pub t_carry_ns: f64,
+    /// Power model: effective switched capacitance per logic element,
+    /// farads (dynamic P = C·f·V² per LE at 100 % toggle).
+    pub c_per_le: f64,
+    /// Power model: effective capacitance of the clock tree +
+    /// I/O ring at the reference 50 % input toggle rate, farads.
+    pub c_clock_io: f64,
+}
+
+/// Cyclone I / Cyclone II core voltages.
+const CYCLONE1_NODE: TechnologyNode = TechnologyNode {
+    feature_um: 0.13,
+    vdd: 1.5,
+};
+
+impl Device {
+    /// The Cyclone I EP1C3T100C6 of the paper.
+    ///
+    /// Timing: the paper measured fmax 66.08 MHz; with a 34-bit
+    /// ripple-carry critical path, `1/(1.5 + 0.4·34) ns = 66.1 MHz`.
+    ///
+    /// Power: Table 5 is linear in the internal toggle rate α:
+    /// dynamic = 52.4 mW + 410 mW·α (fits all four published points
+    /// to < 0.2 mW). With the paper's 1656 mapped LEs at 64.512 MHz
+    /// and 1.5 V: `c_per_le = 0.410/(1656·64.512e6·1.5²) = 1.706 pF`,
+    /// `c_clock_io = 0.0524/(64.512e6·1.5²) = 361 pF`.
+    pub fn cyclone1() -> Device {
+        Device {
+            kind: DeviceKind::CycloneI,
+            part: "EP1C3T100C6",
+            logic_elements: 2910,
+            pins: 65,
+            memory_bits: 59_904,
+            mult9: 0,
+            plls: 1,
+            node: CYCLONE1_NODE,
+            static_power: Power::from_mw(48.0),
+            t_base_ns: 1.5,
+            t_carry_ns: 0.40,
+            c_per_le: 1.706e-12,
+            c_clock_io: 361.0e-12,
+        }
+    }
+
+    /// The Cyclone II EP2C5T144C6 of the paper.
+    ///
+    /// Timing: fmax 80.87 MHz → `1/(1.5 + 0.32·34) ns = 80.9 MHz`.
+    ///
+    /// Power: §5.2.2 gives one point, 31.11 mW dynamic at α = 10 %.
+    /// Keeping Cyclone I's base/slope split (56.1 % base at α = 0.1):
+    /// base 17.45 mW, slope 136.6 mW/α. With 906 LEs at 64.512 MHz
+    /// and 1.2 V: `c_per_le = 0.1366/(906·64.512e6·1.2²) = 1.623 pF`
+    /// (larger per-LE share than Cyclone I because the embedded
+    /// multiplier power is folded in), `c_clock_io = 188 pF`.
+    pub fn cyclone2() -> Device {
+        Device {
+            kind: DeviceKind::CycloneII,
+            part: "EP2C5T144C6",
+            logic_elements: 4608,
+            pins: 89,
+            memory_bits: 119_808,
+            mult9: 26,
+            plls: 2,
+            node: TechnologyNode::UM_90,
+            static_power: Power::from_mw(26.86),
+            t_base_ns: 1.5,
+            t_carry_ns: 0.32,
+            c_per_le: 1.623e-12,
+            c_clock_io: 188.0e-12,
+        }
+    }
+
+    /// Maximum clock frequency for a design whose critical path is a
+    /// `width`-bit ripple-carry adder.
+    pub fn fmax_hz(&self, max_adder_width: u32) -> f64 {
+        1e9 / (self.t_base_ns + self.t_carry_ns * max_adder_width as f64)
+    }
+
+    /// A larger member of the same family (capacities from the
+    /// Cyclone handbooks; §5.1 of the paper quotes the family ranges:
+    /// Cyclone I 2,910–20,060 LEs and 13–64 RAM blocks, Cyclone II
+    /// 4,608–68,416 LEs and 26–250 blocks). Timing/power constants
+    /// are inherited from the calibrated smallest member; static
+    /// power scales roughly with LE count.
+    pub fn family_member(kind: DeviceKind, part_index: usize) -> Device {
+        let base = match kind {
+            DeviceKind::CycloneI => Device::cyclone1(),
+            DeviceKind::CycloneII => Device::cyclone2(),
+        };
+        // (part, LEs, M4K blocks, mult9, pins, plls)
+        let table: &[(&str, u32, u32, u32, u32, u32)] = match kind {
+            DeviceKind::CycloneI => &[
+                ("EP1C3T100C6", 2_910, 13, 0, 65, 1),
+                ("EP1C6", 5_980, 20, 0, 98, 2),
+                ("EP1C12", 12_060, 52, 0, 173, 2),
+                ("EP1C20", 20_060, 64, 0, 233, 2),
+            ],
+            DeviceKind::CycloneII => &[
+                ("EP2C5T144C6", 4_608, 26, 26, 89, 2),
+                ("EP2C8", 8_256, 36, 36, 138, 2),
+                ("EP2C20", 18_752, 52, 52, 142, 4),
+                ("EP2C35", 33_216, 105, 70, 322, 4),
+                ("EP2C70", 68_416, 250, 300, 422, 4),
+            ],
+        };
+        let (part, les, m4k, mult9, pins, plls) = table[part_index.min(table.len() - 1)];
+        Device {
+            part,
+            logic_elements: les,
+            pins,
+            memory_bits: m4k * 4608,
+            mult9,
+            plls,
+            static_power: base.static_power.scale(les as f64 / base.logic_elements as f64),
+            ..base
+        }
+    }
+
+    /// Number of catalogued members of a family.
+    pub fn family_size(kind: DeviceKind) -> usize {
+        match kind {
+            DeviceKind::CycloneI => 4,
+            DeviceKind::CycloneII => 5,
+        }
+    }
+
+    /// M4K block count (4608 bits each).
+    pub fn m4k_blocks(&self) -> u32 {
+        self.memory_bits / 4608
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_match_table4_denominators() {
+        let c1 = Device::cyclone1();
+        assert_eq!(c1.logic_elements, 2910);
+        assert_eq!(c1.pins, 65);
+        assert_eq!(c1.memory_bits, 59_904);
+        assert_eq!(c1.mult9, 0);
+        assert_eq!(c1.plls, 1);
+        let c2 = Device::cyclone2();
+        assert_eq!(c2.logic_elements, 4608);
+        assert_eq!(c2.pins, 89);
+        assert_eq!(c2.memory_bits, 119_808);
+        assert_eq!(c2.mult9, 26);
+        assert_eq!(c2.plls, 2);
+    }
+
+    #[test]
+    fn fmax_matches_paper_synthesis() {
+        // §5.2.1: Cyclone I 66.08 MHz, Cyclone II 80.87 MHz for the
+        // DDC (34-bit critical adder).
+        let f1 = Device::cyclone1().fmax_hz(34) / 1e6;
+        let f2 = Device::cyclone2().fmax_hz(34) / 1e6;
+        assert!((f1 - 66.08).abs() < 1.0, "Cyclone I fmax {f1}");
+        assert!((f2 - 80.87).abs() < 1.0, "Cyclone II fmax {f2}");
+    }
+
+    #[test]
+    fn both_reach_the_design_clock() {
+        for d in [Device::cyclone1(), Device::cyclone2()] {
+            assert!(d.fmax_hz(34) > 64_512_000.0, "{} too slow", d.part);
+        }
+    }
+
+    #[test]
+    fn static_power_matches_paper() {
+        assert_eq!(Device::cyclone1().static_power.mw(), 48.0);
+        assert_eq!(Device::cyclone2().static_power.mw(), 26.86);
+    }
+
+    #[test]
+    fn m4k_accounting() {
+        assert_eq!(Device::cyclone1().m4k_blocks(), 13);
+        assert_eq!(Device::cyclone2().m4k_blocks(), 26);
+    }
+
+    #[test]
+    fn nodes() {
+        assert_eq!(Device::cyclone1().node.feature_um, 0.13);
+        assert_eq!(Device::cyclone1().node.vdd, 1.5);
+        assert_eq!(Device::cyclone2().node, TechnologyNode::UM_90);
+    }
+
+    #[test]
+    fn family_ranges_match_the_paper() {
+        // §5.1: "2,910 to 20,060 LEs for the Cyclone I and from 4,608
+        // to 68,416 LEs for the Cyclone II. The Cyclone I is equipped
+        // with 13 to 64 RAM blocks and the Cyclone II with 26 to 250."
+        let c1_small = Device::family_member(DeviceKind::CycloneI, 0);
+        let c1_big = Device::family_member(DeviceKind::CycloneI, 3);
+        assert_eq!(c1_small.logic_elements, 2_910);
+        assert_eq!(c1_big.logic_elements, 20_060);
+        assert_eq!(c1_small.m4k_blocks(), 13);
+        assert_eq!(c1_big.m4k_blocks(), 64);
+        let c2_small = Device::family_member(DeviceKind::CycloneII, 0);
+        let c2_big = Device::family_member(DeviceKind::CycloneII, 4);
+        assert_eq!(c2_small.logic_elements, 4_608);
+        assert_eq!(c2_big.logic_elements, 68_416);
+        assert_eq!(c2_small.m4k_blocks(), 26);
+        assert_eq!(c2_big.m4k_blocks(), 250);
+    }
+
+    #[test]
+    fn smallest_members_are_the_calibrated_devices() {
+        let c1 = Device::family_member(DeviceKind::CycloneI, 0);
+        assert_eq!(c1.part, Device::cyclone1().part);
+        assert_eq!(c1.static_power.mw(), Device::cyclone1().static_power.mw());
+        let c2 = Device::family_member(DeviceKind::CycloneII, 0);
+        assert_eq!(c2.part, Device::cyclone2().part);
+    }
+
+    #[test]
+    fn bigger_members_leak_more() {
+        let small = Device::family_member(DeviceKind::CycloneII, 0);
+        let big = Device::family_member(DeviceKind::CycloneII, 4);
+        assert!(big.static_power.mw() > 10.0 * small.static_power.mw());
+    }
+
+    #[test]
+    fn ddc_fits_every_family_member() {
+        // The paper chose the *smallest* parts deliberately; the DDC
+        // fits everything upward of them (with the right multiplier
+        // strategy per family).
+        use crate::mapper::{fit, map_netlist, MultiplierStrategy};
+        use crate::netlist::Netlist;
+        use ddc_core::params::DdcConfig;
+        let net = Netlist::ddc(&DdcConfig::drm(10e6));
+        for kind in [DeviceKind::CycloneI, DeviceKind::CycloneII] {
+            let strat = match kind {
+                DeviceKind::CycloneI => MultiplierStrategy::LogicElements,
+                DeviceKind::CycloneII => MultiplierStrategy::Embedded,
+            };
+            for k in 0..Device::family_size(kind) {
+                let d = Device::family_member(kind, k);
+                let r = fit(map_netlist(&net, strat), &d);
+                assert!(r.fits, "does not fit {}", d.part);
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # ddc-arch-fpga — the FPGA solution (§5)
+//!
+//! The paper synthesises a custom DDC for the Altera Cyclone I
+//! (EP1C3T100C6, 0.13 µm) and Cyclone II (EP2C5T144C6, 0.09 µm) with
+//! Quartus II and estimates power with "PowerPlay Power Analysis" at
+//! assumed toggle rates. We rebuild that tool pipeline:
+//!
+//! * [`netlist`] — a structural description of the DDC RTL (§5.2.1 /
+//!   Figure 5): adders, registers, counters, multipliers, RAM/ROM
+//!   blocks, organised per clock domain.
+//! * [`device`] — the device database: capacities, technology node,
+//!   static power and the calibrated timing/power constants.
+//! * [`mapper`] — Cyclone technology mapping: primitives → logic
+//!   elements / embedded 9-bit multipliers / M4K bits (Table 4).
+//! * [`power`] — the PowerPlay-style model: static + (clock-tree +
+//!   I/O + per-LE switching) dynamic power as a function of toggle
+//!   rates (Table 5, §5.2.2), driven by the mapped resource counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod mapper;
+pub mod netlist;
+pub mod power;
+
+pub use device::{Device, DeviceKind};
+pub use mapper::{map_netlist, MultiplierStrategy, ResourceUsage};
+pub use netlist::Netlist;
+pub use power::FpgaModel;

@@ -1,0 +1,318 @@
+//! Cyclone technology mapping: structural primitives → logic
+//! elements, embedded multipliers and M4K bits (the "synthesis" step
+//! whose results Table 4 reports).
+
+use crate::device::Device;
+use crate::netlist::{Netlist, Primitive};
+use std::fmt;
+
+/// Where multipliers are implemented.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MultiplierStrategy {
+    /// Embedded 18×18 blocks reported as 9-bit multiplier pairs
+    /// (Cyclone II).
+    Embedded,
+    /// Array multipliers built from logic elements (Cyclone I has no
+    /// embedded multipliers).
+    LogicElements,
+}
+
+/// Global mapping efficiency: Quartus merges registers into adder
+/// LEs, prunes constant/unused bits and shares control logic, which
+/// a naive structural sum cannot see. Calibrated once against the
+/// paper's Table 4 LE counts (906 / 1656); all designs share it.
+pub const SYNTHESIS_EFFICIENCY: f64 = 0.77;
+
+/// Mapped resource usage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResourceUsage {
+    /// Logic elements.
+    pub logic_elements: u32,
+    /// Embedded 9-bit multipliers.
+    pub mult9: u32,
+    /// Block memory bits.
+    pub memory_bits: u32,
+    /// M4K blocks implied (4608-bit granularity, one block minimum
+    /// per memory instance).
+    pub m4k_blocks: u32,
+    /// External pins.
+    pub pins: u32,
+    /// PLLs used (the paper's design uses none).
+    pub plls: u32,
+    /// Widest ripple-carry adder (timing critical path).
+    pub max_adder_width: u32,
+}
+
+/// Raw LE cost of one primitive before the efficiency factor.
+fn raw_le(prim: &Primitive, mults: MultiplierStrategy) -> u32 {
+    match *prim {
+        Primitive::AdderReg { width } | Primitive::Register { width } => width,
+        Primitive::Counter { width } => width + 2,
+        Primitive::Multiplier { a_bits, b_bits } => match mults {
+            MultiplierStrategy::Embedded => 0,
+            // array multiplier: partial products + adder tree
+            MultiplierStrategy::LogicElements => (1.6 * a_bits as f64 * b_bits as f64).ceil() as u32,
+        },
+        // block memories only need address glue in LEs
+        Primitive::Ram { .. } | Primitive::Rom { .. } => 2,
+        Primitive::Saturator { width } => 2 * width,
+        Primitive::Control { le } => le,
+    }
+}
+
+/// Embedded 9-bit multiplier count for one multiplier primitive:
+/// one 18×18 block (= a reported pair of 9-bit multipliers) covers
+/// anything up to 18×18; a true 9×9 uses half a block.
+fn mult9_count(a: u32, b: u32) -> u32 {
+    if a <= 9 && b <= 9 {
+        1
+    } else if a <= 18 && b <= 18 {
+        2
+    } else {
+        // split into 18-bit limbs
+        2 * a.div_ceil(18) * b.div_ceil(18)
+    }
+}
+
+/// Maps a netlist with the given multiplier strategy.
+pub fn map_netlist(netlist: &Netlist, mults: MultiplierStrategy) -> ResourceUsage {
+    let raw: u32 = netlist.instances.iter().map(|i| raw_le(&i.prim, mults)).sum();
+    let les = (raw as f64 * SYNTHESIS_EFFICIENCY).round() as u32;
+    let mult9 = match mults {
+        MultiplierStrategy::LogicElements => 0,
+        MultiplierStrategy::Embedded => netlist
+            .instances
+            .iter()
+            .map(|i| match i.prim {
+                Primitive::Multiplier { a_bits, b_bits } => mult9_count(a_bits, b_bits),
+                _ => 0,
+            })
+            .sum(),
+    };
+    let memory_bits = netlist.memory_bits();
+    let m4k_blocks = netlist
+        .instances
+        .iter()
+        .map(|i| match i.prim {
+            Primitive::Ram { words, width } | Primitive::Rom { words, width } => {
+                (words * width).div_ceil(4608)
+            }
+            _ => 0,
+        })
+        .sum();
+    ResourceUsage {
+        logic_elements: les,
+        mult9,
+        memory_bits,
+        m4k_blocks,
+        pins: netlist.pins,
+        plls: 0,
+        max_adder_width: netlist.max_adder_width(),
+    }
+}
+
+/// The fit of a mapped design into a device — one column of Table 4.
+#[derive(Clone, Debug)]
+pub struct FitReport {
+    /// The mapped usage.
+    pub usage: ResourceUsage,
+    /// Device part number.
+    pub part: &'static str,
+    /// Device capacities for the utilisation denominators.
+    pub cap_le: u32,
+    /// Pin capacity.
+    pub cap_pins: u32,
+    /// Memory-bit capacity.
+    pub cap_mem: u32,
+    /// 9-bit multiplier capacity.
+    pub cap_mult9: u32,
+    /// PLL capacity.
+    pub cap_plls: u32,
+    /// Whether every resource fits.
+    pub fits: bool,
+    /// Post-fit maximum clock, Hz.
+    pub fmax_hz: f64,
+}
+
+/// Fits a mapped design into a device.
+pub fn fit(usage: ResourceUsage, device: &Device) -> FitReport {
+    let fits = usage.logic_elements <= device.logic_elements
+        && usage.pins <= device.pins
+        && usage.memory_bits <= device.memory_bits
+        && usage.mult9 <= device.mult9
+        && usage.plls <= device.plls;
+    FitReport {
+        usage,
+        part: device.part,
+        cap_le: device.logic_elements,
+        cap_pins: device.pins,
+        cap_mem: device.memory_bits,
+        cap_mult9: device.mult9,
+        cap_plls: device.plls,
+        fits,
+        fmax_hz: device.fmax_hz(usage.max_adder_width),
+    }
+}
+
+impl FitReport {
+    /// LE utilisation in percent.
+    pub fn le_percent(&self) -> f64 {
+        100.0 * self.usage.logic_elements as f64 / self.cap_le as f64
+    }
+}
+
+impl fmt::Display for FitReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.part)?;
+        writeln!(
+            f,
+            "  Total logic elements        {:>6} / {:<6} ({:.0} %)",
+            self.usage.logic_elements,
+            self.cap_le,
+            self.le_percent()
+        )?;
+        writeln!(
+            f,
+            "  Total pins                  {:>6} / {:<6} ({:.0} %)",
+            self.usage.pins,
+            self.cap_pins,
+            100.0 * self.usage.pins as f64 / self.cap_pins as f64
+        )?;
+        writeln!(
+            f,
+            "  Total memory bits           {:>6} / {:<6} ({:.0} %)",
+            self.usage.memory_bits,
+            self.cap_mem,
+            100.0 * self.usage.memory_bits as f64 / self.cap_mem as f64
+        )?;
+        writeln!(
+            f,
+            "  Embedded 9-bit multipliers  {:>6} / {:<6} ({:.0} %)",
+            self.usage.mult9,
+            self.cap_mult9,
+            if self.cap_mult9 == 0 {
+                0.0
+            } else {
+                100.0 * self.usage.mult9 as f64 / self.cap_mult9 as f64
+            }
+        )?;
+        writeln!(
+            f,
+            "  Total PLLs                  {:>6} / {:<6} ({:.0} %)",
+            self.usage.plls,
+            self.cap_plls,
+            100.0 * self.usage.plls as f64 / self.cap_plls.max(1) as f64
+        )?;
+        write!(f, "  fmax {:.2} MHz — {}", self.fmax_hz / 1e6, if self.fits { "fits" } else { "DOES NOT FIT" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_core::params::DdcConfig;
+
+    fn drm() -> Netlist {
+        Netlist::ddc(&DdcConfig::drm(10e6))
+    }
+
+    #[test]
+    fn cyclone2_les_match_table4() {
+        // Table 4: 906 LEs on the Cyclone II. Structural mapping must
+        // land within 10 %.
+        let u = map_netlist(&drm(), MultiplierStrategy::Embedded);
+        let err = (u.logic_elements as f64 - 906.0).abs() / 906.0;
+        assert!(err < 0.10, "got {} LEs ({:.1} % off)", u.logic_elements, err * 100.0);
+    }
+
+    #[test]
+    fn cyclone1_les_match_table4() {
+        // Table 4: 1,656 LEs on the Cyclone I (multipliers in logic).
+        let u = map_netlist(&drm(), MultiplierStrategy::LogicElements);
+        let err = (u.logic_elements as f64 - 1656.0).abs() / 1656.0;
+        assert!(err < 0.10, "got {} LEs ({:.1} % off)", u.logic_elements, err * 100.0);
+    }
+
+    #[test]
+    fn eight_embedded_multipliers() {
+        // Table 4: 8 / 26 embedded 9-bit multipliers on the Cyclone II.
+        let u = map_netlist(&drm(), MultiplierStrategy::Embedded);
+        assert_eq!(u.mult9, 8);
+    }
+
+    #[test]
+    fn fits_both_paper_devices() {
+        let c1 = fit(
+            map_netlist(&drm(), MultiplierStrategy::LogicElements),
+            &Device::cyclone1(),
+        );
+        assert!(c1.fits, "{c1}");
+        assert!(c1.fmax_hz > 64_512_000.0);
+        let c2 = fit(
+            map_netlist(&drm(), MultiplierStrategy::Embedded),
+            &Device::cyclone2(),
+        );
+        assert!(c2.fits, "{c2}");
+        // Table 4 utilisation: ~56 % (Cyclone I), ~20 % (Cyclone II).
+        assert!((c1.le_percent() - 56.0).abs() < 6.0, "{}", c1.le_percent());
+        assert!((c2.le_percent() - 20.0).abs() < 3.0, "{}", c2.le_percent());
+    }
+
+    #[test]
+    fn pins_and_memory_propagate() {
+        let u = map_netlist(&drm(), MultiplierStrategy::Embedded);
+        assert_eq!(u.pins, 41);
+        assert_eq!(u.memory_bits, 7536);
+        assert_eq!(u.plls, 0);
+        // sine ROM + 2 sample RAMs + coeff ROM, each under one M4K
+        assert_eq!(u.m4k_blocks, 4);
+    }
+
+    #[test]
+    fn logic_multipliers_cost_hundreds_of_les() {
+        let emb = map_netlist(&drm(), MultiplierStrategy::Embedded);
+        let le = map_netlist(&drm(), MultiplierStrategy::LogicElements);
+        let delta = le.logic_elements - emb.logic_elements;
+        assert!((500..1000).contains(&delta), "multiplier LE cost {delta}");
+    }
+
+    #[test]
+    fn mult9_rules() {
+        assert_eq!(mult9_count(9, 9), 1);
+        assert_eq!(mult9_count(12, 12), 2);
+        assert_eq!(mult9_count(18, 18), 2);
+        assert_eq!(mult9_count(24, 18), 4);
+    }
+
+    #[test]
+    fn oversized_design_fails_to_fit() {
+        // A 16-bit (Montium-format) DDC mapped without embedded
+        // multipliers still fits the EP1C3; but an artificially
+        // replicated design must not.
+        let mut big = drm();
+        let copies = big.instances.clone();
+        for k in 0..6 {
+            big.instances.extend(copies.iter().cloned().map(|mut i| {
+                i.name = format!("dup{k}/{}", i.name);
+                i
+            }));
+        }
+        let r = fit(
+            map_netlist(&big, MultiplierStrategy::LogicElements),
+            &Device::cyclone1(),
+        );
+        assert!(!r.fits);
+    }
+
+    #[test]
+    fn fit_report_prints_table4_shape() {
+        let r = fit(
+            map_netlist(&drm(), MultiplierStrategy::Embedded),
+            &Device::cyclone2(),
+        );
+        let s = r.to_string();
+        assert!(s.contains("logic elements"));
+        assert!(s.contains("EP2C5T144C6"));
+        assert!(s.contains("fits"));
+    }
+}

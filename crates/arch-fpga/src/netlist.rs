@@ -1,0 +1,310 @@
+//! Structural RTL description of the DDC (§5.2.1 of the paper).
+//!
+//! The implementation the paper synthesised: parts interconnected by a
+//! 12-bit data bus with output-valid lines; NCO and CIC at the input
+//! sample rate; the polyphase FIR as a *sequential* MAC (Figure 5)
+//! with a sample RAM, a coefficient ROM, one multiplier and a 31-bit
+//! accumulator per path, running at the full 64.512 MHz clock.
+
+use ddc_core::params::DdcConfig;
+
+/// A structural primitive as the technology mapper sees it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Primitive {
+    /// Ripple-carry adder/subtractor of the given width, with its
+    /// result register (Cyclone LEs fuse the adder bit and the
+    /// flip-flop).
+    AdderReg {
+        /// Operand width in bits.
+        width: u32,
+    },
+    /// A plain register (pipeline/delay stage).
+    Register {
+        /// Width in bits.
+        width: u32,
+    },
+    /// An up/down counter with terminal-count compare.
+    Counter {
+        /// Width in bits.
+        width: u32,
+    },
+    /// A combinational multiplier.
+    Multiplier {
+        /// First operand width.
+        a_bits: u32,
+        /// Second operand width.
+        b_bits: u32,
+    },
+    /// Synchronous RAM.
+    Ram {
+        /// Number of words.
+        words: u32,
+        /// Word width.
+        width: u32,
+    },
+    /// Synchronous ROM (initialised RAM block).
+    Rom {
+        /// Number of words.
+        words: u32,
+        /// Word width.
+        width: u32,
+    },
+    /// Saturation/quantisation logic (compare + mux).
+    Saturator {
+        /// Width in bits.
+        width: u32,
+    },
+    /// Miscellaneous control logic measured in raw LE-equivalents
+    /// (FSMs, valid lines, address folding).
+    Control {
+        /// LE-equivalents.
+        le: u32,
+    },
+}
+
+/// One named instance of a primitive.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Hierarchical name.
+    pub name: String,
+    /// The primitive.
+    pub prim: Primitive,
+}
+
+/// A structural netlist plus its external pin count.
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    /// All primitive instances.
+    pub instances: Vec<Instance>,
+    /// External pins.
+    pub pins: u32,
+}
+
+impl Netlist {
+    /// Builds the structural netlist of the paper's DDC for a
+    /// configuration. Matches §5.2.1:
+    ///
+    /// * 12-bit data bus throughout, 124-tap sequential FIR ("the
+    ///   polyphase FIR is implemented with 124 taps"),
+    /// * quarter-wave sine ROM (the paper's memory-bit totals rule
+    ///   out a full-wave table),
+    /// * I and Q sample RAMs, one *shared* coefficient ROM,
+    /// * pins: 12-bit input, two 12-bit outputs, clock, reset,
+    ///   input-valid, output-valid and enable = 41 (Table 4).
+    pub fn ddc(cfg: &DdcConfig) -> Netlist {
+        let w = cfg.format.data_bits;
+        let cw = cfg.format.coeff_bits;
+        let acc_w = cfg.format.fir_acc_bits;
+        // The paper trims the FIR to 124 taps "to make the sequential
+        // filter run a little more efficiently".
+        let taps = (cfg.fir_taps.len() as u32).saturating_sub(1).max(1);
+        let cic1_reg = cfg.cic1_params().register_bits();
+        let cic2_reg = cfg.cic2_params().register_bits();
+        let mut instances = Vec::new();
+        let mut add = |name: &str, prim: Primitive| {
+            instances.push(Instance {
+                name: name.to_string(),
+                prim,
+            })
+        };
+
+        // NCO: 32-bit phase accumulator + quarter-wave ROM + fold logic.
+        add("nco/phase_acc", Primitive::Counter { width: 32 });
+        add(
+            "nco/sine_rom",
+            Primitive::Rom {
+                words: 256,
+                width: cw,
+            },
+        );
+        add("nco/quadrant_fold", Primitive::Control { le: 24 });
+
+        for path in ["i", "q"] {
+            // Mixer: multiplier + rounding register.
+            add(
+                &format!("mixer_{path}/mult"),
+                Primitive::Multiplier {
+                    a_bits: w,
+                    b_bits: cw,
+                },
+            );
+            add(&format!("mixer_{path}/round_reg"), Primitive::Register { width: w });
+
+            // First CIC: N integrators + N combs at full register width.
+            for k in 0..cfg.cic1_order {
+                add(
+                    &format!("cic1_{path}/int{k}"),
+                    Primitive::AdderReg { width: cic1_reg },
+                );
+            }
+            for k in 0..cfg.cic1_order {
+                add(
+                    &format!("cic1_{path}/comb{k}"),
+                    Primitive::AdderReg { width: cic1_reg },
+                );
+            }
+            // Second CIC.
+            for k in 0..cfg.cic2_order {
+                add(
+                    &format!("cic2_{path}/int{k}"),
+                    Primitive::AdderReg { width: cic2_reg },
+                );
+            }
+            for k in 0..cfg.cic2_order {
+                add(
+                    &format!("cic2_{path}/comb{k}"),
+                    Primitive::AdderReg { width: cic2_reg },
+                );
+            }
+
+            // Sequential FIR (Figure 5): sample RAM, MAC, saturator.
+            add(
+                &format!("fir_{path}/sample_ram"),
+                Primitive::Ram { words: taps, width: w },
+            );
+            add(
+                &format!("fir_{path}/mac_mult"),
+                Primitive::Multiplier {
+                    a_bits: w,
+                    b_bits: cw,
+                },
+            );
+            add(
+                &format!("fir_{path}/accumulator"),
+                Primitive::AdderReg { width: acc_w },
+            );
+            add(
+                &format!("fir_{path}/read_addr"),
+                Primitive::Counter { width: 7 },
+            );
+            add(
+                &format!("fir_{path}/write_addr"),
+                Primitive::Counter { width: 7 },
+            );
+            add(
+                &format!("fir_{path}/quantizer"),
+                Primitive::Saturator { width: w },
+            );
+            add(&format!("fir_{path}/control"), Primitive::Control { le: 12 });
+        }
+
+        // One coefficient ROM shared by both paths (identical taps).
+        add(
+            "fir/coeff_rom",
+            Primitive::Rom {
+                words: taps,
+                width: cw,
+            },
+        );
+        add("fir/coeff_addr", Primitive::Counter { width: 7 });
+
+        // Decimation counters + valid-line control per stage.
+        add("ctl/cic1_decim", Primitive::Counter { width: 5 });
+        add("ctl/cic2_decim", Primitive::Counter { width: 5 });
+        add("ctl/fir_decim", Primitive::Counter { width: 4 });
+        add("ctl/valid_chain", Primitive::Control { le: 20 });
+
+        Netlist {
+            name: format!("ddc_{w}bit"),
+            instances,
+            // input bus + I out + Q out + clk/rst/valid_in/valid_out/en
+            pins: w + 2 * w + 5,
+        }
+    }
+
+    /// Total count of a primitive kind, for reporting.
+    pub fn count(&self, pred: impl Fn(&Primitive) -> bool) -> usize {
+        self.instances.iter().filter(|i| pred(&i.prim)).count()
+    }
+
+    /// Total memory bits (RAM + ROM words × width).
+    pub fn memory_bits(&self) -> u32 {
+        self.instances
+            .iter()
+            .map(|i| match i.prim {
+                Primitive::Ram { words, width } | Primitive::Rom { words, width } => words * width,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Width of the widest adder in the design — the ripple-carry
+    /// critical path for the timing model.
+    pub fn max_adder_width(&self) -> u32 {
+        self.instances
+            .iter()
+            .map(|i| match i.prim {
+                Primitive::AdderReg { width } => width,
+                Primitive::Counter { width } => width,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drm_netlist() -> Netlist {
+        Netlist::ddc(&DdcConfig::drm(10e6))
+    }
+
+    #[test]
+    fn pin_count_matches_table4() {
+        assert_eq!(drm_netlist().pins, 41);
+    }
+
+    #[test]
+    fn has_four_multipliers() {
+        // 2 mixer + 2 FIR MAC = 4 twelve-bit multipliers (→ 8 embedded
+        // 9-bit multipliers in Table 4).
+        let n = drm_netlist().count(|p| matches!(p, Primitive::Multiplier { .. }));
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn memory_bits_near_table4() {
+        // Table 4: 6,780 (Cyclone I) / 7,686 (Cyclone II) memory bits.
+        // Structural total: 256·12 (sine) + 2·124·12 (sample RAMs) +
+        // 124·12 (shared coefficient ROM) = 7,536.
+        let bits = drm_netlist().memory_bits();
+        assert_eq!(bits, 7536);
+        assert!((bits as f64 - 7686.0).abs() / 7686.0 < 0.12);
+        assert!((bits as f64 - 6780.0).abs() / 6780.0 < 0.12);
+    }
+
+    #[test]
+    fn cic_registers_follow_hogenauer_widths() {
+        let n = drm_netlist();
+        let count_w = |w: u32| n.count(|p| matches!(p, Primitive::AdderReg { width } if *width == w));
+        assert_eq!(count_w(20), 8); // CIC2: 2 int + 2 comb × 2 paths
+        assert_eq!(count_w(34), 20); // CIC5: 5 int + 5 comb × 2 paths
+    }
+
+    #[test]
+    fn critical_adder_is_cic5_register() {
+        assert_eq!(drm_netlist().max_adder_width(), 34);
+    }
+
+    #[test]
+    fn instance_names_are_unique() {
+        let n = drm_netlist();
+        let mut names: Vec<&str> = n.instances.iter().map(|i| i.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn montium_format_widens_the_netlist() {
+        let a = Netlist::ddc(&DdcConfig::drm(0.0));
+        let b = Netlist::ddc(&DdcConfig::drm_montium(0.0));
+        assert!(b.memory_bits() > a.memory_bits());
+        assert!(b.pins > a.pins);
+    }
+}

@@ -1,0 +1,415 @@
+//! A two-pass assembler for the [`crate::isa`] instruction set.
+//!
+//! Syntax (one instruction per line, `;` or `//` comments):
+//!
+//! ```text
+//! .region nco          ; cycles after this point accrue to "nco"
+//! loop:                ; label
+//!     ldr r1, [r0, #4]
+//!     mul r2, r1, r3
+//!     add r2, r2, #1024
+//!     asr r2, r2, #11
+//!     cmp r5, #0
+//!     bne loop
+//!     halt
+//! ```
+
+use crate::isa::{Address, Cond, Instr, Operand, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembled program: instructions plus the profiling-region map.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The instruction stream.
+    pub instrs: Vec<Instr>,
+    /// `region[i]` names the profiling region instruction `i` belongs
+    /// to (`""` before the first `.region` directive).
+    pub regions: Vec<String>,
+    /// Label table (name → instruction index).
+    pub labels: HashMap<String, u32>,
+}
+
+/// Assembly error with line information.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles source text into a [`Program`].
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    // Pass 1: collect labels.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut index: u32 = 0;
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = strip(raw);
+        if line.is_empty() || line.starts_with('.') {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(err(lineno, format!("bad label '{label}'")));
+            }
+            if labels.insert(label.to_string(), index).is_some() {
+                return Err(err(lineno, format!("duplicate label '{label}'")));
+            }
+            rest = tail[1..].trim_start();
+        }
+        if !rest.is_empty() {
+            index += 1;
+        }
+    }
+
+    // Pass 2: encode.
+    let mut instrs = Vec::new();
+    let mut regions = Vec::new();
+    let mut current_region = String::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let mut line = strip(raw);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix(".region") {
+            current_region = name.trim().to_string();
+            continue;
+        }
+        if line.starts_with('.') {
+            return Err(err(lineno, format!("unknown directive '{line}'")));
+        }
+        while let Some(colon) = line.find(':') {
+            line = line[colon + 1..].trim_start();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let instr = parse_instr(line, &labels).map_err(|m| err(lineno, m))?;
+        instrs.push(instr);
+        regions.push(current_region.clone());
+    }
+    Ok(Program {
+        instrs,
+        regions,
+        labels,
+    })
+}
+
+fn err(lineno: usize, message: String) -> AsmError {
+    AsmError {
+        line: lineno + 1,
+        message,
+    }
+}
+
+fn strip(raw: &str) -> &str {
+    let no_comment = raw.split(';').next().unwrap_or("");
+    let no_comment = no_comment.split("//").next().unwrap_or("");
+    no_comment.trim()
+}
+
+fn parse_instr(line: &str, labels: &HashMap<String, u32>) -> Result<Instr, String> {
+    let (mnemonic, rest) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => (line, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+    let args: Vec<String> = split_args(rest);
+    let argc = args.len();
+    let need = |n: usize| -> Result<(), String> {
+        if argc == n {
+            Ok(())
+        } else {
+            Err(format!("'{mnemonic}' expects {n} operands, got {argc}"))
+        }
+    };
+    match mnemonic.as_str() {
+        "mov" => {
+            need(2)?;
+            Ok(Instr::Mov(reg(&args[0])?, operand(&args[1])?))
+        }
+        "add" | "sub" | "rsb" | "and" | "orr" | "eor" => {
+            need(3)?;
+            let d = reg(&args[0])?;
+            let n = reg(&args[1])?;
+            let o = operand(&args[2])?;
+            Ok(match mnemonic.as_str() {
+                "add" => Instr::Add(d, n, o),
+                "sub" => Instr::Sub(d, n, o),
+                "rsb" => Instr::Rsb(d, n, o),
+                "and" => Instr::And(d, n, o),
+                "orr" => Instr::Orr(d, n, o),
+                _ => Instr::Eor(d, n, o),
+            })
+        }
+        "lsl" | "lsr" | "asr" => {
+            need(3)?;
+            let d = reg(&args[0])?;
+            let n = reg(&args[1])?;
+            let k = imm(&args[2])?;
+            if !(0..=31).contains(&k) {
+                return Err(format!("shift #{k} out of 0..=31"));
+            }
+            let k = k as u8;
+            Ok(match mnemonic.as_str() {
+                "lsl" => Instr::Lsl(d, n, k),
+                "lsr" => Instr::Lsr(d, n, k),
+                _ => Instr::Asr(d, n, k),
+            })
+        }
+        "mul" => {
+            need(3)?;
+            Ok(Instr::Mul(reg(&args[0])?, reg(&args[1])?, reg(&args[2])?))
+        }
+        "mla" => {
+            need(4)?;
+            Ok(Instr::Mla(
+                reg(&args[0])?,
+                reg(&args[1])?,
+                reg(&args[2])?,
+                reg(&args[3])?,
+            ))
+        }
+        "cmp" => {
+            need(2)?;
+            Ok(Instr::Cmp(reg(&args[0])?, operand(&args[1])?))
+        }
+        "ldr" | "str" => {
+            need(2)?;
+            let r = reg(&args[0])?;
+            let a = address(&args[1])?;
+            Ok(if mnemonic == "ldr" {
+                Instr::Ldr(r, a)
+            } else {
+                Instr::Str(r, a)
+            })
+        }
+        "halt" => {
+            need(0)?;
+            Ok(Instr::Halt)
+        }
+        m if m.starts_with('b') => {
+            need(1)?;
+            let cond = match &m[1..] {
+                "" => Cond::Al,
+                "eq" => Cond::Eq,
+                "ne" => Cond::Ne,
+                "ge" => Cond::Ge,
+                "lt" => Cond::Lt,
+                "gt" => Cond::Gt,
+                "le" => Cond::Le,
+                other => return Err(format!("unknown branch condition '{other}'")),
+            };
+            let target = labels
+                .get(&args[0])
+                .copied()
+                .ok_or_else(|| format!("unknown label '{}'", args[0]))?;
+            Ok(Instr::B(cond, target))
+        }
+        other => Err(format!("unknown mnemonic '{other}'")),
+    }
+}
+
+/// Splits an operand list at top-level commas, keeping `[...]` intact.
+fn split_args(rest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in rest.chars() {
+        match ch {
+            '[' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn reg(s: &str) -> Result<Reg, String> {
+    let t = s.trim().to_ascii_lowercase();
+    let n: u8 = t
+        .strip_prefix('r')
+        .ok_or_else(|| format!("expected register, got '{s}'"))?
+        .parse()
+        .map_err(|_| format!("bad register '{s}'"))?;
+    if n < 16 {
+        Ok(Reg::new(n))
+    } else {
+        Err(format!("register r{n} out of range"))
+    }
+}
+
+fn imm(s: &str) -> Result<i32, String> {
+    let t = s.trim().strip_prefix('#').unwrap_or(s.trim());
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("-0x")) {
+        let v = i64::from_str_radix(hex, 16).map_err(|_| format!("bad immediate '{s}'"))?;
+        let v = if t.starts_with('-') { -v } else { v };
+        return i32::try_from(v).map_err(|_| format!("immediate '{s}' out of range"));
+    }
+    t.parse().map_err(|_| format!("bad immediate '{s}'"))
+}
+
+fn operand(s: &str) -> Result<Operand, String> {
+    let t = s.trim();
+    if t.starts_with('#') || t.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') {
+        Ok(Operand::Imm(imm(t)?))
+    } else {
+        Ok(Operand::Reg(reg(t)?))
+    }
+}
+
+fn address(s: &str) -> Result<Address, String> {
+    let t = s.trim();
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| format!("expected [base, offset], got '{s}'"))?;
+    let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+    match parts.as_slice() {
+        [b] => Ok(Address::BaseImm(reg(b)?, 0)),
+        [b, o] if o.starts_with('#') => Ok(Address::BaseImm(reg(b)?, imm(o)?)),
+        [b, o] => Ok(Address::BaseReg(reg(b)?, reg(o)?)),
+        _ => Err(format!("bad address '{s}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_block() {
+        let p = assemble(
+            "start: mov r0, #5\n\
+             loop: sub r0, r0, #1\n\
+             cmp r0, #0\n\
+             bne loop\n\
+             halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.instrs.len(), 5);
+        assert_eq!(p.labels["start"], 0);
+        assert_eq!(p.labels["loop"], 1);
+        assert_eq!(p.instrs[3], Instr::B(Cond::Ne, 1));
+    }
+
+    #[test]
+    fn regions_attach_to_following_instructions() {
+        let p = assemble(
+            ".region alpha\n\
+             mov r0, #1\n\
+             .region beta\n\
+             mov r1, #2\n\
+             mov r2, #3\n\
+             halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.regions, vec!["alpha", "beta", "beta", "beta"]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble(
+            "; a comment\n\
+             // another\n\
+             mov r0, #1 ; trailing\n\
+             \n\
+             halt // done\n",
+        )
+        .unwrap();
+        assert_eq!(p.instrs.len(), 2);
+    }
+
+    #[test]
+    fn addressing_modes() {
+        let p = assemble(
+            "ldr r1, [r2]\n\
+             ldr r3, [r4, #8]\n\
+             str r5, [r6, r7]\n\
+             halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.instrs[0], Instr::Ldr(Reg::new(1), Address::BaseImm(Reg::new(2), 0)));
+        assert_eq!(p.instrs[1], Instr::Ldr(Reg::new(3), Address::BaseImm(Reg::new(4), 8)));
+        assert_eq!(p.instrs[2], Instr::Str(Reg::new(5), Address::BaseReg(Reg::new(6), Reg::new(7))));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("mov r0, #0x400\nmov r1, #-12\nhalt\n").unwrap();
+        assert_eq!(p.instrs[0], Instr::Mov(Reg::new(0), Operand::Imm(1024)));
+        assert_eq!(p.instrs[1], Instr::Mov(Reg::new(1), Operand::Imm(-12)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("mov r0, #1\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let e = assemble("b nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let e = assemble("x: mov r0, #1\nx: halt\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn wrong_operand_count() {
+        let e = assemble("add r0, r1\n").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn label_and_instruction_on_one_line() {
+        let p = assemble("top: mov r0, #1\nb top\n").unwrap();
+        assert_eq!(p.labels["top"], 0);
+        assert_eq!(p.instrs[1], Instr::B(Cond::Al, 0));
+    }
+
+    #[test]
+    fn mla_parses() {
+        let p = assemble("mla r0, r1, r2, r3\nhalt\n").unwrap();
+        assert_eq!(
+            p.instrs[0],
+            Instr::Mla(Reg::new(0), Reg::new(1), Reg::new(2), Reg::new(3))
+        );
+    }
+
+    #[test]
+    fn shift_range_checked() {
+        assert!(assemble("lsl r0, r1, #32\n").is_err());
+        assert!(assemble("asr r0, r1, #31\nhalt\n").is_ok());
+    }
+}

@@ -1,0 +1,377 @@
+//! The instruction-set simulator and its cycle profiler.
+//!
+//! Executes an assembled [`Program`] against a word-addressed memory,
+//! charging each instruction its ARM9 cycle cost and attributing those
+//! cycles to the active `.region` — the same data the ARM source-level
+//! debugger gave the paper's authors (§4.2.1).
+
+use crate::asm::Program;
+use crate::isa::{Address, Cond, CycleModel, Instr, Operand, Reg};
+use std::collections::HashMap;
+
+/// Why execution stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// A `halt` instruction was executed.
+    Halted,
+    /// The instruction budget ran out first.
+    FuelExhausted,
+}
+
+/// Execution statistics.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Clock cycles consumed.
+    pub cycles: u64,
+    /// Cycles attributed to each `.region`.
+    pub region_cycles: HashMap<String, u64>,
+    /// Instructions attributed to each `.region`.
+    pub region_instructions: HashMap<String, u64>,
+}
+
+impl RunStats {
+    /// Fraction of all cycles spent in `region` (0..=1).
+    pub fn region_fraction(&self, region: &str) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        *self.region_cycles.get(region).unwrap_or(&0) as f64 / self.cycles as f64
+    }
+
+    /// Mean cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// The simulated CPU.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    /// General-purpose registers.
+    pub regs: [i32; 16],
+    /// Negative flag.
+    pub flag_n: bool,
+    /// Zero flag.
+    pub flag_z: bool,
+    /// Word-addressed data memory.
+    pub mem: Vec<i32>,
+    pc: u32,
+    program: Program,
+    cycle_model: CycleModel,
+}
+
+impl Cpu {
+    /// Creates a CPU with `mem_words` words of zeroed memory.
+    pub fn new(program: Program, mem_words: usize) -> Self {
+        Cpu {
+            regs: [0; 16],
+            flag_n: false,
+            flag_z: false,
+            mem: vec![0; mem_words],
+            pc: 0,
+            program,
+            cycle_model: CycleModel::ARM9,
+        }
+    }
+
+    /// Selects a different pipeline cycle model (e.g.
+    /// [`CycleModel::ARM9_DSP`] for the ARM946 variant of §4.2.2
+    /// note 3).
+    pub fn with_cycle_model(mut self, model: CycleModel) -> Self {
+        self.cycle_model = model;
+        self
+    }
+
+    /// Current program counter (instruction index).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Moves the program counter to a label.
+    pub fn jump_to(&mut self, label: &str) {
+        self.pc = *self
+            .program
+            .labels
+            .get(label)
+            .unwrap_or_else(|| panic!("unknown label '{label}'"));
+    }
+
+    /// Runs until `halt` or `fuel` instructions have executed.
+    /// Returns the stop reason and the statistics.
+    pub fn run(&mut self, fuel: u64) -> (StopReason, RunStats) {
+        let mut stats = RunStats::default();
+        while stats.instructions < fuel {
+            let idx = self.pc as usize;
+            let instr = match self.program.instrs.get(idx) {
+                Some(i) => *i,
+                None => panic!("pc {idx} fell off the program"),
+            };
+            let region = self.program.regions[idx].clone();
+            let mut next_pc = self.pc + 1;
+            let mut branch_taken = false;
+            match instr {
+                Instr::Mov(d, o) => self.set(d, self.value(o)),
+                Instr::Add(d, n, o) => self.set(d, self.get(n).wrapping_add(self.value(o))),
+                Instr::Sub(d, n, o) => self.set(d, self.get(n).wrapping_sub(self.value(o))),
+                Instr::Rsb(d, n, o) => self.set(d, self.value(o).wrapping_sub(self.get(n))),
+                Instr::And(d, n, o) => self.set(d, self.get(n) & self.value(o)),
+                Instr::Orr(d, n, o) => self.set(d, self.get(n) | self.value(o)),
+                Instr::Eor(d, n, o) => self.set(d, self.get(n) ^ self.value(o)),
+                Instr::Lsl(d, n, k) => self.set(d, ((self.get(n) as u32) << k) as i32),
+                Instr::Lsr(d, n, k) => self.set(d, ((self.get(n) as u32) >> k) as i32),
+                Instr::Asr(d, n, k) => self.set(d, self.get(n) >> k),
+                Instr::Mul(d, m, s) => self.set(d, self.get(m).wrapping_mul(self.get(s))),
+                Instr::Mla(d, m, s, n) => {
+                    let v = self.get(m).wrapping_mul(self.get(s)).wrapping_add(self.get(n));
+                    self.set(d, v);
+                }
+                Instr::Cmp(n, o) => {
+                    let v = self.get(n).wrapping_sub(self.value(o));
+                    self.flag_n = v < 0;
+                    self.flag_z = v == 0;
+                }
+                Instr::Ldr(d, a) => {
+                    let addr = self.resolve(a);
+                    self.set(d, self.mem[addr]);
+                }
+                Instr::Str(s, a) => {
+                    let addr = self.resolve(a);
+                    self.mem[addr] = self.get(s);
+                }
+                Instr::B(cond, target) => {
+                    if self.cond_true(cond) {
+                        next_pc = target;
+                        branch_taken = true;
+                    }
+                }
+                Instr::Halt => {
+                    stats.instructions += 1;
+                    return (StopReason::Halted, stats);
+                }
+            }
+            let cycles = instr.cycles_with(branch_taken, self.cycle_model);
+            stats.instructions += 1;
+            stats.cycles += cycles;
+            *stats.region_cycles.entry(region.clone()).or_insert(0) += cycles;
+            *stats.region_instructions.entry(region).or_insert(0) += 1;
+            self.pc = next_pc;
+        }
+        (StopReason::FuelExhausted, stats)
+    }
+
+    #[inline]
+    fn get(&self, r: Reg) -> i32 {
+        self.regs[r.idx()]
+    }
+
+    #[inline]
+    fn set(&mut self, r: Reg, v: i32) {
+        self.regs[r.idx()] = v;
+    }
+
+    #[inline]
+    fn value(&self, o: Operand) -> i32 {
+        match o {
+            Operand::Reg(r) => self.get(r),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    #[inline]
+    fn resolve(&self, a: Address) -> usize {
+        let addr = match a {
+            Address::BaseImm(b, o) => self.get(b).wrapping_add(o),
+            Address::BaseReg(b, o) => self.get(b).wrapping_add(self.get(o)),
+        };
+        usize::try_from(addr).unwrap_or_else(|_| panic!("negative address {addr}"))
+    }
+
+    fn cond_true(&self, c: Cond) -> bool {
+        match c {
+            Cond::Al => true,
+            Cond::Eq => self.flag_z,
+            Cond::Ne => !self.flag_z,
+            Cond::Ge => !self.flag_n,
+            Cond::Lt => self.flag_n,
+            Cond::Gt => !self.flag_n && !self.flag_z,
+            Cond::Le => self.flag_n || self.flag_z,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_src(src: &str, mem: usize, fuel: u64) -> (Cpu, RunStats) {
+        let p = assemble(src).expect("assembly failed");
+        let mut cpu = Cpu::new(p, mem);
+        let (reason, stats) = cpu.run(fuel);
+        assert_eq!(reason, StopReason::Halted, "program did not halt");
+        (cpu, stats)
+    }
+
+    #[test]
+    fn countdown_loop() {
+        let (cpu, stats) = run_src(
+            "mov r0, #10\n\
+             mov r1, #0\n\
+             loop: add r1, r1, r0\n\
+             sub r0, r0, #1\n\
+             cmp r0, #0\n\
+             bne loop\n\
+             halt\n",
+            0,
+            1000,
+        );
+        assert_eq!(cpu.regs[1], 55);
+        assert_eq!(cpu.regs[0], 0);
+        // 2 setup + 10 iterations × 4 + 1 halt = 43 instructions
+        assert_eq!(stats.instructions, 43);
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let (cpu, _) = run_src(
+            "mov r0, #5\n\
+             mov r1, #1234\n\
+             str r1, [r0, #2]\n\
+             ldr r2, [r0, #2]\n\
+             mov r3, #7\n\
+             ldr r4, [r3]\n\
+             halt\n",
+            16,
+            100,
+        );
+        assert_eq!(cpu.mem[7], 1234);
+        assert_eq!(cpu.regs[2], 1234);
+        assert_eq!(cpu.regs[4], 1234); // [r3] with r3=7 reads the same cell
+    }
+
+    #[test]
+    fn indexed_addressing() {
+        let p = assemble("ldr r2, [r0, r1]\nhalt\n").unwrap();
+        let mut cpu = Cpu::new(p, 32);
+        cpu.mem[20] = -77;
+        cpu.regs[0] = 15;
+        cpu.regs[1] = 5;
+        cpu.run(10);
+        assert_eq!(cpu.regs[2], -77);
+    }
+
+    #[test]
+    fn arithmetic_wraps_like_hardware() {
+        let (cpu, _) = run_src(
+            "mov r0, #0x7fffffff\n\
+             add r1, r0, #1\n\
+             halt\n",
+            0,
+            10,
+        );
+        assert_eq!(cpu.regs[1], i32::MIN);
+    }
+
+    #[test]
+    fn shifts() {
+        let (cpu, _) = run_src(
+            "mov r0, #-16\n\
+             asr r1, r0, #2\n\
+             lsr r2, r0, #28\n\
+             mov r3, #3\n\
+             lsl r4, r3, #4\n\
+             halt\n",
+            0,
+            10,
+        );
+        assert_eq!(cpu.regs[1], -4);
+        assert_eq!(cpu.regs[2], 15);
+        assert_eq!(cpu.regs[4], 48);
+    }
+
+    #[test]
+    fn mla_semantics() {
+        let (cpu, _) = run_src(
+            "mov r1, #6\n\
+             mov r2, #7\n\
+             mov r3, #100\n\
+             mla r0, r1, r2, r3\n\
+             halt\n",
+            0,
+            10,
+        );
+        assert_eq!(cpu.regs[0], 142);
+    }
+
+    #[test]
+    fn conditions_ge_lt_gt_le() {
+        let (cpu, _) = run_src(
+            "mov r0, #5\n\
+             cmp r0, #5\n\
+             mov r1, #0\n\
+             bgt over\n\
+             mov r1, #1\n\
+             over: cmp r0, #9\n\
+             blt less\n\
+             mov r2, #0\n\
+             b end\n\
+             less: mov r2, #1\n\
+             end: halt\n",
+            0,
+            100,
+        );
+        assert_eq!(cpu.regs[1], 1, "5 > 5 must be false");
+        assert_eq!(cpu.regs[2], 1, "5 < 9 must be true");
+    }
+
+    #[test]
+    fn cycle_accounting_by_region() {
+        let (_, stats) = run_src(
+            ".region a\n\
+             mov r0, #2\n\
+             mul r1, r0, r0\n\
+             .region b\n\
+             ldr r2, [r3]\n\
+             halt\n",
+            8,
+            100,
+        );
+        // region a: mov(1) + mul(3) = 4; region b: ldr(1), halt(0)
+        assert_eq!(stats.region_cycles["a"], 4);
+        assert_eq!(stats.region_cycles["b"], 1);
+        assert!((stats.region_fraction("a") - 0.8).abs() < 1e-12);
+        assert_eq!(stats.region_instructions["a"], 2);
+    }
+
+    #[test]
+    fn fuel_exhaustion_detected() {
+        let p = assemble("spin: b spin\n").unwrap();
+        let mut cpu = Cpu::new(p, 0);
+        let (reason, stats) = cpu.run(100);
+        assert_eq!(reason, StopReason::FuelExhausted);
+        assert_eq!(stats.instructions, 100);
+        assert_eq!(stats.cycles, 300); // every taken branch = 3 cycles
+    }
+
+    #[test]
+    fn jump_to_label() {
+        let p = assemble("a: halt\nentry: mov r0, #9\nhalt\n").unwrap();
+        let mut cpu = Cpu::new(p, 0);
+        cpu.jump_to("entry");
+        cpu.run(10);
+        assert_eq!(cpu.regs[0], 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative address")]
+    fn negative_address_panics() {
+        let p = assemble("mov r0, #-1\nldr r1, [r0]\nhalt\n").unwrap();
+        Cpu::new(p, 4).run(10);
+    }
+}

@@ -1,0 +1,250 @@
+//! The exact integer semantics of the DDC as the assembly implements
+//! it — "the C code" of §4.2.1.
+//!
+//! Like the paper's C program this processes **only the in-phase
+//! path** ("for simplicity reasons, the code only performs the
+//! in-phase transformation, so the result has to be doubled for the
+//! whole DDC"). All arithmetic is 32-bit two's-complement with
+//! wrap-around, matching the ARM registers:
+//!
+//! * mixer: `m = (x·cos + 1024) >> 11` (12-bit data, 12-bit Q1.11
+//!   cosine, round-half-up);
+//! * CIC2: two wrapping 32-bit integrators at the input rate, two
+//!   combs every 16th sample, output `>> 8`;
+//! * CIC5: the 12-bit CIC2 output is pre-scaled by `>> 2` so the
+//!   22-bit growth of `21⁵` fits a 32-bit register exactly, five
+//!   integrators, five combs every 21st, output `>> 20`;
+//! * FIR: 125 12-bit coefficients, 32-bit accumulator (worst case
+//!   `125·2047·2047 ≈ 5.2·10⁸` fits), output `>> 11`, once per 8.
+//!
+//! The ISS programs in [`crate::programs`] must match this model
+//! **bit-for-bit**; its fidelity against the ideal chain is checked
+//! separately with a signal-to-error measurement.
+
+use std::num::Wrapping;
+
+/// Number of FIR taps (fixed, as in the paper's reference design).
+pub const FIR_TAPS: usize = 125;
+
+/// Builds the 1024-entry 12-bit cosine table the program reads
+/// (quantized exactly like the hardware NCO's sine table read with a
+/// +90° offset).
+pub fn cos_table() -> Vec<i32> {
+    (0..1024)
+        .map(|k| {
+            let angle = 2.0 * std::f64::consts::PI * k as f64 / 1024.0;
+            ddc_dsp::fixed::quantize(angle.cos(), 12, 11, ddc_dsp::fixed::Rounding::Nearest) as i32
+        })
+        .collect()
+}
+
+/// The in-phase DDC with exact ARM-register semantics.
+#[derive(Clone, Debug)]
+pub struct GppDdc {
+    cos_tab: Vec<i32>,
+    coeffs: Vec<i32>,
+    phase: u32,
+    word: u32,
+    acc: [Wrapping<i32>; 2],
+    comb: [Wrapping<i32>; 2],
+    acc5: [Wrapping<i32>; 5],
+    comb5: [Wrapping<i32>; 5],
+    fir_ram: Vec<i32>,
+    fir_pos: usize,
+    cnt16: u32,
+    cnt21: u32,
+    cnt8: u32,
+}
+
+impl GppDdc {
+    /// Creates the model with the given tuning word and 12-bit FIR
+    /// coefficients (length forced to 125 by pad/truncate).
+    pub fn new(word: u32, coeffs: &[i32]) -> Self {
+        let mut c = coeffs.to_vec();
+        c.resize(FIR_TAPS, 0);
+        for &x in &c {
+            assert!((-2048..=2047).contains(&x), "coefficient {x} not 12-bit");
+        }
+        GppDdc {
+            cos_tab: cos_table(),
+            coeffs: c,
+            phase: 0,
+            word,
+            acc: [Wrapping(0); 2],
+            comb: [Wrapping(0); 2],
+            acc5: [Wrapping(0); 5],
+            comb5: [Wrapping(0); 5],
+            fir_ram: vec![0; FIR_TAPS],
+            fir_pos: 0,
+            cnt16: 16,
+            cnt21: 21,
+            cnt8: 8,
+        }
+    }
+
+    /// Feeds one 12-bit sample; produces an output word every 2688
+    /// inputs.
+    pub fn process(&mut self, x: i32) -> Option<i32> {
+        debug_assert!((-2048..=2047).contains(&x), "input {x} not 12-bit");
+        // NCO + mixer.
+        let cos = self.cos_tab[(self.phase >> 22) as usize];
+        self.phase = self.phase.wrapping_add(self.word);
+        let m = Wrapping(x.wrapping_mul(cos).wrapping_add(1024) >> 11);
+        // CIC2 integrators.
+        self.acc[0] += m;
+        self.acc[1] += self.acc[0];
+        self.cnt16 -= 1;
+        if self.cnt16 > 0 {
+            return None;
+        }
+        self.cnt16 = 16;
+        // CIC2 combs.
+        let mut v = self.acc[1];
+        for c in self.comb.iter_mut() {
+            let delayed = *c;
+            *c = v;
+            v -= delayed;
+        }
+        let out2 = v.0 >> 8; // 12-bit
+        // CIC5 integrators (input pre-scaled to 10 bits).
+        let mut v5 = Wrapping(out2 >> 2);
+        for a in self.acc5.iter_mut() {
+            *a += v5;
+            v5 = *a;
+        }
+        self.cnt21 -= 1;
+        if self.cnt21 > 0 {
+            return None;
+        }
+        self.cnt21 = 21;
+        // CIC5 combs.
+        let mut w = self.acc5[4];
+        for c in self.comb5.iter_mut() {
+            let delayed = *c;
+            *c = w;
+            w -= delayed;
+        }
+        let out5 = w.0 >> 20; // 12-bit
+        // FIR write side.
+        self.fir_ram[self.fir_pos] = out5;
+        self.fir_pos = (self.fir_pos + 1) % FIR_TAPS;
+        self.cnt8 -= 1;
+        if self.cnt8 > 0 {
+            return None;
+        }
+        self.cnt8 = 8;
+        // FIR summation.
+        let mut acc = Wrapping(0i32);
+        let mut idx = if self.fir_pos == 0 { FIR_TAPS - 1 } else { self.fir_pos - 1 };
+        for &h in &self.coeffs {
+            acc += Wrapping(h.wrapping_mul(self.fir_ram[idx]));
+            idx = if idx == 0 { FIR_TAPS - 1 } else { idx - 1 };
+        }
+        Some(acc.0 >> 11)
+    }
+
+    /// Processes a block, collecting outputs.
+    pub fn process_block(&mut self, input: &[i32]) -> Vec<i32> {
+        input.iter().filter_map(|&x| self.process(x)).collect()
+    }
+
+    /// The cosine table (for loading into the ISS memory).
+    pub fn table(&self) -> &[i32] {
+        &self.cos_tab
+    }
+
+    /// The coefficient set (for loading into the ISS memory).
+    pub fn coefficients(&self) -> &[i32] {
+        &self.coeffs
+    }
+}
+
+/// Designs the standard 12-bit coefficient set for the model: the DRM
+/// preset's taps quantized to Q1.11.
+pub fn drm_coefficients() -> Vec<i32> {
+    let cfg = ddc_core::params::DdcConfig::drm(0.0);
+    ddc_dsp::firdes::quantize_taps(&cfg.fir_taps, 12, 11)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_core::nco::tuning_word;
+    use ddc_dsp::signal::{adc_quantize, SampleSource, Tone};
+    use ddc_dsp::stats::ser_db;
+
+    #[test]
+    fn produces_one_output_per_2688_inputs() {
+        let mut m = GppDdc::new(123456789, &drm_coefficients());
+        let out = m.process_block(&vec![100; 2688 * 5]);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn dc_input_with_zero_word_settles() {
+        // Tuning word 0 keeps cos = +2047/2048: the chain becomes a
+        // decimating low-pass; DC input must settle near the input
+        // value times the chain's net gain (~0.974·(2047/2048)).
+        let mut m = GppDdc::new(0, &drm_coefficients());
+        let out = m.process_block(&vec![1000; 2688 * 40]);
+        let settled = *out.last().unwrap();
+        assert!((940..=1000).contains(&settled), "settled at {settled}");
+    }
+
+    #[test]
+    fn tracks_ideal_chain_on_in_band_tone() {
+        // The I path of the ideal reference chain vs this integer
+        // model: SER must exceed 40 dB (12-bit datapath).
+        let f_tune = 10e6;
+        let fs = 64_512_000.0;
+        let cfg = ddc_core::params::DdcConfig::drm(f_tune);
+        let analog = Tone::new(f_tune + 4_000.0, fs, 0.7, 0.3).take_vec(2688 * 200);
+        let mut reference = ddc_core::ReferenceDdc::with_table_nco(cfg);
+        let ref_out = reference.process_block(&analog);
+        let mut gpp = GppDdc::new(tuning_word(f_tune, fs), &drm_coefficients());
+        let adc = adc_quantize(&analog, 12);
+        let gpp_out = gpp.process_block(&adc);
+        assert_eq!(ref_out.len(), gpp_out.len());
+        let skip = 32;
+        // Undo the fixed chain's net gain: CIC5 gives 21^5/2^22, the
+        // pre-scale >>2 plus >>20 keeps the same net scaling as the
+        // 12-bit chain; FIR gain ≈ 1.
+        let gain = 21f64.powi(5) / 2f64.powi(22);
+        let g: Vec<f64> = gpp_out[skip..]
+            .iter()
+            .map(|&v| v as f64 / 2048.0 / gain)
+            .collect();
+        let r: Vec<f64> = ref_out[skip..].iter().map(|z| z.re).collect();
+        let ser = ser_db(&r, &g);
+        assert!(ser > 38.0, "SER {ser} dB");
+    }
+
+    #[test]
+    fn cos_table_is_12bit_cosine() {
+        let t = cos_table();
+        assert_eq!(t.len(), 1024);
+        assert_eq!(t[0], 2047);
+        assert_eq!(t[256], 0);
+        assert_eq!(t[512], -2048);
+        assert!(t.iter().all(|&v| (-2048..=2047).contains(&v)));
+    }
+
+    #[test]
+    fn coefficients_are_quantized_drm_taps() {
+        let c = drm_coefficients();
+        assert_eq!(c.len(), 125);
+        // symmetric
+        for i in 0..125 {
+            assert_eq!(c[i], c[124 - i]);
+        }
+        // unit-ish DC gain in Q1.11
+        let dc: i32 = c.iter().sum();
+        assert!((dc - 2048).abs() < 32, "DC sum {dc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not 12-bit")]
+    fn rejects_wide_coefficients() {
+        GppDdc::new(0, &[4000]);
+    }
+}

@@ -1,0 +1,245 @@
+//! The ARM9-flavoured instruction set of the simulator.
+//!
+//! Deliberately a subset: 16 general-purpose 32-bit registers, N/Z
+//! condition flags, two-operand-plus-destination data processing,
+//! word-addressed memory with register+immediate / register+register
+//! addressing, conditional branches, and the multiply forms the DDC
+//! needs. Enough to express the paper's C-compiled inner loops while
+//! staying fully testable.
+
+use std::fmt;
+
+/// A register index, `r0`–`r15`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Validated constructor.
+    pub fn new(n: u8) -> Self {
+        assert!(n < 16, "register r{n} out of range");
+        Reg(n)
+    }
+
+    /// Index as usize.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The flexible second operand: a register or an immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate operand (full 32-bit range — we do not model ARM's
+    /// rotated-immediate encoding restrictions).
+    Imm(i32),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// Branch conditions (subset of the ARM condition field).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cond {
+    /// Always.
+    Al,
+    /// Equal (Z set).
+    Eq,
+    /// Not equal (Z clear).
+    Ne,
+    /// Signed greater than or equal (N clear — we model N/Z only).
+    Ge,
+    /// Signed less than (N set).
+    Lt,
+    /// Signed greater than (N clear and Z clear).
+    Gt,
+    /// Signed less than or equal (N set or Z set).
+    Le,
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cond::Al => "",
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+        })
+    }
+}
+
+/// Memory address expression for loads/stores (word-addressed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Address {
+    /// `[rN, #imm]`
+    BaseImm(Reg, i32),
+    /// `[rN, rM]`
+    BaseReg(Reg, Reg),
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Address::BaseImm(b, 0) => write!(f, "[{b}]"),
+            Address::BaseImm(b, o) => write!(f, "[{b}, #{o}]"),
+            Address::BaseReg(b, o) => write!(f, "[{b}, {o}]"),
+        }
+    }
+}
+
+/// One instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// `mov rd, op` — copy.
+    Mov(Reg, Operand),
+    /// `add rd, rn, op` — wrapping addition.
+    Add(Reg, Reg, Operand),
+    /// `sub rd, rn, op` — wrapping subtraction.
+    Sub(Reg, Reg, Operand),
+    /// `rsb rd, rn, op` — reverse subtract: `rd = op - rn`.
+    Rsb(Reg, Reg, Operand),
+    /// `and rd, rn, op` — bitwise and.
+    And(Reg, Reg, Operand),
+    /// `orr rd, rn, op` — bitwise or.
+    Orr(Reg, Reg, Operand),
+    /// `eor rd, rn, op` — bitwise xor.
+    Eor(Reg, Reg, Operand),
+    /// `lsl rd, rn, #k` — logical shift left.
+    Lsl(Reg, Reg, u8),
+    /// `lsr rd, rn, #k` — logical shift right.
+    Lsr(Reg, Reg, u8),
+    /// `asr rd, rn, #k` — arithmetic shift right.
+    Asr(Reg, Reg, u8),
+    /// `mul rd, rm, rs` — wrapping 32-bit multiply (multi-cycle).
+    Mul(Reg, Reg, Reg),
+    /// `mla rd, rm, rs, rn` — multiply-accumulate: `rd = rm*rs + rn`.
+    Mla(Reg, Reg, Reg, Reg),
+    /// `cmp rn, op` — set N/Z from `rn - op`.
+    Cmp(Reg, Operand),
+    /// `ldr rd, [..]` — load word.
+    Ldr(Reg, Address),
+    /// `str rs, [..]` — store word.
+    Str(Reg, Address),
+    /// `b{cond} target` — (conditional) branch to instruction index.
+    B(Cond, u32),
+    /// Stop execution.
+    Halt,
+}
+
+/// The pipeline's cycle-cost table. [`CycleModel::ARM9`] is the
+/// ARM922T of the paper; [`CycleModel::ARM9_DSP`] models the ARM946's
+/// "extra DSP instruction set" (single-cycle MAC) that the paper's
+/// note 3 reports "did not show a major speed improvement".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CycleModel {
+    /// Cycles for `mul`.
+    pub mul: u64,
+    /// Cycles for `mla`.
+    pub mla: u64,
+}
+
+impl CycleModel {
+    /// The ARM922T pipeline (multi-cycle multiplies).
+    pub const ARM9: CycleModel = CycleModel { mul: 3, mla: 4 };
+    /// ARM946-style DSP extensions: pipelined single-cycle MAC.
+    pub const ARM9_DSP: CycleModel = CycleModel { mul: 1, mla: 1 };
+}
+
+impl Instr {
+    /// Cycle cost under `model`. Loads and stores are single-cycle
+    /// (the paper: "The ARM can fetch and write data from/to the
+    /// memory in one cycle", i.e. cache hits); taken branches refill
+    /// the 3-stage-visible pipeline.
+    pub fn cycles_with(&self, branch_taken: bool, model: CycleModel) -> u64 {
+        match self {
+            Instr::Mul(..) => model.mul,
+            Instr::Mla(..) => model.mla,
+            Instr::Ldr(..) | Instr::Str(..) => 1,
+            Instr::B(..) if branch_taken => 3,
+            Instr::B(..) => 1,
+            Instr::Halt => 0,
+            _ => 1,
+        }
+    }
+
+    /// Cycle cost on the default ARM922T pipeline.
+    pub fn cycles(&self, branch_taken: bool) -> u64 {
+        self.cycles_with(branch_taken, CycleModel::ARM9)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Mov(d, o) => write!(f, "mov {d}, {o}"),
+            Instr::Add(d, n, o) => write!(f, "add {d}, {n}, {o}"),
+            Instr::Sub(d, n, o) => write!(f, "sub {d}, {n}, {o}"),
+            Instr::Rsb(d, n, o) => write!(f, "rsb {d}, {n}, {o}"),
+            Instr::And(d, n, o) => write!(f, "and {d}, {n}, {o}"),
+            Instr::Orr(d, n, o) => write!(f, "orr {d}, {n}, {o}"),
+            Instr::Eor(d, n, o) => write!(f, "eor {d}, {n}, {o}"),
+            Instr::Lsl(d, n, k) => write!(f, "lsl {d}, {n}, #{k}"),
+            Instr::Lsr(d, n, k) => write!(f, "lsr {d}, {n}, #{k}"),
+            Instr::Asr(d, n, k) => write!(f, "asr {d}, {n}, #{k}"),
+            Instr::Mul(d, m, s) => write!(f, "mul {d}, {m}, {s}"),
+            Instr::Mla(d, m, s, n) => write!(f, "mla {d}, {m}, {s}, {n}"),
+            Instr::Cmp(n, o) => write!(f, "cmp {n}, {o}"),
+            Instr::Ldr(d, a) => write!(f, "ldr {d}, {a}"),
+            Instr::Str(s, a) => write!(f, "str {s}, {a}"),
+            Instr::B(Cond::Al, t) => write!(f, "b {t}"),
+            Instr::B(c, t) => write!(f, "b{c} {t}"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_costs_follow_the_paper() {
+        let r = Reg::new(0);
+        assert_eq!(Instr::Add(r, r, Operand::Imm(1)).cycles(false), 1);
+        assert_eq!(Instr::Ldr(r, Address::BaseImm(r, 0)).cycles(false), 1);
+        assert_eq!(Instr::Str(r, Address::BaseImm(r, 0)).cycles(false), 1);
+        assert_eq!(Instr::Mul(r, r, r).cycles(false), 3);
+        assert_eq!(Instr::Mla(r, r, r, r).cycles(false), 4);
+        assert_eq!(Instr::B(Cond::Al, 0).cycles(true), 3);
+        assert_eq!(Instr::B(Cond::Ne, 0).cycles(false), 1);
+        assert_eq!(Instr::Halt.cycles(false), 0);
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let i = Instr::Mla(Reg::new(0), Reg::new(1), Reg::new(2), Reg::new(3));
+        assert_eq!(i.to_string(), "mla r0, r1, r2, r3");
+        let b = Instr::B(Cond::Ne, 17);
+        assert_eq!(b.to_string(), "bne 17");
+        let l = Instr::Ldr(Reg::new(4), Address::BaseImm(Reg::new(5), 12));
+        assert_eq!(l.to_string(), "ldr r4, [r5, #12]");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_bounds() {
+        Reg::new(16);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ddc-arch-gpp — the General Purpose Processor solution (§4)
+//!
+//! The paper's GPP numbers come from compiling C to ARM9 assembly and
+//! profiling it in the ARM source-level debugger. We rebuild that
+//! pipeline end-to-end:
+//!
+//! * [`isa`] — a small ARM9-flavoured load/store ISA (16 registers,
+//!   NZ flags, single-cycle loads per the ARM922T's cached behaviour,
+//!   multi-cycle multiplies).
+//! * [`asm`] — a two-pass textual assembler with labels and `.region`
+//!   profiling directives.
+//! * [`cpu`] — the instruction-set simulator with the cycle model and
+//!   a per-region cycle profiler (the "ARM source-level debugger").
+//! * [`golden`] — the exact integer semantics of the DDC as the
+//!   assembly implements it (the "C code" of §4.2.1), used to verify
+//!   the ISS bit-for-bit.
+//! * [`programs`] — the DDC inner loops in assembly: the paper's
+//!   unoptimised memory-resident-state variant (what unoptimised
+//!   compiled C looks like) and a register-allocated optimised variant
+//!   (quantifying the paper's "should be possible to speed up" note).
+//! * [`model`] — turns measured cycles/sample into the required clock
+//!   frequency and power (0.25 mW/MHz, ARM922T datasheet), i.e.
+//!   Table 3 and the ARM row of Table 7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cpu;
+pub mod golden;
+pub mod isa;
+pub mod model;
+pub mod programs;
+
+pub use cpu::Cpu;
+pub use model::ArmModel;

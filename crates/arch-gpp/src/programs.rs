@@ -1,0 +1,481 @@
+//! The DDC inner loops in assembly, plus the host-side loader/runner.
+//!
+//! Two variants of the in-phase DDC (the paper codes only the I path):
+//!
+//! * [`unoptimized`] — every state variable lives in memory and is
+//!   loaded/stored around each use, the code shape an unoptimised C
+//!   compile produces. This is the variant behind the paper's Table 3
+//!   and 9740 MHz estimate ("the code was not optimized").
+//! * [`optimized`] — the hot front-end state is register-allocated,
+//!   quantifying the paper's note that "it should be possible to speed
+//!   up the algorithm when it is completely optimized".
+//!
+//! Both must produce output **bit-identical** to
+//! [`crate::golden::GppDdc`].
+
+use crate::asm::{assemble, Program};
+use crate::cpu::{Cpu, RunStats, StopReason};
+use crate::golden::{cos_table, FIR_TAPS};
+
+/// Memory map (word addresses) shared between the programs and the
+/// host loader.
+pub mod layout {
+    /// Word holding the number of input samples.
+    pub const ADDR_N: usize = 0;
+    /// Word the program writes the output count into before halting.
+    pub const ADDR_OUT_COUNT: usize = 2;
+    /// 1024-entry 12-bit cosine table.
+    pub const COS_TAB: usize = 1024;
+    /// DDC state block (see the state offsets below).
+    pub const STATE: usize = 2048;
+    /// FIR sample RAM (125 words).
+    pub const FIR_RAM: usize = 2100;
+    /// FIR coefficient ROM (125 words).
+    pub const COEFF: usize = 2300;
+    /// Output buffer.
+    pub const OUTPUT_BASE: usize = 3000;
+    /// Input sample buffer.
+    pub const INPUT_BASE: usize = 8192;
+
+    /// State offsets within the STATE block.
+    pub mod state {
+        /// NCO phase accumulator.
+        pub const PHASE: usize = 0;
+        /// First CIC2 integrator.
+        pub const ACC0: usize = 1;
+        /// Second CIC2 integrator.
+        pub const ACC1: usize = 2;
+        /// First CIC2 comb delay.
+        pub const C0: usize = 3;
+        /// Second CIC2 comb delay.
+        pub const C1: usize = 4;
+        /// CIC5 integrators (5 words).
+        pub const A5: usize = 5;
+        /// CIC5 comb delays (5 words).
+        pub const C5: usize = 10;
+        /// Decimate-by-16 down-counter.
+        pub const CNT16: usize = 15;
+        /// Decimate-by-21 down-counter.
+        pub const CNT21: usize = 16;
+        /// Decimate-by-8 down-counter.
+        pub const CNT8: usize = 17;
+        /// FIR write position.
+        pub const FIRPOS: usize = 18;
+        /// NCO tuning word.
+        pub const WORD: usize = 19;
+    }
+}
+
+use layout::*;
+
+/// The shared back end (CIC2 comb onward, all state in memory) — the
+/// sub-rate code is identical between the two variants. Scratches
+/// `r2`–`r8`; expects `r3` = current CIC2 second-integrator value and
+/// `r12` = state base on entry. Every exit (early decimation-counter
+/// exit or fall-through after the FIR) goes to `resume`.
+fn back_end(resume: &str) -> String {
+    format!(
+        "\
+.region cic2_comb
+        ldr r5, [r12, #{c0}]
+        sub r6, r3, r5
+        str r3, [r12, #{c0}]
+        ldr r5, [r12, #{c1}]
+        sub r7, r6, r5
+        str r6, [r12, #{c1}]
+        asr r7, r7, #8
+.region cic5_int
+        asr r7, r7, #2
+        ldr r2, [r12, #{a0}]
+        add r2, r2, r7
+        str r2, [r12, #{a0}]
+        ldr r3, [r12, #{a1}]
+        add r3, r3, r2
+        str r3, [r12, #{a1}]
+        ldr r2, [r12, #{a2}]
+        add r2, r2, r3
+        str r2, [r12, #{a2}]
+        ldr r3, [r12, #{a3}]
+        add r3, r3, r2
+        str r3, [r12, #{a3}]
+        ldr r2, [r12, #{a4}]
+        add r2, r2, r3
+        str r2, [r12, #{a4}]
+        ldr r4, [r12, #{cnt21}]
+        sub r4, r4, #1
+        str r4, [r12, #{cnt21}]
+        cmp r4, #0
+        bgt {resume}
+        mov r4, #21
+        str r4, [r12, #{cnt21}]
+.region cic5_comb
+        ldr r2, [r12, #{a4}]
+        ldr r5, [r12, #{k0}]
+        sub r6, r2, r5
+        str r2, [r12, #{k0}]
+        ldr r5, [r12, #{k1}]
+        sub r2, r6, r5
+        str r6, [r12, #{k1}]
+        ldr r5, [r12, #{k2}]
+        sub r6, r2, r5
+        str r2, [r12, #{k2}]
+        ldr r5, [r12, #{k3}]
+        sub r2, r6, r5
+        str r6, [r12, #{k3}]
+        ldr r5, [r12, #{k4}]
+        sub r6, r2, r5
+        str r2, [r12, #{k4}]
+        asr r6, r6, #20
+.region fir_poly
+        ldr r4, [r12, #{firpos}]
+        mov r5, #{fir_ram}
+        str r6, [r5, r4]
+        add r4, r4, #1
+        cmp r4, #{taps}
+        blt fp_nowrap
+        mov r4, #0
+fp_nowrap:
+        str r4, [r12, #{firpos}]
+        ldr r6, [r12, #{cnt8}]
+        sub r6, r6, #1
+        str r6, [r12, #{cnt8}]
+        cmp r6, #0
+        bgt {resume}
+        mov r6, #8
+        str r6, [r12, #{cnt8}]
+.region fir_sum
+        mov r2, #0
+        sub r3, r4, #1
+        cmp r3, #0
+        bge fs_start
+        mov r3, #{last_tap}
+fs_start:
+        mov r5, #0
+fir_mac:
+        mov r6, #{coeff}
+        ldr r7, [r6, r5]
+        mov r6, #{fir_ram}
+        ldr r8, [r6, r3]
+        mla r2, r7, r8, r2
+        sub r3, r3, #1
+        cmp r3, #0
+        bge fm_nowrap
+        mov r3, #{last_tap}
+fm_nowrap:
+        add r5, r5, #1
+        cmp r5, #{taps}
+        blt fir_mac
+        asr r2, r2, #11
+        str r2, [r11]
+        add r11, r11, #1
+",
+        c0 = state::C0,
+        c1 = state::C1,
+        a0 = state::A5,
+        a1 = state::A5 + 1,
+        a2 = state::A5 + 2,
+        a3 = state::A5 + 3,
+        a4 = state::A5 + 4,
+        k0 = state::C5,
+        k1 = state::C5 + 1,
+        k2 = state::C5 + 2,
+        k3 = state::C5 + 3,
+        k4 = state::C5 + 4,
+        cnt21 = state::CNT21,
+        cnt8 = state::CNT8,
+        firpos = state::FIRPOS,
+        fir_ram = FIR_RAM,
+        coeff = COEFF,
+        taps = FIR_TAPS,
+        last_tap = FIR_TAPS - 1,
+        resume = resume,
+    )
+}
+
+/// Assembles the unoptimised (memory-resident state) DDC program.
+///
+/// Register allocation: `r0` input pointer, `r1` samples remaining,
+/// `r11` output pointer, `r12` state base; everything else is loaded
+/// and stored per use, like unoptimised compiled C.
+pub fn unoptimized() -> Program {
+    let src = format!(
+        "\
+        mov r12, #0
+        ldr r1, [r12, #{addr_n}]
+        mov r0, #{input}
+        mov r11, #{output}
+        mov r12, #{state}
+sample_loop:
+.region nco
+        ldr r2, [r12, #{phase}]
+        lsr r3, r2, #22
+        mov r4, #{cos_tab}
+        ldr r5, [r4, r3]
+        ldr r6, [r12, #{word}]
+        add r2, r2, r6
+        str r2, [r12, #{phase}]
+        ldr r7, [r0]
+        add r0, r0, #1
+        mul r8, r7, r5
+        add r8, r8, #1024
+        asr r8, r8, #11
+.region cic2_int
+        ldr r2, [r12, #{acc0}]
+        add r2, r2, r8
+        str r2, [r12, #{acc0}]
+        ldr r3, [r12, #{acc1}]
+        add r3, r3, r2
+        str r3, [r12, #{acc1}]
+        ldr r4, [r12, #{cnt16}]
+        sub r4, r4, #1
+        str r4, [r12, #{cnt16}]
+        cmp r4, #0
+        bgt next_sample
+        mov r4, #16
+        str r4, [r12, #{cnt16}]
+{back_end}\
+.region nco
+next_sample:
+        sub r1, r1, #1
+        cmp r1, #0
+        bgt sample_loop
+        mov r2, #{output}
+        sub r2, r11, r2
+        mov r3, #0
+        str r2, [r3, #{out_count}]
+        halt
+",
+        addr_n = ADDR_N,
+        input = INPUT_BASE,
+        output = OUTPUT_BASE,
+        state = STATE,
+        phase = state::PHASE,
+        word = state::WORD,
+        cos_tab = COS_TAB,
+        acc0 = state::ACC0,
+        acc1 = state::ACC1,
+        cnt16 = state::CNT16,
+        out_count = ADDR_OUT_COUNT,
+        back_end = back_end("next_sample"),
+    );
+    assemble(&src).expect("unoptimized DDC program failed to assemble")
+}
+
+/// Assembles the optimised DDC program: NCO phase, both CIC2
+/// integrators, the tuning word and the ÷16 counter live in registers
+/// across the hot loop; only the sub-rate back end touches memory.
+///
+/// Register allocation: `r0` input ptr, `r1` count, `r2` phase,
+/// `r3`/`r4` CIC2 integrators, `r5` ÷16 counter, `r6` tuning word,
+/// `r9` cosine table base, `r10`/`r7`/`r8` scratch, `r11` output ptr,
+/// `r12` state base.
+pub fn optimized() -> Program {
+    let src = format!(
+        "\
+        mov r12, #0
+        ldr r1, [r12, #{addr_n}]
+        mov r0, #{input}
+        mov r11, #{output}
+        mov r12, #{state}
+        ldr r6, [r12, #{word}]
+        mov r2, #0
+        mov r3, #0
+        mov r4, #0
+        mov r5, #16
+        mov r9, #{cos_tab}
+sample_loop:
+.region nco
+        lsr r7, r2, #22
+        ldr r7, [r9, r7]
+        ldr r8, [r0]
+        add r0, r0, #1
+        add r2, r2, r6
+        mul r8, r8, r7
+        add r8, r8, #1024
+        asr r8, r8, #11
+.region cic2_int
+        add r3, r3, r8
+        add r4, r4, r3
+        sub r5, r5, #1
+        cmp r5, #0
+        bgt next_sample
+        mov r5, #16
+.region cic2_comb
+        ; the shared back end scratches r2-r8: spill the live
+        ; register state, hand it acc1 in r3, reload at resume_be
+        str r2, [r12, #{phase}]
+        str r3, [r12, #{acc0}]
+        str r4, [r12, #{acc1}]
+        mov r3, r4
+{back_end}\
+.region cic2_comb
+resume_be:
+        ldr r2, [r12, #{phase}]
+        ldr r3, [r12, #{acc0}]
+        ldr r4, [r12, #{acc1}]
+        ldr r6, [r12, #{word}]
+        mov r5, #16
+.region nco
+next_sample:
+        sub r1, r1, #1
+        cmp r1, #0
+        bgt sample_loop
+        mov r2, #{output}
+        sub r2, r11, r2
+        mov r3, #0
+        str r2, [r3, #{out_count}]
+        halt
+",
+        addr_n = ADDR_N,
+        input = INPUT_BASE,
+        output = OUTPUT_BASE,
+        state = STATE,
+        phase = state::PHASE,
+        acc0 = state::ACC0,
+        acc1 = state::ACC1,
+        word = state::WORD,
+        cos_tab = COS_TAB,
+        out_count = ADDR_OUT_COUNT,
+        back_end = back_end("resume_be"),
+    );
+    assemble(&src).expect("optimized DDC program failed to assemble")
+}
+
+/// Runs a DDC program over `input` (12-bit samples), returning the
+/// produced outputs and the execution statistics.
+pub fn run_ddc(program: Program, word: u32, coeffs: &[i32], input: &[i32]) -> (Vec<i32>, RunStats) {
+    run_ddc_with_model(program, word, coeffs, input, crate::isa::CycleModel::ARM9)
+}
+
+/// As [`run_ddc`] with an explicit pipeline cycle model (the ARM946
+/// "DSP instruction set" variant of §4.2.2 note 3 uses
+/// [`crate::isa::CycleModel::ARM9_DSP`]).
+pub fn run_ddc_with_model(
+    program: Program,
+    word: u32,
+    coeffs: &[i32],
+    input: &[i32],
+    model: crate::isa::CycleModel,
+) -> (Vec<i32>, RunStats) {
+    assert!(coeffs.len() <= FIR_TAPS);
+    let mem_words = INPUT_BASE + input.len() + 16;
+    let mut cpu = Cpu::new(program, mem_words).with_cycle_model(model);
+    cpu.mem[ADDR_N] = i32::try_from(input.len()).expect("input too large");
+    for (i, &v) in cos_table().iter().enumerate() {
+        cpu.mem[COS_TAB + i] = v;
+    }
+    for (i, &c) in coeffs.iter().enumerate() {
+        cpu.mem[COEFF + i] = c;
+    }
+    cpu.mem[STATE + state::CNT16] = 16;
+    cpu.mem[STATE + state::CNT21] = 21;
+    cpu.mem[STATE + state::CNT8] = 8;
+    cpu.mem[STATE + state::WORD] = word as i32;
+    cpu.mem[INPUT_BASE..INPUT_BASE + input.len()].copy_from_slice(input);
+    let fuel = input.len() as u64 * 200 + 10_000;
+    let (reason, stats) = cpu.run(fuel);
+    assert_eq!(reason, StopReason::Halted, "DDC program ran out of fuel");
+    let n_out = cpu.mem[ADDR_OUT_COUNT] as usize;
+    let outputs = cpu.mem[OUTPUT_BASE..OUTPUT_BASE + n_out].to_vec();
+    (outputs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::{drm_coefficients, GppDdc};
+    use ddc_core::nco::tuning_word;
+    use ddc_dsp::signal::{adc_quantize, SampleSource, Tone, WhiteNoise};
+
+    fn test_input(n: usize) -> Vec<i32> {
+        let mut src = ddc_dsp::signal::Mix(
+            Tone::new(10_004_000.0, 64_512_000.0, 0.6, 0.2),
+            WhiteNoise::new(21, 0.2),
+        );
+        adc_quantize(&src.take_vec(n), 12)
+    }
+
+    #[test]
+    fn unoptimized_matches_golden_bit_exactly() {
+        let word = tuning_word(10e6, 64_512_000.0);
+        let coeffs = drm_coefficients();
+        let input = test_input(2688 * 6);
+        let mut golden = GppDdc::new(word, &coeffs);
+        let expect = golden.process_block(&input);
+        let (got, _) = run_ddc(unoptimized(), word, &coeffs, &input);
+        assert_eq!(got, expect);
+        assert_eq!(got.len(), 6);
+    }
+
+    #[test]
+    fn optimized_matches_golden_bit_exactly() {
+        let word = tuning_word(10e6, 64_512_000.0);
+        let coeffs = drm_coefficients();
+        let input = test_input(2688 * 6);
+        let mut golden = GppDdc::new(word, &coeffs);
+        let expect = golden.process_block(&input);
+        let (got, _) = run_ddc(optimized(), word, &coeffs, &input);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn optimized_is_faster() {
+        let word = tuning_word(10e6, 64_512_000.0);
+        let coeffs = drm_coefficients();
+        let input = test_input(2688 * 3);
+        let (_, s_un) = run_ddc(unoptimized(), word, &coeffs, &input);
+        let (_, s_opt) = run_ddc(optimized(), word, &coeffs, &input);
+        assert!(
+            (s_opt.cycles as f64) < s_un.cycles as f64 * 0.8,
+            "optimized {} vs unoptimized {} cycles",
+            s_opt.cycles,
+            s_un.cycles
+        );
+    }
+
+    #[test]
+    fn cycle_profile_shape_matches_table3() {
+        // Table 3: NCO 50 %, CIC2-integrating 40 %, CIC2-cascading
+        // 3.2 %, CIC5-integrating 4.4 %, the rest < 2 %. Require the
+        // same ordering and coarse magnitudes from the unoptimised
+        // program.
+        let word = tuning_word(10e6, 64_512_000.0);
+        let input = test_input(2688 * 4);
+        let (_, stats) = run_ddc(unoptimized(), word, &drm_coefficients(), &input);
+        let f = |r: &str| stats.region_fraction(r);
+        assert!(f("nco") > 0.35, "nco {}", f("nco"));
+        assert!(f("cic2_int") > 0.2, "cic2_int {}", f("cic2_int"));
+        assert!(f("nco") > f("cic2_int"));
+        assert!(f("cic2_int") > f("cic5_int"));
+        assert!(f("cic5_int") > f("cic5_comb"));
+        assert!(f("cic2_comb") < 0.1);
+        assert!(f("cic5_comb") < 0.01);
+        assert!(f("fir_poly") < 0.02);
+        assert!(f("fir_sum") < 0.05);
+        // everything accounted for
+        let total: f64 = ["nco", "cic2_int", "cic2_comb", "cic5_int", "cic5_comb", "fir_poly", "fir_sum"]
+            .iter()
+            .map(|r| f(r))
+            .sum();
+        // the handful of prologue instructions live in the unnamed
+        // region, so the named regions sum to just under 1
+        assert!(total > 0.999 && total <= 1.0, "regions sum to {total}");
+    }
+
+    #[test]
+    fn zero_input_produces_zero_output() {
+        let (out, _) = run_ddc(unoptimized(), 12345, &drm_coefficients(), &vec![0; 2688 * 2]);
+        assert_eq!(out, vec![0, 0]);
+    }
+
+    #[test]
+    fn cycles_per_sample_in_expected_band() {
+        // The unoptimised inner loop should cost tens of cycles per
+        // input sample (the paper's unoptimised C measured ~75).
+        let word = tuning_word(10e6, 64_512_000.0);
+        let input = test_input(2688 * 4);
+        let (_, stats) = run_ddc(unoptimized(), word, &drm_coefficients(), &input);
+        let cps = stats.cycles as f64 / input.len() as f64;
+        assert!((20.0..120.0).contains(&cps), "cycles/sample {cps}");
+    }
+}

@@ -1,0 +1,183 @@
+//! The `Architecture` trait and the per-solution report row.
+//!
+//! Each architecture crate implements [`Architecture`] for its model;
+//! `ddc-energy` collects the resulting [`SolutionReport`] rows into
+//! Table 7 and runs the scenario analysis over them.
+
+use crate::power::PowerBreakdown;
+use crate::technology::TechnologyNode;
+use crate::units::{Area, Frequency, Power};
+use std::fmt;
+
+/// Classification used by the paper's conclusion: dedicated silicon
+/// versus fabrics that can be retargeted between tasks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flexibility {
+    /// Fixed-function silicon (the two ASICs).
+    Dedicated,
+    /// Instruction-programmable (the ARM).
+    Programmable,
+    /// Reconfigurable fabric (FPGAs, Montium).
+    Reconfigurable,
+}
+
+impl fmt::Display for Flexibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Flexibility::Dedicated => "dedicated",
+            Flexibility::Programmable => "programmable",
+            Flexibility::Reconfigurable => "reconfigurable",
+        })
+    }
+}
+
+/// An architecture evaluated on the DDC workload.
+pub trait Architecture {
+    /// Display name ("TI GC4016", "Montium TP", ...).
+    fn name(&self) -> &str;
+
+    /// The process node the power figure was obtained at.
+    fn technology(&self) -> TechnologyNode;
+
+    /// Clock frequency required to run the DDC in real time.
+    fn clock(&self) -> Frequency;
+
+    /// Power consumed running the DDC at [`Architecture::clock`].
+    fn power(&self) -> PowerBreakdown;
+
+    /// Core area, when known.
+    fn area(&self) -> Option<Area> {
+        None
+    }
+
+    /// Flexibility class.
+    fn flexibility(&self) -> Flexibility;
+
+    /// Dynamic power rescaled to `node` by the `C·f·V²` law — the
+    /// "(estimated)" rows of Table 7.
+    fn power_scaled_to(&self, node: TechnologyNode) -> Power {
+        self.technology()
+            .scale_dynamic_power(self.power().dynamic_power, node)
+    }
+
+    /// Assembles the summary row.
+    fn report(&self) -> SolutionReport {
+        SolutionReport {
+            name: self.name().to_string(),
+            technology: self.technology(),
+            clock: self.clock(),
+            power: self.power(),
+            power_at_130nm: self.power_scaled_to(TechnologyNode::UM_130),
+            area: self.area(),
+            flexibility: self.flexibility(),
+        }
+    }
+}
+
+/// One row of the Table 7 summary.
+#[derive(Clone, Debug)]
+pub struct SolutionReport {
+    /// Solution name.
+    pub name: String,
+    /// Native process node.
+    pub technology: TechnologyNode,
+    /// Required clock.
+    pub clock: Frequency,
+    /// Power at the native node.
+    pub power: PowerBreakdown,
+    /// Dynamic power rescaled to the common 0.13 µm node.
+    pub power_at_130nm: Power,
+    /// Core area if known.
+    pub area: Option<Area>,
+    /// Flexibility class.
+    pub flexibility: Flexibility,
+}
+
+impl SolutionReport {
+    /// The figure Table 7 quotes at the native node: total power for
+    /// split figures, dynamic power otherwise.
+    pub fn headline_power(&self) -> Power {
+        if self.power.static_power.mw() > 0.0 {
+            // The paper quotes dynamic-only for the FPGAs in Table 7;
+            // follow that convention when a split exists.
+            self.power.dynamic_power
+        } else {
+            self.power.total()
+        }
+    }
+}
+
+impl fmt::Display for SolutionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} {:>16} {:>12} {:>12} {:>12}",
+            self.name,
+            self.technology.to_string(),
+            format!("{:.3} MHz", self.clock.mhz()),
+            self.headline_power().to_string(),
+            format!("{:.1} mW @0.13µm", self.power_at_130nm.mw()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+
+    impl Architecture for Dummy {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+        fn technology(&self) -> TechnologyNode {
+            TechnologyNode::UM_250
+        }
+        fn clock(&self) -> Frequency {
+            Frequency::from_mhz(80.0)
+        }
+        fn power(&self) -> PowerBreakdown {
+            PowerBreakdown::dynamic(Power::from_mw(115.0))
+        }
+        fn flexibility(&self) -> Flexibility {
+            Flexibility::Dedicated
+        }
+    }
+
+    #[test]
+    fn default_scaling_reproduces_gc4016_estimate() {
+        let p = Dummy.power_scaled_to(TechnologyNode::UM_130);
+        assert!((p.mw() - 13.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn report_carries_all_fields() {
+        let r = Dummy.report();
+        assert_eq!(r.name, "dummy");
+        assert_eq!(r.clock.mhz(), 80.0);
+        assert!(r.area.is_none());
+        assert_eq!(r.flexibility, Flexibility::Dedicated);
+        assert!((r.power_at_130nm.mw() - 13.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn headline_power_prefers_dynamic_when_split() {
+        let mut r = Dummy.report();
+        assert_eq!(r.headline_power().mw(), 115.0);
+        r.power = PowerBreakdown::new(Power::from_mw(48.0), Power::from_mw(93.4));
+        assert_eq!(r.headline_power().mw(), 93.4);
+    }
+
+    #[test]
+    fn display_row_contains_name_and_power() {
+        let s = Dummy.report().to_string();
+        assert!(s.contains("dummy"));
+        assert!(s.contains("115.00 mW"));
+    }
+
+    #[test]
+    fn flexibility_display() {
+        assert_eq!(Flexibility::Reconfigurable.to_string(), "reconfigurable");
+    }
+}

@@ -1,0 +1,22 @@
+//! # ddc-arch-model — shared vocabulary for the architecture models
+//!
+//! Every architecture in the paper (two ASICs, GPP, FPGA, Montium TP)
+//! is ultimately summarised the same way: a technology node, a clock,
+//! a static+dynamic power split, optionally an area — and a rescaling
+//! of the dynamic power to a common 0.13 µm node using the classic
+//! `P ∝ C·f·V²` law (§3.1.2 of the paper, citing \[14\]). This crate
+//! holds those shared types so the per-architecture crates agree on
+//! the arithmetic and `ddc-energy` can assemble Table 7 from them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod power;
+pub mod technology;
+pub mod units;
+
+pub use arch::{Architecture, SolutionReport};
+pub use power::PowerBreakdown;
+pub use technology::TechnologyNode;
+pub use units::{Area, Frequency, Power};

@@ -1,0 +1,142 @@
+//! Static/dynamic power split.
+//!
+//! The FPGA numbers in the paper come split ("26.86 mW static and
+//! 31.11 mW dynamic"); the technology-scaling law only applies to the
+//! dynamic part, and Table 7 quotes *dynamic* power for the FPGAs —
+//! keeping the split explicit avoids silently scaling leakage.
+
+use crate::technology::TechnologyNode;
+use crate::units::Power;
+use std::fmt;
+use std::ops::Add;
+
+/// A power figure split into static (leakage, bias) and dynamic
+/// (switching) components.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Toggle-independent power.
+    pub static_power: Power,
+    /// Switching power (scales with activity, frequency, C·V²).
+    pub dynamic_power: Power,
+}
+
+impl PowerBreakdown {
+    /// A purely dynamic figure (the paper treats the ASIC, ARM and
+    /// Montium numbers this way).
+    pub fn dynamic(p: Power) -> Self {
+        PowerBreakdown {
+            static_power: Power::ZERO,
+            dynamic_power: p,
+        }
+    }
+
+    /// Both components given.
+    pub fn new(static_power: Power, dynamic_power: Power) -> Self {
+        PowerBreakdown {
+            static_power,
+            dynamic_power,
+        }
+    }
+
+    /// Total power.
+    pub fn total(&self) -> Power {
+        self.static_power + self.dynamic_power
+    }
+
+    /// Scales only the dynamic component to another technology node,
+    /// leaving static power untouched (leakage does not follow the
+    /// C·f·V² law — the paper sidesteps this by comparing dynamic
+    /// power, and so do we).
+    pub fn scale_dynamic(&self, from: TechnologyNode, to: TechnologyNode) -> PowerBreakdown {
+        PowerBreakdown {
+            static_power: self.static_power,
+            dynamic_power: from.scale_dynamic_power(self.dynamic_power, to),
+        }
+    }
+
+    /// Power at a utilisation duty cycle `d` (0..=1): static power is
+    /// always burned while powered, dynamic only while active.
+    pub fn at_duty_cycle(&self, d: f64) -> Power {
+        assert!((0.0..=1.0).contains(&d), "duty cycle {d} out of range");
+        self.static_power + self.dynamic_power * d
+    }
+}
+
+impl Add for PowerBreakdown {
+    type Output = PowerBreakdown;
+    fn add(self, rhs: PowerBreakdown) -> PowerBreakdown {
+        PowerBreakdown {
+            static_power: self.static_power + rhs.static_power,
+            dynamic_power: self.dynamic_power + rhs.dynamic_power,
+        }
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} static + {} dynamic)",
+            self.total(),
+            self.static_power,
+            self.dynamic_power
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclone2_total_matches_paper() {
+        // §5.2.2: 57.98 = 26.86 static + 31.11 dynamic (paper rounds).
+        let p = PowerBreakdown::new(Power::from_mw(26.86), Power::from_mw(31.11));
+        assert!((p.total().mw() - 57.97).abs() < 0.02);
+    }
+
+    #[test]
+    fn dynamic_only_breakdown() {
+        let p = PowerBreakdown::dynamic(Power::from_mw(38.7));
+        assert_eq!(p.static_power.mw(), 0.0);
+        assert_eq!(p.total().mw(), 38.7);
+    }
+
+    #[test]
+    fn scaling_leaves_static_alone() {
+        let p = PowerBreakdown::new(Power::from_mw(48.0), Power::from_mw(93.4));
+        let scaled = p.scale_dynamic(TechnologyNode::UM_130, TechnologyNode::UM_90);
+        assert_eq!(scaled.static_power.mw(), 48.0);
+        assert!(scaled.dynamic_power.mw() < 93.4);
+    }
+
+    #[test]
+    fn duty_cycle_interpolates_dynamic() {
+        let p = PowerBreakdown::new(Power::from_mw(10.0), Power::from_mw(30.0));
+        assert_eq!(p.at_duty_cycle(0.0).mw(), 10.0);
+        assert_eq!(p.at_duty_cycle(1.0).mw(), 40.0);
+        assert_eq!(p.at_duty_cycle(0.5).mw(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn duty_cycle_out_of_range_panics() {
+        PowerBreakdown::default().at_duty_cycle(1.5);
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let a = PowerBreakdown::new(Power::from_mw(1.0), Power::from_mw(2.0));
+        let b = PowerBreakdown::new(Power::from_mw(3.0), Power::from_mw(4.0));
+        let c = a + b;
+        assert_eq!(c.static_power.mw(), 4.0);
+        assert_eq!(c.dynamic_power.mw(), 6.0);
+    }
+
+    #[test]
+    fn display_mentions_both_parts() {
+        let p = PowerBreakdown::new(Power::from_mw(26.86), Power::from_mw(31.11));
+        let s = p.to_string();
+        assert!(s.contains("static") && s.contains("dynamic"));
+    }
+}

@@ -1,0 +1,141 @@
+//! CMOS technology nodes and the paper's power-scaling law.
+//!
+//! §3.1.2: *"The common dependency of the dynamic power consumption is
+//! that it is linear related to the total capacitance (C) and frequency
+//! and quadratic related to the voltage (V). With reduction from
+//! 0.25 µm to 0.13 µm the capacity goes down with a factor 0.25/0.13.
+//! The same goes for the voltage that drops with a factor 2.5/1.2."*
+//!
+//! So dynamic power at node 2, holding the design and clock fixed:
+//! `P₂ = P₁ · (V₂/V₁)² · (L₂/L₁)`.
+
+use crate::units::Power;
+use std::fmt;
+
+/// A CMOS process node: drawn feature size and core supply voltage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TechnologyNode {
+    /// Feature size in micrometres.
+    pub feature_um: f64,
+    /// Core supply voltage in volts.
+    pub vdd: f64,
+}
+
+impl TechnologyNode {
+    /// 0.25 µm / 2.5 V — the TI GC4016's (inferred) process.
+    pub const UM_250: TechnologyNode = TechnologyNode {
+        feature_um: 0.25,
+        vdd: 2.5,
+    };
+    /// 0.18 µm / 1.8 V — the customised low-power DDC's process.
+    pub const UM_180: TechnologyNode = TechnologyNode {
+        feature_um: 0.18,
+        vdd: 1.8,
+    };
+    /// 0.13 µm / 1.2 V — the paper's common comparison node (ARM,
+    /// Cyclone I, Montium).
+    pub const UM_130: TechnologyNode = TechnologyNode {
+        feature_um: 0.13,
+        vdd: 1.2,
+    };
+    /// 0.09 µm / 1.2 V — the Cyclone II's process.
+    pub const UM_90: TechnologyNode = TechnologyNode {
+        feature_um: 0.09,
+        vdd: 1.2,
+    };
+    /// 0.13 µm / 1.08 V — the ARM922T operating point of Table 7.
+    pub const UM_130_ARM: TechnologyNode = TechnologyNode {
+        feature_um: 0.13,
+        vdd: 1.08,
+    };
+
+    /// Creates a node.
+    pub fn new(feature_um: f64, vdd: f64) -> Self {
+        assert!(feature_um > 0.0 && vdd > 0.0);
+        TechnologyNode { feature_um, vdd }
+    }
+
+    /// The multiplicative factor applied to dynamic power when porting
+    /// a fixed design at a fixed clock from `self` to `target`:
+    /// `(V_t/V_s)² · (L_t/L_s)`.
+    pub fn dynamic_scale_factor(&self, target: TechnologyNode) -> f64 {
+        (target.vdd / self.vdd).powi(2) * (target.feature_um / self.feature_um)
+    }
+
+    /// Scales a dynamic power figure measured at `self` to `target`.
+    pub fn scale_dynamic_power(&self, p: Power, target: TechnologyNode) -> Power {
+        p.scale(self.dynamic_scale_factor(target))
+    }
+}
+
+impl fmt::Display for TechnologyNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} µm @ {:.2} V", self.feature_um, self.vdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc4016_scaling_matches_paper() {
+        // §3.1.2: 115 mW at 0.25 µm/2.5 V → 13.8 mW at 0.13 µm/1.2 V.
+        let scaled =
+            TechnologyNode::UM_250.scale_dynamic_power(Power::from_mw(115.0), TechnologyNode::UM_130);
+        assert!((scaled.mw() - 13.8).abs() < 0.05, "{}", scaled.mw());
+    }
+
+    #[test]
+    fn custom_asic_scaling_matches_paper() {
+        // §3.2: 27 mW at 0.18 µm/1.8 V → 8.7 mW at 0.13 µm/1.2 V.
+        let scaled =
+            TechnologyNode::UM_180.scale_dynamic_power(Power::from_mw(27.0), TechnologyNode::UM_130);
+        assert!((scaled.mw() - 8.7).abs() < 0.05, "{}", scaled.mw());
+    }
+
+    #[test]
+    fn cyclone2_scaling_matches_table7() {
+        // Table 7: Cyclone II 31.11 mW dynamic at 0.09 µm/1.2 V →
+        // 44.94 mW estimated at 0.13 µm/1.2 V (scaling *up*).
+        let scaled =
+            TechnologyNode::UM_90.scale_dynamic_power(Power::from_mw(31.11), TechnologyNode::UM_130);
+        assert!((scaled.mw() - 44.94).abs() < 0.05, "{}", scaled.mw());
+    }
+
+    #[test]
+    fn scaling_to_same_node_is_identity() {
+        let n = TechnologyNode::UM_130;
+        assert!((n.dynamic_scale_factor(n) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_is_reversible() {
+        let a = TechnologyNode::UM_250;
+        let b = TechnologyNode::UM_90;
+        let k = a.dynamic_scale_factor(b) * b.dynamic_scale_factor(a);
+        assert!((k - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_node_lower_voltage_means_less_power() {
+        let f = TechnologyNode::UM_250.dynamic_scale_factor(TechnologyNode::UM_130);
+        assert!(f < 1.0);
+        // and the voltage term dominates the feature term
+        let v_only = (1.2f64 / 2.5).powi(2);
+        let l_only = 0.13 / 0.25;
+        assert!((f - v_only * l_only).abs() < 1e-12);
+        assert!(v_only < l_only);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TechnologyNode::UM_130.to_string(), "0.13 µm @ 1.20 V");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_feature() {
+        TechnologyNode::new(0.0, 1.2);
+    }
+}

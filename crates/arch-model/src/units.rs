@@ -1,0 +1,248 @@
+//! Typed physical quantities.
+//!
+//! Thin `f64` newtypes — enough to stop a milliwatt being added to a
+//! megahertz, cheap enough to stay `Copy` and arithmetic-friendly.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Electrical power. Stored in milliwatts (the paper's working unit).
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Default)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// From milliwatts.
+    pub const fn from_mw(mw: f64) -> Self {
+        Power(mw)
+    }
+
+    /// From watts.
+    pub fn from_watts(w: f64) -> Self {
+        Power(w * 1e3)
+    }
+
+    /// As milliwatts.
+    pub const fn mw(self) -> f64 {
+        self.0
+    }
+
+    /// As watts.
+    pub fn watts(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Scales by a dimensionless factor.
+    pub fn scale(self, k: f64) -> Self {
+        Power(self.0 * k)
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Power {
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    fn sub(self, rhs: Power) -> Power {
+        Power(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Power {
+    type Output = Power;
+    fn div(self, rhs: f64) -> Power {
+        Power(self.0 / rhs)
+    }
+}
+
+impl Div for Power {
+    type Output = f64;
+    fn div(self, rhs: Power) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1000.0 {
+            write!(f, "{:.3} W", self.0 / 1000.0)
+        } else {
+            write!(f, "{:.2} mW", self.0)
+        }
+    }
+}
+
+/// Clock or sample frequency. Stored in hertz.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Default)]
+pub struct Frequency(f64);
+
+impl Frequency {
+    /// From hertz.
+    pub const fn from_hz(hz: f64) -> Self {
+        Frequency(hz)
+    }
+
+    /// From megahertz.
+    pub fn from_mhz(mhz: f64) -> Self {
+        Frequency(mhz * 1e6)
+    }
+
+    /// As hertz.
+    pub const fn hz(self) -> f64 {
+        self.0
+    }
+
+    /// As megahertz.
+    pub fn mhz(self) -> f64 {
+        self.0 / 1e6
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.3} MHz", self.0 / 1e6)
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.1} kHz", self.0 / 1e3)
+        } else {
+            write!(f, "{:.0} Hz", self.0)
+        }
+    }
+}
+
+/// Silicon area. Stored in mm².
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Default)]
+pub struct Area(f64);
+
+impl Area {
+    /// From square millimetres.
+    pub const fn from_mm2(mm2: f64) -> Self {
+        Area(mm2)
+    }
+
+    /// As square millimetres.
+    pub const fn mm2(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} mm²", self.0)
+    }
+}
+
+/// Energy (power × time). Stored in millijoules.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Default)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// From millijoules.
+    pub const fn from_mj(mj: f64) -> Self {
+        Energy(mj)
+    }
+
+    /// As millijoules.
+    pub const fn mj(self) -> f64 {
+        self.0
+    }
+
+    /// Energy spent running at `p` for `seconds`.
+    pub fn from_power(p: Power, seconds: f64) -> Self {
+        Energy(p.mw() * seconds)
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} mJ", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_conversions() {
+        assert_eq!(Power::from_watts(2.435).mw(), 2435.0);
+        assert_eq!(Power::from_mw(115.0).watts(), 0.115);
+    }
+
+    #[test]
+    fn power_arithmetic() {
+        let a = Power::from_mw(26.86);
+        let b = Power::from_mw(31.11);
+        assert!(((a + b).mw() - 57.97).abs() < 0.011);
+        assert!(((b - a).mw() - 4.25).abs() < 1e-9);
+        assert_eq!((a * 2.0).mw(), 53.72);
+        assert!((b / a - 31.11 / 26.86).abs() < 1e-12);
+        let total: Power = [a, b].into_iter().sum();
+        assert!((total.mw() - 57.97).abs() < 0.011);
+    }
+
+    #[test]
+    fn power_display_switches_units() {
+        assert_eq!(Power::from_mw(38.7).to_string(), "38.70 mW");
+        assert_eq!(Power::from_watts(2.435).to_string(), "2.435 W");
+    }
+
+    #[test]
+    fn frequency_conversions_and_display() {
+        let f = Frequency::from_mhz(64.512);
+        assert_eq!(f.hz(), 64_512_000.0);
+        assert_eq!(f.to_string(), "64.512 MHz");
+        assert_eq!(Frequency::from_hz(24_000.0).to_string(), "24.0 kHz");
+        assert_eq!(Frequency::from_hz(50.0).to_string(), "50 Hz");
+    }
+
+    #[test]
+    fn energy_from_power_and_time() {
+        // 38.7 mW for 10 s = 387 mJ
+        let e = Energy::from_power(Power::from_mw(38.7), 10.0);
+        assert!((e.mj() - 387.0).abs() < 1e-9);
+        assert_eq!((e + Energy::from_mj(13.0)).mj(), 400.0);
+    }
+
+    #[test]
+    fn area_roundtrip() {
+        assert_eq!(Area::from_mm2(2.2).mm2(), 2.2);
+        assert_eq!(Area::from_mm2(2.2).to_string(), "2.2 mm²");
+    }
+}

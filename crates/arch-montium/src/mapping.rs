@@ -1,0 +1,498 @@
+//! The DDC mapped onto the Montium tile — the sequencer that issues
+//! one [`CycleConfig`] per clock, reproducing §6.2.1 of the paper.
+//!
+//! Fixed schedule, phase `p = n mod 16` of the input-sample counter:
+//!
+//! * every cycle: ALU2 generates the sine/cosine LUT address, ALU0
+//!   runs the Figure 8 mixer+CIC2-integrator datapath for I, ALU1 for
+//!   Q (3 ALUs, 100 % — Table 6 row 1);
+//! * `p == 15`: ALUs 3/4 run both CIC2 comb stages in one cycle
+//!   (1 of 16 cycles — Table 6 row 2: 6.3 %);
+//! * `p == 0..=3`: ALUs 3/4 run the five CIC5 integrators over four
+//!   cycles (4 of 16 — row 3: 25 %);
+//! * every 21st group, `p == 4..=6`: the five CIC5 comb stages over
+//!   three cycles (3 of 336 — row 4: 0.9 %), the final cycle applying
+//!   the ÷2²² renormalisation and storing the FIR input sample;
+//! * remaining free cycles: the polyphase FIR multiply-accumulates
+//!   into memory-resident partial sums; every 8th sample the matching
+//!   partial sum is finalised and delivered (row 5).
+//!
+//! Memory map: `mem0` −sin table, `mem1` cos table, `mem2`/`mem3` FIR
+//! coefficients (I/Q), `mem4`/`mem5` FIR partial sums, `mem6`/`mem7`
+//! CIC5 comb delays + the latest FIR input sample.
+
+use crate::ops::{AluOp, CycleConfig, Operand, Part};
+use crate::tile::Tile;
+use ddc_core::mixer::Iq;
+use ddc_core::params::DdcConfig;
+use ddc_dsp::firdes::quantize_taps;
+use ddc_dsp::fixed::{quantize, Rounding};
+use std::collections::VecDeque;
+
+/// Memory indices of the mapping.
+pub mod mem {
+    /// Negated sine table (Q path coefficient).
+    pub const NEG_SIN: u8 = 0;
+    /// Cosine table (I path coefficient).
+    pub const COS: u8 = 1;
+    /// FIR coefficients, I path.
+    pub const COEFF_I: u8 = 2;
+    /// FIR coefficients, Q path.
+    pub const COEFF_Q: u8 = 3;
+    /// FIR partial sums, I path.
+    pub const PSUM_I: u8 = 4;
+    /// FIR partial sums, Q path.
+    pub const PSUM_Q: u8 = 5;
+    /// CIC5 comb delays + sample buffer, I path.
+    pub const STATE_I: u8 = 6;
+    /// CIC5 comb delays + sample buffer, Q path.
+    pub const STATE_Q: u8 = 7;
+    /// Address of the FIR input sample within STATE_I/STATE_Q.
+    pub const SAMPLE_ADDR: u16 = 8;
+}
+
+/// A queued FIR task for one of the time-multiplexed ALUs.
+#[derive(Clone, Copy, Debug)]
+enum FirTask {
+    Mac {
+        coeff_addr: u16,
+        acc_addr: u16,
+    },
+    Finalize {
+        acc_addr: u16,
+    },
+}
+
+/// The sequencer state for the DDC mapping.
+#[derive(Clone, Debug)]
+pub struct DdcMapping {
+    cfg: DdcConfig,
+    /// Input-sample counter.
+    n: u64,
+    /// CIC5 input counter within the ÷21 decimation.
+    m5: u32,
+    /// Whether a freshly-combed CIC2 output awaits its CIC5
+    /// integration group (set at each `p == 15` comb, cleared after
+    /// the fourth integrate cycle).
+    int_pending: bool,
+    /// Drain mode: input has ended, only owed back-end work runs.
+    draining: bool,
+    /// Whether the current 16-group must run the CIC5 comb at p=4..6.
+    comb5_this_group: bool,
+    /// FIR-input sample counter (192 kHz index).
+    j: u64,
+    /// Pending FIR work (same schedule for both paths).
+    tasks: VecDeque<FirTask>,
+    /// Static op parameters.
+    wrap1: u32,
+    wrap2: u32,
+    shift1: u32,
+    shift2: u32,
+    coeff_frac: u32,
+    taps: usize,
+}
+
+impl DdcMapping {
+    /// Builds the mapping for a Montium-format configuration and a
+    /// tile with the tables loaded. Panics unless the configuration
+    /// is the 16-bit Table 1 layout the mapping implements (CIC
+    /// orders 2/5, decimations 16/21/8).
+    pub fn new(cfg: DdcConfig) -> (Self, Tile) {
+        cfg.validate().expect("invalid DDC configuration");
+        assert_eq!(cfg.format.data_bits, 16, "the Montium datapath is 16-bit");
+        assert_eq!(
+            (cfg.cic1_order, cfg.cic1_decim, cfg.cic2_order, cfg.cic2_decim, cfg.fir_decim),
+            (2, 16, 5, 21, 8),
+            "the mapping implements the paper's Table 1 schedule"
+        );
+        let f = cfg.format;
+        let mut tile = Tile::new();
+        // Sine/cosine tables exactly as the hardware NCO quantizes
+        // them (ddc-core LutNco): sin = table[idx], cos =
+        // table[(idx + quarter) mod N].
+        let n_tab = 1usize << f.lut_addr_bits;
+        assert!(n_tab <= crate::tile::MEM_WORDS, "table must fit one memory");
+        let quarter = n_tab / 4;
+        let table: Vec<i64> = (0..n_tab)
+            .map(|k| {
+                let angle = 2.0 * std::f64::consts::PI * k as f64 / n_tab as f64;
+                quantize(angle.sin(), f.coeff_bits, f.coeff_frac(), Rounding::Nearest)
+            })
+            .collect();
+        let neg_sin: Vec<i64> = table.iter().map(|&v| -v).collect();
+        let cos: Vec<i64> = (0..n_tab).map(|k| table[(k + quarter) % n_tab]).collect();
+        tile.load_memory(mem::NEG_SIN as usize, 0, &neg_sin);
+        tile.load_memory(mem::COS as usize, 0, &cos);
+        let coeffs: Vec<i64> = quantize_taps(&cfg.fir_taps, f.coeff_bits, f.coeff_frac())
+            .iter()
+            .map(|&c| i64::from(c))
+            .collect();
+        tile.load_memory(mem::COEFF_I as usize, 0, &coeffs);
+        tile.load_memory(mem::COEFF_Q as usize, 0, &coeffs);
+        let wrap1 = cfg.cic1_params().register_bits();
+        let wrap2 = cfg.cic2_params().register_bits();
+        let shift1 = (cfg.cic1_order as f64 * (cfg.cic1_decim as f64).log2()).ceil() as u32;
+        let shift2 = (cfg.cic2_order as f64 * (cfg.cic2_decim as f64).log2()).ceil() as u32;
+        let taps = cfg.fir_taps.len();
+        let mapping = DdcMapping {
+            cfg,
+            n: 0,
+            m5: 0,
+            int_pending: false,
+            draining: false,
+            comb5_this_group: false,
+            j: 0,
+            tasks: VecDeque::new(),
+            wrap1,
+            wrap2,
+            shift1,
+            shift2,
+            coeff_frac: f.coeff_frac(),
+            taps,
+        };
+        (mapping, tile)
+    }
+
+    /// The configuration the sequencer issues for the next cycle.
+    pub fn next_config(&mut self) -> CycleConfig {
+        let p = (self.n % 16) as u32;
+        let mut cfg = CycleConfig::idle();
+        if !self.draining {
+            self.front_end(&mut cfg);
+        }
+        self.back_end(p, &mut cfg);
+        self.advance(p);
+        cfg
+    }
+
+    /// The three always-busy ALUs (Figure 8 + address generation).
+    fn front_end(&mut self, cfg: &mut CycleConfig) {
+        cfg.set(
+            2,
+            AluOp::PhaseStep {
+                word: self.cfg.tuning_word(),
+                addr_bits: self.cfg.format.lut_addr_bits,
+            },
+            Part::NcoCic2Int,
+        );
+        cfg.set(
+            0,
+            AluOp::NcoMacc {
+                x: Operand::ExternIn,
+                coef: Operand::MemIndexed(mem::COS, 2),
+                frac: self.coeff_frac,
+                wrap: self.wrap1,
+            },
+            Part::NcoCic2Int,
+        );
+        cfg.set(
+            1,
+            AluOp::NcoMacc {
+                x: Operand::ExternIn,
+                coef: Operand::MemIndexed(mem::NEG_SIN, 2),
+                frac: self.coeff_frac,
+                wrap: self.wrap1,
+            },
+            Part::NcoCic2Int,
+        );
+    }
+
+    /// The two time-multiplexed back-end ALUs (3 = I, 4 = Q).
+    fn back_end(&mut self, p: u32, cfg: &mut CycleConfig) {
+        if p == 15 && !self.draining {
+            // CIC2 combs read the integrators of ALUs 0/1 *after*
+            // this cycle's integration (ALUs 0/1 evaluate first).
+            for (alu, src) in [(3usize, 0u8), (4, 1)] {
+                cfg.set(
+                    alu,
+                    AluOp::CombPair {
+                        input: Operand::Reg(src, 1),
+                        regs: [0, 1],
+                        wrap: self.wrap1,
+                        out_shift: self.shift1,
+                    },
+                    Part::Cic2Comb,
+                );
+            }
+        } else if self.int_pending && p <= 3 {
+            // Five CIC5 integrators over four cycles: 2,1,1,1.
+            let (input_reg, regs, count): (u8, [u8; 2], u8) = match p {
+                0 => (7, [2, 3], 2),
+                1 => (3, [4, 0], 1),
+                2 => (4, [5, 0], 1),
+                _ => (5, [6, 0], 1),
+            };
+            for alu in [3usize, 4] {
+                cfg.set(
+                    alu,
+                    AluOp::Integrate {
+                        input: Operand::Reg(alu as u8, input_reg),
+                        regs,
+                        count,
+                        wrap: self.wrap2,
+                    },
+                    Part::Cic5Int,
+                );
+            }
+        } else if self.comb5_this_group && (4..=6).contains(&p) {
+            // Five CIC5 combs over three cycles: 2, 2, 1(+scale+store).
+            let (input_reg, base, count, shift): (u8, u16, u8, u32) = match p {
+                4 => (6, 0, 2, 0),
+                5 => (7, 2, 2, 0),
+                _ => (7, 4, 1, self.shift2),
+            };
+            for (alu, state) in [(3usize, mem::STATE_I), (4, mem::STATE_Q)] {
+                cfg.set(
+                    alu,
+                    AluOp::CombChainMem {
+                        input: Operand::Reg(alu as u8, input_reg),
+                        mem: state,
+                        base_addr: base,
+                        count,
+                        wrap: self.wrap2,
+                        out_shift: shift,
+                        store_to: if shift > 0 {
+                            Some((state, mem::SAMPLE_ADDR))
+                        } else {
+                            None
+                        },
+                    },
+                    Part::Cic5Comb,
+                );
+            }
+        } else {
+            self.issue_fir_task(cfg);
+        }
+    }
+
+    /// True while owed back-end work remains (the pipeline trails the
+    /// last input sample by up to ~30 cycles).
+    pub fn pending(&self) -> bool {
+        self.int_pending || self.comb5_this_group || !self.tasks.is_empty()
+    }
+
+    /// Switches the sequencer to drain mode: the front end idles and
+    /// only owed integrate/comb/FIR cycles are issued.
+    pub fn start_drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Pops one FIR task (if any) onto the two back-end ALUs.
+    fn issue_fir_task(&mut self, cfg: &mut CycleConfig) {
+        let Some(task) = self.tasks.pop_front() else {
+            return;
+        };
+        for (alu, coeff_mem, psum_mem, state) in [
+            (3usize, mem::COEFF_I, mem::PSUM_I, mem::STATE_I),
+            (4, mem::COEFF_Q, mem::PSUM_Q, mem::STATE_Q),
+        ] {
+            let op = match task {
+                FirTask::Mac {
+                    coeff_addr,
+                    acc_addr,
+                } => AluOp::MacMem {
+                    x: Operand::MemAt(state, mem::SAMPLE_ADDR),
+                    coef_mem: coeff_mem,
+                    coef_addr: coeff_addr,
+                    acc_mem: psum_mem,
+                    acc_addr,
+                },
+                FirTask::Finalize { acc_addr } => AluOp::Finalize {
+                    acc_mem: psum_mem,
+                    acc_addr,
+                    shift: self.coeff_frac,
+                },
+            };
+            cfg.set(alu, op, Part::Fir125);
+        }
+    }
+
+    /// Advances the sequencer counters after issuing the cycle at
+    /// phase `p`.
+    fn advance(&mut self, p: u32) {
+        if p == 15 && !self.draining {
+            self.int_pending = true;
+        }
+        if self.int_pending && p == 3 {
+            // a CIC5 integrate group just completed
+            self.int_pending = false;
+            self.m5 += 1;
+            if self.m5 == 21 {
+                self.m5 = 0;
+                self.comb5_this_group = true;
+            }
+        }
+        if self.comb5_this_group && p == 6 {
+            // the FIR input sample for index j just landed — queue its
+            // multiply-accumulates (and the output finalise if this is
+            // an output-completing sample).
+            self.comb5_this_group = false;
+            let j = self.j;
+            let t_min = j.saturating_sub(7).div_ceil(8);
+            let t_max = (j + self.taps as u64 - 8) / 8;
+            for t in t_min..=t_max {
+                let coeff = (8 * t + 7 - j) as u16;
+                let slot = (t % 16) as u16;
+                self.tasks.push_back(FirTask::Mac {
+                    coeff_addr: coeff,
+                    acc_addr: slot,
+                });
+            }
+            if j % 8 == 7 {
+                let t = (j - 7) / 8;
+                self.tasks.push_back(FirTask::Finalize {
+                    acc_addr: (t % 16) as u16,
+                });
+            }
+            self.j += 1;
+        }
+        self.n += 1;
+    }
+}
+
+/// Result of running the mapping over an input block.
+#[derive(Debug)]
+pub struct MontiumRun {
+    /// The tile after execution (for stats/trace queries).
+    pub tile: Tile,
+    /// Assembled complex outputs (I from ALU3, Q from ALU4).
+    pub outputs: Vec<Iq>,
+}
+
+/// Runs the DDC mapping over `input` (16-bit ADC words), recording a
+/// trace of the first `trace_cycles` cycles.
+pub fn run_ddc(cfg: DdcConfig, input: &[i32], trace_cycles: usize) -> MontiumRun {
+    let (mut mapping, tile) = DdcMapping::new(cfg);
+    let mut tile = tile.with_trace(trace_cycles);
+    for &x in input {
+        let c = mapping.next_config();
+        tile.step(&c, i64::from(x));
+    }
+    // Drain the owed back-end work of the final output (the pipeline
+    // trails the input by up to ~30 cycles).
+    mapping.start_drain();
+    tile.freeze_stats();
+    while mapping.pending() {
+        let c = mapping.next_config();
+        tile.step(&c, 0);
+    }
+    // Pair per-cycle I/Q finalisations.
+    let mut outputs = Vec::new();
+    let outs = tile.outputs().to_vec();
+    let mut iter = outs.iter().peekable();
+    while let Some(o) = iter.next() {
+        if o.alu == 3 {
+            let q = iter
+                .peek()
+                .filter(|n| n.cycle == o.cycle && n.alu == 4)
+                .map(|n| n.value)
+                .expect("I finalize without matching Q");
+            iter.next();
+            outputs.push(Iq {
+                i: o.value,
+                q,
+            });
+        }
+    }
+    MontiumRun { tile, outputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_core::FixedDdc;
+    use ddc_dsp::signal::{adc_quantize, SampleSource, Tone, WhiteNoise};
+
+    fn stimulus(n: usize) -> Vec<i32> {
+        let mut src = ddc_dsp::signal::Mix(
+            Tone::new(10_004_000.0, 64_512_000.0, 0.6, 0.1),
+            WhiteNoise::new(13, 0.2),
+        );
+        adc_quantize(&src.take_vec(n), 16)
+    }
+
+    #[test]
+    fn bit_exact_against_fixed_chain() {
+        // The headline verification: the Montium schedule computes the
+        // identical output words as ddc-core's 16-bit chain.
+        let cfg = DdcConfig::drm_montium(10e6);
+        let input = stimulus(2688 * 8);
+        let mut reference = FixedDdc::new(cfg.clone());
+        let expect = reference.process_block(&input);
+        let run = run_ddc(cfg, &input, 0);
+        assert_eq!(run.outputs.len(), expect.len());
+        assert_eq!(run.outputs, expect);
+    }
+
+    #[test]
+    fn output_rate_is_one_per_2688() {
+        let run = run_ddc(DdcConfig::drm_montium(5e6), &stimulus(2688 * 4), 0);
+        assert_eq!(run.outputs.len(), 4);
+    }
+
+    #[test]
+    fn three_alus_always_busy() {
+        let run = run_ddc(DdcConfig::drm_montium(10e6), &stimulus(2688 * 2), 0);
+        let busy = run.tile.busy_cycles();
+        let cycles = run.tile.stats_cycles();
+        assert_eq!(busy[0], cycles);
+        assert_eq!(busy[1], cycles);
+        assert_eq!(busy[2], cycles);
+        // the time-multiplexed ALUs are mostly idle
+        assert!(busy[3] < cycles / 2);
+        assert_eq!(busy[3], busy[4]);
+    }
+
+    #[test]
+    fn occupancy_matches_table6() {
+        use crate::ops::Part;
+        let run = run_ddc(DdcConfig::drm_montium(10e6), &stimulus(2688 * 10), 0);
+        let t = &run.tile;
+        // Table 6: NCO+CIC2-int 100 %, CIC2 comb 6.3 %, CIC5 int 25 %,
+        // CIC5 comb 0.9 %.
+        assert!((t.part_occupancy(Part::NcoCic2Int) - 1.0).abs() < 1e-9);
+        assert!((t.part_occupancy(Part::Cic2Comb) - 1.0 / 16.0).abs() < 0.005);
+        assert!((t.part_occupancy(Part::Cic5Int) - 0.25).abs() < 0.01);
+        assert!((t.part_occupancy(Part::Cic5Comb) - 3.0 / 336.0).abs() < 0.002);
+        // FIR: 125 MACs + 1 finalize per output period of 2688 cycles
+        // ≈ 4.7 % of the two ALUs. (The paper prints 0.5 % here, which
+        // is inconsistent with its own 125-tap/24 kHz arithmetic; see
+        // EXPERIMENTS.md.)
+        let fir = t.part_occupancy(Part::Fir125);
+        assert!((0.035..0.06).contains(&fir), "FIR occupancy {fir}");
+    }
+
+    #[test]
+    fn parts_use_expected_alus() {
+        use crate::ops::Part;
+        let run = run_ddc(DdcConfig::drm_montium(10e6), &stimulus(2688 * 2), 0);
+        let (_, alus) = run.tile.part_usage(Part::NcoCic2Int);
+        assert_eq!(alus, vec![0, 1, 2]);
+        for p in [Part::Cic2Comb, Part::Cic5Int, Part::Cic5Comb, Part::Fir125] {
+            let (_, alus) = run.tile.part_usage(p);
+            assert_eq!(alus, vec![3, 4], "{p:?}");
+        }
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        let run = run_ddc(DdcConfig::drm_montium(10e6), &vec![0; 2688 * 2], 0);
+        assert!(run.outputs.iter().all(|o| o.i == 0 && o.q == 0));
+    }
+
+    #[test]
+    fn retuned_mapping_still_bit_exact() {
+        let cfg = DdcConfig::drm_montium(25e6);
+        let input = stimulus(2688 * 4);
+        let mut reference = FixedDdc::new(cfg.clone());
+        let expect = reference.process_block(&input);
+        let run = run_ddc(cfg, &input, 0);
+        assert_eq!(run.outputs, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "16-bit")]
+    fn rejects_non_montium_format() {
+        DdcMapping::new(DdcConfig::drm(10e6));
+    }
+}

@@ -1,0 +1,311 @@
+//! The per-cycle ALU configurations the sequencer can issue.
+//!
+//! Each variant is one *decoded configuration* of the two-level ALU of
+//! Figure 7: what the four level-1 function units, the level-2
+//! multiplier and the level-2 adder/butterfly do this cycle, expressed
+//! at the granularity the paper's mapping uses (e.g. the Figure 8
+//! "multiply + double integrate" configuration is one variant).
+
+/// Where an ALU input comes from this cycle (an interconnect route).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// The external input sample of the current cycle.
+    ExternIn,
+    /// The output register (r7) of an ALU, as latched last cycle.
+    Reg(u8, u8),
+    /// A memory word at a fixed address.
+    MemAt(u8, u16),
+    /// A memory word addressed by another ALU's output *this* cycle
+    /// (the LUT read pattern: the address-generation ALU drives the
+    /// sine/cosine memory's AGU).
+    MemIndexed(u8, u8),
+    /// A constant from the configuration registers.
+    Imm(i64),
+}
+
+/// Which part of the DDC a cycle's work belongs to — the rows of the
+/// paper's Table 6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Part {
+    /// NCO (+ address generation) and CIC2 integration — the three
+    /// always-busy ALUs.
+    NcoCic2Int,
+    /// CIC2 comb ("cascading") half.
+    Cic2Comb,
+    /// CIC5 integrating half.
+    Cic5Int,
+    /// CIC5 comb half.
+    Cic5Comb,
+    /// 125-tap polyphase FIR (MACs + final summation/delivery).
+    Fir125,
+}
+
+impl Part {
+    /// Paper row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Part::NcoCic2Int => "NCO + CIC2 integrating",
+            Part::Cic2Comb => "CIC2 cascading",
+            Part::Cic5Int => "CIC5 integrating",
+            Part::Cic5Comb => "CIC5 cascading",
+            Part::Fir125 => "FIR125",
+        }
+    }
+
+    /// Single-letter code for the Figure 9 trace.
+    pub fn code(self) -> char {
+        match self {
+            Part::NcoCic2Int => 'N',
+            Part::Cic2Comb => 'c',
+            Part::Cic5Int => 'I',
+            Part::Cic5Comb => 'k',
+            Part::Fir125 => 'F',
+        }
+    }
+
+    /// All parts in Table 6 order.
+    pub fn all() -> [Part; 5] {
+        [
+            Part::NcoCic2Int,
+            Part::Cic2Comb,
+            Part::Cic5Int,
+            Part::Cic5Comb,
+            Part::Fir125,
+        ]
+    }
+}
+
+/// One ALU's configuration for one cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AluOp {
+    /// No configuration issued — the ALU is clock-gated.
+    Idle,
+    /// Address generation: the phase accumulator steps by `word`, the
+    /// ALU output is the top `addr_bits` of the *pre-increment* phase
+    /// (the LUT index). Phase lives in the ALU's r0.
+    PhaseStep {
+        /// NCO frequency tuning word.
+        word: u32,
+        /// LUT address width.
+        addr_bits: u32,
+    },
+    /// The Figure 8 configuration: level-2 multiplier computes
+    /// `x·coef` (Q-format product, rounded by `frac` bits, saturated
+    /// to 16 bits); the level-2 adder integrates it into r0 and the
+    /// level-1 adder integrates r0 into r1, both wrapping at `wrap`
+    /// bits. Output: r1.
+    NcoMacc {
+        /// Signal input (mixer x).
+        x: Operand,
+        /// Sine/cosine coefficient.
+        coef: Operand,
+        /// Q-format fractional bits of the coefficient.
+        frac: u32,
+        /// Integrator register width.
+        wrap: u32,
+    },
+    /// Two comb (differentiator) stages in one cycle using level 1 and
+    /// level 2: `t = in − r0; r0 = in; out = t − r1; r1 = t`, all
+    /// wrapping at `wrap` bits; the result is then shifted right by
+    /// `out_shift` (gain renormalisation) and saturated to 16 bits.
+    CombPair {
+        /// Comb chain input.
+        input: Operand,
+        /// First delay register.
+        regs: [u8; 2],
+        /// Register wrap width.
+        wrap: u32,
+        /// Renormalisation shift applied to the final result.
+        out_shift: u32,
+    },
+    /// One or two integrator stages (`count` ∈ 1..=2): sequentially
+    /// `reg[k] = wrap(reg[k] + v)` with `v` chaining. Output: last
+    /// updated register.
+    Integrate {
+        /// Chain input.
+        input: Operand,
+        /// Registers updated in order.
+        regs: [u8; 2],
+        /// How many of `regs` are active.
+        count: u8,
+        /// Register wrap width.
+        wrap: u32,
+    },
+    /// One or two comb stages with delays in a local memory:
+    /// `t = in − mem[a]; mem[a] = in`, chained `count` times from
+    /// `base_addr`; optional final shift+saturate (applied only when
+    /// `out_shift > 0`), and optional store of the result to a memory
+    /// word (the FIR sample buffer).
+    CombChainMem {
+        /// Comb chain input.
+        input: Operand,
+        /// Memory holding the delay words.
+        mem: u8,
+        /// First delay address.
+        base_addr: u16,
+        /// Number of comb stages this cycle (1..=2).
+        count: u8,
+        /// Register wrap width.
+        wrap: u32,
+        /// Renormalisation shift (0 = raw).
+        out_shift: u32,
+        /// Where to store the (shifted) result, if anywhere.
+        store_to: Option<(u8, u16)>,
+    },
+    /// FIR multiply-accumulate into a memory-resident partial sum:
+    /// `acc_mem[acc_addr] += coef_mem[coef_addr] · x` (exact wide
+    /// arithmetic; the silicon pairs 16-bit words).
+    MacMem {
+        /// Sample operand.
+        x: Operand,
+        /// Coefficient memory.
+        coef_mem: u8,
+        /// Coefficient address.
+        coef_addr: u16,
+        /// Partial-sum memory.
+        acc_mem: u8,
+        /// Partial-sum address.
+        acc_addr: u16,
+    },
+    /// FIR output delivery: `out = sat16(acc_mem[addr] >> shift)`,
+    /// clear the accumulator, and emit the value on the tile output.
+    Finalize {
+        /// Partial-sum memory.
+        acc_mem: u8,
+        /// Partial-sum address.
+        acc_addr: u16,
+        /// Q-format renormalisation shift.
+        shift: u32,
+    },
+}
+
+impl AluOp {
+    /// A short stable key identifying the *configuration* (op kind +
+    /// static fields, ignoring per-cycle addresses) — what a decoder
+    /// register would hold. Used for configuration-size accounting.
+    pub fn config_key(&self) -> String {
+        match self {
+            AluOp::Idle => "idle".into(),
+            AluOp::PhaseStep { word, addr_bits } => format!("phase/{word}/{addr_bits}"),
+            AluOp::NcoMacc { x, frac, wrap, .. } => format!("ncomacc/{x:?}/{frac}/{wrap}"),
+            AluOp::CombPair {
+                regs, wrap, out_shift, ..
+            } => format!("combpair/{regs:?}/{wrap}/{out_shift}"),
+            AluOp::Integrate {
+                regs, count, wrap, ..
+            } => format!("integrate/{regs:?}/{count}/{wrap}"),
+            AluOp::CombChainMem {
+                mem,
+                count,
+                wrap,
+                out_shift,
+                ..
+            } => format!("combmem/{mem}/{count}/{wrap}/{out_shift}"),
+            AluOp::MacMem {
+                coef_mem, acc_mem, ..
+            } => format!("macmem/{coef_mem}/{acc_mem}"),
+            AluOp::Finalize {
+                acc_mem, shift, ..
+            } => format!("finalize/{acc_mem}/{shift}"),
+        }
+    }
+
+    /// True when the ALU does real work this cycle.
+    pub fn is_busy(&self) -> bool {
+        !matches!(self, AluOp::Idle)
+    }
+}
+
+/// One tile-wide configuration: what each of the five ALUs does and
+/// which DDC part the work belongs to.
+#[derive(Clone, Copy, Debug)]
+pub struct CycleConfig {
+    /// Per-ALU operations.
+    pub ops: [AluOp; 5],
+    /// Per-ALU part labels (meaningful where the op is busy).
+    pub parts: [Option<Part>; 5],
+}
+
+impl CycleConfig {
+    /// All-idle configuration.
+    pub fn idle() -> Self {
+        CycleConfig {
+            ops: [AluOp::Idle; 5],
+            parts: [None; 5],
+        }
+    }
+
+    /// Sets one ALU's op and label.
+    pub fn set(&mut self, alu: usize, op: AluOp, part: Part) {
+        self.ops[alu] = op;
+        self.parts[alu] = Some(part);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_keys_ignore_dynamic_addresses() {
+        let a = AluOp::MacMem {
+            x: Operand::MemAt(6, 10),
+            coef_mem: 2,
+            coef_addr: 5,
+            acc_mem: 4,
+            acc_addr: 0,
+        };
+        let b = AluOp::MacMem {
+            x: Operand::MemAt(6, 10),
+            coef_mem: 2,
+            coef_addr: 99,
+            acc_mem: 4,
+            acc_addr: 7,
+        };
+        assert_eq!(a.config_key(), b.config_key());
+    }
+
+    #[test]
+    fn config_keys_distinguish_kinds() {
+        let a = AluOp::Idle.config_key();
+        let b = AluOp::PhaseStep {
+            word: 1,
+            addr_bits: 10,
+        }
+        .config_key();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn busy_flags() {
+        assert!(!AluOp::Idle.is_busy());
+        assert!(AluOp::PhaseStep {
+            word: 0,
+            addr_bits: 10
+        }
+        .is_busy());
+    }
+
+    #[test]
+    fn part_metadata() {
+        assert_eq!(Part::all().len(), 5);
+        assert_eq!(Part::Cic5Int.code(), 'I');
+        assert!(Part::Fir125.name().contains("FIR"));
+    }
+
+    #[test]
+    fn cycle_config_set() {
+        let mut c = CycleConfig::idle();
+        c.set(
+            2,
+            AluOp::PhaseStep {
+                word: 7,
+                addr_bits: 10,
+            },
+            Part::NcoCic2Int,
+        );
+        assert!(c.ops[2].is_busy());
+        assert_eq!(c.parts[2], Some(Part::NcoCic2Int));
+        assert!(!c.ops[0].is_busy());
+    }
+}

@@ -1,0 +1,556 @@
+//! The tile execution engine: five ALUs, ten local memories, the
+//! per-cycle configuration interpreter and the occupancy bookkeeping.
+
+use crate::ops::{AluOp, CycleConfig, Operand, Part};
+use ddc_dsp::fixed::{round_shift, saturate, trunc_shift, wrap};
+use std::collections::HashMap;
+
+/// Number of ALUs in a tile (Figure 6).
+pub const NUM_ALUS: usize = 5;
+/// Number of local memories (two per ALU, Figure 6).
+pub const NUM_MEMS: usize = 10;
+/// Words per local memory (512 × 16 bit in the silicon).
+pub const MEM_WORDS: usize = 512;
+/// Registers per ALU register file.
+pub const NUM_REGS: usize = 8;
+/// Index of the implicit output register (latched result of the last
+/// busy cycle, readable by other ALUs the following cycle).
+pub const OUT_REG: usize = 7;
+
+/// One ALU's register file.
+#[derive(Clone, Debug, Default)]
+pub struct Alu {
+    /// Wide registers (see the crate-level modelling notes).
+    pub regs: [i64; NUM_REGS],
+}
+
+/// An output word delivered by a `Finalize` op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileOutput {
+    /// Cycle of delivery.
+    pub cycle: u64,
+    /// Which ALU delivered it.
+    pub alu: usize,
+    /// The 16-bit output word.
+    pub value: i64,
+}
+
+/// The Montium tile simulator.
+#[derive(Clone, Debug)]
+pub struct Tile {
+    /// ALU register files.
+    pub alus: [Alu; NUM_ALUS],
+    /// Local memories (wide words; pairs of 16-bit words on silicon).
+    pub mems: Vec<Vec<i64>>,
+    outputs: Vec<TileOutput>,
+    cycle: u64,
+    busy_cycles: [u64; NUM_ALUS],
+    part_alu_cycles: HashMap<(Part, usize), u64>,
+    trace: Vec<[Option<Part>; NUM_ALUS]>,
+    trace_limit: usize,
+    config_keys: [std::collections::BTreeSet<String>; NUM_ALUS],
+    /// Cycles counted into the occupancy statistics (drain cycles
+    /// after the input stream ends are excluded).
+    stats_cycles: u64,
+    stats_frozen: bool,
+}
+
+impl Default for Tile {
+    fn default() -> Self {
+        Tile::new()
+    }
+}
+
+impl Tile {
+    /// Creates a zeroed tile.
+    pub fn new() -> Self {
+        Tile {
+            alus: Default::default(),
+            mems: vec![vec![0; MEM_WORDS]; NUM_MEMS],
+            outputs: Vec::new(),
+            cycle: 0,
+            busy_cycles: [0; NUM_ALUS],
+            part_alu_cycles: HashMap::new(),
+            trace: Vec::new(),
+            trace_limit: 0,
+            config_keys: Default::default(),
+            stats_cycles: 0,
+            stats_frozen: false,
+        }
+    }
+
+    /// Stops occupancy accounting (used for post-input drain cycles,
+    /// which are an artefact of ending a simulation, not of the
+    /// steady-state schedule).
+    pub fn freeze_stats(&mut self) {
+        self.stats_frozen = true;
+    }
+
+    /// Records the part labels of the first `n` cycles for the
+    /// Figure 9 trace.
+    pub fn with_trace(mut self, n: usize) -> Self {
+        self.trace_limit = n;
+        self
+    }
+
+    /// Loads words into a memory starting at `base`.
+    pub fn load_memory(&mut self, mem: usize, base: usize, words: &[i64]) {
+        assert!(base + words.len() <= MEM_WORDS, "memory {mem} overflow");
+        self.mems[mem][base..base + words.len()].copy_from_slice(words);
+    }
+
+    /// Executes one cycle of the given configuration with `extern_in`
+    /// on the tile's input port.
+    pub fn step(&mut self, cfg: &CycleConfig, extern_in: i64) {
+        let mut now: [Option<i64>; NUM_ALUS] = [None; NUM_ALUS];
+        // Evaluation order: the address-generation ALU (2) first so
+        // the LUT reads of ALUs 0/1 can use its output, then the rest.
+        for &i in &[2usize, 0, 1, 3, 4] {
+            let op = cfg.ops[i];
+            if let Some(out) = self.exec(i, op, extern_in, &now) {
+                now[i] = Some(out);
+            }
+            if op.is_busy() && !self.stats_frozen {
+                self.busy_cycles[i] += 1;
+                if let Some(part) = cfg.parts[i] {
+                    *self.part_alu_cycles.entry((part, i)).or_insert(0) += 1;
+                }
+                self.config_keys[i].insert(op.config_key());
+            }
+        }
+        // Latch output registers at end of cycle.
+        for (i, v) in now.iter().enumerate() {
+            if let Some(v) = v {
+                self.alus[i].regs[OUT_REG] = *v;
+            }
+        }
+        if self.trace.len() < self.trace_limit {
+            self.trace.push(cfg.parts);
+        }
+        if !self.stats_frozen {
+            self.stats_cycles += 1;
+        }
+        self.cycle += 1;
+    }
+
+    fn resolve(&self, op: Operand, ext: i64, now: &[Option<i64>; NUM_ALUS]) -> i64 {
+        match op {
+            Operand::ExternIn => ext,
+            Operand::Reg(a, r) => self.alus[a as usize].regs[r as usize],
+            Operand::MemAt(m, a) => self.mems[m as usize][a as usize],
+            Operand::MemIndexed(m, alu) => {
+                let addr = now[alu as usize]
+                    .expect("MemIndexed source ALU evaluates after its consumer");
+                self.mems[m as usize][addr as usize]
+            }
+            Operand::Imm(v) => v,
+        }
+    }
+
+    fn exec(
+        &mut self,
+        i: usize,
+        op: AluOp,
+        ext: i64,
+        now: &[Option<i64>; NUM_ALUS],
+    ) -> Option<i64> {
+        match op {
+            AluOp::Idle => None,
+            AluOp::PhaseStep { word, addr_bits } => {
+                let phase = self.alus[i].regs[0] as u32;
+                let idx = phase >> (32 - addr_bits);
+                self.alus[i].regs[0] = i64::from(phase.wrapping_add(word));
+                Some(i64::from(idx))
+            }
+            AluOp::NcoMacc { x, coef, frac, wrap: w } => {
+                let xv = self.resolve(x, ext, now);
+                let cv = self.resolve(coef, ext, now);
+                let p = saturate(round_shift(xv * cv, frac), 16);
+                let r0 = wrap(self.alus[i].regs[0].wrapping_add(p), w);
+                self.alus[i].regs[0] = r0;
+                let r1 = wrap(self.alus[i].regs[1].wrapping_add(r0), w);
+                self.alus[i].regs[1] = r1;
+                Some(r1)
+            }
+            AluOp::CombPair {
+                input,
+                regs,
+                wrap: w,
+                out_shift,
+            } => {
+                let v = self.resolve(input, ext, now);
+                let d0 = self.alus[i].regs[regs[0] as usize];
+                self.alus[i].regs[regs[0] as usize] = v;
+                let t = wrap(v.wrapping_sub(d0), w);
+                let d1 = self.alus[i].regs[regs[1] as usize];
+                self.alus[i].regs[regs[1] as usize] = t;
+                let u = wrap(t.wrapping_sub(d1), w);
+                Some(saturate(trunc_shift(u, out_shift), 16))
+            }
+            AluOp::Integrate {
+                input,
+                regs,
+                count,
+                wrap: w,
+            } => {
+                let mut v = self.resolve(input, ext, now);
+                for &r in regs.iter().take(count as usize) {
+                    let r = r as usize;
+                    let nv = wrap(self.alus[i].regs[r].wrapping_add(v), w);
+                    self.alus[i].regs[r] = nv;
+                    v = nv;
+                }
+                Some(v)
+            }
+            AluOp::CombChainMem {
+                input,
+                mem,
+                base_addr,
+                count,
+                wrap: w,
+                out_shift,
+                store_to,
+            } => {
+                let mut v = self.resolve(input, ext, now);
+                for k in 0..count as usize {
+                    let addr = base_addr as usize + k;
+                    let d = self.mems[mem as usize][addr];
+                    self.mems[mem as usize][addr] = v;
+                    v = wrap(v.wrapping_sub(d), w);
+                }
+                let out = if out_shift > 0 {
+                    saturate(trunc_shift(v, out_shift), 16)
+                } else {
+                    v
+                };
+                if let Some((m, a)) = store_to {
+                    self.mems[m as usize][a as usize] = out;
+                }
+                Some(out)
+            }
+            AluOp::MacMem {
+                x,
+                coef_mem,
+                coef_addr,
+                acc_mem,
+                acc_addr,
+            } => {
+                let xv = self.resolve(x, ext, now);
+                let c = self.mems[coef_mem as usize][coef_addr as usize];
+                let acc = &mut self.mems[acc_mem as usize][acc_addr as usize];
+                *acc += c * xv;
+                Some(*acc)
+            }
+            AluOp::Finalize {
+                acc_mem,
+                acc_addr,
+                shift,
+            } => {
+                let acc = self.mems[acc_mem as usize][acc_addr as usize];
+                self.mems[acc_mem as usize][acc_addr as usize] = 0;
+                let v = saturate(trunc_shift(acc, shift), 16);
+                self.outputs.push(TileOutput {
+                    cycle: self.cycle,
+                    alu: i,
+                    value: v,
+                });
+                Some(v)
+            }
+        }
+    }
+
+    /// Cycles executed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Delivered outputs in order.
+    pub fn outputs(&self) -> &[TileOutput] {
+        &self.outputs
+    }
+
+    /// Busy-cycle count per ALU.
+    pub fn busy_cycles(&self) -> [u64; NUM_ALUS] {
+        self.busy_cycles
+    }
+
+    /// ALU-cycles attributed to a part, and the set of ALUs it used.
+    pub fn part_usage(&self, part: Part) -> (u64, Vec<usize>) {
+        let mut total = 0;
+        let mut alus = Vec::new();
+        for ((p, alu), n) in &self.part_alu_cycles {
+            if *p == part {
+                total += n;
+                alus.push(*alu);
+            }
+        }
+        alus.sort_unstable();
+        (total, alus)
+    }
+
+    /// Fraction of time the ALUs used by `part` spend on it — the
+    /// "percentage of time on ALUs" column of Table 6.
+    pub fn part_occupancy(&self, part: Part) -> f64 {
+        let (total, alus) = self.part_usage(part);
+        if alus.is_empty() || self.stats_cycles == 0 {
+            return 0.0;
+        }
+        total as f64 / (self.stats_cycles as f64 * alus.len() as f64)
+    }
+
+    /// Cycles included in the occupancy statistics.
+    pub fn stats_cycles(&self) -> u64 {
+        self.stats_cycles
+    }
+
+    /// The recorded trace (up to the configured limit).
+    pub fn trace(&self) -> &[[Option<Part>; NUM_ALUS]] {
+        &self.trace
+    }
+
+    /// Number of distinct decoded configurations each ALU used —
+    /// the decoder-register pressure behind configuration size.
+    pub fn distinct_configs(&self) -> [usize; NUM_ALUS] {
+        let mut out = [0; NUM_ALUS];
+        for (i, s) in self.config_keys.iter().enumerate() {
+            out[i] = s.len();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{AluOp, CycleConfig, Operand, Part};
+
+    #[test]
+    fn phase_step_generates_lut_indices() {
+        let mut t = Tile::new();
+        let mut cfg = CycleConfig::idle();
+        cfg.set(
+            2,
+            AluOp::PhaseStep {
+                word: 1 << 30, // fs/4
+                addr_bits: 10,
+            },
+            Part::NcoCic2Int,
+        );
+        let mut idxs = Vec::new();
+        for _ in 0..5 {
+            t.step(&cfg, 0);
+            idxs.push(t.alus[2].regs[OUT_REG]);
+        }
+        assert_eq!(idxs, vec![0, 256, 512, 768, 0]);
+    }
+
+    #[test]
+    fn ncomacc_is_mixer_plus_double_integrator() {
+        let mut t = Tile::new();
+        let mut cfg = CycleConfig::idle();
+        cfg.set(
+            0,
+            AluOp::NcoMacc {
+                x: Operand::ExternIn,
+                coef: Operand::Imm(1 << 15), // exactly 1.0 in Q1.15 (wide)
+                frac: 15,
+                wrap: 24,
+            },
+            Part::NcoCic2Int,
+        );
+        // constant input 100 × 1.0: acc0 ramps 100,200,300; acc1 sums
+        // those: 100+200+300 = 600
+        t.step(&cfg, 100);
+        t.step(&cfg, 100);
+        t.step(&cfg, 100);
+        assert_eq!(t.alus[0].regs[0], 300);
+        assert_eq!(t.alus[0].regs[1], 600);
+    }
+
+    #[test]
+    fn comb_pair_differentiates_twice() {
+        let mut t = Tile::new();
+        let mut cfg = CycleConfig::idle();
+        cfg.set(
+            3,
+            AluOp::CombPair {
+                input: Operand::ExternIn,
+                regs: [0, 1],
+                wrap: 24,
+                out_shift: 0,
+            },
+            Part::Cic2Comb,
+        );
+        // input n²: second difference of n² is constant 2
+        let mut outs = Vec::new();
+        for n in 0..6i64 {
+            t.step(&cfg, n * n);
+            outs.push(t.alus[3].regs[OUT_REG]);
+        }
+        // y[n] = x[n] - 2x[n-1] + x[n-2]: 0,1,2,2,2,2
+        assert_eq!(outs, vec![0, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn integrate_chains_within_a_cycle() {
+        let mut t = Tile::new();
+        let mut cfg = CycleConfig::idle();
+        cfg.set(
+            3,
+            AluOp::Integrate {
+                input: Operand::ExternIn,
+                regs: [2, 3],
+                count: 2,
+                wrap: 38,
+            },
+            Part::Cic5Int,
+        );
+        t.step(&cfg, 1);
+        t.step(&cfg, 1);
+        // r2: 1,2 ; r3: 1,3
+        assert_eq!(t.alus[3].regs[2], 2);
+        assert_eq!(t.alus[3].regs[3], 3);
+    }
+
+    #[test]
+    fn comb_chain_mem_uses_memory_delays() {
+        let mut t = Tile::new();
+        let mut cfg = CycleConfig::idle();
+        cfg.set(
+            4,
+            AluOp::CombChainMem {
+                input: Operand::ExternIn,
+                mem: 6,
+                base_addr: 0,
+                count: 1,
+                wrap: 38,
+                out_shift: 0,
+                store_to: Some((6, 100)),
+            },
+            Part::Cic5Comb,
+        );
+        t.step(&cfg, 10);
+        t.step(&cfg, 25);
+        // first difference: 10, then 15; stored at mem6[100]
+        assert_eq!(t.alus[4].regs[OUT_REG], 15);
+        assert_eq!(t.mems[6][100], 15);
+        assert_eq!(t.mems[6][0], 25);
+    }
+
+    #[test]
+    fn mac_and_finalize_deliver_output() {
+        let mut t = Tile::new();
+        t.load_memory(2, 0, &[1000, -500]);
+        t.load_memory(6, 10, &[32]); // sample
+        let mut mac = CycleConfig::idle();
+        mac.set(
+            3,
+            AluOp::MacMem {
+                x: Operand::MemAt(6, 10),
+                coef_mem: 2,
+                coef_addr: 0,
+                acc_mem: 4,
+                acc_addr: 0,
+            },
+            Part::Fir125,
+        );
+        t.step(&mac, 0);
+        let mut mac2 = CycleConfig::idle();
+        mac2.set(
+            3,
+            AluOp::MacMem {
+                x: Operand::MemAt(6, 10),
+                coef_mem: 2,
+                coef_addr: 1,
+                acc_mem: 4,
+                acc_addr: 0,
+            },
+            Part::Fir125,
+        );
+        t.step(&mac2, 0);
+        assert_eq!(t.mems[4][0], 32 * 1000 - 32 * 500);
+        let mut fin = CycleConfig::idle();
+        fin.set(
+            3,
+            AluOp::Finalize {
+                acc_mem: 4,
+                acc_addr: 0,
+                shift: 4,
+            },
+            Part::Fir125,
+        );
+        t.step(&fin, 0);
+        assert_eq!(t.outputs().len(), 1);
+        assert_eq!(t.outputs()[0].value, (32 * 500) >> 4);
+        assert_eq!(t.mems[4][0], 0);
+    }
+
+    #[test]
+    fn occupancy_accounting() {
+        let mut t = Tile::new();
+        let mut busy = CycleConfig::idle();
+        busy.set(
+            2,
+            AluOp::PhaseStep {
+                word: 1,
+                addr_bits: 10,
+            },
+            Part::NcoCic2Int,
+        );
+        let idle = CycleConfig::idle();
+        for k in 0..10 {
+            t.step(if k % 2 == 0 { &busy } else { &idle }, 0);
+        }
+        assert_eq!(t.cycles(), 10);
+        assert_eq!(t.busy_cycles()[2], 5);
+        assert!((t.part_occupancy(Part::NcoCic2Int) - 0.5).abs() < 1e-12);
+        assert_eq!(t.part_occupancy(Part::Fir125), 0.0);
+    }
+
+    #[test]
+    fn trace_records_first_n_cycles() {
+        let mut t = Tile::new().with_trace(3);
+        let mut cfg = CycleConfig::idle();
+        cfg.set(
+            0,
+            AluOp::PhaseStep {
+                word: 1,
+                addr_bits: 10,
+            },
+            Part::NcoCic2Int,
+        );
+        for _ in 0..10 {
+            t.step(&cfg, 0);
+        }
+        assert_eq!(t.trace().len(), 3);
+        assert_eq!(t.trace()[0][0], Some(Part::NcoCic2Int));
+    }
+
+    #[test]
+    fn distinct_config_accounting() {
+        let mut t = Tile::new();
+        let mut a = CycleConfig::idle();
+        a.set(
+            2,
+            AluOp::PhaseStep {
+                word: 5,
+                addr_bits: 10,
+            },
+            Part::NcoCic2Int,
+        );
+        let mut b = CycleConfig::idle();
+        b.set(
+            2,
+            AluOp::PhaseStep {
+                word: 9,
+                addr_bits: 10,
+            },
+            Part::NcoCic2Int,
+        );
+        t.step(&a, 0);
+        t.step(&a, 0);
+        t.step(&b, 0);
+        assert_eq!(t.distinct_configs()[2], 2);
+        assert_eq!(t.distinct_configs()[0], 0);
+    }
+}

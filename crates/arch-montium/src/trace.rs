@@ -1,0 +1,128 @@
+//! Rendering of the Figure 9 schedule trace and the Table 6 rows.
+
+use crate::ops::Part;
+use crate::tile::{Tile, NUM_ALUS};
+use std::fmt::Write as _;
+
+/// Renders the first cycles of a traced run as an ASCII schedule —
+/// the reproduction of Figure 9 ("First 40 clock cycles of the DDC").
+/// Rows are ALUs, columns are cycles; letters are the DDC part (see
+/// [`Part::code`]), `.` is idle.
+pub fn render_schedule(tile: &Tile) -> String {
+    let trace = tile.trace();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cycle    {}",
+        (0..trace.len())
+            .map(|c| if c % 10 == 0 { format!("{:<10}", c) } else { String::new() })
+            .collect::<String>()
+    );
+    for alu in 0..NUM_ALUS {
+        let row: String = trace
+            .iter()
+            .map(|cycle| cycle[alu].map_or('.', Part::code))
+            .collect();
+        let _ = writeln!(out, "ALU{alu}     {row}");
+    }
+    let _ = writeln!(
+        out,
+        "legend   N = NCO + CIC2 integrate   c = CIC2 comb   I = CIC5 integrate   k = CIC5 comb   F = FIR"
+    );
+    out
+}
+
+/// One row of the Table 6 reproduction.
+#[derive(Clone, Debug)]
+pub struct Table6Row {
+    /// Algorithm part.
+    pub part: Part,
+    /// Number of ALUs the part occupies.
+    pub alus: usize,
+    /// Paper's "percentage of time on ALUs".
+    pub paper_percent: f64,
+    /// Our measured percentage.
+    pub measured_percent: f64,
+}
+
+/// Builds the Table 6 reproduction from a finished run.
+pub fn table6(tile: &Tile) -> Vec<Table6Row> {
+    let paper = [
+        (Part::NcoCic2Int, 100.0),
+        (Part::Cic2Comb, 6.3),
+        (Part::Cic5Int, 25.0),
+        (Part::Cic5Comb, 0.9),
+        (Part::Fir125, 0.5),
+    ];
+    paper
+        .iter()
+        .map(|&(part, paper_percent)| {
+            let (_, alus) = tile.part_usage(part);
+            Table6Row {
+                part,
+                alus: alus.len(),
+                paper_percent,
+                measured_percent: 100.0 * tile.part_occupancy(part),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::run_ddc;
+    use ddc_core::params::DdcConfig;
+    use ddc_dsp::signal::{adc_quantize, SampleSource, Tone};
+
+    fn traced_run(cycles: usize) -> crate::mapping::MontiumRun {
+        let input = adc_quantize(
+            &Tone::new(10_003_000.0, 64_512_000.0, 0.5, 0.0).take_vec(2688 * 4),
+            16,
+        );
+        run_ddc(DdcConfig::drm_montium(10e6), &input, cycles)
+    }
+
+    #[test]
+    fn figure9_shape() {
+        let run = traced_run(40);
+        let s = render_schedule(&run.tile);
+        let lines: Vec<&str> = s.lines().collect();
+        // header + 5 ALUs + legend
+        assert_eq!(lines.len(), 7);
+        // ALUs 0..2 busy with 'N' for all 40 cycles
+        for alu in 0..3 {
+            let row = lines[1 + alu].split_whitespace().last().unwrap();
+            assert_eq!(row.len(), 40);
+            assert!(row.chars().all(|c| c == 'N'), "ALU{alu}: {row}");
+        }
+        // ALU3: comb at cycle 15 and 31, CIC5 integrates at 16..=19 and
+        // 32..=35, idle before the chain is primed.
+        let row3: Vec<char> = lines[4].split_whitespace().last().unwrap().chars().collect();
+        assert_eq!(row3[15], 'c');
+        assert_eq!(row3[31], 'c');
+        for (c, &ch) in row3.iter().enumerate().take(20).skip(16) {
+            assert_eq!(ch, 'I', "cycle {c}");
+        }
+        for (c, &ch) in row3.iter().enumerate().take(15) {
+            assert_eq!(ch, '.', "cycle {c} should be idle");
+        }
+        // ALU4 mirrors ALU3
+        let row4: Vec<char> = lines[5].split_whitespace().last().unwrap().chars().collect();
+        assert_eq!(row3, row4);
+    }
+
+    #[test]
+    fn table6_rows_follow_paper_shape() {
+        let run = traced_run(0);
+        let rows = table6(&run.tile);
+        assert_eq!(rows.len(), 5);
+        let by = |p: Part| rows.iter().find(|r| r.part == p).unwrap();
+        assert_eq!(by(Part::NcoCic2Int).alus, 3);
+        assert_eq!(by(Part::Cic2Comb).alus, 2);
+        assert!((by(Part::NcoCic2Int).measured_percent - 100.0).abs() < 1e-6);
+        assert!((by(Part::Cic2Comb).measured_percent - 6.25).abs() < 0.5);
+        assert!((by(Part::Cic5Int).measured_percent - 25.0).abs() < 1.0);
+        assert!(by(Part::Cic5Comb).measured_percent < 1.5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * polyphase vs dense FIR evaluation (the Figure 3 argument),
+//! * LUT vs Taylor NCO (the §2.1 alternative),
+//! * CIC order / decimation split (why 2-then-5 rather than one CIC),
+//! * memory-resident vs register-allocated GPP code (the §4 note).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ddc_arch_gpp::golden::drm_coefficients;
+use ddc_arch_gpp::programs::{optimized, run_ddc as run_gpp, unoptimized};
+use ddc_core::cic::CicDecimator;
+use ddc_core::fir::{DirectFir, PolyphaseFir};
+use ddc_core::nco::tuning_word;
+use ddc_dsp::decimate::keep_one_in;
+use ddc_dsp::firdes;
+use ddc_dsp::signal::{adc_quantize, SampleSource, Tone, WhiteNoise};
+use ddc_dsp::window::Window;
+use std::hint::black_box;
+
+const BLOCK: usize = 1 << 14;
+
+/// Polyphase vs dense-then-decimate: same output, ~D× less work.
+fn ablate_polyphase(c: &mut Criterion) {
+    let taps = firdes::lowpass(125, 0.0625, Window::Kaiser(8.0));
+    let input = WhiteNoise::new(2, 1.0).take_vec(BLOCK);
+    let mut g = c.benchmark_group("ablation_polyphase");
+    g.throughput(Throughput::Elements(BLOCK as u64));
+    g.bench_function("polyphase_decim8", |b| {
+        let mut f = PolyphaseFir::new(&taps, 8);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &input {
+                if let Some(y) = f.process(x) {
+                    acc += y;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("dense_then_keep_1_in_8", |b| {
+        let mut f = DirectFir::new(&taps);
+        b.iter(|| {
+            let dense: Vec<f64> = input.iter().map(|&x| f.process(x)).collect();
+            black_box(keep_one_in(&dense, 8).len())
+        })
+    });
+    g.finish();
+}
+
+/// One big CIC vs the paper's 2-then-5 split: the split keeps the
+/// high-rate filter at order 2 (2 adds/sample instead of 5).
+fn ablate_cic_split(c: &mut Criterion) {
+    let input: Vec<i64> = adc_quantize(&WhiteNoise::new(3, 0.9).take_vec(BLOCK), 12)
+        .into_iter()
+        .map(i64::from)
+        .collect();
+    let mut g = c.benchmark_group("ablation_cic_split");
+    g.throughput(Throughput::Elements(BLOCK as u64));
+    g.bench_function("cic2_16_then_cic5_21", |b| {
+        let mut a = CicDecimator::new(2, 16, 12, 12);
+        let mut d = CicDecimator::new(5, 21, 12, 12);
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &x in &input {
+                if let Some(m) = a.process(x) {
+                    if let Some(y) = d.process(m) {
+                        acc ^= y;
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("single_cic5_336", |b| {
+        let mut f = CicDecimator::new(5, 336, 12, 12);
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &x in &input {
+                if let Some(y) = f.process(x) {
+                    acc ^= y;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// The §4.2.2 note, quantified: register allocation vs memory-resident
+/// state on the ARM ISS (measured in host time; the simulated-cycle
+/// ratio is reported by `tables table3`).
+fn ablate_gpp_codegen(c: &mut Criterion) {
+    let adc = adc_quantize(
+        &Tone::new(10_003_000.0, 64_512_000.0, 0.6, 0.0).take_vec(2688 * 2),
+        12,
+    );
+    let word = tuning_word(10e6, 64_512_000.0);
+    let coeffs = drm_coefficients();
+    let mut g = c.benchmark_group("ablation_gpp_codegen");
+    g.sample_size(15);
+    for name in ["unoptimized", "optimized"] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| {
+                let program = if name == "unoptimized" { unoptimized() } else { optimized() };
+                let (out, stats) = run_gpp(program, word, &coeffs, &adc);
+                black_box((out.len(), stats.cycles))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablate_polyphase, ablate_cic_split, ablate_gpp_codegen);
+criterion_main!(benches);

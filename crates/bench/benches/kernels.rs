@@ -1,0 +1,153 @@
+//! Criterion benches for the DSP kernels: NCO, mixer, CIC, FIR, FFT.
+//!
+//! Throughput is reported in elements (input samples) per second so
+//! the numbers read directly as "simulated MSPS on this host".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ddc_core::cic::CicDecimator;
+use ddc_core::fir::{PolyphaseFir, SequentialFir};
+use ddc_core::mixer::FixedMixer;
+use ddc_core::nco::{LutNco, TaylorNco};
+use ddc_dsp::fft::Fft;
+use ddc_dsp::firdes;
+use ddc_dsp::signal::{adc_quantize, SampleSource, WhiteNoise};
+use ddc_dsp::window::Window;
+use ddc_dsp::C64;
+use std::hint::black_box;
+
+const BLOCK: usize = 1 << 14;
+
+fn input_block() -> Vec<i64> {
+    adc_quantize(&WhiteNoise::new(1, 0.9).take_vec(BLOCK), 12)
+        .into_iter()
+        .map(i64::from)
+        .collect()
+}
+
+fn bench_nco(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nco");
+    g.throughput(Throughput::Elements(BLOCK as u64));
+    g.bench_function("lut_10bit", |b| {
+        let mut nco = LutNco::new(0x0C0F_FEE0, 10, 12);
+        b.iter(|| {
+            let mut acc = 0i64;
+            for _ in 0..BLOCK {
+                let cs = nco.next();
+                acc += i64::from(cs.cos) ^ i64::from(cs.sin);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("taylor", |b| {
+        let mut nco = TaylorNco::new(0x0C0F_FEE0, 12);
+        b.iter(|| {
+            let mut acc = 0i64;
+            for _ in 0..BLOCK {
+                let cs = nco.next();
+                acc += i64::from(cs.cos) ^ i64::from(cs.sin);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_mixer(c: &mut Criterion) {
+    let input = input_block();
+    let mut g = c.benchmark_group("mixer");
+    g.throughput(Throughput::Elements(BLOCK as u64));
+    g.bench_function("fixed_12bit", |b| {
+        let mut nco = LutNco::new(0x1234_5678, 10, 12);
+        let m = FixedMixer::new(12, 12);
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &x in &input {
+                let cs = nco.next();
+                let iq = m.mix(x, cs);
+                acc ^= iq.i + iq.q;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cic(c: &mut Criterion) {
+    let input = input_block();
+    let mut g = c.benchmark_group("cic");
+    g.throughput(Throughput::Elements(BLOCK as u64));
+    for (order, decim) in [(2u32, 16u32), (5, 21), (5, 64)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("N{order}_R{decim}")),
+            &(order, decim),
+            |b, &(order, decim)| {
+                let mut cic = CicDecimator::new(order, decim, 12, 12);
+                b.iter(|| {
+                    let mut acc = 0i64;
+                    for &x in &input {
+                        if let Some(y) = cic.process(x) {
+                            acc ^= y;
+                        }
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fir(c: &mut Criterion) {
+    let input = input_block();
+    let finput: Vec<f64> = input.iter().map(|&x| x as f64 / 2048.0).collect();
+    let taps = firdes::lowpass(125, 0.0625, Window::Kaiser(8.0));
+    let coeffs = firdes::quantize_taps(&taps, 12, 11);
+    let mut g = c.benchmark_group("fir125_decim8");
+    g.throughput(Throughput::Elements(BLOCK as u64));
+    g.bench_function("sequential_bit_true", |b| {
+        let mut f = SequentialFir::new(&coeffs, 8, 12, 12, 31);
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &x in &input {
+                if let Some(y) = f.process(x) {
+                    acc ^= y;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("polyphase_f64", |b| {
+        let mut f = PolyphaseFir::new(&taps, 8);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &finput {
+                if let Some(y) = f.process(x) {
+                    acc += y;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [1024usize, 4096, 16384] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let fft = Fft::new(n);
+            let src: Vec<C64> = (0..n).map(|i| C64::cis(i as f64 * 0.1)).collect();
+            let mut buf = src.clone();
+            b.iter(|| {
+                buf.copy_from_slice(&src);
+                fft.forward(&mut buf);
+                black_box(buf[1])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nco, bench_mixer, bench_cic, bench_fir, bench_fft);
+criterion_main!(benches);

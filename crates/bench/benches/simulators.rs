@@ -1,0 +1,72 @@
+//! Criterion benches for the architecture simulators: how fast the
+//! host executes the ARM ISS, the Montium tile and the GC4016
+//! behavioural channel — i.e. the cost of regenerating each paper
+//! experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ddc_arch_asic::gc4016::{Gc4016Channel, Gc4016Config};
+use ddc_arch_gpp::golden::drm_coefficients;
+use ddc_arch_gpp::programs::{run_ddc as run_gpp, unoptimized};
+use ddc_arch_montium::mapping::run_ddc as run_montium;
+use ddc_core::nco::tuning_word;
+use ddc_core::params::DdcConfig;
+use ddc_dsp::signal::{adc_quantize, SampleSource, Tone};
+use std::hint::black_box;
+
+const BLOCK: usize = 2688 * 4;
+
+fn bench_gpp_iss(c: &mut Criterion) {
+    let adc = adc_quantize(
+        &Tone::new(10_003_000.0, 64_512_000.0, 0.6, 0.0).take_vec(BLOCK),
+        12,
+    );
+    let word = tuning_word(10e6, 64_512_000.0);
+    let coeffs = drm_coefficients();
+    let mut g = c.benchmark_group("gpp_iss");
+    g.sample_size(15);
+    g.throughput(Throughput::Elements(BLOCK as u64));
+    g.bench_function("unoptimized_ddc", |b| {
+        b.iter(|| {
+            let (out, stats) = run_gpp(unoptimized(), word, &coeffs, &adc);
+            black_box((out.len(), stats.cycles))
+        })
+    });
+    g.finish();
+}
+
+fn bench_montium(c: &mut Criterion) {
+    let cfg = DdcConfig::drm_montium(10e6);
+    let adc = adc_quantize(
+        &Tone::new(10_003_000.0, cfg.input_rate, 0.6, 0.0).take_vec(BLOCK),
+        16,
+    );
+    let mut g = c.benchmark_group("montium_tile");
+    g.sample_size(15);
+    g.throughput(Throughput::Elements(BLOCK as u64));
+    g.bench_function("ddc_mapping", |b| {
+        b.iter(|| {
+            let run = run_montium(cfg.clone(), &adc, 0);
+            black_box(run.outputs.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_gc4016(c: &mut Criterion) {
+    let cfg = Gc4016Config::gsm_example();
+    let adc = adc_quantize(
+        &Tone::new(cfg.tune_freq + 50_000.0, cfg.input_rate, 0.6, 0.0).take_vec(BLOCK),
+        14,
+    );
+    let mut g = c.benchmark_group("gc4016");
+    g.sample_size(15);
+    g.throughput(Throughput::Elements(BLOCK as u64));
+    g.bench_function("gsm_channel", |b| {
+        let mut ch = Gc4016Channel::new(cfg.clone());
+        b.iter(|| black_box(ch.process_block(&adc).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gpp_iss, bench_montium, bench_gc4016);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! tables all            # everything, paper order
+//! tables table7 fig9    # specific experiments
+//! tables --list         # available ids
+//! ```
+
+use ddc_bench::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: tables [all | --list | <id>...]  (ids: {})", tables::ALL_IDS.join(", "));
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in tables::ALL_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        tables::ALL_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match tables::render(id) {
+            Some(text) => println!("{text}"),
+            None => {
+                eprintln!("unknown experiment id '{id}' (try --list)");
+                std::process::exit(1);
+            }
+        }
+    }
+}

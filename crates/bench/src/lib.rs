@@ -1,0 +1,20 @@
+//! # ddc-bench — benchmark harness and table regeneration
+//!
+//! Two entry points:
+//!
+//! * the **`tables` binary** (`cargo run -p ddc-bench --release --bin
+//!   tables -- all`) regenerates every table and figure of the paper,
+//!   printing the published values next to the values measured from
+//!   this repository's executable models;
+//! * the **Criterion benches** (`cargo bench`) measure the throughput
+//!   of the DSP kernels, the full chains and the architecture
+//!   simulators, plus ablation benches for the design choices called
+//!   out in DESIGN.md.
+//!
+//! The [`tables`] module holds the shared table-building code so the
+//! binary stays a thin argument parser.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tables;

@@ -1,0 +1,349 @@
+//! Switching-activity probes and analytic operation budgets.
+//!
+//! Two kinds of instrumentation feed the power models:
+//!
+//! * [`ChainProbes`] — measured bit-toggle rates on each inter-stage
+//!   bus of a running [`crate::chain::FixedDdc`]. The paper's FPGA
+//!   estimate *assumes* 50 % input / 10 % internal toggling; with these
+//!   probes we can measure the real activity of the executable design
+//!   and compare (and the custom-ASIC model consumes them directly).
+//! * [`OpBudget`] — the closed-form count of arithmetic operations and
+//!   memory accesses per second in each part of the algorithm. This is
+//!   the quantity behind Table 3 (ARM cycle shares), Table 6 (Montium
+//!   ALU occupancy) and the ASIC activity estimate: all three are
+//!   restatements of "how often does each stage do work".
+
+use crate::params::DdcConfig;
+use ddc_dsp::stats::ToggleCounter;
+
+/// Toggle counters on every bus of the fixed-point chain (I and Q
+/// sides counted separately).
+#[derive(Clone, Debug)]
+pub struct ChainProbes {
+    /// ADC input bus.
+    pub input: ToggleCounter,
+    /// Mixer output, in-phase.
+    pub mixer_i: ToggleCounter,
+    /// Mixer output, quadrature.
+    pub mixer_q: ToggleCounter,
+    /// First CIC output, in-phase.
+    pub cic1_i: ToggleCounter,
+    /// First CIC output, quadrature.
+    pub cic1_q: ToggleCounter,
+    /// Second CIC output, in-phase.
+    pub cic2_i: ToggleCounter,
+    /// Second CIC output, quadrature.
+    pub cic2_q: ToggleCounter,
+    /// FIR output, in-phase.
+    pub fir_i: ToggleCounter,
+    /// FIR output, quadrature.
+    pub fir_q: ToggleCounter,
+}
+
+impl ChainProbes {
+    /// Creates probes for a `data_bits`-wide bus set.
+    pub fn new(data_bits: u32) -> Self {
+        let mk = || ToggleCounter::new(data_bits);
+        ChainProbes {
+            input: mk(),
+            mixer_i: mk(),
+            mixer_q: mk(),
+            cic1_i: mk(),
+            cic1_q: mk(),
+            cic2_i: mk(),
+            cic2_q: mk(),
+            fir_i: mk(),
+            fir_q: mk(),
+        }
+    }
+
+    /// `(bus name, toggle rate)` for every probe, in chain order.
+    pub fn rates(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("input", self.input.toggle_rate()),
+            ("mixer I", self.mixer_i.toggle_rate()),
+            ("mixer Q", self.mixer_q.toggle_rate()),
+            ("CIC1 I", self.cic1_i.toggle_rate()),
+            ("CIC1 Q", self.cic1_q.toggle_rate()),
+            ("CIC2 I", self.cic2_i.toggle_rate()),
+            ("CIC2 Q", self.cic2_q.toggle_rate()),
+            ("FIR I", self.fir_i.toggle_rate()),
+            ("FIR Q", self.fir_q.toggle_rate()),
+        ]
+    }
+
+    /// Activity-weighted mean toggle rate across the internal buses
+    /// (everything after the input), weighting each bus by its event
+    /// rate so the fast front-end buses dominate — the single "internal
+    /// toggle rate" number a PowerPlay-style model wants.
+    pub fn internal_rate(&self) -> f64 {
+        let buses = [
+            &self.mixer_i,
+            &self.mixer_q,
+            &self.cic1_i,
+            &self.cic1_q,
+            &self.cic2_i,
+            &self.cic2_q,
+            &self.fir_i,
+            &self.fir_q,
+        ];
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for b in buses {
+            let w = b.transitions() as f64;
+            weighted += b.toggle_rate() * w;
+            weight += w;
+        }
+        if weight == 0.0 {
+            0.0
+        } else {
+            weighted / weight
+        }
+    }
+}
+
+/// Identifies one part of the DDC algorithm in the budget tables. The
+/// split matches the paper's Tables 3 and 6 row-for-row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StagePart {
+    /// NCO table lookup + phase accumulate + the two mixer multiplies.
+    NcoMix,
+    /// Integrating half of the first CIC.
+    Cic1Integrate,
+    /// Comb half of the first CIC.
+    Cic1Comb,
+    /// Integrating half of the second CIC.
+    Cic2Integrate,
+    /// Comb half of the second CIC.
+    Cic2Comb,
+    /// Polyphase write side of the FIR (per input sample).
+    FirWrite,
+    /// Multiply-accumulate/summation side of the FIR (per output).
+    FirSum,
+}
+
+impl StagePart {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            StagePart::NcoMix => "NCO + mixer",
+            StagePart::Cic1Integrate => "CIC2-integrating",
+            StagePart::Cic1Comb => "CIC2-cascading",
+            StagePart::Cic2Integrate => "CIC5-integrating",
+            StagePart::Cic2Comb => "CIC5-cascading",
+            StagePart::FirWrite => "FIR125-poly-phase",
+            StagePart::FirSum => "FIR125-summation",
+        }
+    }
+
+    /// All parts in chain order.
+    pub fn all() -> [StagePart; 7] {
+        [
+            StagePart::NcoMix,
+            StagePart::Cic1Integrate,
+            StagePart::Cic1Comb,
+            StagePart::Cic2Integrate,
+            StagePart::Cic2Comb,
+            StagePart::FirWrite,
+            StagePart::FirSum,
+        ]
+    }
+}
+
+/// Operation counts for one part of the algorithm, for **one** signal
+/// path (I or Q) unless stated otherwise.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StageOps {
+    /// Which part.
+    pub part: StagePart,
+    /// Event (invocation) rate in Hz: input rate for front-end parts,
+    /// decimated rates further down.
+    pub event_rate: f64,
+    /// Additions/subtractions per event.
+    pub adds: f64,
+    /// Multiplications per event.
+    pub mults: f64,
+    /// Memory reads per event (LUT/RAM/ROM).
+    pub reads: f64,
+    /// Memory writes per event.
+    pub writes: f64,
+}
+
+impl StageOps {
+    /// Total arithmetic operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        (self.adds + self.mults) * self.event_rate
+    }
+
+    /// Total memory accesses per second.
+    pub fn mem_per_sec(&self) -> f64 {
+        (self.reads + self.writes) * self.event_rate
+    }
+}
+
+/// The analytic operation budget of a DDC configuration.
+#[derive(Clone, Debug)]
+pub struct OpBudget {
+    /// Per-part operation counts for one signal path.
+    pub stages: Vec<StageOps>,
+    /// Number of signal paths (2 = complex I/Q).
+    pub paths: u32,
+}
+
+impl OpBudget {
+    /// Derives the budget from a configuration. Counts are per path;
+    /// the NCO lookup itself is shared but the mixer multiply is per
+    /// path — we charge the shared work to `NcoMix` once per path with
+    /// the lookup halved, which keeps per-path symmetry (and matches
+    /// the paper's convention of sizing from the in-phase half).
+    pub fn from_config(cfg: &DdcConfig) -> Self {
+        let [r_in, r_cic2, r_fir, r_out] = cfg.stage_rates();
+        let n1 = cfg.cic1_order as f64;
+        let n2 = cfg.cic2_order as f64;
+        let taps = cfg.fir_taps.len() as f64;
+        let stages = vec![
+            StageOps {
+                part: StagePart::NcoMix,
+                event_rate: r_in,
+                // phase accumulate (0.5, shared) + mixer multiply; the
+                // sine/cosine fetch is the read.
+                adds: 0.5,
+                mults: 1.0,
+                reads: 1.0,
+                writes: 0.0,
+            },
+            StageOps {
+                part: StagePart::Cic1Integrate,
+                event_rate: r_in,
+                adds: n1,
+                mults: 0.0,
+                reads: 0.0,
+                writes: 0.0,
+            },
+            StageOps {
+                part: StagePart::Cic1Comb,
+                event_rate: r_cic2,
+                adds: n1,
+                mults: 0.0,
+                reads: 0.0,
+                writes: 0.0,
+            },
+            StageOps {
+                part: StagePart::Cic2Integrate,
+                event_rate: r_cic2,
+                adds: n2,
+                mults: 0.0,
+                reads: 0.0,
+                writes: 0.0,
+            },
+            StageOps {
+                part: StagePart::Cic2Comb,
+                event_rate: r_fir,
+                adds: n2,
+                mults: 0.0,
+                reads: 0.0,
+                writes: 0.0,
+            },
+            StageOps {
+                part: StagePart::FirWrite,
+                event_rate: r_fir,
+                adds: 0.0,
+                mults: 0.0,
+                reads: 0.0,
+                writes: 1.0,
+            },
+            StageOps {
+                part: StagePart::FirSum,
+                event_rate: r_out,
+                adds: taps,
+                mults: taps,
+                reads: 2.0 * taps,
+                writes: 0.0,
+            },
+        ];
+        OpBudget { stages, paths: 2 }
+    }
+
+    /// Total arithmetic operations per second for one path.
+    pub fn ops_per_sec_one_path(&self) -> f64 {
+        self.stages.iter().map(StageOps::ops_per_sec).sum()
+    }
+
+    /// Total arithmetic operations per second for the full complex DDC.
+    pub fn ops_per_sec_total(&self) -> f64 {
+        self.ops_per_sec_one_path() * self.paths as f64
+    }
+
+    /// Fraction of the total operation rate spent in `part` (0..=1).
+    pub fn fraction(&self, part: StagePart) -> f64 {
+        let total = self.ops_per_sec_one_path();
+        self.stages
+            .iter()
+            .find(|s| s.part == part)
+            .map(|s| s.ops_per_sec() / total)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::DdcConfig;
+
+    #[test]
+    fn budget_rates_follow_table1() {
+        let b = OpBudget::from_config(&DdcConfig::drm(0.0));
+        let by = |p: StagePart| b.stages.iter().find(|s| s.part == p).unwrap().event_rate;
+        assert_eq!(by(StagePart::NcoMix), 64_512_000.0);
+        assert_eq!(by(StagePart::Cic1Integrate), 64_512_000.0);
+        assert_eq!(by(StagePart::Cic1Comb), 4_032_000.0);
+        assert_eq!(by(StagePart::Cic2Integrate), 4_032_000.0);
+        assert_eq!(by(StagePart::Cic2Comb), 192_000.0);
+        assert_eq!(by(StagePart::FirWrite), 192_000.0);
+        assert_eq!(by(StagePart::FirSum), 24_000.0);
+    }
+
+    #[test]
+    fn front_end_dominates_the_budget() {
+        // The paper: "The first stages of the DDC consume most of the
+        // energy, because this part is working with the highest sample
+        // rate." NCO+mixer plus CIC2-integrate must dominate.
+        let b = OpBudget::from_config(&DdcConfig::drm(0.0));
+        let front = b.fraction(StagePart::NcoMix) + b.fraction(StagePart::Cic1Integrate);
+        assert!(front > 0.85, "front-end fraction {front}");
+    }
+
+    #[test]
+    fn fir_sum_is_small_but_nonzero() {
+        let b = OpBudget::from_config(&DdcConfig::drm(0.0));
+        let f = b.fraction(StagePart::FirSum);
+        assert!(f > 0.005 && f < 0.05, "FIR fraction {f}");
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b = OpBudget::from_config(&DdcConfig::drm(0.0));
+        let total: f64 = StagePart::all().iter().map(|&p| b.fraction(p)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_budget_doubles_single_path() {
+        let b = OpBudget::from_config(&DdcConfig::drm(0.0));
+        assert_eq!(b.ops_per_sec_total(), 2.0 * b.ops_per_sec_one_path());
+    }
+
+    #[test]
+    fn probes_start_empty() {
+        let p = ChainProbes::new(12);
+        assert_eq!(p.internal_rate(), 0.0);
+        assert_eq!(p.rates().len(), 9);
+    }
+
+    #[test]
+    fn part_names_match_paper_tables() {
+        assert_eq!(StagePart::Cic1Integrate.name(), "CIC2-integrating");
+        assert_eq!(StagePart::Cic2Comb.name(), "CIC5-cascading");
+        assert_eq!(StagePart::FirSum.name(), "FIR125-summation");
+    }
+}

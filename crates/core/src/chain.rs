@@ -1,0 +1,490 @@
+//! The assembled DDC chains (Figure 1 of the paper).
+//!
+//! [`ReferenceDdc`] is the floating-point golden model; [`FixedDdc`]
+//! is the bit-true datapath the architecture simulators are verified
+//! against. Both consume the real ADC stream and produce complex
+//! baseband output at `input_rate / 2688` (for the DRM preset).
+
+use crate::activity::ChainProbes;
+use crate::cic::CicDecimator;
+use crate::fir::{PolyphaseFir, SequentialFir};
+use crate::mixer::{mix_f64, FixedMixer, Iq};
+use crate::nco::{LutNco, RefOscillator};
+use crate::params::DdcConfig;
+use ddc_dsp::firdes::quantize_taps;
+use ddc_dsp::C64;
+
+/// A floating-point CIC decimator with unit DC gain — numerically
+/// ideal, used only inside the reference chain.
+#[derive(Clone, Debug)]
+struct FloatCic {
+    integrators: Vec<f64>,
+    combs: Vec<f64>,
+    decim: u32,
+    phase: u32,
+    norm: f64,
+}
+
+impl FloatCic {
+    fn new(order: u32, decim: u32) -> Self {
+        FloatCic {
+            integrators: vec![0.0; order as usize],
+            combs: vec![0.0; order as usize],
+            decim,
+            phase: 0,
+            norm: 1.0 / (decim as f64).powi(order as i32),
+        }
+    }
+
+    #[inline]
+    fn process(&mut self, x: f64) -> Option<f64> {
+        let mut v = x;
+        for acc in self.integrators.iter_mut() {
+            *acc += v;
+            v = *acc;
+        }
+        self.phase += 1;
+        if self.phase < self.decim {
+            return None;
+        }
+        self.phase = 0;
+        for d in self.combs.iter_mut() {
+            let delayed = *d;
+            *d = v;
+            v -= delayed;
+        }
+        Some(v * self.norm)
+    }
+}
+
+/// The floating-point reference DDC: exact-phase NCO (sharing the
+/// 32-bit accumulator quantization with the fixed chain so both tune
+/// to the identical frequency), ideal mixer, unit-gain CICs and the
+/// f64 polyphase FIR.
+#[derive(Clone, Debug)]
+pub struct ReferenceDdc {
+    osc: RefOscillator,
+    /// When present, sine/cosine come from this quantized table
+    /// (converted to f64) instead of the exact oscillator — isolates
+    /// datapath quantization from NCO quantization in comparisons.
+    lut: Option<LutNco>,
+    cic1_i: FloatCic,
+    cic1_q: FloatCic,
+    cic2_i: FloatCic,
+    cic2_q: FloatCic,
+    fir_i: PolyphaseFir,
+    fir_q: PolyphaseFir,
+    config: DdcConfig,
+}
+
+impl ReferenceDdc {
+    /// Builds the reference chain from a validated configuration.
+    pub fn new(config: DdcConfig) -> Self {
+        config.validate().expect("invalid DDC configuration");
+        ReferenceDdc {
+            osc: RefOscillator::new(config.tuning_word()),
+            lut: None,
+            cic1_i: FloatCic::new(config.cic1_order, config.cic1_decim),
+            cic1_q: FloatCic::new(config.cic1_order, config.cic1_decim),
+            cic2_i: FloatCic::new(config.cic2_order, config.cic2_decim),
+            cic2_q: FloatCic::new(config.cic2_order, config.cic2_decim),
+            fir_i: PolyphaseFir::new(&config.fir_taps, config.fir_decim),
+            fir_q: PolyphaseFir::new(&config.fir_taps, config.fir_decim),
+            config,
+        }
+    }
+
+    /// Builds a reference chain whose NCO reads the *same* quantized
+    /// look-up table as [`FixedDdc`] (but keeps f64 datapaths
+    /// everywhere after it). Comparing [`FixedDdc`] against this
+    /// isolates datapath quantization noise from the shared NCO error.
+    pub fn with_table_nco(config: DdcConfig) -> Self {
+        let f = config.format;
+        let lut = LutNco::new(config.tuning_word(), f.lut_addr_bits, f.coeff_bits);
+        ReferenceDdc {
+            lut: Some(lut),
+            ..ReferenceDdc::new(config)
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DdcConfig {
+        &self.config
+    }
+
+    /// Feeds one real input sample in `[-1, 1]`; returns a complex
+    /// baseband output every `total_decimation` inputs.
+    #[inline]
+    pub fn process(&mut self, x: f64) -> Option<C64> {
+        let (c, s) = match self.lut.as_mut() {
+            Some(lut) => {
+                let cs = lut.next();
+                let full = ddc_dsp::fixed::max_signed(lut.amp_bits()) as f64;
+                (f64::from(cs.cos) / full, f64::from(cs.sin) / full)
+            }
+            None => self.osc.next(),
+        };
+        let (i0, q0) = mix_f64(x, c, s);
+        let i1 = self.cic1_i.process(i0);
+        let q1 = self.cic1_q.process(q0);
+        let (i1, q1) = match (i1, q1) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return None,
+        };
+        let (i2, q2) = match (self.cic2_i.process(i1), self.cic2_q.process(q1)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return None,
+        };
+        match (self.fir_i.process(i2), self.fir_q.process(q2)) {
+            (Some(i3), Some(q3)) => Some(C64::new(i3, q3)),
+            _ => None,
+        }
+    }
+
+    /// Processes a block, returning all produced outputs.
+    pub fn process_block(&mut self, input: &[f64]) -> Vec<C64> {
+        let mut out = Vec::with_capacity(input.len() / self.config.total_decimation() as usize + 1);
+        for &x in input {
+            if let Some(z) = self.process(x) {
+                out.push(z);
+            }
+        }
+        out
+    }
+}
+
+/// The bit-true fixed-point DDC: LUT NCO, saturating mixer, wrapping
+/// CICs and the sequential FIR of Figure 5, all at the bus widths of
+/// [`crate::params::FixedFormat`].
+///
+/// # Examples
+///
+/// ```
+/// use ddc_core::{DdcConfig, FixedDdc};
+///
+/// // The paper's Table 1 chain, tuned to 10 MHz, 12-bit datapath.
+/// let mut ddc = FixedDdc::new(DdcConfig::drm(10.0e6));
+/// // 2688 ADC words in → exactly one complex output word.
+/// let out = ddc.process_block(&vec![100i32; 2688]);
+/// assert_eq!(out.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FixedDdc {
+    nco: LutNco,
+    mixer: FixedMixer,
+    cic1_i: CicDecimator,
+    cic1_q: CicDecimator,
+    cic2_i: CicDecimator,
+    cic2_q: CicDecimator,
+    fir_i: SequentialFir,
+    fir_q: SequentialFir,
+    probes: Option<ChainProbes>,
+    /// Exact linear DC gain of the whole chain (product of the CICs'
+    /// power-of-two-scaled gains and the quantized FIR's DC gain) —
+    /// slightly below 1 because 21⁵ is not a power of two.
+    nominal_gain: f64,
+    config: DdcConfig,
+}
+
+impl FixedDdc {
+    /// Builds the bit-true chain. FIR coefficients are quantized to the
+    /// configured coefficient width.
+    pub fn new(config: DdcConfig) -> Self {
+        config.validate().expect("invalid DDC configuration");
+        let f = config.format;
+        let coeffs = quantize_taps(&config.fir_taps, f.coeff_bits, f.coeff_frac());
+        let mk_cic1 = || CicDecimator::new(config.cic1_order, config.cic1_decim, f.data_bits, f.data_bits);
+        let mk_cic2 = || CicDecimator::new(config.cic2_order, config.cic2_decim, f.data_bits, f.data_bits);
+        let mk_fir = || SequentialFir::new(&coeffs, config.fir_decim, f.data_bits, f.coeff_bits, f.fir_acc_bits);
+        let fir_dc_gain =
+            coeffs.iter().map(|&c| f64::from(c)).sum::<f64>() / 2f64.powi(f.coeff_frac() as i32);
+        let cic1 = mk_cic1();
+        let cic2 = mk_cic2();
+        let nominal_gain = cic1.scaled_dc_gain() * cic2.scaled_dc_gain() * fir_dc_gain;
+        FixedDdc {
+            nco: LutNco::new(config.tuning_word(), f.lut_addr_bits, f.coeff_bits),
+            mixer: FixedMixer::new(f.data_bits, f.coeff_bits),
+            cic1_i: cic1.clone(),
+            cic1_q: cic1,
+            cic2_i: cic2.clone(),
+            cic2_q: cic2,
+            fir_i: mk_fir(),
+            fir_q: mk_fir(),
+            probes: None,
+            nominal_gain,
+            config,
+        }
+    }
+
+    /// Exact linear DC gain of the chain relative to an ideal
+    /// unit-gain DDC (≈ 0.974 for the DRM preset — the CIC5's 21⁵ gain
+    /// renormalised by a 2²² shift).
+    pub fn nominal_gain(&self) -> f64 {
+        self.nominal_gain
+    }
+
+    /// Enables per-stage switching-activity probes (a small runtime
+    /// cost; off by default).
+    pub fn with_activity(mut self) -> Self {
+        self.probes = Some(ChainProbes::new(self.config.format.data_bits));
+        self
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DdcConfig {
+        &self.config
+    }
+
+    /// The activity probes, when enabled.
+    pub fn probes(&self) -> Option<&ChainProbes> {
+        self.probes.as_ref()
+    }
+
+    /// Retunes the NCO without flushing filter state.
+    pub fn set_tune_freq(&mut self, freq: f64) {
+        self.config.tune_freq = freq;
+        self.nco.set_tuning_word(self.config.tuning_word());
+    }
+
+    /// Feeds one ADC word (`data_bits` wide); returns an I/Q output
+    /// word pair every `total_decimation` inputs.
+    #[inline]
+    pub fn process(&mut self, x: i64) -> Option<Iq> {
+        let cs = self.nco.next();
+        let m = self.mixer.mix(x, cs);
+        if let Some(p) = self.probes.as_mut() {
+            p.input.observe(x);
+            p.mixer_i.observe(m.i);
+            p.mixer_q.observe(m.q);
+        }
+        let (i1, q1) = match (self.cic1_i.process(m.i), self.cic1_q.process(m.q)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return None,
+        };
+        if let Some(p) = self.probes.as_mut() {
+            p.cic1_i.observe(i1);
+            p.cic1_q.observe(q1);
+        }
+        let (i2, q2) = match (self.cic2_i.process(i1), self.cic2_q.process(q1)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return None,
+        };
+        if let Some(p) = self.probes.as_mut() {
+            p.cic2_i.observe(i2);
+            p.cic2_q.observe(q2);
+        }
+        match (self.fir_i.process(i2), self.fir_q.process(q2)) {
+            (Some(i3), Some(q3)) => {
+                if let Some(p) = self.probes.as_mut() {
+                    p.fir_i.observe(i3);
+                    p.fir_q.observe(q3);
+                }
+                Some(Iq { i: i3, q: q3 })
+            }
+            _ => None,
+        }
+    }
+
+    /// Processes a block of ADC words.
+    pub fn process_block(&mut self, input: &[i32]) -> Vec<Iq> {
+        let mut out = Vec::with_capacity(input.len() / self.config.total_decimation() as usize + 1);
+        for &x in input {
+            if let Some(z) = self.process(i64::from(x)) {
+                out.push(z);
+            }
+        }
+        out
+    }
+
+    /// Converts fixed outputs to `C64` using the data format's
+    /// Q-scaling **and** compensating the chain's nominal gain, so the
+    /// result is directly comparable with [`ReferenceDdc`] output.
+    pub fn to_c64(&self, out: &[Iq]) -> Vec<C64> {
+        let scale = 1.0 / (2f64.powi(self.config.format.data_frac() as i32) * self.nominal_gain);
+        out.iter()
+            .map(|iq| C64::new(iq.i as f64 * scale, iq.q as f64 * scale))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{DdcConfig, DRM_TOTAL_DECIMATION};
+    use ddc_dsp::signal::{adc_quantize, SampleSource, Tone, WhiteNoise};
+    use ddc_dsp::spectrum::periodogram_complex;
+    use ddc_dsp::stats::ser_db;
+    use ddc_dsp::window::Window;
+
+    /// Enough input for `n` outputs plus filter settle.
+    fn input_len(outputs: usize) -> usize {
+        (outputs + 4) * DRM_TOTAL_DECIMATION as usize
+    }
+
+    #[test]
+    fn reference_chain_produces_expected_rate() {
+        let cfg = DdcConfig::drm(10e6);
+        let mut ddc = ReferenceDdc::new(cfg);
+        let sig = Tone::new(10e6, 64_512_000.0, 0.5, 0.0).take_vec(input_len(10));
+        let out = ddc.process_block(&sig);
+        assert_eq!(out.len(), input_len(10) / 2688);
+    }
+
+    #[test]
+    fn tone_at_tune_frequency_lands_at_dc() {
+        let f_tune = 10_000_000.0;
+        let cfg = DdcConfig::drm(f_tune);
+        let fs = cfg.input_rate;
+        let mut ddc = ReferenceDdc::new(cfg);
+        // offset the tone 3 kHz above the tuning frequency
+        let sig = Tone::new(f_tune + 3_000.0, fs, 0.5, 0.4).take_vec(input_len(600));
+        let out = ddc.process_block(&sig);
+        let tail = &out[out.len() - 512..];
+        let sp = periodogram_complex(tail, 24_000.0, 512, Window::BlackmanHarris);
+        let (f_peak, _) = sp.peak();
+        assert!((f_peak - 3_000.0).abs() < 100.0, "peak at {f_peak}");
+    }
+
+    #[test]
+    fn negative_offset_lands_at_negative_frequency() {
+        let f_tune = 10_000_000.0;
+        let cfg = DdcConfig::drm(f_tune);
+        let fs = cfg.input_rate;
+        let mut ddc = ReferenceDdc::new(cfg);
+        let sig = Tone::new(f_tune - 5_000.0, fs, 0.5, 0.0).take_vec(input_len(600));
+        let out = ddc.process_block(&sig);
+        let tail = &out[out.len() - 512..];
+        let sp = periodogram_complex(tail, 24_000.0, 512, Window::BlackmanHarris);
+        let (f_peak, _) = sp.peak();
+        assert!((f_peak + 5_000.0).abs() < 100.0, "peak at {f_peak}");
+    }
+
+    #[test]
+    fn out_of_band_tone_is_strongly_attenuated() {
+        let f_tune = 10_000_000.0;
+        let cfg = DdcConfig::drm(f_tune);
+        let fs = cfg.input_rate;
+        // in-band tone at +3 kHz, interferer 500 kHz away
+        let mut ddc = ReferenceDdc::new(cfg);
+        let mut src = ddc_dsp::signal::Mix(
+            Tone::new(f_tune + 3_000.0, fs, 0.25, 0.0),
+            Tone::new(f_tune + 500_000.0, fs, 0.25, 1.0),
+        );
+        let sig = src.take_vec(input_len(600));
+        let out = ddc.process_block(&sig);
+        let tail = &out[out.len() - 512..];
+        let sp = periodogram_complex(tail, 24_000.0, 512, Window::BlackmanHarris);
+        // power near 3 kHz vs total out-of-band power
+        let in_band = sp.band_power(2_500.0, 3_500.0);
+        let total: f64 = sp.power.iter().sum();
+        let ratio_db = 10.0 * (in_band / (total - in_band)).log10();
+        assert!(ratio_db > 40.0, "selectivity {ratio_db} dB");
+    }
+
+    #[test]
+    fn fixed_chain_rate_and_range() {
+        let cfg = DdcConfig::drm(10e6);
+        let fs = cfg.input_rate;
+        let mut ddc = FixedDdc::new(cfg);
+        let analog = Tone::new(10e6 + 2_000.0, fs, 0.8, 0.0).take_vec(input_len(50));
+        let adc = adc_quantize(&analog, 12);
+        let out = ddc.process_block(&adc);
+        assert_eq!(out.len(), adc.len() / 2688);
+        for iq in &out {
+            assert!(iq.i.abs() <= 2048 && iq.q.abs() <= 2048);
+        }
+    }
+
+    #[test]
+    fn fixed_chain_tracks_reference_chain() {
+        // The 12-bit chain must track the f64 chain to the level its
+        // quantizers allow. The dominant error source is the 12-bit
+        // requantization between stages (~72 dB floor per stage); we
+        // require > 45 dB signal-to-error on a clean in-band tone.
+        let f_tune = 10_000_000.0;
+        let cfg = DdcConfig::drm(f_tune);
+        let fs = cfg.input_rate;
+        let analog = Tone::new(f_tune + 4_000.0, fs, 0.7, 0.2).take_vec(input_len(400));
+        let mut fx = FixedDdc::new(cfg.clone());
+        let mut rf = ReferenceDdc::new(cfg);
+        let adc = adc_quantize(&analog, 12);
+        let raw = fx.process_block(&adc);
+        let out_fx = fx.to_c64(&raw);
+        let out_rf = rf.process_block(&analog);
+        assert_eq!(out_fx.len(), out_rf.len());
+        // skip the settling transient
+        let skip = 32;
+        let fi: Vec<f64> = out_fx[skip..].iter().map(|z| z.re).collect();
+        let ri: Vec<f64> = out_rf[skip..].iter().map(|z| z.re).collect();
+        let fq: Vec<f64> = out_fx[skip..].iter().map(|z| z.im).collect();
+        let rq: Vec<f64> = out_rf[skip..].iter().map(|z| z.im).collect();
+        let ser_i = ser_db(&ri, &fi);
+        let ser_q = ser_db(&rq, &fq);
+        assert!(ser_i > 45.0, "I-path SER {ser_i} dB");
+        assert!(ser_q > 45.0, "Q-path SER {ser_q} dB");
+    }
+
+    #[test]
+    fn montium_format_has_lower_quantization_noise() {
+        let f_tune = 10_000_000.0;
+        let analog = Tone::new(f_tune + 4_000.0, 64_512_000.0, 0.7, 0.2).take_vec(input_len(200));
+        let measure = |cfg: DdcConfig, adc_bits: u32| {
+            let mut fx = FixedDdc::new(cfg.clone());
+            // Table-matched reference: both chains share the identical
+            // NCO samples, so the SER difference is purely datapath
+            // word length.
+            let mut rf = ReferenceDdc::with_table_nco(cfg);
+            let adc = adc_quantize(&analog, adc_bits);
+            let raw = fx.process_block(&adc);
+            let out_fx = fx.to_c64(&raw);
+            let out_rf = rf.process_block(&analog);
+            let skip = 32;
+            let fi: Vec<f64> = out_fx[skip..].iter().map(|z| z.re).collect();
+            let ri: Vec<f64> = out_rf[skip..].iter().map(|z| z.re).collect();
+            ser_db(&ri, &fi)
+        };
+        let ser12 = measure(DdcConfig::drm(f_tune), 12);
+        let ser16 = measure(DdcConfig::drm_montium(f_tune), 16);
+        assert!(ser16 > ser12 + 10.0, "12-bit {ser12} dB vs 16-bit {ser16} dB");
+    }
+
+    #[test]
+    fn activity_probes_report_plausible_toggle_rates() {
+        let cfg = DdcConfig::drm(10e6);
+        let mut ddc = FixedDdc::new(cfg).with_activity();
+        let mut noise = WhiteNoise::new(3, 0.9);
+        let analog = noise.take_vec(input_len(30));
+        let adc = adc_quantize(&analog, 12);
+        let _ = ddc.process_block(&adc);
+        let p = ddc.probes().unwrap();
+        // Random full-scale input: toggle rate near 0.5 at the input.
+        let r_in = p.input.toggle_rate();
+        assert!((r_in - 0.5).abs() < 0.05, "input rate {r_in}");
+        // Every probe must have seen data.
+        assert!(p.fir_i.transitions() > 0);
+        assert!(p.cic2_q.transitions() > 0);
+    }
+
+    #[test]
+    fn retuning_moves_the_selected_band() {
+        let cfg = DdcConfig::drm(10e6);
+        let fs = cfg.input_rate;
+        let mut ddc = FixedDdc::new(cfg);
+        // Tone at 20 MHz while tuned to 10 MHz: nothing in band.
+        let analog = Tone::new(20e6, fs, 0.8, 0.0).take_vec(input_len(100));
+        let adc = adc_quantize(&analog, 12);
+        let out1 = ddc.process_block(&adc);
+        let p1: f64 = out1[out1.len() - 50..]
+            .iter()
+            .map(|z| (z.i * z.i + z.q * z.q) as f64)
+            .sum();
+        // Retune to 20 MHz: the tone appears.
+        ddc.set_tune_freq(20e6);
+        let out2 = ddc.process_block(&adc);
+        let p2: f64 = out2[out2.len() - 50..]
+            .iter()
+            .map(|z| (z.i * z.i + z.q * z.q) as f64)
+            .sum();
+        assert!(p2 > p1 * 100.0, "p1={p1} p2={p2}");
+    }
+}

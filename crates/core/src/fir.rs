@@ -1,0 +1,375 @@
+//! FIR filters: the dense reference form, the decimating polyphase
+//! form (Figure 3 of the paper) and the bit-true sequential
+//! implementation the FPGA uses (Figure 5).
+//!
+//! The polyphase observation (§2.1): a decimate-by-D FIR only ever
+//! *uses* one output in D, so the multiplies and the summation need to
+//! run only once per D input samples — the input-side register file is
+//! still written at the full input rate. The FPGA implementation goes
+//! one step further and serialises the multiply-accumulate over the
+//! 2688 clock cycles available between outputs ("it has been decided to
+//! implement the filter as a sequential algorithm", §5.2.1).
+
+use ddc_dsp::fixed::{fits, saturate, trunc_shift};
+
+/// A dense (non-decimating) direct-form FIR in `f64` — the reference
+/// the optimised forms are checked against.
+#[derive(Clone, Debug)]
+pub struct DirectFir {
+    taps: Vec<f64>,
+    /// Circular delay line, newest sample at `pos`.
+    delay: Vec<f64>,
+    pos: usize,
+}
+
+impl DirectFir {
+    /// Builds the filter from its impulse response.
+    pub fn new(taps: &[f64]) -> Self {
+        assert!(!taps.is_empty());
+        DirectFir {
+            taps: taps.to_vec(),
+            delay: vec![0.0; taps.len()],
+            pos: 0,
+        }
+    }
+
+    /// Feeds one sample, returns one output.
+    #[inline]
+    pub fn process(&mut self, x: f64) -> f64 {
+        self.delay[self.pos] = x;
+        let n = self.taps.len();
+        let mut acc = 0.0;
+        let mut idx = self.pos;
+        for &h in &self.taps {
+            acc += h * self.delay[idx];
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        self.pos = (self.pos + 1) % n;
+        acc
+    }
+}
+
+/// A decimating polyphase FIR in `f64`: stores every input, computes
+/// one output per `decim` inputs.
+#[derive(Clone, Debug)]
+pub struct PolyphaseFir {
+    taps: Vec<f64>,
+    delay: Vec<f64>,
+    pos: usize,
+    decim: u32,
+    phase: u32,
+}
+
+impl PolyphaseFir {
+    /// Builds the filter from its impulse response and decimation.
+    pub fn new(taps: &[f64], decim: u32) -> Self {
+        assert!(!taps.is_empty() && decim >= 1);
+        PolyphaseFir {
+            taps: taps.to_vec(),
+            delay: vec![0.0; taps.len()],
+            pos: 0,
+            decim,
+            phase: 0,
+        }
+    }
+
+    /// Decimation factor.
+    pub fn decimation(&self) -> u32 {
+        self.decim
+    }
+
+    /// Feeds one input sample; every `decim`-th call returns an output.
+    #[inline]
+    pub fn process(&mut self, x: f64) -> Option<f64> {
+        self.delay[self.pos] = x;
+        let n = self.taps.len();
+        let newest = self.pos;
+        self.pos = (self.pos + 1) % n;
+        self.phase += 1;
+        if self.phase < self.decim {
+            return None;
+        }
+        self.phase = 0;
+        let mut acc = 0.0;
+        let mut idx = newest;
+        for &h in &self.taps {
+            acc += h * self.delay[idx];
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        Some(acc)
+    }
+
+    /// Resets delay-line state.
+    pub fn reset(&mut self) {
+        self.delay.fill(0.0);
+        self.pos = 0;
+        self.phase = 0;
+    }
+}
+
+/// The bit-true sequential polyphase FIR of Figure 5:
+///
+/// * inputs (`data_bits` wide) are written into a RAM of `taps.len()`
+///   words at the input rate;
+/// * once per `decim` inputs, the filter spends `taps.len()` clock
+///   cycles reading one coefficient (ROM) and one stored sample (RAM)
+///   per cycle, multiplying (`data_bits + coeff_bits`-bit product) and
+///   accumulating into an `acc_bits`-bit register sized so overflow
+///   cannot occur;
+/// * the accumulator is then truncated by `coeff_bits − 1` (dropping
+///   the fractional growth of the Q-format product) and **saturated**
+///   to `data_bits` ("in case of saturation, the maximum or the
+///   minimum value is returned").
+#[derive(Clone, Debug)]
+pub struct SequentialFir {
+    coeffs: Vec<i32>,
+    ram: Vec<i64>,
+    pos: usize,
+    decim: u32,
+    phase: u32,
+    data_bits: u32,
+    coeff_frac: u32,
+    acc_bits: u32,
+}
+
+impl SequentialFir {
+    /// Builds the filter from quantized coefficients.
+    pub fn new(coeffs: &[i32], decim: u32, data_bits: u32, coeff_bits: u32, acc_bits: u32) -> Self {
+        assert!(!coeffs.is_empty() && decim >= 1);
+        assert!((2..=32).contains(&data_bits));
+        assert!((2..=32).contains(&coeff_bits));
+        assert!(acc_bits <= 62, "accumulator too wide to model in i64");
+        for &c in coeffs {
+            assert!(
+                fits(i64::from(c), coeff_bits),
+                "coefficient {c} exceeds {coeff_bits} bits"
+            );
+        }
+        SequentialFir {
+            coeffs: coeffs.to_vec(),
+            ram: vec![0; coeffs.len()],
+            pos: 0,
+            decim,
+            phase: 0,
+            data_bits,
+            coeff_frac: coeff_bits - 1,
+            acc_bits,
+        }
+    }
+
+    /// Number of taps.
+    pub fn taps(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Decimation factor.
+    pub fn decimation(&self) -> u32 {
+        self.decim
+    }
+
+    /// Clock cycles the sequential MAC loop occupies per output — one
+    /// per tap plus one delivery cycle (the paper computes "124 taps
+    /// ... in 125 clock cycles").
+    pub fn cycles_per_output(&self) -> u32 {
+        self.coeffs.len() as u32 + 1
+    }
+
+    /// RAM bits required for the sample store (what the FPGA mapper
+    /// charges to an M4K block).
+    pub fn ram_bits(&self) -> usize {
+        self.ram.len() * self.data_bits as usize
+    }
+
+    /// ROM bits required for the coefficient store.
+    pub fn rom_bits(&self) -> usize {
+        self.coeffs.len() * (self.coeff_frac + 1) as usize
+    }
+
+    /// Feeds one input sample; every `decim`-th call returns the
+    /// saturated output word.
+    #[inline]
+    pub fn process(&mut self, x: i64) -> Option<i64> {
+        debug_assert!(fits(x, self.data_bits), "input {x} wider than bus");
+        self.ram[self.pos] = x;
+        let n = self.coeffs.len();
+        let newest = self.pos;
+        self.pos = (self.pos + 1) % n;
+        self.phase += 1;
+        if self.phase < self.decim {
+            return None;
+        }
+        self.phase = 0;
+        let mut acc: i64 = 0;
+        let mut idx = newest;
+        for &h in &self.coeffs {
+            acc += i64::from(h) * self.ram[idx];
+            debug_assert!(
+                fits(acc, self.acc_bits),
+                "accumulator {acc} overflowed {} bits — widths mis-sized",
+                self.acc_bits
+            );
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        Some(saturate(trunc_shift(acc, self.coeff_frac), self.data_bits))
+    }
+
+    /// Resets RAM and phase.
+    pub fn reset(&mut self) {
+        self.ram.fill(0);
+        self.pos = 0;
+        self.phase = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_dsp::decimate::{fir_then_decimate, fir_then_decimate_i64};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn direct_fir_identity() {
+        let mut f = DirectFir::new(&[1.0]);
+        for x in [1.0, -2.0, 3.5] {
+            assert_eq!(f.process(x), x);
+        }
+    }
+
+    #[test]
+    fn direct_fir_matches_convolution() {
+        let taps = [0.5, 0.25, -0.125, 0.0625];
+        let input: Vec<f64> = (0..64).map(|i| ((i * 37) % 13) as f64 - 6.0).collect();
+        let golden = fir_then_decimate(&input, &taps, 1);
+        let mut f = DirectFir::new(&taps);
+        for (k, &x) in input.iter().enumerate() {
+            let y = f.process(x);
+            assert!((y - golden[k]).abs() < 1e-12, "sample {k}");
+        }
+    }
+
+    #[test]
+    fn polyphase_equals_dense_plus_decimation() {
+        // The core polyphase identity (Figure 3): filter-then-keep-1-in-D
+        // gives the same outputs as the polyphase structure.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let taps: Vec<f64> = (0..25).map(|_| rng.gen_range(-0.2..0.2)).collect();
+        let input: Vec<f64> = (0..500).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        for decim in [1u32, 2, 5, 8] {
+            let mut pf = PolyphaseFir::new(&taps, decim);
+            let mut got = Vec::new();
+            for &x in &input {
+                if let Some(y) = pf.process(x) {
+                    got.push(y);
+                }
+            }
+            let golden = fir_then_decimate(&input, &taps, decim as usize);
+            // streaming output k corresponds to dense output at index
+            // (k+1)·D − 1
+            for (k, &y) in got.iter().enumerate() {
+                let dense_idx = (k + 1) * decim as usize - 1;
+                let dense = fir_then_decimate(&input[..=dense_idx], &taps, 1);
+                assert!(
+                    (y - dense[dense_idx]).abs() < 1e-12,
+                    "decim {decim} output {k}"
+                );
+            }
+            let _ = golden;
+        }
+    }
+
+    #[test]
+    fn sequential_fir_matches_integer_golden_model() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let coeffs: Vec<i32> = (0..125).map(|_| rng.gen_range(-300..300)).collect();
+        let input: Vec<i64> = (0..4000).map(|_| rng.gen_range(-2048i64..=2047)).collect();
+        let mut f = SequentialFir::new(&coeffs, 8, 12, 12, 31);
+        let mut got = Vec::new();
+        for &x in &input {
+            if let Some(y) = f.process(x) {
+                got.push(y);
+            }
+        }
+        let coeffs64: Vec<i64> = coeffs.iter().map(|&c| i64::from(c)).collect();
+        let dense = fir_then_decimate_i64(&input, &coeffs64, 1);
+        for (k, &y) in got.iter().enumerate() {
+            let idx = (k + 1) * 8 - 1;
+            let expect = saturate(trunc_shift(dense[idx], 11), 12);
+            assert_eq!(y, expect, "output {k}");
+        }
+        assert_eq!(got.len(), input.len() / 8);
+    }
+
+    #[test]
+    fn sequential_fir_saturates_at_rails() {
+        // A filter with DC gain ~2 driven with full-scale DC must pin
+        // at +2047 rather than wrap.
+        let coeffs = vec![2048i32 / 16; 32]; // DC gain = 32·128/2048 = 2.0
+        let mut f = SequentialFir::new(&coeffs, 1, 12, 12, 31);
+        let mut last = 0;
+        for _ in 0..64 {
+            last = f.process(2047).unwrap();
+        }
+        assert_eq!(last, 2047);
+        for _ in 0..64 {
+            last = f.process(-2048).unwrap();
+        }
+        assert_eq!(last, -2048);
+    }
+
+    #[test]
+    fn sequential_accumulator_bound_holds_for_drm_filter() {
+        // Worst-case |acc| = Σ|h| · max|x| must fit 31 bits for the
+        // 125-tap 12-bit design — the paper's claim that "the bus size
+        // is chosen in such a way that overflow cannot occur".
+        let cfg = crate::params::DdcConfig::drm(0.0);
+        let q = ddc_dsp::firdes::quantize_taps(&cfg.fir_taps, 12, 11);
+        let sum_abs: i64 = q.iter().map(|&c| i64::from(c).abs()).sum();
+        let worst = sum_abs * 2048;
+        assert!(fits(worst, 31), "worst-case {worst} exceeds 31 bits");
+    }
+
+    #[test]
+    fn sequential_fir_dc_gain_near_unity_for_drm_taps() {
+        let cfg = crate::params::DdcConfig::drm(0.0);
+        let q = ddc_dsp::firdes::quantize_taps(&cfg.fir_taps, 12, 11);
+        let mut f = SequentialFir::new(&q, 8, 12, 12, 31);
+        let mut last = 0;
+        for _ in 0..(125 * 8 * 2) {
+            if let Some(y) = f.process(1000) {
+                last = y;
+            }
+        }
+        assert!((last - 1000).abs() <= 8, "DC gain off: {last}");
+    }
+
+    #[test]
+    fn cycles_per_output_and_memory_accounting() {
+        let coeffs = vec![1i32; 124];
+        let f = SequentialFir::new(&coeffs, 8, 12, 12, 31);
+        assert_eq!(f.cycles_per_output(), 125);
+        assert_eq!(f.ram_bits(), 124 * 12);
+        assert_eq!(f.rom_bits(), 124 * 12);
+        assert_eq!(f.taps(), 124);
+        assert_eq!(f.decimation(), 8);
+    }
+
+    #[test]
+    fn reset_makes_filters_repeatable() {
+        let coeffs: Vec<i32> = (0..31).map(|k| k * 11 - 150).collect();
+        let mut f = SequentialFir::new(&coeffs, 4, 12, 12, 31);
+        let input: Vec<i64> = (0..200).map(|k| ((k * 97) % 4000) as i64 - 2000).collect();
+        let run = |f: &mut SequentialFir| -> Vec<i64> {
+            input.iter().filter_map(|&x| f.process(x)).collect()
+        };
+        let a = run(&mut f);
+        f.reset();
+        let b = run(&mut f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn sequential_fir_rejects_oversized_coefficients() {
+        SequentialFir::new(&[5000], 1, 12, 12, 31);
+    }
+}

@@ -1,0 +1,51 @@
+//! # ddc-core — the paper's Digital Down Converter
+//!
+//! Implements the reference DDC of *"An Optimal Architecture for a
+//! DDC"* (Bijlsma, Wolkotte, Smit, 2006), §2: a numerically-controlled
+//! oscillator drives a complex mixer, followed by a CIC2 decimating by
+//! 16, a CIC5 decimating by 21 and a 125-tap polyphase FIR decimating
+//! by 8 — 64.512 MSPS real input down to 24 kHz complex output
+//! (Table 1 / Figure 1 of the paper).
+//!
+//! Two parallel implementations are provided and cross-checked:
+//!
+//! * a **floating-point reference chain** ([`chain::ReferenceDdc`])
+//!   used to validate frequency-domain behaviour against closed-form
+//!   filter mathematics, and
+//! * a **bit-true fixed-point chain** ([`chain::FixedDdc`]) that models
+//!   the hardware datapaths (12-bit FPGA variant of §5, 16-bit Montium
+//!   variant of §6) exactly — including wrapping CIC accumulators,
+//!   truncating shifts and the saturating 31-bit FIR accumulator of
+//!   Figure 5. The architecture simulators in `ddc-arch-*` are verified
+//!   bit-exact against this chain.
+//!
+//! Module map:
+//!
+//! * [`params`] — stage configuration, validation, DRM/GSM presets.
+//! * [`nco`] — phase-accumulator NCO with LUT sine/cosine (Figure 1).
+//! * [`mixer`] — the complex multiplier producing I/Q.
+//! * [`cic`] — integrator-comb decimators (Figure 2).
+//! * [`fir`] — polyphase and sequential (Figure 3 / Figure 5) FIRs.
+//! * [`chain`] — the assembled DDC chains.
+//! * [`activity`] — per-stage switching-activity and operation-count
+//!   instrumentation feeding the power models.
+//! * [`pipeline`] — multi-threaded block pipeline for fast simulation.
+//! * [`pruned`] — a Hogenauer register-pruned CIC (area/noise study).
+//! * [`duc`] — the transmit-side dual (up-converter) for loopback tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod chain;
+pub mod cic;
+pub mod duc;
+pub mod fir;
+pub mod mixer;
+pub mod nco;
+pub mod params;
+pub mod pipeline;
+pub mod pruned;
+
+pub use chain::{FixedDdc, ReferenceDdc};
+pub use params::{DdcConfig, FixedFormat};

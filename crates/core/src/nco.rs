@@ -1,0 +1,408 @@
+//! Numerically Controlled Oscillator.
+//!
+//! The paper (§2.1): *"This component produces a sine and cosine
+//! signal. The NCO calculates these values, e.g. by Taylor series, or
+//! reading from a look-up table."* All five architectures in the paper
+//! use the LUT form (the ARM code "fetches the values for the cosines
+//! and the sinus function from a look-up table", the Montium stores
+//! them "in the local memories", the FPGA in M4K ROM), so the LUT NCO
+//! is the primary implementation; a fixed-point Taylor-series NCO is
+//! provided as the paper's alternative and cross-checked against it.
+//!
+#![allow(clippy::should_implement_trait)] // `next` is the domain term for an oscillator tick
+//! Both are built on a 32-bit wrapping phase accumulator: frequency
+//! resolution `fs/2³²` ≈ 0.015 Hz at 64.512 MSPS.
+
+use ddc_dsp::fixed::{max_signed, quantize, Rounding};
+use std::f64::consts::PI;
+
+/// One complex oscillator output sample, in the NCO's Q1.(bits-1)
+/// fixed-point format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CosSin {
+    /// cos(phase) sample.
+    pub cos: i32,
+    /// sin(phase) sample.
+    pub sin: i32,
+}
+
+/// A look-up-table NCO: 32-bit phase accumulator, top `addr_bits` of
+/// phase address a full-wave sine table of `amp_bits` output precision.
+#[derive(Clone, Debug)]
+pub struct LutNco {
+    phase: u32,
+    tuning_word: u32,
+    addr_bits: u32,
+    amp_bits: u32,
+    /// Full-wave sine table, `2^addr_bits` entries.
+    table: Vec<i32>,
+}
+
+impl LutNco {
+    /// Builds the NCO. `tuning_word` = `round(f/fs·2³²)`; `addr_bits`
+    /// is the table address width (10 in the reference design → 1024
+    /// entries); `amp_bits` the sample width (12 FPGA / 16 Montium).
+    pub fn new(tuning_word: u32, addr_bits: u32, amp_bits: u32) -> Self {
+        assert!((4..=18).contains(&addr_bits), "table would be absurd");
+        assert!((4..=18).contains(&amp_bits));
+        let n = 1usize << addr_bits;
+        let table = (0..n)
+            .map(|k| {
+                let angle = 2.0 * PI * k as f64 / n as f64;
+                quantize(angle.sin(), amp_bits, amp_bits - 1, Rounding::Nearest) as i32
+            })
+            .collect();
+        LutNco {
+            phase: 0,
+            tuning_word,
+            addr_bits,
+            amp_bits,
+            table,
+        }
+    }
+
+    /// Current 32-bit phase accumulator value.
+    pub fn phase(&self) -> u32 {
+        self.phase
+    }
+
+    /// The programmed tuning word.
+    pub fn tuning_word(&self) -> u32 {
+        self.tuning_word
+    }
+
+    /// Retunes the oscillator without resetting phase (the Montium
+    /// mapping "enables to change the frequency during execution").
+    pub fn set_tuning_word(&mut self, word: u32) {
+        self.tuning_word = word;
+    }
+
+    /// Output sample width in bits.
+    pub fn amp_bits(&self) -> u32 {
+        self.amp_bits
+    }
+
+    /// Table size in bytes assuming `amp_bits` rounded up to whole
+    /// bytes per entry — what a memory-block estimator charges for it.
+    pub fn table_bytes(&self) -> usize {
+        let bytes_per = self.amp_bits.div_ceil(8) as usize;
+        self.table.len() * bytes_per
+    }
+
+    /// Table size in *bits* of real storage (entries × amp_bits) — what
+    /// FPGA block-RAM accounting uses.
+    pub fn table_bits(&self) -> usize {
+        self.table.len() * self.amp_bits as usize
+    }
+
+    /// Produces cos/sin for the current phase, then advances the
+    /// accumulator. The cosine is read from the same table with a
+    /// +90° address offset — the standard single-table trick.
+    #[inline]
+    pub fn next(&mut self) -> CosSin {
+        let n_mask = (1u32 << self.addr_bits) - 1;
+        let idx = self.phase >> (32 - self.addr_bits);
+        let quarter = 1u32 << (self.addr_bits - 2);
+        let sin = self.table[(idx & n_mask) as usize];
+        let cos = self.table[((idx.wrapping_add(quarter)) & n_mask) as usize];
+        self.phase = self.phase.wrapping_add(self.tuning_word);
+        CosSin { cos, sin }
+    }
+
+    /// Resets phase to zero.
+    pub fn reset(&mut self) {
+        self.phase = 0;
+    }
+}
+
+/// A Taylor/polynomial NCO: computes sine by range reduction to a
+/// quarter wave followed by an odd polynomial in fixed point — the
+/// paper's "by Taylor series" alternative. More multipliers, no ROM.
+#[derive(Clone, Debug)]
+pub struct TaylorNco {
+    phase: u32,
+    tuning_word: u32,
+    amp_bits: u32,
+}
+
+impl TaylorNco {
+    /// Builds the polynomial NCO with `amp_bits` output precision.
+    pub fn new(tuning_word: u32, amp_bits: u32) -> Self {
+        assert!((4..=18).contains(&amp_bits));
+        TaylorNco {
+            phase: 0,
+            tuning_word,
+            amp_bits,
+        }
+    }
+
+    /// Produces cos/sin for the current phase, then advances.
+    #[inline]
+    pub fn next(&mut self) -> CosSin {
+        let sin = self.sine_of_phase(self.phase);
+        let cos = self.sine_of_phase(self.phase.wrapping_add(1 << 30)); // +90°
+        self.phase = self.phase.wrapping_add(self.tuning_word);
+        CosSin { cos, sin }
+    }
+
+    /// Resets phase to zero.
+    pub fn reset(&mut self) {
+        self.phase = 0;
+    }
+
+    /// sin(2π·phase/2³²) via quadrant folding + minimax-ish odd
+    /// polynomial evaluated in i64 fixed point (Q2.30 internally).
+    fn sine_of_phase(&self, phase: u32) -> i32 {
+        // Quadrant from the top two bits; x = position within quadrant
+        // as Q0.30 in [0,1).
+        let quadrant = phase >> 30;
+        let frac = (phase << 2) >> 2; // low 30 bits, Q0.30 of quarter turn
+        let x_q30 = i64::from(frac); // 0..2^30
+        // Map to t in [0,1]: ascending for quadrants 0,2; descending 1,3.
+        let t_q30 = match quadrant {
+            0 | 2 => x_q30,
+            _ => (1i64 << 30) - x_q30,
+        };
+        // sin(π/2·t) ≈ a·t − b·t³ + c·t⁵ with the classic coefficients
+        // a=1.570782, b=0.643510, c=0.072659 (max err ~1e-4, far below
+        // a 12-bit LSB and marginal at 16 bits).
+        const A: i64 = (1.570_782 * (1u64 << 30) as f64) as i64;
+        const B: i64 = (0.643_510 * (1u64 << 30) as f64) as i64;
+        const C: i64 = (0.072_659 * (1u64 << 30) as f64) as i64;
+        let t = t_q30;
+        let t2 = (t * t) >> 30;
+        let t3 = (t2 * t) >> 30;
+        let t5 = (t3 * t2) >> 30;
+        let s_q30 = ((A * t) >> 30) - ((B * t3) >> 30) + ((C * t5) >> 30); // Q0.30, 0..1
+        let mag = s_q30.min(1 << 30);
+        // Scale to amp_bits and apply sign by half (quadrants 2,3 negative).
+        let full = max_signed(self.amp_bits);
+        let val = (mag * full + (1 << 29)) >> 30;
+        if quadrant >= 2 {
+            -(val as i32)
+        } else {
+            val as i32
+        }
+    }
+}
+
+/// Floating-point reference oscillator that advances the *same*
+/// quantized 32-bit phase accumulator but evaluates sin/cos in f64 —
+/// isolates amplitude-quantization error from phase error when
+/// validating the fixed-point NCOs.
+#[derive(Clone, Debug)]
+pub struct RefOscillator {
+    phase: u32,
+    tuning_word: u32,
+}
+
+impl RefOscillator {
+    /// Builds the reference oscillator.
+    pub fn new(tuning_word: u32) -> Self {
+        RefOscillator {
+            phase: 0,
+            tuning_word,
+        }
+    }
+
+    /// Produces (cos, sin) in f64 for the current phase, then advances.
+    #[inline]
+    pub fn next(&mut self) -> (f64, f64) {
+        let angle = self.phase as f64 / 2f64.powi(32) * 2.0 * PI;
+        self.phase = self.phase.wrapping_add(self.tuning_word);
+        (angle.cos(), angle.sin())
+    }
+
+    /// Resets phase to zero.
+    pub fn reset(&mut self) {
+        self.phase = 0;
+    }
+}
+
+/// Computes the tuning word for `freq` Hz at sample rate `fs`
+/// (wrapping; negative frequencies map to the upper half-range).
+pub fn tuning_word(freq: f64, fs: f64) -> u32 {
+    assert!(fs > 0.0);
+    let w = (freq / fs * 2f64.powi(32)).round() as i64;
+    w.rem_euclid(1i64 << 32) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_dsp::spectrum::{periodogram_complex, Spectrum};
+    use ddc_dsp::window::Window;
+    use ddc_dsp::C64;
+
+    fn nco_spectrum(nco: &mut LutNco, n: usize, fs: f64) -> Spectrum {
+        let full = max_signed(nco.amp_bits) as f64;
+        let sig: Vec<C64> = (0..n)
+            .map(|_| {
+                let cs = nco.next();
+                C64::new(cs.cos as f64 / full, cs.sin as f64 / full)
+            })
+            .collect();
+        periodogram_complex(&sig, fs, n, Window::BlackmanHarris)
+    }
+
+    #[test]
+    fn tuning_word_quarter_rate() {
+        assert_eq!(tuning_word(16_128_000.0, 64_512_000.0), 1 << 30);
+        assert_eq!(tuning_word(-16_128_000.0, 64_512_000.0), 3 << 30);
+        assert_eq!(tuning_word(0.0, 64_512_000.0), 0);
+    }
+
+    #[test]
+    fn lut_starts_at_cos1_sin0() {
+        let mut nco = LutNco::new(1 << 20, 10, 12);
+        let first = nco.next();
+        assert_eq!(first.sin, 0);
+        assert_eq!(first.cos, max_signed(12) as i32);
+    }
+
+    #[test]
+    fn lut_quarter_rate_cycles_through_cardinals() {
+        let mut nco = LutNco::new(1 << 30, 10, 12);
+        let a = nco.next(); // 0
+        let b = nco.next(); // 90°
+        let c = nco.next(); // 180°
+        let d = nco.next(); // 270°
+        let full = max_signed(12) as i32;
+        assert_eq!((a.cos, a.sin), (full, 0));
+        assert_eq!((b.cos, b.sin), (0, full));
+        // sin(180°)=0; cos(180°) = sin(270°) from the table = -full (quantized)
+        assert_eq!(c.sin, 0);
+        assert!(c.cos <= -full);
+        assert_eq!(d.cos, 0);
+        assert!(d.sin <= -full);
+    }
+
+    #[test]
+    fn lut_produces_tone_at_programmed_frequency() {
+        let fs = 64_512_000.0;
+        let f0 = 10_000_000.0;
+        let mut nco = LutNco::new(tuning_word(f0, fs), 10, 12);
+        let sp = nco_spectrum(&mut nco, 8192, fs);
+        let (f_peak, _) = sp.peak();
+        // Complex exponential e^{j2πf0t}... our (cos, sin) = e^{+jθ}.
+        assert!((f_peak - f0).abs() < fs / 8192.0 * 2.0, "peak at {f_peak}");
+    }
+
+    #[test]
+    fn lut_sfdr_reflects_quantization() {
+        // 10-bit table, 12-bit amplitude: spurs well below -60 dBc.
+        let fs = 1.0;
+        let mut nco = LutNco::new(tuning_word(0.1234567, fs), 10, 12);
+        let sp = nco_spectrum(&mut nco, 16384, fs);
+        let (_, peak) = sp.peak();
+        // strongest bin outside ±8 bins of the carrier
+        let carrier_bin = sp.bin_of_freq(sp.peak().0);
+        let worst_spur = sp
+            .power
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| (*k as i64 - carrier_bin as i64).abs() > 8)
+            .map(|(_, &p)| p)
+            .fold(0.0, f64::max);
+        let sfdr = 10.0 * (peak / worst_spur).log10();
+        assert!(sfdr > 55.0, "SFDR {sfdr} dB");
+    }
+
+    #[test]
+    fn bigger_table_improves_sfdr() {
+        let fs = 1.0;
+        let measure = |addr_bits: u32, amp_bits: u32| {
+            let mut nco = LutNco::new(tuning_word(0.1234567, fs), addr_bits, amp_bits);
+            let sp = nco_spectrum(&mut nco, 16384, fs);
+            let (_, peak) = sp.peak();
+            let carrier_bin = sp.bin_of_freq(sp.peak().0);
+            let worst = sp
+                .power
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| (*k as i64 - carrier_bin as i64).abs() > 8)
+                .map(|(_, &p)| p)
+                .fold(0.0, f64::max);
+            10.0 * (peak / worst).log10()
+        };
+        assert!(measure(12, 16) > measure(6, 16) + 20.0);
+    }
+
+    #[test]
+    fn retuning_preserves_phase_continuity() {
+        let mut nco = LutNco::new(tuning_word(0.1, 1.0), 10, 12);
+        for _ in 0..37 {
+            nco.next();
+        }
+        let p_before = nco.phase();
+        nco.set_tuning_word(tuning_word(0.2, 1.0));
+        assert_eq!(nco.phase(), p_before);
+    }
+
+    #[test]
+    fn table_sizing() {
+        let nco = LutNco::new(0, 10, 12);
+        assert_eq!(nco.table_bits(), 1024 * 12);
+        assert_eq!(nco.table_bytes(), 2048);
+    }
+
+    #[test]
+    fn taylor_tracks_f64_sine_within_tolerance() {
+        let mut t = TaylorNco::new(tuning_word(0.01, 1.0), 16);
+        let mut r = RefOscillator::new(tuning_word(0.01, 1.0));
+        let full = max_signed(16) as f64;
+        let mut worst: f64 = 0.0;
+        for _ in 0..1000 {
+            let a = t.next();
+            let (c, s) = r.next();
+            worst = worst.max((a.sin as f64 / full - s).abs());
+            worst = worst.max((a.cos as f64 / full - c).abs());
+        }
+        // the ~1e-4 polynomial error plus a couple of LSBs
+        assert!(worst < 5e-4, "worst {worst}");
+    }
+
+    #[test]
+    fn taylor_and_lut_agree_within_lut_quantization() {
+        let word = tuning_word(0.037, 1.0);
+        let mut t = TaylorNco::new(word, 12);
+        let mut l = LutNco::new(word, 12, 12);
+        let mut worst = 0i32;
+        for _ in 0..4096 {
+            let a = t.next();
+            let b = l.next();
+            worst = worst.max((a.sin - b.sin).abs()).max((a.cos - b.cos).abs());
+        }
+        assert!(worst <= 4, "worst LSB gap {worst}");
+    }
+
+    #[test]
+    fn taylor_quadrant_symmetry() {
+        // sin(θ) == -sin(θ+π) for the polynomial NCO at any phase.
+        let nco = TaylorNco::new(0, 16);
+        for k in 0..64u32 {
+            let phase = k << 26;
+            let a = nco.sine_of_phase(phase);
+            let b = nco.sine_of_phase(phase.wrapping_add(1 << 31));
+            assert!((a + b).abs() <= 1, "phase {phase}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ref_oscillator_is_exact_unit_circle() {
+        let mut r = RefOscillator::new(tuning_word(0.3, 1.0));
+        for _ in 0..100 {
+            let (c, s) = r.next();
+            assert!((c * c + s * s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reset_restarts_sequence() {
+        let mut nco = LutNco::new(12345678, 10, 12);
+        let first: Vec<CosSin> = (0..16).map(|_| nco.next()).collect();
+        nco.reset();
+        let second: Vec<CosSin> = (0..16).map(|_| nco.next()).collect();
+        assert_eq!(first, second);
+    }
+}

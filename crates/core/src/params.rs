@@ -1,0 +1,452 @@
+//! DDC configuration: stage decimations, sample rates, bit widths and
+//! the paper's presets.
+//!
+//! Table 1 of the paper fixes the reference configuration:
+//!
+//! | Component    | Clock/sample rate | Decimation |
+//! |--------------|-------------------|------------|
+//! | NCO          | 64.512 MHz        | —          |
+//! | CIC2         | 64.512 MHz        | 16         |
+//! | CIC5         | 4.032 MHz         | 21         |
+//! | 125-tap FIR  | 192 kHz           | 8          |
+//! | Output       | 24 kHz            | —          |
+
+use ddc_dsp::cic_math::CicParams;
+use ddc_dsp::firdes;
+use ddc_dsp::window::{kaiser_beta, Window};
+use std::fmt;
+
+/// Input sample rate of the reference design, Hz (64.512 MHz).
+pub const DRM_INPUT_RATE: f64 = 64_512_000.0;
+/// Output sample rate of the reference design, Hz (24 kHz).
+pub const DRM_OUTPUT_RATE: f64 = 24_000.0;
+/// Total decimation of the reference design (16 × 21 × 8).
+pub const DRM_TOTAL_DECIMATION: u32 = 2688;
+/// Number of FIR taps in the reference design.
+pub const DRM_FIR_TAPS: usize = 125;
+/// Clock cycles available to compute one FIR output in the sequential
+/// FPGA implementation (§5.2.1: "2688 clock cycles to calculate one
+/// single output sample").
+pub const DRM_FIR_CYCLES_PER_OUTPUT: u32 = 2688;
+
+/// Errors produced by [`DdcConfig::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// A decimation factor was zero.
+    ZeroDecimation(&'static str),
+    /// The FIR has no taps.
+    EmptyFir,
+    /// A bit width was outside the supported 2..=32 range.
+    BadWidth(&'static str, u32),
+    /// The input rate was not positive.
+    BadRate(f64),
+    /// Tuning frequency beyond Nyquist.
+    TuneOutOfRange {
+        /// Requested tuning frequency, Hz.
+        freq: f64,
+        /// Nyquist limit, Hz.
+        nyquist: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroDecimation(s) => write!(f, "{s} decimation must be >= 1"),
+            ConfigError::EmptyFir => write!(f, "FIR needs at least one tap"),
+            ConfigError::BadWidth(s, w) => write!(f, "{s} width {w} outside 2..=32"),
+            ConfigError::BadRate(r) => write!(f, "input rate {r} must be positive"),
+            ConfigError::TuneOutOfRange { freq, nyquist } => {
+                write!(f, "tuning frequency {freq} Hz beyond Nyquist {nyquist} Hz")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fixed-point formats of the bit-true chain — the datapath widths the
+/// hardware implementations in the paper use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FixedFormat {
+    /// Width of the inter-stage data bus (12 on the FPGA, 16 on the
+    /// Montium).
+    pub data_bits: u32,
+    /// Width of the NCO sine/cosine samples and FIR coefficients.
+    pub coeff_bits: u32,
+    /// Width of the FIR accumulator (31 in Figure 5 of the paper).
+    pub fir_acc_bits: u32,
+    /// NCO look-up-table address width (table has `2^lut_addr_bits`
+    /// entries covering a full turn).
+    pub lut_addr_bits: u32,
+}
+
+impl FixedFormat {
+    /// The 12-bit datapath of the paper's FPGA implementation (§5.2.1,
+    /// Figure 5): 12-bit bus, 12-bit coefficients, 31-bit accumulator.
+    pub const FPGA12: FixedFormat = FixedFormat {
+        data_bits: 12,
+        coeff_bits: 12,
+        fir_acc_bits: 31,
+        lut_addr_bits: 10,
+    };
+
+    /// The 16-bit datapath of the Montium implementation (§6: 16-bit
+    /// ALUs, sine/cosine from local-memory LUTs — a Montium local
+    /// memory holds 512 words, so the table address is 9 bits).
+    pub const MONTIUM16: FixedFormat = FixedFormat {
+        data_bits: 16,
+        coeff_bits: 16,
+        fir_acc_bits: 40,
+        lut_addr_bits: 9,
+    };
+
+    /// Fractional bits of the data bus (Q1.(data_bits-1)).
+    pub fn data_frac(&self) -> u32 {
+        self.data_bits - 1
+    }
+
+    /// Fractional bits of coefficients (Q1.(coeff_bits-1)).
+    pub fn coeff_frac(&self) -> u32 {
+        self.coeff_bits - 1
+    }
+}
+
+/// Full configuration of a three-stage DDC (NCO+mixer → CIC₁ → CIC₂ →
+/// FIR).
+#[derive(Clone, Debug)]
+pub struct DdcConfig {
+    /// Input (ADC) sample rate, Hz.
+    pub input_rate: f64,
+    /// NCO tuning frequency, Hz (the centre of the selected band).
+    pub tune_freq: f64,
+    /// Order of the first CIC (2 in the paper).
+    pub cic1_order: u32,
+    /// Decimation of the first CIC (16).
+    pub cic1_decim: u32,
+    /// Order of the second CIC (5).
+    pub cic2_order: u32,
+    /// Decimation of the second CIC (21).
+    pub cic2_decim: u32,
+    /// FIR coefficients at the FIR input rate (unit DC gain, f64).
+    pub fir_taps: Vec<f64>,
+    /// FIR decimation (8).
+    pub fir_decim: u32,
+    /// Fixed-point formats for the bit-true chain.
+    pub format: FixedFormat,
+}
+
+impl DdcConfig {
+    /// The paper's reference configuration (Table 1) tuned to
+    /// `tune_freq` Hz, with the 125-tap channel filter designed for a
+    /// DRM-bandwidth passband, in the 12-bit FPGA format.
+    ///
+    /// The paper does not publish the tap values; we design them for
+    /// the stated role: pass a 10 kHz DRM channel (±5 kHz around the
+    /// tuned centre; DRM channels are 4.5–20 kHz wide, 10 kHz being
+    /// the common AM-band raster). At the 192 kHz FIR input rate the
+    /// passband edge is 5/192 ≈ 0.026; after decimating by 8 any
+    /// energy above 24 − 5 = 19 kHz (0.099) would alias into the
+    /// channel, so the stopband starts there. The 14 kHz transition
+    /// band lets 125 Kaiser-windowed taps reach > 80 dB rejection.
+    pub fn drm(tune_freq: f64) -> Self {
+        let beta = kaiser_beta(80.0);
+        let taps = firdes::lowpass(DRM_FIR_TAPS, 12_000.0 / 192_000.0, Window::Kaiser(beta));
+        DdcConfig {
+            input_rate: DRM_INPUT_RATE,
+            tune_freq,
+            cic1_order: 2,
+            cic1_decim: 16,
+            cic2_order: 5,
+            cic2_decim: 21,
+            fir_taps: taps,
+            fir_decim: 8,
+            format: FixedFormat::FPGA12,
+        }
+    }
+
+    /// The reference configuration in the Montium's 16-bit format.
+    pub fn drm_montium(tune_freq: f64) -> Self {
+        DdcConfig {
+            format: FixedFormat::MONTIUM16,
+            ..DdcConfig::drm(tune_freq)
+        }
+    }
+
+    /// A **wide-band** variant: same CICs, FIR decimating by 2 only
+    /// (total ÷672, 96 kHz complex output, ±40 kHz passband). At this
+    /// relative bandwidth the CIC5's droop reaches ≈ 3 dB at the band
+    /// edge — the situation where droop compensation (the practice
+    /// the paper's CIC reference \[7\] describes) actually matters.
+    pub fn wideband(tune_freq: f64) -> Self {
+        let beta = kaiser_beta(70.0);
+        let taps = firdes::lowpass(DRM_FIR_TAPS, 46_000.0 / 192_000.0, Window::Kaiser(beta));
+        DdcConfig {
+            fir_decim: 2,
+            fir_taps: taps,
+            ..DdcConfig::drm(tune_freq)
+        }
+    }
+
+    /// The wide-band variant with **CIC droop compensation** folded
+    /// into the channel filter: a 95-tap channel prototype convolved
+    /// with a 31-tap inverse-droop compensator — the same 125 total
+    /// taps as [`DdcConfig::wideband`], but the combined CIC×FIR
+    /// response stays flat across the ±40 kHz passband instead of
+    /// sagging by the CIC5's ~3 dB.
+    pub fn wideband_compensated(tune_freq: f64) -> Self {
+        let beta = kaiser_beta(65.0);
+        let channel = firdes::lowpass(95, 46_000.0 / 192_000.0, Window::Kaiser(beta));
+        let comp = firdes::cic_compensator(31, 5, 21, 0.25);
+        let mut taps = firdes::convolve(&channel, &comp);
+        firdes::normalize_dc(&mut taps);
+        debug_assert_eq!(taps.len(), DRM_FIR_TAPS);
+        DdcConfig {
+            fir_taps: taps,
+            ..DdcConfig::wideband(tune_freq)
+        }
+    }
+
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.input_rate <= 0.0 {
+            return Err(ConfigError::BadRate(self.input_rate));
+        }
+        if self.cic1_decim == 0 {
+            return Err(ConfigError::ZeroDecimation("CIC1"));
+        }
+        if self.cic2_decim == 0 {
+            return Err(ConfigError::ZeroDecimation("CIC2"));
+        }
+        if self.fir_decim == 0 {
+            return Err(ConfigError::ZeroDecimation("FIR"));
+        }
+        if self.fir_taps.is_empty() {
+            return Err(ConfigError::EmptyFir);
+        }
+        for (name, w) in [
+            ("data", self.format.data_bits),
+            ("coeff", self.format.coeff_bits),
+            ("fir accumulator", self.format.fir_acc_bits),
+        ] {
+            let ok = (2..=32).contains(&w) || (name == "fir accumulator" && w <= 48);
+            if !ok {
+                return Err(ConfigError::BadWidth(
+                    match name {
+                        "data" => "data",
+                        "coeff" => "coeff",
+                        _ => "fir accumulator",
+                    },
+                    w,
+                ));
+            }
+        }
+        let nyquist = self.input_rate / 2.0;
+        if self.tune_freq.abs() > nyquist {
+            return Err(ConfigError::TuneOutOfRange {
+                freq: self.tune_freq,
+                nyquist,
+            });
+        }
+        Ok(())
+    }
+
+    /// Total decimation factor.
+    pub fn total_decimation(&self) -> u32 {
+        self.cic1_decim * self.cic2_decim * self.fir_decim
+    }
+
+    /// Output sample rate, Hz.
+    pub fn output_rate(&self) -> f64 {
+        self.input_rate / self.total_decimation() as f64
+    }
+
+    /// Sample rate at the input of each stage, Hz, in chain order:
+    /// `[NCO/mixer & CIC1, CIC2, FIR, output]` — the "Clock/sample
+    /// rate" column of Table 1.
+    pub fn stage_rates(&self) -> [f64; 4] {
+        let r0 = self.input_rate;
+        let r1 = r0 / self.cic1_decim as f64;
+        let r2 = r1 / self.cic2_decim as f64;
+        let r3 = r2 / self.fir_decim as f64;
+        [r0, r1, r2, r3]
+    }
+
+    /// Analytic parameters of the first CIC.
+    pub fn cic1_params(&self) -> CicParams {
+        CicParams::new(self.cic1_order, self.cic1_decim, self.format.data_bits)
+    }
+
+    /// Analytic parameters of the second CIC.
+    pub fn cic2_params(&self) -> CicParams {
+        CicParams::new(self.cic2_order, self.cic2_decim, self.format.data_bits)
+    }
+
+    /// The NCO frequency tuning word for a 32-bit phase accumulator:
+    /// `round(tune_freq / input_rate · 2³²)` (wrapping to represent
+    /// negative/aliased frequencies).
+    pub fn tuning_word(&self) -> u32 {
+        let frac = self.tune_freq / self.input_rate;
+        let w = (frac * 2f64.powi(32)).round() as i64;
+        w.rem_euclid(1i64 << 32) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drm_preset_matches_table1() {
+        let c = DdcConfig::drm(10_000_000.0);
+        c.validate().unwrap();
+        assert_eq!(c.total_decimation(), DRM_TOTAL_DECIMATION);
+        let rates = c.stage_rates();
+        assert!((rates[0] - 64_512_000.0).abs() < 1e-6);
+        assert!((rates[1] - 4_032_000.0).abs() < 1e-6);
+        assert!((rates[2] - 192_000.0).abs() < 1e-6);
+        assert!((rates[3] - 24_000.0).abs() < 1e-6);
+        assert_eq!(c.fir_taps.len(), 125);
+    }
+
+    #[test]
+    fn drm_output_rate_is_24khz() {
+        let c = DdcConfig::drm(0.0);
+        assert!((c.output_rate() - DRM_OUTPUT_RATE).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fir_taps_have_unit_dc_gain_and_symmetry() {
+        let c = DdcConfig::drm(0.0);
+        let dc: f64 = c.fir_taps.iter().sum();
+        assert!((dc - 1.0).abs() < 1e-12);
+        let n = c.fir_taps.len();
+        for i in 0..n {
+            assert!((c.fir_taps[i] - c.fir_taps[n - 1 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fir_meets_channel_filter_requirements() {
+        // Passband to ±5 kHz (the 10 kHz DRM channel), stopband from
+        // 19 kHz (protects the channel from decimation aliases), at the
+        // 192 kHz FIR input rate.
+        let c = DdcConfig::drm(0.0);
+        let rep = ddc_dsp::firdes::measure_lowpass(
+            &c.fir_taps,
+            5_000.0 / 192_000.0,
+            19_000.0 / 192_000.0,
+            400,
+        );
+        assert!(rep.passband_ripple_db < 0.1, "ripple {}", rep.passband_ripple_db);
+        assert!(rep.stopband_atten_db > 75.0, "stopband {}", rep.stopband_atten_db);
+    }
+
+    #[test]
+    fn tuning_word_roundtrip() {
+        let mut c = DdcConfig::drm(16_128_000.0); // fs/4
+        assert_eq!(c.tuning_word(), 1u32 << 30);
+        c.tune_freq = -16_128_000.0;
+        assert_eq!(c.tuning_word(), 3u32 << 30);
+        c.tune_freq = 0.0;
+        assert_eq!(c.tuning_word(), 0);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut c = DdcConfig::drm(0.0);
+        c.cic1_decim = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroDecimation("CIC1")));
+
+        let mut c = DdcConfig::drm(0.0);
+        c.fir_taps.clear();
+        assert_eq!(c.validate(), Err(ConfigError::EmptyFir));
+
+        let mut c = DdcConfig::drm(0.0);
+        c.tune_freq = 40e6;
+        assert!(matches!(c.validate(), Err(ConfigError::TuneOutOfRange { .. })));
+
+        let mut c = DdcConfig::drm(0.0);
+        c.input_rate = -1.0;
+        assert!(matches!(c.validate(), Err(ConfigError::BadRate(_))));
+    }
+
+    #[test]
+    fn formats_expose_q_formats() {
+        assert_eq!(FixedFormat::FPGA12.data_frac(), 11);
+        assert_eq!(FixedFormat::FPGA12.coeff_frac(), 11);
+        assert_eq!(FixedFormat::MONTIUM16.data_frac(), 15);
+    }
+
+    #[test]
+    fn montium_preset_differs_only_in_format() {
+        let a = DdcConfig::drm(5e6);
+        let b = DdcConfig::drm_montium(5e6);
+        assert_eq!(b.format, FixedFormat::MONTIUM16);
+        assert_eq!(a.fir_taps, b.fir_taps);
+        assert_eq!(a.total_decimation(), b.total_decimation());
+    }
+
+    /// Worst combined CIC×FIR passband deviation (dB) over `±edge` Hz.
+    fn chain_flatness(cfg: &DdcConfig, edge: f64) -> f64 {
+        let c2 = cfg.cic1_params();
+        let c5 = cfg.cic2_params();
+        let mut worst: f64 = 0.0;
+        for k in 1..=40 {
+            let f_out = edge * k as f64 / 40.0; // Hz at baseband
+            let f_in = f_out / cfg.input_rate; // cycles/input-sample
+            let f_cic5 = f_in * cfg.cic1_decim as f64;
+            let f_fir = f_cic5 * cfg.cic2_decim as f64;
+            let mag = c2.magnitude(f_in)
+                * c5.magnitude(f_cic5)
+                * ddc_dsp::fft::dtft(&cfg.fir_taps, f_fir).abs();
+            worst = worst.max((20.0 * mag.log10()).abs());
+        }
+        worst
+    }
+
+    #[test]
+    fn narrow_drm_chain_has_negligible_droop() {
+        // Why the paper's chain needs no compensator: over the ±5 kHz
+        // DRM channel the combined CIC droop stays below 0.1 dB.
+        let d = chain_flatness(&DdcConfig::drm(0.0), 5_000.0);
+        assert!(d < 0.1, "narrow-chain deviation {d} dB");
+    }
+
+    #[test]
+    fn compensated_wideband_chain_is_flatter() {
+        // At ±38 kHz of the ÷672 wide-band variant the CIC5 droop is
+        // dramatic; the compensator must reclaim most of it.
+        let plain = chain_flatness(&DdcConfig::wideband(0.0), 38_000.0);
+        let comp = chain_flatness(&DdcConfig::wideband_compensated(0.0), 38_000.0);
+        assert!(plain > 1.5, "plain wide-band droop {plain} dB too small");
+        assert!(comp < plain / 2.0, "compensated {comp} dB vs plain {plain} dB");
+        DdcConfig::wideband_compensated(0.0).validate().unwrap();
+    }
+
+    #[test]
+    fn wideband_presets_have_expected_structure() {
+        let w = DdcConfig::wideband(0.0);
+        assert_eq!(w.total_decimation(), 672);
+        assert!((w.output_rate() - 96_000.0).abs() < 1e-6);
+        let c = DdcConfig::wideband_compensated(0.0);
+        assert_eq!(c.fir_taps.len(), 125);
+        assert_eq!(c.total_decimation(), 672);
+        // compensator boosts the band edge, so high-frequency taps
+        // differ from the plain design
+        assert_ne!(
+            ddc_dsp::firdes::quantize_taps(&w.fir_taps, 16, 15),
+            ddc_dsp::firdes::quantize_taps(&c.fir_taps, 16, 15)
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ConfigError::TuneOutOfRange {
+            freq: 4e7,
+            nyquist: 3.2e7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Nyquist"));
+    }
+}

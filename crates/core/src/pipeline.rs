@@ -1,0 +1,177 @@
+//! Multi-threaded execution of the DDC for faster-than-real-time
+//! simulation on a host machine.
+//!
+//! Two orthogonal parallelisation axes, both bit-exact with the
+//! sequential chain:
+//!
+//! * [`run_channels_parallel`] — independent channels (the GC4016 is a
+//!   *quad* DDC; running four channels at once is the natural data
+//!   parallelism), one scoped thread per channel.
+//! * [`run_pipelined`] — a single channel split at the first CIC's
+//!   output into a front-end thread (NCO, mixer, CIC1 at the input
+//!   rate) and a back-end thread (CIC5, FIR at 1/16 the rate), mirroring
+//!   how the Montium mapping splits the work between its
+//!   always-busy and time-multiplexed ALUs.
+
+use crate::chain::FixedDdc;
+use crate::cic::CicDecimator;
+use crate::fir::SequentialFir;
+use crate::mixer::{FixedMixer, Iq};
+use crate::nco::LutNco;
+use crate::params::DdcConfig;
+use crossbeam::channel;
+use ddc_dsp::firdes::quantize_taps;
+
+/// Runs one independent [`FixedDdc`] per configuration over the same
+/// input block, each on its own scoped thread. Returns per-channel
+/// outputs in configuration order.
+pub fn run_channels_parallel(configs: &[DdcConfig], input: &[i32]) -> Vec<Vec<Iq>> {
+    let mut results: Vec<Vec<Iq>> = Vec::with_capacity(configs.len());
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .map(|cfg| {
+                let cfg = cfg.clone();
+                scope.spawn(move |_| {
+                    let mut ddc = FixedDdc::new(cfg);
+                    ddc.process_block(input)
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("channel thread panicked"));
+        }
+    })
+    .expect("scope panicked");
+    results
+}
+
+/// Block of front-end output carried between pipeline threads.
+type IqBlock = Vec<Iq>;
+
+/// Runs one channel split into a front-end thread (NCO → mixer → CIC1)
+/// and a back-end thread (CIC2 → FIR) connected by a bounded channel.
+/// Bit-exact with [`FixedDdc::process_block`].
+pub fn run_pipelined(config: &DdcConfig, input: &[i32], block: usize) -> Vec<Iq> {
+    assert!(block >= 1, "block size must be >= 1");
+    config.validate().expect("invalid DDC configuration");
+    let f = config.format;
+    let coeffs = quantize_taps(&config.fir_taps, f.coeff_bits, f.coeff_frac());
+    let (tx, rx) = channel::bounded::<IqBlock>(4);
+
+    let mut out = Vec::new();
+    crossbeam::scope(|scope| {
+        // Front end: input rate.
+        let front = scope.spawn(move |_| {
+            let mut nco = LutNco::new(config.tuning_word(), f.lut_addr_bits, f.coeff_bits);
+            let mixer = FixedMixer::new(f.data_bits, f.coeff_bits);
+            let mut cic_i =
+                CicDecimator::new(config.cic1_order, config.cic1_decim, f.data_bits, f.data_bits);
+            let mut cic_q =
+                CicDecimator::new(config.cic1_order, config.cic1_decim, f.data_bits, f.data_bits);
+            let mut buf: IqBlock = Vec::with_capacity(block);
+            for &x in input {
+                let cs = nco.next();
+                let m = mixer.mix(i64::from(x), cs);
+                if let (Some(i1), Some(q1)) = (cic_i.process(m.i), cic_q.process(m.q)) {
+                    buf.push(Iq { i: i1, q: q1 });
+                    if buf.len() == block {
+                        tx.send(std::mem::replace(&mut buf, Vec::with_capacity(block)))
+                            .expect("back end hung up");
+                    }
+                }
+            }
+            if !buf.is_empty() {
+                tx.send(buf).expect("back end hung up");
+            }
+            drop(tx);
+        });
+
+        // Back end: 1/R1 of the input rate.
+        let back = scope.spawn(move |_| {
+            let mut cic_i =
+                CicDecimator::new(config.cic2_order, config.cic2_decim, f.data_bits, f.data_bits);
+            let mut cic_q =
+                CicDecimator::new(config.cic2_order, config.cic2_decim, f.data_bits, f.data_bits);
+            let mut fir_i =
+                SequentialFir::new(&coeffs, config.fir_decim, f.data_bits, f.coeff_bits, f.fir_acc_bits);
+            let mut fir_q =
+                SequentialFir::new(&coeffs, config.fir_decim, f.data_bits, f.coeff_bits, f.fir_acc_bits);
+            let mut out = Vec::new();
+            for blk in rx {
+                for s in blk {
+                    if let (Some(i2), Some(q2)) = (cic_i.process(s.i), cic_q.process(s.q)) {
+                        if let (Some(i3), Some(q3)) = (fir_i.process(i2), fir_q.process(q2)) {
+                            out.push(Iq { i: i3, q: q3 });
+                        }
+                    }
+                }
+            }
+            out
+        });
+
+        front.join().expect("front-end thread panicked");
+        out = back.join().expect("back-end thread panicked");
+    })
+    .expect("scope panicked");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_dsp::signal::{adc_quantize, SampleSource, Tone, WhiteNoise};
+
+    fn test_input(n: usize) -> Vec<i32> {
+        let mut src = ddc_dsp::signal::Mix(
+            Tone::new(10_003_000.0, 64_512_000.0, 0.6, 0.1),
+            WhiteNoise::new(8, 0.1),
+        );
+        adc_quantize(&src.take_vec(n), 12)
+    }
+
+    #[test]
+    fn pipelined_is_bit_exact_with_sequential() {
+        let cfg = DdcConfig::drm(10e6);
+        let input = test_input(2688 * 12);
+        let mut seq = FixedDdc::new(cfg.clone());
+        let expect = seq.process_block(&input);
+        for block in [1usize, 7, 64] {
+            let got = run_pipelined(&cfg, &input, block);
+            assert_eq!(got, expect, "block size {block}");
+        }
+    }
+
+    #[test]
+    fn parallel_channels_match_individual_runs() {
+        let cfgs = vec![
+            DdcConfig::drm(10e6),
+            DdcConfig::drm(20e6),
+            DdcConfig::drm(5e6),
+            DdcConfig::drm(25e6),
+        ];
+        let input = test_input(2688 * 8);
+        let par = run_channels_parallel(&cfgs, &input);
+        assert_eq!(par.len(), 4);
+        for (cfg, got) in cfgs.iter().zip(&par) {
+            let mut solo = FixedDdc::new(cfg.clone());
+            assert_eq!(*got, solo.process_block(&input));
+        }
+    }
+
+    #[test]
+    fn pipelined_handles_empty_input() {
+        let cfg = DdcConfig::drm(1e6);
+        assert!(run_pipelined(&cfg, &[], 16).is_empty());
+    }
+
+    #[test]
+    fn pipelined_handles_partial_final_block() {
+        let cfg = DdcConfig::drm(10e6);
+        // input length deliberately not a multiple of block·16
+        let input = test_input(2688 * 3 + 1234);
+        let mut seq = FixedDdc::new(cfg.clone());
+        let expect = seq.process_block(&input);
+        assert_eq!(run_pipelined(&cfg, &input, 100), expect);
+    }
+}

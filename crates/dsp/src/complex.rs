@@ -1,0 +1,297 @@
+//! A minimal complex-number type for I/Q samples.
+//!
+//! The DDC produces complex (in-phase / quadrature) output; the FFT and
+//! the spectrum tools operate on complex buffers. We only need `f64`
+//! precision for analysis paths — the bit-true signal paths in
+//! `ddc-core` carry integers directly and never touch this type.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// `re` is the in-phase (I) component, `im` the quadrature (Q)
+/// component when the value represents a baseband sample.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real / in-phase part.
+    pub re: f64,
+    /// Imaginary / quadrature part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates `r·e^{iθ}` from polar components.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{iθ}` — a unit phasor at angle `theta` radians.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64::from_polar(1.0, theta)
+    }
+
+    /// The complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Magnitude (Euclidean norm).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude — cheaper than [`C64::abs`] when only ordering
+    /// or power matters.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        C64::new(self.re * k, self.im * k)
+    }
+
+    /// The reciprocal `1/z`. Returns non-finite components if `z` is zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        C64::new(self.re / d, -self.im / d)
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z·w⁻¹
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        C64::new(re, 0.0)
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}{:+.6}i", self.re, self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: C64, b: C64) -> bool {
+        (a - b).abs() < EPS
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = C64::new(1.5, -2.25);
+        let b = C64::new(-0.5, 4.0);
+        assert!(close(a + b - b, a));
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = C64::new(3.0, 2.0);
+        let b = C64::new(1.0, 7.0);
+        // (3+2i)(1+7i) = 3 + 21i + 2i + 14i² = -11 + 23i
+        assert!(close(a * b, C64::new(-11.0, 23.0)));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C64::new(3.0, 2.0);
+        let b = C64::new(1.0, 7.0);
+        assert!(close(a * b / b, a));
+    }
+
+    #[test]
+    fn conjugate_multiplication_is_norm() {
+        let a = C64::new(3.0, -4.0);
+        let p = a * a.conj();
+        assert!((p.re - 25.0).abs() < EPS);
+        assert!(p.im.abs() < EPS);
+        assert!((a.abs() - 5.0).abs() < EPS);
+        assert!((a.norm_sqr() - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = C64::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < EPS);
+        assert!((z.arg() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn cis_is_unit_phasor() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            assert!((C64::cis(theta).abs() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn euler_identity() {
+        let z = C64::cis(std::f64::consts::PI);
+        assert!(close(z, C64::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn sum_of_phasors_over_full_circle_is_zero() {
+        let n = 16;
+        let s: C64 = (0..n)
+            .map(|k| C64::cis(2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .sum();
+        assert!(s.abs() < 1e-10);
+    }
+
+    #[test]
+    fn scalar_ops_and_neg() {
+        let a = C64::new(1.0, -2.0);
+        assert!(close(a * 2.0, C64::new(2.0, -4.0)));
+        assert!(close(2.0 * a, C64::new(2.0, -4.0)));
+        assert!(close(-a, C64::new(-1.0, 2.0)));
+    }
+
+    #[test]
+    fn recip_of_unit_is_conjugate() {
+        let z = C64::cis(1.0);
+        assert!(close(z.recip(), z.conj()));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = C64::new(1.0, 1.0);
+        a += C64::new(2.0, -1.0);
+        assert!(close(a, C64::new(3.0, 0.0)));
+        a -= C64::new(1.0, 1.0);
+        assert!(close(a, C64::new(2.0, -1.0)));
+        a *= C64::I;
+        assert!(close(a, C64::new(1.0, 2.0)));
+    }
+}

@@ -1,0 +1,167 @@
+//! Naive reference decimators — deliberately simple golden models.
+//!
+//! The optimised structures in `ddc-core` (polyphase FIR, CIC with
+//! wrapped accumulators) are verified against these obviously-correct
+//! implementations: a dense FIR followed by keep-1-in-D, and a cascade
+//! of boxcar averagers (mathematically identical to a CIC).
+
+/// Filters `input` with the dense FIR `taps` (direct convolution, zero
+/// initial state) and keeps one output in `decim` starting with the
+/// output aligned to input index `decim - 1`-style streaming: output
+/// `k` is the convolution evaluated at input index `k·decim`.
+pub fn fir_then_decimate(input: &[f64], taps: &[f64], decim: usize) -> Vec<f64> {
+    assert!(decim >= 1);
+    assert!(!taps.is_empty());
+    let mut out = Vec::with_capacity(input.len() / decim + 1);
+    let mut idx = 0usize;
+    while idx < input.len() {
+        let mut acc = 0.0;
+        for (j, &h) in taps.iter().enumerate() {
+            if let Some(i) = idx.checked_sub(j) {
+                acc += h * input[i];
+            }
+        }
+        out.push(acc);
+        idx += decim;
+    }
+    out
+}
+
+/// Integer version of [`fir_then_decimate`] with exact i64 arithmetic —
+/// the golden model for the bit-true polyphase FIR.
+pub fn fir_then_decimate_i64(input: &[i64], taps: &[i64], decim: usize) -> Vec<i64> {
+    assert!(decim >= 1);
+    assert!(!taps.is_empty());
+    let mut out = Vec::with_capacity(input.len() / decim + 1);
+    let mut idx = 0usize;
+    while idx < input.len() {
+        let mut acc = 0i64;
+        for (j, &h) in taps.iter().enumerate() {
+            if let Some(i) = idx.checked_sub(j) {
+                acc += h * input[i];
+            }
+        }
+        out.push(acc);
+        idx += decim;
+    }
+    out
+}
+
+/// A moving-average (boxcar) filter of length `len` over `i64` input,
+/// *without* normalisation (sum, not mean) — one CIC stage equals one
+/// of these; N cascaded boxcars of length R·M followed by keep-1-in-R
+/// equal a CIC of order N.
+pub fn boxcar_sum_i64(input: &[i64], len: usize) -> Vec<i64> {
+    assert!(len >= 1);
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = 0i64;
+    for (i, &x) in input.iter().enumerate() {
+        acc += x;
+        if i >= len {
+            acc -= input[i - len];
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Keeps one sample in `decim`, starting with index 0.
+pub fn keep_one_in<T: Copy>(input: &[T], decim: usize) -> Vec<T> {
+    assert!(decim >= 1);
+    input.iter().copied().step_by(decim).collect()
+}
+
+/// The golden CIC model: `order` cascaded un-normalised boxcars of
+/// length `decim·diff_delay`, then keep-1-in-`decim`. Exact i64
+/// arithmetic (no wrap-around — callers must keep inputs small enough,
+/// which tests do; equivalence with the wrapped implementation then
+/// demonstrates that the wrapping is harmless).
+pub fn cic_reference(input: &[i64], order: u32, decim: usize, diff_delay: usize) -> Vec<i64> {
+    let mut sig = input.to_vec();
+    for _ in 0..order {
+        sig = boxcar_sum_i64(&sig, decim * diff_delay);
+    }
+    keep_one_in(&sig, decim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_identity_passthrough() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(fir_then_decimate(&x, &[1.0], 1), x.to_vec());
+    }
+
+    #[test]
+    fn fir_delay_shifts() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = fir_then_decimate(&x, &[0.0, 1.0], 1);
+        assert_eq!(y, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn decimation_keeps_every_dth() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y = fir_then_decimate(&x, &[1.0], 3);
+        assert_eq!(y, vec![0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn integer_matches_float_for_integer_data() {
+        let x: Vec<i64> = vec![3, -1, 4, 1, -5, 9, 2, -6, 5, 3];
+        let taps: Vec<i64> = vec![1, 2, -1];
+        let yi = fir_then_decimate_i64(&x, &taps, 2);
+        let xf: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let tf: Vec<f64> = taps.iter().map(|&v| v as f64).collect();
+        let yf = fir_then_decimate(&xf, &tf, 2);
+        for (a, b) in yi.iter().zip(&yf) {
+            assert_eq!(*a as f64, *b);
+        }
+    }
+
+    #[test]
+    fn boxcar_of_ones_ramps_then_saturates() {
+        let x = vec![1i64; 8];
+        let y = boxcar_sum_i64(&x, 3);
+        assert_eq!(y, vec![1, 2, 3, 3, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn boxcar_impulse_is_rectangle() {
+        let mut x = vec![0i64; 10];
+        x[0] = 1;
+        let y = boxcar_sum_i64(&x, 4);
+        assert_eq!(y, vec![1, 1, 1, 1, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn keep_one_in_basic() {
+        assert_eq!(keep_one_in(&[1, 2, 3, 4, 5, 6, 7], 3), vec![1, 4, 7]);
+        assert_eq!(keep_one_in(&[1, 2, 3], 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cic_reference_impulse_response_order2() {
+        // Order-2 CIC of decimation R has full-rate impulse response
+        // equal to the triangle conv(rect_R, rect_R); after decimation
+        // at phase 0, the samples are h[0], h[R], h[2R]...
+        let mut x = vec![0i64; 32];
+        x[0] = 1;
+        let y = cic_reference(&x, 2, 4, 1);
+        // Full-rate triangle for R=4: 1,2,3,4,3,2,1 then zeros.
+        // Decimated at indices 0,4,8,...: 1, 3, 0, 0...
+        assert_eq!(&y[..3], &[1, 3, 0]);
+    }
+
+    #[test]
+    fn cic_reference_dc_gain() {
+        // Constant input through an order-N, decim-R CIC settles at
+        // (R·M)^N times the input.
+        let x = vec![5i64; 200];
+        let y = cic_reference(&x, 3, 5, 1);
+        let settled = *y.last().unwrap();
+        assert_eq!(settled, 5 * 125);
+    }
+}

@@ -1,0 +1,276 @@
+//! Iterative radix-2 decimation-in-time FFT.
+//!
+//! The spectrum analysis used to validate the DDC (band selection,
+//! alias rejection, NCO spur levels) needs a transform but nothing
+//! exotic: power-of-two sizes up to a few hundred thousand points. The
+//! planner precomputes twiddles and the bit-reversal permutation once
+//! per size so repeated transforms (Welch averaging) stay cheap.
+
+use crate::complex::C64;
+use std::f64::consts::PI;
+
+/// A reusable FFT plan for a fixed power-of-two size.
+///
+/// # Examples
+///
+/// ```
+/// use ddc_dsp::fft::Fft;
+/// use ddc_dsp::C64;
+///
+/// let fft = Fft::new(8);
+/// let mut buf = vec![C64::ZERO; 8];
+/// buf[0] = C64::ONE; // impulse → flat spectrum
+/// fft.forward(&mut buf);
+/// assert!(buf.iter().all(|z| (z.abs() - 1.0).abs() < 1e-12));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fft {
+    n: usize,
+    /// Twiddle factors `e^{-2πik/n}` for `k` in `0..n/2`.
+    twiddles: Vec<C64>,
+    /// Bit-reversal permutation indices.
+    rev: Vec<u32>,
+}
+
+impl Fft {
+    /// Plans an FFT of size `n`. Panics unless `n` is a power of two ≥ 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "FFT size {n} must be a power of two >= 2");
+        assert!(n <= u32::MAX as usize, "FFT size {n} too large");
+        let twiddles = (0..n / 2)
+            .map(|k| C64::cis(-2.0 * PI * k as f64 / n as f64))
+            .collect();
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
+        Fft { n, twiddles, rev }
+    }
+
+    /// The transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false — a plan has size ≥ 2. Present for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward DFT: `X[k] = Σ_n x[n]·e^{-2πikn/N}`.
+    pub fn forward(&self, buf: &mut [C64]) {
+        assert_eq!(buf.len(), self.n, "buffer length must equal plan size");
+        self.permute(buf);
+        self.butterflies(buf, false);
+    }
+
+    /// In-place inverse DFT including the `1/N` normalisation, so
+    /// `inverse(forward(x)) == x`.
+    pub fn inverse(&self, buf: &mut [C64]) {
+        assert_eq!(buf.len(), self.n, "buffer length must equal plan size");
+        self.permute(buf);
+        self.butterflies(buf, true);
+        let k = 1.0 / self.n as f64;
+        for z in buf.iter_mut() {
+            *z = z.scale(k);
+        }
+    }
+
+    /// Forward transform of a real signal, zero-padding or panicking on
+    /// mismatch is avoided by requiring exact length.
+    pub fn forward_real(&self, input: &[f64]) -> Vec<C64> {
+        assert_eq!(input.len(), self.n, "buffer length must equal plan size");
+        let mut buf: Vec<C64> = input.iter().map(|&x| C64::new(x, 0.0)).collect();
+        self.forward(&mut buf);
+        buf
+    }
+
+    fn permute(&self, buf: &mut [C64]) {
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, buf: &mut [C64], inverse: bool) {
+        let n = self.n;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * stride];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                }
+            }
+            len *= 2;
+        }
+    }
+}
+
+/// Direct O(n²) DFT — the obviously-correct reference the FFT is tested
+/// against, and a convenience for tiny transforms of non-power-of-two
+/// length (e.g. a 125-point frequency response probe).
+pub fn dft(input: &[C64]) -> Vec<C64> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|t| input[t] * C64::cis(-2.0 * PI * (k * t) as f64 / n as f64))
+                .sum()
+        })
+        .collect()
+}
+
+/// Evaluates the discrete-time Fourier transform of a real impulse
+/// response at a single normalised frequency `f` (cycles/sample):
+/// `H(f) = Σ_n h[n]·e^{-2πifn}`.
+pub fn dtft(h: &[f64], f: f64) -> C64 {
+    h.iter()
+        .enumerate()
+        .map(|(n, &hn)| hn * C64::cis(-2.0 * PI * f * n as f64))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(a: &[C64], b: &[C64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_direct_dft() {
+        let n = 64;
+        let input: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let reference = dft(&input);
+        let mut buf = input.clone();
+        Fft::new(n).forward(&mut buf);
+        assert!(max_err(&buf, &reference) < 1e-9);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let n = 256;
+        let fft = Fft::new(n);
+        let input: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64).sin(), (i as f64 * 2.0).cos()))
+            .collect();
+        let mut buf = input.clone();
+        fft.forward(&mut buf);
+        fft.inverse(&mut buf);
+        assert!(max_err(&buf, &input) < 1e-10);
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let n = 32;
+        let mut buf = vec![C64::ZERO; n];
+        buf[0] = C64::ONE;
+        Fft::new(n).forward(&mut buf);
+        for z in &buf {
+            assert!((*z - C64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_single_bin() {
+        let n = 128;
+        let k0 = 5;
+        let input: Vec<C64> = (0..n)
+            .map(|i| C64::cis(2.0 * PI * (k0 * i) as f64 / n as f64))
+            .collect();
+        let mut buf = input;
+        Fft::new(n).forward(&mut buf);
+        for (k, z) in buf.iter().enumerate() {
+            if k == k0 {
+                assert!((z.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn real_tone_is_conjugate_symmetric() {
+        let n = 64;
+        let fft = Fft::new(n);
+        let sig: Vec<f64> = (0..n).map(|i| (2.0 * PI * 3.0 * i as f64 / n as f64).cos()).collect();
+        let spec = fft.forward_real(&sig);
+        for k in 1..n {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            assert!((a - b).abs() < 1e-9, "bin {k} not symmetric");
+        }
+        assert!((spec[3].abs() - n as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 128;
+        let input: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 1.3).sin(), (i as f64 * 0.9).cos()))
+            .collect();
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut buf = input;
+        Fft::new(n).forward(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let fft = Fft::new(n);
+        let a: Vec<C64> = (0..n).map(|i| C64::new(i as f64, 0.5)).collect();
+        let b: Vec<C64> = (0..n).map(|i| C64::new(1.0, -(i as f64))).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        fft.forward(&mut fa);
+        fft.forward(&mut fb);
+        let mut fab: Vec<C64> = a.iter().zip(&b).map(|(x, y)| *x + y.scale(2.0)).collect();
+        fft.forward(&mut fab);
+        let expect: Vec<C64> = fa.iter().zip(&fb).map(|(x, y)| *x + y.scale(2.0)).collect();
+        assert!(max_err(&fab, &expect) < 1e-9);
+    }
+
+    #[test]
+    fn dtft_matches_dft_bins() {
+        let h = [0.25, 0.5, 0.25, -0.1, 0.05];
+        let n = 8usize;
+        let padded: Vec<C64> = (0..n)
+            .map(|i| C64::new(h.get(i).copied().unwrap_or(0.0), 0.0))
+            .collect();
+        let spec = dft(&padded);
+        for (k, s) in spec.iter().enumerate() {
+            let v = dtft(&h, k as f64 / n as f64);
+            assert!((*s - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        Fft::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn rejects_wrong_buffer_length() {
+        let fft = Fft::new(8);
+        let mut buf = vec![C64::ZERO; 4];
+        fft.forward(&mut buf);
+    }
+}

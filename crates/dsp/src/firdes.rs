@@ -1,0 +1,411 @@
+//! FIR filter design.
+//!
+//! The paper's DDC ends in a 125-tap FIR decimating by 8 at a 192 kHz
+//! input rate with a 24 kHz output. The paper does not publish the tap
+//! values, so we design an equivalent filter from the stated
+//! requirements (select a DRM band of ~10 kHz inside the 24 kHz output
+//! rate, suppress everything that would alias) with the standard
+//! windowed-sinc method, plus a CIC droop compensator as an extension.
+
+use crate::fft::dtft;
+use crate::window::Window;
+use std::f64::consts::PI;
+
+/// Normalised sinc: `sin(πx)/(πx)` with the removable singularity filled.
+#[inline]
+pub fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-12 {
+        1.0
+    } else {
+        (PI * x).sin() / (PI * x)
+    }
+}
+
+/// Designs a linear-phase low-pass FIR by the windowed-sinc method.
+///
+/// * `taps` — filter length (odd lengths give a type-I filter with an
+///   exact integer group delay, which is what the DDC uses).
+/// * `cutoff` — −6 dB cutoff as a normalised frequency in cycles/sample
+///   (0 < cutoff < 0.5).
+/// * `window` — tapering window controlling the stop-band depth.
+///
+/// The taps are normalised to exactly unit DC gain.
+pub fn lowpass(taps: usize, cutoff: f64, window: Window) -> Vec<f64> {
+    assert!(taps >= 1, "need at least one tap");
+    assert!(cutoff > 0.0 && cutoff < 0.5, "cutoff {cutoff} out of (0, 0.5)");
+    let mid = (taps - 1) as f64 / 2.0;
+    let mut h: Vec<f64> = (0..taps)
+        .map(|n| {
+            let t = n as f64 - mid;
+            2.0 * cutoff * sinc(2.0 * cutoff * t) * window.eval(n, taps)
+        })
+        .collect();
+    normalize_dc(&mut h);
+    h
+}
+
+/// Designs a linear-phase band-pass FIR centred between `f_lo` and
+/// `f_hi` (normalised frequencies) by subtracting two low-pass designs.
+pub fn bandpass(taps: usize, f_lo: f64, f_hi: f64, window: Window) -> Vec<f64> {
+    assert!(f_lo < f_hi, "band edges out of order");
+    let lo = lowpass_unnormalized(taps, f_lo, window);
+    let hi = lowpass_unnormalized(taps, f_hi, window);
+    hi.iter().zip(&lo).map(|(a, b)| a - b).collect()
+}
+
+fn lowpass_unnormalized(taps: usize, cutoff: f64, window: Window) -> Vec<f64> {
+    assert!(cutoff > 0.0 && cutoff < 0.5);
+    let mid = (taps - 1) as f64 / 2.0;
+    (0..taps)
+        .map(|n| {
+            let t = n as f64 - mid;
+            2.0 * cutoff * sinc(2.0 * cutoff * t) * window.eval(n, taps)
+        })
+        .collect()
+}
+
+/// Scales taps in place so the DC gain (`Σh`) is exactly 1.
+pub fn normalize_dc(h: &mut [f64]) {
+    let s: f64 = h.iter().sum();
+    assert!(s.abs() > 1e-12, "cannot normalise a zero-DC filter");
+    for v in h.iter_mut() {
+        *v /= s;
+    }
+}
+
+/// Designs a CIC droop compensator: a short FIR whose passband response
+/// approximates the inverse of the CIC's `(sinc)^order` droop, designed
+/// by frequency sampling with a raised-cosine transition.
+///
+/// * `taps` — compensator length (odd).
+/// * `order` — CIC order N being compensated.
+/// * `cic_decim` — the CIC decimation R (droop is evaluated at the
+///   *decimated* rate, i.e. the compensator runs after the CIC).
+/// * `passband` — edge of the band to flatten, normalised to the
+///   compensator's input rate (0..0.5).
+pub fn cic_compensator(taps: usize, order: u32, cic_decim: u32, passband: f64) -> Vec<f64> {
+    assert!(taps % 2 == 1, "compensator length must be odd");
+    assert!(passband > 0.0 && passband < 0.5);
+    let n_freq = taps;
+    let mid = (taps - 1) / 2;
+    // Desired amplitude at frequency grid points: inverse CIC droop in
+    // the passband, rolling off to zero above it.
+    let desired: Vec<f64> = (0..=mid)
+        .map(|k| {
+            let f = k as f64 / n_freq as f64; // 0..~0.5 at the low rate
+            if f <= passband {
+                // Droop of an R-fold CIC evaluated at post-decimation
+                // frequency f is sinc(f/R·R)^N / sinc(f/R)^N... expressed
+                // at the low rate: amplitude = |sinc(f)·R / (R·sinc(f/R))|^N.
+                let fr = f / cic_decim as f64;
+                let num = sinc_ratio(f, fr, cic_decim);
+                (1.0 / num).powi(order as i32)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    // Type-I frequency sampling: h[n] = (1/N)·[d(0) + 2Σ d(k)cos(2πk(n-mid)/N)]
+    let mut h = vec![0.0; taps];
+    for (n, hn) in h.iter_mut().enumerate() {
+        let m = n as f64 - mid as f64;
+        let mut acc = desired[0];
+        for (k, &d) in desired.iter().enumerate().skip(1) {
+            acc += 2.0 * d * (2.0 * PI * k as f64 * m / n_freq as f64).cos();
+        }
+        *hn = acc / n_freq as f64;
+    }
+    h
+}
+
+/// Designs a half-band low-pass filter: cutoff exactly 0.25, every
+/// second coefficient (except the centre) identically zero — the
+/// structure decimate-by-2 stages like the GC4016's CFIR exploit to
+/// halve their multiplier count.
+///
+/// `taps` must satisfy `taps % 4 == 3` (the classic 7, 11, 15, …
+/// lengths where the outermost coefficients are nonzero).
+pub fn halfband(taps: usize, window: Window) -> Vec<f64> {
+    assert!(taps >= 7 && taps % 4 == 3, "half-band length must be ≡ 3 (mod 4)");
+    let mid = (taps - 1) / 2;
+    let mut h: Vec<f64> = (0..taps)
+        .map(|n| {
+            let t = n as f64 - mid as f64;
+            0.5 * sinc(0.5 * t) * window.eval(n, taps)
+        })
+        .collect();
+    // Force the structural zeros exactly (windowing only perturbs
+    // them at the 1e-17 level, but hardware counts exact zeros).
+    for (n, v) in h.iter_mut().enumerate() {
+        if n != mid && (n as i64 - mid as i64) % 2 == 0 {
+            *v = 0.0;
+        }
+    }
+    h[mid] = 0.5;
+    // Normalise to exact unit DC gain *without* disturbing the centre
+    // tap (scaling only the odd taps keeps both h[mid] = ½ and the
+    // amplitude-complementarity identity exact).
+    let odd_sum: f64 = h.iter().enumerate().filter(|&(n, _)| n != mid).map(|(_, &v)| v).sum();
+    let k = 0.5 / odd_sum;
+    for (n, v) in h.iter_mut().enumerate() {
+        if n != mid {
+            *v *= k;
+        }
+    }
+    h
+}
+
+/// Convolves two impulse responses (used to fold a droop compensator
+/// into a channel filter while keeping a fixed total length).
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert!(!a.is_empty() && !b.is_empty());
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// `|sin(πf·R)/(R·sin(π·fr))|` guarded against the DC singularity: the
+/// per-sample droop factor of one CIC stage at post-decimation
+/// frequency `f` (with `fr = f/R`).
+fn sinc_ratio(f: f64, fr: f64, r: u32) -> f64 {
+    if f.abs() < 1e-12 {
+        1.0
+    } else {
+        ((PI * f).sin() / (r as f64 * (PI * fr).sin())).abs()
+    }
+}
+
+/// Summary measurements of a low-pass FIR magnitude response.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LowpassReport {
+    /// Worst passband deviation from unity, in dB (≥ 0).
+    pub passband_ripple_db: f64,
+    /// Smallest attenuation in the stopband, in dB (≥ 0, bigger is better).
+    pub stopband_atten_db: f64,
+}
+
+/// Measures ripple and stop-band attenuation of `h` given band edges
+/// (`passband_edge < stopband_edge`, both normalised), probing the
+/// response at `grid` points per band.
+pub fn measure_lowpass(h: &[f64], passband_edge: f64, stopband_edge: f64, grid: usize) -> LowpassReport {
+    assert!(passband_edge < stopband_edge && stopband_edge <= 0.5);
+    assert!(grid >= 2);
+    let mut worst_pass: f64 = 0.0;
+    for k in 0..grid {
+        let f = passband_edge * k as f64 / (grid - 1) as f64;
+        let mag = dtft(h, f).abs();
+        let dev_db = 20.0 * mag.log10();
+        worst_pass = worst_pass.max(dev_db.abs());
+    }
+    let mut worst_stop = f64::INFINITY;
+    for k in 0..grid {
+        let f = stopband_edge + (0.5 - stopband_edge) * k as f64 / (grid - 1) as f64;
+        let mag = dtft(h, f).abs().max(1e-300);
+        worst_stop = worst_stop.min(-20.0 * mag.log10());
+    }
+    LowpassReport {
+        passband_ripple_db: worst_pass,
+        stopband_atten_db: worst_stop,
+    }
+}
+
+/// Quantizes taps to `bits`-bit signed integers with `frac_bits`
+/// fractional bits (the FPGA implementation stores 12-bit coefficients
+/// in M4K ROM — Figure 5 of the paper).
+pub fn quantize_taps(h: &[f64], bits: u32, frac_bits: u32) -> Vec<i32> {
+    h.iter()
+        .map(|&x| crate::fixed::quantize(x, bits, frac_bits, crate::fixed::Rounding::Nearest) as i32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowpass_has_unit_dc_gain() {
+        let h = lowpass(63, 0.2, Window::Hamming);
+        let dc: f64 = h.iter().sum();
+        assert!((dc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowpass_is_symmetric_linear_phase() {
+        let h = lowpass(125, 0.1, Window::Kaiser(8.0));
+        for i in 0..h.len() {
+            assert!((h[i] - h[h.len() - 1 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lowpass_passes_low_blocks_high() {
+        let h = lowpass(101, 0.15, Window::Kaiser(7.0));
+        let low = dtft(&h, 0.02).abs();
+        let high = dtft(&h, 0.35).abs();
+        assert!(low > 0.95, "low gain {low}");
+        assert!(high < 1e-3, "high gain {high}");
+    }
+
+    #[test]
+    fn kaiser_meets_attenuation_target() {
+        // Design for 60 dB with a generous transition and verify.
+        let beta = crate::window::kaiser_beta(60.0);
+        let h = lowpass(101, 0.1, Window::Kaiser(beta));
+        let rep = measure_lowpass(&h, 0.07, 0.14, 200);
+        assert!(rep.stopband_atten_db > 60.0, "got {} dB", rep.stopband_atten_db);
+        assert!(rep.passband_ripple_db < 0.05, "ripple {}", rep.passband_ripple_db);
+    }
+
+    #[test]
+    fn longer_filter_gives_sharper_transition() {
+        let short = lowpass(31, 0.1, Window::Hamming);
+        let long = lowpass(127, 0.1, Window::Hamming);
+        let f_probe = 0.14;
+        assert!(dtft(&long, f_probe).abs() < dtft(&short, f_probe).abs());
+    }
+
+    #[test]
+    fn bandpass_passes_centre_blocks_dc_and_edge() {
+        let h = bandpass(127, 0.1, 0.2, Window::Blackman);
+        let centre = dtft(&h, 0.15).abs();
+        let dc = dtft(&h, 0.0).abs();
+        let edge = dtft(&h, 0.4).abs();
+        assert!(centre > 0.9, "centre {centre}");
+        assert!(dc < 1e-3, "dc {dc}");
+        assert!(edge < 1e-3, "edge {edge}");
+    }
+
+    #[test]
+    fn sinc_known_values() {
+        assert!((sinc(0.0) - 1.0).abs() < 1e-15);
+        assert!(sinc(1.0).abs() < 1e-15);
+        assert!((sinc(0.5) - 2.0 / PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compensator_lifts_droop() {
+        // A CIC5 with decimation 21 has noticeable droop at the band
+        // edge; after the compensator the combined response should be
+        // much flatter across the passband.
+        let order = 5;
+        let r = 21;
+        let comp = cic_compensator(31, order, r, 0.35);
+        // Evaluate combined response on a grid in the passband.
+        let mut worst_raw: f64 = 0.0;
+        let mut worst_comp: f64 = 0.0;
+        for k in 1..=20 {
+            let f = 0.30 * k as f64 / 20.0;
+            let fr = f / r as f64;
+            let droop = sinc_ratio(f, fr, r).powi(order as i32);
+            let c = dtft(&comp, f).abs();
+            worst_raw = worst_raw.max((20.0 * droop.log10()).abs());
+            worst_comp = worst_comp.max((20.0 * (droop * c).log10()).abs());
+        }
+        assert!(worst_raw > 1.0, "droop too small to test: {worst_raw} dB");
+        assert!(
+            worst_comp < worst_raw / 4.0,
+            "compensated {worst_comp} dB vs raw {worst_raw} dB"
+        );
+    }
+
+    #[test]
+    fn quantize_taps_preserves_shape() {
+        let h = lowpass(125, 0.23, Window::Kaiser(8.0));
+        let q = quantize_taps(&h, 12, 11);
+        assert_eq!(q.len(), h.len());
+        // max tap should quantize near full scale of its value
+        let max_idx = h
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        let back = q[max_idx] as f64 / 2048.0;
+        assert!((back - h[max_idx]).abs() < 1.0 / 2048.0);
+    }
+
+    #[test]
+    fn measure_lowpass_on_ideal_averager() {
+        // 2-tap averager: null at f=0.5, 1 at DC.
+        let h = [0.5, 0.5];
+        let rep = measure_lowpass(&h, 0.01, 0.49, 50);
+        assert!(rep.passband_ripple_db < 0.01);
+        assert!(rep.stopband_atten_db > 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 0.5)")]
+    fn lowpass_rejects_bad_cutoff() {
+        lowpass(11, 0.6, Window::Hann);
+    }
+
+    #[test]
+    fn halfband_has_structural_zeros_and_unit_dc() {
+        let h = halfband(23, Window::Kaiser(6.0));
+        let mid = 11;
+        let mut zeros = 0;
+        for (n, &v) in h.iter().enumerate() {
+            if n != mid && (n as i64 - mid as i64) % 2 == 0 {
+                assert_eq!(v, 0.0, "tap {n} must be a structural zero");
+                zeros += 1;
+            }
+        }
+        assert_eq!(zeros, 10);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // cutoff at 0.25: −6 dB point
+        let g = dtft(&h, 0.25).abs();
+        assert!((g - 0.5).abs() < 0.02, "gain at 0.25 is {g}");
+    }
+
+    #[test]
+    fn halfband_is_amplitude_complementary() {
+        // The defining half-band identity: the zero-phase amplitude
+        // satisfies A(f) + A(0.5 − f) = 1 *exactly* (it follows from
+        // h[mid] = ½ and the structural zeros).
+        let h = halfband(31, Window::Kaiser(7.0));
+        let mid = (h.len() - 1) as f64 / 2.0;
+        let amplitude = |f: f64| -> f64 {
+            // remove the linear phase e^{−j2πf·mid}
+            let z = dtft(&h, f) * crate::C64::cis(2.0 * PI * f * mid);
+            assert!(z.im.abs() < 1e-10, "not linear phase");
+            z.re
+        };
+        for k in 1..20 {
+            let f = 0.24 * k as f64 / 20.0;
+            let s = amplitude(f) + amplitude(0.5 - f);
+            assert!((s - 1.0).abs() < 1e-9, "at {f}: {s}");
+        }
+    }
+
+    #[test]
+    fn convolve_matches_polynomial_multiplication() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0];
+        // (1+2x+3x²)(4+5x) = 4 + 13x + 22x² + 15x³
+        assert_eq!(convolve(&a, &b), vec![4.0, 13.0, 22.0, 15.0]);
+        // commutative
+        assert_eq!(convolve(&b, &a), convolve(&a, &b));
+    }
+
+    #[test]
+    fn convolution_dc_gain_multiplies() {
+        let a = lowpass(21, 0.2, Window::Hamming);
+        let b = cic_compensator(11, 5, 21, 0.3);
+        let c = convolve(&a, &b);
+        let dc_c: f64 = c.iter().sum();
+        let dc_a: f64 = a.iter().sum();
+        let dc_b: f64 = b.iter().sum();
+        assert!((dc_c - dc_a * dc_b).abs() < 1e-9);
+        assert_eq!(c.len(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "mod 4")]
+    fn halfband_rejects_bad_length() {
+        halfband(21, Window::Hann);
+    }
+}

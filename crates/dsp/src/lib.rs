@@ -1,0 +1,47 @@
+//! # ddc-dsp — DSP substrate for the DDC architecture study
+//!
+//! This crate provides every piece of signal-processing machinery the
+//! reproduction of *"An Optimal Architecture for a DDC"* (Bijlsma,
+//! Wolkotte, Smit, 2006) needs, implemented from scratch:
+//!
+//! * [`fixed`] — two's-complement fixed-point arithmetic: saturation,
+//!   rounding, quantization, and the wrapping accumulators CIC filters
+//!   rely on.
+//! * [`complex`] — a small complex-number type used for I/Q samples.
+//! * [`fft`] — an iterative radix-2 FFT with a twiddle-caching planner.
+//! * [`goertzel`] — single-bin detection for pilot-tone search.
+//! * [`window`] — window functions (Hann, Hamming, Blackman, Kaiser, ...).
+//! * [`firdes`] — windowed-sinc FIR design, including the 125-tap DRM
+//!   channel filter of the paper and CIC droop compensators.
+//! * [`remez`] — Parks–McClellan equiripple FIR design (for the
+//!   GC4016-style programmable filters).
+//! * [`cic_math`] — closed-form CIC filter mathematics: magnitude
+//!   response, gain, bit growth and Hogenauer register pruning.
+//! * [`spectrum`] — periodograms, Welch averaging and scalar measures
+//!   (SNR, SFDR, ripple, stop-band attenuation).
+//! * [`signal`] — deterministic and stochastic test-signal generators
+//!   standing in for the paper's 64.512 MSPS ADC stream.
+//! * [`decimate`] — naive reference decimators used as golden models.
+//! * [`stats`] — error metrics, dB conversions and the bit-toggle
+//!   statistics that drive the activity-based power models.
+//!
+//! The crate is `#![forbid(unsafe_code)]`: everything here is pure
+//! computation and the safe subset of Rust is sufficient.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cic_math;
+pub mod complex;
+pub mod decimate;
+pub mod fft;
+pub mod goertzel;
+pub mod firdes;
+pub mod fixed;
+pub mod remez;
+pub mod signal;
+pub mod spectrum;
+pub mod stats;
+pub mod window;
+
+pub use complex::C64;

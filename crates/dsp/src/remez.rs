@@ -1,0 +1,379 @@
+//! Parks–McClellan (Remez exchange) equiripple FIR design.
+//!
+//! The GC4016's PFIR is "programmable" — its 63 taps are whatever the
+//! system designer loads, and in practice those come from an
+//! equiripple designer, not a windowed sinc: for the same tap count
+//! the equiripple solution trades the windowed design's over-achieving
+//! far stopband for a deeper *worst-case* stopband and a flatter
+//! passband. This module implements the classic algorithm for type-I
+//! (odd-length, symmetric) low-pass filters.
+//!
+//! Implementation notes: the approximation runs in the `x = cos(ω)`
+//! domain with barycentric Lagrange interpolation (the numerically
+//! stable formulation), a dense frequency grid, and the standard
+//! multiple-exchange of extremal points.
+
+use std::f64::consts::PI;
+
+/// Specification of a two-band (low-pass) equiripple design.
+#[derive(Clone, Copy, Debug)]
+pub struct LowpassSpec {
+    /// Filter length (must be odd — type-I linear phase).
+    pub taps: usize,
+    /// Passband edge, cycles/sample (0 < f_pass < f_stop).
+    pub f_pass: f64,
+    /// Stopband edge, cycles/sample (f_pass < f_stop < 0.5).
+    pub f_stop: f64,
+    /// Passband ripple weight (relative to stopband weight 1.0; a
+    /// larger weight buys a flatter passband at the cost of stopband
+    /// depth).
+    pub pass_weight: f64,
+}
+
+/// Result of a Remez design.
+#[derive(Clone, Debug)]
+pub struct RemezResult {
+    /// The impulse response (length `spec.taps`, symmetric).
+    pub taps: Vec<f64>,
+    /// The final equiripple level δ (weighted).
+    pub delta: f64,
+    /// Exchange iterations used.
+    pub iterations: usize,
+}
+
+/// Designs a type-I equiripple low-pass filter. Panics on malformed
+/// specifications; returns `Err` only if the exchange fails to
+/// converge (pathological band edges).
+///
+/// # Examples
+///
+/// ```
+/// use ddc_dsp::remez::{remez_lowpass, LowpassSpec};
+///
+/// let design = remez_lowpass(LowpassSpec {
+///     taps: 63,
+///     f_pass: 0.10,
+///     f_stop: 0.16,
+///     pass_weight: 1.0,
+/// }).unwrap();
+/// assert_eq!(design.taps.len(), 63);
+/// assert!(design.delta < 0.01); // ~ -40 dB equiripple
+/// ```
+pub fn remez_lowpass(spec: LowpassSpec) -> Result<RemezResult, String> {
+    assert!(spec.taps >= 7 && spec.taps % 2 == 1, "need odd taps >= 7");
+    assert!(
+        spec.f_pass > 0.0 && spec.f_pass < spec.f_stop && spec.f_stop < 0.5,
+        "band edges out of order"
+    );
+    assert!(spec.pass_weight > 0.0);
+    let l = (spec.taps - 1) / 2; // cosine-series order
+    let r = l + 2; // extremal count
+
+    // Dense grid over both bands.
+    let density = 20;
+    let grid_n = (r * density).max(512);
+    let mut grid: Vec<(f64, f64, f64)> = Vec::with_capacity(grid_n); // (f, D, W)
+    let pass_span = spec.f_pass;
+    let stop_span = 0.5 - spec.f_stop;
+    let total = pass_span + stop_span;
+    let n_pass = ((grid_n as f64 * pass_span / total) as usize).max(r);
+    let n_stop = (grid_n - n_pass.min(grid_n - r)).max(r);
+    for k in 0..n_pass {
+        let f = spec.f_pass * k as f64 / (n_pass - 1) as f64;
+        grid.push((f, 1.0, spec.pass_weight));
+    }
+    for k in 0..n_stop {
+        let f = spec.f_stop + stop_span * k as f64 / (n_stop - 1) as f64;
+        grid.push((f, 0.0, 1.0));
+    }
+
+    // Initial extremals: spread uniformly over the grid.
+    let mut ext: Vec<usize> = (0..r)
+        .map(|k| k * (grid.len() - 1) / (r - 1))
+        .collect();
+
+    let mut delta = 0.0;
+    let mut iterations = 0;
+    for iter in 0..60 {
+        iterations = iter + 1;
+        // Barycentric weights over x = cos(2πf) at the extremals.
+        let x: Vec<f64> = ext.iter().map(|&i| (2.0 * PI * grid[i].0).cos()).collect();
+        let mut bary = vec![1.0f64; r];
+        for k in 0..r {
+            for i in 0..r {
+                if i != k {
+                    bary[k] /= x[k] - x[i];
+                }
+            }
+        }
+        // δ = Σ a_k·D_k / Σ a_k·(−1)^k / W_k
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for k in 0..r {
+            num += bary[k] * grid[ext[k]].1;
+            den += bary[k] * if k % 2 == 0 { 1.0 } else { -1.0 } / grid[ext[k]].2;
+        }
+        if den.abs() < 1e-300 {
+            return Err("degenerate extremal set".into());
+        }
+        delta = num / den;
+        // Interpolation values C_k = D_k − (−1)^k δ / W_k on r−1 nodes
+        // (drop the last; barycentric interpolation through r−1 points
+        // of a degree-(r−2) polynomial).
+        let m = r - 1;
+        let xs = &x[..m];
+        let mut w2 = vec![1.0f64; m];
+        for k in 0..m {
+            for i in 0..m {
+                if i != k {
+                    w2[k] /= xs[k] - xs[i];
+                }
+            }
+        }
+        let c: Vec<f64> = (0..m)
+            .map(|k| {
+                grid[ext[k]].1 - if k % 2 == 0 { 1.0 } else { -1.0 } * delta / grid[ext[k]].2
+            })
+            .collect();
+        let a_of = |xq: f64| -> f64 {
+            let mut nsum = 0.0;
+            let mut dsum = 0.0;
+            for k in 0..m {
+                let dx = xq - xs[k];
+                if dx.abs() < 1e-14 {
+                    return c[k];
+                }
+                let t = w2[k] / dx;
+                nsum += t * c[k];
+                dsum += t;
+            }
+            nsum / dsum
+        };
+        // Weighted error on the whole grid.
+        let err: Vec<f64> = grid
+            .iter()
+            .map(|&(f, d, w)| w * (d - a_of((2.0 * PI * f).cos())))
+            .collect();
+        // Find local extrema of the error (band edges included).
+        let mut candidates: Vec<usize> = Vec::new();
+        for i in 0..grid.len() {
+            let left = if i == 0 { f64::NEG_INFINITY } else { err[i - 1].abs() };
+            let right = if i + 1 == grid.len() {
+                f64::NEG_INFINITY
+            } else {
+                err[i + 1].abs()
+            };
+            // band-edge discontinuity: treat edges as boundaries
+            let is_band_edge = i == 0
+                || i + 1 == grid.len()
+                || (grid[i].0 <= spec.f_pass && grid[i + 1].0 >= spec.f_stop)
+                || (i > 0 && grid[i - 1].0 <= spec.f_pass && grid[i].0 >= spec.f_stop);
+            if err[i].abs() >= left && err[i].abs() >= right || is_band_edge {
+                candidates.push(i);
+            }
+        }
+        // Keep alternating signs, preferring larger magnitudes.
+        let mut chosen: Vec<usize> = Vec::new();
+        for &i in &candidates {
+            if let Some(&last) = chosen.last() {
+                if err[last].signum() == err[i].signum() {
+                    if err[i].abs() > err[last].abs() {
+                        *chosen.last_mut().unwrap() = i;
+                    }
+                    continue;
+                }
+            }
+            chosen.push(i);
+        }
+        // Trim to exactly r extremals, dropping the smallest from the
+        // ends (standard multiple-exchange bookkeeping).
+        while chosen.len() > r {
+            let first = err[chosen[0]].abs();
+            let last = err[*chosen.last().unwrap()].abs();
+            if first <= last {
+                chosen.remove(0);
+            } else {
+                chosen.pop();
+            }
+        }
+        if chosen.len() < r {
+            return Err(format!("lost alternation: only {} extrema", chosen.len()));
+        }
+        // Convergence: the largest error equals |δ| within tolerance.
+        let max_err = chosen.iter().map(|&i| err[i].abs()).fold(0.0, f64::max);
+        let done = (max_err - delta.abs()).abs() <= 1e-5 * delta.abs().max(1e-12);
+        ext = chosen;
+        if done && iter > 0 {
+            break;
+        }
+    }
+
+    // Reconstruct the impulse response: sample the final approximant
+    // A(ω) at N points and inverse-DFT the (real, even) spectrum.
+    let x: Vec<f64> = ext.iter().map(|&i| (2.0 * PI * grid[i].0).cos()).collect();
+    let m = r - 1;
+    let xs = &x[..m];
+    let mut w2 = vec![1.0f64; m];
+    for k in 0..m {
+        for i in 0..m {
+            if i != k {
+                w2[k] /= xs[k] - xs[i];
+            }
+        }
+    }
+    let c: Vec<f64> = (0..m)
+        .map(|k| grid[ext[k]].1 - if k % 2 == 0 { 1.0 } else { -1.0 } * delta / grid[ext[k]].2)
+        .collect();
+    let a_of = |xq: f64| -> f64 {
+        let mut nsum = 0.0;
+        let mut dsum = 0.0;
+        for k in 0..m {
+            let dx = xq - xs[k];
+            if dx.abs() < 1e-14 {
+                return c[k];
+            }
+            let t = w2[k] / dx;
+            nsum += t * c[k];
+            dsum += t;
+        }
+        nsum / dsum
+    };
+    let n = spec.taps;
+    // h[mid + t] = (1/N)[A(0) + 2Σ_k A(2πk/N) cos(2πkt/N)]
+    let mid = l as isize;
+    let mut h = vec![0.0f64; n];
+    for (idx, hv) in h.iter_mut().enumerate() {
+        let t = idx as isize - mid;
+        let mut acc = a_of(1.0); // ω=0
+        for k in 1..=l {
+            let w = 2.0 * PI * k as f64 / n as f64;
+            acc += 2.0 * a_of(w.cos()) * (w * t as f64).cos();
+        }
+        *hv = acc / n as f64;
+    }
+    Ok(RemezResult {
+        taps: h,
+        delta: delta.abs(),
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::dtft;
+    use crate::firdes::{lowpass, measure_lowpass};
+    use crate::window::{kaiser_beta, Window};
+
+    fn spec63() -> LowpassSpec {
+        LowpassSpec {
+            taps: 63,
+            f_pass: 0.10,
+            f_stop: 0.16,
+            pass_weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn design_converges_and_is_symmetric() {
+        let r = remez_lowpass(spec63()).expect("converges");
+        assert!(r.iterations < 60);
+        assert!(r.delta > 0.0 && r.delta < 0.1, "delta {}", r.delta);
+        let h = &r.taps;
+        for i in 0..h.len() {
+            assert!((h[i] - h[h.len() - 1 - i]).abs() < 1e-9, "asymmetric at {i}");
+        }
+    }
+
+    #[test]
+    fn ripples_are_equal_with_unit_weight() {
+        // With equal weights the passband deviation and the stopband
+        // deviation must both equal δ (the equiripple property).
+        let r = remez_lowpass(spec63()).unwrap();
+        let rep = measure_lowpass(&r.taps, 0.10, 0.16, 600);
+        let pass_dev = 10f64.powf(rep.passband_ripple_db / 20.0) - 1.0;
+        let stop_dev = 10f64.powf(-rep.stopband_atten_db / 20.0);
+        assert!(
+            (pass_dev - r.delta).abs() < 0.25 * r.delta,
+            "pass dev {pass_dev} vs δ {}",
+            r.delta
+        );
+        assert!(
+            (stop_dev - r.delta).abs() < 0.25 * r.delta,
+            "stop dev {stop_dev} vs δ {}",
+            r.delta
+        );
+    }
+
+    #[test]
+    fn beats_windowed_design_at_the_worst_case() {
+        // Same 63 taps, same transition band: the equiripple filter's
+        // *minimum* stopband attenuation must beat the Kaiser design
+        // tuned to roughly the same edge.
+        let r = remez_lowpass(spec63()).unwrap();
+        let kaiser = lowpass(63, 0.13, Window::Kaiser(kaiser_beta(50.0)));
+        let eq = measure_lowpass(&r.taps, 0.10, 0.16, 600);
+        let win = measure_lowpass(&kaiser, 0.10, 0.16, 600);
+        assert!(
+            eq.stopband_atten_db > win.stopband_atten_db + 3.0,
+            "equiripple {} dB vs windowed {} dB",
+            eq.stopband_atten_db,
+            win.stopband_atten_db
+        );
+    }
+
+    #[test]
+    fn weight_trades_passband_for_stopband() {
+        let flat = remez_lowpass(LowpassSpec {
+            pass_weight: 10.0,
+            ..spec63()
+        })
+        .unwrap();
+        let deep = remez_lowpass(LowpassSpec {
+            pass_weight: 0.1,
+            ..spec63()
+        })
+        .unwrap();
+        let rep_flat = measure_lowpass(&flat.taps, 0.10, 0.16, 400);
+        let rep_deep = measure_lowpass(&deep.taps, 0.10, 0.16, 400);
+        assert!(rep_flat.passband_ripple_db < rep_deep.passband_ripple_db);
+        assert!(rep_deep.stopband_atten_db > rep_flat.stopband_atten_db);
+    }
+
+    #[test]
+    fn dc_gain_is_near_unity() {
+        let r = remez_lowpass(spec63()).unwrap();
+        let dc = dtft(&r.taps, 0.0).abs();
+        assert!((dc - 1.0).abs() < 0.05, "DC gain {dc}");
+    }
+
+    #[test]
+    fn longer_filter_means_smaller_delta() {
+        let short = remez_lowpass(LowpassSpec { taps: 31, ..spec63() }).unwrap();
+        let long = remez_lowpass(LowpassSpec { taps: 95, ..spec63() }).unwrap();
+        assert!(long.delta < short.delta / 3.0, "{} vs {}", long.delta, short.delta);
+    }
+
+    #[test]
+    fn pfir_replacement_for_gc4016() {
+        // A 63-tap GSM channel filter: pass to 80 kHz, stop from
+        // 135 kHz at the 541.7 kHz PFIR input rate.
+        let fs = 541_666.0;
+        let r = remez_lowpass(LowpassSpec {
+            taps: 63,
+            f_pass: 80_000.0 / fs,
+            f_stop: 135_000.0 / fs,
+            pass_weight: 1.0,
+        })
+        .unwrap();
+        let rep = measure_lowpass(&r.taps, 80_000.0 / fs, 135_000.0 / fs, 400);
+        assert!(rep.stopband_atten_db > 40.0, "stopband {}", rep.stopband_atten_db);
+        assert!(rep.passband_ripple_db < 1.0, "ripple {}", rep.passband_ripple_db);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd taps")]
+    fn rejects_even_length() {
+        let _ = remez_lowpass(LowpassSpec { taps: 64, ..spec63() });
+    }
+}

@@ -1,0 +1,397 @@
+//! Test-signal generators.
+//!
+//! These stand in for the paper's 64.512 MSPS ADC stream (see the
+//! substitution table in DESIGN.md). All generators produce `f64`
+//! samples in `[-1, 1]`; [`adc_quantize`] converts them to the signed
+//! integer words a real converter would deliver.
+
+use crate::fixed::{quantize, Rounding};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// A source of real-valued samples at an implicit fixed rate.
+pub trait SampleSource {
+    /// Produces the next sample.
+    fn next_sample(&mut self) -> f64;
+
+    /// Fills `out` with consecutive samples.
+    fn fill(&mut self, out: &mut [f64]) {
+        for v in out.iter_mut() {
+            *v = self.next_sample();
+        }
+    }
+
+    /// Collects `n` consecutive samples into a vector.
+    fn take_vec(&mut self, n: usize) -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        self.fill(&mut v);
+        v
+    }
+}
+
+/// A pure sinusoid `a·cos(2πf·n/fs + φ)`.
+#[derive(Clone, Debug)]
+pub struct Tone {
+    phase: f64,
+    step: f64,
+    amplitude: f64,
+}
+
+impl Tone {
+    /// Creates a tone of `freq_hz` at sample rate `fs_hz` with amplitude
+    /// `amplitude` and initial phase `phase_rad`.
+    pub fn new(freq_hz: f64, fs_hz: f64, amplitude: f64, phase_rad: f64) -> Self {
+        assert!(fs_hz > 0.0, "sample rate must be positive");
+        Tone {
+            phase: phase_rad,
+            step: 2.0 * PI * freq_hz / fs_hz,
+            amplitude,
+        }
+    }
+}
+
+impl SampleSource for Tone {
+    #[inline]
+    fn next_sample(&mut self) -> f64 {
+        let v = self.amplitude * self.phase.cos();
+        self.phase = (self.phase + self.step) % (2.0 * PI);
+        v
+    }
+}
+
+/// A sum of independent tones — used to place energy in-band and
+/// out-of-band simultaneously when testing band selection.
+#[derive(Clone, Debug)]
+pub struct MultiTone {
+    tones: Vec<Tone>,
+}
+
+impl MultiTone {
+    /// Creates a multi-tone from `(freq_hz, amplitude)` pairs at sample
+    /// rate `fs_hz`, with deterministic staggered phases so the crest
+    /// factor stays moderate.
+    pub fn new(components: &[(f64, f64)], fs_hz: f64) -> Self {
+        let tones = components
+            .iter()
+            .enumerate()
+            .map(|(i, &(f, a))| Tone::new(f, fs_hz, a, i as f64 * 2.399_963)) // golden-angle stagger
+            .collect();
+        MultiTone { tones }
+    }
+}
+
+impl SampleSource for MultiTone {
+    #[inline]
+    fn next_sample(&mut self) -> f64 {
+        self.tones.iter_mut().map(Tone::next_sample).sum()
+    }
+}
+
+/// A linear chirp sweeping `f0..f1` over `duration_samples`, then
+/// holding `f1`. Useful for sweeping a filter's response in one run.
+#[derive(Clone, Debug)]
+pub struct Chirp {
+    phase: f64,
+    f: f64,
+    df: f64,
+    f1: f64,
+    fs: f64,
+    amplitude: f64,
+}
+
+impl Chirp {
+    /// Creates a chirp from `f0_hz` to `f1_hz` over `duration_samples`
+    /// samples at rate `fs_hz`.
+    pub fn new(f0_hz: f64, f1_hz: f64, duration_samples: usize, fs_hz: f64, amplitude: f64) -> Self {
+        assert!(duration_samples > 0);
+        Chirp {
+            phase: 0.0,
+            f: f0_hz,
+            df: (f1_hz - f0_hz) / duration_samples as f64,
+            f1: f1_hz,
+            fs: fs_hz,
+            amplitude,
+        }
+    }
+}
+
+impl SampleSource for Chirp {
+    #[inline]
+    fn next_sample(&mut self) -> f64 {
+        let v = self.amplitude * self.phase.cos();
+        self.phase = (self.phase + 2.0 * PI * self.f / self.fs) % (2.0 * PI);
+        if (self.df > 0.0 && self.f < self.f1) || (self.df < 0.0 && self.f > self.f1) {
+            self.f += self.df;
+        }
+        v
+    }
+}
+
+/// Uniform white noise in `[-amplitude, amplitude]`, seeded for
+/// reproducibility. The paper's FPGA power estimation assumes "random
+/// data" stimuli with a 50 % input toggle rate — this is that stimulus.
+#[derive(Clone, Debug)]
+pub struct WhiteNoise {
+    rng: StdRng,
+    amplitude: f64,
+}
+
+impl WhiteNoise {
+    /// Creates a reproducible noise source.
+    pub fn new(seed: u64, amplitude: f64) -> Self {
+        WhiteNoise {
+            rng: StdRng::seed_from_u64(seed),
+            amplitude,
+        }
+    }
+}
+
+impl SampleSource for WhiteNoise {
+    #[inline]
+    fn next_sample(&mut self) -> f64 {
+        self.rng.gen_range(-self.amplitude..=self.amplitude)
+    }
+}
+
+/// An OFDM-like band: many equal-power carriers with random (but
+/// seeded) phases spread uniformly over `[f_lo, f_hi]` — a synthetic
+/// DRM signal. DRM (ETSI ES 201 980) transmits OFDM with ~88–460
+/// carriers in a 4.5–20 kHz channel; for the DDC only the spectral
+/// occupancy matters, which this reproduces.
+#[derive(Clone, Debug)]
+pub struct OfdmBand {
+    tones: Vec<Tone>,
+}
+
+impl OfdmBand {
+    /// Creates `carriers` equal-amplitude carriers across `[f_lo_hz,
+    /// f_hi_hz]` at rate `fs_hz`, with total RMS roughly `rms`.
+    pub fn new(f_lo_hz: f64, f_hi_hz: f64, carriers: usize, fs_hz: f64, rms: f64, seed: u64) -> Self {
+        assert!(carriers >= 1 && f_hi_hz > f_lo_hz);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let amp = rms * (2.0 / carriers as f64).sqrt();
+        let tones = (0..carriers)
+            .map(|k| {
+                let f = if carriers == 1 {
+                    (f_lo_hz + f_hi_hz) / 2.0
+                } else {
+                    f_lo_hz + (f_hi_hz - f_lo_hz) * k as f64 / (carriers - 1) as f64
+                };
+                Tone::new(f, fs_hz, amp, rng.gen_range(0.0..2.0 * PI))
+            })
+            .collect();
+        OfdmBand { tones }
+    }
+}
+
+impl SampleSource for OfdmBand {
+    #[inline]
+    fn next_sample(&mut self) -> f64 {
+        self.tones.iter_mut().map(Tone::next_sample).sum()
+    }
+}
+
+/// An MSK/GMSK-like constant-envelope burst: a carrier whose phase
+/// advances by ±π/2 per symbol according to a seeded pseudo-random bit
+/// sequence — a synthetic GSM channel for the GC4016 example.
+#[derive(Clone, Debug)]
+pub struct MskCarrier {
+    rng: StdRng,
+    phase: f64,
+    carrier_step: f64,
+    dev_step: f64,
+    samples_per_symbol: u32,
+    counter: u32,
+    current_sign: f64,
+    amplitude: f64,
+}
+
+impl MskCarrier {
+    /// Creates an MSK-modulated carrier at `carrier_hz` with symbol rate
+    /// `symbol_rate_hz` at sample rate `fs_hz`.
+    pub fn new(carrier_hz: f64, symbol_rate_hz: f64, fs_hz: f64, amplitude: f64, seed: u64) -> Self {
+        let samples_per_symbol = (fs_hz / symbol_rate_hz).round().max(1.0) as u32;
+        MskCarrier {
+            rng: StdRng::seed_from_u64(seed),
+            phase: 0.0,
+            carrier_step: 2.0 * PI * carrier_hz / fs_hz,
+            // MSK: frequency deviation = symbol_rate / 4 → phase step.
+            dev_step: 2.0 * PI * (symbol_rate_hz / 4.0) / fs_hz,
+            samples_per_symbol,
+            counter: 0,
+            current_sign: 1.0,
+            amplitude,
+        }
+    }
+}
+
+impl SampleSource for MskCarrier {
+    #[inline]
+    fn next_sample(&mut self) -> f64 {
+        if self.counter == 0 {
+            self.current_sign = if self.rng.gen::<bool>() { 1.0 } else { -1.0 };
+            self.counter = self.samples_per_symbol;
+        }
+        self.counter -= 1;
+        let v = self.amplitude * self.phase.cos();
+        self.phase = (self.phase + self.carrier_step + self.current_sign * self.dev_step) % (2.0 * PI);
+        v
+    }
+}
+
+/// A unit impulse followed by zeros — for impulse-response probing.
+#[derive(Clone, Debug, Default)]
+pub struct Impulse {
+    fired: bool,
+}
+
+impl Impulse {
+    /// Creates the impulse source.
+    pub fn new() -> Self {
+        Impulse::default()
+    }
+}
+
+impl SampleSource for Impulse {
+    #[inline]
+    fn next_sample(&mut self) -> f64 {
+        if self.fired {
+            0.0
+        } else {
+            self.fired = true;
+            1.0
+        }
+    }
+}
+
+/// Sums two sources sample-by-sample (e.g. a DRM band plus an
+/// interferer plus noise).
+pub struct Mix<A, B>(pub A, pub B);
+
+impl<A: SampleSource, B: SampleSource> SampleSource for Mix<A, B> {
+    #[inline]
+    fn next_sample(&mut self) -> f64 {
+        self.0.next_sample() + self.1.next_sample()
+    }
+}
+
+/// Quantizes a block of `f64` samples in `[-1, 1)` to signed `bits`-bit
+/// ADC words (fractional length `bits - 1`).
+pub fn adc_quantize(samples: &[f64], bits: u32) -> Vec<i32> {
+    samples
+        .iter()
+        .map(|&x| quantize(x, bits, bits - 1, Rounding::Nearest) as i32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::rms;
+
+    #[test]
+    fn tone_has_expected_rms_and_period() {
+        let mut t = Tone::new(1000.0, 64000.0, 1.0, 0.0);
+        let v = t.take_vec(6400); // 100 full periods
+        assert!((rms(&v) - 1.0 / 2f64.sqrt()).abs() < 1e-3);
+        // periodicity: sample 0 and sample 64 (one period) match
+        assert!((v[0] - v[64]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tone_first_sample_is_cos_phase() {
+        let mut t = Tone::new(123.0, 48000.0, 0.5, 1.0);
+        assert!((t.next_sample() - 0.5 * 1.0f64.cos()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multitone_sums_components() {
+        let mut m = MultiTone::new(&[(1000.0, 0.3), (2000.0, 0.2)], 48000.0);
+        let mut a = Tone::new(1000.0, 48000.0, 0.3, 0.0);
+        let mut b = Tone::new(2000.0, 48000.0, 0.2, 2.399_963);
+        for _ in 0..100 {
+            let expect = a.next_sample() + b.next_sample();
+            assert!((m.next_sample() - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn white_noise_is_reproducible_and_bounded() {
+        let mut n1 = WhiteNoise::new(42, 0.5);
+        let mut n2 = WhiteNoise::new(42, 0.5);
+        let v1 = n1.take_vec(1000);
+        let v2 = n2.take_vec(1000);
+        assert_eq!(v1, v2);
+        assert!(v1.iter().all(|x| x.abs() <= 0.5));
+        // roughly zero mean
+        let mean: f64 = v1.iter().sum::<f64>() / v1.len() as f64;
+        assert!(mean.abs() < 0.05);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let v1 = WhiteNoise::new(1, 1.0).take_vec(100);
+        let v2 = WhiteNoise::new(2, 1.0).take_vec(100);
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn ofdm_band_rms_close_to_requested() {
+        let mut s = OfdmBand::new(1000.0, 9000.0, 64, 192_000.0, 0.25, 7);
+        let v = s.take_vec(50_000);
+        let r = rms(&v);
+        assert!((r - 0.25).abs() < 0.03, "rms {r}");
+    }
+
+    #[test]
+    fn chirp_sweeps_up() {
+        // Count zero crossings in the first and last quarter: the last
+        // quarter must oscillate faster.
+        let mut c = Chirp::new(100.0, 5000.0, 40_000, 48_000.0, 1.0);
+        let v = c.take_vec(40_000);
+        let zc = |s: &[f64]| s.windows(2).filter(|w| w[0].signum() != w[1].signum()).count();
+        let head = zc(&v[..10_000]);
+        let tail = zc(&v[30_000..]);
+        assert!(tail > head * 3, "head {head}, tail {tail}");
+    }
+
+    #[test]
+    fn impulse_fires_once() {
+        let mut i = Impulse::new();
+        let v = i.take_vec(10);
+        assert_eq!(v[0], 1.0);
+        assert!(v[1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn msk_is_constant_envelope_analytically() {
+        // MSK amplitude is constant; the sampled cosine peaks vary, but
+        // RMS over a long run must equal 1/sqrt(2) closely.
+        let mut m = MskCarrier::new(200_000.0, 270_833.0 / 10.0, 6_500_000.0, 1.0, 3);
+        let v = m.take_vec(100_000);
+        assert!((rms(&v) - 1.0 / 2f64.sqrt()).abs() < 0.01);
+    }
+
+    #[test]
+    fn mix_adds_sources() {
+        let mut m = Mix(Impulse::new(), Impulse::new());
+        assert_eq!(m.next_sample(), 2.0);
+        assert_eq!(m.next_sample(), 0.0);
+    }
+
+    #[test]
+    fn adc_quantize_full_scale_and_lsb() {
+        let q = adc_quantize(&[0.0, 0.5, -1.0, 1.0], 12);
+        assert_eq!(q, vec![0, 1024, -2048, 2047]);
+    }
+
+    #[test]
+    fn fill_and_take_agree() {
+        let mut a = Tone::new(1000.0, 48000.0, 1.0, 0.0);
+        let mut b = Tone::new(1000.0, 48000.0, 1.0, 0.0);
+        let mut buf = vec![0.0; 64];
+        a.fill(&mut buf);
+        assert_eq!(buf, b.take_vec(64));
+    }
+}

@@ -1,0 +1,226 @@
+//! Scalar statistics, dB conversions, error metrics and bit-toggle
+//! accounting.
+//!
+//! The toggle statistics here drive the activity-based power models:
+//! the paper's FPGA estimate assumes "50 % input toggling, 10 %
+//! internal toggling", and the custom-ASIC estimate is "based on gate
+//! count and activity rate estimation". [`ToggleCounter`] measures the
+//! real switching activity of our executable DDC so those models can be
+//! fed measured rather than assumed activity.
+
+use crate::fixed::toggles;
+
+/// Root-mean-square of a real signal.
+pub fn rms(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+}
+
+/// Arithmetic mean.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Converts a power ratio to decibels.
+#[inline]
+pub fn db_power(ratio: f64) -> f64 {
+    10.0 * ratio.max(1e-300).log10()
+}
+
+/// Converts an amplitude ratio to decibels.
+#[inline]
+pub fn db_amplitude(ratio: f64) -> f64 {
+    20.0 * ratio.max(1e-300).log10()
+}
+
+/// Inverse of [`db_amplitude`].
+#[inline]
+pub fn from_db_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Largest absolute difference between two equal-length signals.
+pub fn max_abs_err(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// RMS difference between two equal-length signals.
+pub fn rms_err(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    (a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64).sqrt()
+}
+
+/// Signal-to-error ratio in dB: power of `reference` over power of
+/// `(reference - candidate)`. The standard fixed-point fidelity metric.
+pub fn ser_db(reference: &[f64], candidate: &[f64]) -> f64 {
+    assert_eq!(reference.len(), candidate.len(), "length mismatch");
+    let sig: f64 = reference.iter().map(|v| v * v).sum();
+    let err: f64 = reference
+        .iter()
+        .zip(candidate)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
+    db_power(sig / err.max(1e-300))
+}
+
+/// Accumulates bit-toggle statistics over a stream of bus values — the
+/// quantity activity-based power estimators integrate.
+///
+/// The *toggle rate* reported is the average fraction of bus bits that
+/// flip per sample: 0.5 for ideal random data, lower for correlated
+/// signals, ~0 for a stuck bus.
+#[derive(Clone, Debug)]
+pub struct ToggleCounter {
+    bits: u32,
+    prev: Option<i64>,
+    total_toggles: u64,
+    samples: u64,
+}
+
+impl ToggleCounter {
+    /// Creates a counter for a `bits`-wide bus.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=63).contains(&bits));
+        ToggleCounter {
+            bits,
+            prev: None,
+            total_toggles: 0,
+            samples: 0,
+        }
+    }
+
+    /// Observes the next bus value.
+    #[inline]
+    pub fn observe(&mut self, value: i64) {
+        if let Some(p) = self.prev {
+            self.total_toggles += u64::from(toggles(p, value, self.bits));
+            self.samples += 1;
+        }
+        self.prev = Some(value);
+    }
+
+    /// Observes a whole block.
+    pub fn observe_all<I: IntoIterator<Item = i64>>(&mut self, values: I) {
+        for v in values {
+            self.observe(v);
+        }
+    }
+
+    /// Number of transitions observed (sample pairs).
+    pub fn transitions(&self) -> u64 {
+        self.samples
+    }
+
+    /// Total bit flips observed.
+    pub fn total_toggles(&self) -> u64 {
+        self.total_toggles
+    }
+
+    /// Mean fraction of bus bits flipping per sample (0..=1).
+    pub fn toggle_rate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_toggles as f64 / (self.samples as f64 * self.bits as f64)
+        }
+    }
+
+    /// Bus width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rms_of_constant() {
+        assert!((rms(&[2.0; 100]) - 2.0).abs() < 1e-12);
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_of_ramp() {
+        let v: Vec<f64> = (0..=10).map(|x| x as f64).collect();
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_conversions() {
+        assert!((db_power(100.0) - 20.0).abs() < 1e-12);
+        assert!((db_amplitude(10.0) - 20.0).abs() < 1e-12);
+        assert!((from_db_amplitude(20.0) - 10.0).abs() < 1e-12);
+        assert!((from_db_amplitude(db_amplitude(0.37)) - 0.37).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.5, 2.0];
+        assert!((max_abs_err(&a, &b) - 1.0).abs() < 1e-12);
+        let expected_rms = ((0.25 + 1.0) / 3.0f64).sqrt();
+        assert!((rms_err(&a, &b) - expected_rms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ser_of_identical_signals_is_huge() {
+        let a = [0.5, -0.25, 0.125];
+        assert!(ser_db(&a, &a) > 200.0);
+    }
+
+    #[test]
+    fn ser_of_half_scale_error() {
+        let a = [1.0, 1.0, 1.0, 1.0];
+        let b = [0.5, 0.5, 0.5, 0.5];
+        assert!((ser_db(&a, &b) - db_power(4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn toggle_counter_alternating_full_swing() {
+        // Alternate between 0 and all-ones: every bit flips every sample.
+        let mut c = ToggleCounter::new(8);
+        c.observe_all([0i64, 255, 0, 255, 0].map(i64::from));
+        assert!((c.toggle_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(c.transitions(), 4);
+        assert_eq!(c.total_toggles(), 32);
+    }
+
+    #[test]
+    fn toggle_counter_constant_bus_is_zero() {
+        let mut c = ToggleCounter::new(12);
+        c.observe_all([7i64; 100]);
+        assert_eq!(c.toggle_rate(), 0.0);
+    }
+
+    #[test]
+    fn toggle_counter_random_data_near_half() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut c = ToggleCounter::new(16);
+        for _ in 0..20_000 {
+            c.observe(rng.gen_range(-32768i64..=32767));
+        }
+        let r = c.toggle_rate();
+        assert!((r - 0.5).abs() < 0.01, "rate {r}");
+    }
+
+    #[test]
+    fn toggle_counter_single_observation_counts_nothing() {
+        let mut c = ToggleCounter::new(4);
+        c.observe(3);
+        assert_eq!(c.toggle_rate(), 0.0);
+        assert_eq!(c.transitions(), 0);
+    }
+}

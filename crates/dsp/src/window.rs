@@ -1,0 +1,218 @@
+//! Window functions for FIR design and spectral analysis.
+//!
+//! The 125-tap channel filter of the paper is designed here with a
+//! Kaiser window (the standard technique for meeting a stop-band
+//! attenuation target with a windowed-sinc design); the spectrum module
+//! uses Hann/Blackman-Harris windows to keep leakage below the levels
+//! being measured.
+
+use std::f64::consts::PI;
+
+/// The supported window shapes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Window {
+    /// All-ones window (no tapering).
+    Rectangular,
+    /// Raised cosine, −31 dB first side lobe.
+    Hann,
+    /// Hamming window, −43 dB first side lobe.
+    Hamming,
+    /// Classic 3-term Blackman, −58 dB first side lobe.
+    Blackman,
+    /// 4-term Blackman-Harris, −92 dB side lobes.
+    BlackmanHarris,
+    /// Kaiser window with shape parameter β.
+    Kaiser(f64),
+}
+
+impl Window {
+    /// Evaluates the window at integer position `n` of an `len`-point
+    /// symmetric window (`0 <= n < len`).
+    pub fn eval(self, n: usize, len: usize) -> f64 {
+        assert!(len >= 1 && n < len, "window index {n} out of {len}");
+        if len == 1 {
+            return 1.0;
+        }
+        let x = n as f64 / (len - 1) as f64; // 0..=1
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
+            Window::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
+            Window::Blackman => {
+                0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
+            }
+            Window::BlackmanHarris => {
+                0.35875 - 0.48829 * (2.0 * PI * x).cos() + 0.14128 * (4.0 * PI * x).cos()
+                    - 0.01168 * (6.0 * PI * x).cos()
+            }
+            Window::Kaiser(beta) => {
+                let t = 2.0 * x - 1.0; // -1..=1
+                bessel_i0(beta * (1.0 - t * t).max(0.0).sqrt()) / bessel_i0(beta)
+            }
+        }
+    }
+
+    /// Materialises the full `len`-point window.
+    pub fn coefficients(self, len: usize) -> Vec<f64> {
+        (0..len).map(|n| self.eval(n, len)).collect()
+    }
+
+    /// Coherent gain: mean of the window samples. Needed to normalise
+    /// amplitude measurements taken through a windowed FFT.
+    pub fn coherent_gain(self, len: usize) -> f64 {
+        self.coefficients(len).iter().sum::<f64>() / len as f64
+    }
+
+    /// Noise-equivalent bandwidth in bins: `len·Σw² / (Σw)²`. Needed to
+    /// normalise noise-power measurements.
+    pub fn enbw(self, len: usize) -> f64 {
+        let w = self.coefficients(len);
+        let s1: f64 = w.iter().sum();
+        let s2: f64 = w.iter().map(|x| x * x).sum();
+        len as f64 * s2 / (s1 * s1)
+    }
+}
+
+/// Modified Bessel function of the first kind, order zero, via the
+/// rapidly-converging power series. Accurate to ~1e-15 for the argument
+/// range Kaiser windows use (|x| ≲ 30).
+pub fn bessel_i0(x: f64) -> f64 {
+    let y = x * x / 4.0;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for k in 1..64 {
+        term *= y / (k as f64 * k as f64);
+        sum += term;
+        if term < sum * 1e-17 {
+            break;
+        }
+    }
+    sum
+}
+
+/// Kaiser β for a desired stop-band attenuation in dB (Kaiser's
+/// empirical formula).
+pub fn kaiser_beta(atten_db: f64) -> f64 {
+    if atten_db > 50.0 {
+        0.1102 * (atten_db - 8.7)
+    } else if atten_db >= 21.0 {
+        0.5842 * (atten_db - 21.0).powf(0.4) + 0.07886 * (atten_db - 21.0)
+    } else {
+        0.0
+    }
+}
+
+/// Estimated number of taps to reach `atten_db` stop-band attenuation
+/// with a transition band of `delta_f` (normalised frequency, 0..0.5) —
+/// Kaiser's order-estimation formula.
+pub fn kaiser_order(atten_db: f64, delta_f: f64) -> usize {
+    assert!(delta_f > 0.0 && delta_f < 0.5, "transition width out of range");
+    let n = (atten_db - 7.95) / (2.285 * 2.0 * PI * delta_f);
+    (n.ceil() as usize).max(1) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_symmetric() {
+        for w in [
+            Window::Rectangular,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::BlackmanHarris,
+            Window::Kaiser(8.6),
+        ] {
+            let len = 65;
+            let c = w.coefficients(len);
+            for i in 0..len {
+                assert!(
+                    (c[i] - c[len - 1 - i]).abs() < 1e-12,
+                    "{w:?} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn windows_peak_at_centre_with_unit_max() {
+        for w in [
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::BlackmanHarris,
+            Window::Kaiser(5.0),
+        ] {
+            let len = 129;
+            let c = w.coefficients(len);
+            let mid = c[len / 2];
+            assert!((mid - 1.0).abs() < 1e-9, "{w:?} centre = {mid}");
+            for &v in &c {
+                assert!((-1e-12..=1.0 + 1e-12).contains(&v), "{w:?} out of [0,1]");
+            }
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero() {
+        let c = Window::Hann.coefficients(33);
+        assert!(c[0].abs() < 1e-15);
+        assert!(c[32].abs() < 1e-15);
+    }
+
+    #[test]
+    fn bessel_i0_known_values() {
+        // Reference values from Abramowitz & Stegun.
+        assert!((bessel_i0(0.0) - 1.0).abs() < 1e-15);
+        assert!((bessel_i0(1.0) - 1.266_065_877_752_008).abs() < 1e-12);
+        assert!((bessel_i0(2.0) - 2.279_585_302_336_067).abs() < 1e-12);
+        assert!((bessel_i0(5.0) - 27.239_871_823_604_45).abs() < 1e-10);
+    }
+
+    #[test]
+    fn kaiser_beta_zero_degenerates_to_rectangular() {
+        let k = Window::Kaiser(0.0).coefficients(16);
+        for v in k {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kaiser_beta_formula_regions() {
+        assert_eq!(kaiser_beta(10.0), 0.0);
+        assert!(kaiser_beta(30.0) > 0.0);
+        assert!((kaiser_beta(60.0) - 0.1102 * 51.3).abs() < 1e-12);
+        // monotone in attenuation
+        assert!(kaiser_beta(80.0) > kaiser_beta(60.0));
+    }
+
+    #[test]
+    fn kaiser_order_shrinks_with_wider_transition() {
+        let narrow = kaiser_order(60.0, 0.01);
+        let wide = kaiser_order(60.0, 0.05);
+        assert!(narrow > wide);
+        assert!(narrow > 100);
+    }
+
+    #[test]
+    fn enbw_known_values() {
+        // Rectangular ENBW = 1 bin; Hann ≈ 1.5 bins (asymptotically).
+        assert!((Window::Rectangular.enbw(1024) - 1.0).abs() < 1e-12);
+        assert!((Window::Hann.enbw(4096) - 1.5).abs() < 2e-3);
+    }
+
+    #[test]
+    fn coherent_gain_known_values() {
+        assert!((Window::Rectangular.coherent_gain(64) - 1.0).abs() < 1e-12);
+        assert!((Window::Hann.coherent_gain(4096) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn single_point_window_is_one() {
+        for w in [Window::Hann, Window::Kaiser(3.0)] {
+            assert_eq!(w.coefficients(1), vec![1.0]);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Battery-life and energy-efficiency metrics — the paper's mobile
+//! context ("modern mobile multimedia devices ... energy-efficiency"),
+//! made quantitative.
+//!
+//! Two derived metrics per solution:
+//!
+//! * **energy per output sample** (nJ) — power ÷ 24 kHz output rate,
+//!   the architecture-independent efficiency figure;
+//! * **DDC-attributable battery drain** — hours a given battery
+//!   sustains the DDC alone, under the scenario accounting of
+//!   [`crate::scenario`].
+
+use crate::scenario::{attributable_power, Accounting};
+use crate::summary::Table7;
+use ddc_arch_model::SolutionReport;
+
+/// Output sample rate of the reference DDC, Hz.
+const OUTPUT_RATE_HZ: f64 = 24_000.0;
+
+/// A battery described by its capacity.
+#[derive(Clone, Copy, Debug)]
+pub struct Battery {
+    /// Capacity in milliamp-hours.
+    pub capacity_mah: f64,
+    /// Nominal voltage in volts.
+    pub voltage: f64,
+}
+
+impl Battery {
+    /// A typical 2006-era PDA cell (the paper's motivating device).
+    pub const PDA_2006: Battery = Battery {
+        capacity_mah: 1200.0,
+        voltage: 3.7,
+    };
+
+    /// Usable energy in milliwatt-hours.
+    pub fn energy_mwh(&self) -> f64 {
+        self.capacity_mah * self.voltage
+    }
+
+    /// Hours this battery sustains a constant load of `mw` milliwatts.
+    pub fn hours_at(&self, mw: f64) -> f64 {
+        assert!(mw > 0.0, "load must be positive");
+        self.energy_mwh() / mw
+    }
+}
+
+/// Energy per complex output sample in nanojoules for a solution
+/// running the reference DDC continuously.
+pub fn energy_per_output_nj(row: &SolutionReport) -> f64 {
+    // mW / (samples/s) = mJ/sample·10⁻³ → nJ = ×10⁶
+    row.power.total().mw() / OUTPUT_RATE_HZ * 1e6
+}
+
+/// One row of the battery study.
+#[derive(Clone, Debug)]
+pub struct BatteryRow {
+    /// Solution name.
+    pub name: String,
+    /// Energy per output sample, nJ.
+    pub nj_per_sample: f64,
+    /// Battery hours, DDC always on, dedicated accounting.
+    pub hours_always_on: f64,
+    /// Battery hours at 10 % duty with scenario accounting.
+    pub hours_10_percent: f64,
+}
+
+/// Builds the battery study over a Table 7.
+pub fn battery_study(table: &Table7, battery: Battery) -> Vec<BatteryRow> {
+    table
+        .rows
+        .iter()
+        .map(|r| {
+            let acc = match r.flexibility {
+                ddc_arch_model::arch::Flexibility::Reconfigurable => Accounting::SharedFabric,
+                _ => Accounting::Dedicated,
+            };
+            let p_full = attributable_power(r, 1.0, acc).mw();
+            let p_10 = attributable_power(r, 0.1, acc).mw().max(1e-6);
+            BatteryRow {
+                name: r.name.clone(),
+                nj_per_sample: energy_per_output_nj(r),
+                hours_always_on: battery.hours_at(p_full),
+                hours_10_percent: battery.hours_at(p_10),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::table7;
+
+    #[test]
+    fn battery_arithmetic() {
+        let b = Battery::PDA_2006;
+        assert!((b.energy_mwh() - 4440.0).abs() < 1e-9);
+        // 27 mW custom ASIC: 4440/27 ≈ 164 h
+        assert!((b.hours_at(27.0) - 164.44).abs() < 0.1);
+    }
+
+    #[test]
+    fn energy_per_sample_ordering_matches_power_ordering() {
+        let t = table7();
+        let asic = energy_per_output_nj(t.row("Customised"));
+        let montium = energy_per_output_nj(t.row("Montium"));
+        let arm = energy_per_output_nj(t.row("ARM922T"));
+        assert!(asic < montium && montium < arm);
+        // magnitudes: the ASIC spends ~1.1 µJ per complex output
+        // (27 mW / 24 kHz); the ARM tens of µJ.
+        assert!((asic - 27.0 / 24_000.0 * 1e6).abs() < 1.0);
+        assert!(arm > 10_000.0);
+    }
+
+    #[test]
+    fn study_covers_all_solutions_and_duty_helps() {
+        let t = table7();
+        let rows = battery_study(&t, Battery::PDA_2006);
+        assert_eq!(rows.len(), t.rows.len());
+        for r in &rows {
+            assert!(
+                r.hours_10_percent > r.hours_always_on,
+                "{}: duty cycling must extend life",
+                r.name
+            );
+            assert!(r.nj_per_sample > 0.0);
+        }
+        // the always-on winner is the custom ASIC
+        let best = rows
+            .iter()
+            .max_by(|a, b| a.hours_always_on.partial_cmp(&b.hours_always_on).unwrap())
+            .unwrap();
+        assert!(best.name.contains("Customised"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_load_rejected() {
+        Battery::PDA_2006.hours_at(0.0);
+    }
+}

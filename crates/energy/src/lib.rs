@@ -1,0 +1,24 @@
+//! # ddc-energy — the cross-architecture comparison (§7, Table 7)
+//!
+//! Collects the five architecture models into the paper's summary
+//! table and runs the scenario analysis behind its conclusions:
+//!
+//! * [`summary`] — Table 7: per-solution technology node, clock,
+//!   power, area, and the dynamic power rescaled to a common 0.13 µm
+//!   node.
+//! * [`battery`] — energy-per-sample and battery-life metrics for
+//!   the paper's mobile (PDA) context.
+//! * [`scenario`] — the static vs reconfigurable scenario study: who
+//!   wins always-on operation, who wins among the reconfigurable
+//!   fabrics (natively and node-normalised), and a duty-cycle sweep
+//!   quantifying the paper's "reconfigure it for other tasks in the
+//!   spare time" argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod scenario;
+pub mod summary;
+
+pub use summary::{table7, Table7};

@@ -1,0 +1,43 @@
+//! The paper's headline experiment: the same DDC on five
+//! architectures, compared on energy (Table 7 + the §7 scenario
+//! analysis).
+//!
+//! ```text
+//! cargo run --release --example architecture_comparison
+//! ```
+
+use ddc_suite::energy::scenario::{duty_cycle_sweep, Conclusions};
+use ddc_suite::energy::table7;
+
+fn main() {
+    println!("building Table 7 (runs the ARM ISS and the Montium tile simulator)...\n");
+    let table = table7();
+    print!("{table}");
+
+    let c = Conclusions::new(&table);
+    println!("\n§7.1 static scenario (always-on DDC):");
+    println!("  winner: {}", c.static_winner());
+    println!("\n§7.2 reconfigurable scenario (DDC needed part-time):");
+    println!("  best reconfigurable at native nodes:   {}", c.reconfigurable_winner_native());
+    println!("  best reconfigurable, all at 0.13 µm:   {}", c.reconfigurable_winner_scaled());
+
+    let duties = [1.0, 0.5, 0.2, 0.1, 0.05];
+    println!("\nattributable power [mW] vs duty cycle");
+    println!("(dedicated devices keep leaking; shared fabrics are amortised):");
+    print!("{:<28}", "");
+    for d in duties {
+        print!("{d:>9.2}");
+    }
+    println!();
+    let sweep = duty_cycle_sweep(&table, &duties);
+    for (idx, (name, _)) in sweep[0].powers.iter().enumerate() {
+        print!("{name:<28}");
+        for point in &sweep {
+            print!("{:>9.2}", point.powers[idx].1);
+        }
+        println!();
+    }
+    for point in &sweep {
+        println!("duty {:>5.2}: cheapest = {}", point.duty, point.winner);
+    }
+}

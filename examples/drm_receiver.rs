@@ -1,0 +1,78 @@
+//! A DRM receiver front end — the paper's motivating workload.
+//!
+//! Synthesises a crowded short-wave band: a 10 kHz OFDM-like DRM
+//! ensemble at 10 MHz, a strong AM interferer 100 kHz away, and
+//! wide-band noise. The DDC must pull out the DRM channel and crush
+//! everything else. Prints an ASCII spectrum of the 24 kHz output.
+//!
+//! ```text
+//! cargo run --release --example drm_receiver
+//! ```
+
+use ddc_suite::core::{DdcConfig, FixedDdc};
+use ddc_suite::dsp::signal::{adc_quantize, Mix, OfdmBand, SampleSource, Tone, WhiteNoise};
+use ddc_suite::dsp::spectrum::{welch_complex, Spectrum};
+use ddc_suite::dsp::window::Window;
+
+fn ascii_spectrum(sp: &Spectrum, rows: usize) {
+    let n = 64;
+    let bins_per_col = sp.len() / n;
+    let cols: Vec<f64> = (0..n)
+        .map(|c| {
+            let a = c * bins_per_col;
+            sp.power[a..(a + bins_per_col).min(sp.len())]
+                .iter()
+                .sum::<f64>()
+                .max(1e-12)
+                .log10()
+        })
+        .collect();
+    let max = cols.iter().cloned().fold(f64::MIN, f64::max);
+    let min = max - 6.0; // 60 dB span
+    for r in 0..rows {
+        let level = max - (r as f64 + 0.5) * (max - min) / rows as f64;
+        let line: String = cols.iter().map(|&v| if v >= level { '#' } else { ' ' }).collect();
+        let db = (level - max) * 10.0;
+        println!("{db:>6.1} dB |{line}|");
+    }
+    println!("          {}-12 kHz{}0{}+12 kHz", " ", " ".repeat(24), " ".repeat(26));
+}
+
+fn main() {
+    let f_drm = 10.0e6;
+    let config = DdcConfig::drm(f_drm);
+    let fs = config.input_rate;
+
+    // The band: DRM ensemble (±4.5 kHz around 10 MHz), an interferer
+    // at 10.1 MHz *ten times* stronger, and background noise.
+    let drm = OfdmBand::new(f_drm - 4_500.0, f_drm + 4_500.0, 88, fs, 0.08, 42);
+    let interferer = Tone::new(f_drm + 100_000.0, fs, 0.8, 0.0);
+    let noise = WhiteNoise::new(7, 0.02);
+    let mut antenna = Mix(Mix(drm, interferer), noise);
+
+    let analog = antenna.take_vec(2688 * 1200);
+    let adc = adc_quantize(&analog, 12);
+    println!(
+        "antenna: DRM at {:.1} MHz (-22 dBFS/carrier), interferer at {:.1} MHz (-2 dBFS), noise floor",
+        f_drm / 1e6,
+        (f_drm + 100_000.0) / 1e6
+    );
+
+    let mut ddc = FixedDdc::new(config);
+    let raw = ddc.process_block(&adc);
+    let out = ddc.to_c64(&raw);
+    println!("DDC output: {} samples at 24 kHz\n", out.len());
+
+    let tail = &out[256..];
+    let sp = welch_complex(tail, 24_000.0, 512, Window::BlackmanHarris);
+    ascii_spectrum(&sp, 12);
+
+    // Selection quality: power inside the ±5 kHz channel versus
+    // everything else in the 24 kHz output.
+    let sel_db = sp.band_selectivity_db(-5_000.0, 5_000.0);
+    println!("\nchannel selectivity (±5 kHz vs rest of output band): {sel_db:.1} dB");
+    // The 100 kHz interferer would alias near DC if the CIC/FIR chain
+    // failed; check the channel power dominates.
+    assert!(sel_db > 10.0, "selection failed: {sel_db} dB");
+    println!("OK — the DRM channel dominates the output despite the 20 dB stronger interferer.");
+}

@@ -1,0 +1,57 @@
+//! Transmit-and-receive loopback: a baseband tone goes *up* through
+//! the DUC (the transmit-side dual of the paper's chain) to a real
+//! 64.512 MSPS RF stream, then back *down* through the DDC — and
+//! comes out at the right frequency with stable amplitude.
+//!
+//! ```text
+//! cargo run --release --example duc_loopback
+//! ```
+
+use ddc_suite::core::duc::Duc;
+use ddc_suite::core::{DdcConfig, ReferenceDdc};
+use ddc_suite::dsp::goertzel::Goertzel;
+use ddc_suite::dsp::stats::rms;
+use ddc_suite::dsp::C64;
+use std::f64::consts::PI;
+
+fn main() {
+    let f_carrier = 12.0e6;
+    let offset = 3_000.0;
+    let config = DdcConfig::drm(f_carrier);
+
+    // Transmit: a 0.4-amplitude complex tone at +3 kHz baseband.
+    let baseband: Vec<C64> = (0..400)
+        .map(|n| C64::cis(2.0 * PI * offset * n as f64 / 24_000.0).scale(0.4))
+        .collect();
+    let mut duc = Duc::new(&config);
+    let rf = duc.process_block(&baseband);
+    println!(
+        "TX: {} baseband samples → {} RF samples at {:.3} MHz carrier (RF RMS {:.3})",
+        baseband.len(),
+        rf.len(),
+        f_carrier / 1e6,
+        rms(&rf)
+    );
+
+    // Receive with the paper's DDC at the same tuning frequency.
+    let mut ddc = ReferenceDdc::new(config);
+    let rx = ddc.process_block(&rf);
+    println!("RX: {} complex outputs at 24 kHz", rx.len());
+
+    // Verify with a Goertzel pilot detector on the recovered I channel.
+    let tail: Vec<f64> = rx[160..].iter().map(|z| z.re).collect();
+    let mut on = Goertzel::new(offset, 24_000.0);
+    let mut off = Goertzel::new(offset + 4_000.0, 24_000.0);
+    on.push_all(&tail);
+    off.push_all(&tail);
+    let ratio_db = 10.0 * (on.power() / off.power().max(1e-30)).log10();
+    println!("pilot at {offset:.0} Hz vs {:.0} Hz: {ratio_db:.1} dB", offset + 4_000.0);
+    assert!(ratio_db > 30.0, "loopback failed");
+
+    // Phase-rotation check: successive outputs advance by 2π·3k/24k.
+    let step = 2.0 * PI * offset / 24_000.0;
+    let measured = (rx[300] * rx[299].conj()).arg();
+    println!("phase step per output: {measured:.5} rad (expected {step:.5})");
+    assert!((measured - step).abs() < 0.02);
+    println!("OK — the loopback recovered the transmitted tone.");
+}

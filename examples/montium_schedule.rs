@@ -1,0 +1,57 @@
+//! Watch the DDC execute on the Montium Tile Processor: the Figure 9
+//! schedule, the Table 6 occupancy, and the bit-exactness proof
+//! against the reference fixed-point chain.
+//!
+//! ```text
+//! cargo run --release --example montium_schedule
+//! ```
+
+use ddc_suite::arch_montium::mapping::run_ddc;
+use ddc_suite::arch_montium::trace::{render_schedule, table6};
+use ddc_suite::arch_montium::MontiumModel;
+use ddc_suite::arch_model::Architecture;
+use ddc_suite::core::{DdcConfig, FixedDdc};
+use ddc_suite::dsp::signal::{adc_quantize, SampleSource, Tone};
+
+fn main() {
+    let config = DdcConfig::drm_montium(10.0e6);
+    let fs = config.input_rate;
+    let analog = Tone::new(10.004e6, fs, 0.6, 0.0).take_vec(2688 * 12);
+    let adc = adc_quantize(&analog, 16);
+
+    // Run both the Montium tile simulator and the reference chain.
+    let run = run_ddc(config.clone(), &adc, 64);
+    let mut reference = FixedDdc::new(config);
+    let expected = reference.process_block(&adc);
+
+    println!("first 64 cycles of the schedule (Figure 9):\n");
+    print!("{}", render_schedule(&run.tile));
+
+    println!("\nALU occupancy (Table 6):");
+    println!("{:<26} {:>6} {:>10} {:>12}", "part", "#ALUs", "paper %", "measured %");
+    for row in table6(&run.tile) {
+        println!(
+            "{:<26} {:>6} {:>9.1}% {:>11.2}%",
+            row.part.name(),
+            row.alus,
+            row.paper_percent,
+            row.measured_percent
+        );
+    }
+
+    let identical = run.outputs == expected;
+    println!(
+        "\noutput words vs 16-bit reference chain ({} outputs): {}",
+        expected.len(),
+        if identical { "bit-identical" } else { "MISMATCH" }
+    );
+    assert!(identical);
+
+    let model = MontiumModel::paper_reference();
+    println!(
+        "power: {} at {} (paper: 38.7 mW); configuration {} bytes (paper: 1110)",
+        model.power().total(),
+        model.clock(),
+        model.config_size_bytes()
+    );
+}

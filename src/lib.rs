@@ -1,0 +1,19 @@
+//! # ddc-suite — facade over the DDC architecture-comparison workspace
+//!
+//! Re-exports every crate of the reproduction of *"An Optimal
+//! Architecture for a DDC"* (Bijlsma, Wolkotte, Smit, 2006) under one
+//! roof so examples and integration tests have a single dependency.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the per-experiment
+//! index.
+
+#![forbid(unsafe_code)]
+
+pub use ddc_arch_asic as arch_asic;
+pub use ddc_arch_fpga as arch_fpga;
+pub use ddc_arch_gpp as arch_gpp;
+pub use ddc_arch_model as arch_model;
+pub use ddc_arch_montium as arch_montium;
+pub use ddc_core as core;
+pub use ddc_dsp as dsp;
+pub use ddc_energy as energy;

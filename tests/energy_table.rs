@@ -1,0 +1,99 @@
+//! Integration: every paper number the reproduction pins, in one
+//! place — the regression net over Tables 2–7 and the scaling rules.
+
+use ddc_suite::arch_asic::gc4016::Gc4016Model;
+use ddc_suite::arch_asic::CustomAsic;
+use ddc_suite::arch_fpga::power::table5;
+use ddc_suite::arch_fpga::FpgaModel;
+use ddc_suite::arch_model::{Architecture, Power, TechnologyNode};
+use ddc_suite::arch_montium::MontiumModel;
+use ddc_suite::energy::scenario::Conclusions;
+use ddc_suite::energy::table7;
+
+/// Asserts `got` is within `tol_percent` of `expect`.
+fn close(name: &str, got: f64, expect: f64, tol_percent: f64) {
+    let err = (got - expect).abs() / expect * 100.0;
+    assert!(
+        err <= tol_percent,
+        "{name}: got {got}, paper {expect} ({err:.1} % off, tolerance {tol_percent} %)"
+    );
+}
+
+#[test]
+fn scaling_law_reproduces_every_published_estimate() {
+    let cases = [
+        ("GC4016 → 0.13 µm", TechnologyNode::UM_250, 115.0, 13.8),
+        ("custom → 0.13 µm", TechnologyNode::UM_180, 27.0, 8.7),
+        ("CycII → 0.13 µm", TechnologyNode::UM_90, 31.11, 44.94),
+    ];
+    for (name, from, mw, expect) in cases {
+        let scaled = from.scale_dynamic_power(Power::from_mw(mw), TechnologyNode::UM_130);
+        close(name, scaled.mw(), expect, 0.5);
+    }
+}
+
+#[test]
+fn asic_power_points() {
+    close("GC4016 GSM", Gc4016Model::paper_reference().power().total().mw(), 115.0, 0.1);
+    close("custom ASIC", CustomAsic::paper_reference().power().total().mw(), 27.0, 0.5);
+}
+
+#[test]
+fn fpga_power_points() {
+    close(
+        "Cyclone I dynamic @10%",
+        FpgaModel::paper_cyclone1().dynamic_power().mw(),
+        93.4,
+        5.0,
+    );
+    close(
+        "Cyclone II total @10%",
+        FpgaModel::paper_cyclone2().power().total().mw(),
+        57.98,
+        5.0,
+    );
+    for row in table5() {
+        close(
+            &format!("Table 5 @{}%", row.internal_toggle * 100.0),
+            row.model_dynamic_mw,
+            row.paper_dynamic_mw,
+            5.0,
+        );
+    }
+}
+
+#[test]
+fn montium_power_point() {
+    close("Montium", MontiumModel::paper_reference().power().total().mw(), 38.7, 0.1);
+}
+
+#[test]
+fn table7_and_conclusions() {
+    let t = table7();
+    // the three §7 conclusions
+    let c = Conclusions::new(&t);
+    assert!(c.static_winner().contains("Customised"));
+    assert!(c.reconfigurable_winner_native().contains("Cyclone II"));
+    assert!(c.reconfigurable_winner_scaled().contains("Montium"));
+    // and the cross-architecture ordering the paper's abstract claims
+    let asic = t.row("Customised").headline_power().mw();
+    let cyc2 = t.row("Cyclone II").headline_power().mw();
+    let montium = t.row("Montium").headline_power().mw();
+    let cyc1 = t.row("Cyclone I").headline_power().mw();
+    let arm = t.row("ARM922T").headline_power().mw();
+    assert!(asic < cyc2 && cyc2 < montium && montium < cyc1 && cyc1 < arm);
+}
+
+#[test]
+fn arm_requires_gigahertz() {
+    let t = table7();
+    let arm = t.row("ARM922T");
+    assert!(arm.clock.mhz() > 2_000.0, "ARM clock {}", arm.clock);
+    // consistency: power = clock × 0.25 mW/MHz
+    close(
+        "ARM power rule",
+        arm.power.total().mw(),
+        arm.clock.mhz() * 0.25,
+        0.01,
+    );
+}

@@ -1,0 +1,167 @@
+//! Integration: failure injection and hostile-input behaviour.
+//!
+//! A production DSP front end must stay *bounded and sane* under the
+//! worst inputs (full-scale DC, full-scale square waves, instantaneous
+//! retunes) and must make corruption *visible* (a flipped coefficient
+//! is a detectable output change, not a silent nothing).
+
+use ddc_suite::arch_gpp::cpu::{Cpu, StopReason};
+use ddc_suite::arch_montium::mapping::{mem, run_ddc as run_montium, DdcMapping};
+use ddc_suite::core::{DdcConfig, FixedDdc};
+use ddc_suite::dsp::signal::{adc_quantize, SampleSource, Tone};
+
+const FS: f64 = 64_512_000.0;
+
+#[test]
+fn full_scale_square_wave_never_escapes_the_bus() {
+    // The harshest quantised input: ±full-scale alternating at a
+    // period that lands in-band. Every output word must stay within
+    // the 12-bit bus; saturation (not wrap) is the failure mode.
+    let cfg = DdcConfig::drm(10e6);
+    let mut ddc = FixedDdc::new(cfg);
+    let input: Vec<i32> = (0..2688 * 30)
+        .map(|k| if (k / 512) % 2 == 0 { 2047 } else { -2048 })
+        .collect();
+    let out = ddc.process_block(&input);
+    assert!(!out.is_empty());
+    for iq in &out {
+        assert!((-2048..=2047).contains(&iq.i), "I escaped: {}", iq.i);
+        assert!((-2048..=2047).contains(&iq.q), "Q escaped: {}", iq.q);
+    }
+}
+
+#[test]
+fn full_scale_dc_is_bounded_and_settles() {
+    let cfg = DdcConfig::drm(0.0); // NCO at DC → worst-case DC gain path
+    let mut ddc = FixedDdc::new(cfg);
+    let out = ddc.process_block(&vec![2047i32; 2688 * 40]);
+    let tail = &out[out.len() - 5..];
+    for w in tail.windows(2) {
+        assert_eq!(w[0], w[1], "DC did not settle");
+    }
+    assert!(tail[0].i <= 2047);
+}
+
+#[test]
+fn rapid_retuning_stays_bounded() {
+    // Hop the NCO every output period; the filters keep integrating
+    // through the hops and must never exceed the bus.
+    let cfg = DdcConfig::drm(5e6);
+    let fs = cfg.input_rate;
+    let mut ddc = FixedDdc::new(cfg);
+    let analog = Tone::new(9e6, fs, 0.9, 0.0).take_vec(2688);
+    let adc = adc_quantize(&analog, 12);
+    for hop in 0..24 {
+        ddc.set_tune_freq(1e6 + hop as f64 * 1.25e6);
+        let out = ddc.process_block(&adc);
+        for iq in &out {
+            assert!((-2048..=2047).contains(&iq.i));
+            assert!((-2048..=2047).contains(&iq.q));
+        }
+    }
+}
+
+#[test]
+fn corrupted_montium_coefficient_memory_is_detectable() {
+    // Flip one bit of one FIR coefficient in the tile's memory: the
+    // output must change (corruption is observable) but stay within
+    // the 16-bit output range (no wild wrap-around).
+    let cfg = DdcConfig::drm_montium(10e6);
+    let input = adc_quantize(
+        &Tone::new(10_004_000.0, FS, 0.6, 0.0).take_vec(2688 * 4),
+        16,
+    );
+    let clean = run_montium(cfg.clone(), &input, 0);
+
+    let (mut mapping, mut tile) = DdcMapping::new(cfg);
+    // Corrupt coefficient 3 of the I path (bit 9). (Index matters:
+    // output t only touches coefficient c when a produced sample has
+    // j = 8t+7−c ≥ 0, so high indices are first exercised by later
+    // outputs; index 3 is used from output 0 on.)
+    let addr = 3usize;
+    tile.mems[mem::COEFF_I as usize][addr] ^= 1 << 9;
+    for &x in &input {
+        let c = mapping.next_config();
+        tile.step(&c, i64::from(x));
+    }
+    mapping.start_drain();
+    tile.freeze_stats();
+    while mapping.pending() {
+        let c = mapping.next_config();
+        tile.step(&c, 0);
+    }
+    let corrupted: Vec<i64> = tile
+        .outputs()
+        .iter()
+        .filter(|o| o.alu == 3)
+        .map(|o| o.value)
+        .collect();
+    let clean_i: Vec<i64> = clean.outputs.iter().map(|z| z.i).collect();
+    assert_eq!(corrupted.len(), clean_i.len());
+    assert_ne!(corrupted, clean_i, "corruption must be observable");
+    for &v in &corrupted {
+        assert!((-32768..=32767).contains(&v), "corrupted output {v} escaped");
+    }
+    // ...and the Q path (uncorrupted) is unchanged.
+    let q: Vec<i64> = tile
+        .outputs()
+        .iter()
+        .filter(|o| o.alu == 4)
+        .map(|o| o.value)
+        .collect();
+    let clean_q: Vec<i64> = clean.outputs.iter().map(|z| z.q).collect();
+    assert_eq!(q, clean_q);
+}
+
+#[test]
+fn runaway_gpp_program_is_contained_by_fuel() {
+    let p = ddc_suite::arch_gpp::asm::assemble("spin: b spin\n").unwrap();
+    let mut cpu = Cpu::new(p, 0);
+    let (reason, stats) = cpu.run(10_000);
+    assert_eq!(reason, StopReason::FuelExhausted);
+    assert_eq!(stats.instructions, 10_000);
+}
+
+#[test]
+fn gc4016_rejects_every_out_of_envelope_config() {
+    use ddc_suite::arch_asic::gc4016::{Gc4016Config, Gc4016Error};
+    let base = Gc4016Config::gsm_example();
+    let bad = [
+        Gc4016Config { cic_decim: 7, ..base.clone() },
+        Gc4016Config { cic_decim: 4097, ..base.clone() },
+        Gc4016Config { input_bits: 10, ..base.clone() },
+        Gc4016Config { output_bits: 17, ..base.clone() },
+        Gc4016Config { input_rate: 101e6, ..base.clone() },
+        Gc4016Config { input_rate: -1.0, ..base.clone() },
+    ];
+    for (i, cfg) in bad.iter().enumerate() {
+        assert!(cfg.validate().is_err(), "bad config {i} accepted");
+    }
+    // errors carry enough detail to act on
+    assert_eq!(
+        Gc4016Config { cic_decim: 7, ..base }.validate(),
+        Err(Gc4016Error::CicDecimation(7))
+    );
+}
+
+#[test]
+fn adc_clipping_degrades_gracefully() {
+    // Drive 2× over full scale: the ADC clips, the DDC keeps working,
+    // and the wanted tone still dominates the output.
+    let f_tune = 10e6;
+    let cfg = DdcConfig::drm(f_tune);
+    let mut ddc = FixedDdc::new(cfg);
+    let analog: Vec<f64> = Tone::new(f_tune + 3_000.0, FS, 2.0, 0.0)
+        .take_vec(2688 * 300);
+    let adc = adc_quantize(&analog, 12); // saturates heavily
+    let raw = ddc.process_block(&adc);
+    let out = ddc.to_c64(&raw);
+    let sp = ddc_suite::dsp::spectrum::periodogram_complex(
+        &out[out.len() - 256..],
+        24_000.0,
+        256,
+        ddc_suite::dsp::window::Window::BlackmanHarris,
+    );
+    let (f_peak, _) = sp.peak();
+    assert!((f_peak - 3_000.0).abs() < 200.0, "clipping lost the tone: {f_peak}");
+}

@@ -1,0 +1,201 @@
+//! Property-based tests (proptest) over the core invariants the
+//! reproduction rests on.
+
+use ddc_suite::core::cic::CicDecimator;
+use ddc_suite::core::fir::{PolyphaseFir, SequentialFir};
+use ddc_suite::core::nco::{tuning_word, LutNco};
+use ddc_suite::dsp::decimate::{boxcar_sum_i64, fir_then_decimate_i64};
+use ddc_suite::dsp::fixed::{
+    max_signed, min_signed, quantize, round_shift, saturate, to_f64, wrap, Rounding,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Saturation clamps into range and is idempotent.
+    #[test]
+    fn saturate_in_range_and_idempotent(x in (i64::MIN / 4)..(i64::MAX / 4), bits in 2u32..=32) {
+        let s = saturate(x, bits);
+        prop_assert!(s >= min_signed(bits) && s <= max_signed(bits));
+        prop_assert_eq!(saturate(s, bits), s);
+        // order preserving
+        prop_assert!(saturate(x.saturating_add(1), bits) >= s);
+    }
+
+    /// Wrap is a ring homomorphism: wrap(a+b) == wrap(wrap(a)+wrap(b)).
+    #[test]
+    fn wrap_is_modular_addition(a in (i64::MIN / 4)..(i64::MAX / 4), b in (i64::MIN / 4)..(i64::MAX / 4), bits in 2u32..=32) {
+        let lhs = wrap(a.wrapping_add(b), bits);
+        let rhs = wrap(wrap(a, bits).wrapping_add(wrap(b, bits)), bits);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Wrap is the identity on values already in range.
+    #[test]
+    fn wrap_identity_in_range(bits in 2u32..=32, frac in 0.0f64..1.0) {
+        let span = (max_signed(bits) - min_signed(bits)) as f64;
+        let x = min_signed(bits) + (frac * span) as i64;
+        prop_assert_eq!(wrap(x, bits), x);
+    }
+
+    /// Quantize → dequantize error is bounded by half an LSB (inside
+    /// the representable range — near +1.0 saturation takes over, so
+    /// keep |x| ≤ 0.99 and enough bits that 0.99 is representable).
+    #[test]
+    fn quantize_roundtrip_error_bounded(x in -0.99f64..0.99, bits in 8u32..=24) {
+        let frac = bits - 1;
+        let q = quantize(x, bits, frac, Rounding::Nearest);
+        let back = to_f64(q, frac);
+        let lsb = 1.0 / (1i64 << frac) as f64;
+        prop_assert!((back - x).abs() <= 0.5 * lsb + 1e-15);
+    }
+
+    /// Rounding shift equals floor((x + h)/2^k).
+    #[test]
+    fn round_shift_matches_arithmetic(x in -(1i64 << 40)..(1i64 << 40), k in 1u32..20) {
+        let expect = (x + (1i64 << (k - 1))).div_euclid(1i64 << k);
+        prop_assert_eq!(round_shift(x, k), expect);
+    }
+
+    /// The streaming CIC's raw comb output equals the exact
+    /// cascade-of-boxcars model for any parameters and input.
+    #[test]
+    fn cic_equals_boxcar_cascade(
+        order in 1u32..=5,
+        decim in 1u32..=24,
+        input in prop::collection::vec(-2048i64..=2047, 64..256),
+    ) {
+        let mut cic = CicDecimator::new(order, decim, 12, 12);
+        let mut raw = Vec::new();
+        for &x in &input {
+            if let Some(y) = cic.process_raw(x) {
+                raw.push(y);
+            }
+        }
+        let mut full = input.clone();
+        for _ in 0..order {
+            full = boxcar_sum_i64(&full, decim as usize);
+        }
+        for (k, &y) in raw.iter().enumerate() {
+            prop_assert_eq!(y, full[(k + 1) * decim as usize - 1]);
+        }
+    }
+
+    /// The sequential (bit-true) FIR equals dense convolution +
+    /// keep-1-in-D + shift + saturate, for any taps and input.
+    #[test]
+    fn sequential_fir_equals_dense_decimation(
+        coeffs in prop::collection::vec(-1024i32..=1023, 1..40),
+        decim in 1u32..=8,
+        input in prop::collection::vec(-2048i64..=2047, 32..200),
+    ) {
+        let mut fir = SequentialFir::new(&coeffs, decim, 12, 12, 40);
+        let got: Vec<i64> = input.iter().filter_map(|&x| fir.process(x)).collect();
+        let c64: Vec<i64> = coeffs.iter().map(|&c| i64::from(c)).collect();
+        let dense = fir_then_decimate_i64(&input, &c64, 1);
+        for (k, &y) in got.iter().enumerate() {
+            let idx = (k + 1) * decim as usize - 1;
+            let expect = saturate(dense[idx] >> 11, 12);
+            prop_assert_eq!(y, expect);
+        }
+    }
+
+    /// Polyphase f64 FIR: decimating by 1 equals the dense filter.
+    #[test]
+    fn polyphase_decim_one_is_dense(
+        taps in prop::collection::vec(-1.0f64..1.0, 1..20),
+        input in prop::collection::vec(-1.0f64..1.0, 10..100),
+    ) {
+        let mut pf = PolyphaseFir::new(&taps, 1);
+        let mut direct = ddc_suite::core::fir::DirectFir::new(&taps);
+        for &x in &input {
+            let a = pf.process(x).expect("decim 1 always yields");
+            let b = direct.process(x);
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// The NCO's phase accumulator is exactly periodic: after
+    /// 2³²/gcd(word, 2³²) steps the sequence repeats. Check the cheap
+    /// corollary: equal phases produce equal outputs.
+    #[test]
+    fn nco_is_a_function_of_phase(word in any::<u32>(), steps in 1usize..300) {
+        let mut a = LutNco::new(word, 9, 12);
+        let mut b = LutNco::new(word, 9, 12);
+        for _ in 0..steps {
+            a.next();
+            b.next();
+        }
+        prop_assert_eq!(a.phase(), b.phase());
+        prop_assert_eq!(a.next(), b.next());
+    }
+
+    /// Tuning-word computation inverts within frequency resolution.
+    #[test]
+    fn tuning_word_inverts(freq in -30e6f64..30e6) {
+        let fs = 64_512_000.0;
+        let w = tuning_word(freq, fs);
+        let back = w as f64 / 2f64.powi(32) * fs;
+        // negative frequencies come back aliased by fs
+        let err = (back - freq).abs().min((back - fs - freq).abs());
+        prop_assert!(err <= fs / 2f64.powi(32) + 1e-6, "freq {freq} → {back}");
+    }
+
+    /// Dynamic-power scaling is multiplicative and reversible.
+    #[test]
+    fn scaling_law_reversible(
+        f1 in 0.05f64..0.5, v1 in 0.8f64..3.0,
+        f2 in 0.05f64..0.5, v2 in 0.8f64..3.0,
+        mw in 1.0f64..1000.0,
+    ) {
+        use ddc_suite::arch_model::{Power, TechnologyNode};
+        let a = TechnologyNode::new(f1, v1);
+        let b = TechnologyNode::new(f2, v2);
+        let there = a.scale_dynamic_power(Power::from_mw(mw), b);
+        let back = b.scale_dynamic_power(there, a);
+        prop_assert!((back.mw() - mw).abs() < 1e-9 * mw);
+        // explicit law
+        let expect = mw * (v2 / v1).powi(2) * (f2 / f1);
+        prop_assert!((there.mw() - expect).abs() < 1e-9 * expect);
+    }
+
+    /// FPGA mapper: adding instances never reduces any resource.
+    #[test]
+    fn mapper_is_monotone(extra_width in 2u32..40, copies in 1usize..4) {
+        use ddc_suite::arch_fpga::netlist::{Instance, Netlist, Primitive};
+        use ddc_suite::arch_fpga::mapper::{map_netlist, MultiplierStrategy};
+        use ddc_suite::core::DdcConfig;
+        let base = Netlist::ddc(&DdcConfig::drm(1e6));
+        let before = map_netlist(&base, MultiplierStrategy::Embedded);
+        let mut bigger = base;
+        for k in 0..copies {
+            bigger.instances.push(Instance {
+                name: format!("extra{k}"),
+                prim: Primitive::AdderReg { width: extra_width },
+            });
+        }
+        let after = map_netlist(&bigger, MultiplierStrategy::Embedded);
+        prop_assert!(after.logic_elements >= before.logic_elements);
+        prop_assert!(after.memory_bits >= before.memory_bits);
+        prop_assert!(after.mult9 >= before.mult9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The GPP ISS and the golden model agree on arbitrary 12-bit
+    /// input streams (not just the tuned test stimuli).
+    #[test]
+    fn gpp_iss_matches_golden_on_arbitrary_input(
+        seed_input in prop::collection::vec(-2048i32..=2047, 2688..2688 * 2),
+        word in any::<u32>(),
+    ) {
+        use ddc_suite::arch_gpp::golden::{drm_coefficients, GppDdc};
+        use ddc_suite::arch_gpp::programs::{run_ddc, unoptimized};
+        let coeffs = drm_coefficients();
+        let mut golden = GppDdc::new(word, &coeffs);
+        let expect = golden.process_block(&seed_input);
+        let (got, _) = run_ddc(unoptimized(), word, &coeffs, &seed_input);
+        prop_assert_eq!(got, expect);
+    }
+}
