@@ -169,9 +169,9 @@ impl CustomAsic {
         let internal = probes.internal_rate();
         for c in self.components.iter_mut() {
             c.activity = match c.name {
-                "NCO phase accumulator" | "NCO sine/cosine LUT ports" | "mixer multipliers (I+Q)" => {
-                    input
-                }
+                "NCO phase accumulator"
+                | "NCO sine/cosine LUT ports"
+                | "mixer multipliers (I+Q)" => input,
                 _ => internal,
             };
         }
@@ -249,7 +249,11 @@ mod tests {
         // NCO+mixer+CIC2-integrator components (all at 64.512 MHz)
         // must be > 80 % of the total.
         let asic = CustomAsic::paper_reference();
-        let total: f64 = asic.components().iter().map(GateComponent::toggle_rate).sum();
+        let total: f64 = asic
+            .components()
+            .iter()
+            .map(GateComponent::toggle_rate)
+            .sum();
         let front: f64 = asic
             .components()
             .iter()

@@ -245,7 +245,10 @@ impl Gc4016Channel {
 
     /// Processes a block of input words.
     pub fn process_block(&mut self, input: &[i32]) -> Vec<Iq> {
-        input.iter().filter_map(|&x| self.process(i64::from(x))).collect()
+        input
+            .iter()
+            .filter_map(|&x| self.process(i64::from(x)))
+            .collect()
     }
 }
 
@@ -471,13 +474,15 @@ mod tests {
 
     #[test]
     fn output_width_formatting() {
-        let mk = |output_bits: u32| Gc4016Channel::new(Gc4016Config {
-            input_rate: 64e6,
-            tune_freq: 0.0,
-            cic_decim: 8,
-            input_bits: 14,
-            output_bits,
-        });
+        let mk = |output_bits: u32| {
+            Gc4016Channel::new(Gc4016Config {
+                input_rate: 64e6,
+                tune_freq: 0.0,
+                cic_decim: 8,
+                input_bits: 14,
+                output_bits,
+            })
+        };
         // Drive with DC; 24-bit output must be wider than 12-bit.
         let input: Vec<i32> = vec![4000; 32 * 200];
         let out24 = mk(24).process_block(&input);
@@ -494,11 +499,17 @@ mod tests {
         let four = Gc4016::new(vec![c14.clone(); 4], OutputCombiner::Multiplex);
         assert!(four.is_ok());
         let five = Gc4016::new(vec![c14.clone(); 5], OutputCombiner::Multiplex);
-        assert!(matches!(five, Err(Gc4016Error::TooManyChannels { max: 4, .. })));
+        assert!(matches!(
+            five,
+            Err(Gc4016Error::TooManyChannels { max: 4, .. })
+        ));
         let mut c16 = c14;
         c16.input_bits = 16;
         let four16 = Gc4016::new(vec![c16; 4], OutputCombiner::Multiplex);
-        assert!(matches!(four16, Err(Gc4016Error::TooManyChannels { max: 3, .. })));
+        assert!(matches!(
+            four16,
+            Err(Gc4016Error::TooManyChannels { max: 3, .. })
+        ));
     }
 
     #[test]
@@ -515,7 +526,9 @@ mod tests {
         }
         let mut chip = Gc4016::new(cfgs.clone(), OutputCombiner::Multiplex).unwrap();
         let mut solos: Vec<_> = cfgs.into_iter().map(Gc4016Channel::new).collect();
-        let input: Vec<i64> = (0..64 * 50).map(|k| ((k * 91) % 8000) as i64 - 4000).collect();
+        let input: Vec<i64> = (0..64 * 50)
+            .map(|k| ((k * 91) % 8000) as i64 - 4000)
+            .collect();
         for &x in &input {
             let chip_out = chip.process(x);
             for (c, solo) in chip_out.iter().zip(solos.iter_mut()) {

@@ -155,7 +155,9 @@ impl Device {
             memory_bits: m4k * 4608,
             mult9,
             plls,
-            static_power: base.static_power.scale(les as f64 / base.logic_elements as f64),
+            static_power: base
+                .static_power
+                .scale(les as f64 / base.logic_elements as f64),
             ..base
         }
     }

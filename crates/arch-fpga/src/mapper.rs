@@ -51,7 +51,9 @@ fn raw_le(prim: &Primitive, mults: MultiplierStrategy) -> u32 {
         Primitive::Multiplier { a_bits, b_bits } => match mults {
             MultiplierStrategy::Embedded => 0,
             // array multiplier: partial products + adder tree
-            MultiplierStrategy::LogicElements => (1.6 * a_bits as f64 * b_bits as f64).ceil() as u32,
+            MultiplierStrategy::LogicElements => {
+                (1.6 * a_bits as f64 * b_bits as f64).ceil() as u32
+            }
         },
         // block memories only need address glue in LEs
         Primitive::Ram { .. } | Primitive::Rom { .. } => 2,
@@ -76,7 +78,11 @@ fn mult9_count(a: u32, b: u32) -> u32 {
 
 /// Maps a netlist with the given multiplier strategy.
 pub fn map_netlist(netlist: &Netlist, mults: MultiplierStrategy) -> ResourceUsage {
-    let raw: u32 = netlist.instances.iter().map(|i| raw_le(&i.prim, mults)).sum();
+    let raw: u32 = netlist
+        .instances
+        .iter()
+        .map(|i| raw_le(&i.prim, mults))
+        .sum();
     let les = (raw as f64 * SYNTHESIS_EFFICIENCY).round() as u32;
     let mult9 = match mults {
         MultiplierStrategy::LogicElements => 0,
@@ -203,7 +209,12 @@ impl fmt::Display for FitReport {
             self.cap_plls,
             100.0 * self.usage.plls as f64 / self.cap_plls.max(1) as f64
         )?;
-        write!(f, "  fmax {:.2} MHz — {}", self.fmax_hz / 1e6, if self.fits { "fits" } else { "DOES NOT FIT" })
+        write!(
+            f,
+            "  fmax {:.2} MHz — {}",
+            self.fmax_hz / 1e6,
+            if self.fits { "fits" } else { "DOES NOT FIT" }
+        )
     }
 }
 
@@ -222,7 +233,12 @@ mod tests {
         // land within 10 %.
         let u = map_netlist(&drm(), MultiplierStrategy::Embedded);
         let err = (u.logic_elements as f64 - 906.0).abs() / 906.0;
-        assert!(err < 0.10, "got {} LEs ({:.1} % off)", u.logic_elements, err * 100.0);
+        assert!(
+            err < 0.10,
+            "got {} LEs ({:.1} % off)",
+            u.logic_elements,
+            err * 100.0
+        );
     }
 
     #[test]
@@ -230,7 +246,12 @@ mod tests {
         // Table 4: 1,656 LEs on the Cyclone I (multipliers in logic).
         let u = map_netlist(&drm(), MultiplierStrategy::LogicElements);
         let err = (u.logic_elements as f64 - 1656.0).abs() / 1656.0;
-        assert!(err < 0.10, "got {} LEs ({:.1} % off)", u.logic_elements, err * 100.0);
+        assert!(
+            err < 0.10,
+            "got {} LEs ({:.1} % off)",
+            u.logic_elements,
+            err * 100.0
+        );
     }
 
     #[test]

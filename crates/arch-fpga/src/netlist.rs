@@ -130,7 +130,10 @@ impl Netlist {
                     b_bits: cw,
                 },
             );
-            add(&format!("mixer_{path}/round_reg"), Primitive::Register { width: w });
+            add(
+                &format!("mixer_{path}/round_reg"),
+                Primitive::Register { width: w },
+            );
 
             // First CIC: N integrators + N combs at full register width.
             for k in 0..cfg.cic1_order {
@@ -162,7 +165,10 @@ impl Netlist {
             // Sequential FIR (Figure 5): sample RAM, MAC, saturator.
             add(
                 &format!("fir_{path}/sample_ram"),
-                Primitive::Ram { words: taps, width: w },
+                Primitive::Ram {
+                    words: taps,
+                    width: w,
+                },
             );
             add(
                 &format!("fir_{path}/mac_mult"),
@@ -187,7 +193,10 @@ impl Netlist {
                 &format!("fir_{path}/quantizer"),
                 Primitive::Saturator { width: w },
             );
-            add(&format!("fir_{path}/control"), Primitive::Control { le: 12 });
+            add(
+                &format!("fir_{path}/control"),
+                Primitive::Control { le: 12 },
+            );
         }
 
         // One coefficient ROM shared by both paths (identical taps).
@@ -280,7 +289,8 @@ mod tests {
     #[test]
     fn cic_registers_follow_hogenauer_widths() {
         let n = drm_netlist();
-        let count_w = |w: u32| n.count(|p| matches!(p, Primitive::AdderReg { width } if *width == w));
+        let count_w =
+            |w: u32| n.count(|p| matches!(p, Primitive::AdderReg { width } if *width == w));
         assert_eq!(count_w(20), 8); // CIC2: 2 int + 2 comb × 2 paths
         assert_eq!(count_w(34), 20); // CIC5: 5 int + 5 comb × 2 paths
     }

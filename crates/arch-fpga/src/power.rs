@@ -271,7 +271,10 @@ mod tests {
         // busy — so the measured-activity estimate must be higher.
         let assumed = FpgaModel::paper_cyclone2().dynamic_power().mw();
         let measured = m.dynamic_power().mw();
-        assert!(measured > assumed, "measured {measured} vs assumed {assumed}");
+        assert!(
+            measured > assumed,
+            "measured {measured} vs assumed {assumed}"
+        );
         assert!(measured < 4.0 * assumed, "measured {measured} implausible");
     }
 

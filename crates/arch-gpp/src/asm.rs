@@ -276,7 +276,11 @@ fn imm(s: &str) -> Result<i32, String> {
 
 fn operand(s: &str) -> Result<Operand, String> {
     let t = s.trim();
-    if t.starts_with('#') || t.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') {
+    if t.starts_with('#')
+        || t.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit() || c == '-')
+    {
         Ok(Operand::Imm(imm(t)?))
     } else {
         Ok(Operand::Reg(reg(t)?))
@@ -354,9 +358,18 @@ mod tests {
              halt\n",
         )
         .unwrap();
-        assert_eq!(p.instrs[0], Instr::Ldr(Reg::new(1), Address::BaseImm(Reg::new(2), 0)));
-        assert_eq!(p.instrs[1], Instr::Ldr(Reg::new(3), Address::BaseImm(Reg::new(4), 8)));
-        assert_eq!(p.instrs[2], Instr::Str(Reg::new(5), Address::BaseReg(Reg::new(6), Reg::new(7))));
+        assert_eq!(
+            p.instrs[0],
+            Instr::Ldr(Reg::new(1), Address::BaseImm(Reg::new(2), 0))
+        );
+        assert_eq!(
+            p.instrs[1],
+            Instr::Ldr(Reg::new(3), Address::BaseImm(Reg::new(4), 8))
+        );
+        assert_eq!(
+            p.instrs[2],
+            Instr::Str(Reg::new(5), Address::BaseReg(Reg::new(6), Reg::new(7)))
+        );
     }
 
     #[test]

@@ -128,7 +128,10 @@ impl Cpu {
                 Instr::Asr(d, n, k) => self.set(d, self.get(n) >> k),
                 Instr::Mul(d, m, s) => self.set(d, self.get(m).wrapping_mul(self.get(s))),
                 Instr::Mla(d, m, s, n) => {
-                    let v = self.get(m).wrapping_mul(self.get(s)).wrapping_add(self.get(n));
+                    let v = self
+                        .get(m)
+                        .wrapping_mul(self.get(s))
+                        .wrapping_add(self.get(n));
                     self.set(d, v);
                 }
                 Instr::Cmp(n, o) => {

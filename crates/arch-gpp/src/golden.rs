@@ -106,7 +106,7 @@ impl GppDdc {
             v -= delayed;
         }
         let out2 = v.0 >> 8; // 12-bit
-        // CIC5 integrators (input pre-scaled to 10 bits).
+                             // CIC5 integrators (input pre-scaled to 10 bits).
         let mut v5 = Wrapping(out2 >> 2);
         for a in self.acc5.iter_mut() {
             *a += v5;
@@ -125,7 +125,7 @@ impl GppDdc {
             w -= delayed;
         }
         let out5 = w.0 >> 20; // 12-bit
-        // FIR write side.
+                              // FIR write side.
         self.fir_ram[self.fir_pos] = out5;
         self.fir_pos = (self.fir_pos + 1) % FIR_TAPS;
         self.cnt8 -= 1;
@@ -135,7 +135,11 @@ impl GppDdc {
         self.cnt8 = 8;
         // FIR summation.
         let mut acc = Wrapping(0i32);
-        let mut idx = if self.fir_pos == 0 { FIR_TAPS - 1 } else { self.fir_pos - 1 };
+        let mut idx = if self.fir_pos == 0 {
+            FIR_TAPS - 1
+        } else {
+            self.fir_pos - 1
+        };
         for &h in &self.coeffs {
             acc += Wrapping(h.wrapping_mul(self.fir_ram[idx]));
             idx = if idx == 0 { FIR_TAPS - 1 } else { idx - 1 };

@@ -265,7 +265,10 @@ mod tests {
         assert_eq!(out_a, out_b, "cycle model must not change results");
         let speedup = base.cycles as f64 / dsp.cycles as f64;
         assert!(speedup > 1.0, "single-cycle MAC must help a little");
-        assert!(speedup < 1.15, "speedup {speedup} — the paper says no major improvement");
+        assert!(
+            speedup < 1.15,
+            "speedup {speedup} — the paper says no major improvement"
+        );
     }
 
     #[test]

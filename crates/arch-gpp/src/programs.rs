@@ -453,10 +453,18 @@ mod tests {
         assert!(f("fir_poly") < 0.02);
         assert!(f("fir_sum") < 0.05);
         // everything accounted for
-        let total: f64 = ["nco", "cic2_int", "cic2_comb", "cic5_int", "cic5_comb", "fir_poly", "fir_sum"]
-            .iter()
-            .map(|r| f(r))
-            .sum();
+        let total: f64 = [
+            "nco",
+            "cic2_int",
+            "cic2_comb",
+            "cic5_int",
+            "cic5_comb",
+            "fir_poly",
+            "fir_sum",
+        ]
+        .iter()
+        .map(|r| f(r))
+        .sum();
         // the handful of prologue instructions live in the unnamed
         // region, so the named regions sum to just under 1
         assert!(total > 0.999 && total <= 1.0, "regions sum to {total}");
@@ -464,7 +472,12 @@ mod tests {
 
     #[test]
     fn zero_input_produces_zero_output() {
-        let (out, _) = run_ddc(unoptimized(), 12345, &drm_coefficients(), &vec![0; 2688 * 2]);
+        let (out, _) = run_ddc(
+            unoptimized(),
+            12345,
+            &drm_coefficients(),
+            &vec![0; 2688 * 2],
+        );
         assert_eq!(out, vec![0, 0]);
     }
 

@@ -81,16 +81,16 @@ mod tests {
     #[test]
     fn gc4016_scaling_matches_paper() {
         // §3.1.2: 115 mW at 0.25 µm/2.5 V → 13.8 mW at 0.13 µm/1.2 V.
-        let scaled =
-            TechnologyNode::UM_250.scale_dynamic_power(Power::from_mw(115.0), TechnologyNode::UM_130);
+        let scaled = TechnologyNode::UM_250
+            .scale_dynamic_power(Power::from_mw(115.0), TechnologyNode::UM_130);
         assert!((scaled.mw() - 13.8).abs() < 0.05, "{}", scaled.mw());
     }
 
     #[test]
     fn custom_asic_scaling_matches_paper() {
         // §3.2: 27 mW at 0.18 µm/1.8 V → 8.7 mW at 0.13 µm/1.2 V.
-        let scaled =
-            TechnologyNode::UM_180.scale_dynamic_power(Power::from_mw(27.0), TechnologyNode::UM_130);
+        let scaled = TechnologyNode::UM_180
+            .scale_dynamic_power(Power::from_mw(27.0), TechnologyNode::UM_130);
         assert!((scaled.mw() - 8.7).abs() < 0.05, "{}", scaled.mw());
     }
 
@@ -98,8 +98,8 @@ mod tests {
     fn cyclone2_scaling_matches_table7() {
         // Table 7: Cyclone II 31.11 mW dynamic at 0.09 µm/1.2 V →
         // 44.94 mW estimated at 0.13 µm/1.2 V (scaling *up*).
-        let scaled =
-            TechnologyNode::UM_90.scale_dynamic_power(Power::from_mw(31.11), TechnologyNode::UM_130);
+        let scaled = TechnologyNode::UM_90
+            .scale_dynamic_power(Power::from_mw(31.11), TechnologyNode::UM_130);
         assert!((scaled.mw() - 44.94).abs() < 0.05, "{}", scaled.mw());
     }
 

@@ -47,22 +47,20 @@ impl MontiumArray {
     /// tile; the tiles are architecturally independent). Returns
     /// per-channel outputs in configuration order.
     pub fn run(&self, input: &[i32]) -> Vec<Vec<Iq>> {
-        let mut results: Vec<Vec<Iq>> = Vec::with_capacity(self.configs.len());
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .configs
                 .iter()
                 .map(|cfg| {
                     let cfg = cfg.clone();
-                    scope.spawn(move |_| run_ddc(cfg, input, 0).outputs)
+                    scope.spawn(move || run_ddc(cfg, input, 0).outputs)
                 })
                 .collect();
-            for h in handles {
-                results.push(h.join().expect("tile thread panicked"));
-            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tile thread panicked"))
+                .collect()
         })
-        .expect("scope panicked");
-        results
     }
 
     /// Runs one tile (for stats/trace inspection).

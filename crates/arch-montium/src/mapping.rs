@@ -54,13 +54,8 @@ pub mod mem {
 /// A queued FIR task for one of the time-multiplexed ALUs.
 #[derive(Clone, Copy, Debug)]
 enum FirTask {
-    Mac {
-        coeff_addr: u16,
-        acc_addr: u16,
-    },
-    Finalize {
-        acc_addr: u16,
-    },
+    Mac { coeff_addr: u16, acc_addr: u16 },
+    Finalize { acc_addr: u16 },
 }
 
 /// The sequencer state for the DDC mapping.
@@ -101,7 +96,13 @@ impl DdcMapping {
         cfg.validate().expect("invalid DDC configuration");
         assert_eq!(cfg.format.data_bits, 16, "the Montium datapath is 16-bit");
         assert_eq!(
-            (cfg.cic1_order, cfg.cic1_decim, cfg.cic2_order, cfg.cic2_decim, cfg.fir_decim),
+            (
+                cfg.cic1_order,
+                cfg.cic1_decim,
+                cfg.cic2_order,
+                cfg.cic2_decim,
+                cfg.fir_decim
+            ),
             (2, 16, 5, 21, 8),
             "the mapping implements the paper's Table 1 schedule"
         );
@@ -388,10 +389,7 @@ pub fn run_ddc(cfg: DdcConfig, input: &[i32], trace_cycles: usize) -> MontiumRun
                 .map(|n| n.value)
                 .expect("I finalize without matching Q");
             iter.next();
-            outputs.push(Iq {
-                i: o.value,
-                q,
-            });
+            outputs.push(Iq { i: o.value, q });
         }
     }
     MontiumRun { tile, outputs }

@@ -189,7 +189,10 @@ impl AluOp {
             AluOp::PhaseStep { word, addr_bits } => format!("phase/{word}/{addr_bits}"),
             AluOp::NcoMacc { x, frac, wrap, .. } => format!("ncomacc/{x:?}/{frac}/{wrap}"),
             AluOp::CombPair {
-                regs, wrap, out_shift, ..
+                regs,
+                wrap,
+                out_shift,
+                ..
             } => format!("combpair/{regs:?}/{wrap}/{out_shift}"),
             AluOp::Integrate {
                 regs, count, wrap, ..
@@ -204,9 +207,7 @@ impl AluOp {
             AluOp::MacMem {
                 coef_mem, acc_mem, ..
             } => format!("macmem/{coef_mem}/{acc_mem}"),
-            AluOp::Finalize {
-                acc_mem, shift, ..
-            } => format!("finalize/{acc_mem}/{shift}"),
+            AluOp::Finalize { acc_mem, shift, .. } => format!("finalize/{acc_mem}/{shift}"),
         }
     }
 

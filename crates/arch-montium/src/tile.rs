@@ -139,8 +139,8 @@ impl Tile {
             Operand::Reg(a, r) => self.alus[a as usize].regs[r as usize],
             Operand::MemAt(m, a) => self.mems[m as usize][a as usize],
             Operand::MemIndexed(m, alu) => {
-                let addr = now[alu as usize]
-                    .expect("MemIndexed source ALU evaluates after its consumer");
+                let addr =
+                    now[alu as usize].expect("MemIndexed source ALU evaluates after its consumer");
                 self.mems[m as usize][addr as usize]
             }
             Operand::Imm(v) => v,
@@ -162,7 +162,12 @@ impl Tile {
                 self.alus[i].regs[0] = i64::from(phase.wrapping_add(word));
                 Some(i64::from(idx))
             }
-            AluOp::NcoMacc { x, coef, frac, wrap: w } => {
+            AluOp::NcoMacc {
+                x,
+                coef,
+                frac,
+                wrap: w,
+            } => {
                 let xv = self.resolve(x, ext, now);
                 let cv = self.resolve(coef, ext, now);
                 let p = saturate(round_shift(xv * cv, frac), 16);

@@ -15,7 +15,11 @@ pub fn render_schedule(tile: &Tile) -> String {
         out,
         "cycle    {}",
         (0..trace.len())
-            .map(|c| if c % 10 == 0 { format!("{:<10}", c) } else { String::new() })
+            .map(|c| if c % 10 == 0 {
+                format!("{:<10}", c)
+            } else {
+                String::new()
+            })
             .collect::<String>()
     );
     for alu in 0..NUM_ALUS {
@@ -98,7 +102,12 @@ mod tests {
         }
         // ALU3: comb at cycle 15 and 31, CIC5 integrates at 16..=19 and
         // 32..=35, idle before the chain is primed.
-        let row3: Vec<char> = lines[4].split_whitespace().last().unwrap().chars().collect();
+        let row3: Vec<char> = lines[4]
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .chars()
+            .collect();
         assert_eq!(row3[15], 'c');
         assert_eq!(row3[31], 'c');
         for (c, &ch) in row3.iter().enumerate().take(20).skip(16) {
@@ -108,7 +117,12 @@ mod tests {
             assert_eq!(ch, '.', "cycle {c} should be idle");
         }
         // ALU4 mirrors ALU3
-        let row4: Vec<char> = lines[5].split_whitespace().last().unwrap().chars().collect();
+        let row4: Vec<char> = lines[5]
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .chars()
+            .collect();
         assert_eq!(row3, row4);
     }
 

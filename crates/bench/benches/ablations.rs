@@ -101,7 +101,11 @@ fn ablate_gpp_codegen(c: &mut Criterion) {
     for name in ["unoptimized", "optimized"] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
             b.iter(|| {
-                let program = if name == "unoptimized" { unoptimized() } else { optimized() };
+                let program = if name == "unoptimized" {
+                    unoptimized()
+                } else {
+                    optimized()
+                };
                 let (out, stats) = run_gpp(program, word, &coeffs, &adc);
                 black_box((out.len(), stats.cycles))
             })
@@ -110,5 +114,10 @@ fn ablate_gpp_codegen(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ablate_polyphase, ablate_cic_split, ablate_gpp_codegen);
+criterion_group!(
+    benches,
+    ablate_polyphase,
+    ablate_cic_split,
+    ablate_gpp_codegen
+);
 criterion_main!(benches);

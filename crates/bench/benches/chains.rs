@@ -49,7 +49,9 @@ fn bench_channels(c: &mut Criterion) {
     for n in [1usize, 2, 4] {
         g.throughput(Throughput::Elements((BLOCK * n) as u64));
         g.bench_function(format!("parallel_{n}ch"), |b| {
-            let cfgs: Vec<DdcConfig> = (0..n).map(|k| DdcConfig::drm(5e6 + k as f64 * 5e6)).collect();
+            let cfgs: Vec<DdcConfig> = (0..n)
+                .map(|k| DdcConfig::drm(5e6 + k as f64 * 5e6))
+                .collect();
             b.iter(|| black_box(run_channels_parallel(&cfgs, &adc12).len()))
         });
     }

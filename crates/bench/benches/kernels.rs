@@ -149,5 +149,12 @@ fn bench_fft(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_nco, bench_mixer, bench_cic, bench_fir, bench_fft);
+criterion_group!(
+    benches,
+    bench_nco,
+    bench_mixer,
+    bench_cic,
+    bench_fir,
+    bench_fft
+);
 criterion_main!(benches);

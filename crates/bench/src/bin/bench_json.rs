@@ -1,0 +1,278 @@
+//! Machine-readable kernel benchmark baseline.
+//!
+//! Measures every DDC stage (and the assembled fixed-point chain) in
+//! both its per-sample and its block-kernel form, in the same process
+//! and on the same stimulus, and writes the resulting samples/second
+//! and block-vs-per-sample speedups to `BENCH_kernels.json` in the
+//! current directory.
+//!
+//! ```text
+//! cargo run -p ddc-bench --release --bin bench_json
+//! ```
+//!
+//! The JSON is a stable, diff-able artifact: commit it to record the
+//! baseline, re-run to compare after kernel changes.
+
+use ddc_core::chain::FixedDdc;
+use ddc_core::cic::CicDecimator;
+use ddc_core::fir::SequentialFir;
+use ddc_core::mixer::FixedMixer;
+use ddc_core::nco::{CosSin, LutNco};
+use ddc_core::params::DdcConfig;
+use ddc_core::pipeline::run_pipelined;
+use ddc_dsp::firdes::quantize_taps;
+use ddc_dsp::signal::{adc_quantize, Mix, SampleSource, Tone, WhiteNoise};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One stage's measurement: throughput of the per-sample path and the
+/// block path over the identical stimulus.
+struct StageResult {
+    name: &'static str,
+    per_sample_msps: f64,
+    block_msps: f64,
+}
+
+impl StageResult {
+    fn speedup(&self) -> f64 {
+        self.block_msps / self.per_sample_msps
+    }
+}
+
+/// Runs `f` (which consumes `samples_per_call` input samples per call)
+/// repeatedly for at least 250 ms after a warm-up, returning throughput
+/// in samples/second.
+fn measure<F: FnMut()>(samples_per_call: usize, mut f: F) -> f64 {
+    f();
+    f();
+    let mut calls = 0u64;
+    let start = Instant::now();
+    loop {
+        f();
+        calls += 1;
+        if start.elapsed().as_secs_f64() >= 0.25 && calls >= 3 {
+            break;
+        }
+    }
+    samples_per_call as f64 * calls as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let cfg = DdcConfig::drm(10e6);
+    let f = cfg.format;
+    let fs = cfg.input_rate;
+
+    // Stimulus: an in-band tone plus noise, quantized to the ADC width,
+    // long enough that the chain produces hundreds of output words.
+    let n = 2688 * 256;
+    let mut src = Mix(
+        Tone::new(10e6 + 3_000.0, fs, 0.6, 0.1),
+        WhiteNoise::new(29, 0.2),
+    );
+    let analog = src.take_vec(n);
+    let adc = adc_quantize(&analog, f.data_bits);
+    let adc_i64: Vec<i64> = adc.iter().map(|&x| i64::from(x)).collect();
+
+    let mut results: Vec<StageResult> = Vec::new();
+
+    // --- NCO ------------------------------------------------------
+    {
+        let mut nco = LutNco::new(cfg.tuning_word(), f.lut_addr_bits, f.coeff_bits);
+        let per = measure(n, || {
+            let mut acc = 0i64;
+            for _ in 0..n {
+                let cs = nco.next();
+                acc += i64::from(cs.cos) ^ i64::from(cs.sin);
+            }
+            black_box(acc);
+        });
+        let mut nco_b = LutNco::new(cfg.tuning_word(), f.lut_addr_bits, f.coeff_bits);
+        let mut lo: Vec<CosSin> = Vec::with_capacity(n);
+        let blk = measure(n, || {
+            lo.clear();
+            nco_b.fill_block(n, &mut lo);
+            black_box(lo.len());
+        });
+        results.push(StageResult {
+            name: "nco_lut",
+            per_sample_msps: per / 1e6,
+            block_msps: blk / 1e6,
+        });
+    }
+
+    // --- Mixer ----------------------------------------------------
+    {
+        let mixer = FixedMixer::new(f.data_bits, f.coeff_bits);
+        let mut nco = LutNco::new(cfg.tuning_word(), f.lut_addr_bits, f.coeff_bits);
+        let mut lo: Vec<CosSin> = Vec::with_capacity(n);
+        nco.fill_block(n, &mut lo);
+        let per = measure(n, || {
+            let mut acc = 0i64;
+            for (&x, cs) in adc_i64.iter().zip(&lo) {
+                let m = mixer.mix(x, *cs);
+                acc ^= m.i + m.q;
+            }
+            black_box(acc);
+        });
+        let mut out_i = Vec::with_capacity(n);
+        let mut out_q = Vec::with_capacity(n);
+        let blk = measure(n, || {
+            out_i.clear();
+            out_q.clear();
+            mixer.mix_block_split(&adc, &lo, &mut out_i, &mut out_q);
+            black_box(out_i.len());
+        });
+        results.push(StageResult {
+            name: "mixer",
+            per_sample_msps: per / 1e6,
+            block_msps: blk / 1e6,
+        });
+    }
+
+    // --- CIC stages -----------------------------------------------
+    for (name, order, decim) in [("cic2_r16", 2u32, 16u32), ("cic5_r21", 5, 21)] {
+        let mut cic = CicDecimator::new(order, decim, f.data_bits, f.data_bits);
+        let per = measure(n, || {
+            let mut acc = 0i64;
+            for &x in &adc_i64 {
+                if let Some(y) = cic.process(x) {
+                    acc ^= y;
+                }
+            }
+            black_box(acc);
+        });
+        let mut cic_b = CicDecimator::new(order, decim, f.data_bits, f.data_bits);
+        let mut out = Vec::with_capacity(n / decim as usize + 1);
+        let blk = measure(n, || {
+            out.clear();
+            cic_b.process_block(&adc_i64, &mut out);
+            black_box(out.len());
+        });
+        results.push(StageResult {
+            name,
+            per_sample_msps: per / 1e6,
+            block_msps: blk / 1e6,
+        });
+    }
+
+    // --- Sequential FIR -------------------------------------------
+    {
+        let coeffs = quantize_taps(&cfg.fir_taps, f.coeff_bits, f.coeff_frac());
+        let mk = || {
+            SequentialFir::new(
+                &coeffs,
+                cfg.fir_decim,
+                f.data_bits,
+                f.coeff_bits,
+                f.fir_acc_bits,
+            )
+        };
+        let mut fir = mk();
+        let per = measure(n, || {
+            let mut acc = 0i64;
+            for &x in &adc_i64 {
+                if let Some(y) = fir.process(x) {
+                    acc ^= y;
+                }
+            }
+            black_box(acc);
+        });
+        let mut fir_b = mk();
+        let mut out = Vec::with_capacity(n / cfg.fir_decim as usize + 1);
+        let blk = measure(n, || {
+            out.clear();
+            fir_b.process_block(&adc_i64, &mut out);
+            black_box(out.len());
+        });
+        results.push(StageResult {
+            name: "fir_seq_125tap_r8",
+            per_sample_msps: per / 1e6,
+            block_msps: blk / 1e6,
+        });
+    }
+
+    // --- Full fixed-point DRM chain -------------------------------
+    {
+        let mut ddc = FixedDdc::new(cfg.clone());
+        let per = measure(n, || {
+            let mut acc = 0i64;
+            for &x in &adc_i64 {
+                if let Some(z) = ddc.process(x) {
+                    acc ^= z.i + z.q;
+                }
+            }
+            black_box(acc);
+        });
+        let mut ddc_b = FixedDdc::new(cfg.clone());
+        let mut out = Vec::with_capacity(n / 2688 + 1);
+        let blk = measure(n, || {
+            out.clear();
+            ddc_b.process_into(&adc, &mut out);
+            black_box(out.len());
+        });
+        results.push(StageResult {
+            name: "fixed_ddc_drm_chain",
+            per_sample_msps: per / 1e6,
+            block_msps: blk / 1e6,
+        });
+    }
+
+    // --- Two-thread pipelined chain (block kernels both ends) -----
+    let pipelined_msps = measure(n, || {
+        black_box(run_pipelined(&cfg, &adc, 4096).len());
+    }) / 1e6;
+
+    // --- Report ----------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"ddc block kernels vs per-sample\",\n");
+    json.push_str(&format!(
+        "  \"config\": \"DRM preset, fs = {} MHz, {}-bit data, tune 10 MHz\",\n",
+        fs / 1e6,
+        f.data_bits
+    ));
+    json.push_str(&format!("  \"input_samples\": {n},\n"));
+    json.push_str(&format!(
+        "  \"build\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    json.push_str("  \"stages\": [\n");
+    for (k, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"stage\": \"{}\", \"per_sample_msps\": {:.2}, \"block_msps\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.per_sample_msps,
+            r.block_msps,
+            r.speedup(),
+            if k + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"pipelined_two_thread_msps\": {:.2}\n",
+        pipelined_msps
+    ));
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_kernels.json", &json).expect("cannot write BENCH_kernels.json");
+
+    println!(
+        "{:<22} {:>14} {:>14} {:>9}",
+        "stage", "per-sample", "block", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<22} {:>9.2} Ms/s {:>9.2} Ms/s {:>8.2}x",
+            r.name,
+            r.per_sample_msps,
+            r.block_msps,
+            r.speedup()
+        );
+    }
+    println!("pipelined (2 threads)  {pipelined_msps:>24.2} Ms/s");
+    println!("wrote BENCH_kernels.json");
+}

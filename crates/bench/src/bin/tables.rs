@@ -13,7 +13,10 @@ use ddc_bench::tables;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: tables [all | --list | <id>...]  (ids: {})", tables::ALL_IDS.join(", "));
+        eprintln!(
+            "usage: tables [all | --list | <id>...]  (ids: {})",
+            tables::ALL_IDS.join(", ")
+        );
         std::process::exit(2);
     }
     if args.iter().any(|a| a == "--list") {

@@ -29,10 +29,28 @@ use std::fmt::Write as _;
 
 /// All experiment ids in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "table1", "fig1", "fig2", "fig3", "table2", "fig4", "scaling", "table3", "table4", "fig5",
-    "table5", "fig8", "table6", "fig9", "table7", "scenario",
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "table2",
+    "fig4",
+    "scaling",
+    "table3",
+    "table4",
+    "fig5",
+    "table5",
+    "fig8",
+    "table6",
+    "fig9",
+    "table7",
+    "scenario",
     // extensions beyond the paper (DESIGN.md §6)
-    "compensation", "pruning", "battery", "array", "devices",
+    "compensation",
+    "pruning",
+    "battery",
+    "array",
+    "devices",
 ];
 
 /// Renders one experiment by id.
@@ -73,7 +91,11 @@ pub fn table1() -> String {
     let [r0, r1, r2, r3] = cfg.stage_rates();
     let mut out = String::new();
     header(&mut out, "Table 1 — Clock speed and decimation in a DDC");
-    let _ = writeln!(out, "{:<14} {:>18} {:>12}", "Component", "Clock/sample rate", "Decimation");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>18} {:>12}",
+        "Component", "Clock/sample rate", "Decimation"
+    );
     let rows = [
         ("NCO", r0, None),
         ("CIC2", r0, Some(cfg.cic1_decim)),
@@ -119,7 +141,10 @@ pub fn fig1() -> String {
     let sp = periodogram_complex(tail, 24_000.0, 512, Window::BlackmanHarris);
     let (f_peak, p) = sp.peak();
     let mut out = String::new();
-    header(&mut out, "Figure 1 — DDC algorithm (numerical demonstration)");
+    header(
+        &mut out,
+        "Figure 1 — DDC algorithm (numerical demonstration)",
+    );
     let _ = writeln!(
         out,
         "input: 64.512 MSPS real; NCO at {:.3} MHz; X → CIC2(÷16) → CIC5(÷21) → FIR125(÷8) → 24 kHz I/Q",
@@ -146,7 +171,10 @@ pub fn fig2() -> String {
     }
     let p = CicParams::new(2, 16, 12);
     let mut out = String::new();
-    header(&mut out, "Figure 2 — CIC2 (integrators + decimator + combs)");
+    header(
+        &mut out,
+        "Figure 2 — CIC2 (integrators + decimator + combs)",
+    );
     let _ = writeln!(out, "impulse response (decimated, renormalised): {resp:?}");
     let _ = writeln!(
         out,
@@ -173,7 +201,10 @@ pub fn fig3() -> String {
         .map(|(k, &y)| (y - dense[(k + 1) * 5 - 1]).abs())
         .fold(0.0f64, f64::max);
     let mut out = String::new();
-    header(&mut out, "Figure 3 — polyphase FIR ≡ dense FIR + decimation");
+    header(
+        &mut out,
+        "Figure 3 — polyphase FIR ≡ dense FIR + decimation",
+    );
     let _ = writeln!(
         out,
         "25-tap filter, decimation 5, 200 random samples: {} polyphase outputs, max |Δ| vs dense+keep-1-in-5 = {worst:.2e}",
@@ -194,15 +225,34 @@ pub fn table2() -> String {
     let mut out = String::new();
     header(&mut out, "Table 2 — Configuration of a TI Quad DDC");
     let _ = writeln!(out, "{:<42} {:>20}", "Parameter", "Value");
-    let _ = writeln!(out, "{:<42} {:>20}", "Input speed of filter", "up to 100 MSPS");
-    let _ = writeln!(out, "{:<42} {:>20}", "Input size of filter", "14 (4ch) / 16-bit (3ch)");
-    let _ = writeln!(out, "{:<42} {:>20}", "Decimation of a channel", "32 to 16384");
-    let _ = writeln!(out, "{:<42} {:>20}", "Output size of filter", "12/16/20/24-bit");
+    let _ = writeln!(
+        out,
+        "{:<42} {:>20}",
+        "Input speed of filter", "up to 100 MSPS"
+    );
+    let _ = writeln!(
+        out,
+        "{:<42} {:>20}",
+        "Input size of filter", "14 (4ch) / 16-bit (3ch)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<42} {:>20}",
+        "Decimation of a channel", "32 to 16384"
+    );
+    let _ = writeln!(
+        out,
+        "{:<42} {:>20}",
+        "Output size of filter", "12/16/20/24-bit"
+    );
     let _ = writeln!(
         out,
         "{:<42} {:>20}",
         "Energy for a GSM channel (80 MHz, 2.5 V)",
-        format!("{:.0} mW", Gc4016Model::paper_reference().power().total().mw())
+        format!(
+            "{:.0} mW",
+            Gc4016Model::paper_reference().power().total().mw()
+        )
     );
     let _ = writeln!(
         out,
@@ -241,17 +291,33 @@ pub fn fig4() -> String {
 
 /// §3.1.2 / §3.2: the technology-scaling estimates.
 pub fn scaling() -> String {
-    let gc = TechnologyNode::UM_250
-        .scale_dynamic_power(ddc_arch_model::Power::from_mw(115.0), TechnologyNode::UM_130);
+    let gc = TechnologyNode::UM_250.scale_dynamic_power(
+        ddc_arch_model::Power::from_mw(115.0),
+        TechnologyNode::UM_130,
+    );
     let cu = TechnologyNode::UM_180
         .scale_dynamic_power(ddc_arch_model::Power::from_mw(27.0), TechnologyNode::UM_130);
-    let cy = TechnologyNode::UM_90
-        .scale_dynamic_power(ddc_arch_model::Power::from_mw(31.11), TechnologyNode::UM_130);
+    let cy = TechnologyNode::UM_90.scale_dynamic_power(
+        ddc_arch_model::Power::from_mw(31.11),
+        TechnologyNode::UM_130,
+    );
     let mut out = String::new();
     header(&mut out, "§3 — P ∝ C·f·V² technology scaling");
-    let _ = writeln!(out, "GC4016    115 mW @0.25 µm/2.5 V → {:.1} mW @0.13 µm/1.2 V (paper: 13.8)", gc.mw());
-    let _ = writeln!(out, "Custom     27 mW @0.18 µm/1.8 V → {:.1} mW @0.13 µm/1.2 V (paper: 8.7)", cu.mw());
-    let _ = writeln!(out, "CycloneII 31.1 mW @0.09 µm/1.2 V → {:.1} mW @0.13 µm/1.2 V (paper: 44.94)", cy.mw());
+    let _ = writeln!(
+        out,
+        "GC4016    115 mW @0.25 µm/2.5 V → {:.1} mW @0.13 µm/1.2 V (paper: 13.8)",
+        gc.mw()
+    );
+    let _ = writeln!(
+        out,
+        "Custom     27 mW @0.18 µm/1.8 V → {:.1} mW @0.13 µm/1.2 V (paper: 8.7)",
+        cu.mw()
+    );
+    let _ = writeln!(
+        out,
+        "CycloneII 31.1 mW @0.09 µm/1.2 V → {:.1} mW @0.13 µm/1.2 V (paper: 44.94)",
+        cy.mw()
+    );
     out
 }
 
@@ -302,9 +368,15 @@ pub fn table4() -> String {
     let mut out = String::new();
     header(&mut out, "Table 4 — Synthesis results for Cyclone I and II");
     let _ = writeln!(out, "{c1}");
-    let _ = writeln!(out, "  paper: 1,656 / 2,910 LEs (56 %), 41 pins, 6,780 bits, fmax 66.08 MHz");
+    let _ = writeln!(
+        out,
+        "  paper: 1,656 / 2,910 LEs (56 %), 41 pins, 6,780 bits, fmax 66.08 MHz"
+    );
     let _ = writeln!(out, "{c2}");
-    let _ = writeln!(out, "  paper: 906 / 4,608 LEs (20 %), 41 pins, 7,686 bits, 8 multipliers, fmax 80.87 MHz");
+    let _ = writeln!(
+        out,
+        "  paper: 906 / 4,608 LEs (20 %), 41 pins, 7,686 bits, 8 multipliers, fmax 80.87 MHz"
+    );
     out
 }
 
@@ -339,7 +411,10 @@ pub fn fig5() -> String {
 /// Cyclone II reference point of §5.2.2).
 pub fn render_table5() -> String {
     let mut out = String::new();
-    header(&mut out, "Table 5 — Power consumption of Cyclone I (input toggle 50 %)");
+    header(
+        &mut out,
+        "Table 5 — Power consumption of Cyclone I (input toggle 50 %)",
+    );
     let _ = writeln!(
         out,
         "{:>8} {:>12} {:>12} {:>12} {:>12}",
@@ -369,7 +444,10 @@ pub fn render_table5() -> String {
 pub fn fig8() -> String {
     let cfg = DdcConfig::drm_montium(10e6);
     let fs = cfg.input_rate;
-    let input = adc_quantize(&Tone::new(10_002_000.0, fs, 0.6, 0.0).take_vec(2688 * 4), 16);
+    let input = adc_quantize(
+        &Tone::new(10_002_000.0, fs, 0.6, 0.0).take_vec(2688 * 4),
+        16,
+    );
     let mut fixed = FixedDdc::new(cfg.clone());
     let expect = fixed.process_block(&input);
     let run = run_montium(cfg, &input, 0);
@@ -383,7 +461,11 @@ pub fn fig8() -> String {
         out,
         "bit-exactness vs the 16-bit reference chain over {} outputs: {}",
         expect.len(),
-        if run.outputs == expect { "IDENTICAL" } else { "MISMATCH" }
+        if run.outputs == expect {
+            "IDENTICAL"
+        } else {
+            "MISMATCH"
+        }
     );
     out
 }
@@ -440,7 +522,10 @@ pub fn fig9() -> String {
     );
     let run = run_montium(cfg, &input, 40);
     let mut out = String::new();
-    header(&mut out, "Figure 9 — First 40 clock cycles of the DDC on the Montium");
+    header(
+        &mut out,
+        "Figure 9 — First 40 clock cycles of the DDC on the Montium",
+    );
     out.push_str(&render_schedule(&run.tile));
     out
 }
@@ -465,12 +550,27 @@ pub fn scenario() -> String {
     let c = Conclusions::new(&t);
     let mut out = String::new();
     header(&mut out, "§7 — Scenario analysis");
-    let _ = writeln!(out, "static scenario winner:                 {}", c.static_winner());
-    let _ = writeln!(out, "reconfigurable winner (native nodes):   {}", c.reconfigurable_winner_native());
-    let _ = writeln!(out, "reconfigurable winner (all at 0.13 µm): {}", c.reconfigurable_winner_scaled());
+    let _ = writeln!(
+        out,
+        "static scenario winner:                 {}",
+        c.static_winner()
+    );
+    let _ = writeln!(
+        out,
+        "reconfigurable winner (native nodes):   {}",
+        c.reconfigurable_winner_native()
+    );
+    let _ = writeln!(
+        out,
+        "reconfigurable winner (all at 0.13 µm): {}",
+        c.reconfigurable_winner_scaled()
+    );
     let duties = [1.0, 0.75, 0.5, 0.25, 0.1, 0.05, 0.01];
     let sweep = duty_cycle_sweep(&t, &duties);
-    let _ = writeln!(out, "\nattributable power [mW] vs duty cycle (fabrics amortised, dedicated devices leak):");
+    let _ = writeln!(
+        out,
+        "\nattributable power [mW] vs duty cycle (fabrics amortised, dedicated devices leak):"
+    );
     let _ = write!(out, "{:<28}", "duty");
     for d in duties {
         let _ = write!(out, "{:>9.2}", d);
@@ -495,38 +595,12 @@ pub fn op_budget_summary() -> String {
     for p in StagePart::all() {
         let _ = writeln!(out, "{:<22} {:>6.2}%", p.name(), 100.0 * b.fraction(p));
     }
-    let _ = writeln!(out, "total {:.1} Mops/s for the complex DDC", b.ops_per_sec_total() / 1e6);
+    let _ = writeln!(
+        out,
+        "total {:.1} Mops/s for the complex DDC",
+        b.ops_per_sec_total() / 1e6
+    );
     out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn every_id_renders() {
-        for id in ALL_IDS {
-            let s = render(id).unwrap_or_else(|| panic!("{id} missing"));
-            assert!(s.len() > 80, "{id} suspiciously short:\n{s}");
-            assert!(s.contains("===="), "{id} missing header");
-        }
-    }
-
-    #[test]
-    fn unknown_id_is_none() {
-        assert!(render("table99").is_none());
-    }
-
-    #[test]
-    fn fig8_reports_identical() {
-        assert!(fig8().contains("IDENTICAL"));
-    }
-
-    #[test]
-    fn op_budget_sums_to_100() {
-        let s = op_budget_summary();
-        assert!(s.contains("NCO"));
-    }
 }
 
 /// Extension: CIC droop compensation on the wide-band chain variant.
@@ -586,7 +660,10 @@ pub fn battery() -> String {
     let t = ddc_energy::table7();
     let rows = battery_study(&t, Battery::PDA_2006);
     let mut out = String::new();
-    header(&mut out, "Extension — battery life (1200 mAh / 3.7 V PDA cell)");
+    header(
+        &mut out,
+        "Extension — battery life (1200 mAh / 3.7 V PDA cell)",
+    );
     let _ = writeln!(
         out,
         "{:<28} {:>14} {:>14} {:>16}",
@@ -607,7 +684,11 @@ pub fn array() -> String {
     use ddc_arch_montium::MontiumArray;
     let mut out = String::new();
     header(&mut out, "Extension — Montium multi-tile array");
-    let _ = writeln!(out, "{:>6} {:>12} {:>12} {:>14}", "tiles", "power", "area", "channels");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>12} {:>14}",
+        "tiles", "power", "area", "channels"
+    );
     for n in [1usize, 2, 4] {
         let a = MontiumArray::new(vec![DdcConfig::drm_montium(10e6); n]);
         let _ = writeln!(
@@ -653,4 +734,34 @@ pub fn devices() -> String {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_renders() {
+        for id in ALL_IDS {
+            let s = render(id).unwrap_or_else(|| panic!("{id} missing"));
+            assert!(s.len() > 80, "{id} suspiciously short:\n{s}");
+            assert!(s.contains("===="), "{id} missing header");
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(render("table99").is_none());
+    }
+
+    #[test]
+    fn fig8_reports_identical() {
+        assert!(fig8().contains("IDENTICAL"));
+    }
+
+    #[test]
+    fn op_budget_sums_to_100() {
+        let s = op_budget_summary();
+        assert!(s.contains("NCO"));
+    }
 }

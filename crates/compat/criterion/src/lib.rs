@@ -1,0 +1,253 @@
+//! Offline stand-in for the subset of the `criterion` crate this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal bench harness with the same surface syntax:
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups with
+//! [`BenchmarkGroup::throughput`] annotations, `bench_function` /
+//! `bench_with_input`, and `Bencher::iter`.
+//!
+//! Behaviour: under `cargo bench` (the binary receives `--bench`) each
+//! benchmark is warmed up and timed until a wall-clock budget is spent,
+//! then the mean time per iteration and the derived element throughput
+//! are printed. Under `cargo test` (any other invocation) every
+//! benchmark body runs exactly **once** as a smoke test, so benches
+//! stay compile- and run-checked without slowing the test suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a bench invocation should behave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Measure,
+    /// Run each body once (`cargo test`).
+    Smoke,
+}
+
+/// The top-level harness handle passed to benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Criterion {
+    /// Builds the harness from the process arguments (`--bench` selects
+    /// full measurement, anything else a single smoke run).
+    pub fn from_args() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if measure { Mode::Measure } else { Mode::Smoke },
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            mode: self.mode,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (samples) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    mode: Mode,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units processed per iteration for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility; the time budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Accepted for API compatibility; the time budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) {}
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.id, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    /// Closes the group (printing is immediate; nothing deferred).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            mode: self.mode,
+            ns_per_iter: None,
+        };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id);
+        match (self.mode, b.ns_per_iter) {
+            (Mode::Measure, Some(ns)) => {
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  {:10.2} Melem/s", n as f64 / ns * 1e3)
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!("  {:10.2} MiB/s", n as f64 / ns * 1e3 / 1.048_576)
+                    }
+                    None => String::new(),
+                };
+                println!("{label:<44} {ns:>12.1} ns/iter{rate}");
+            }
+            (Mode::Measure, None) => println!("{label:<44}  (no iter call)"),
+            (Mode::Smoke, _) => println!("{label:<44}  ok (smoke)"),
+        }
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up, then timed batches until the budget
+    /// is spent (smoke mode runs it exactly once).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            self.ns_per_iter = None;
+            return;
+        }
+        // Warm-up: at least 3 calls and 50 ms.
+        let warm = Instant::now();
+        let mut calls = 0u64;
+        while calls < 3 || warm.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm.elapsed().as_nanos() as f64 / calls as f64;
+        // Measurement: batches sized to ~10 ms, total ~300 ms.
+        let batch = ((10e6 / per_call.max(1.0)).ceil() as u64).max(1);
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_millis(300) {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.ns_per_iter = Some(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        let mut runs = 0;
+        g.bench_function("one", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut g = c.benchmark_group("g");
+        let data = vec![1u64, 2, 3];
+        let mut seen = 0;
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &data, |b, d| {
+            b.iter(|| {
+                seen = d.len();
+                seen
+            })
+        });
+        g.finish();
+        assert_eq!(seen, 3);
+    }
+}

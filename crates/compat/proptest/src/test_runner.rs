@@ -1,0 +1,92 @@
+//! Runner configuration, the case RNG and the error type carried by
+//! `prop_assert!`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// Runner configuration (only the `cases` knob is honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases drawn per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest default; our properties are cheap enough.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The per-test deterministic random source strategies draw from.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for a named test: the seed is a hash of the test
+    /// name, so every test gets a distinct but reproducible stream.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw in `[0, span)` (`span > 0`).
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0);
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)` with 53-bit resolution.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in a half-open range.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        self.inner.gen_range(range)
+    }
+}
+
+/// The failure carried out of a property body by `prop_assert!`.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given explanation.
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

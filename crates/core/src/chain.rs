@@ -55,6 +55,69 @@ impl FloatCic {
         }
         Some(v * self.norm)
     }
+
+    /// Grouped block kernel, bit-exact with [`FloatCic::process`] (the
+    /// f64 operations run in the identical order): integrators run
+    /// branch-free to each decimation boundary, combs once per group.
+    fn process_block(&mut self, input: &[f64], out: &mut Vec<f64>) {
+        out.reserve(input.len() / self.decim as usize + 1);
+        let r = self.decim as usize;
+        let mut i = 0;
+        while i < input.len() {
+            let take = (r - self.phase as usize).min(input.len() - i);
+            for &x in &input[i..i + take] {
+                let mut v = x;
+                for acc in self.integrators.iter_mut() {
+                    *acc += v;
+                    v = *acc;
+                }
+            }
+            i += take;
+            self.phase += take as u32;
+            if self.phase == self.decim {
+                self.phase = 0;
+                let mut v = *self.integrators.last().expect("order >= 1");
+                for d in self.combs.iter_mut() {
+                    let delayed = *d;
+                    *d = v;
+                    v -= delayed;
+                }
+                out.push(v * self.norm);
+            }
+        }
+    }
+}
+
+/// Reusable intermediate buffers for [`ReferenceDdc::process_into`].
+/// `Vec::clear` keeps capacity, so after the first block the chain
+/// performs no heap allocation in steady state.
+#[derive(Clone, Debug, Default)]
+struct RefScratch {
+    lo: Vec<(f64, f64)>,
+    lo_fixed: Vec<crate::nco::CosSin>,
+    mix_i: Vec<f64>,
+    mix_q: Vec<f64>,
+    c1_i: Vec<f64>,
+    c1_q: Vec<f64>,
+    c2_i: Vec<f64>,
+    c2_q: Vec<f64>,
+    f_i: Vec<f64>,
+    f_q: Vec<f64>,
+}
+
+impl RefScratch {
+    fn clear(&mut self) {
+        self.lo.clear();
+        self.lo_fixed.clear();
+        self.mix_i.clear();
+        self.mix_q.clear();
+        self.c1_i.clear();
+        self.c1_q.clear();
+        self.c2_i.clear();
+        self.c2_q.clear();
+        self.f_i.clear();
+        self.f_q.clear();
+    }
 }
 
 /// The floating-point reference DDC: exact-phase NCO (sharing the
@@ -74,6 +137,7 @@ pub struct ReferenceDdc {
     cic2_q: FloatCic,
     fir_i: PolyphaseFir,
     fir_q: PolyphaseFir,
+    scratch: RefScratch,
     config: DdcConfig,
 }
 
@@ -90,6 +154,7 @@ impl ReferenceDdc {
             cic2_q: FloatCic::new(config.cic2_order, config.cic2_decim),
             fir_i: PolyphaseFir::new(&config.fir_taps, config.fir_decim),
             fir_q: PolyphaseFir::new(&config.fir_taps, config.fir_decim),
+            scratch: RefScratch::default(),
             config,
         }
     }
@@ -141,15 +206,82 @@ impl ReferenceDdc {
         }
     }
 
-    /// Processes a block, returning all produced outputs.
+    /// Processes a block through the stage-level block kernels,
+    /// appending outputs to `out`. Bit-exact with per-sample
+    /// [`ReferenceDdc::process`] — every f64 operation runs in the
+    /// identical order — and, because the intermediate buffers are
+    /// owned by the chain and only cleared between blocks, performs no
+    /// heap allocation in steady state.
+    pub fn process_into(&mut self, input: &[f64], out: &mut Vec<C64>) {
+        out.reserve(input.len() / self.config.total_decimation() as usize + 1);
+        let mut s = std::mem::take(&mut self.scratch);
+        s.clear();
+        match self.lut.as_mut() {
+            Some(lut) => {
+                lut.fill_block(input.len(), &mut s.lo_fixed);
+                let full = ddc_dsp::fixed::max_signed(lut.amp_bits()) as f64;
+                s.lo.reserve(input.len());
+                for cs in &s.lo_fixed {
+                    s.lo.push((f64::from(cs.cos) / full, f64::from(cs.sin) / full));
+                }
+            }
+            None => self.osc.fill_block(input.len(), &mut s.lo),
+        }
+        s.mix_i.reserve(input.len());
+        s.mix_q.reserve(input.len());
+        for (&x, &(c, sn)) in input.iter().zip(&s.lo) {
+            let (i0, q0) = mix_f64(x, c, sn);
+            s.mix_i.push(i0);
+            s.mix_q.push(q0);
+        }
+        self.cic1_i.process_block(&s.mix_i, &mut s.c1_i);
+        self.cic1_q.process_block(&s.mix_q, &mut s.c1_q);
+        self.cic2_i.process_block(&s.c1_i, &mut s.c2_i);
+        self.cic2_q.process_block(&s.c1_q, &mut s.c2_q);
+        self.fir_i.process_block(&s.c2_i, &mut s.f_i);
+        self.fir_q.process_block(&s.c2_q, &mut s.f_q);
+        for (&i, &q) in s.f_i.iter().zip(&s.f_q) {
+            out.push(C64::new(i, q));
+        }
+        self.scratch = s;
+    }
+
+    /// Processes a block, returning all produced outputs (a thin
+    /// wrapper over [`ReferenceDdc::process_into`]).
     pub fn process_block(&mut self, input: &[f64]) -> Vec<C64> {
         let mut out = Vec::with_capacity(input.len() / self.config.total_decimation() as usize + 1);
-        for &x in input {
-            if let Some(z) = self.process(x) {
-                out.push(z);
-            }
-        }
+        self.process_into(input, &mut out);
         out
+    }
+}
+
+/// Reusable intermediate buffers for [`FixedDdc::process_into`].
+/// `Vec::clear` keeps capacity, so after the first block the chain
+/// performs no heap allocation in steady state.
+#[derive(Clone, Debug, Default)]
+struct FixedScratch {
+    lo: Vec<crate::nco::CosSin>,
+    mix_i: Vec<i64>,
+    mix_q: Vec<i64>,
+    c1_i: Vec<i64>,
+    c1_q: Vec<i64>,
+    c2_i: Vec<i64>,
+    c2_q: Vec<i64>,
+    f_i: Vec<i64>,
+    f_q: Vec<i64>,
+}
+
+impl FixedScratch {
+    fn clear(&mut self) {
+        self.lo.clear();
+        self.mix_i.clear();
+        self.mix_q.clear();
+        self.c1_i.clear();
+        self.c1_q.clear();
+        self.c2_i.clear();
+        self.c2_q.clear();
+        self.f_i.clear();
+        self.f_q.clear();
     }
 }
 
@@ -178,6 +310,7 @@ pub struct FixedDdc {
     cic2_q: CicDecimator,
     fir_i: SequentialFir,
     fir_q: SequentialFir,
+    scratch: FixedScratch,
     probes: Option<ChainProbes>,
     /// Exact linear DC gain of the whole chain (product of the CICs'
     /// power-of-two-scaled gains and the quantized FIR's DC gain) —
@@ -193,9 +326,31 @@ impl FixedDdc {
         config.validate().expect("invalid DDC configuration");
         let f = config.format;
         let coeffs = quantize_taps(&config.fir_taps, f.coeff_bits, f.coeff_frac());
-        let mk_cic1 = || CicDecimator::new(config.cic1_order, config.cic1_decim, f.data_bits, f.data_bits);
-        let mk_cic2 = || CicDecimator::new(config.cic2_order, config.cic2_decim, f.data_bits, f.data_bits);
-        let mk_fir = || SequentialFir::new(&coeffs, config.fir_decim, f.data_bits, f.coeff_bits, f.fir_acc_bits);
+        let mk_cic1 = || {
+            CicDecimator::new(
+                config.cic1_order,
+                config.cic1_decim,
+                f.data_bits,
+                f.data_bits,
+            )
+        };
+        let mk_cic2 = || {
+            CicDecimator::new(
+                config.cic2_order,
+                config.cic2_decim,
+                f.data_bits,
+                f.data_bits,
+            )
+        };
+        let mk_fir = || {
+            SequentialFir::new(
+                &coeffs,
+                config.fir_decim,
+                f.data_bits,
+                f.coeff_bits,
+                f.fir_acc_bits,
+            )
+        };
         let fir_dc_gain =
             coeffs.iter().map(|&c| f64::from(c)).sum::<f64>() / 2f64.powi(f.coeff_frac() as i32);
         let cic1 = mk_cic1();
@@ -210,6 +365,7 @@ impl FixedDdc {
             cic2_q: cic2,
             fir_i: mk_fir(),
             fir_q: mk_fir(),
+            scratch: FixedScratch::default(),
             probes: None,
             nominal_gain,
             config,
@@ -285,14 +441,46 @@ impl FixedDdc {
         }
     }
 
-    /// Processes a block of ADC words.
+    /// Processes a block of ADC words through the stage-level block
+    /// kernels, appending outputs to `out`. Bit-exact with per-sample
+    /// [`FixedDdc::process`]. The intermediate buffers are owned by
+    /// the chain and only cleared (capacity kept) between blocks, so
+    /// steady-state processing performs no heap allocation.
+    ///
+    /// When activity probes are enabled the chain falls back to the
+    /// per-sample path, which observes every intermediate word.
+    pub fn process_into(&mut self, input: &[i32], out: &mut Vec<Iq>) {
+        out.reserve(input.len() / self.config.total_decimation() as usize + 1);
+        if self.probes.is_some() {
+            for &x in input {
+                if let Some(z) = self.process(i64::from(x)) {
+                    out.push(z);
+                }
+            }
+            return;
+        }
+        let mut s = std::mem::take(&mut self.scratch);
+        s.clear();
+        self.nco.fill_block(input.len(), &mut s.lo);
+        self.mixer
+            .mix_block_split(input, &s.lo, &mut s.mix_i, &mut s.mix_q);
+        self.cic1_i.process_block(&s.mix_i, &mut s.c1_i);
+        self.cic1_q.process_block(&s.mix_q, &mut s.c1_q);
+        self.cic2_i.process_block(&s.c1_i, &mut s.c2_i);
+        self.cic2_q.process_block(&s.c1_q, &mut s.c2_q);
+        self.fir_i.process_block(&s.c2_i, &mut s.f_i);
+        self.fir_q.process_block(&s.c2_q, &mut s.f_q);
+        for (&i, &q) in s.f_i.iter().zip(&s.f_q) {
+            out.push(Iq { i, q });
+        }
+        self.scratch = s;
+    }
+
+    /// Processes a block of ADC words (a thin wrapper over
+    /// [`FixedDdc::process_into`]).
     pub fn process_block(&mut self, input: &[i32]) -> Vec<Iq> {
         let mut out = Vec::with_capacity(input.len() / self.config.total_decimation() as usize + 1);
-        for &x in input {
-            if let Some(z) = self.process(i64::from(x)) {
-                out.push(z);
-            }
-        }
+        self.process_into(input, &mut out);
         out
     }
 
@@ -382,6 +570,54 @@ mod tests {
     }
 
     #[test]
+    fn block_chain_matches_per_sample() {
+        // Both full chains must be bit-exact between the per-sample
+        // path and the block-kernel path, across ragged chunk sizes
+        // that split decimation groups at every stage.
+        let cfg = DdcConfig::drm(10e6);
+        let fs = cfg.input_rate;
+        let mut src = ddc_dsp::signal::Mix(
+            Tone::new(10e6 + 3_000.0, fs, 0.6, 0.1),
+            WhiteNoise::new(11, 0.2),
+        );
+        let analog = src.take_vec(input_len(12));
+        let adc = adc_quantize(&analog, 12);
+
+        let mut per_sample = FixedDdc::new(cfg.clone());
+        let mut expect = Vec::new();
+        for &x in &adc {
+            if let Some(z) = per_sample.process(i64::from(x)) {
+                expect.push(z);
+            }
+        }
+        let mut blocked = FixedDdc::new(cfg.clone());
+        let mut got = Vec::new();
+        for chunk in adc.chunks(997) {
+            blocked.process_into(chunk, &mut got);
+        }
+        assert_eq!(got, expect);
+
+        // ReferenceDdc: f64 payloads compared bit-for-bit.
+        let mut ref_per = ReferenceDdc::with_table_nco(cfg.clone());
+        let mut ref_expect = Vec::new();
+        for &x in &analog {
+            if let Some(z) = ref_per.process(x) {
+                ref_expect.push(z);
+            }
+        }
+        let mut ref_blocked = ReferenceDdc::with_table_nco(cfg);
+        let mut ref_got = Vec::new();
+        for chunk in analog.chunks(997) {
+            ref_blocked.process_into(chunk, &mut ref_got);
+        }
+        assert_eq!(ref_got.len(), ref_expect.len());
+        for (k, (a, b)) in ref_got.iter().zip(&ref_expect).enumerate() {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "I diverged at output {k}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "Q diverged at output {k}");
+        }
+    }
+
+    #[test]
     fn fixed_chain_rate_and_range() {
         let cfg = DdcConfig::drm(10e6);
         let fs = cfg.input_rate;
@@ -445,7 +681,10 @@ mod tests {
         };
         let ser12 = measure(DdcConfig::drm(f_tune), 12);
         let ser16 = measure(DdcConfig::drm_montium(f_tune), 16);
-        assert!(ser16 > ser12 + 10.0, "12-bit {ser12} dB vs 16-bit {ser16} dB");
+        assert!(
+            ser16 > ser12 + 10.0,
+            "12-bit {ser12} dB vs 16-bit {ser16} dB"
+        );
     }
 
     #[test]

@@ -196,7 +196,12 @@ mod tests {
             .collect();
         let rf = duc.process_block(&bb);
         let n = 1 << 17;
-        let sp = periodogram_real(&rf[rf.len() - n..], cfg.input_rate, n, Window::BlackmanHarris);
+        let sp = periodogram_real(
+            &rf[rf.len() - n..],
+            cfg.input_rate,
+            n,
+            Window::BlackmanHarris,
+        );
         let (f_peak, _) = sp.peak();
         assert!(
             (f_peak - (f_tune + offset)).abs() < 2.0 * cfg.input_rate / n as f64,
@@ -251,7 +256,12 @@ mod tests {
             .collect();
         let rf = duc.process_block(&bb);
         let n = 1 << 17;
-        let sp = periodogram_real(&rf[rf.len() - n..], cfg.input_rate, n, Window::BlackmanHarris);
+        let sp = periodogram_real(
+            &rf[rf.len() - n..],
+            cfg.input_rate,
+            n,
+            Window::BlackmanHarris,
+        );
         let main = sp.band_power(f_tune + 3_000.0, f_tune + 5_000.0);
         let image = sp.band_power(f_tune + 19_000.0, f_tune + 21_000.0);
         let rej_db = 10.0 * (main / image.max(1e-30)).log10();

@@ -99,6 +99,61 @@ impl PolyphaseFir {
         Some(acc)
     }
 
+    /// Feeds a block, appending produced outputs to `out`. Bit-exact
+    /// with per-sample [`PolyphaseFir::process`]: the dot product
+    /// accumulates newest→oldest in the same order (f64 addition is not
+    /// associative, so the order is part of the contract), but runs as
+    /// two flat slice segments instead of a per-tap wraparound branch,
+    /// and the delay line is filled with two `copy_from_slice` calls
+    /// per decimation group.
+    pub fn process_block(&mut self, input: &[f64], out: &mut Vec<f64>) {
+        out.reserve(input.len() / self.decim as usize + 1);
+        let decim = self.decim as usize;
+        let mut i = 0;
+        while i < input.len() {
+            let take = (decim - self.phase as usize).min(input.len() - i);
+            self.write_group(&input[i..i + take]);
+            i += take;
+            self.phase += take as u32;
+            if self.phase == self.decim {
+                self.phase = 0;
+                out.push(self.output_word());
+            }
+        }
+    }
+
+    /// Writes a run of consecutive samples into the circular delay
+    /// line (at most two contiguous copies; runs longer than the line
+    /// keep only the trailing `taps.len()` samples, as per-sample
+    /// writes would).
+    fn write_group(&mut self, xs: &[f64]) {
+        let n = self.delay.len();
+        let skip = xs.len().saturating_sub(n);
+        let xs = &xs[skip..];
+        self.pos = (self.pos + skip) % n;
+        let first = (n - self.pos).min(xs.len());
+        self.delay[self.pos..self.pos + first].copy_from_slice(&xs[..first]);
+        self.delay[..xs.len() - first].copy_from_slice(&xs[first..]);
+        self.pos = (self.pos + xs.len()) % n;
+    }
+
+    /// Two-segment flat dot product over the circular delay line,
+    /// newest sample first.
+    fn output_word(&self) -> f64 {
+        let n = self.taps.len();
+        let newest = if self.pos == 0 { n - 1 } else { self.pos - 1 };
+        let (h_a, h_b) = self.taps.split_at(newest + 1);
+        let (d_a, d_b) = self.delay.split_at(newest + 1);
+        let mut acc = 0.0;
+        for (&h, &s) in h_a.iter().zip(d_a.iter().rev()) {
+            acc += h * s;
+        }
+        for (&h, &s) in h_b.iter().zip(d_b.iter().rev()) {
+            acc += h * s;
+        }
+        acc
+    }
+
     /// Resets delay-line state.
     pub fn reset(&mut self) {
         self.delay.fill(0.0);
@@ -213,6 +268,73 @@ impl SequentialFir {
         Some(saturate(trunc_shift(acc, self.coeff_frac), self.data_bits))
     }
 
+    /// Feeds a block, appending produced outputs to `out`. Bit-exact
+    /// with per-sample [`SequentialFir::process`] (same newest→oldest
+    /// MAC order, same accumulator-width checks in debug builds), but
+    /// with the per-tap `if idx == 0 { n − 1 }` wraparound replaced by
+    /// a two-segment flat dot product and the RAM writes batched into
+    /// at most two `copy_from_slice` calls per decimation group.
+    pub fn process_block(&mut self, input: &[i64], out: &mut Vec<i64>) {
+        out.reserve(input.len() / self.decim as usize + 1);
+        let decim = self.decim as usize;
+        let mut i = 0;
+        while i < input.len() {
+            let take = (decim - self.phase as usize).min(input.len() - i);
+            self.write_group(&input[i..i + take]);
+            i += take;
+            self.phase += take as u32;
+            if self.phase == self.decim {
+                self.phase = 0;
+                out.push(self.output_word());
+            }
+        }
+    }
+
+    /// Writes a run of consecutive samples into the circular RAM (at
+    /// most two contiguous copies; runs longer than the RAM keep only
+    /// the trailing `taps()` samples, as per-sample writes would).
+    fn write_group(&mut self, xs: &[i64]) {
+        #[cfg(debug_assertions)]
+        for &x in xs {
+            debug_assert!(fits(x, self.data_bits), "input {x} wider than bus");
+        }
+        let n = self.ram.len();
+        let skip = xs.len().saturating_sub(n);
+        let xs = &xs[skip..];
+        self.pos = (self.pos + skip) % n;
+        let first = (n - self.pos).min(xs.len());
+        self.ram[self.pos..self.pos + first].copy_from_slice(&xs[..first]);
+        self.ram[..xs.len() - first].copy_from_slice(&xs[first..]);
+        self.pos = (self.pos + xs.len()) % n;
+    }
+
+    /// Two-segment flat MAC over the circular RAM, newest sample first,
+    /// then the truncate-and-saturate output stage.
+    fn output_word(&self) -> i64 {
+        let n = self.coeffs.len();
+        let newest = if self.pos == 0 { n - 1 } else { self.pos - 1 };
+        let (h_a, h_b) = self.coeffs.split_at(newest + 1);
+        let (ram_a, ram_b) = self.ram.split_at(newest + 1);
+        let mut acc: i64 = 0;
+        for (&h, &s) in h_a.iter().zip(ram_a.iter().rev()) {
+            acc += i64::from(h) * s;
+            debug_assert!(
+                fits(acc, self.acc_bits),
+                "accumulator {acc} overflowed {} bits — widths mis-sized",
+                self.acc_bits
+            );
+        }
+        for (&h, &s) in h_b.iter().zip(ram_b.iter().rev()) {
+            acc += i64::from(h) * s;
+            debug_assert!(
+                fits(acc, self.acc_bits),
+                "accumulator {acc} overflowed {} bits — widths mis-sized",
+                self.acc_bits
+            );
+        }
+        saturate(trunc_shift(acc, self.coeff_frac), self.data_bits)
+    }
+
     /// Resets RAM and phase.
     pub fn reset(&mut self) {
         self.ram.fill(0);
@@ -297,6 +419,47 @@ mod tests {
             assert_eq!(y, expect, "output {k}");
         }
         assert_eq!(got.len(), input.len() / 8);
+    }
+
+    #[test]
+    fn block_kernels_match_per_sample() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        // SequentialFir: exact integer equality, including a decimation
+        // factor larger than the tap count (exercises the trailing-run
+        // skip in the circular RAM write).
+        let coeffs: Vec<i32> = (0..125).map(|_| rng.gen_range(-300..300)).collect();
+        let input: Vec<i64> = (0..3000).map(|_| rng.gen_range(-2048i64..=2047)).collect();
+        for decim in [1u32, 3, 8, 200] {
+            let mut per_sample = SequentialFir::new(&coeffs, decim, 12, 12, 34);
+            let mut blocked = per_sample.clone();
+            let expect: Vec<i64> = input
+                .iter()
+                .filter_map(|&x| per_sample.process(x))
+                .collect();
+            let mut got = Vec::new();
+            for chunk in input.chunks(53) {
+                blocked.process_block(chunk, &mut got);
+            }
+            assert_eq!(got, expect, "decim {decim}");
+        }
+        // PolyphaseFir: f64 addition is order-sensitive, so bit-exact
+        // equality here proves the block path preserves the per-sample
+        // accumulation order.
+        let taps: Vec<f64> = (0..25).map(|_| rng.gen_range(-0.2..0.2)).collect();
+        let finput: Vec<f64> = (0..1000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        for decim in [1u32, 2, 5, 8, 60] {
+            let mut per_sample = PolyphaseFir::new(&taps, decim);
+            let mut blocked = per_sample.clone();
+            let expect: Vec<f64> = finput
+                .iter()
+                .filter_map(|&x| per_sample.process(x))
+                .collect();
+            let mut got = Vec::new();
+            for chunk in finput.chunks(17) {
+                blocked.process_block(chunk, &mut got);
+            }
+            assert_eq!(got, expect, "decim {decim}");
+        }
     }
 
     #[test]

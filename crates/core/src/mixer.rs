@@ -60,6 +60,62 @@ impl FixedMixer {
         );
         Iq { i, q }
     }
+
+    /// Mixes a block of samples against a block of NCO outputs,
+    /// appending to `out`. Bit-exact with per-sample [`FixedMixer::mix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `xs.len() == lo.len()`.
+    pub fn mix_block(&self, xs: &[i64], lo: &[CosSin], out: &mut Vec<Iq>) {
+        assert_eq!(xs.len(), lo.len(), "sample/LO block length mismatch");
+        out.reserve(xs.len());
+        for (&x, cs) in xs.iter().zip(lo) {
+            out.push(self.mix(x, *cs));
+        }
+    }
+
+    /// As [`FixedMixer::mix_block`] for `i32` ADC samples (the input
+    /// format of the full chain), widening each to `i64` exactly as the
+    /// per-sample path does.
+    pub fn mix_block_i32(&self, xs: &[i32], lo: &[CosSin], out: &mut Vec<Iq>) {
+        assert_eq!(xs.len(), lo.len(), "sample/LO block length mismatch");
+        out.reserve(xs.len());
+        for (&x, cs) in xs.iter().zip(lo) {
+            out.push(self.mix(i64::from(x), *cs));
+        }
+    }
+
+    /// Mixes a block of ADC samples into *separate* I and Q streams —
+    /// the layout the downstream per-rail CIC block kernels consume.
+    /// Bit-exact with per-sample [`FixedMixer::mix`]: the round-shift
+    /// is inlined with its half-LSB constant hoisted (`coeff_frac ≥ 1`
+    /// always, so the `shift == 0` case cannot arise), and each rail
+    /// runs as its own pass so the compiler can vectorise the
+    /// multiply–round–clamp independently.
+    pub fn mix_block_split(
+        &self,
+        xs: &[i32],
+        lo: &[CosSin],
+        out_i: &mut Vec<i64>,
+        out_q: &mut Vec<i64>,
+    ) {
+        assert_eq!(xs.len(), lo.len(), "sample/LO block length mismatch");
+        let half = 1i64 << (self.coeff_frac - 1);
+        let shift = self.coeff_frac;
+        let top = ddc_dsp::fixed::max_signed(self.data_bits);
+        let bot = ddc_dsp::fixed::min_signed(self.data_bits);
+        out_i.extend(
+            xs.iter().zip(lo).map(|(&x, cs)| {
+                ((i64::from(x) * i64::from(cs.cos) + half) >> shift).clamp(bot, top)
+            }),
+        );
+        out_q.extend(
+            xs.iter().zip(lo).map(|(&x, cs)| {
+                ((i64::from(x) * i64::from(-cs.sin) + half) >> shift).clamp(bot, top)
+            }),
+        );
+    }
 }
 
 /// Floating-point mixer used by the reference chain: `(x·cos, −x·sin)`.

@@ -109,6 +109,29 @@ impl LutNco {
         CosSin { cos, sin }
     }
 
+    /// Appends `n` oscillator samples to `out` — bit-exact with `n`
+    /// calls of [`LutNco::next`], but with the address arithmetic
+    /// hoisted out of the loop and the phase accumulator kept in a
+    /// local, so the loop is a pure table-gather the compiler can keep
+    /// in registers.
+    pub fn fill_block(&mut self, n: usize, out: &mut Vec<CosSin>) {
+        let start = out.len();
+        out.resize(start + n, CosSin { cos: 0, sin: 0 });
+        let n_mask = (1u32 << self.addr_bits) - 1;
+        let shift = 32 - self.addr_bits;
+        let quarter = 1u32 << (self.addr_bits - 2);
+        let table = self.table.as_slice();
+        let mut phase = self.phase;
+        for slot in &mut out[start..] {
+            *slot = CosSin {
+                cos: table[((phase >> shift).wrapping_add(quarter) & n_mask) as usize],
+                sin: table[((phase >> shift) & n_mask) as usize],
+            };
+            phase = phase.wrapping_add(self.tuning_word);
+        }
+        self.phase = phase;
+    }
+
     /// Resets phase to zero.
     pub fn reset(&mut self) {
         self.phase = 0;
@@ -158,7 +181,7 @@ impl TaylorNco {
         let quadrant = phase >> 30;
         let frac = (phase << 2) >> 2; // low 30 bits, Q0.30 of quarter turn
         let x_q30 = i64::from(frac); // 0..2^30
-        // Map to t in [0,1]: ascending for quadrants 0,2; descending 1,3.
+                                     // Map to t in [0,1]: ascending for quadrants 0,2; descending 1,3.
         let t_q30 = match quadrant {
             0 | 2 => x_q30,
             _ => (1i64 << 30) - x_q30,
@@ -211,6 +234,20 @@ impl RefOscillator {
         let angle = self.phase as f64 / 2f64.powi(32) * 2.0 * PI;
         self.phase = self.phase.wrapping_add(self.tuning_word);
         (angle.cos(), angle.sin())
+    }
+
+    /// Appends `n` (cos, sin) pairs to `out` — bit-exact with `n`
+    /// calls of [`RefOscillator::next`] (same quantized phase, same
+    /// f64 evaluation order).
+    pub fn fill_block(&mut self, n: usize, out: &mut Vec<(f64, f64)>) {
+        out.reserve(n);
+        let mut phase = self.phase;
+        for _ in 0..n {
+            let angle = phase as f64 / 2f64.powi(32) * 2.0 * PI;
+            out.push((angle.cos(), angle.sin()));
+            phase = phase.wrapping_add(self.tuning_word);
+        }
+        self.phase = phase;
     }
 
     /// Resets phase to zero.

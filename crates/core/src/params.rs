@@ -338,8 +338,16 @@ mod tests {
             19_000.0 / 192_000.0,
             400,
         );
-        assert!(rep.passband_ripple_db < 0.1, "ripple {}", rep.passband_ripple_db);
-        assert!(rep.stopband_atten_db > 75.0, "stopband {}", rep.stopband_atten_db);
+        assert!(
+            rep.passband_ripple_db < 0.1,
+            "ripple {}",
+            rep.passband_ripple_db
+        );
+        assert!(
+            rep.stopband_atten_db > 75.0,
+            "stopband {}",
+            rep.stopband_atten_db
+        );
     }
 
     #[test]
@@ -364,7 +372,10 @@ mod tests {
 
         let mut c = DdcConfig::drm(0.0);
         c.tune_freq = 40e6;
-        assert!(matches!(c.validate(), Err(ConfigError::TuneOutOfRange { .. })));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::TuneOutOfRange { .. })
+        ));
 
         let mut c = DdcConfig::drm(0.0);
         c.input_rate = -1.0;
@@ -420,7 +431,10 @@ mod tests {
         let plain = chain_flatness(&DdcConfig::wideband(0.0), 38_000.0);
         let comp = chain_flatness(&DdcConfig::wideband_compensated(0.0), 38_000.0);
         assert!(plain > 1.5, "plain wide-band droop {plain} dB too small");
-        assert!(comp < plain / 2.0, "compensated {comp} dB vs plain {plain} dB");
+        assert!(
+            comp < plain / 2.0,
+            "compensated {comp} dB vs plain {plain} dB"
+        );
         DdcConfig::wideband_compensated(0.0).validate().unwrap();
     }
 

@@ -19,31 +19,29 @@ use crate::fir::SequentialFir;
 use crate::mixer::{FixedMixer, Iq};
 use crate::nco::LutNco;
 use crate::params::DdcConfig;
-use crossbeam::channel;
 use ddc_dsp::firdes::quantize_taps;
+use std::sync::mpsc;
 
 /// Runs one independent [`FixedDdc`] per configuration over the same
 /// input block, each on its own scoped thread. Returns per-channel
 /// outputs in configuration order.
 pub fn run_channels_parallel(configs: &[DdcConfig], input: &[i32]) -> Vec<Vec<Iq>> {
-    let mut results: Vec<Vec<Iq>> = Vec::with_capacity(configs.len());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = configs
             .iter()
             .map(|cfg| {
                 let cfg = cfg.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut ddc = FixedDdc::new(cfg);
                     ddc.process_block(input)
                 })
             })
             .collect();
-        for h in handles {
-            results.push(h.join().expect("channel thread panicked"));
-        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("channel thread panicked"))
+            .collect()
     })
-    .expect("scope panicked");
-    results
 }
 
 /// Block of front-end output carried between pipeline threads.
@@ -52,31 +50,70 @@ type IqBlock = Vec<Iq>;
 /// Runs one channel split into a front-end thread (NCO → mixer → CIC1)
 /// and a back-end thread (CIC2 → FIR) connected by a bounded channel.
 /// Bit-exact with [`FixedDdc::process_block`].
+///
+/// Both halves run the stage block kernels rather than per-sample
+/// calls, and drained blocks are recycled to the front end through a
+/// second bounded channel, so steady-state operation allocates no new
+/// block buffers.
 pub fn run_pipelined(config: &DdcConfig, input: &[i32], block: usize) -> Vec<Iq> {
     assert!(block >= 1, "block size must be >= 1");
     config.validate().expect("invalid DDC configuration");
     let f = config.format;
     let coeffs = quantize_taps(&config.fir_taps, f.coeff_bits, f.coeff_frac());
-    let (tx, rx) = channel::bounded::<IqBlock>(4);
+    let (tx, rx) = mpsc::sync_channel::<IqBlock>(4);
+    // Return channel for drained block buffers. Capacity matches the
+    // forward channel; both ends use non-blocking operations on it, so
+    // a full (or already-disconnected) return path degrades to a fresh
+    // allocation rather than a deadlock.
+    let (recycle_tx, recycle_rx) = mpsc::sync_channel::<IqBlock>(4);
 
     let mut out = Vec::new();
-    crossbeam::scope(|scope| {
-        // Front end: input rate.
-        let front = scope.spawn(move |_| {
+    std::thread::scope(|scope| {
+        // Front end: input rate. Processes input in chunks sized to
+        // fill roughly one block of CIC1 output per iteration.
+        let front = scope.spawn(move || {
             let mut nco = LutNco::new(config.tuning_word(), f.lut_addr_bits, f.coeff_bits);
             let mixer = FixedMixer::new(f.data_bits, f.coeff_bits);
-            let mut cic_i =
-                CicDecimator::new(config.cic1_order, config.cic1_decim, f.data_bits, f.data_bits);
-            let mut cic_q =
-                CicDecimator::new(config.cic1_order, config.cic1_decim, f.data_bits, f.data_bits);
+            let mut cic_i = CicDecimator::new(
+                config.cic1_order,
+                config.cic1_decim,
+                f.data_bits,
+                f.data_bits,
+            );
+            let mut cic_q = CicDecimator::new(
+                config.cic1_order,
+                config.cic1_decim,
+                f.data_bits,
+                f.data_bits,
+            );
+            let chunk_len = (block * config.cic1_decim as usize).max(256);
+            let mut lo = Vec::new();
+            let mut mix_i = Vec::new();
+            let mut mix_q = Vec::new();
+            let mut c1_i = Vec::new();
+            let mut c1_q = Vec::new();
             let mut buf: IqBlock = Vec::with_capacity(block);
-            for &x in input {
-                let cs = nco.next();
-                let m = mixer.mix(i64::from(x), cs);
-                if let (Some(i1), Some(q1)) = (cic_i.process(m.i), cic_q.process(m.q)) {
+            for chunk in input.chunks(chunk_len) {
+                lo.clear();
+                mix_i.clear();
+                mix_q.clear();
+                c1_i.clear();
+                c1_q.clear();
+                nco.fill_block(chunk.len(), &mut lo);
+                mixer.mix_block_split(chunk, &lo, &mut mix_i, &mut mix_q);
+                cic_i.process_block(&mix_i, &mut c1_i);
+                cic_q.process_block(&mix_q, &mut c1_q);
+                for (&i1, &q1) in c1_i.iter().zip(&c1_q) {
                     buf.push(Iq { i: i1, q: q1 });
                     if buf.len() == block {
-                        tx.send(std::mem::replace(&mut buf, Vec::with_capacity(block)))
+                        let next = match recycle_rx.try_recv() {
+                            Ok(mut recycled) => {
+                                recycled.clear();
+                                recycled
+                            }
+                            Err(_) => Vec::with_capacity(block),
+                        };
+                        tx.send(std::mem::replace(&mut buf, next))
                             .expect("back end hung up");
                     }
                 }
@@ -88,32 +125,66 @@ pub fn run_pipelined(config: &DdcConfig, input: &[i32], block: usize) -> Vec<Iq>
         });
 
         // Back end: 1/R1 of the input rate.
-        let back = scope.spawn(move |_| {
-            let mut cic_i =
-                CicDecimator::new(config.cic2_order, config.cic2_decim, f.data_bits, f.data_bits);
-            let mut cic_q =
-                CicDecimator::new(config.cic2_order, config.cic2_decim, f.data_bits, f.data_bits);
-            let mut fir_i =
-                SequentialFir::new(&coeffs, config.fir_decim, f.data_bits, f.coeff_bits, f.fir_acc_bits);
-            let mut fir_q =
-                SequentialFir::new(&coeffs, config.fir_decim, f.data_bits, f.coeff_bits, f.fir_acc_bits);
+        let back = scope.spawn(move || {
+            let mut cic_i = CicDecimator::new(
+                config.cic2_order,
+                config.cic2_decim,
+                f.data_bits,
+                f.data_bits,
+            );
+            let mut cic_q = CicDecimator::new(
+                config.cic2_order,
+                config.cic2_decim,
+                f.data_bits,
+                f.data_bits,
+            );
+            let mut fir_i = SequentialFir::new(
+                &coeffs,
+                config.fir_decim,
+                f.data_bits,
+                f.coeff_bits,
+                f.fir_acc_bits,
+            );
+            let mut fir_q = SequentialFir::new(
+                &coeffs,
+                config.fir_decim,
+                f.data_bits,
+                f.coeff_bits,
+                f.fir_acc_bits,
+            );
+            let mut in_i = Vec::new();
+            let mut in_q = Vec::new();
+            let mut c2_i = Vec::new();
+            let mut c2_q = Vec::new();
+            let mut f_i = Vec::new();
+            let mut f_q = Vec::new();
             let mut out = Vec::new();
             for blk in rx {
-                for s in blk {
-                    if let (Some(i2), Some(q2)) = (cic_i.process(s.i), cic_q.process(s.q)) {
-                        if let (Some(i3), Some(q3)) = (fir_i.process(i2), fir_q.process(q2)) {
-                            out.push(Iq { i: i3, q: q3 });
-                        }
-                    }
+                in_i.clear();
+                in_q.clear();
+                for s in &blk {
+                    in_i.push(s.i);
+                    in_q.push(s.q);
                 }
+                // Hand the drained buffer back; if the return queue is
+                // full (or the front end is gone), just drop it.
+                let _ = recycle_tx.try_send(blk);
+                c2_i.clear();
+                c2_q.clear();
+                f_i.clear();
+                f_q.clear();
+                cic_i.process_block(&in_i, &mut c2_i);
+                cic_q.process_block(&in_q, &mut c2_q);
+                fir_i.process_block(&c2_i, &mut f_i);
+                fir_q.process_block(&c2_q, &mut f_q);
+                out.extend(f_i.iter().zip(&f_q).map(|(&i, &q)| Iq { i, q }));
             }
             out
         });
 
         front.join().expect("front-end thread panicked");
         out = back.join().expect("back-end thread panicked");
-    })
-    .expect("scope panicked");
+    });
     out
 }
 

@@ -36,8 +36,8 @@ impl PrunedCicDecimator {
         let full = params.register_bits();
         assert!(out_bits <= full);
         let pruning = params.pruning(out_bits); // discard-at-stage, 2N+1 entries
-        // Cumulative discard entering stage j = max over k<=j of B_k
-        // (discards are monotone non-decreasing; enforce it).
+                                                // Cumulative discard entering stage j = max over k<=j of B_k
+                                                // (discards are monotone non-decreasing; enforce it).
         let mut cum = Vec::with_capacity(pruning.len());
         let mut run = 0u32;
         for &b in &pruning {
@@ -142,7 +142,9 @@ mod tests {
         // comparable to the final rounding. Compare against the
         // full-precision filter on a realistic signal.
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let input: Vec<i64> = (0..21 * 400).map(|_| rng.gen_range(-2048i64..=2047)).collect();
+        let input: Vec<i64> = (0..21 * 400)
+            .map(|_| rng.gen_range(-2048i64..=2047))
+            .collect();
         let mut full = CicDecimator::new(5, 21, 12, 12);
         let mut pruned = PrunedCicDecimator::new(5, 21, 12, 12);
         let mut err_max = 0i64;
@@ -163,7 +165,10 @@ mod tests {
     fn pruned_cic_passes_a_tone_cleanly() {
         let fs = 4_032_000.0;
         let analog = Tone::new(30_000.0, fs, 0.8, 0.0).take_vec(21 * 800);
-        let adc: Vec<i64> = adc_quantize(&analog, 12).into_iter().map(i64::from).collect();
+        let adc: Vec<i64> = adc_quantize(&analog, 12)
+            .into_iter()
+            .map(i64::from)
+            .collect();
         let mut full = CicDecimator::new(5, 21, 12, 12);
         let mut pruned = PrunedCicDecimator::new(5, 21, 12, 12);
         let mut a = Vec::new();

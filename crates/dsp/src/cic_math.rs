@@ -9,6 +9,39 @@
 
 use std::f64::consts::PI;
 
+/// Exact Hogenauer bit growth `ceil(log2((R·M)^N))`, computed in
+/// integer arithmetic.
+///
+/// The obvious `(N · log2(R·M)).ceil()` in `f64` can mis-round when
+/// `N·log2(R·M)` lands within rounding error of an integer (the
+/// product of an irrational `log2` with a large order), silently
+/// sizing a register one bit too wide or — fatally for Hogenauer's
+/// wrap-around cancellation — one bit too narrow. This computes
+/// `(R·M)^N` exactly in `u128` and takes its integer ceiling log2.
+pub fn bit_growth(order: u32, decimation: u32, diff_delay: u32) -> u32 {
+    assert!(order >= 1, "order must be >= 1");
+    assert!(decimation >= 1, "decimation must be >= 1");
+    assert!(diff_delay >= 1, "differential delay must be >= 1");
+    let rm = u128::from(decimation) * u128::from(diff_delay);
+    match rm.checked_pow(order) {
+        Some(p) => ceil_log2_u128(p),
+        // (R·M)^N ≥ 2^128: growth saturates far past any register this
+        // crate can model; the callers clamp against their own width
+        // limits.
+        None => 128,
+    }
+}
+
+/// Integer `ceil(log2(x))` for `x ≥ 1`.
+fn ceil_log2_u128(x: u128) -> u32 {
+    debug_assert!(x >= 1);
+    if x.is_power_of_two() {
+        x.ilog2()
+    } else {
+        x.ilog2() + 1
+    }
+}
+
 /// Static parameters of a CIC decimator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CicParams {
@@ -49,11 +82,10 @@ impl CicParams {
     }
 
     /// Register width required for full-precision operation:
-    /// `ceil(N·log2(R·M)) + input_bits` (Hogenauer eq. 11).
+    /// `ceil(N·log2(R·M)) + input_bits` (Hogenauer eq. 11), computed
+    /// exactly via [`bit_growth`].
     pub fn register_bits(&self) -> u32 {
-        let growth = (self.order as f64 * ((self.decimation * self.diff_delay) as f64).log2())
-            .ceil() as u32;
-        growth + self.input_bits
+        bit_growth(self.order, self.decimation, self.diff_delay) + self.input_bits
     }
 
     /// Magnitude response at normalised *input-rate* frequency `f`
@@ -89,7 +121,10 @@ impl CicParams {
     /// the passband edge — the figure of merit for a decimating CIC.
     pub fn alias_rejection_db(&self, f_band: f64) -> f64 {
         let r = self.decimation as f64;
-        assert!(f_band > 0.0 && f_band < 0.5 / r, "band too wide for decimation");
+        assert!(
+            f_band > 0.0 && f_band < 0.5 / r,
+            "band too wide for decimation"
+        );
         let edge = self.magnitude(f_band);
         let grid = 200;
         let mut worst: f64 = 0.0;
@@ -120,7 +155,8 @@ impl CicParams {
         for j in 1..=stages {
             let fj_sq = self.error_gain_sq(j);
             // eq. 21: B_j = floor(-log2 F_j + log2 sigma_T + 0.5·log2(6/N))
-            let bj = (-0.5 * fj_sq.log2() + 0.5 * (sigma_t_sq_total).log2()
+            let bj = (-0.5 * fj_sq.log2()
+                + 0.5 * (sigma_t_sq_total).log2()
                 + 0.5 * (6.0 / stages as f64).log2())
             .floor();
             result.push(bj.max(0.0) as u32);
@@ -193,6 +229,51 @@ mod tests {
     }
 
     #[test]
+    fn bit_growth_known_values() {
+        assert_eq!(bit_growth(2, 16, 1), 8); // 16² = 256 = 2⁸
+        assert_eq!(bit_growth(5, 21, 1), 22); // 21⁵ = 4084101, 2²¹ < · ≤ 2²²
+        assert_eq!(bit_growth(1, 4, 2), 3); // R·M = 8 = 2³
+        assert_eq!(bit_growth(1, 1, 1), 0);
+    }
+
+    #[test]
+    fn bit_growth_is_exact_ceiling_log() {
+        // The defining property: 2^(g-1) < (R·M)^N ≤ 2^g, checked in
+        // exact integer arithmetic over a sweep that includes every
+        // power-of-two boundary an f64 `log2().ceil()` could mis-round.
+        for order in 1..=8u32 {
+            for rm in 2..=128u32 {
+                let g = bit_growth(order, rm, 1);
+                let p = u128::from(rm).checked_pow(order).expect("sweep fits u128");
+                assert!(1u128 << g >= p, "2^{g} < {rm}^{order}");
+                assert!(1u128 << (g - 1) < p, "2^{} >= {rm}^{order}", g - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_growth_power_of_two_boundaries() {
+        // Exactly-representable products must NOT be rounded up a bit.
+        for (order, rm, expect) in [
+            (1u32, 1024u32, 10u32),
+            (2, 32, 10),
+            (4, 16, 16),
+            (10, 2, 10),
+        ] {
+            assert_eq!(bit_growth(order, rm, 1), expect);
+        }
+        // One above/below a power of two straddle it.
+        assert_eq!(bit_growth(1, 1025, 1), 11);
+        assert_eq!(bit_growth(1, 1023, 1), 10);
+    }
+
+    #[test]
+    fn bit_growth_saturates_past_u128() {
+        // (2^32)^5 overflows u128 → saturated growth, not a panic.
+        assert_eq!(bit_growth(5, u32::MAX, u32::MAX), 128);
+    }
+
+    #[test]
     fn gain_is_rm_to_the_n() {
         assert_eq!(cic2().gain(), 256.0);
         assert_eq!(cic5().gain(), 21f64.powi(5));
@@ -232,7 +313,10 @@ mod tests {
     fn droop_grows_with_order() {
         let lo = CicParams::new(2, 16, 12).droop_db(0.4);
         let hi = CicParams::new(5, 16, 12).droop_db(0.4);
-        assert!(hi > lo, "order-5 droop {hi} should exceed order-2 droop {lo}");
+        assert!(
+            hi > lo,
+            "order-5 droop {hi} should exceed order-2 droop {lo}"
+        );
         assert!(lo > 0.0);
     }
 
@@ -269,7 +353,7 @@ mod tests {
         let c = cic5();
         let p = c.pruning(12);
         assert_eq!(p.len(), 11); // 2N stages + output
-        // Total discarded at output:
+                                 // Total discarded at output:
         assert_eq!(*p.last().unwrap(), c.register_bits() - 12);
         // Hogenauer pruning discards progressively more bits in later
         // stages (noise injected later sees less gain to the output).

@@ -35,13 +35,18 @@ pub struct Fft {
 impl Fft {
     /// Plans an FFT of size `n`. Panics unless `n` is a power of two ≥ 2.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n.is_power_of_two(), "FFT size {n} must be a power of two >= 2");
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "FFT size {n} must be a power of two >= 2"
+        );
         assert!(n <= u32::MAX as usize, "FFT size {n} too large");
         let twiddles = (0..n / 2)
             .map(|k| C64::cis(-2.0 * PI * k as f64 / n as f64))
             .collect();
         let bits = n.trailing_zeros();
-        let rev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
         Fft { n, twiddles, rev }
     }
 
@@ -146,7 +151,10 @@ mod tests {
     use super::*;
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -207,7 +215,9 @@ mod tests {
     fn real_tone_is_conjugate_symmetric() {
         let n = 64;
         let fft = Fft::new(n);
-        let sig: Vec<f64> = (0..n).map(|i| (2.0 * PI * 3.0 * i as f64 / n as f64).cos()).collect();
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 3.0 * i as f64 / n as f64).cos())
+            .collect();
         let spec = fft.forward_real(&sig);
         for k in 1..n {
             let a = spec[k];

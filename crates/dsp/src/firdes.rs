@@ -32,7 +32,10 @@ pub fn sinc(x: f64) -> f64 {
 /// The taps are normalised to exactly unit DC gain.
 pub fn lowpass(taps: usize, cutoff: f64, window: Window) -> Vec<f64> {
     assert!(taps >= 1, "need at least one tap");
-    assert!(cutoff > 0.0 && cutoff < 0.5, "cutoff {cutoff} out of (0, 0.5)");
+    assert!(
+        cutoff > 0.0 && cutoff < 0.5,
+        "cutoff {cutoff} out of (0, 0.5)"
+    );
     let mid = (taps - 1) as f64 / 2.0;
     let mut h: Vec<f64> = (0..taps)
         .map(|n| {
@@ -126,7 +129,10 @@ pub fn cic_compensator(taps: usize, order: u32, cic_decim: u32, passband: f64) -
 /// `taps` must satisfy `taps % 4 == 3` (the classic 7, 11, 15, …
 /// lengths where the outermost coefficients are nonzero).
 pub fn halfband(taps: usize, window: Window) -> Vec<f64> {
-    assert!(taps >= 7 && taps % 4 == 3, "half-band length must be ≡ 3 (mod 4)");
+    assert!(
+        taps >= 7 && taps % 4 == 3,
+        "half-band length must be ≡ 3 (mod 4)"
+    );
     let mid = (taps - 1) / 2;
     let mut h: Vec<f64> = (0..taps)
         .map(|n| {
@@ -145,7 +151,12 @@ pub fn halfband(taps: usize, window: Window) -> Vec<f64> {
     // Normalise to exact unit DC gain *without* disturbing the centre
     // tap (scaling only the odd taps keeps both h[mid] = ½ and the
     // amplitude-complementarity identity exact).
-    let odd_sum: f64 = h.iter().enumerate().filter(|&(n, _)| n != mid).map(|(_, &v)| v).sum();
+    let odd_sum: f64 = h
+        .iter()
+        .enumerate()
+        .filter(|&(n, _)| n != mid)
+        .map(|(_, &v)| v)
+        .sum();
     let k = 0.5 / odd_sum;
     for (n, v) in h.iter_mut().enumerate() {
         if n != mid {
@@ -191,7 +202,12 @@ pub struct LowpassReport {
 /// Measures ripple and stop-band attenuation of `h` given band edges
 /// (`passband_edge < stopband_edge`, both normalised), probing the
 /// response at `grid` points per band.
-pub fn measure_lowpass(h: &[f64], passband_edge: f64, stopband_edge: f64, grid: usize) -> LowpassReport {
+pub fn measure_lowpass(
+    h: &[f64],
+    passband_edge: f64,
+    stopband_edge: f64,
+    grid: usize,
+) -> LowpassReport {
     assert!(passband_edge < stopband_edge && stopband_edge <= 0.5);
     assert!(grid >= 2);
     let mut worst_pass: f64 = 0.0;
@@ -218,7 +234,9 @@ pub fn measure_lowpass(h: &[f64], passband_edge: f64, stopband_edge: f64, grid: 
 /// in M4K ROM — Figure 5 of the paper).
 pub fn quantize_taps(h: &[f64], bits: u32, frac_bits: u32) -> Vec<i32> {
     h.iter()
-        .map(|&x| crate::fixed::quantize(x, bits, frac_bits, crate::fixed::Rounding::Nearest) as i32)
+        .map(|&x| {
+            crate::fixed::quantize(x, bits, frac_bits, crate::fixed::Rounding::Nearest) as i32
+        })
         .collect()
 }
 
@@ -256,8 +274,16 @@ mod tests {
         let beta = crate::window::kaiser_beta(60.0);
         let h = lowpass(101, 0.1, Window::Kaiser(beta));
         let rep = measure_lowpass(&h, 0.07, 0.14, 200);
-        assert!(rep.stopband_atten_db > 60.0, "got {} dB", rep.stopband_atten_db);
-        assert!(rep.passband_ripple_db < 0.05, "ripple {}", rep.passband_ripple_db);
+        assert!(
+            rep.stopband_atten_db > 60.0,
+            "got {} dB",
+            rep.stopband_atten_db
+        );
+        assert!(
+            rep.passband_ripple_db < 0.05,
+            "ripple {}",
+            rep.passband_ripple_db
+        );
     }
 
     #[test]

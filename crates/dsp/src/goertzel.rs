@@ -68,10 +68,7 @@ impl Goertzel {
     /// The complex DFT value at the target frequency over the samples
     /// pushed so far (un-normalised, like a raw DFT bin).
     pub fn value(&self) -> C64 {
-        C64::new(
-            self.s1 * self.cos_w - self.s2,
-            self.s1 * self.sin_w,
-        )
+        C64::new(self.s1 * self.cos_w - self.s2, self.s1 * self.sin_w)
     }
 
     /// Power of the bin, normalised per sample² — directly comparable

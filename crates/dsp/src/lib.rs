@@ -35,9 +35,9 @@ pub mod cic_math;
 pub mod complex;
 pub mod decimate;
 pub mod fft;
-pub mod goertzel;
 pub mod firdes;
 pub mod fixed;
+pub mod goertzel;
 pub mod remez;
 pub mod signal;
 pub mod spectrum;

@@ -88,9 +88,7 @@ pub fn remez_lowpass(spec: LowpassSpec) -> Result<RemezResult, String> {
     }
 
     // Initial extremals: spread uniformly over the grid.
-    let mut ext: Vec<usize> = (0..r)
-        .map(|k| k * (grid.len() - 1) / (r - 1))
-        .collect();
+    let mut ext: Vec<usize> = (0..r).map(|k| k * (grid.len() - 1) / (r - 1)).collect();
 
     let mut delta = 0.0;
     let mut iterations = 0;
@@ -131,9 +129,7 @@ pub fn remez_lowpass(spec: LowpassSpec) -> Result<RemezResult, String> {
             }
         }
         let c: Vec<f64> = (0..m)
-            .map(|k| {
-                grid[ext[k]].1 - if k % 2 == 0 { 1.0 } else { -1.0 } * delta / grid[ext[k]].2
-            })
+            .map(|k| grid[ext[k]].1 - if k % 2 == 0 { 1.0 } else { -1.0 } * delta / grid[ext[k]].2)
             .collect();
         let a_of = |xq: f64| -> f64 {
             let mut nsum = 0.0;
@@ -157,7 +153,11 @@ pub fn remez_lowpass(spec: LowpassSpec) -> Result<RemezResult, String> {
         // Find local extrema of the error (band edges included).
         let mut candidates: Vec<usize> = Vec::new();
         for i in 0..grid.len() {
-            let left = if i == 0 { f64::NEG_INFINITY } else { err[i - 1].abs() };
+            let left = if i == 0 {
+                f64::NEG_INFINITY
+            } else {
+                err[i - 1].abs()
+            };
             let right = if i + 1 == grid.len() {
                 f64::NEG_INFINITY
             } else {
@@ -281,7 +281,10 @@ mod tests {
         assert!(r.delta > 0.0 && r.delta < 0.1, "delta {}", r.delta);
         let h = &r.taps;
         for i in 0..h.len() {
-            assert!((h[i] - h[h.len() - 1 - i]).abs() < 1e-9, "asymmetric at {i}");
+            assert!(
+                (h[i] - h[h.len() - 1 - i]).abs() < 1e-9,
+                "asymmetric at {i}"
+            );
         }
     }
 
@@ -349,9 +352,22 @@ mod tests {
 
     #[test]
     fn longer_filter_means_smaller_delta() {
-        let short = remez_lowpass(LowpassSpec { taps: 31, ..spec63() }).unwrap();
-        let long = remez_lowpass(LowpassSpec { taps: 95, ..spec63() }).unwrap();
-        assert!(long.delta < short.delta / 3.0, "{} vs {}", long.delta, short.delta);
+        let short = remez_lowpass(LowpassSpec {
+            taps: 31,
+            ..spec63()
+        })
+        .unwrap();
+        let long = remez_lowpass(LowpassSpec {
+            taps: 95,
+            ..spec63()
+        })
+        .unwrap();
+        assert!(
+            long.delta < short.delta / 3.0,
+            "{} vs {}",
+            long.delta,
+            short.delta
+        );
     }
 
     #[test]
@@ -367,13 +383,24 @@ mod tests {
         })
         .unwrap();
         let rep = measure_lowpass(&r.taps, 80_000.0 / fs, 135_000.0 / fs, 400);
-        assert!(rep.stopband_atten_db > 40.0, "stopband {}", rep.stopband_atten_db);
-        assert!(rep.passband_ripple_db < 1.0, "ripple {}", rep.passband_ripple_db);
+        assert!(
+            rep.stopband_atten_db > 40.0,
+            "stopband {}",
+            rep.stopband_atten_db
+        );
+        assert!(
+            rep.passband_ripple_db < 1.0,
+            "ripple {}",
+            rep.passband_ripple_db
+        );
     }
 
     #[test]
     #[should_panic(expected = "odd taps")]
     fn rejects_even_length() {
-        let _ = remez_lowpass(LowpassSpec { taps: 64, ..spec63() });
+        let _ = remez_lowpass(LowpassSpec {
+            taps: 64,
+            ..spec63()
+        });
     }
 }

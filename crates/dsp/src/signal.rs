@@ -103,7 +103,13 @@ pub struct Chirp {
 impl Chirp {
     /// Creates a chirp from `f0_hz` to `f1_hz` over `duration_samples`
     /// samples at rate `fs_hz`.
-    pub fn new(f0_hz: f64, f1_hz: f64, duration_samples: usize, fs_hz: f64, amplitude: f64) -> Self {
+    pub fn new(
+        f0_hz: f64,
+        f1_hz: f64,
+        duration_samples: usize,
+        fs_hz: f64,
+        amplitude: f64,
+    ) -> Self {
         assert!(duration_samples > 0);
         Chirp {
             phase: 0.0,
@@ -167,7 +173,14 @@ pub struct OfdmBand {
 impl OfdmBand {
     /// Creates `carriers` equal-amplitude carriers across `[f_lo_hz,
     /// f_hi_hz]` at rate `fs_hz`, with total RMS roughly `rms`.
-    pub fn new(f_lo_hz: f64, f_hi_hz: f64, carriers: usize, fs_hz: f64, rms: f64, seed: u64) -> Self {
+    pub fn new(
+        f_lo_hz: f64,
+        f_hi_hz: f64,
+        carriers: usize,
+        fs_hz: f64,
+        rms: f64,
+        seed: u64,
+    ) -> Self {
         assert!(carriers >= 1 && f_hi_hz > f_lo_hz);
         let mut rng = StdRng::seed_from_u64(seed);
         let amp = rms * (2.0 / carriers as f64).sqrt();
@@ -210,7 +223,13 @@ pub struct MskCarrier {
 impl MskCarrier {
     /// Creates an MSK-modulated carrier at `carrier_hz` with symbol rate
     /// `symbol_rate_hz` at sample rate `fs_hz`.
-    pub fn new(carrier_hz: f64, symbol_rate_hz: f64, fs_hz: f64, amplitude: f64, seed: u64) -> Self {
+    pub fn new(
+        carrier_hz: f64,
+        symbol_rate_hz: f64,
+        fs_hz: f64,
+        amplitude: f64,
+        seed: u64,
+    ) -> Self {
         let samples_per_symbol = (fs_hz / symbol_rate_hz).round().max(1.0) as u32;
         MskCarrier {
             rng: StdRng::seed_from_u64(seed),
@@ -235,7 +254,8 @@ impl SampleSource for MskCarrier {
         }
         self.counter -= 1;
         let v = self.amplitude * self.phase.cos();
-        self.phase = (self.phase + self.carrier_step + self.current_sign * self.dev_step) % (2.0 * PI);
+        self.phase =
+            (self.phase + self.carrier_step + self.current_sign * self.dev_step) % (2.0 * PI);
         v
     }
 }
@@ -350,7 +370,11 @@ mod tests {
         // quarter must oscillate faster.
         let mut c = Chirp::new(100.0, 5000.0, 40_000, 48_000.0, 1.0);
         let v = c.take_vec(40_000);
-        let zc = |s: &[f64]| s.windows(2).filter(|w| w[0].signum() != w[1].signum()).count();
+        let zc = |s: &[f64]| {
+            s.windows(2)
+                .filter(|w| w[0].signum() != w[1].signum())
+                .count()
+        };
         let head = zc(&v[..10_000]);
         let tail = zc(&v[30_000..]);
         assert!(tail > head * 3, "head {head}, tail {tail}");

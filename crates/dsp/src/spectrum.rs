@@ -296,7 +296,11 @@ mod tests {
     fn welch_reduces_variance_of_noise_floor() {
         use crate::signal::WhiteNoise;
         let mut noise = WhiteNoise::new(11, 1.0);
-        let sig: Vec<C64> = noise.take_vec(32 * 1024).iter().map(|&x| C64::new(x, 0.0)).collect();
+        let sig: Vec<C64> = noise
+            .take_vec(32 * 1024)
+            .iter()
+            .map(|&x| C64::new(x, 0.0))
+            .collect();
         let single = periodogram_complex(&sig, 1.0, 1024, Window::Hann);
         let averaged = welch_complex(&sig, 1.0, 1024, Window::Hann);
         let var = |p: &[f64]| {

@@ -48,7 +48,10 @@ pub fn from_db_amplitude(db: f64) -> f64 {
 /// Largest absolute difference between two equal-length signals.
 pub fn max_abs_err(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 /// RMS difference between two equal-length signals.

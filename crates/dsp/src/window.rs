@@ -38,9 +38,7 @@ impl Window {
             Window::Rectangular => 1.0,
             Window::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
             Window::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
-            Window::Blackman => {
-                0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
-            }
+            Window::Blackman => 0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos(),
             Window::BlackmanHarris => {
                 0.35875 - 0.48829 * (2.0 * PI * x).cos() + 0.14128 * (4.0 * PI * x).cos()
                     - 0.01168 * (6.0 * PI * x).cos()
@@ -106,7 +104,10 @@ pub fn kaiser_beta(atten_db: f64) -> f64 {
 /// with a transition band of `delta_f` (normalised frequency, 0..0.5) —
 /// Kaiser's order-estimation formula.
 pub fn kaiser_order(atten_db: f64, delta_f: f64) -> usize {
-    assert!(delta_f > 0.0 && delta_f < 0.5, "transition width out of range");
+    assert!(
+        delta_f > 0.0 && delta_f < 0.5,
+        "transition width out of range"
+    );
     let n = (atten_db - 7.95) / (2.285 * 2.0 * PI * delta_f);
     (n.ceil() as usize).max(1) + 1
 }

@@ -154,7 +154,12 @@ impl<'a> Conclusions<'a> {
             .rows
             .iter()
             .filter(|r| r.flexibility == Flexibility::Reconfigurable)
-            .min_by(|a, b| a.power_at_130nm.mw().partial_cmp(&b.power_at_130nm.mw()).unwrap())
+            .min_by(|a, b| {
+                a.power_at_130nm
+                    .mw()
+                    .partial_cmp(&b.power_at_130nm.mw())
+                    .unwrap()
+            })
             .expect("has reconfigurable rows")
             .name
             .as_str()
@@ -220,8 +225,8 @@ mod tests {
         let table = t();
         let c1 = table.row("Cyclone I"); // 48 static + 93.4 dyn
         let c2 = table.row("Cyclone II"); // 26.86 + 31.11 = 57.97 total
-        // d* = 48 / (57.97 − 93.4) < 0 → ... challenger total below
-        // incumbent dynamic → cheaper everywhere.
+                                          // d* = 48 / (57.97 − 93.4) < 0 → ... challenger total below
+                                          // incumbent dynamic → cheaper everywhere.
         let d = crossover_duty(c1, c2);
         assert_eq!(d, Some(1.0));
         // A dedicated Cyclone II vs a shared Cyclone I: d* = 26.86 /

@@ -65,7 +65,12 @@ impl Table7 {
     /// first.
     pub fn ranking_scaled(&self) -> Vec<&str> {
         let mut v: Vec<&SolutionReport> = self.rows.iter().collect();
-        v.sort_by(|a, b| a.power_at_130nm.mw().partial_cmp(&b.power_at_130nm.mw()).unwrap());
+        v.sort_by(|a, b| {
+            a.power_at_130nm
+                .mw()
+                .partial_cmp(&b.power_at_130nm.mw())
+                .unwrap()
+        });
         v.into_iter().map(|r| r.name.as_str()).collect()
     }
 }
@@ -172,7 +177,12 @@ mod tests {
         assert!(pos("Cyclone II") < pos("Montium TP"));
         // Scaled to 0.13 µm: Montium becomes the best reconfigurable.
         let scaled = t.ranking_scaled();
-        let spos = |n: &str| scaled.iter().position(|x| x.ends_with(n) || x.contains(&format!("{n} "))).unwrap();
+        let spos = |n: &str| {
+            scaled
+                .iter()
+                .position(|x| x.ends_with(n) || x.contains(&format!("{n} ")))
+                .unwrap()
+        };
         assert!(spos("Montium TP") < spos("Cyclone II"));
         assert!(spos("Montium TP") < spos("Cyclone I"));
         // ASICs still cheapest overall after scaling.

@@ -18,8 +18,14 @@ fn main() {
     println!("\n§7.1 static scenario (always-on DDC):");
     println!("  winner: {}", c.static_winner());
     println!("\n§7.2 reconfigurable scenario (DDC needed part-time):");
-    println!("  best reconfigurable at native nodes:   {}", c.reconfigurable_winner_native());
-    println!("  best reconfigurable, all at 0.13 µm:   {}", c.reconfigurable_winner_scaled());
+    println!(
+        "  best reconfigurable at native nodes:   {}",
+        c.reconfigurable_winner_native()
+    );
+    println!(
+        "  best reconfigurable, all at 0.13 µm:   {}",
+        c.reconfigurable_winner_scaled()
+    );
 
     let duties = [1.0, 0.5, 0.2, 0.1, 0.05];
     println!("\nattributable power [mW] vs duty cycle");

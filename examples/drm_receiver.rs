@@ -31,11 +31,18 @@ fn ascii_spectrum(sp: &Spectrum, rows: usize) {
     let min = max - 6.0; // 60 dB span
     for r in 0..rows {
         let level = max - (r as f64 + 0.5) * (max - min) / rows as f64;
-        let line: String = cols.iter().map(|&v| if v >= level { '#' } else { ' ' }).collect();
+        let line: String = cols
+            .iter()
+            .map(|&v| if v >= level { '#' } else { ' ' })
+            .collect();
         let db = (level - max) * 10.0;
         println!("{db:>6.1} dB |{line}|");
     }
-    println!("          {}-12 kHz{}0{}+12 kHz", " ", " ".repeat(24), " ".repeat(26));
+    println!(
+        "           -12 kHz{}0{}+12 kHz",
+        " ".repeat(24),
+        " ".repeat(26)
+    );
 }
 
 fn main() {

@@ -45,7 +45,10 @@ fn main() {
     on.push_all(&tail);
     off.push_all(&tail);
     let ratio_db = 10.0 * (on.power() / off.power().max(1e-30)).log10();
-    println!("pilot at {offset:.0} Hz vs {:.0} Hz: {ratio_db:.1} dB", offset + 4_000.0);
+    println!(
+        "pilot at {offset:.0} Hz vs {:.0} Hz: {ratio_db:.1} dB",
+        offset + 4_000.0
+    );
     assert!(ratio_db > 30.0, "loopback failed");
 
     // Phase-rotation check: successive outputs advance by 2π·3k/24k.

@@ -6,10 +6,10 @@
 //! cargo run --release --example montium_schedule
 //! ```
 
+use ddc_suite::arch_model::Architecture;
 use ddc_suite::arch_montium::mapping::run_ddc;
 use ddc_suite::arch_montium::trace::{render_schedule, table6};
 use ddc_suite::arch_montium::MontiumModel;
-use ddc_suite::arch_model::Architecture;
 use ddc_suite::core::{DdcConfig, FixedDdc};
 use ddc_suite::dsp::signal::{adc_quantize, SampleSource, Tone};
 
@@ -28,7 +28,10 @@ fn main() {
     print!("{}", render_schedule(&run.tile));
 
     println!("\nALU occupancy (Table 6):");
-    println!("{:<26} {:>6} {:>10} {:>12}", "part", "#ALUs", "paper %", "measured %");
+    println!(
+        "{:<26} {:>6} {:>10} {:>12}",
+        "part", "#ALUs", "paper %", "measured %"
+    );
     for row in table6(&run.tile) {
         println!(
             "{:<26} {:>6} {:>9.1}% {:>11.2}%",
@@ -43,7 +46,11 @@ fn main() {
     println!(
         "\noutput words vs 16-bit reference chain ({} outputs): {}",
         expected.len(),
-        if identical { "bit-identical" } else { "MISMATCH" }
+        if identical {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        }
     );
     assert!(identical);
 

@@ -32,7 +32,11 @@ fn main() {
     let mut ddc = FixedDdc::new(config);
     let raw = ddc.process_block(&adc);
     let outputs = ddc.to_c64(&raw);
-    println!("processed {} ADC samples → {} complex outputs", adc.len(), outputs.len());
+    println!(
+        "processed {} ADC samples → {} complex outputs",
+        adc.len(),
+        outputs.len()
+    );
 
     // Where did the energy land? Skip the filter settling transient.
     let tail = &outputs[outputs.len() - 512..];

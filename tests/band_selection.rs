@@ -18,7 +18,12 @@ fn in_band_tone_appears_at_its_offset() {
         let analog = Tone::new(f_tune + offset, FS, 0.6, 0.3).take_vec(2688 * 600);
         let raw = ddc.process_block(&adc_quantize(&analog, 12));
         let out = ddc.to_c64(&raw);
-        let sp = periodogram_complex(&out[out.len() - 512..], 24_000.0, 512, Window::BlackmanHarris);
+        let sp = periodogram_complex(
+            &out[out.len() - 512..],
+            24_000.0,
+            512,
+            Window::BlackmanHarris,
+        );
         let (f_peak, _) = sp.peak();
         assert!(
             (f_peak - offset).abs() < 100.0,
@@ -85,7 +90,12 @@ fn quantization_noise_floor_below_60_dbc() {
     let analog = Tone::new(f_tune + 3_000.0, FS, 0.9, 0.0).take_vec(2688 * 800);
     let raw = ddc.process_block(&adc_quantize(&analog, 12));
     let out = ddc.to_c64(&raw);
-    let sp = periodogram_complex(&out[out.len() - 512..], 24_000.0, 512, Window::BlackmanHarris);
+    let sp = periodogram_complex(
+        &out[out.len() - 512..],
+        24_000.0,
+        512,
+        Window::BlackmanHarris,
+    );
     let sinad = sp.sinad_db(6);
     assert!(sinad > 55.0, "SINAD {sinad:.1} dB");
 }

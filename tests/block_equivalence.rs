@@ -1,0 +1,188 @@
+//! Property-based equivalence: every block kernel must be bit-exact
+//! with its per-sample form, for arbitrary input lengths and arbitrary
+//! chunk boundaries (including splits in the middle of a decimation
+//! group and mid-FIR-RAM wraparound).
+
+use ddc_suite::core::chain::{FixedDdc, ReferenceDdc};
+use ddc_suite::core::cic::CicDecimator;
+use ddc_suite::core::fir::{PolyphaseFir, SequentialFir};
+use ddc_suite::core::mixer::FixedMixer;
+use ddc_suite::core::nco::{CosSin, LutNco};
+use ddc_suite::core::params::DdcConfig;
+use proptest::prelude::*;
+
+proptest! {
+    /// CIC decimator: block output and post-block state match the
+    /// per-sample path for any order/decimation/differential delay.
+    #[test]
+    fn cic_block_equals_per_sample(
+        order in 1u32..=6,
+        decim in 1u32..=24,
+        diff_delay in 1u32..=2,
+        input in prop::collection::vec(-2048i64..=2047, 0..400),
+        chunk in 1usize..64,
+    ) {
+        let mut per_sample = CicDecimator::with_diff_delay(order, decim, diff_delay, 12, 12);
+        let mut blocked = per_sample.clone();
+        let mut expect = Vec::new();
+        for &x in &input {
+            if let Some(y) = per_sample.process(x) {
+                expect.push(y);
+            }
+        }
+        let mut got = Vec::new();
+        for piece in input.chunks(chunk) {
+            blocked.process_block(piece, &mut got);
+        }
+        prop_assert_eq!(&got, &expect);
+        // Residual state must agree: continue both over one more group.
+        let tail: Vec<i64> = (0..(decim * diff_delay) as i64).map(|k| (k * 131) % 2048).collect();
+        let mut expect_tail = Vec::new();
+        for &x in &tail {
+            if let Some(y) = per_sample.process(x) {
+                expect_tail.push(y);
+            }
+        }
+        let mut got_tail = Vec::new();
+        blocked.process_block(&tail, &mut got_tail);
+        prop_assert_eq!(got_tail, expect_tail);
+    }
+
+    /// Sequential (integer) FIR: block output matches per-sample for
+    /// any tap count / decimation, including decimation longer than
+    /// the delay line.
+    #[test]
+    fn sequential_fir_block_equals_per_sample(
+        coeffs in prop::collection::vec(-1024i32..=1023, 1..140),
+        decim in 1u32..=12,
+        input in prop::collection::vec(-2048i64..=2047, 0..600),
+        chunk in 1usize..97,
+    ) {
+        let mut per_sample = SequentialFir::new(&coeffs, decim, 12, 12, 45);
+        let mut blocked = per_sample.clone();
+        let expect: Vec<i64> = input.iter().filter_map(|&x| per_sample.process(x)).collect();
+        let mut got = Vec::new();
+        for piece in input.chunks(chunk) {
+            blocked.process_block(piece, &mut got);
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Polyphase (f64) FIR: f64 addition is order-sensitive, so exact
+    /// bit equality proves the block path preserves the per-sample
+    /// accumulation order.
+    #[test]
+    fn polyphase_fir_block_equals_per_sample(
+        taps in prop::collection::vec(-0.5f64..0.5, 1..60),
+        decim in 1u32..=10,
+        input in prop::collection::vec(-1.0f64..1.0, 0..400),
+        chunk in 1usize..53,
+    ) {
+        let mut per_sample = PolyphaseFir::new(&taps, decim);
+        let mut blocked = per_sample.clone();
+        let expect: Vec<f64> = input.iter().filter_map(|&x| per_sample.process(x)).collect();
+        let mut got = Vec::new();
+        for piece in input.chunks(chunk) {
+            blocked.process_block(piece, &mut got);
+        }
+        prop_assert_eq!(got.len(), expect.len());
+        for (k, (a, b)) in got.iter().zip(&expect).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "output {} diverged", k);
+        }
+    }
+
+    /// LUT NCO: fill_block equals repeated next() for any tuning word,
+    /// across an arbitrary split of the run.
+    #[test]
+    fn nco_fill_block_equals_next(
+        word in any::<u32>(),
+        n in 0usize..500,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let mut per_sample = LutNco::new(word, 10, 12);
+        let mut blocked = per_sample.clone();
+        let expect: Vec<CosSin> = (0..n).map(|_| per_sample.next()).collect();
+        let split = ((n as f64) * split_frac) as usize;
+        let mut got = Vec::new();
+        blocked.fill_block(split, &mut got);
+        blocked.fill_block(n - split, &mut got);
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(blocked.phase(), per_sample.phase());
+    }
+
+    /// Mixer: the split block form equals per-sample mixing.
+    #[test]
+    fn mixer_block_equals_per_sample(
+        word in any::<u32>(),
+        input in prop::collection::vec(-2048i32..=2047, 0..400),
+    ) {
+        let mixer = FixedMixer::new(12, 12);
+        let mut nco = LutNco::new(word, 10, 12);
+        let mut lo = Vec::new();
+        nco.fill_block(input.len(), &mut lo);
+        let mut out_i = Vec::new();
+        let mut out_q = Vec::new();
+        mixer.mix_block_split(&input, &lo, &mut out_i, &mut out_q);
+        for (k, (&x, cs)) in input.iter().zip(&lo).enumerate() {
+            let m = mixer.mix(i64::from(x), *cs);
+            prop_assert_eq!(m.i, out_i[k]);
+            prop_assert_eq!(m.q, out_q[k]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Full fixed-point chain: process_into over arbitrary chunkings
+    /// equals the per-sample path, output-for-output.
+    #[test]
+    fn fixed_ddc_block_equals_per_sample(
+        tune_mhz in 1.0f64..30.0,
+        input in prop::collection::vec(-2048i32..=2047, 0..8000),
+        chunk in 1usize..3000,
+    ) {
+        let cfg = DdcConfig::drm(tune_mhz * 1e6);
+        let mut per_sample = FixedDdc::new(cfg.clone());
+        let mut expect = Vec::new();
+        for &x in &input {
+            if let Some(z) = per_sample.process(i64::from(x)) {
+                expect.push(z);
+            }
+        }
+        let mut blocked = FixedDdc::new(cfg);
+        let mut got = Vec::new();
+        for piece in input.chunks(chunk) {
+            blocked.process_into(piece, &mut got);
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Full floating-point reference chain: block path preserves every
+    /// f64 operation order (bit-for-bit output equality).
+    #[test]
+    fn reference_ddc_block_equals_per_sample(
+        tune_mhz in 1.0f64..30.0,
+        input in prop::collection::vec(-1.0f64..1.0, 0..8000),
+        chunk in 1usize..3000,
+    ) {
+        let cfg = DdcConfig::drm(tune_mhz * 1e6);
+        let mut per_sample = ReferenceDdc::new(cfg.clone());
+        let mut expect = Vec::new();
+        for &x in &input {
+            if let Some(z) = per_sample.process(x) {
+                expect.push(z);
+            }
+        }
+        let mut blocked = ReferenceDdc::new(cfg);
+        let mut got = Vec::new();
+        for piece in input.chunks(chunk) {
+            blocked.process_into(piece, &mut got);
+        }
+        prop_assert_eq!(got.len(), expect.len());
+        for (k, (a, b)) in got.iter().zip(&expect).enumerate() {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "I diverged at {}", k);
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits(), "Q diverged at {}", k);
+        }
+    }
+}

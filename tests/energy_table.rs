@@ -34,8 +34,18 @@ fn scaling_law_reproduces_every_published_estimate() {
 
 #[test]
 fn asic_power_points() {
-    close("GC4016 GSM", Gc4016Model::paper_reference().power().total().mw(), 115.0, 0.1);
-    close("custom ASIC", CustomAsic::paper_reference().power().total().mw(), 27.0, 0.5);
+    close(
+        "GC4016 GSM",
+        Gc4016Model::paper_reference().power().total().mw(),
+        115.0,
+        0.1,
+    );
+    close(
+        "custom ASIC",
+        CustomAsic::paper_reference().power().total().mw(),
+        27.0,
+        0.5,
+    );
 }
 
 #[test]
@@ -64,7 +74,12 @@ fn fpga_power_points() {
 
 #[test]
 fn montium_power_point() {
-    close("Montium", MontiumModel::paper_reference().power().total().mw(), 38.7, 0.1);
+    close(
+        "Montium",
+        MontiumModel::paper_reference().power().total().mw(),
+        38.7,
+        0.1,
+    );
 }
 
 #[test]

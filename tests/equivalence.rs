@@ -104,7 +104,10 @@ fn all_bit_true_paths_track_the_reference_chain() {
         probe.nominal_gain()
     };
     let scale = 1.0 / (32768.0 * gain);
-    let m: Vec<f64> = run.outputs[skip..].iter().map(|z| z.i as f64 * scale).collect();
+    let m: Vec<f64> = run.outputs[skip..]
+        .iter()
+        .map(|z| z.i as f64 * scale)
+        .collect();
     let r16: Vec<f64> = ref16[skip..].iter().map(|z| z.re).collect();
     let ser16 = ser_db(&r16, &m);
     assert!(ser16 > 55.0, "16-bit path SER {ser16} dB");
@@ -123,7 +126,10 @@ fn gpp_model_tracks_reference_within_its_budget() {
     let out = gpp.process_block(&adc_quantize(&sig, 12));
     let gain = 21f64.powi(5) / 2f64.powi(22);
     let skip = 32;
-    let g: Vec<f64> = out[skip..].iter().map(|&v| v as f64 / 2048.0 / gain).collect();
+    let g: Vec<f64> = out[skip..]
+        .iter()
+        .map(|&v| v as f64 / 2048.0 / gain)
+        .collect();
     let r: Vec<f64> = ref_out[skip..].iter().map(|z| z.re).collect();
     let ser = ser_db(&r, &g);
     assert!(ser > 40.0, "GPP path SER {ser} dB");

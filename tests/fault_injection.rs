@@ -100,7 +100,10 @@ fn corrupted_montium_coefficient_memory_is_detectable() {
     assert_eq!(corrupted.len(), clean_i.len());
     assert_ne!(corrupted, clean_i, "corruption must be observable");
     for &v in &corrupted {
-        assert!((-32768..=32767).contains(&v), "corrupted output {v} escaped");
+        assert!(
+            (-32768..=32767).contains(&v),
+            "corrupted output {v} escaped"
+        );
     }
     // ...and the Q path (uncorrupted) is unchanged.
     let q: Vec<i64> = tile
@@ -127,19 +130,41 @@ fn gc4016_rejects_every_out_of_envelope_config() {
     use ddc_suite::arch_asic::gc4016::{Gc4016Config, Gc4016Error};
     let base = Gc4016Config::gsm_example();
     let bad = [
-        Gc4016Config { cic_decim: 7, ..base.clone() },
-        Gc4016Config { cic_decim: 4097, ..base.clone() },
-        Gc4016Config { input_bits: 10, ..base.clone() },
-        Gc4016Config { output_bits: 17, ..base.clone() },
-        Gc4016Config { input_rate: 101e6, ..base.clone() },
-        Gc4016Config { input_rate: -1.0, ..base.clone() },
+        Gc4016Config {
+            cic_decim: 7,
+            ..base.clone()
+        },
+        Gc4016Config {
+            cic_decim: 4097,
+            ..base.clone()
+        },
+        Gc4016Config {
+            input_bits: 10,
+            ..base.clone()
+        },
+        Gc4016Config {
+            output_bits: 17,
+            ..base.clone()
+        },
+        Gc4016Config {
+            input_rate: 101e6,
+            ..base.clone()
+        },
+        Gc4016Config {
+            input_rate: -1.0,
+            ..base.clone()
+        },
     ];
     for (i, cfg) in bad.iter().enumerate() {
         assert!(cfg.validate().is_err(), "bad config {i} accepted");
     }
     // errors carry enough detail to act on
     assert_eq!(
-        Gc4016Config { cic_decim: 7, ..base }.validate(),
+        Gc4016Config {
+            cic_decim: 7,
+            ..base
+        }
+        .validate(),
         Err(Gc4016Error::CicDecimation(7))
     );
 }
@@ -151,8 +176,7 @@ fn adc_clipping_degrades_gracefully() {
     let f_tune = 10e6;
     let cfg = DdcConfig::drm(f_tune);
     let mut ddc = FixedDdc::new(cfg);
-    let analog: Vec<f64> = Tone::new(f_tune + 3_000.0, FS, 2.0, 0.0)
-        .take_vec(2688 * 300);
+    let analog: Vec<f64> = Tone::new(f_tune + 3_000.0, FS, 2.0, 0.0).take_vec(2688 * 300);
     let adc = adc_quantize(&analog, 12); // saturates heavily
     let raw = ddc.process_block(&adc);
     let out = ddc.to_c64(&raw);
@@ -163,5 +187,8 @@ fn adc_clipping_degrades_gracefully() {
         ddc_suite::dsp::window::Window::BlackmanHarris,
     );
     let (f_peak, _) = sp.peak();
-    assert!((f_peak - 3_000.0).abs() < 200.0, "clipping lost the tone: {f_peak}");
+    assert!(
+        (f_peak - 3_000.0).abs() < 200.0,
+        "clipping lost the tone: {f_peak}"
+    );
 }
