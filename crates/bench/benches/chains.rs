@@ -3,8 +3,9 @@
 //! multi-channel variants.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ddc_core::engine::DdcFarm;
 use ddc_core::params::DdcConfig;
-use ddc_core::pipeline::{run_channels_parallel, run_pipelined};
+use ddc_core::pipeline::run_pipelined;
 use ddc_core::{FixedDdc, ReferenceDdc};
 use ddc_dsp::signal::{adc_quantize, SampleSource, Tone};
 use std::hint::black_box;
@@ -48,11 +49,14 @@ fn bench_channels(c: &mut Criterion) {
     g.sample_size(15);
     for n in [1usize, 2, 4] {
         g.throughput(Throughput::Elements((BLOCK * n) as u64));
-        g.bench_function(format!("parallel_{n}ch"), |b| {
+        g.bench_function(format!("farm_{n}ch"), |b| {
             let cfgs: Vec<DdcConfig> = (0..n)
                 .map(|k| DdcConfig::drm(5e6 + k as f64 * 5e6))
                 .collect();
-            b.iter(|| black_box(run_channels_parallel(&cfgs, &adc12).len()))
+            // Persistent farm: the worker pool is spawned once and
+            // reused across iterations, which is the engine's point.
+            let mut farm = DdcFarm::new(cfgs);
+            b.iter(|| black_box(farm.submit_block(&adc12).len()))
         });
     }
     g.finish();

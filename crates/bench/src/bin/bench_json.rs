@@ -15,7 +15,9 @@
 
 use ddc_core::chain::FixedDdc;
 use ddc_core::cic::CicDecimator;
+use ddc_core::engine::DdcFarm;
 use ddc_core::fir::SequentialFir;
+use ddc_core::frontend::FusedFrontEnd;
 use ddc_core::mixer::FixedMixer;
 use ddc_core::nco::{CosSin, LutNco};
 use ddc_core::params::DdcConfig;
@@ -77,17 +79,18 @@ fn main() {
 
     // --- NCO ------------------------------------------------------
     {
+        // As with the mixer below, both paths store their results so
+        // the comparison is output-for-output, not registers vs memory.
         let mut nco = LutNco::new(cfg.tuning_word(), f.lut_addr_bits, f.coeff_bits);
+        let mut lo: Vec<CosSin> = Vec::with_capacity(n);
         let per = measure(n, || {
-            let mut acc = 0i64;
+            lo.clear();
             for _ in 0..n {
-                let cs = nco.next();
-                acc += i64::from(cs.cos) ^ i64::from(cs.sin);
+                lo.push(nco.next());
             }
-            black_box(acc);
+            black_box(lo.len());
         });
         let mut nco_b = LutNco::new(cfg.tuning_word(), f.lut_addr_bits, f.coeff_bits);
-        let mut lo: Vec<CosSin> = Vec::with_capacity(n);
         let blk = measure(n, || {
             lo.clear();
             nco_b.fill_block(n, &mut lo);
@@ -106,16 +109,22 @@ fn main() {
         let mut nco = LutNco::new(cfg.tuning_word(), f.lut_addr_bits, f.coeff_bits);
         let mut lo: Vec<CosSin> = Vec::with_capacity(n);
         nco.fill_block(n, &mut lo);
-        let per = measure(n, || {
-            let mut acc = 0i64;
-            for (&x, cs) in adc_i64.iter().zip(&lo) {
-                let m = mixer.mix(x, *cs);
-                acc ^= m.i + m.q;
-            }
-            black_box(acc);
-        });
+        // Both paths write their I/Q results to memory: an earlier
+        // version XOR-accumulated the per-sample results in a register,
+        // which made the per-sample path look faster than any block
+        // kernel that has to store 16 bytes per sample.
         let mut out_i = Vec::with_capacity(n);
         let mut out_q = Vec::with_capacity(n);
+        let per = measure(n, || {
+            out_i.clear();
+            out_q.clear();
+            for (&x, cs) in adc_i64.iter().zip(&lo) {
+                let m = mixer.mix(x, *cs);
+                out_i.push(m.i);
+                out_q.push(m.q);
+            }
+            black_box(out_i.len() + out_q.len());
+        });
         let blk = measure(n, || {
             out_i.clear();
             out_q.clear();
@@ -124,6 +133,46 @@ fn main() {
         });
         results.push(StageResult {
             name: "mixer",
+            per_sample_msps: per / 1e6,
+            block_msps: blk / 1e6,
+        });
+    }
+
+    // --- Fused front end (NCO → mixer → CIC1, single pass) --------
+    {
+        let mk_cic = || CicDecimator::new(cfg.cic1_order, cfg.cic1_decim, f.data_bits, f.data_bits);
+        let mut nco = LutNco::new(cfg.tuning_word(), f.lut_addr_bits, f.coeff_bits);
+        let mixer = FixedMixer::new(f.data_bits, f.coeff_bits);
+        let mut cic_i = mk_cic();
+        let mut cic_q = mk_cic();
+        let mut out_i = Vec::with_capacity(n / cfg.cic1_decim as usize + 1);
+        let mut out_q = Vec::with_capacity(n / cfg.cic1_decim as usize + 1);
+        // Per-sample form: the staged chain, one sample at a time
+        // through three stage calls.
+        let per = measure(n, || {
+            out_i.clear();
+            out_q.clear();
+            for &x in &adc {
+                let cs = nco.next();
+                let m = mixer.mix(i64::from(x), cs);
+                if let Some(y) = cic_i.process(m.i) {
+                    out_i.push(y);
+                }
+                if let Some(y) = cic_q.process(m.q) {
+                    out_q.push(y);
+                }
+            }
+            black_box(out_i.len() + out_q.len());
+        });
+        let mut fe = FusedFrontEnd::new(&cfg);
+        let blk = measure(n, || {
+            out_i.clear();
+            out_q.clear();
+            fe.process_block(&adc, &mut out_i, &mut out_q);
+            black_box(out_i.len() + out_q.len());
+        });
+        results.push(StageResult {
+            name: "fused_frontend",
             per_sample_msps: per / 1e6,
             block_msps: blk / 1e6,
         });
@@ -222,7 +271,44 @@ fn main() {
         black_box(run_pipelined(&cfg, &adc, 4096).len());
     }) / 1e6;
 
+    // --- Multi-channel farm: channels × cores scaling curve --------
+    // Aggregate throughput = (channels × input samples) per wall-clock
+    // second: on a many-core host it should grow with the channel
+    // count until the workers run out of cores; on a small host it
+    // stays flat, which is why `host_cores` is recorded next to the
+    // curve.
+    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    struct ScalePoint {
+        channels: usize,
+        workers: usize,
+        aggregate_msps: f64,
+    }
+    let mut scaling: Vec<ScalePoint> = Vec::new();
+    for channels in [1usize, 2, 4, 8] {
+        let cfgs: Vec<DdcConfig> = (0..channels)
+            .map(|k| DdcConfig::drm(5e6 + k as f64 * 2.5e6))
+            .collect();
+        let mut farm = DdcFarm::new(cfgs);
+        let workers = farm.worker_count();
+        let msps = measure(n * channels, || {
+            black_box(farm.submit_block(&adc).len());
+        }) / 1e6;
+        farm.shutdown();
+        scaling.push(ScalePoint {
+            channels,
+            workers,
+            aggregate_msps: msps,
+        });
+    }
+
     // --- Report ----------------------------------------------------
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string());
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"ddc block kernels vs per-sample\",\n");
@@ -232,6 +318,8 @@ fn main() {
         f.data_bits
     ));
     json.push_str(&format!("  \"input_samples\": {n},\n"));
+    json.push_str(&format!("  \"commit\": \"{commit}\",\n"));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     json.push_str(&format!(
         "  \"build\": \"{}\",\n",
         if cfg!(debug_assertions) {
@@ -253,9 +341,23 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"pipelined_two_thread_msps\": {:.2}\n",
+        "  \"pipelined_two_thread_msps\": {:.2},\n",
         pipelined_msps
     ));
+    json.push_str("  \"engine_scaling\": {\n");
+    json.push_str(&format!("    \"host_cores\": {host_cores},\n"));
+    json.push_str("    \"points\": [\n");
+    for (k, p) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"channels\": {}, \"workers\": {}, \"aggregate_msps\": {:.2}}}{}\n",
+            p.channels,
+            p.workers,
+            p.aggregate_msps,
+            if k + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n");
+    json.push_str("  }\n");
     json.push_str("}\n");
 
     std::fs::write("BENCH_kernels.json", &json).expect("cannot write BENCH_kernels.json");
@@ -274,5 +376,12 @@ fn main() {
         );
     }
     println!("pipelined (2 threads)  {pipelined_msps:>24.2} Ms/s");
-    println!("wrote BENCH_kernels.json");
+    println!("farm scaling ({host_cores} host cores):");
+    for p in &scaling {
+        println!(
+            "  {} channel(s) / {} worker(s) {:>12.2} Ms/s aggregate",
+            p.channels, p.workers, p.aggregate_msps
+        );
+    }
+    println!("wrote BENCH_kernels.json (commit {commit})");
 }

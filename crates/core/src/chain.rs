@@ -257,12 +257,12 @@ impl ReferenceDdc {
 
 /// Reusable intermediate buffers for [`FixedDdc::process_into`].
 /// `Vec::clear` keeps capacity, so after the first block the chain
-/// performs no heap allocation in steady state.
+/// performs no heap allocation in steady state. The fused front-end
+/// kernel consumes the ADC block directly, so — unlike the reference
+/// chain — no input-rate LO or mixer-rail buffers exist at all; the
+/// first materialised intermediates are the CIC1-rate rails.
 #[derive(Clone, Debug, Default)]
 struct FixedScratch {
-    lo: Vec<crate::nco::CosSin>,
-    mix_i: Vec<i64>,
-    mix_q: Vec<i64>,
     c1_i: Vec<i64>,
     c1_q: Vec<i64>,
     c2_i: Vec<i64>,
@@ -273,9 +273,6 @@ struct FixedScratch {
 
 impl FixedScratch {
     fn clear(&mut self) {
-        self.lo.clear();
-        self.mix_i.clear();
-        self.mix_q.clear();
         self.c1_i.clear();
         self.c1_q.clear();
         self.c2_i.clear();
@@ -441,9 +438,13 @@ impl FixedDdc {
         }
     }
 
-    /// Processes a block of ADC words through the stage-level block
-    /// kernels, appending outputs to `out`. Bit-exact with per-sample
-    /// [`FixedDdc::process`]. The intermediate buffers are owned by
+    /// Processes a block of ADC words, appending outputs to `out`.
+    /// Bit-exact with per-sample [`FixedDdc::process`]. The entire
+    /// input-rate part of the chain (NCO, mixer, CIC1 integrators)
+    /// runs through the fused single-pass kernel of
+    /// [`crate::frontend`], so no intermediate buffer is ever
+    /// materialised at the ADC rate; the CIC1-rate rails onward use
+    /// the stage block kernels. The intermediate buffers are owned by
     /// the chain and only cleared (capacity kept) between blocks, so
     /// steady-state processing performs no heap allocation.
     ///
@@ -461,11 +462,15 @@ impl FixedDdc {
         }
         let mut s = std::mem::take(&mut self.scratch);
         s.clear();
-        self.nco.fill_block(input.len(), &mut s.lo);
-        self.mixer
-            .mix_block_split(input, &s.lo, &mut s.mix_i, &mut s.mix_q);
-        self.cic1_i.process_block(&s.mix_i, &mut s.c1_i);
-        self.cic1_q.process_block(&s.mix_q, &mut s.c1_q);
+        crate::frontend::process_front_end(
+            &mut self.nco,
+            &self.mixer,
+            &mut self.cic1_i,
+            &mut self.cic1_q,
+            input,
+            &mut s.c1_i,
+            &mut s.c1_q,
+        );
         self.cic2_i.process_block(&s.c1_i, &mut s.c2_i);
         self.cic2_q.process_block(&s.c1_q, &mut s.c2_q);
         self.fir_i.process_block(&s.c2_i, &mut s.f_i);

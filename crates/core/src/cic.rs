@@ -328,6 +328,47 @@ impl CicDecimator {
         Some(v)
     }
 
+    /// Output bus width — exposed for the fused front-end kernel.
+    pub(crate) fn out_bits(&self) -> u32 {
+        self.out_bits
+    }
+
+    /// Differential delay `M` — exposed for the fused front-end kernel,
+    /// whose fast path requires `M == 1`.
+    pub(crate) fn diff_delay(&self) -> u32 {
+        self.diff_delay
+    }
+
+    /// Snapshot of the order-2, `M == 1` state as
+    /// `(integrator0, integrator1, comb0, comb1, phase)` — lets the
+    /// fused front-end kernel run the cascade in locals exactly like
+    /// [`CicDecimator::process_block`] does.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `order == 2 && diff_delay == 1`.
+    pub(crate) fn order2_state(&self) -> (i64, i64, i64, i64, u32) {
+        debug_assert!(self.order == 2 && self.diff_delay == 1);
+        (
+            self.integrators[0].get(),
+            self.integrators[1].get(),
+            self.combs[0][0],
+            self.combs[1][0],
+            self.phase,
+        )
+    }
+
+    /// Writes back the state taken with [`CicDecimator::order2_state`]
+    /// after a fused kernel has advanced its local copies.
+    pub(crate) fn set_order2_state(&mut self, a0: i64, a1: i64, d0: i64, d1: i64, phase: u32) {
+        debug_assert!(self.order == 2 && self.diff_delay == 1);
+        self.integrators[0].set(a0);
+        self.integrators[1].set(a1);
+        self.combs[0][0] = d0;
+        self.combs[1][0] = d1;
+        self.phase = phase;
+    }
+
     /// Clears all state.
     pub fn reset(&mut self) {
         for acc in self.integrators.iter_mut() {

@@ -1,0 +1,427 @@
+//! Persistent multi-channel DDC execution engine.
+//!
+//! The paper benchmarks the GC4016 — a *quad* DDC: four independent
+//! channels downconverting the same ADC stream. [`DdcFarm`] is the
+//! host-side analogue scaled past four: a fixed set of channels, each
+//! with its own persistent [`FixedDdc`] state, served by a worker pool
+//! that is spawned **once** and reused across input batches. The old
+//! `run_channels_parallel` spawned (and tore down) one thread per
+//! channel per call, which bounds batch rate by thread-creation cost;
+//! the farm replaces that with:
+//!
+//! * **bounded per-worker job queues** — submission distributes one
+//!   job per channel round-robin across workers, and a full queue
+//!   back-pressures the submitter instead of growing without bound;
+//! * **work stealing** — an idle worker drains its own queue front to
+//!   back, then steals from the *back* of its neighbours' queues, so a
+//!   channel mix with uneven per-channel cost still saturates cores;
+//! * **persistent channel state** — filter state lives across batches,
+//!   so streaming a signal through the farm in successive blocks is
+//!   bit-exact with streaming it through per-channel [`FixedDdc`]s;
+//! * **per-channel statistics** — batches, samples, outputs and busy
+//!   time (for throughput), plus per-worker backlog depths;
+//! * **graceful shutdown** — on drop (or [`DdcFarm::shutdown`]) the
+//!   workers finish queued jobs, observe the stop flag and join.
+//!
+//! Only `std` primitives are used (`Mutex`, `Condvar`, atomics,
+//! `thread`), matching the repo's no-external-deps constraint.
+
+use crate::chain::FixedDdc;
+use crate::mixer::Iq;
+use crate::params::DdcConfig;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One unit of work: run channel `channel` over `input`.
+struct Job {
+    channel: usize,
+    input: Arc<Vec<i32>>,
+}
+
+/// A channel's persistent state and its lifetime counters. Locked as a
+/// unit: the worker that runs a channel's job already holds the lock
+/// for the duration of the processing call, so the stats update costs
+/// no extra synchronisation.
+struct ChannelSlot {
+    ddc: FixedDdc,
+    stats: ChannelStats,
+}
+
+/// Lifetime statistics of one farm channel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChannelStats {
+    /// Input batches processed.
+    pub batches: u64,
+    /// ADC samples consumed.
+    pub samples_in: u64,
+    /// Complex output words produced.
+    pub outputs: u64,
+    /// Wall-clock time spent inside `process_into` for this channel.
+    pub busy: Duration,
+}
+
+impl ChannelStats {
+    /// Mean processing throughput in Msamples/s (input-rate samples per
+    /// second of busy time). `None` before any work has been recorded.
+    pub fn throughput_msps(&self) -> Option<f64> {
+        let secs = self.busy.as_secs_f64();
+        (secs > 0.0).then(|| self.samples_in as f64 / secs / 1e6)
+    }
+}
+
+/// Everything shared between the submitter and the workers.
+struct Shared {
+    /// Bounded FIFO per worker; `queue_cap` bounds each.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    queue_cap: usize,
+    /// Channel states, lockable independently so stolen jobs for
+    /// different channels never contend.
+    channels: Vec<Mutex<ChannelSlot>>,
+    /// Per-channel result buffers for the batch in flight. Reused
+    /// across batches (submission is serialised by `&mut self`).
+    results: Vec<Mutex<Vec<Iq>>>,
+    /// Count of jobs not yet finished in the current batch, and the
+    /// condvar the submitter waits on.
+    pending: Mutex<usize>,
+    batch_done: Condvar,
+    /// Parking lot for idle workers.
+    idle: Mutex<()>,
+    work_ready: Condvar,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Pops a job: own queue from the front, otherwise steal from the
+    /// back of the busiest neighbour scan order.
+    fn find_job(&self, me: usize) -> Option<Job> {
+        if let Some(job) = self.queues[me].lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(job) = self.queues[victim].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn any_job_queued(&self) -> bool {
+        self.queues.iter().any(|q| !q.lock().unwrap().is_empty())
+    }
+
+    /// Wakes sleeping workers. Taking the idle lock (even empty)
+    /// orders this notify against a worker that has scanned the queues
+    /// and is about to wait: either our enqueue is visible to its
+    /// under-lock re-check, or it is already waiting and receives the
+    /// notification. The workers' `wait_timeout` is only a backstop.
+    fn notify_workers(&self) {
+        drop(self.idle.lock().unwrap());
+        self.work_ready.notify_all();
+    }
+
+    /// Runs one job to completion and signals the batch counter.
+    fn run_job(&self, job: Job) {
+        {
+            let mut slot = self.channels[job.channel].lock().unwrap();
+            let mut out = self.results[job.channel].lock().unwrap();
+            let before = out.len();
+            let t0 = Instant::now();
+            slot.ddc.process_into(&job.input, &mut out);
+            let elapsed = t0.elapsed();
+            slot.stats.batches += 1;
+            slot.stats.samples_in += job.input.len() as u64;
+            slot.stats.outputs += (out.len() - before) as u64;
+            slot.stats.busy += elapsed;
+        }
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        if *pending == 0 {
+            self.batch_done.notify_all();
+        }
+    }
+}
+
+fn worker_loop(me: usize, shared: Arc<Shared>) {
+    loop {
+        if let Some(job) = shared.find_job(me) {
+            shared.run_job(job);
+            continue;
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let guard = shared.idle.lock().unwrap();
+        // Re-check under the idle lock so a notify between the scan
+        // above and this wait cannot be lost; the timeout is a second
+        // line of defence, not the wake mechanism.
+        if shared.stop.load(Ordering::Acquire) || shared.any_job_queued() {
+            continue;
+        }
+        let _ = shared
+            .work_ready
+            .wait_timeout(guard, Duration::from_millis(20));
+    }
+}
+
+/// A persistent multi-channel DDC engine: N channels, W worker
+/// threads, reusable across any number of input batches.
+///
+/// # Examples
+///
+/// ```
+/// use ddc_core::engine::DdcFarm;
+/// use ddc_core::params::DdcConfig;
+///
+/// let mut farm = DdcFarm::new(vec![
+///     DdcConfig::drm(10e6),
+///     DdcConfig::drm(20e6),
+/// ]);
+/// let input = vec![100i32; 2688];
+/// let outputs = farm.submit_block(&input);
+/// assert_eq!(outputs.len(), 2);           // one stream per channel
+/// assert_eq!(outputs[0].len(), 1);        // 2688 inputs -> 1 word
+/// ```
+pub struct DdcFarm {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    n_channels: usize,
+}
+
+impl DdcFarm {
+    /// Builds a farm with one [`FixedDdc`] per configuration and as
+    /// many workers as the host offers (capped at the channel count —
+    /// extra workers could never have work).
+    pub fn new(configs: Vec<DdcConfig>) -> Self {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = host.min(configs.len()).max(1);
+        Self::with_workers(configs, workers)
+    }
+
+    /// Builds a farm with an explicit worker count.
+    pub fn with_workers(configs: Vec<DdcConfig>, workers: usize) -> Self {
+        assert!(!configs.is_empty(), "farm needs at least one channel");
+        assert!(workers >= 1, "farm needs at least one worker");
+        let n_channels = configs.len();
+        let channels: Vec<Mutex<ChannelSlot>> = configs
+            .into_iter()
+            .map(|cfg| {
+                Mutex::new(ChannelSlot {
+                    ddc: FixedDdc::new(cfg),
+                    stats: ChannelStats::default(),
+                })
+            })
+            .collect();
+        let queue_cap = 2 * n_channels.div_ceil(workers).max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queue_cap,
+            channels,
+            results: (0..n_channels).map(|_| Mutex::new(Vec::new())).collect(),
+            pending: Mutex::new(0),
+            batch_done: Condvar::new(),
+            idle: Mutex::new(()),
+            work_ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ddc-farm-{k}"))
+                    .spawn(move || worker_loop(k, shared))
+                    .expect("cannot spawn farm worker")
+            })
+            .collect();
+        DdcFarm {
+            shared,
+            workers: handles,
+            n_channels,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.n_channels
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every channel over `input`, returning per-channel outputs
+    /// in configuration order. Channel filter state persists across
+    /// calls, so feeding a stream block-by-block is bit-exact with
+    /// per-channel [`FixedDdc::process_block`] over the same blocks.
+    ///
+    /// The input is copied once into a shared buffer the workers read
+    /// concurrently.
+    pub fn submit_block(&mut self, input: &[i32]) -> Vec<Vec<Iq>> {
+        let input = Arc::new(input.to_vec());
+        *self.shared.pending.lock().unwrap() = self.n_channels;
+        let workers = self.workers.len();
+        for ch in 0..self.n_channels {
+            let job = Job {
+                channel: ch,
+                input: Arc::clone(&input),
+            };
+            self.push_job(ch % workers, job);
+        }
+        self.shared.notify_workers();
+        let mut pending = self.shared.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.shared.batch_done.wait(pending).unwrap();
+        }
+        drop(pending);
+        self.shared
+            .results
+            .iter()
+            .map(|m| std::mem::take(&mut *m.lock().unwrap()))
+            .collect()
+    }
+
+    /// Enqueues a job on worker `w`, respecting the queue bound: if the
+    /// queue is full the submitter wakes the workers and yields until
+    /// space appears (back-pressure rather than unbounded growth).
+    /// Stealing lets any worker drain the full queue in the meantime.
+    fn push_job(&self, w: usize, job: Job) {
+        let mut job = Some(job);
+        loop {
+            {
+                let mut q = self.shared.queues[w].lock().unwrap();
+                if q.len() < self.shared.queue_cap {
+                    q.push_back(job.take().expect("job offered twice"));
+                    break;
+                }
+            }
+            self.shared.notify_workers();
+            std::thread::yield_now();
+        }
+        self.shared.notify_workers();
+    }
+
+    /// Snapshot of every channel's lifetime statistics, in channel
+    /// order.
+    pub fn stats(&self) -> Vec<ChannelStats> {
+        self.shared
+            .channels
+            .iter()
+            .map(|c| c.lock().unwrap().stats)
+            .collect()
+    }
+
+    /// Current queue depth per worker — the backlog a monitor would
+    /// watch. All zeros between batches (submission is synchronous).
+    pub fn backlog(&self) -> Vec<usize> {
+        self.shared
+            .queues
+            .iter()
+            .map(|q| q.lock().unwrap().len())
+            .collect()
+    }
+
+    /// Stops the workers and joins them. Called automatically on drop;
+    /// explicit form for callers that want to observe join panics.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.notify_workers();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DdcFarm {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_dsp::signal::{adc_quantize, SampleSource, Tone, WhiteNoise};
+
+    fn test_input(n: usize, seed: u64) -> Vec<i32> {
+        let mut src = ddc_dsp::signal::Mix(
+            Tone::new(10_003_000.0, 64_512_000.0, 0.6, 0.1),
+            WhiteNoise::new(seed, 0.1),
+        );
+        adc_quantize(&src.take_vec(n), 12)
+    }
+
+    #[test]
+    fn farm_matches_sequential_chains_across_batches() {
+        let cfgs = vec![
+            DdcConfig::drm(10e6),
+            DdcConfig::drm(20e6),
+            DdcConfig::drm(5e6),
+            DdcConfig::drm(25e6),
+        ];
+        let block_a = test_input(2688 * 4, 3);
+        let block_b = test_input(2688 * 3 + 511, 4);
+        let mut farm = DdcFarm::new(cfgs.clone());
+        let got_a = farm.submit_block(&block_a);
+        let got_b = farm.submit_block(&block_b);
+        for (k, cfg) in cfgs.iter().enumerate() {
+            let mut solo = FixedDdc::new(cfg.clone());
+            assert_eq!(got_a[k], solo.process_block(&block_a), "batch A ch {k}");
+            assert_eq!(got_b[k], solo.process_block(&block_b), "batch B ch {k}");
+        }
+    }
+
+    #[test]
+    fn farm_with_fewer_workers_than_channels_steals_work() {
+        let cfgs: Vec<DdcConfig> = (1..=6).map(|k| DdcConfig::drm(k as f64 * 4e6)).collect();
+        let input = test_input(2688 * 2, 9);
+        let mut farm = DdcFarm::with_workers(cfgs.clone(), 2);
+        assert_eq!(farm.worker_count(), 2);
+        let got = farm.submit_block(&input);
+        assert_eq!(got.len(), 6);
+        for (k, cfg) in cfgs.iter().enumerate() {
+            let mut solo = FixedDdc::new(cfg.clone());
+            assert_eq!(got[k], solo.process_block(&input), "channel {k}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_report_throughput() {
+        let mut farm = DdcFarm::new(vec![DdcConfig::drm(10e6)]);
+        let input = test_input(2688 * 2, 5);
+        farm.submit_block(&input);
+        farm.submit_block(&input);
+        let stats = farm.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].batches, 2);
+        assert_eq!(stats[0].samples_in, 2 * input.len() as u64);
+        assert!(stats[0].throughput_msps().unwrap_or(0.0) > 0.0);
+        assert!(farm.backlog().iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn empty_input_batch_returns_empty_outputs() {
+        let mut farm = DdcFarm::new(vec![DdcConfig::drm(10e6), DdcConfig::drm(20e6)]);
+        let got = farm.submit_block(&[]);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn explicit_shutdown_joins_cleanly() {
+        let mut farm = DdcFarm::with_workers(vec![DdcConfig::drm(10e6)], 1);
+        let _ = farm.submit_block(&test_input(2688, 1));
+        farm.shutdown();
+    }
+}

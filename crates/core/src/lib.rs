@@ -27,6 +27,10 @@
 //! * [`cic`] — integrator-comb decimators (Figure 2).
 //! * [`fir`] — polyphase and sequential (Figure 3 / Figure 5) FIRs.
 //! * [`chain`] — the assembled DDC chains.
+//! * [`frontend`] — the fused NCO→mixer→CIC1 single-pass kernel that
+//!   serves the input-rate part of the chain.
+//! * [`engine`] — [`engine::DdcFarm`], the persistent multi-channel
+//!   execution engine (worker pool, bounded queues, work stealing).
 //! * [`activity`] — per-stage switching-activity and operation-count
 //!   instrumentation feeding the power models.
 //! * [`pipeline`] — multi-threaded block pipeline for fast simulation.
@@ -40,7 +44,9 @@ pub mod activity;
 pub mod chain;
 pub mod cic;
 pub mod duc;
+pub mod engine;
 pub mod fir;
+pub mod frontend;
 pub mod mixer;
 pub mod nco;
 pub mod params;
@@ -48,4 +54,6 @@ pub mod pipeline;
 pub mod pruned;
 
 pub use chain::{FixedDdc, ReferenceDdc};
+pub use engine::DdcFarm;
+pub use frontend::FusedFrontEnd;
 pub use params::{DdcConfig, FixedFormat};

@@ -90,9 +90,18 @@ impl FixedMixer {
     /// the layout the downstream per-rail CIC block kernels consume.
     /// Bit-exact with per-sample [`FixedMixer::mix`]: the round-shift
     /// is inlined with its half-LSB constant hoisted (`coeff_frac ≥ 1`
-    /// always, so the `shift == 0` case cannot arise), and each rail
-    /// runs as its own pass so the compiler can vectorise the
-    /// multiply–round–clamp independently.
+    /// always, so the `shift == 0` case cannot arise).
+    ///
+    /// Both rails are produced in a *single* pass. An earlier version
+    /// ran one pass per rail, which regressed below the per-sample
+    /// path: each pass re-streamed `xs` and `lo` from memory (the
+    /// block is megabytes at the ADC rate, far beyond L2), so the
+    /// kernel paid the input-side memory traffic twice and the widened
+    /// `x` could not be reused across rails in a register. The fused
+    /// pass reads every input word once, shares the `i64` widening
+    /// between the I and Q products, and writes through pre-sized
+    /// output slices so the two stores per sample carry no capacity
+    /// checks and the loop stays branch-free for autovectorisation.
     pub fn mix_block_split(
         &self,
         xs: &[i32],
@@ -105,16 +114,28 @@ impl FixedMixer {
         let shift = self.coeff_frac;
         let top = ddc_dsp::fixed::max_signed(self.data_bits);
         let bot = ddc_dsp::fixed::min_signed(self.data_bits);
-        out_i.extend(
-            xs.iter().zip(lo).map(|(&x, cs)| {
-                ((i64::from(x) * i64::from(cs.cos) + half) >> shift).clamp(bot, top)
-            }),
-        );
-        out_q.extend(
-            xs.iter().zip(lo).map(|(&x, cs)| {
-                ((i64::from(x) * i64::from(-cs.sin) + half) >> shift).clamp(bot, top)
-            }),
-        );
+        let base_i = out_i.len();
+        let base_q = out_q.len();
+        out_i.resize(base_i + xs.len(), 0);
+        out_q.resize(base_q + xs.len(), 0);
+        let dst_i = &mut out_i[base_i..];
+        let dst_q = &mut out_q[base_q..];
+        for (((&x, cs), di), dq) in xs.iter().zip(lo).zip(dst_i).zip(dst_q) {
+            let xw = i64::from(x);
+            *di = ((xw * i64::from(cs.cos) + half) >> shift).clamp(bot, top);
+            *dq = ((xw * i64::from(-cs.sin) + half) >> shift).clamp(bot, top);
+        }
+    }
+
+    /// Data-bus width — exposed for the fused front-end kernel.
+    pub(crate) fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    /// Coefficient fractional bits — exposed for the fused front-end
+    /// kernel.
+    pub(crate) fn coeff_frac(&self) -> u32 {
+        self.coeff_frac
     }
 }
 

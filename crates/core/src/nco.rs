@@ -136,6 +136,24 @@ impl LutNco {
     pub fn reset(&mut self) {
         self.phase = 0;
     }
+
+    /// Table address width — exposed for the fused front-end kernel,
+    /// which hoists the address arithmetic itself.
+    pub(crate) fn addr_bits(&self) -> u32 {
+        self.addr_bits
+    }
+
+    /// The raw sine table — read-only view for the fused front-end
+    /// kernel.
+    pub(crate) fn table(&self) -> &[i32] {
+        &self.table
+    }
+
+    /// Restores the phase accumulator after a fused kernel has advanced
+    /// a local copy of it.
+    pub(crate) fn set_phase(&mut self, phase: u32) {
+        self.phase = phase;
+    }
 }
 
 /// A Taylor/polynomial NCO: computes sine by range reduction to a

@@ -4,44 +4,42 @@
 //! Two orthogonal parallelisation axes, both bit-exact with the
 //! sequential chain:
 //!
-//! * [`run_channels_parallel`] — independent channels (the GC4016 is a
-//!   *quad* DDC; running four channels at once is the natural data
-//!   parallelism), one scoped thread per channel.
+//! * independent channels (the GC4016 is a *quad* DDC; running four
+//!   channels at once is the natural data parallelism) — served by the
+//!   persistent worker pool of [`crate::engine::DdcFarm`]; the old
+//!   spawn-per-call [`run_channels_parallel`] survives only as a
+//!   deprecated wrapper over a single-batch farm.
 //! * [`run_pipelined`] — a single channel split at the first CIC's
-//!   output into a front-end thread (NCO, mixer, CIC1 at the input
-//!   rate) and a back-end thread (CIC5, FIR at 1/16 the rate), mirroring
-//!   how the Montium mapping splits the work between its
-//!   always-busy and time-multiplexed ALUs.
+//!   output into a front-end thread (the fused NCO→mixer→CIC1 kernel
+//!   at the input rate) and a back-end thread (CIC5, FIR at 1/16 the
+//!   rate), mirroring how the Montium mapping splits the work between
+//!   its always-busy and time-multiplexed ALUs.
 
-use crate::chain::FixedDdc;
 use crate::cic::CicDecimator;
+use crate::engine::DdcFarm;
 use crate::fir::SequentialFir;
-use crate::mixer::{FixedMixer, Iq};
-use crate::nco::LutNco;
+use crate::frontend::FusedFrontEnd;
+use crate::mixer::Iq;
 use crate::params::DdcConfig;
 use ddc_dsp::firdes::quantize_taps;
 use std::sync::mpsc;
 
-/// Runs one independent [`FixedDdc`] per configuration over the same
-/// input block, each on its own scoped thread. Returns per-channel
-/// outputs in configuration order.
+/// Runs one independent [`crate::chain::FixedDdc`] per configuration
+/// over the same input block. Returns per-channel outputs in
+/// configuration order.
+///
+/// Kept as a thin wrapper over a single-use [`DdcFarm`] so existing
+/// callers see identical behaviour (fresh chains, one batch), but the
+/// farm is the supported path: it keeps its worker pool and channel
+/// state alive across batches instead of paying thread spawn/teardown
+/// on every call.
+#[deprecated(
+    since = "0.1.0",
+    note = "spawn-per-call path; build a persistent `ddc_core::engine::DdcFarm` and reuse it across batches"
+)]
 pub fn run_channels_parallel(configs: &[DdcConfig], input: &[i32]) -> Vec<Vec<Iq>> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .iter()
-            .map(|cfg| {
-                let cfg = cfg.clone();
-                scope.spawn(move || {
-                    let mut ddc = FixedDdc::new(cfg);
-                    ddc.process_block(input)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("channel thread panicked"))
-            .collect()
-    })
+    let mut farm = DdcFarm::new(configs.to_vec());
+    farm.submit_block(input)
 }
 
 /// Block of front-end output carried between pipeline threads.
@@ -69,40 +67,20 @@ pub fn run_pipelined(config: &DdcConfig, input: &[i32], block: usize) -> Vec<Iq>
 
     let mut out = Vec::new();
     std::thread::scope(|scope| {
-        // Front end: input rate. Processes input in chunks sized to
-        // fill roughly one block of CIC1 output per iteration.
+        // Front end: input rate. The fused NCO→mixer→CIC1 kernel
+        // consumes the ADC chunk in one pass — no input-rate LO or
+        // mixer-rail buffers — sized to fill roughly one block of CIC1
+        // output per iteration.
         let front = scope.spawn(move || {
-            let mut nco = LutNco::new(config.tuning_word(), f.lut_addr_bits, f.coeff_bits);
-            let mixer = FixedMixer::new(f.data_bits, f.coeff_bits);
-            let mut cic_i = CicDecimator::new(
-                config.cic1_order,
-                config.cic1_decim,
-                f.data_bits,
-                f.data_bits,
-            );
-            let mut cic_q = CicDecimator::new(
-                config.cic1_order,
-                config.cic1_decim,
-                f.data_bits,
-                f.data_bits,
-            );
+            let mut fe = FusedFrontEnd::new(config);
             let chunk_len = (block * config.cic1_decim as usize).max(256);
-            let mut lo = Vec::new();
-            let mut mix_i = Vec::new();
-            let mut mix_q = Vec::new();
             let mut c1_i = Vec::new();
             let mut c1_q = Vec::new();
             let mut buf: IqBlock = Vec::with_capacity(block);
             for chunk in input.chunks(chunk_len) {
-                lo.clear();
-                mix_i.clear();
-                mix_q.clear();
                 c1_i.clear();
                 c1_q.clear();
-                nco.fill_block(chunk.len(), &mut lo);
-                mixer.mix_block_split(chunk, &lo, &mut mix_i, &mut mix_q);
-                cic_i.process_block(&mix_i, &mut c1_i);
-                cic_q.process_block(&mix_q, &mut c1_q);
+                fe.process_block(chunk, &mut c1_i, &mut c1_q);
                 for (&i1, &q1) in c1_i.iter().zip(&c1_q) {
                     buf.push(Iq { i: i1, q: q1 });
                     if buf.len() == block {
@@ -191,6 +169,7 @@ pub fn run_pipelined(config: &DdcConfig, input: &[i32], block: usize) -> Vec<Iq>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chain::FixedDdc;
     use ddc_dsp::signal::{adc_quantize, SampleSource, Tone, WhiteNoise};
 
     fn test_input(n: usize) -> Vec<i32> {
@@ -214,6 +193,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn parallel_channels_match_individual_runs() {
         let cfgs = vec![
             DdcConfig::drm(10e6),

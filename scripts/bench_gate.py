@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a freshly generated ``BENCH_kernels.json`` against the
+committed baseline and fails (exit 1) if any stage's per-sample or
+block throughput dropped by more than the allowed fraction (default
+25%). Stages present in only one file are reported but never fail the
+gate, so adding a new stage does not require touching this script.
+
+Usage:
+    python3 scripts/bench_gate.py BASELINE.json FRESH.json [--max-drop 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_stages(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    stages = {}
+    for entry in doc.get("stages", []):
+        stages[entry["stage"]] = entry
+    # The pipelined chain is a scalar key, not a stage entry; fold it in
+    # so it is gated like everything else.
+    if "pipelined_two_thread_msps" in doc:
+        stages["pipelined_two_thread"] = {
+            "stage": "pipelined_two_thread",
+            "block_msps": doc["pipelined_two_thread_msps"],
+        }
+    return stages
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.25,
+        help="maximum allowed fractional throughput drop per metric",
+    )
+    args = ap.parse_args()
+
+    base = load_stages(args.baseline)
+    fresh = load_stages(args.fresh)
+
+    failures = []
+    for name, b in sorted(base.items()):
+        f = fresh.get(name)
+        if f is None:
+            print(f"NOTE  {name}: present in baseline only (skipped)")
+            continue
+        for metric in ("per_sample_msps", "block_msps"):
+            if metric not in b or metric not in f:
+                continue
+            was, now = b[metric], f[metric]
+            if was <= 0:
+                continue
+            drop = (was - now) / was
+            status = "FAIL" if drop > args.max_drop else "ok"
+            print(
+                f"{status:<5} {name}.{metric}: {was:.2f} -> {now:.2f} Ms/s "
+                f"({-drop:+.1%})"
+            )
+            if drop > args.max_drop:
+                failures.append((name, metric, was, now))
+
+    for name in sorted(set(fresh) - set(base)):
+        print(f"NOTE  {name}: new stage, no baseline (skipped)")
+
+    if failures:
+        print(
+            f"\nbench gate: {len(failures)} metric(s) regressed more than "
+            f"{args.max_drop:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nbench gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

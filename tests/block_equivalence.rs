@@ -5,7 +5,9 @@
 
 use ddc_suite::core::chain::{FixedDdc, ReferenceDdc};
 use ddc_suite::core::cic::CicDecimator;
+use ddc_suite::core::engine::DdcFarm;
 use ddc_suite::core::fir::{PolyphaseFir, SequentialFir};
+use ddc_suite::core::frontend::FusedFrontEnd;
 use ddc_suite::core::mixer::FixedMixer;
 use ddc_suite::core::nco::{CosSin, LutNco};
 use ddc_suite::core::params::DdcConfig;
@@ -110,6 +112,67 @@ proptest! {
         prop_assert_eq!(blocked.phase(), per_sample.phase());
     }
 
+    /// Fused front end: the single-pass NCO→mixer→CIC1 kernel equals
+    /// the staged per-sample chain for any tuning word, CIC order (the
+    /// order-2 case exercises the fused fast path, other orders the
+    /// fallback), decimation and chunking of the input.
+    #[test]
+    fn fused_front_end_equals_staged(
+        word in any::<u32>(),
+        order in 1u32..=5,
+        decim in 1u32..=24,
+        input in prop::collection::vec(-2048i32..=2047, 0..500),
+        chunk in 1usize..97,
+    ) {
+        let mut nco = LutNco::new(word, 10, 12);
+        let mixer = FixedMixer::new(12, 12);
+        let mut cic_i = CicDecimator::new(order, decim, 12, 12);
+        let mut cic_q = cic_i.clone();
+        let mut fused = FusedFrontEnd::from_parts(nco.clone(), mixer, cic_i.clone(), cic_q.clone());
+
+        let mut expect_i = Vec::new();
+        let mut expect_q = Vec::new();
+        for &x in &input {
+            let cs = nco.next();
+            let m = mixer.mix(i64::from(x), cs);
+            if let Some(y) = cic_i.process(m.i) {
+                expect_i.push(y);
+            }
+            if let Some(y) = cic_q.process(m.q) {
+                expect_q.push(y);
+            }
+        }
+
+        let mut got_i = Vec::new();
+        let mut got_q = Vec::new();
+        for piece in input.chunks(chunk) {
+            fused.process_block(piece, &mut got_i, &mut got_q);
+        }
+        prop_assert_eq!(&got_i, &expect_i);
+        prop_assert_eq!(&got_q, &expect_q);
+
+        // Residual state (NCO phase, integrators, combs, group phase)
+        // must also agree: run one more decimation group through both.
+        let tail: Vec<i32> = (0..decim as i32).map(|k| (k * 97) % 2048).collect();
+        let mut expect_ti = Vec::new();
+        let mut expect_tq = Vec::new();
+        for &x in &tail {
+            let cs = nco.next();
+            let m = mixer.mix(i64::from(x), cs);
+            if let Some(y) = cic_i.process(m.i) {
+                expect_ti.push(y);
+            }
+            if let Some(y) = cic_q.process(m.q) {
+                expect_tq.push(y);
+            }
+        }
+        let mut got_ti = Vec::new();
+        let mut got_tq = Vec::new();
+        fused.process_block(&tail, &mut got_ti, &mut got_tq);
+        prop_assert_eq!(got_ti, expect_ti);
+        prop_assert_eq!(got_tq, expect_tq);
+    }
+
     /// Mixer: the split block form equals per-sample mixing.
     #[test]
     fn mixer_block_equals_per_sample(
@@ -156,6 +219,37 @@ proptest! {
             blocked.process_into(piece, &mut got);
         }
         prop_assert_eq!(got, expect);
+    }
+
+    /// Multi-channel engine: a `DdcFarm` fed an arbitrary sequence of
+    /// batches produces, per channel, exactly what a sequential
+    /// `FixedDdc::process_block` over the same stream produces — for
+    /// any channel count and any worker count (including fewer workers
+    /// than channels, which forces work stealing).
+    #[test]
+    fn ddc_farm_equals_sequential_chains(
+        tunes_mhz in prop::collection::vec(1.0f64..30.0, 1..6),
+        input in prop::collection::vec(-2048i32..=2047, 0..6000),
+        batch in 1usize..2500,
+        workers in 1usize..4,
+    ) {
+        let cfgs: Vec<DdcConfig> =
+            tunes_mhz.iter().map(|&mhz| DdcConfig::drm(mhz * 1e6)).collect();
+
+        let mut farm = DdcFarm::with_workers(cfgs.clone(), workers);
+        let mut got: Vec<Vec<_>> = vec![Vec::new(); cfgs.len()];
+        for piece in input.chunks(batch) {
+            for (ch, out) in farm.submit_block(piece).into_iter().enumerate() {
+                got[ch].extend(out);
+            }
+        }
+        farm.shutdown();
+
+        for (ch, cfg) in cfgs.iter().enumerate() {
+            let mut solo = FixedDdc::new(cfg.clone());
+            let expect = solo.process_block(&input);
+            prop_assert_eq!(&got[ch], &expect, "channel {} diverged", ch);
+        }
     }
 
     /// Full floating-point reference chain: block path preserves every

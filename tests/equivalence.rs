@@ -10,7 +10,9 @@ use ddc_suite::arch_gpp::golden::{drm_coefficients, GppDdc};
 use ddc_suite::arch_gpp::programs::{optimized, run_ddc as run_gpp, unoptimized};
 use ddc_suite::arch_montium::mapping::run_ddc as run_montium;
 use ddc_suite::core::nco::tuning_word;
-use ddc_suite::core::pipeline::{run_channels_parallel, run_pipelined};
+#[allow(deprecated)] // pinned: the wrapper must keep working for existing callers
+use ddc_suite::core::pipeline::run_channels_parallel;
+use ddc_suite::core::pipeline::run_pipelined;
 use ddc_suite::core::{DdcConfig, FixedDdc, ReferenceDdc};
 use ddc_suite::dsp::signal::{adc_quantize, Mix, SampleSource, Tone, WhiteNoise};
 use ddc_suite::dsp::stats::ser_db;
@@ -56,6 +58,9 @@ fn gpp_programs_equal_golden_model_bit_for_bit() {
 }
 
 #[test]
+// run_channels_parallel is deprecated in favour of engine::DdcFarm but
+// must keep working as a thin wrapper; this test pins that behaviour.
+#[allow(deprecated)]
 fn pipeline_equals_sequential_bit_for_bit() {
     let sig = stimulus(2688 * 7 + 531);
     let adc = adc_quantize(&sig, 12);
