@@ -28,16 +28,18 @@ use std::hint::black_box;
 use std::time::Instant;
 
 /// One stage's measurement: throughput of the per-sample path and the
-/// block path over the identical stimulus.
+/// block path over the identical stimulus. Service-level stages (like
+/// the TCP loopback) have no meaningful per-sample form and emit only
+/// `block_msps` — the gate script skips metrics that are absent.
 struct StageResult {
     name: &'static str,
-    per_sample_msps: f64,
+    per_sample_msps: Option<f64>,
     block_msps: f64,
 }
 
 impl StageResult {
-    fn speedup(&self) -> f64 {
-        self.block_msps / self.per_sample_msps
+    fn speedup(&self) -> Option<f64> {
+        self.per_sample_msps.map(|p| self.block_msps / p)
     }
 }
 
@@ -98,7 +100,7 @@ fn main() {
         });
         results.push(StageResult {
             name: "nco_lut",
-            per_sample_msps: per / 1e6,
+            per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
         });
     }
@@ -133,7 +135,7 @@ fn main() {
         });
         results.push(StageResult {
             name: "mixer",
-            per_sample_msps: per / 1e6,
+            per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
         });
     }
@@ -173,7 +175,7 @@ fn main() {
         });
         results.push(StageResult {
             name: "fused_frontend",
-            per_sample_msps: per / 1e6,
+            per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
         });
     }
@@ -199,7 +201,7 @@ fn main() {
         });
         results.push(StageResult {
             name,
-            per_sample_msps: per / 1e6,
+            per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
         });
     }
@@ -235,7 +237,7 @@ fn main() {
         });
         results.push(StageResult {
             name: "fir_seq_125tap_r8",
-            per_sample_msps: per / 1e6,
+            per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
         });
     }
@@ -261,7 +263,7 @@ fn main() {
         });
         results.push(StageResult {
             name: "fixed_ddc_drm_chain",
-            per_sample_msps: per / 1e6,
+            per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
         });
     }
@@ -301,6 +303,41 @@ fn main() {
         });
     }
 
+    // --- Streaming service over TCP loopback -----------------------
+    // End-to-end service throughput: one session, Block policy,
+    // lock-step send/ack over a real socket — so the number includes
+    // framing, checksums, the session queue and the farm hand-off.
+    {
+        use ddc_server::wire::{Backpressure, ConfigPreset, Frame};
+        use ddc_server::{serve, Client, ServerConfig};
+        let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+        let mut client = Client::connect(server.local_addr(), "bench").expect("connect");
+        client
+            .configure(ConfigPreset::Drm, 10e6, Backpressure::Block, 8)
+            .expect("configure");
+        let batch = 2688 * 8;
+        let mut batch_index = 0u64;
+        let blk = measure(n, || {
+            for chunk in adc.chunks(batch) {
+                client.send_samples(batch_index, chunk).expect("send");
+                batch_index += 1;
+                match client.recv().expect("recv") {
+                    Frame::Iq(iq) => {
+                        black_box(iq.pairs.len());
+                    }
+                    other => panic!("expected Iq, got {other:?}"),
+                }
+            }
+        });
+        let _ = client.send(&Frame::Shutdown);
+        assert!(server.shutdown(std::time::Duration::from_secs(10)));
+        results.push(StageResult {
+            name: "server_loopback",
+            per_sample_msps: None,
+            block_msps: blk / 1e6,
+        });
+    }
+
     // --- Report ----------------------------------------------------
     let commit = std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
@@ -330,12 +367,16 @@ fn main() {
     ));
     json.push_str("  \"stages\": [\n");
     for (k, r) in results.iter().enumerate() {
+        let mut fields = format!("\"stage\": \"{}\"", r.name);
+        if let Some(per) = r.per_sample_msps {
+            fields.push_str(&format!(", \"per_sample_msps\": {per:.2}"));
+        }
+        fields.push_str(&format!(", \"block_msps\": {:.2}", r.block_msps));
+        if let Some(s) = r.speedup() {
+            fields.push_str(&format!(", \"speedup\": {s:.2}"));
+        }
         json.push_str(&format!(
-            "    {{\"stage\": \"{}\", \"per_sample_msps\": {:.2}, \"block_msps\": {:.2}, \"speedup\": {:.2}}}{}\n",
-            r.name,
-            r.per_sample_msps,
-            r.block_msps,
-            r.speedup(),
+            "    {{{fields}}}{}\n",
             if k + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -367,13 +408,16 @@ fn main() {
         "stage", "per-sample", "block", "speedup"
     );
     for r in &results {
-        println!(
-            "{:<22} {:>9.2} Ms/s {:>9.2} Ms/s {:>8.2}x",
-            r.name,
-            r.per_sample_msps,
-            r.block_msps,
-            r.speedup()
-        );
+        match (r.per_sample_msps, r.speedup()) {
+            (Some(per), Some(sp)) => println!(
+                "{:<22} {:>9.2} Ms/s {:>9.2} Ms/s {:>8.2}x",
+                r.name, per, r.block_msps, sp
+            ),
+            _ => println!(
+                "{:<22} {:>14} {:>9.2} Ms/s {:>9}",
+                r.name, "-", r.block_msps, "-"
+            ),
+        }
     }
     println!("pipelined (2 threads)  {pipelined_msps:>24.2} Ms/s");
     println!("farm scaling ({host_cores} host cores):");

@@ -28,7 +28,7 @@
 
 use crate::chain::FixedDdc;
 use crate::mixer::Iq;
-use crate::params::DdcConfig;
+use crate::params::{ConfigError, DdcConfig};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -38,6 +38,25 @@ use std::time::{Duration, Instant};
 struct Job {
     channel: usize,
     input: Arc<Vec<i32>>,
+    completion: Completion,
+}
+
+/// How a finished job reports back.
+enum Completion {
+    /// Part of a whole-farm batch: append to the shared result buffer
+    /// and decrement the batch's pending counter.
+    Batch,
+    /// A single-channel submission: hand the output to the waiting
+    /// submitter through its private completion slot.
+    Single(Arc<JobDone>),
+}
+
+/// Completion slot of one single-channel job. The submitter waits on
+/// `cv` until a worker stores the output in `result`.
+#[derive(Default)]
+struct JobDone {
+    result: Mutex<Option<Vec<Iq>>>,
+    cv: Condvar,
 }
 
 /// A channel's persistent state and its lifetime counters. Locked as a
@@ -47,6 +66,15 @@ struct Job {
 struct ChannelSlot {
     ddc: FixedDdc,
     stats: ChannelStats,
+}
+
+impl ChannelSlot {
+    fn record(&mut self, samples_in: u64, outputs: u64, busy: Duration) {
+        self.stats.batches += 1;
+        self.stats.samples_in += samples_in;
+        self.stats.outputs += outputs;
+        self.stats.busy += busy;
+    }
 }
 
 /// Lifetime statistics of one farm channel.
@@ -123,25 +151,58 @@ impl Shared {
         self.work_ready.notify_all();
     }
 
-    /// Runs one job to completion and signals the batch counter.
+    /// Runs one job to completion and signals whoever waits for it.
     fn run_job(&self, job: Job) {
-        {
+        let single_out = {
             let mut slot = self.channels[job.channel].lock().unwrap();
-            let mut out = self.results[job.channel].lock().unwrap();
-            let before = out.len();
-            let t0 = Instant::now();
-            slot.ddc.process_into(&job.input, &mut out);
-            let elapsed = t0.elapsed();
-            slot.stats.batches += 1;
-            slot.stats.samples_in += job.input.len() as u64;
-            slot.stats.outputs += (out.len() - before) as u64;
-            slot.stats.busy += elapsed;
+            match &job.completion {
+                Completion::Batch => {
+                    let mut out = self.results[job.channel].lock().unwrap();
+                    let before = out.len();
+                    let t0 = Instant::now();
+                    slot.ddc.process_into(&job.input, &mut out);
+                    let produced = (out.len() - before) as u64;
+                    slot.record(job.input.len() as u64, produced, t0.elapsed());
+                    None
+                }
+                Completion::Single(_) => {
+                    let mut out = Vec::new();
+                    let t0 = Instant::now();
+                    slot.ddc.process_into(&job.input, &mut out);
+                    slot.record(job.input.len() as u64, out.len() as u64, t0.elapsed());
+                    Some(out)
+                }
+            }
+        };
+        match job.completion {
+            Completion::Batch => {
+                let mut pending = self.pending.lock().unwrap();
+                *pending -= 1;
+                if *pending == 0 {
+                    self.batch_done.notify_all();
+                }
+            }
+            Completion::Single(done) => {
+                *done.result.lock().unwrap() = single_out;
+                done.cv.notify_all();
+            }
         }
-        let mut pending = self.pending.lock().unwrap();
-        *pending -= 1;
-        if *pending == 0 {
-            self.batch_done.notify_all();
+    }
+
+    /// Removes a still-queued single-channel job (identified by its
+    /// completion slot) from the worker queues. Returns `true` if it
+    /// was found and removed — i.e. no worker will ever run it.
+    fn reclaim_single(&self, done: &Arc<JobDone>) -> bool {
+        for q in &self.queues {
+            let mut q = q.lock().unwrap();
+            if let Some(pos) = q.iter().position(
+                |j| matches!(&j.completion, Completion::Single(d) if Arc::ptr_eq(d, done)),
+            ) {
+                q.remove(pos);
+                return true;
+            }
         }
+        false
     }
 }
 
@@ -270,6 +331,7 @@ impl DdcFarm {
             let job = Job {
                 channel: ch,
                 input: Arc::clone(&input),
+                completion: Completion::Batch,
             };
             self.push_job(ch % workers, job);
         }
@@ -295,7 +357,12 @@ impl DdcFarm {
         loop {
             {
                 let mut q = self.shared.queues[w].lock().unwrap();
-                if q.len() < self.shared.queue_cap {
+                // A halting farm accepts the job unconditionally: the
+                // cap only matters for steady-state back-pressure, and
+                // blocking here against workers that are exiting would
+                // spin forever. `submit_channel` reclaims jobs that no
+                // worker ever picks up.
+                if q.len() < self.shared.queue_cap || self.shared.stop.load(Ordering::Acquire) {
                     q.push_back(job.take().expect("job offered twice"));
                     break;
                 }
@@ -303,6 +370,92 @@ impl DdcFarm {
             self.shared.notify_workers();
             std::thread::yield_now();
         }
+        self.shared.notify_workers();
+    }
+
+    /// Runs **one** channel over `input` and returns its output,
+    /// leaving every other channel untouched. Unlike
+    /// [`DdcFarm::submit_block`] this takes `&self`, so any number of
+    /// threads may drive different channels of one shared farm
+    /// concurrently (each channel's state is an independent mutex) —
+    /// the submission path the streaming server uses, one session per
+    /// channel.
+    ///
+    /// Channel state persists across calls exactly as in
+    /// `submit_block`. Returns `None` if the farm has been halted (via
+    /// [`DdcFarm::halt`] or shutdown) before the job could run; jobs a
+    /// worker has already started are always finished and returned.
+    pub fn submit_channel(&self, channel: usize, input: &[i32]) -> Option<Vec<Iq>> {
+        assert!(
+            channel < self.n_channels,
+            "channel {channel} out of range (farm has {})",
+            self.n_channels
+        );
+        if self.shared.stop.load(Ordering::Acquire) {
+            return None;
+        }
+        let done = Arc::new(JobDone::default());
+        let job = Job {
+            channel,
+            input: Arc::new(input.to_vec()),
+            completion: Completion::Single(Arc::clone(&done)),
+        };
+        self.push_job(channel % self.workers.len().max(1), job);
+        let mut result = done.result.lock().unwrap();
+        loop {
+            if let Some(out) = result.take() {
+                return Some(out);
+            }
+            let (guard, timeout) = done
+                .cv
+                .wait_timeout(result, Duration::from_millis(20))
+                .unwrap();
+            result = guard;
+            // Halted farm: if our job is still sitting in a queue no
+            // worker will ever drain, pull it back out and report the
+            // submission as not run. If it is *not* in a queue, a
+            // worker owns it and will complete it — keep waiting.
+            if timeout.timed_out()
+                && self.shared.stop.load(Ordering::Acquire)
+                && result.is_none()
+                && self.shared.reclaim_single(&done)
+            {
+                return None;
+            }
+        }
+    }
+
+    /// Replaces channel `channel`'s DDC with a fresh chain built from
+    /// `cfg` and zeroes its statistics. The swap is atomic with respect
+    /// to job execution (it takes the channel lock), so an in-flight
+    /// batch finishes on the old chain and everything submitted
+    /// afterwards runs on the new one — the hook a server uses to bind
+    /// a newly configured session to a recycled channel slot.
+    pub fn reconfigure_channel(&self, channel: usize, cfg: DdcConfig) -> Result<(), ConfigError> {
+        assert!(
+            channel < self.n_channels,
+            "channel {channel} out of range (farm has {})",
+            self.n_channels
+        );
+        cfg.validate()?;
+        let mut slot = self.shared.channels[channel].lock().unwrap();
+        slot.ddc = FixedDdc::new(cfg);
+        slot.stats = ChannelStats::default();
+        Ok(())
+    }
+
+    /// Lifetime statistics of one channel.
+    pub fn channel_stats(&self, channel: usize) -> ChannelStats {
+        self.shared.channels[channel].lock().unwrap().stats
+    }
+
+    /// Signals the workers to stop (after draining already-queued
+    /// jobs) **without** joining them — the `&self` form of shutdown
+    /// for farms shared behind an `Arc`. Subsequent
+    /// [`DdcFarm::submit_channel`] calls return `None`; the eventual
+    /// drop still joins the worker threads. Idempotent.
+    pub fn halt(&self) {
+        self.shared.stop.store(true, Ordering::Release);
         self.shared.notify_workers();
     }
 
@@ -333,8 +486,7 @@ impl DdcFarm {
     }
 
     fn shutdown_inner(&mut self) {
-        self.shared.stop.store(true, Ordering::Release);
-        self.shared.notify_workers();
+        self.halt();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -423,5 +575,126 @@ mod tests {
         let mut farm = DdcFarm::with_workers(vec![DdcConfig::drm(10e6)], 1);
         let _ = farm.submit_block(&test_input(2688, 1));
         farm.shutdown();
+    }
+
+    #[test]
+    fn submit_channel_matches_solo_chain_and_leaves_others_alone() {
+        let cfgs = vec![DdcConfig::drm(10e6), DdcConfig::drm(20e6)];
+        let block_a = test_input(2688 * 3, 21);
+        let block_b = test_input(2688 * 2 + 97, 22);
+        let farm = DdcFarm::new(cfgs.clone());
+        let got_a = farm.submit_channel(1, &block_a).expect("farm running");
+        let got_b = farm.submit_channel(1, &block_b).expect("farm running");
+        let mut solo = FixedDdc::new(cfgs[1].clone());
+        assert_eq!(got_a, solo.process_block(&block_a));
+        assert_eq!(got_b, solo.process_block(&block_b));
+        // channel 0 never ran
+        let stats = farm.stats();
+        assert_eq!(stats[0].batches, 0);
+        assert_eq!(stats[1].batches, 2);
+    }
+
+    #[test]
+    fn concurrent_channel_submissions_are_independent() {
+        let cfgs: Vec<DdcConfig> = (1..=4).map(|k| DdcConfig::drm(k as f64 * 5e6)).collect();
+        let farm = Arc::new(DdcFarm::with_workers(cfgs.clone(), 2));
+        let blocks: Vec<Vec<i32>> = (0..4)
+            .map(|k| test_input(2688 * 2 + k * 31, k as u64))
+            .collect();
+        let mut handles = Vec::new();
+        for (ch, block) in blocks.iter().enumerate() {
+            let farm = Arc::clone(&farm);
+            let block = block.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut all = Vec::new();
+                for _ in 0..3 {
+                    all.extend(farm.submit_channel(ch, &block).expect("farm running"));
+                }
+                all
+            }));
+        }
+        for (ch, h) in handles.into_iter().enumerate() {
+            let got = h.join().unwrap();
+            let mut solo = FixedDdc::new(cfgs[ch].clone());
+            let mut expect = Vec::new();
+            for _ in 0..3 {
+                expect.extend(solo.process_block(&blocks[ch]));
+            }
+            assert_eq!(got, expect, "channel {ch}");
+        }
+    }
+
+    #[test]
+    fn zero_length_submission_is_a_clean_no_op() {
+        let farm = DdcFarm::new(vec![DdcConfig::drm(10e6)]);
+        let out = farm.submit_channel(0, &[]).expect("farm running");
+        assert!(out.is_empty());
+        // the empty batch is still accounted for
+        assert_eq!(farm.channel_stats(0).batches, 1);
+        assert_eq!(farm.channel_stats(0).samples_in, 0);
+    }
+
+    #[test]
+    fn submitting_after_halt_returns_none() {
+        let farm = DdcFarm::with_workers(vec![DdcConfig::drm(10e6)], 1);
+        assert!(farm.submit_channel(0, &test_input(2688, 7)).is_some());
+        farm.halt();
+        farm.halt(); // idempotent
+        assert!(farm.submit_channel(0, &test_input(2688, 8)).is_none());
+    }
+
+    #[test]
+    fn reconfigure_channel_resets_state_and_stats() {
+        let farm = DdcFarm::new(vec![DdcConfig::drm(10e6)]);
+        let block = test_input(2688 * 2 + 13, 31);
+        let _ = farm.submit_channel(0, &block).unwrap();
+        farm.reconfigure_channel(0, DdcConfig::drm(15e6)).unwrap();
+        assert_eq!(farm.channel_stats(0).batches, 0, "stats reset");
+        let got = farm.submit_channel(0, &block).unwrap();
+        let mut fresh = FixedDdc::new(DdcConfig::drm(15e6));
+        assert_eq!(got, fresh.process_block(&block), "state reset");
+        // invalid configs are rejected without touching the slot
+        let mut bad = DdcConfig::drm(0.0);
+        bad.fir_taps.clear();
+        assert!(farm.reconfigure_channel(0, bad).is_err());
+    }
+
+    #[test]
+    fn stats_snapshots_are_consistent_while_workers_are_mid_batch() {
+        let cfgs: Vec<DdcConfig> = (1..=3).map(|k| DdcConfig::drm(k as f64 * 6e6)).collect();
+        let mut farm = DdcFarm::new(cfgs);
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::clone(&farm.shared);
+        let watcher = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // Hammer the same locks the stats()/backlog() paths use
+                // while batches are in flight; snapshots must never
+                // tear (samples_in is a whole number of batch lengths)
+                // nor move backwards.
+                let mut last = [0u64; 3];
+                let mut snaps = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for (ch, last) in last.iter_mut().enumerate() {
+                        let s = shared.channels[ch].lock().unwrap().stats;
+                        assert_eq!(s.samples_in % 2688, 0, "torn snapshot");
+                        assert!(s.samples_in >= *last, "stats moved backwards");
+                        *last = s.samples_in;
+                    }
+                    snaps += 1;
+                }
+                snaps
+            })
+        };
+        let block = test_input(2688, 41);
+        for _ in 0..50 {
+            let _ = farm.submit_block(&block);
+        }
+        stop.store(true, Ordering::Relaxed);
+        assert!(watcher.join().unwrap() > 0);
+        for s in farm.stats() {
+            assert_eq!(s.batches, 50);
+            assert_eq!(s.samples_in, 50 * 2688);
+        }
     }
 }

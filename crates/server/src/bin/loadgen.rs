@@ -1,0 +1,437 @@
+//! Load generator for the streaming DDC service.
+//!
+//! Drives N concurrent sessions against a server (an external one via
+//! `--addr`, or an in-process one on an ephemeral port via
+//! `--self-serve`), paces each session at a target input sample rate,
+//! and prints a machine-readable JSON report: per-session throughput,
+//! backlog high-water mark, drop counts and protocol errors.
+//!
+//! ```text
+//! cargo run --release -p ddc-server --bin loadgen -- \
+//!     --self-serve --sessions 4 --batches 32 --verify
+//! ```
+//!
+//! With `--verify` every session also recomputes the expected I/Q
+//! locally with `FixedDdc` over exactly the batches the server
+//! accepted (dropped batches are identified by the gaps in
+//! acknowledged batch indices) and fails unless the streamed output is
+//! bit-exact. Exit status is non-zero on any protocol error or failed
+//! verification.
+
+use ddc_core::chain::FixedDdc;
+use ddc_server::client::{Client, ClientError};
+use ddc_server::wire::{Backpressure, ConfigPreset, Frame, StatsReport};
+use ddc_server::{serve, ServerConfig};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Clone)]
+struct Opts {
+    addr: Option<String>,
+    self_serve: bool,
+    sessions: usize,
+    batches: u64,
+    batch_samples: usize,
+    rate_msps: f64,
+    policy: Backpressure,
+    queue_cap: u32,
+    preset: ConfigPreset,
+    verify: bool,
+    delay_ms: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen (--addr HOST:PORT | --self-serve) [--sessions N] [--batches B]\n\
+         \t[--batch-samples S] [--rate-msps R] [--policy block|drop-oldest|disconnect]\n\
+         \t[--queue-cap C] [--preset drm|drm-montium|wideband|wideband-compensated]\n\
+         \t[--verify] [--delay-ms D]\n\
+         defaults: --sessions 4 --batches 32 --batch-samples 10752 --rate-msps 0 (unthrottled)\n\
+         \t--policy block --queue-cap 0 (server default) --preset drm\n\
+         --delay-ms injects per-batch processing delay (self-serve only, for drop testing)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        addr: None,
+        self_serve: false,
+        sessions: 4,
+        batches: 32,
+        batch_samples: 10752,
+        rate_msps: 0.0,
+        policy: Backpressure::Block,
+        queue_cap: 0,
+        preset: ConfigPreset::Drm,
+        verify: false,
+        delay_ms: 0,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut k = 0;
+    while k < args.len() {
+        let need = |k: usize| args.get(k + 1).cloned().unwrap_or_else(|| usage());
+        match args[k].as_str() {
+            "--addr" => {
+                o.addr = Some(need(k));
+                k += 2;
+            }
+            "--self-serve" => {
+                o.self_serve = true;
+                k += 1;
+            }
+            "--sessions" => {
+                o.sessions = need(k).parse().unwrap_or_else(|_| usage());
+                k += 2;
+            }
+            "--batches" => {
+                o.batches = need(k).parse().unwrap_or_else(|_| usage());
+                k += 2;
+            }
+            "--batch-samples" => {
+                o.batch_samples = need(k).parse().unwrap_or_else(|_| usage());
+                k += 2;
+            }
+            "--rate-msps" => {
+                o.rate_msps = need(k).parse().unwrap_or_else(|_| usage());
+                k += 2;
+            }
+            "--policy" => {
+                o.policy = match need(k).as_str() {
+                    "block" => Backpressure::Block,
+                    "drop-oldest" => Backpressure::DropOldest,
+                    "disconnect" => Backpressure::Disconnect,
+                    _ => usage(),
+                };
+                k += 2;
+            }
+            "--queue-cap" => {
+                o.queue_cap = need(k).parse().unwrap_or_else(|_| usage());
+                k += 2;
+            }
+            "--preset" => {
+                o.preset = ConfigPreset::parse(&need(k)).unwrap_or_else(|| usage());
+                k += 2;
+            }
+            "--verify" => {
+                o.verify = true;
+                k += 1;
+            }
+            "--delay-ms" => {
+                o.delay_ms = need(k).parse().unwrap_or_else(|_| usage());
+                k += 2;
+            }
+            _ => usage(),
+        }
+    }
+    if o.addr.is_none() && !o.self_serve {
+        usage();
+    }
+    if o.sessions == 0 || o.batches == 0 || o.batch_samples == 0 {
+        usage();
+    }
+    o
+}
+
+/// Everything one session thread reports back.
+struct SessionOutcome {
+    session: usize,
+    tune_hz: f64,
+    batches_sent: u64,
+    batches_acked: u64,
+    dropped_reported: u64,
+    samples_sent: u64,
+    outputs: u64,
+    elapsed_s: f64,
+    queue_hwm: u32,
+    busy_ns: u64,
+    protocol_errors: u64,
+    remote_errors: Vec<String>,
+    bit_exact: Option<bool>,
+    failure: Option<String>,
+}
+
+fn session_tune(k: usize) -> f64 {
+    5.0e6 + k as f64 * 2.5e6
+}
+
+fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> SessionOutcome {
+    let tune = session_tune(k);
+    let mut out = SessionOutcome {
+        session: k,
+        tune_hz: tune,
+        batches_sent: 0,
+        batches_acked: 0,
+        dropped_reported: 0,
+        samples_sent: 0,
+        outputs: 0,
+        elapsed_s: 0.0,
+        queue_hwm: 0,
+        busy_ns: 0,
+        protocol_errors: 0,
+        remote_errors: Vec::new(),
+        bit_exact: None,
+        failure: None,
+    };
+    let mut client = match Client::connect(addr.as_str(), &format!("loadgen-{k}")) {
+        Ok(c) => c,
+        Err(e) => {
+            out.failure = Some(format!("connect: {e}"));
+            return out;
+        }
+    };
+    if let Err(e) = client.configure(opts.preset, tune, opts.policy, opts.queue_cap) {
+        out.failure = Some(format!("configure: {e}"));
+        return out;
+    }
+    let (mut tx, mut rx) = client.split();
+
+    let batches = opts.batches;
+    let batch_samples = opts.batch_samples;
+    let receiver = std::thread::spawn(move || {
+        let mut acked: BTreeMap<u64, Vec<(i64, i64)>> = BTreeMap::new();
+        let mut final_stats: Option<StatsReport> = None;
+        let mut protocol_errors = 0u64;
+        let mut remote_errors = Vec::new();
+        loop {
+            match rx.recv() {
+                Ok(Frame::Iq(iq)) => {
+                    acked.insert(iq.batch_index, iq.pairs);
+                }
+                Ok(Frame::StatsReport(r)) => final_stats = Some(r),
+                Ok(Frame::Shutdown) => break,
+                Ok(Frame::Error(e)) => {
+                    remote_errors.push(format!("code {}: {}", e.code, e.message));
+                    // The server closes after fatal errors; keep
+                    // reading until EOF to collect anything in flight.
+                }
+                Ok(_) => protocol_errors += 1,
+                Err(ClientError::SeqGap { .. }) => protocol_errors += 1,
+                Err(_) => break,
+            }
+        }
+        (acked, final_stats, protocol_errors, remote_errors)
+    });
+
+    // Pace the sample stream at the target rate (batch granularity).
+    let t0 = Instant::now();
+    let per_batch = if opts.rate_msps > 0.0 {
+        Duration::from_secs_f64(batch_samples as f64 / (opts.rate_msps * 1e6))
+    } else {
+        Duration::ZERO
+    };
+    let mut send_failed = false;
+    for b in 0..batches {
+        let start = (b as usize * batch_samples) % stimulus.len();
+        let end = (start + batch_samples).min(stimulus.len());
+        if tx.send_samples(b, &stimulus[start..end]).is_err() {
+            send_failed = true;
+            out.batches_sent = b;
+            break;
+        }
+        out.batches_sent = b + 1;
+        out.samples_sent += (end - start) as u64;
+        if !per_batch.is_zero() {
+            let target = t0 + per_batch * (b as u32 + 1);
+            let now = Instant::now();
+            if now < target {
+                std::thread::sleep(target - now);
+            }
+        }
+    }
+    if !send_failed {
+        let _ = tx.send(&Frame::Shutdown);
+    }
+
+    let (acked, final_stats, protocol_errors, remote_errors) = receiver
+        .join()
+        .unwrap_or_else(|_| (BTreeMap::new(), None, 1, vec!["receiver panicked".into()]));
+    out.elapsed_s = t0.elapsed().as_secs_f64();
+    out.protocol_errors = protocol_errors;
+    out.remote_errors = remote_errors;
+    out.batches_acked = acked.len() as u64;
+    out.outputs = acked.values().map(|v| v.len() as u64).sum();
+    if let Some(s) = final_stats {
+        out.dropped_reported = s.batches_dropped;
+        out.queue_hwm = s.queue_hwm;
+        out.busy_ns = s.busy_ns;
+    }
+
+    if opts.verify {
+        // Recompute locally over exactly the accepted batches, in
+        // index order — the protocol's contract is that the delivered
+        // ranges are bit-exact and the dropped ranges are the gaps.
+        let mut ddc = FixedDdc::new(opts.preset.to_config(tune));
+        let mut expect: Vec<(i64, i64)> = Vec::new();
+        for &b in acked.keys() {
+            let start = (b as usize * batch_samples) % stimulus.len();
+            let end = (start + batch_samples).min(stimulus.len());
+            expect.extend(
+                ddc.process_block(&stimulus[start..end])
+                    .into_iter()
+                    .map(|z| (z.i, z.q)),
+            );
+        }
+        let got: Vec<(i64, i64)> = acked.into_values().flatten().collect();
+        out.bit_exact = Some(got == expect);
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let opts = parse_opts();
+
+    // In-process server for loopback runs.
+    let server = if opts.self_serve {
+        let cfg = ServerConfig {
+            max_sessions: opts.sessions.max(1),
+            processing_delay: Duration::from_millis(opts.delay_ms),
+            ..ServerConfig::default()
+        };
+        match serve("127.0.0.1:0", cfg) {
+            Ok(h) => Some(h),
+            Err(e) => {
+                eprintln!("loadgen: cannot start in-process server: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+    let addr = match (&server, &opts.addr) {
+        (Some(h), _) => h.local_addr().to_string(),
+        (None, Some(a)) => a.clone(),
+        _ => unreachable!(),
+    };
+
+    // One deterministic stimulus shared by every session (the sessions
+    // differ in tuning frequency, as the GC4016's four channels do).
+    let fmt = opts.preset.to_config(0.0).format;
+    let n = (opts.batch_samples * opts.batches.min(64) as usize).max(opts.batch_samples);
+    let stimulus: Arc<Vec<i32>> = {
+        use ddc_dsp::signal::{adc_quantize, Mix, SampleSource, Tone, WhiteNoise};
+        let fs = opts.preset.to_config(0.0).input_rate;
+        let mut src = Mix(
+            Tone::new(7.5e6 + 3_000.0, fs, 0.5, 0.2),
+            WhiteNoise::new(17, 0.15),
+        );
+        Arc::new(adc_quantize(&src.take_vec(n), fmt.data_bits))
+    };
+
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for k in 0..opts.sessions {
+        let addr = addr.clone();
+        let stim = Arc::clone(&stimulus);
+        let o = opts.clone();
+        handles.push(std::thread::spawn(move || run_session(addr, k, &o, stim)));
+    }
+    let outcomes: Vec<SessionOutcome> = handles
+        .into_iter()
+        .map(|h| h.join().expect("session thread panicked"))
+        .collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let server_joined = server.map(|h| h.shutdown(Duration::from_secs(10)));
+
+    // ---- JSON report ----------------------------------------------
+    let total_samples: u64 = outcomes.iter().map(|o| o.samples_sent).sum();
+    let protocol_errors_total: u64 = outcomes.iter().map(|o| o.protocol_errors).sum();
+    let failures: u64 = outcomes.iter().filter(|o| o.failure.is_some()).count() as u64;
+    let verify_failed = outcomes.iter().any(|o| o.bit_exact == Some(false));
+    let policy_name = match opts.policy {
+        Backpressure::Block => "block",
+        Backpressure::DropOldest => "drop-oldest",
+        Backpressure::Disconnect => "disconnect",
+    };
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"loadgen\": {\n");
+    j.push_str(&format!("    \"addr\": \"{}\",\n", json_escape(&addr)));
+    j.push_str(&format!("    \"sessions\": {},\n", opts.sessions));
+    j.push_str(&format!("    \"batches\": {},\n", opts.batches));
+    j.push_str(&format!("    \"batch_samples\": {},\n", opts.batch_samples));
+    j.push_str(&format!("    \"rate_msps\": {},\n", opts.rate_msps));
+    j.push_str(&format!("    \"policy\": \"{policy_name}\",\n"));
+    j.push_str(&format!("    \"queue_cap\": {},\n", opts.queue_cap));
+    j.push_str(&format!("    \"verify\": {}\n", opts.verify));
+    j.push_str("  },\n");
+    j.push_str("  \"sessions\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let ack_msps = if o.elapsed_s > 0.0 {
+            o.batches_acked as f64 * opts.batch_samples as f64 / o.elapsed_s / 1e6
+        } else {
+            0.0
+        };
+        j.push_str("    {");
+        j.push_str(&format!("\"session\": {}, ", o.session));
+        j.push_str(&format!("\"tune_hz\": {}, ", o.tune_hz));
+        j.push_str(&format!("\"batches_sent\": {}, ", o.batches_sent));
+        j.push_str(&format!("\"batches_acked\": {}, ", o.batches_acked));
+        j.push_str(&format!("\"batches_dropped\": {}, ", o.dropped_reported));
+        j.push_str(&format!("\"samples_sent\": {}, ", o.samples_sent));
+        j.push_str(&format!("\"outputs\": {}, ", o.outputs));
+        j.push_str(&format!("\"throughput_msps\": {:.3}, ", ack_msps));
+        j.push_str(&format!("\"queue_hwm\": {}, ", o.queue_hwm));
+        j.push_str(&format!("\"busy_ns\": {}, ", o.busy_ns));
+        j.push_str(&format!("\"protocol_errors\": {}, ", o.protocol_errors));
+        match o.bit_exact {
+            Some(b) => j.push_str(&format!("\"bit_exact\": {b}, ")),
+            None => j.push_str("\"bit_exact\": null, "),
+        }
+        match &o.failure {
+            Some(f) => j.push_str(&format!("\"failure\": \"{}\", ", json_escape(f))),
+            None => j.push_str("\"failure\": null, "),
+        }
+        j.push_str(&format!(
+            "\"remote_errors\": [{}]",
+            o.remote_errors
+                .iter()
+                .map(|e| format!("\"{}\"", json_escape(e)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        j.push_str(if i + 1 < outcomes.len() {
+            "},\n"
+        } else {
+            "}\n"
+        });
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!("  \"elapsed_s\": {wall_s:.3},\n"));
+    j.push_str(&format!(
+        "  \"aggregate_send_msps\": {:.3},\n",
+        total_samples as f64 / wall_s / 1e6
+    ));
+    j.push_str(&format!(
+        "  \"protocol_errors_total\": {protocol_errors_total},\n"
+    ));
+    j.push_str(&format!("  \"session_failures\": {failures},\n"));
+    j.push_str(&format!(
+        "  \"all_bit_exact\": {},\n",
+        if opts.verify {
+            (!verify_failed).to_string()
+        } else {
+            "null".to_string()
+        }
+    ));
+    j.push_str(&format!(
+        "  \"server_joined\": {}\n",
+        server_joined.map_or("null".to_string(), |b| b.to_string())
+    ));
+    j.push_str("}\n");
+    println!("{j}");
+
+    if protocol_errors_total > 0 || failures > 0 || verify_failed {
+        std::process::exit(1);
+    }
+    if let Some(false) = server_joined {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Client side of the streaming protocol: a blocking connection with
+//! sequence-checked receive, splittable into independent send/receive
+//! halves for concurrent streaming (the shape `loadgen` uses).
+
+use crate::wire::{
+    read_frame, write_frame, Backpressure, ConfigPreset, Configure, ErrorFrame, Frame,
+    FrameReadError, Hello, Samples, StatsReport, MAX_PAYLOAD, VERSION,
+};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors of a client exchange.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's bytes did not parse.
+    Protocol(String),
+    /// The server sent an Error frame.
+    Remote(ErrorFrame),
+    /// The server answered with the wrong frame type.
+    Unexpected(&'static str, String),
+    /// The server's sequence numbers skipped.
+    SeqGap {
+        /// Next sequence number the client expected.
+        expected: u32,
+        /// Sequence number actually received.
+        got: u32,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Remote(e) => write!(f, "server error {}: {}", e.code, e.message),
+            ClientError::Unexpected(wanted, got) => {
+                write!(f, "expected {wanted}, server sent {got}")
+            }
+            ClientError::SeqGap { expected, got } => {
+                write!(f, "server sequence gap: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameReadError> for ClientError {
+    fn from(e: FrameReadError) -> Self {
+        match e {
+            FrameReadError::Eof => ClientError::Protocol("connection closed".into()),
+            FrameReadError::Io(e) => ClientError::Io(e),
+            FrameReadError::Wire(w) => ClientError::Protocol(w.to_string()),
+        }
+    }
+}
+
+/// Sending half: owns the outbound sequence counter.
+pub struct ClientSender {
+    stream: BufWriter<TcpStream>,
+    seq: u32,
+}
+
+impl ClientSender {
+    /// Sends one frame with the next outbound sequence number.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        let seq = self.seq;
+        self.seq = self.seq.wrapping_add(1);
+        write_frame(&mut self.stream, frame, seq)
+    }
+
+    /// Convenience: sends one Samples batch.
+    pub fn send_samples(&mut self, batch_index: u64, samples: &[i32]) -> io::Result<()> {
+        self.send(&Frame::Samples(Samples {
+            batch_index,
+            samples: samples.to_vec(),
+        }))
+    }
+}
+
+/// Receiving half: validates the server's sequence numbers.
+pub struct ClientReceiver {
+    reader: BufReader<TcpStream>,
+    expected_seq: u32,
+}
+
+impl ClientReceiver {
+    /// Receives the next frame, enforcing sequence continuity.
+    pub fn recv(&mut self) -> Result<Frame, ClientError> {
+        let (seq, frame) = read_frame(&mut self.reader)?;
+        if seq != self.expected_seq {
+            return Err(ClientError::SeqGap {
+                expected: self.expected_seq,
+                got: seq,
+            });
+        }
+        self.expected_seq = self.expected_seq.wrapping_add(1);
+        Ok(frame)
+    }
+}
+
+/// A connected, handshaken session. Use directly for lock-step
+/// request/response flows, or [`Client::split`] for concurrent
+/// streaming.
+pub struct Client {
+    sender: ClientSender,
+    receiver: ClientReceiver,
+    /// The server's Hello banner.
+    pub server_hello: Hello,
+}
+
+impl Client {
+    /// Connects and performs the Hello handshake.
+    pub fn connect<A: ToSocketAddrs>(addr: A, info: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        let mut sender = ClientSender {
+            stream: BufWriter::new(stream),
+            seq: 0,
+        };
+        let mut receiver = ClientReceiver {
+            reader: BufReader::new(read_half),
+            expected_seq: 0,
+        };
+        sender.send(&Frame::Hello(Hello {
+            proto: VERSION as u16,
+            max_payload: MAX_PAYLOAD,
+            info: info.to_string(),
+        }))?;
+        let server_hello = match receiver.recv()? {
+            Frame::Hello(h) => h,
+            Frame::Error(e) => return Err(ClientError::Remote(e)),
+            other => return Err(ClientError::Unexpected("Hello", format!("{other:?}"))),
+        };
+        Ok(Client {
+            sender,
+            receiver,
+            server_hello,
+        })
+    }
+
+    /// Configures the session; returns the server's initial stats
+    /// snapshot (which names the farm channel the session is bound to).
+    pub fn configure(
+        &mut self,
+        preset: ConfigPreset,
+        tune_freq: f64,
+        policy: Backpressure,
+        queue_cap: u32,
+    ) -> Result<StatsReport, ClientError> {
+        self.sender.send(&Frame::Configure(Configure {
+            preset,
+            policy,
+            queue_cap,
+            tune_freq,
+        }))?;
+        match self.receiver.recv()? {
+            Frame::StatsReport(r) => Ok(r),
+            Frame::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(ClientError::Unexpected("StatsReport", format!("{other:?}"))),
+        }
+    }
+
+    /// Sends one Samples batch.
+    pub fn send_samples(&mut self, batch_index: u64, samples: &[i32]) -> io::Result<()> {
+        self.sender.send_samples(batch_index, samples)
+    }
+
+    /// Sends an arbitrary frame.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.sender.send(frame)
+    }
+
+    /// Receives the next frame.
+    pub fn recv(&mut self) -> Result<Frame, ClientError> {
+        self.receiver.recv()
+    }
+
+    /// Splits into independent halves so one thread can stream samples
+    /// while another drains I/Q frames.
+    pub fn split(self) -> (ClientSender, ClientReceiver) {
+        (self.sender, self.receiver)
+    }
+}

@@ -1,0 +1,37 @@
+//! # ddc-server — the DDC farm as a streaming network service
+//!
+//! The paper's GC4016 is fed by a *continuous* 64.512 MSPS ADC stream:
+//! the DDC is not a batch kernel but a service with arrival-rate,
+//! latency and backlog constraints. This crate gives the repo that
+//! missing layer: a std-only TCP server that exposes the multi-channel
+//! [`ddc_core::DdcFarm`] over a length-prefixed, checksummed binary
+//! frame protocol, plus the matching client library and the `loadgen`
+//! traffic generator.
+//!
+//! * [`wire`] — versioned frame types (Hello/Configure/Samples/Iq/
+//!   Stats/Error/Shutdown) with pure, socket-free encode/decode.
+//! * [`queue`] — the bounded per-session input queue implementing the
+//!   three backpressure policies (block, drop-oldest, disconnect).
+//! * [`session`] — the per-connection state machine: reader thread,
+//!   processor thread, frame writer, statistics.
+//! * [`server`] — the listener runtime: slot allocation over one
+//!   shared farm, session registry, graceful drain-then-join shutdown.
+//! * [`client`] — blocking client with sequence-checked receive,
+//!   splittable for concurrent send/receive.
+//!
+//! No external dependencies: sockets are `std::net`, threading is
+//! `std::thread`, synchronisation is `Mutex`/`Condvar`/atomics —
+//! matching the repo's offline-build constraint.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod queue;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use wire::{Backpressure, ConfigPreset, Frame};

@@ -1,0 +1,282 @@
+//! Bounded input queue of one session, with an explicit backpressure
+//! policy chosen at Configure time.
+//!
+//! The queue sits between the session's socket-reader thread (producer)
+//! and its processor thread (consumer, which drives the farm channel).
+//! It is deliberately *not* an mpsc channel: the drop-oldest policy
+//! needs to evict from the front under the same lock that pushes to the
+//! back, and the stats path needs depth and a high-water mark — both
+//! natural over a mutexed `VecDeque`, impossible over `std::sync::mpsc`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Outcome of offering an item to the queue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Push<T> {
+    /// Item enqueued; nothing displaced.
+    Accepted,
+    /// Item enqueued; the returned oldest item was evicted to make
+    /// room (drop-oldest policy).
+    Displaced(T),
+    /// The queue is full (disconnect policy refuses to wait or drop).
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
+/// Outcome of a timed pop.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// An item arrived within the timeout.
+    Item(T),
+    /// The queue is closed and empty — no more items will ever come.
+    Drained,
+    /// Nothing arrived before the timeout; the queue remains usable.
+    TimedOut,
+}
+
+struct Inner<T> {
+    q: VecDeque<T>,
+    hwm: usize,
+    dropped: u64,
+    closed: bool,
+}
+
+/// A bounded MPSC-ish queue with blocking, drop-oldest and reject
+/// offer modes, depth/high-water-mark accounting and close semantics
+/// (pop drains remaining items after close, then reports exhaustion).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cap: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `cap` items (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "queue capacity must be >= 1");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                q: VecDeque::with_capacity(cap),
+                hwm: 0,
+                dropped: 0,
+                closed: false,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn accept(inner: &mut Inner<T>, cap: usize, item: T) {
+        inner.q.push_back(item);
+        inner.hwm = inner.hwm.max(inner.q.len());
+        debug_assert!(inner.q.len() <= cap);
+    }
+
+    /// Blocking offer: waits until there is room (or the queue closes).
+    pub fn push_wait(&self, item: T) -> Push<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.closed {
+                return Push::Closed(item);
+            }
+            if inner.q.len() < self.cap {
+                Self::accept(&mut inner, self.cap, item);
+                self.not_empty.notify_one();
+                return Push::Accepted;
+            }
+            inner = self.not_full.wait(inner).unwrap();
+        }
+    }
+
+    /// Drop-oldest offer: never blocks; evicts the front item when
+    /// full and counts the eviction.
+    pub fn push_drop_oldest(&self, item: T) -> Push<T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Push::Closed(item);
+        }
+        let displaced = if inner.q.len() >= self.cap {
+            inner.dropped += 1;
+            inner.q.pop_front()
+        } else {
+            None
+        };
+        Self::accept(&mut inner, self.cap, item);
+        self.not_empty.notify_one();
+        match displaced {
+            Some(old) => Push::Displaced(old),
+            None => Push::Accepted,
+        }
+    }
+
+    /// Rejecting offer: never blocks, never evicts; a full queue hands
+    /// the item back (the disconnect policy turns that into an error
+    /// frame and closes the session).
+    pub fn push_or_reject(&self, item: T) -> Push<T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Push::Closed(item);
+        }
+        if inner.q.len() >= self.cap {
+            return Push::Full(item);
+        }
+        Self::accept(&mut inner, self.cap, item);
+        self.not_empty.notify_one();
+        Push::Accepted
+    }
+
+    /// Pops the oldest item, blocking until one arrives or the queue
+    /// is closed *and* drained — the `None` that tells the consumer to
+    /// finish up. All items pushed before `close` are delivered.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.q.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Like [`BoundedQueue::pop`] but gives up after `timeout`,
+    /// returning [`Pop::TimedOut`] so a consumer can interleave
+    /// housekeeping with waiting.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.q.pop_front() {
+                self.not_full.notify_one();
+                return Pop::Item(item);
+            }
+            if inner.closed {
+                return Pop::Drained;
+            }
+            let (guard, res) = self.not_empty.wait_timeout(inner, timeout).unwrap();
+            inner = guard;
+            if res.timed_out() {
+                return Pop::TimedOut;
+            }
+        }
+    }
+
+    /// Closes the queue: future pushes are refused, queued items remain
+    /// poppable, and blocked producers/consumers wake up.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().q.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn high_water_mark(&self) -> usize {
+        self.inner.lock().unwrap().hwm
+    }
+
+    /// Items evicted by [`BoundedQueue::push_drop_oldest`].
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_hwm() {
+        let q = BoundedQueue::new(4);
+        for k in 0..4 {
+            assert_eq!(q.push_or_reject(k), Push::Accepted);
+        }
+        assert_eq!(q.high_water_mark(), 4);
+        assert_eq!(q.push_or_reject(9), Push::Full(9));
+        for k in 0..4 {
+            assert_eq!(q.pop(), Some(k));
+        }
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.high_water_mark(), 4, "hwm sticks");
+    }
+
+    #[test]
+    fn drop_oldest_evicts_front_and_counts() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push_drop_oldest(1), Push::Accepted);
+        assert_eq!(q.push_drop_oldest(2), Push::Accepted);
+        assert_eq!(q.push_drop_oldest(3), Push::Displaced(1));
+        assert_eq!(q.push_drop_oldest(4), Push::Displaced(2));
+        assert_eq!(q.dropped(), 2);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn close_drains_then_reports_exhaustion() {
+        let q = BoundedQueue::new(4);
+        q.push_wait(1);
+        q.push_wait(2);
+        q.close();
+        assert_eq!(q.push_wait(3), Push::Closed(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space_and_unblocks() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_wait(0);
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_wait(1))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0)); // frees the producer
+        assert_eq!(producer.join().unwrap(), Push::Accepted);
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn pop_timeout_times_out_then_sees_items() {
+        let q = BoundedQueue::new(1);
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Pop::TimedOut);
+        q.push_wait(7);
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Pop::Item(7));
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Pop::Drained);
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_wait(0);
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_wait(1))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Push::Closed(1));
+    }
+}

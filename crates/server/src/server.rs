@@ -1,0 +1,400 @@
+//! The TCP server runtime: listener, session registry, channel-slot
+//! allocation and graceful shutdown.
+//!
+//! The server owns one [`DdcFarm`] with `max_sessions` channels. A
+//! connection claims a free channel slot at Configure time (binding the
+//! session's `DdcConfig` to it via `reconfigure_channel`) and returns
+//! it when the session ends, so the worker pool is shared by every
+//! session while channel state stays strictly per-session — the same
+//! organisation as the GC4016's four hard channels behind one ADC bus,
+//! scaled to however many slots the host can serve.
+
+use crate::session::{
+    frame_name, processor_loop, reader_stream_loop, server_hello, FrameWriter, SessionEnd,
+    SessionShared,
+};
+use crate::wire::{error_code, read_frame, ErrorFrame, Frame, FrameReadError};
+use ddc_core::{DdcConfig, DdcFarm};
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of one server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Concurrent sessions = farm channels (slots).
+    pub max_sessions: usize,
+    /// Worker threads for the farm; 0 = one per host core, capped at
+    /// the slot count.
+    pub workers: usize,
+    /// Queue capacity used when Configure asks for 0.
+    pub default_queue_cap: usize,
+    /// Hard ceiling on the per-session queue capacity.
+    pub max_queue_cap: usize,
+    /// Artificial per-batch processing delay — a fault-injection knob
+    /// that simulates an overloaded backend so backpressure paths can
+    /// be exercised deterministically in tests. Zero in production.
+    pub processing_delay: Duration,
+    /// Implementation banner sent in the server's Hello.
+    pub banner: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 8,
+            workers: 0,
+            default_queue_cap: 8,
+            max_queue_cap: 64,
+            processing_delay: Duration::ZERO,
+            banner: format!("ddc-server/{}", env!("CARGO_PKG_VERSION")),
+        }
+    }
+}
+
+/// Shared server state: the farm, the slot free-list, and the
+/// lifecycle flags.
+struct ServerState {
+    farm: DdcFarm,
+    cfg: ServerConfig,
+    free_slots: Mutex<Vec<usize>>,
+    stop: AtomicBool,
+    sessions_started: AtomicU64,
+}
+
+impl ServerState {
+    fn claim_slot(&self) -> Option<usize> {
+        self.free_slots.lock().unwrap().pop()
+    }
+
+    fn release_slot(&self, slot: usize) {
+        self.free_slots.lock().unwrap().push(slot);
+    }
+}
+
+/// One tracked connection: the reader thread handle plus a stream
+/// clone the shutdown path can nudge.
+struct SessionEntry {
+    handle: JoinHandle<()>,
+    stream: TcpStream,
+}
+
+type Registry = Arc<Mutex<Vec<SessionEntry>>>;
+
+/// A running streaming server. Dropping the handle performs a hard
+/// shutdown; call [`ServerHandle::shutdown`] for the graceful path.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    registry: Registry,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Binds the streaming service and starts accepting connections.
+/// `addr` may use port 0 for an ephemeral port; the bound address is
+/// available via [`ServerHandle::local_addr`].
+pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    assert!(cfg.max_sessions >= 1, "server needs at least one slot");
+    assert!(cfg.default_queue_cap >= 1 && cfg.max_queue_cap >= cfg.default_queue_cap);
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+
+    // Placeholder configs; every slot is rebuilt by reconfigure_channel
+    // when a session claims it.
+    let configs: Vec<DdcConfig> = (0..cfg.max_sessions).map(|_| DdcConfig::drm(0.0)).collect();
+    let farm = if cfg.workers == 0 {
+        DdcFarm::new(configs)
+    } else {
+        DdcFarm::with_workers(configs, cfg.workers)
+    };
+    let state = Arc::new(ServerState {
+        farm,
+        free_slots: Mutex::new((0..cfg.max_sessions).rev().collect()),
+        cfg,
+        stop: AtomicBool::new(false),
+        sessions_started: AtomicU64::new(0),
+    });
+    let registry: Registry = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_thread = {
+        let state = Arc::clone(&state);
+        let registry = Arc::clone(&registry);
+        std::thread::Builder::new()
+            .name("ddc-accept".into())
+            .spawn(move || accept_loop(listener, state, registry))
+            .expect("cannot spawn accept thread")
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        state,
+        registry,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>, registry: Registry) {
+    while !state.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let clone = match stream.try_clone() {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                };
+                let id = state.sessions_started.fetch_add(1, Ordering::Relaxed);
+                let st = Arc::clone(&state);
+                let handle = std::thread::Builder::new()
+                    .name(format!("ddc-session-{id}"))
+                    .spawn(move || run_session(stream, st))
+                    .expect("cannot spawn session thread");
+                let mut reg = registry.lock().unwrap();
+                reg.retain(|e| !e.handle.is_finished());
+                reg.push(SessionEntry {
+                    handle,
+                    stream: clone,
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Full lifecycle of one connection, on its own thread.
+fn run_session(stream: TcpStream, state: Arc<ServerState>) {
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(read_half);
+    let writer = Arc::new(FrameWriter::new(stream));
+    session_dialogue(&mut reader, &writer, &state);
+    // The registry keeps its own stream clone alive until server
+    // shutdown; close explicitly so the peer sees EOF now.
+    writer.close();
+}
+
+fn session_dialogue(
+    reader: &mut BufReader<TcpStream>,
+    writer: &Arc<FrameWriter>,
+    state: &Arc<ServerState>,
+) {
+    // --- Hello ----------------------------------------------------
+    match read_frame(reader) {
+        Ok((0, Frame::Hello(h))) => {
+            if h.proto != crate::wire::VERSION as u16 {
+                let _ = writer.send(&Frame::Error(ErrorFrame {
+                    code: error_code::PROTOCOL,
+                    message: format!("unsupported protocol version {}", h.proto),
+                }));
+                return;
+            }
+        }
+        Ok((seq, other)) => {
+            let _ = writer.send(&Frame::Error(ErrorFrame {
+                code: error_code::PROTOCOL,
+                message: format!(
+                    "expected Hello with seq 0, got {} with seq {seq}",
+                    frame_name(&other)
+                ),
+            }));
+            return;
+        }
+        Err(FrameReadError::Wire(e)) => {
+            let _ = writer.send(&Frame::Error(ErrorFrame {
+                code: error_code::PROTOCOL,
+                message: format!("bad opening frame: {e}"),
+            }));
+            return;
+        }
+        Err(_) => return,
+    }
+    if writer
+        .send(&Frame::Hello(server_hello(&state.cfg.banner)))
+        .is_err()
+    {
+        return;
+    }
+
+    // --- Configure ------------------------------------------------
+    let conf = match read_frame(reader) {
+        Ok((1, Frame::Configure(c))) => c,
+        Ok((seq, other)) => {
+            let _ = writer.send(&Frame::Error(ErrorFrame {
+                code: error_code::NOT_CONFIGURED,
+                message: format!(
+                    "expected Configure with seq 1, got {} with seq {seq}",
+                    frame_name(&other)
+                ),
+            }));
+            return;
+        }
+        Err(FrameReadError::Wire(e)) => {
+            let _ = writer.send(&Frame::Error(ErrorFrame {
+                code: error_code::PROTOCOL,
+                message: format!("bad Configure frame: {e}"),
+            }));
+            return;
+        }
+        Err(_) => return,
+    };
+    if state.stop.load(Ordering::Acquire) {
+        let _ = writer.send(&Frame::Error(ErrorFrame {
+            code: error_code::SHUTTING_DOWN,
+            message: "server is shutting down".into(),
+        }));
+        return;
+    }
+    let slot = match state.claim_slot() {
+        Some(s) => s,
+        None => {
+            let _ = writer.send(&Frame::Error(ErrorFrame {
+                code: error_code::SERVER_FULL,
+                message: format!("all {} channels are in use", state.cfg.max_sessions),
+            }));
+            return;
+        }
+    };
+    let ddc_config = conf.preset.to_config(conf.tune_freq);
+    if let Err(e) = state.farm.reconfigure_channel(slot, ddc_config) {
+        let _ = writer.send(&Frame::Error(ErrorFrame {
+            code: error_code::BAD_CONFIG,
+            message: format!("rejected configuration: {e}"),
+        }));
+        state.release_slot(slot);
+        return;
+    }
+    let queue_cap = if conf.queue_cap == 0 {
+        state.cfg.default_queue_cap
+    } else {
+        (conf.queue_cap as usize).min(state.cfg.max_queue_cap)
+    };
+    let shared = Arc::new(SessionShared::new(slot, queue_cap));
+    // Configure is acknowledged with the session's (zeroed) stats so
+    // the client learns its channel binding before streaming.
+    if writer
+        .send(&Frame::StatsReport(shared.stats(&state.farm)))
+        .is_err()
+    {
+        state.release_slot(slot);
+        return;
+    }
+
+    // --- Streaming ------------------------------------------------
+    let processor = {
+        let shared = Arc::clone(&shared);
+        let writer = Arc::clone(writer);
+        let state_p = Arc::clone(state);
+        std::thread::Builder::new()
+            .name(format!("ddc-proc-{slot}"))
+            .spawn(move || {
+                processor_loop(
+                    &shared,
+                    &state_p.farm,
+                    &writer,
+                    state_p.cfg.processing_delay,
+                )
+            })
+            .expect("cannot spawn processor thread")
+    };
+
+    let _end: SessionEnd = reader_stream_loop(reader, &shared, &state.farm, writer, conf.policy, 2);
+
+    // Whatever ended the stream, close the queue so the processor
+    // drains every accepted batch and exits; only then release the
+    // channel slot (no in-flight submissions may outlive the claim).
+    shared.queue.close();
+    let _ = processor.join();
+    state.release_slot(slot);
+}
+
+impl ServerHandle {
+    /// The address the listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of sessions ever accepted.
+    pub fn sessions_started(&self) -> u64 {
+        self.state.sessions_started.load(Ordering::Relaxed)
+    }
+
+    /// Number of channel slots currently free.
+    pub fn free_slots(&self) -> usize {
+        self.state.free_slots.lock().unwrap().len()
+    }
+
+    /// Graceful shutdown: stop accepting, nudge live sessions to
+    /// drain (half-close of the read side lets in-flight batches
+    /// finish and their Iq frames flush), join everything within
+    /// `timeout`, then halt the farm. Returns `true` if every thread
+    /// joined inside the deadline.
+    pub fn shutdown(mut self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        self.state.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let sessions: Vec<SessionEntry> = std::mem::take(&mut *self.registry.lock().unwrap());
+        // Half-close: the session reader sees EOF and begins its
+        // drain; the write side stays open for the remaining Iq frames.
+        for s in &sessions {
+            let _ = s.stream.shutdown(Shutdown::Read);
+        }
+        let half_deadline = Instant::now() + timeout / 2;
+        let mut all_joined = true;
+        let mut hard_closed = false;
+        let mut pending: Vec<SessionEntry> = sessions;
+        while !pending.is_empty() {
+            pending.retain(|e| !e.handle.is_finished());
+            if pending.is_empty() {
+                break;
+            }
+            let now = Instant::now();
+            if !hard_closed && now >= half_deadline {
+                // Past the halfway point: sever the write side too so
+                // blocked writes fail fast.
+                for s in &pending {
+                    let _ = s.stream.shutdown(Shutdown::Both);
+                }
+                hard_closed = true;
+            }
+            if now >= deadline {
+                all_joined = false;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if all_joined {
+            for e in std::mem::take(&mut pending) {
+                let _ = e.handle.join();
+            }
+        }
+        // Only after the sessions are done: stop the farm's workers.
+        self.state.farm.halt();
+        all_joined
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Hard path (handle dropped without shutdown()): stop the
+        // accept loop and halt the farm; session threads unwind as
+        // their sockets fail.
+        self.state.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        for s in self.registry.lock().unwrap().iter() {
+            let _ = s.stream.shutdown(Shutdown::Both);
+        }
+        self.state.farm.halt();
+    }
+}

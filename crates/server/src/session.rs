@@ -1,0 +1,280 @@
+//! One live connection: handshake state machine, the bounded input
+//! queue with its backpressure policy, and the processor thread that
+//! drives the session's farm channel.
+//!
+//! Thread shape per session (mirroring the paper's continuous ADC feed
+//! on the input side and the decimated I/Q stream on the output side):
+//!
+//! ```text
+//! socket ──reader thread──▶ BoundedQueue ──processor thread──▶ DdcFarm channel
+//!    ◀──────────────── FrameWriter (Iq / Stats / Error / Shutdown) ◀──┘
+//! ```
+//!
+//! The reader owns the protocol state machine (Hello → Configure →
+//! streaming) and applies the session's backpressure policy at the
+//! queue boundary; the processor pops batches in order, submits them to
+//! the farm and answers **every accepted batch** with exactly one Iq
+//! frame — so the set of batch indices the client receives back is
+//! precisely the set of accepted batches, and any gap is a drop.
+
+use crate::queue::{BoundedQueue, Push};
+use crate::wire::{
+    error_code, write_frame, Backpressure, ErrorFrame, Frame, FrameReadError, Hello, IqPayload,
+    Samples, StatsReport, MAX_PAYLOAD, VERSION,
+};
+use ddc_core::DdcFarm;
+use std::io::{self, BufReader, BufWriter, Read};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Serialised, sequence-numbered frame writer shared by the reader and
+/// processor threads. Holding the mutex across "allocate seq + write"
+/// keeps the server→client sequence numbers gapless even when Iq and
+/// Stats frames interleave.
+pub struct FrameWriter {
+    inner: Mutex<WriterInner>,
+}
+
+struct WriterInner {
+    stream: BufWriter<TcpStream>,
+    seq: u32,
+}
+
+impl FrameWriter {
+    /// Wraps the write half of a connection.
+    pub fn new(stream: TcpStream) -> Self {
+        FrameWriter {
+            inner: Mutex::new(WriterInner {
+                stream: BufWriter::new(stream),
+                seq: 0,
+            }),
+        }
+    }
+
+    /// Sends one frame with the next sequence number.
+    pub fn send(&self, frame: &Frame) -> io::Result<()> {
+        let mut w = self.inner.lock().unwrap();
+        let seq = w.seq;
+        w.seq = w.seq.wrapping_add(1);
+        write_frame(&mut w.stream, frame, seq)
+    }
+
+    /// Flushes and closes the underlying connection. Because the server
+    /// registry holds its own clone of the stream (for shutdown
+    /// nudging), simply dropping the session's handles would leave the
+    /// socket open — an explicit shutdown is what actually delivers EOF
+    /// to the peer when the session ends.
+    pub fn close(&self) {
+        use std::io::Write;
+        let mut w = self.inner.lock().unwrap();
+        let _ = w.stream.flush();
+        let _ = w.stream.get_ref().shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Counters and flags both session threads share.
+pub struct SessionShared {
+    /// Farm channel this session is bound to.
+    pub channel: usize,
+    /// Input queue carrying accepted Samples batches.
+    pub queue: BoundedQueue<Samples>,
+    /// Batches accepted into the queue (≥ batches processed).
+    pub batches_accepted: AtomicU64,
+    /// Set when the client asked for a graceful Shutdown — the
+    /// processor then closes with a final Stats + Shutdown exchange.
+    pub graceful: AtomicBool,
+}
+
+impl SessionShared {
+    /// Builds the session state for a freshly claimed channel.
+    pub fn new(channel: usize, queue_cap: usize) -> Self {
+        SessionShared {
+            channel,
+            queue: BoundedQueue::new(queue_cap),
+            batches_accepted: AtomicU64::new(0),
+            graceful: AtomicBool::new(false),
+        }
+    }
+
+    /// Point-in-time statistics combining queue state with the farm's
+    /// per-channel counters.
+    pub fn stats(&self, farm: &DdcFarm) -> StatsReport {
+        let ch = farm.channel_stats(self.channel);
+        StatsReport {
+            channel: self.channel as u32,
+            batches_accepted: self.batches_accepted.load(Ordering::Relaxed),
+            batches_dropped: self.queue.dropped(),
+            samples_in: ch.samples_in,
+            outputs: ch.outputs,
+            queue_len: self.queue.len() as u32,
+            queue_hwm: self.queue.high_water_mark() as u32,
+            busy_ns: ch.busy.as_nanos().min(u64::MAX as u128) as u64,
+        }
+    }
+}
+
+/// The processor half: drains the queue in order, runs each batch on
+/// the farm and acknowledges it with an Iq frame. Returns when the
+/// queue is closed and drained (or the farm halts underneath it).
+pub fn processor_loop(
+    shared: &SessionShared,
+    farm: &DdcFarm,
+    writer: &FrameWriter,
+    processing_delay: Duration,
+) {
+    while let Some(batch) = shared.queue.pop() {
+        if !processing_delay.is_zero() {
+            // Fault-injection knob: simulates an overloaded backend so
+            // tests can force queue growth deterministically.
+            std::thread::sleep(processing_delay);
+        }
+        match farm.submit_channel(shared.channel, &batch.samples) {
+            Some(pairs) => {
+                let iq = IqPayload {
+                    batch_index: batch.batch_index,
+                    dropped_total: shared.queue.dropped(),
+                    pairs: pairs.into_iter().map(|z| (z.i, z.q)).collect(),
+                };
+                if writer.send(&Frame::Iq(iq)).is_err() {
+                    // Peer gone: keep draining so farm state stays
+                    // consistent, but stop writing.
+                }
+            }
+            None => {
+                // Farm halted (hard server stop): nothing more can be
+                // processed; drop the rest of the queue.
+                let _ = writer.send(&Frame::Error(ErrorFrame {
+                    code: error_code::SHUTTING_DOWN,
+                    message: "server halted before batch was processed".into(),
+                }));
+                break;
+            }
+        }
+    }
+    if shared.graceful.load(Ordering::Acquire) {
+        // Client-initiated shutdown: a final snapshot then the closing
+        // Shutdown frame, so the client can read end-of-stream stats
+        // without racing the connection teardown.
+        let _ = writer.send(&Frame::StatsReport(shared.stats(farm)));
+        let _ = writer.send(&Frame::Shutdown);
+    }
+}
+
+/// Why the reader loop ended; drives what the teardown path sends.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// Client sent Shutdown — fully graceful.
+    Graceful,
+    /// Connection closed (EOF) without a Shutdown frame.
+    Disconnected,
+    /// Protocol violation or queue overflow under the Disconnect
+    /// policy; an Error frame was already sent.
+    Errored,
+}
+
+/// The streaming phase of the reader: applies the session's
+/// backpressure policy to every Samples frame and answers Stats
+/// requests inline. `expected_seq` continues the handshake's count.
+#[allow(clippy::too_many_arguments)]
+pub fn reader_stream_loop<R: Read>(
+    reader: &mut BufReader<R>,
+    shared: &SessionShared,
+    farm: &DdcFarm,
+    writer: &FrameWriter,
+    policy: Backpressure,
+    mut expected_seq: u32,
+) -> SessionEnd {
+    loop {
+        let (seq, frame) = match crate::wire::read_frame(reader) {
+            Ok(x) => x,
+            Err(FrameReadError::Eof) => return SessionEnd::Disconnected,
+            Err(FrameReadError::Io(_)) => return SessionEnd::Disconnected,
+            Err(FrameReadError::Wire(e)) => {
+                // After a framing error the byte stream cannot be
+                // trusted; report and drop the connection.
+                let _ = writer.send(&Frame::Error(ErrorFrame {
+                    code: error_code::PROTOCOL,
+                    message: format!("unreadable frame: {e}"),
+                }));
+                return SessionEnd::Errored;
+            }
+        };
+        if seq != expected_seq {
+            let _ = writer.send(&Frame::Error(ErrorFrame {
+                code: error_code::PROTOCOL,
+                message: format!("sequence gap: expected {expected_seq}, got {seq}"),
+            }));
+            return SessionEnd::Errored;
+        }
+        expected_seq = expected_seq.wrapping_add(1);
+        match frame {
+            Frame::Samples(batch) => {
+                let outcome = match policy {
+                    Backpressure::Block => shared.queue.push_wait(batch),
+                    Backpressure::DropOldest => shared.queue.push_drop_oldest(batch),
+                    Backpressure::Disconnect => shared.queue.push_or_reject(batch),
+                };
+                match outcome {
+                    Push::Accepted => {
+                        shared.batches_accepted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Push::Displaced(_old) => {
+                        // Eviction already counted by the queue; the
+                        // displaced batch was never acknowledged, so the
+                        // client sees it as a gap in Iq batch indices.
+                        shared.batches_accepted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Push::Full(batch) => {
+                        let _ = writer.send(&Frame::Error(ErrorFrame {
+                            code: error_code::QUEUE_OVERFLOW,
+                            message: format!(
+                                "queue full at batch {} under disconnect policy",
+                                batch.batch_index
+                            ),
+                        }));
+                        return SessionEnd::Errored;
+                    }
+                    Push::Closed(_) => return SessionEnd::Disconnected,
+                }
+            }
+            Frame::StatsRequest => {
+                let _ = writer.send(&Frame::StatsReport(shared.stats(farm)));
+            }
+            Frame::Shutdown => {
+                shared.graceful.store(true, Ordering::Release);
+                return SessionEnd::Graceful;
+            }
+            other => {
+                let _ = writer.send(&Frame::Error(ErrorFrame {
+                    code: error_code::PROTOCOL,
+                    message: format!("unexpected {:?} frame mid-stream", frame_name(&other)),
+                }));
+                return SessionEnd::Errored;
+            }
+        }
+    }
+}
+
+pub(crate) fn frame_name(f: &Frame) -> &'static str {
+    match f {
+        Frame::Hello(_) => "Hello",
+        Frame::Configure(_) => "Configure",
+        Frame::Samples(_) => "Samples",
+        Frame::Iq(_) => "Iq",
+        Frame::StatsRequest => "StatsRequest",
+        Frame::StatsReport(_) => "StatsReport",
+        Frame::Error(_) => "Error",
+        Frame::Shutdown => "Shutdown",
+    }
+}
+
+/// The server's half of the version handshake.
+pub fn server_hello(banner: &str) -> Hello {
+    Hello {
+        proto: VERSION as u16,
+        max_payload: MAX_PAYLOAD,
+        info: banner.to_string(),
+    }
+}

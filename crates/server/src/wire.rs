@@ -1,0 +1,886 @@
+//! The streaming service's length-prefixed binary frame protocol.
+//!
+//! Every frame is a fixed 20-byte header followed by a payload. All
+//! integers are little-endian. The header carries two Fletcher-32
+//! checksums — one over the header itself (protecting the framing: a
+//! corrupted length field cannot silently desynchronise the stream)
+//! and one over the payload — plus a per-direction sequence number so
+//! either side can detect lost or reordered frames.
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic            0xDDC1
+//!      2     1  version          1
+//!      3     1  frame type       Hello=1 … Shutdown=7
+//!      4     4  sequence number  independent monotonic counter per direction
+//!      8     4  payload length   bytes, <= MAX_PAYLOAD
+//!     12     4  payload checksum Fletcher-32 over the payload bytes
+//!     16     4  header checksum  Fletcher-32 over bytes 0..16
+//! ```
+//!
+//! Encoding and decoding are pure functions over byte slices — no
+//! sockets — so the whole codec is unit-testable in-process; the
+//! blocking [`read_frame`]/[`write_frame`] helpers layer std I/O on
+//! top for the server and client runtimes.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// First two bytes of every frame.
+pub const MAGIC: u16 = 0xDDC1;
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Size of the fixed frame header, bytes.
+pub const HEADER_LEN: usize = 20;
+/// Upper bound on payload size (guards allocation on decode).
+pub const MAX_PAYLOAD: u32 = 1 << 22; // 4 MiB ≈ 1 M i32 samples
+
+/// Error codes carried by [`Frame::Error`].
+pub mod error_code {
+    /// Malformed or unexpected frame.
+    pub const PROTOCOL: u16 = 1;
+    /// All farm channels are occupied by live sessions.
+    pub const SERVER_FULL: u16 = 2;
+    /// The Configure frame was rejected (bad preset/policy/config).
+    pub const BAD_CONFIG: u16 = 3;
+    /// The session queue overflowed under the `Disconnect` policy.
+    pub const QUEUE_OVERFLOW: u16 = 4;
+    /// Samples arrived before a successful Configure.
+    pub const NOT_CONFIGURED: u16 = 5;
+    /// The server is shutting down.
+    pub const SHUTTING_DOWN: u16 = 6;
+}
+
+/// What the codec can object to. Distinct from I/O errors: a
+/// [`WireError`] means bytes arrived but did not form a valid frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// First two bytes were not [`MAGIC`].
+    BadMagic(u16),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Header checksum mismatch — framing can no longer be trusted.
+    HeaderChecksum,
+    /// Payload checksum mismatch.
+    PayloadChecksum,
+    /// Unknown frame type byte.
+    BadType(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    PayloadTooLarge(u32),
+    /// Payload ended before the named field.
+    Truncated(&'static str),
+    /// Payload longer than its frame type allows.
+    TrailingBytes(usize),
+    /// Unknown backpressure policy byte.
+    BadPolicy(u8),
+    /// Unknown configuration preset byte.
+    BadPreset(u8),
+    /// A declared element count disagrees with the payload length.
+    CountMismatch {
+        /// Elements the payload header declared.
+        declared: u32,
+        /// Bytes actually available for them.
+        available: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#06x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::HeaderChecksum => write!(f, "header checksum mismatch"),
+            WireError::PayloadChecksum => write!(f, "payload checksum mismatch"),
+            WireError::BadType(t) => write!(f, "unknown frame type {t}"),
+            WireError::PayloadTooLarge(n) => write!(f, "payload of {n} bytes exceeds limit"),
+            WireError::Truncated(what) => write!(f, "payload truncated reading {what}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} unexpected trailing payload bytes"),
+            WireError::BadPolicy(p) => write!(f, "unknown backpressure policy {p}"),
+            WireError::BadPreset(p) => write!(f, "unknown config preset {p}"),
+            WireError::CountMismatch {
+                declared,
+                available,
+            } => write!(
+                f,
+                "declared {declared} elements but only {available} payload bytes remain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Fletcher-32 over the byte stream (16-bit words, odd tail
+/// zero-padded). Cheap, order-sensitive, and std-only.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut a: u32 = 0xffff;
+    let mut b: u32 = 0xffff;
+    for chunk in bytes.chunks(2) {
+        let lo = chunk[0] as u32;
+        let hi = chunk.get(1).copied().unwrap_or(0) as u32;
+        a = (a + (lo | (hi << 8))) % 65535;
+        b = (b + a) % 65535;
+    }
+    (b << 16) | a
+}
+
+/// Backpressure policy a session chooses at Configure time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backpressure {
+    /// A full queue blocks the socket reader; TCP flow control pushes
+    /// the stall back to the client.
+    Block,
+    /// A full queue evicts its oldest batch and counts the drop; the
+    /// client sees the gap as a missing batch index.
+    DropOldest,
+    /// A full queue is a protocol error: the server sends
+    /// [`error_code::QUEUE_OVERFLOW`] and closes the connection.
+    Disconnect,
+}
+
+impl Backpressure {
+    fn to_u8(self) -> u8 {
+        match self {
+            Backpressure::Block => 0,
+            Backpressure::DropOldest => 1,
+            Backpressure::Disconnect => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(Backpressure::Block),
+            1 => Ok(Backpressure::DropOldest),
+            2 => Ok(Backpressure::Disconnect),
+            other => Err(WireError::BadPolicy(other)),
+        }
+    }
+}
+
+/// DDC configuration preset selected by a Configure frame. Presets
+/// travel as one byte; the tap set is derived server-side from
+/// `ddc_core::params`, so the wire never carries 125 f64 coefficients.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigPreset {
+    /// [`ddc_core::DdcConfig::drm`] — the paper's Table 1 chain.
+    Drm,
+    /// [`ddc_core::DdcConfig::drm_montium`] — 16-bit datapath.
+    DrmMontium,
+    /// [`ddc_core::DdcConfig::wideband`] — ÷672 wide-band variant.
+    Wideband,
+    /// [`ddc_core::DdcConfig::wideband_compensated`] — droop-corrected.
+    WidebandCompensated,
+}
+
+impl ConfigPreset {
+    fn to_u8(self) -> u8 {
+        match self {
+            ConfigPreset::Drm => 0,
+            ConfigPreset::DrmMontium => 1,
+            ConfigPreset::Wideband => 2,
+            ConfigPreset::WidebandCompensated => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(ConfigPreset::Drm),
+            1 => Ok(ConfigPreset::DrmMontium),
+            2 => Ok(ConfigPreset::Wideband),
+            3 => Ok(ConfigPreset::WidebandCompensated),
+            other => Err(WireError::BadPreset(other)),
+        }
+    }
+
+    /// Builds the concrete chain configuration for this preset.
+    pub fn to_config(self, tune_freq: f64) -> ddc_core::DdcConfig {
+        match self {
+            ConfigPreset::Drm => ddc_core::DdcConfig::drm(tune_freq),
+            ConfigPreset::DrmMontium => ddc_core::DdcConfig::drm_montium(tune_freq),
+            ConfigPreset::Wideband => ddc_core::DdcConfig::wideband(tune_freq),
+            ConfigPreset::WidebandCompensated => {
+                ddc_core::DdcConfig::wideband_compensated(tune_freq)
+            }
+        }
+    }
+
+    /// Parses the loadgen/CLI spelling of a preset.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "drm" => Some(ConfigPreset::Drm),
+            "drm-montium" => Some(ConfigPreset::DrmMontium),
+            "wideband" => Some(ConfigPreset::Wideband),
+            "wideband-compensated" => Some(ConfigPreset::WidebandCompensated),
+            _ => None,
+        }
+    }
+}
+
+/// Greeting exchanged in both directions when a connection opens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// Highest protocol version the sender speaks.
+    pub proto: u16,
+    /// Largest payload the sender will accept.
+    pub max_payload: u32,
+    /// Free-form implementation banner.
+    pub info: String,
+}
+
+/// Session configuration request (client → server).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Configure {
+    /// Chain preset.
+    pub preset: ConfigPreset,
+    /// Backpressure policy for the session's input queue.
+    pub policy: Backpressure,
+    /// Input-queue capacity in batches (0 → server default).
+    pub queue_cap: u32,
+    /// NCO tuning frequency, Hz.
+    pub tune_freq: f64,
+}
+
+/// A batch of ADC samples (client → server). `batch_index` starts at 0
+/// and increments per Samples frame sent, so the server (and the
+/// client, looking at echoed indices on Iq frames) can name dropped
+/// ranges exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Samples {
+    /// Sender-assigned batch number.
+    pub batch_index: u64,
+    /// ADC samples.
+    pub samples: Vec<i32>,
+}
+
+/// The I/Q output for one accepted Samples batch (server → client).
+/// Exactly one Iq frame answers every *accepted* batch — possibly with
+/// zero words when the decimator spans batches — so a gap in
+/// `batch_index` is exactly the set of dropped batches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IqPayload {
+    /// The Samples batch this output belongs to.
+    pub batch_index: u64,
+    /// Running count of batches this session has dropped so far.
+    pub dropped_total: u64,
+    /// Complex output words, (i, q) pairs.
+    pub pairs: Vec<(i64, i64)>,
+}
+
+/// Point-in-time session statistics (server → client in answer to a
+/// Stats request; also sent once before Shutdown as the final word).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Farm channel the session is bound to.
+    pub channel: u32,
+    /// Samples batches accepted into the queue.
+    pub batches_accepted: u64,
+    /// Samples batches evicted under the drop-oldest policy.
+    pub batches_dropped: u64,
+    /// ADC samples processed through the chain.
+    pub samples_in: u64,
+    /// Complex output words produced.
+    pub outputs: u64,
+    /// Input-queue depth at snapshot time.
+    pub queue_len: u32,
+    /// High-water mark of the input queue depth.
+    pub queue_hwm: u32,
+    /// Nanoseconds the farm spent processing this channel.
+    pub busy_ns: u64,
+}
+
+/// Fatal or diagnostic condition (server → client).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// One of [`error_code`].
+    pub code: u16,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// A decoded protocol frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Version/limits handshake.
+    Hello(Hello),
+    /// Session configuration request.
+    Configure(Configure),
+    /// Input sample batch.
+    Samples(Samples),
+    /// Output I/Q batch.
+    Iq(IqPayload),
+    /// Statistics request (client → server, empty).
+    StatsRequest,
+    /// Statistics snapshot (server → client).
+    StatsReport(StatsReport),
+    /// Error report.
+    Error(ErrorFrame),
+    /// Graceful end-of-stream (either direction).
+    Shutdown,
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello(_) => 1,
+            Frame::Configure(_) => 2,
+            Frame::Samples(_) => 3,
+            Frame::Iq(_) => 4,
+            Frame::StatsRequest | Frame::StatsReport(_) => 5,
+            Frame::Error(_) => 6,
+            Frame::Shutdown => 7,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
+    match frame {
+        Frame::Hello(h) => {
+            put_u16(out, h.proto);
+            put_u32(out, h.max_payload);
+            let info = h.info.as_bytes();
+            put_u16(out, info.len().min(u16::MAX as usize) as u16);
+            out.extend_from_slice(&info[..info.len().min(u16::MAX as usize)]);
+        }
+        Frame::Configure(c) => {
+            out.push(c.preset.to_u8());
+            out.push(c.policy.to_u8());
+            put_u32(out, c.queue_cap);
+            put_u64(out, c.tune_freq.to_bits());
+        }
+        Frame::Samples(s) => {
+            put_u64(out, s.batch_index);
+            put_u32(out, s.samples.len() as u32);
+            for &x in &s.samples {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Frame::Iq(iq) => {
+            put_u64(out, iq.batch_index);
+            put_u64(out, iq.dropped_total);
+            put_u32(out, iq.pairs.len() as u32);
+            for &(i, q) in &iq.pairs {
+                out.extend_from_slice(&i.to_le_bytes());
+                out.extend_from_slice(&q.to_le_bytes());
+            }
+        }
+        Frame::StatsRequest => out.push(0),
+        Frame::StatsReport(r) => {
+            out.push(1);
+            put_u32(out, r.channel);
+            put_u64(out, r.batches_accepted);
+            put_u64(out, r.batches_dropped);
+            put_u64(out, r.samples_in);
+            put_u64(out, r.outputs);
+            put_u32(out, r.queue_len);
+            put_u32(out, r.queue_hwm);
+            put_u64(out, r.busy_ns);
+        }
+        Frame::Error(e) => {
+            put_u16(out, e.code);
+            let msg = e.message.as_bytes();
+            put_u16(out, msg.len().min(u16::MAX as usize) as u16);
+            out.extend_from_slice(&msg[..msg.len().min(u16::MAX as usize)]);
+        }
+        Frame::Shutdown => {}
+    }
+}
+
+/// Serialises `frame` with sequence number `seq` into a fresh buffer.
+pub fn encode_frame(frame: &Frame, seq: u32) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + 64);
+    encode_frame_into(frame, seq, &mut buf);
+    buf
+}
+
+/// Serialises `frame` into `buf` (cleared first). Reusing one buffer
+/// across calls keeps the steady-state send path allocation-free.
+pub fn encode_frame_into(frame: &Frame, seq: u32, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.resize(HEADER_LEN, 0);
+    encode_payload(frame, buf);
+    let payload_len = (buf.len() - HEADER_LEN) as u32;
+    debug_assert!(payload_len <= MAX_PAYLOAD, "oversized frame produced");
+    let payload_sum = checksum(&buf[HEADER_LEN..]);
+    buf[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+    buf[2] = VERSION;
+    buf[3] = frame.type_byte();
+    buf[4..8].copy_from_slice(&seq.to_le_bytes());
+    buf[8..12].copy_from_slice(&payload_len.to_le_bytes());
+    buf[12..16].copy_from_slice(&payload_sum.to_le_bytes());
+    let header_sum = checksum(&buf[0..16]);
+    buf[16..20].copy_from_slice(&header_sum.to_le_bytes());
+}
+
+// ---------------------------------------------------------------- decode
+
+/// A validated frame header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Frame type byte (already known to be in range).
+    pub frame_type: u8,
+    /// Sender's sequence number.
+    pub seq: u32,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// Expected payload checksum.
+    pub payload_sum: u32,
+}
+
+/// Validates the fixed header: magic, version, checksum, length bound.
+pub fn decode_header(bytes: &[u8; HEADER_LEN]) -> Result<FrameHeader, WireError> {
+    let header_sum = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    if checksum(&bytes[0..16]) != header_sum {
+        return Err(WireError::HeaderChecksum);
+    }
+    let magic = u16::from_le_bytes(bytes[0..2].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if bytes[2] != VERSION {
+        return Err(WireError::BadVersion(bytes[2]));
+    }
+    let frame_type = bytes[3];
+    if !(1..=7).contains(&frame_type) {
+        return Err(WireError::BadType(frame_type));
+    }
+    let payload_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::PayloadTooLarge(payload_len));
+    }
+    Ok(FrameHeader {
+        frame_type,
+        seq: u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+        payload_len,
+        payload_sum: u32::from_le_bytes(bytes[12..16].try_into().unwrap()),
+    })
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a payload already framed by a validated header. Checks the
+/// payload checksum before parsing.
+pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, WireError> {
+    debug_assert_eq!(payload.len(), header.payload_len as usize);
+    if checksum(payload) != header.payload_sum {
+        return Err(WireError::PayloadChecksum);
+    }
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let frame = match header.frame_type {
+        1 => {
+            let proto = c.u16("hello proto")?;
+            let max_payload = c.u32("hello max_payload")?;
+            let n = c.u16("hello info length")? as usize;
+            let info = String::from_utf8_lossy(c.take(n, "hello info")?).into_owned();
+            Frame::Hello(Hello {
+                proto,
+                max_payload,
+                info,
+            })
+        }
+        2 => {
+            let preset = ConfigPreset::from_u8(c.u8("configure preset")?)?;
+            let policy = Backpressure::from_u8(c.u8("configure policy")?)?;
+            let queue_cap = c.u32("configure queue_cap")?;
+            let tune_freq = f64::from_bits(c.u64("configure tune_freq")?);
+            Frame::Configure(Configure {
+                preset,
+                policy,
+                queue_cap,
+                tune_freq,
+            })
+        }
+        3 => {
+            let batch_index = c.u64("samples batch_index")?;
+            let count = c.u32("samples count")?;
+            if count as usize * 4 != c.remaining() {
+                return Err(WireError::CountMismatch {
+                    declared: count,
+                    available: c.remaining(),
+                });
+            }
+            let mut samples = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                samples.push(i32::from_le_bytes(
+                    c.take(4, "sample word")?.try_into().unwrap(),
+                ));
+            }
+            Frame::Samples(Samples {
+                batch_index,
+                samples,
+            })
+        }
+        4 => {
+            let batch_index = c.u64("iq batch_index")?;
+            let dropped_total = c.u64("iq dropped_total")?;
+            let count = c.u32("iq count")?;
+            if count as usize * 16 != c.remaining() {
+                return Err(WireError::CountMismatch {
+                    declared: count,
+                    available: c.remaining(),
+                });
+            }
+            let mut pairs = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let i = i64::from_le_bytes(c.take(8, "iq i word")?.try_into().unwrap());
+                let q = i64::from_le_bytes(c.take(8, "iq q word")?.try_into().unwrap());
+                pairs.push((i, q));
+            }
+            Frame::Iq(IqPayload {
+                batch_index,
+                dropped_total,
+                pairs,
+            })
+        }
+        5 => match c.u8("stats flag")? {
+            0 => Frame::StatsRequest,
+            _ => Frame::StatsReport(StatsReport {
+                channel: c.u32("stats channel")?,
+                batches_accepted: c.u64("stats batches_accepted")?,
+                batches_dropped: c.u64("stats batches_dropped")?,
+                samples_in: c.u64("stats samples_in")?,
+                outputs: c.u64("stats outputs")?,
+                queue_len: c.u32("stats queue_len")?,
+                queue_hwm: c.u32("stats queue_hwm")?,
+                busy_ns: c.u64("stats busy_ns")?,
+            }),
+        },
+        6 => {
+            let code = c.u16("error code")?;
+            let n = c.u16("error message length")? as usize;
+            let message = String::from_utf8_lossy(c.take(n, "error message")?).into_owned();
+            Frame::Error(ErrorFrame { code, message })
+        }
+        7 => Frame::Shutdown,
+        other => return Err(WireError::BadType(other)),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+// ------------------------------------------------------------- blocking I/O
+
+/// Why [`read_frame`] failed.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// The peer closed the connection at a frame boundary.
+    Eof,
+    /// Transport error (including mid-frame EOF).
+    Io(io::Error),
+    /// Bytes arrived but were not a valid frame.
+    Wire(WireError),
+}
+
+impl fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameReadError::Eof => write!(f, "connection closed"),
+            FrameReadError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameReadError::Wire(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+impl From<io::Error> for FrameReadError {
+    fn from(e: io::Error) -> Self {
+        FrameReadError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameReadError {
+    fn from(e: WireError) -> Self {
+        FrameReadError::Wire(e)
+    }
+}
+
+/// Reads exactly one frame from `r`, blocking. A clean EOF before the
+/// first header byte is [`FrameReadError::Eof`]; EOF mid-frame is an
+/// I/O error.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(u32, Frame), FrameReadError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Err(FrameReadError::Eof),
+            0 => {
+                return Err(FrameReadError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            n => got += n,
+        }
+    }
+    let h = decode_header(&header)?;
+    let mut payload = vec![0u8; h.payload_len as usize];
+    r.read_exact(&mut payload)?;
+    let frame = decode_payload(&h, &payload)?;
+    Ok((h.seq, frame))
+}
+
+/// Writes one frame to `w` and flushes it.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame, seq: u32) -> io::Result<()> {
+    let buf = encode_frame(frame, seq);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let seq = 42;
+        let bytes = encode_frame(&frame, seq);
+        assert!(bytes.len() >= HEADER_LEN);
+        let h = decode_header(bytes[..HEADER_LEN].try_into().unwrap()).expect("header");
+        assert_eq!(h.seq, seq);
+        assert_eq!(h.payload_len as usize, bytes.len() - HEADER_LEN);
+        let got = decode_payload(&h, &bytes[HEADER_LEN..]).expect("payload");
+        assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn every_frame_type_roundtrips() {
+        roundtrip(Frame::Hello(Hello {
+            proto: VERSION as u16,
+            max_payload: MAX_PAYLOAD,
+            info: "ddc-server test".into(),
+        }));
+        roundtrip(Frame::Configure(Configure {
+            preset: ConfigPreset::Wideband,
+            policy: Backpressure::DropOldest,
+            queue_cap: 7,
+            tune_freq: -10.5e6,
+        }));
+        roundtrip(Frame::Samples(Samples {
+            batch_index: 99,
+            samples: vec![i32::MIN, -1, 0, 1, i32::MAX],
+        }));
+        roundtrip(Frame::Samples(Samples {
+            batch_index: 0,
+            samples: vec![],
+        }));
+        roundtrip(Frame::Iq(IqPayload {
+            batch_index: 3,
+            dropped_total: 2,
+            pairs: vec![(i64::MIN, i64::MAX), (-5, 5), (0, 0)],
+        }));
+        roundtrip(Frame::StatsRequest);
+        roundtrip(Frame::StatsReport(StatsReport {
+            channel: 3,
+            batches_accepted: 10,
+            batches_dropped: 2,
+            samples_in: 26880,
+            outputs: 10,
+            queue_len: 1,
+            queue_hwm: 4,
+            busy_ns: 123_456_789,
+        }));
+        roundtrip(Frame::Error(ErrorFrame {
+            code: error_code::QUEUE_OVERFLOW,
+            message: "queue overflow at batch 17".into(),
+        }));
+        roundtrip(Frame::Shutdown);
+    }
+
+    #[test]
+    fn header_checksum_catches_any_single_byte_corruption() {
+        let bytes = encode_frame(
+            &Frame::Samples(Samples {
+                batch_index: 5,
+                samples: vec![1, 2, 3],
+            }),
+            7,
+        );
+        for k in 0..HEADER_LEN {
+            let mut bad = bytes.clone();
+            bad[k] ^= 0x40;
+            let r = decode_header(bad[..HEADER_LEN].try_into().unwrap());
+            assert!(r.is_err(), "corrupting header byte {k} went undetected");
+        }
+    }
+
+    #[test]
+    fn payload_checksum_catches_payload_corruption() {
+        let bytes = encode_frame(
+            &Frame::Samples(Samples {
+                batch_index: 5,
+                samples: vec![1, 2, 3],
+            }),
+            7,
+        );
+        let h = decode_header(bytes[..HEADER_LEN].try_into().unwrap()).unwrap();
+        for k in 0..(bytes.len() - HEADER_LEN) {
+            let mut bad = bytes[HEADER_LEN..].to_vec();
+            bad[k] ^= 0x01;
+            assert_eq!(
+                decode_payload(&h, &bad),
+                Err(WireError::PayloadChecksum),
+                "corrupting payload byte {k} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_misparsed() {
+        let mut junk = [0u8; HEADER_LEN];
+        for (k, b) in junk.iter_mut().enumerate() {
+            *b = (k as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        assert!(decode_header(&junk).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_at_the_header() {
+        // Hand-build a header declaring a huge payload with valid sums.
+        let mut h = vec![0u8; HEADER_LEN];
+        h[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+        h[2] = VERSION;
+        h[3] = 3;
+        h[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let sum = checksum(&h[0..16]);
+        h[16..20].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            decode_header(h.as_slice().try_into().unwrap()),
+            Err(WireError::PayloadTooLarge(MAX_PAYLOAD + 1))
+        );
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_rejected() {
+        let bytes = encode_frame(
+            &Frame::Samples(Samples {
+                batch_index: 1,
+                samples: vec![10, 20],
+            }),
+            0,
+        );
+        let h = decode_header(bytes[..HEADER_LEN].try_into().unwrap()).unwrap();
+        // truncation: checksum is over the original bytes, so recompute
+        // a consistent-but-short frame by re-declaring the count only.
+        let payload = &bytes[HEADER_LEN..];
+        let mut short = payload.to_vec();
+        short.truncate(payload.len() - 4); // one sample missing
+        let mut h_short = h;
+        h_short.payload_len -= 4;
+        h_short.payload_sum = checksum(&short);
+        assert!(matches!(
+            decode_payload(&h_short, &short),
+            Err(WireError::CountMismatch { declared: 2, .. })
+        ));
+        // trailing bytes on a Shutdown frame
+        let mut h2 = decode_header(
+            encode_frame(&Frame::Shutdown, 0)[..HEADER_LEN]
+                .try_into()
+                .unwrap(),
+        )
+        .unwrap();
+        let junk = [0u8; 3];
+        h2.payload_len = 3;
+        h2.payload_sum = checksum(&junk);
+        assert_eq!(decode_payload(&h2, &junk), Err(WireError::TrailingBytes(3)));
+    }
+
+    #[test]
+    fn read_write_frame_roundtrip_over_a_byte_pipe() {
+        let frames = [
+            Frame::Hello(Hello {
+                proto: 1,
+                max_payload: 1024,
+                info: "pipe".into(),
+            }),
+            Frame::Samples(Samples {
+                batch_index: 0,
+                samples: (0..1000).collect(),
+            }),
+            Frame::Shutdown,
+        ];
+        let mut pipe = Vec::new();
+        for (k, f) in frames.iter().enumerate() {
+            write_frame(&mut pipe, f, k as u32).unwrap();
+        }
+        let mut r = pipe.as_slice();
+        for (k, f) in frames.iter().enumerate() {
+            let (seq, got) = read_frame(&mut r).unwrap();
+            assert_eq!(seq, k as u32);
+            assert_eq!(&got, f);
+        }
+        assert!(matches!(read_frame(&mut r), Err(FrameReadError::Eof)));
+    }
+
+    #[test]
+    fn presets_and_policies_roundtrip_and_reject_unknowns() {
+        for p in [
+            ConfigPreset::Drm,
+            ConfigPreset::DrmMontium,
+            ConfigPreset::Wideband,
+            ConfigPreset::WidebandCompensated,
+        ] {
+            assert_eq!(ConfigPreset::from_u8(p.to_u8()), Ok(p));
+        }
+        assert_eq!(ConfigPreset::from_u8(9), Err(WireError::BadPreset(9)));
+        for b in [
+            Backpressure::Block,
+            Backpressure::DropOldest,
+            Backpressure::Disconnect,
+        ] {
+            assert_eq!(Backpressure::from_u8(b.to_u8()), Ok(b));
+        }
+        assert_eq!(Backpressure::from_u8(9), Err(WireError::BadPolicy(9)));
+        let cfg = ConfigPreset::Drm.to_config(10e6);
+        assert_eq!(cfg.tune_freq, 10e6);
+        cfg.validate().unwrap();
+    }
+}

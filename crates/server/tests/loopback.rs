@@ -1,0 +1,381 @@
+//! End-to-end loopback tests: a real TCP server on an ephemeral port,
+//! real client connections, and bit-exactness of the streamed I/Q
+//! against `FixedDdc` run in-process on the same input.
+
+use ddc_core::chain::FixedDdc;
+use ddc_server::client::{Client, ClientError};
+use ddc_server::wire::{error_code, Backpressure, ConfigPreset, Frame, IqPayload, StatsReport};
+use ddc_server::{serve, ServerConfig};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn stimulus(n: usize, seed: u64) -> Vec<i32> {
+    use ddc_dsp::signal::{adc_quantize, Mix, SampleSource, Tone, WhiteNoise};
+    let mut src = Mix(
+        Tone::new(10e6 + 3_000.0, 64_512_000.0, 0.6, 0.3),
+        WhiteNoise::new(seed, 0.15),
+    );
+    adc_quantize(&src.take_vec(n), 12)
+}
+
+fn batches_of(input: &[i32], batch: usize) -> Vec<&[i32]> {
+    input.chunks(batch).collect()
+}
+
+/// Streams `input` through one session in lock-step (send batch, read
+/// its Iq ack) and returns the concatenated output plus final stats.
+fn stream_lockstep(
+    addr: std::net::SocketAddr,
+    tune: f64,
+    input: &[i32],
+    batch: usize,
+) -> (Vec<(i64, i64)>, StatsReport) {
+    let mut client = Client::connect(addr, "test").expect("connect");
+    let conf = client
+        .configure(ConfigPreset::Drm, tune, Backpressure::Block, 8)
+        .expect("configure");
+    assert_eq!(conf.batches_accepted, 0);
+    let mut got = Vec::new();
+    for (b, chunk) in batches_of(input, batch).iter().enumerate() {
+        client.send_samples(b as u64, chunk).expect("send");
+        match client.recv().expect("iq frame") {
+            Frame::Iq(IqPayload {
+                batch_index, pairs, ..
+            }) => {
+                assert_eq!(batch_index, b as u64, "acks arrive in order");
+                got.extend(pairs);
+            }
+            other => panic!("expected Iq, got {other:?}"),
+        }
+    }
+    client.send(&Frame::Shutdown).expect("shutdown send");
+    let stats = match client.recv().expect("final stats") {
+        Frame::StatsReport(r) => r,
+        other => panic!("expected final StatsReport, got {other:?}"),
+    };
+    match client.recv().expect("final shutdown") {
+        Frame::Shutdown => {}
+        other => panic!("expected Shutdown, got {other:?}"),
+    }
+    (got, stats)
+}
+
+#[test]
+fn single_session_is_bit_exact_with_fixed_ddc() {
+    let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let input = stimulus(2688 * 10 + 997, 3);
+    let (got, stats) = stream_lockstep(server.local_addr(), 10e6, &input, 2688 * 2);
+
+    let mut solo = FixedDdc::new(ddc_core::DdcConfig::drm(10e6));
+    let expect: Vec<(i64, i64)> = solo
+        .process_block(&input)
+        .into_iter()
+        .map(|z| (z.i, z.q))
+        .collect();
+    assert_eq!(got, expect, "streamed I/Q differs from in-process chain");
+    assert_eq!(stats.samples_in, input.len() as u64);
+    assert_eq!(stats.outputs, expect.len() as u64);
+    assert_eq!(stats.batches_dropped, 0);
+    assert!(server.shutdown(Duration::from_secs(5)), "server joins");
+}
+
+#[test]
+fn four_concurrent_sessions_each_bit_exact_at_their_own_tuning() {
+    let server = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let input = std::sync::Arc::new(stimulus(2688 * 8 + 311, 7));
+    let tunes = [5e6, 10e6, 15e6, 20e6];
+    let mut handles = Vec::new();
+    for &tune in &tunes {
+        let input = std::sync::Arc::clone(&input);
+        handles.push(std::thread::spawn(move || {
+            stream_lockstep(addr, tune, &input, 2688)
+        }));
+    }
+    for (k, h) in handles.into_iter().enumerate() {
+        let (got, _) = h.join().expect("session thread");
+        let mut solo = FixedDdc::new(ddc_core::DdcConfig::drm(tunes[k]));
+        let expect: Vec<(i64, i64)> = solo
+            .process_block(&input)
+            .into_iter()
+            .map(|z| (z.i, z.q))
+            .collect();
+        assert_eq!(got, expect, "session {k}");
+    }
+    assert_eq!(server.sessions_started(), 4);
+    assert_eq!(server.free_slots(), 4, "all slots returned");
+    assert!(server.shutdown(Duration::from_secs(5)));
+}
+
+#[test]
+fn drop_oldest_reports_gaps_and_delivers_the_rest_bit_exact() {
+    // A deliberately slow backend (5 ms/batch) and a 2-deep queue force
+    // drops while the client floods 24 batches as fast as TCP accepts.
+    let server = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 1,
+            processing_delay: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let input = stimulus(2688 * 24, 11);
+    let batch = 2688;
+    let client = {
+        let mut c = Client::connect(server.local_addr(), "flood").expect("connect");
+        c.configure(ConfigPreset::Drm, 10e6, Backpressure::DropOldest, 2)
+            .expect("configure");
+        c
+    };
+    let (mut tx, mut rx) = client.split();
+    let chunks: Vec<Vec<i32>> = input.chunks(batch).map(|c| c.to_vec()).collect();
+    let n_batches = chunks.len() as u64;
+    let receiver = std::thread::spawn(move || {
+        let mut acked: BTreeMap<u64, Vec<(i64, i64)>> = BTreeMap::new();
+        let mut final_stats = None;
+        loop {
+            match rx.recv() {
+                Ok(Frame::Iq(iq)) => {
+                    acked.insert(iq.batch_index, iq.pairs);
+                }
+                Ok(Frame::StatsReport(r)) => final_stats = Some(r),
+                Ok(Frame::Shutdown) => break,
+                Ok(other) => panic!("unexpected {other:?}"),
+                Err(e) => panic!("receive error: {e}"),
+            }
+        }
+        (acked, final_stats)
+    });
+    for (b, chunk) in chunks.iter().enumerate() {
+        tx.send_samples(b as u64, chunk).expect("send");
+    }
+    tx.send(&Frame::Shutdown).expect("shutdown");
+    let (acked, final_stats) = receiver.join().expect("receiver");
+    let stats = final_stats.expect("final stats");
+
+    // Flooding 24 batches at localhost speed against 5 ms/batch with a
+    // 2-deep queue must drop something (22+ batches arrive while the
+    // first is still processing).
+    assert!(stats.batches_dropped > 0, "flood failed to force drops");
+    assert_eq!(
+        acked.len() as u64 + stats.batches_dropped,
+        n_batches,
+        "every batch is either acked or reported dropped"
+    );
+    // Delivered ranges are bit-exact: the chain state evolves over
+    // exactly the accepted batches in order.
+    let mut solo = FixedDdc::new(ddc_core::DdcConfig::drm(10e6));
+    let mut expect = Vec::new();
+    for &b in acked.keys() {
+        expect.extend(
+            solo.process_block(&chunks[b as usize])
+                .into_iter()
+                .map(|z| (z.i, z.q)),
+        );
+    }
+    let got: Vec<(i64, i64)> = acked.into_values().flatten().collect();
+    assert_eq!(got, expect, "delivered ranges must be bit-exact");
+    assert!(server.shutdown(Duration::from_secs(5)));
+}
+
+#[test]
+fn disconnect_policy_sends_overflow_error_and_closes() {
+    let server = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 1,
+            processing_delay: Duration::from_millis(20),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr(), "overflow").expect("connect");
+    client
+        .configure(ConfigPreset::Drm, 10e6, Backpressure::Disconnect, 1)
+        .expect("configure");
+    let chunk = stimulus(2688, 13);
+    // Flood until the server objects; with a 1-deep queue and 20 ms
+    // per batch this happens within a handful of frames.
+    let mut saw_overflow = false;
+    for b in 0..200 {
+        if client.send_samples(b, &chunk).is_err() {
+            break; // server already closed the socket
+        }
+    }
+    loop {
+        match client.recv() {
+            Ok(Frame::Error(e)) => {
+                assert_eq!(e.code, error_code::QUEUE_OVERFLOW);
+                saw_overflow = true;
+            }
+            Ok(Frame::Iq(_)) => {}
+            Ok(other) => panic!("unexpected {other:?}"),
+            Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => break,
+            Err(e) => panic!("unexpected client error {e}"),
+        }
+    }
+    assert!(saw_overflow, "overflow error never arrived");
+    assert!(server.shutdown(Duration::from_secs(5)));
+}
+
+#[test]
+fn server_full_is_reported_with_an_error_frame() {
+    let server = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut first = Client::connect(server.local_addr(), "first").expect("connect");
+    first
+        .configure(ConfigPreset::Drm, 10e6, Backpressure::Block, 4)
+        .expect("configure");
+    let mut second = Client::connect(server.local_addr(), "second").expect("connect");
+    match second.configure(ConfigPreset::Drm, 12e6, Backpressure::Block, 4) {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, error_code::SERVER_FULL),
+        other => panic!("expected SERVER_FULL, got {other:?}"),
+    }
+    // After the first session ends its slot is reusable.
+    first.send(&Frame::Shutdown).expect("shutdown");
+    loop {
+        match first.recv() {
+            Ok(Frame::Shutdown) => break,
+            Ok(_) => {}
+            Err(e) => panic!("first session teardown: {e}"),
+        }
+    }
+    // Slot release happens after the session thread finishes; poll briefly.
+    let mut reclaimed = false;
+    for _ in 0..100 {
+        let mut third = Client::connect(server.local_addr(), "third").expect("connect");
+        match third.configure(ConfigPreset::Drm, 14e6, Backpressure::Block, 4) {
+            Ok(_) => {
+                reclaimed = true;
+                let _ = third.send(&Frame::Shutdown);
+                break;
+            }
+            Err(ClientError::Remote(e)) if e.code == error_code::SERVER_FULL => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(reclaimed, "slot was never returned to the pool");
+    assert!(server.shutdown(Duration::from_secs(5)));
+}
+
+#[test]
+fn corrupt_bytes_get_an_error_frame_then_the_connection_closes() {
+    use std::io::{Read, Write};
+    let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    raw.write_all(b"this is not a ddc frame at all..")
+        .expect("write junk");
+    let mut buf = Vec::new();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.read_to_end(&mut buf).expect("read until close");
+    // The server answered with a well-formed Error frame before
+    // closing: decode it.
+    let header: [u8; ddc_server::wire::HEADER_LEN] = buf[..ddc_server::wire::HEADER_LEN]
+        .try_into()
+        .expect("an entire frame arrived");
+    let h = ddc_server::wire::decode_header(&header).expect("valid header");
+    let frame =
+        ddc_server::wire::decode_payload(&h, &buf[ddc_server::wire::HEADER_LEN..]).expect("valid");
+    match frame {
+        Frame::Error(e) => assert_eq!(e.code, error_code::PROTOCOL),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    assert!(server.shutdown(Duration::from_secs(5)));
+}
+
+#[test]
+fn graceful_server_shutdown_drains_in_flight_batches() {
+    // The session streams with a slow backend; the *server* initiates
+    // shutdown mid-stream. Every batch accepted before the read-side
+    // close must still be acknowledged with its Iq frame (no lost
+    // acknowledged frames), and the server must join in bounded time.
+    let server = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 1,
+            processing_delay: Duration::from_millis(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let client = {
+        let mut c = Client::connect(server.local_addr(), "drain").expect("connect");
+        c.configure(ConfigPreset::Drm, 10e6, Backpressure::Block, 16)
+            .expect("configure");
+        c
+    };
+    let (mut tx, mut rx) = client.split();
+    let chunk = stimulus(2688, 17);
+    let n_sent = 12u64;
+    for b in 0..n_sent {
+        tx.send_samples(b, &chunk).expect("send");
+    }
+    // Give the server a moment to ingest everything into the queue,
+    // then shut down while batches are still being processed.
+    std::thread::sleep(Duration::from_millis(10));
+    let t0 = std::time::Instant::now();
+    assert!(
+        server.shutdown(Duration::from_secs(10)),
+        "server failed to join within the deadline"
+    );
+    assert!(t0.elapsed() < Duration::from_secs(10));
+    // Collect everything that made it out before the close: batches
+    // are acknowledged contiguously from 0 (FIFO queue, in-order
+    // processing), so the drain guarantee shows up as a prefix.
+    let mut acked = Vec::new();
+    loop {
+        match rx.recv() {
+            Ok(Frame::Iq(iq)) => acked.push(iq.batch_index),
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    for (k, &b) in acked.iter().enumerate() {
+        assert_eq!(b, k as u64, "acks form a contiguous prefix");
+    }
+}
+
+#[test]
+fn stats_requests_track_progress_midstream() {
+    let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr(), "stats").expect("connect");
+    client
+        .configure(ConfigPreset::Drm, 10e6, Backpressure::Block, 8)
+        .expect("configure");
+    let chunk = stimulus(2688 * 2, 19);
+    for b in 0..3u64 {
+        client.send_samples(b, &chunk).expect("send");
+        match client.recv().expect("iq") {
+            Frame::Iq(_) => {}
+            other => panic!("expected Iq, got {other:?}"),
+        }
+    }
+    client.send(&Frame::StatsRequest).expect("stats request");
+    match client.recv().expect("stats") {
+        Frame::StatsReport(r) => {
+            assert_eq!(r.batches_accepted, 3);
+            assert_eq!(r.samples_in, 3 * chunk.len() as u64);
+            assert!(r.busy_ns > 0);
+            assert!(r.queue_hwm >= 1);
+        }
+        other => panic!("expected StatsReport, got {other:?}"),
+    }
+    let _ = client.send(&Frame::Shutdown);
+    assert!(server.shutdown(Duration::from_secs(5)));
+}

@@ -8,7 +8,31 @@
 
 use ddc_suite::arch_asic::gc4016::{Gc4016, Gc4016Config, Gc4016Model, OutputCombiner};
 use ddc_suite::arch_model::{Architecture, TechnologyNode};
+use ddc_suite::core::{DdcConfig, DdcFarm, FixedFormat};
+use ddc_suite::dsp::firdes;
 use ddc_suite::dsp::signal::{adc_quantize, Mix, MskCarrier, SampleSource, WhiteNoise};
+use ddc_suite::dsp::window::{kaiser_beta, Window};
+
+/// A software DDC matching the GC4016 GSM example's rates: 69.333 MSPS
+/// in, ÷256 overall (CIC2 ÷16 × CIC5 ÷8 × FIR ÷2), 270.833 kHz out,
+/// with a 63-tap channel filter passing one 200 kHz GSM channel.
+fn gsm_software_config(tune_freq: f64, input_rate: f64) -> DdcConfig {
+    let beta = kaiser_beta(70.0);
+    // FIR input rate = 69.333 MSPS / 128 = 541.666 kHz; the GSM channel
+    // is 200 kHz wide, so the passband edge sits at 100/541.666.
+    let taps = firdes::lowpass(63, 100_000.0 / 541_666.0, Window::Kaiser(beta));
+    DdcConfig {
+        input_rate,
+        tune_freq,
+        cic1_order: 2,
+        cic1_decim: 16,
+        cic2_order: 5,
+        cic2_decim: 8,
+        fir_taps: taps,
+        fir_decim: 2,
+        format: FixedFormat::FPGA12,
+    }
+}
 
 fn main() {
     let base = Gc4016Config::gsm_example();
@@ -70,6 +94,37 @@ fn main() {
             rms
         );
     }
+
+    // The same four carriers through the software farm: one DdcFarm
+    // channel per carrier, work-stealing workers instead of hard
+    // silicon, identical ÷256 structure.
+    let farm_cfgs: Vec<DdcConfig> = carriers
+        .iter()
+        .map(|&f| gsm_software_config(f, fs))
+        .collect();
+    println!(
+        "\nDdcFarm: {} channels, CIC2 ÷16 × CIC5 ÷8 × FIR ÷2 = ÷{}, output {:.0} Hz",
+        farm_cfgs.len(),
+        farm_cfgs[0].total_decimation(),
+        farm_cfgs[0].output_rate()
+    );
+    let mut farm = DdcFarm::new(farm_cfgs);
+    let farm_out = farm.submit_block(&adc);
+    for (ch, (f, out)) in carriers.iter().zip(&farm_out).enumerate() {
+        let rms = (out
+            .iter()
+            .map(|z| (z.i * z.i + z.q * z.q) as f64)
+            .sum::<f64>()
+            / out.len() as f64)
+            .sqrt();
+        println!(
+            "farm channel {ch}: tuned {:.1} MHz → {} outputs, RMS {:.0} LSB",
+            f / 1e6,
+            out.len(),
+            rms
+        );
+    }
+    farm.shutdown();
 
     // The power story that anchors the paper's ASIC row.
     let one = Gc4016Model::paper_reference();

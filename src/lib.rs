@@ -17,3 +17,4 @@ pub use ddc_arch_montium as arch_montium;
 pub use ddc_core as core;
 pub use ddc_dsp as dsp;
 pub use ddc_energy as energy;
+pub use ddc_server as server;

@@ -10,10 +10,8 @@ use ddc_suite::arch_gpp::golden::{drm_coefficients, GppDdc};
 use ddc_suite::arch_gpp::programs::{optimized, run_ddc as run_gpp, unoptimized};
 use ddc_suite::arch_montium::mapping::run_ddc as run_montium;
 use ddc_suite::core::nco::tuning_word;
-#[allow(deprecated)] // pinned: the wrapper must keep working for existing callers
-use ddc_suite::core::pipeline::run_channels_parallel;
 use ddc_suite::core::pipeline::run_pipelined;
-use ddc_suite::core::{DdcConfig, FixedDdc, ReferenceDdc};
+use ddc_suite::core::{DdcConfig, DdcFarm, FixedDdc, ReferenceDdc};
 use ddc_suite::dsp::signal::{adc_quantize, Mix, SampleSource, Tone, WhiteNoise};
 use ddc_suite::dsp::stats::ser_db;
 
@@ -58,9 +56,6 @@ fn gpp_programs_equal_golden_model_bit_for_bit() {
 }
 
 #[test]
-// run_channels_parallel is deprecated in favour of engine::DdcFarm but
-// must keep working as a thin wrapper; this test pins that behaviour.
-#[allow(deprecated)]
 fn pipeline_equals_sequential_bit_for_bit() {
     let sig = stimulus(2688 * 7 + 531);
     let adc = adc_quantize(&sig, 12);
@@ -69,12 +64,30 @@ fn pipeline_equals_sequential_bit_for_bit() {
     let expect = seq.process_block(&adc);
     assert_eq!(run_pipelined(&cfg, &adc, 48), expect);
 
-    // four parallel channels at different tunings each match their
+    // four farm channels at different tunings each match their
     // individually-run counterpart
     let cfgs: Vec<DdcConfig> = [5e6, 10e6, 15e6, 20e6]
         .iter()
         .map(|&f| DdcConfig::drm(f))
         .collect();
+    let mut farm = DdcFarm::new(cfgs.clone());
+    let par = farm.submit_block(&adc);
+    farm.shutdown();
+    for (cfg, got) in cfgs.iter().zip(&par) {
+        let mut solo = FixedDdc::new(cfg.clone());
+        assert_eq!(*got, solo.process_block(&adc));
+    }
+}
+
+#[test]
+// run_channels_parallel is deprecated in favour of engine::DdcFarm but
+// must keep working as a thin wrapper; this test pins that behaviour.
+#[allow(deprecated)]
+fn deprecated_run_channels_parallel_still_matches_sequential() {
+    use ddc_suite::core::pipeline::run_channels_parallel;
+    let sig = stimulus(2688 * 3 + 97);
+    let adc = adc_quantize(&sig, 12);
+    let cfgs: Vec<DdcConfig> = [5e6, 15e6].iter().map(|&f| DdcConfig::drm(f)).collect();
     let par = run_channels_parallel(&cfgs, &adc);
     for (cfg, got) in cfgs.iter().zip(&par) {
         let mut solo = FixedDdc::new(cfg.clone());
