@@ -83,9 +83,9 @@ impl Gc4016Config {
     /// 2688 exactly (672 is within the CIC range).
     pub fn drm_equivalent(tune_freq: f64) -> Self {
         Gc4016Config {
-            input_rate: 64_512_000.0,
+            input_rate: ddc_core::spec::DRM_INPUT_RATE,
             tune_freq,
-            cic_decim: 672,
+            cic_decim: ddc_core::spec::DRM_TOTAL_DECIMATION / 4,
             input_bits: 14,
             output_bits: 16,
         }

@@ -21,10 +21,12 @@
 //! **bit-for-bit**; its fidelity against the ideal chain is checked
 //! separately with a signal-to-error measurement.
 
+use ddc_core::spec::DRM_STAGE_DECIMATIONS;
 use std::num::Wrapping;
 
-/// Number of FIR taps (fixed, as in the paper's reference design).
-pub const FIR_TAPS: usize = 125;
+/// Number of FIR taps (fixed, as in the paper's reference design) —
+/// derived from the reference chain plan.
+pub const FIR_TAPS: usize = ddc_core::spec::DRM_FIR_TAPS;
 
 /// Builds the 1024-entry 12-bit cosine table the program reads
 /// (quantized exactly like the hardware NCO's sine table read with a
@@ -76,9 +78,9 @@ impl GppDdc {
             comb5: [Wrapping(0); 5],
             fir_ram: vec![0; FIR_TAPS],
             fir_pos: 0,
-            cnt16: 16,
-            cnt21: 21,
-            cnt8: 8,
+            cnt16: DRM_STAGE_DECIMATIONS[0],
+            cnt21: DRM_STAGE_DECIMATIONS[1],
+            cnt8: DRM_STAGE_DECIMATIONS[2],
         }
     }
 
@@ -97,7 +99,7 @@ impl GppDdc {
         if self.cnt16 > 0 {
             return None;
         }
-        self.cnt16 = 16;
+        self.cnt16 = DRM_STAGE_DECIMATIONS[0];
         // CIC2 combs.
         let mut v = self.acc[1];
         for c in self.comb.iter_mut() {
@@ -116,7 +118,7 @@ impl GppDdc {
         if self.cnt21 > 0 {
             return None;
         }
-        self.cnt21 = 21;
+        self.cnt21 = DRM_STAGE_DECIMATIONS[1];
         // CIC5 combs.
         let mut w = self.acc5[4];
         for c in self.comb5.iter_mut() {
@@ -132,7 +134,7 @@ impl GppDdc {
         if self.cnt8 > 0 {
             return None;
         }
-        self.cnt8 = 8;
+        self.cnt8 = DRM_STAGE_DECIMATIONS[2];
         // FIR summation.
         let mut acc = Wrapping(0i32);
         let mut idx = if self.fir_pos == 0 {

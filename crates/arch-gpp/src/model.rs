@@ -29,8 +29,9 @@ use ddc_dsp::signal::{adc_quantize, SampleSource, Tone, WhiteNoise};
 
 /// ARM922T power density: 0.25 mW/MHz (core + caches, §4.2.2).
 pub const MW_PER_MHZ: f64 = 0.25;
-/// The DDC input sample rate the processor must keep up with.
-pub const INPUT_RATE_HZ: f64 = 64_512_000.0;
+/// The DDC input sample rate the processor must keep up with —
+/// derived from the reference chain plan.
+pub const INPUT_RATE_HZ: f64 = ddc_core::spec::DRM_INPUT_RATE;
 
 /// Which program variant the model measures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,7 +82,7 @@ impl ArmModel {
     /// the profile.
     pub fn measure(codegen: CodeGen, blocks: usize) -> Self {
         assert!(blocks >= 1);
-        let n = 2688 * blocks;
+        let n = ddc_core::spec::DRM_TOTAL_DECIMATION as usize * blocks;
         let mut src = ddc_dsp::signal::Mix(
             Tone::new(10_004_000.0, INPUT_RATE_HZ, 0.6, 0.0),
             WhiteNoise::new(7, 0.2),

@@ -106,7 +106,7 @@ fn back_end(resume: &str) -> String {
         str r4, [r12, #{cnt21}]
         cmp r4, #0
         bgt {resume}
-        mov r4, #21
+        mov r4, #{d2}
         str r4, [r12, #{cnt21}]
 .region cic5_comb
         ldr r2, [r12, #{a4}]
@@ -141,7 +141,7 @@ fp_nowrap:
         str r6, [r12, #{cnt8}]
         cmp r6, #0
         bgt {resume}
-        mov r6, #8
+        mov r6, #{d3}
         str r6, [r12, #{cnt8}]
 .region fir_sum
         mov r2, #0
@@ -188,6 +188,8 @@ fm_nowrap:
         coeff = COEFF,
         taps = FIR_TAPS,
         last_tap = FIR_TAPS - 1,
+        d2 = ddc_core::spec::DRM_STAGE_DECIMATIONS[1],
+        d3 = ddc_core::spec::DRM_STAGE_DECIMATIONS[2],
         resume = resume,
     )
 }
@@ -231,7 +233,7 @@ sample_loop:
         str r4, [r12, #{cnt16}]
         cmp r4, #0
         bgt next_sample
-        mov r4, #16
+        mov r4, #{d1}
         str r4, [r12, #{cnt16}]
 {back_end}\
 .region nco
@@ -255,6 +257,7 @@ next_sample:
         acc0 = state::ACC0,
         acc1 = state::ACC1,
         cnt16 = state::CNT16,
+        d1 = ddc_core::spec::DRM_STAGE_DECIMATIONS[0],
         out_count = ADDR_OUT_COUNT,
         back_end = back_end("next_sample"),
     );
@@ -281,7 +284,7 @@ pub fn optimized() -> Program {
         mov r2, #0
         mov r3, #0
         mov r4, #0
-        mov r5, #16
+        mov r5, #{d1}
         mov r9, #{cos_tab}
 sample_loop:
 .region nco
@@ -299,7 +302,7 @@ sample_loop:
         sub r5, r5, #1
         cmp r5, #0
         bgt next_sample
-        mov r5, #16
+        mov r5, #{d1}
 .region cic2_comb
         ; the shared back end scratches r2-r8: spill the live
         ; register state, hand it acc1 in r3, reload at resume_be
@@ -314,7 +317,7 @@ resume_be:
         ldr r3, [r12, #{acc0}]
         ldr r4, [r12, #{acc1}]
         ldr r6, [r12, #{word}]
-        mov r5, #16
+        mov r5, #{d1}
 .region nco
 next_sample:
         sub r1, r1, #1
@@ -335,6 +338,7 @@ next_sample:
         acc1 = state::ACC1,
         word = state::WORD,
         cos_tab = COS_TAB,
+        d1 = ddc_core::spec::DRM_STAGE_DECIMATIONS[0],
         out_count = ADDR_OUT_COUNT,
         back_end = back_end("resume_be"),
     );
@@ -367,9 +371,14 @@ pub fn run_ddc_with_model(
     for (i, &c) in coeffs.iter().enumerate() {
         cpu.mem[COEFF + i] = c;
     }
-    cpu.mem[STATE + state::CNT16] = 16;
-    cpu.mem[STATE + state::CNT21] = 21;
-    cpu.mem[STATE + state::CNT8] = 8;
+    // Down-counter seeds come from the reference plan; the assembly's
+    // reload immediates are formatted from the same
+    // `DRM_STAGE_DECIMATIONS` constants, so seed and reload cannot
+    // diverge.
+    let [d1, d2, d3] = ddc_core::spec::DRM_STAGE_DECIMATIONS;
+    cpu.mem[STATE + state::CNT16] = d1 as i32;
+    cpu.mem[STATE + state::CNT21] = d2 as i32;
+    cpu.mem[STATE + state::CNT8] = d3 as i32;
     cpu.mem[STATE + state::WORD] = word as i32;
     cpu.mem[INPUT_BASE..INPUT_BASE + input.len()].copy_from_slice(input);
     let fuel = input.len() as u64 * 200 + 10_000;

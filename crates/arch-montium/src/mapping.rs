@@ -103,7 +103,13 @@ impl DdcMapping {
                 cfg.cic2_decim,
                 cfg.fir_decim
             ),
-            (2, 16, 5, 21, 8),
+            (
+                ddc_core::spec::DRM_CIC1_ORDER,
+                ddc_core::spec::DRM_STAGE_DECIMATIONS[0],
+                ddc_core::spec::DRM_CIC2_ORDER,
+                ddc_core::spec::DRM_STAGE_DECIMATIONS[1],
+                ddc_core::spec::DRM_STAGE_DECIMATIONS[2],
+            ),
             "the mapping implements the paper's Table 1 schedule"
         );
         let f = cfg.format;

@@ -43,7 +43,8 @@ impl MontiumModel {
         let cfg = DdcConfig::drm_montium(10e6);
         let clock_hz = cfg.input_rate;
         let input = adc_quantize(
-            &Tone::new(10_004_000.0, clock_hz, 0.6, 0.0).take_vec(2688 * blocks),
+            &Tone::new(10_004_000.0, clock_hz, 0.6, 0.0)
+                .take_vec(ddc_core::spec::DRM_TOTAL_DECIMATION as usize * blocks),
             16,
         );
         let run = run_ddc(cfg, &input, 40);

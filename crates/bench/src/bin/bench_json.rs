@@ -22,6 +22,7 @@ use ddc_core::mixer::FixedMixer;
 use ddc_core::nco::{CosSin, LutNco};
 use ddc_core::params::DdcConfig;
 use ddc_core::pipeline::run_pipelined;
+use ddc_core::spec::{ChainSpec, DRM_TOTAL_DECIMATION};
 use ddc_dsp::firdes::quantize_taps;
 use ddc_dsp::signal::{adc_quantize, Mix, SampleSource, Tone, WhiteNoise};
 use std::hint::black_box;
@@ -32,7 +33,7 @@ use std::time::Instant;
 /// the TCP loopback) have no meaningful per-sample form and emit only
 /// `block_msps` — the gate script skips metrics that are absent.
 struct StageResult {
-    name: &'static str,
+    name: String,
     per_sample_msps: Option<f64>,
     block_msps: f64,
 }
@@ -68,7 +69,7 @@ fn main() {
 
     // Stimulus: an in-band tone plus noise, quantized to the ADC width,
     // long enough that the chain produces hundreds of output words.
-    let n = 2688 * 256;
+    let n = DRM_TOTAL_DECIMATION as usize * 256;
     let mut src = Mix(
         Tone::new(10e6 + 3_000.0, fs, 0.6, 0.1),
         WhiteNoise::new(29, 0.2),
@@ -99,7 +100,7 @@ fn main() {
             black_box(lo.len());
         });
         results.push(StageResult {
-            name: "nco_lut",
+            name: "nco_lut".to_string(),
             per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
         });
@@ -134,7 +135,7 @@ fn main() {
             black_box(out_i.len());
         });
         results.push(StageResult {
-            name: "mixer",
+            name: "mixer".to_string(),
             per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
         });
@@ -174,14 +175,18 @@ fn main() {
             black_box(out_i.len() + out_q.len());
         });
         results.push(StageResult {
-            name: "fused_frontend",
+            name: "fused_frontend".to_string(),
             per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
         });
     }
 
-    // --- CIC stages -----------------------------------------------
-    for (name, order, decim) in [("cic2_r16", 2u32, 16u32), ("cic5_r21", 5, 21)] {
+    // --- CIC stages (parameters come from the reference spec) -----
+    for (order, decim) in [
+        (cfg.cic1_order, cfg.cic1_decim),
+        (cfg.cic2_order, cfg.cic2_decim),
+    ] {
+        let name = format!("cic{order}_r{decim}");
         let mut cic = CicDecimator::new(order, decim, f.data_bits, f.data_bits);
         let per = measure(n, || {
             let mut acc = 0i64;
@@ -236,33 +241,40 @@ fn main() {
             black_box(out.len());
         });
         results.push(StageResult {
-            name: "fir_seq_125tap_r8",
+            name: format!("fir_seq_{}tap_r{}", coeffs.len(), cfg.fir_decim),
             per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
         });
     }
 
-    // --- Full fixed-point DRM chain -------------------------------
-    {
-        let mut ddc = FixedDdc::new(cfg.clone());
+    // --- Full fixed-point chains, one per registry spec -----------
+    // Every ChainSpec in the registry is benchmarked end to end under
+    // the name `chain_<spec name>`, so adding a preset automatically
+    // adds a gated stage. The stimulus is requantized per spec (the
+    // Montium plan is 16-bit).
+    for spec in ChainSpec::registry() {
+        let spec = spec.tuned(10e6);
+        let adc_s = adc_quantize(&analog, spec.format.data_bits);
+        let adc_s_i64: Vec<i64> = adc_s.iter().map(|&x| i64::from(x)).collect();
+        let mut ddc = FixedDdc::from_spec(spec.clone());
         let per = measure(n, || {
             let mut acc = 0i64;
-            for &x in &adc_i64 {
+            for &x in &adc_s_i64 {
                 if let Some(z) = ddc.process(x) {
                     acc ^= z.i + z.q;
                 }
             }
             black_box(acc);
         });
-        let mut ddc_b = FixedDdc::new(cfg.clone());
-        let mut out = Vec::with_capacity(n / 2688 + 1);
+        let mut ddc_b = FixedDdc::from_spec(spec.clone());
+        let mut out = Vec::with_capacity(n / spec.total_decimation() as usize + 1);
         let blk = measure(n, || {
             out.clear();
-            ddc_b.process_into(&adc, &mut out);
+            ddc_b.process_into(&adc_s, &mut out);
             black_box(out.len());
         });
         results.push(StageResult {
-            name: "fixed_ddc_drm_chain",
+            name: format!("chain_{}", spec.name),
             per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
         });
@@ -315,7 +327,7 @@ fn main() {
         client
             .configure(ConfigPreset::Drm, 10e6, Backpressure::Block, 8)
             .expect("configure");
-        let batch = 2688 * 8;
+        let batch = DRM_TOTAL_DECIMATION as usize * 8;
         let mut batch_index = 0u64;
         let blk = measure(n, || {
             for chunk in adc.chunks(batch) {
@@ -332,7 +344,7 @@ fn main() {
         let _ = client.send(&Frame::Shutdown);
         assert!(server.shutdown(std::time::Duration::from_secs(10)));
         results.push(StageResult {
-            name: "server_loopback",
+            name: "server_loopback".to_string(),
             per_sample_msps: None,
             block_msps: blk / 1e6,
         });

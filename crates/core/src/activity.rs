@@ -57,6 +57,23 @@ impl ChainProbes {
         }
     }
 
+    /// Observes one I/Q pair at the output of decimation stage `k`
+    /// (0-based, counted after the mixer). The probe set keeps the
+    /// classic three-stage shape of the paper's chain, so stage 0
+    /// lands on the CIC1 probes, 1 on CIC2, 2 on the FIR; outputs of
+    /// any further stages of a longer [`crate::spec::ChainSpec`] go
+    /// unobserved.
+    pub(crate) fn observe_stage(&mut self, k: usize, i: i64, q: i64) {
+        let (pi, pq) = match k {
+            0 => (&mut self.cic1_i, &mut self.cic1_q),
+            1 => (&mut self.cic2_i, &mut self.cic2_q),
+            2 => (&mut self.fir_i, &mut self.fir_q),
+            _ => return,
+        };
+        pi.observe(i);
+        pq.observe(q);
+    }
+
     /// `(bus name, toggle rate)` for every probe, in chain order.
     pub fn rates(&self) -> Vec<(&'static str, f64)> {
         vec![

@@ -9,8 +9,9 @@ use crate::activity::ChainProbes;
 use crate::cic::CicDecimator;
 use crate::fir::{PolyphaseFir, SequentialFir};
 use crate::mixer::{mix_f64, FixedMixer, Iq};
-use crate::nco::{LutNco, RefOscillator};
+use crate::nco::{CosSin, LutNco, RefOscillator};
 use crate::params::DdcConfig;
+use crate::spec::{ChainSpec, StageSpec};
 use ddc_dsp::firdes::quantize_taps;
 use ddc_dsp::C64;
 
@@ -257,115 +258,141 @@ impl ReferenceDdc {
 
 /// Reusable intermediate buffers for [`FixedDdc::process_into`].
 /// `Vec::clear` keeps capacity, so after the first block the chain
-/// performs no heap allocation in steady state. The fused front-end
-/// kernel consumes the ADC block directly, so — unlike the reference
-/// chain — no input-rate LO or mixer-rail buffers exist at all; the
-/// first materialised intermediates are the CIC1-rate rails.
+/// performs no heap allocation in steady state. The stage chain
+/// ping-pongs between the two rail pairs, so two pairs cover any
+/// stage count. When the chain head is a fusable CIC the fused
+/// front-end kernel consumes the ADC block directly and no input-rate
+/// LO buffer is materialised at all; `lo` is only touched for specs
+/// whose first stage is a FIR.
 #[derive(Clone, Debug, Default)]
 struct FixedScratch {
-    c1_i: Vec<i64>,
-    c1_q: Vec<i64>,
-    c2_i: Vec<i64>,
-    c2_q: Vec<i64>,
-    f_i: Vec<i64>,
-    f_q: Vec<i64>,
+    lo: Vec<CosSin>,
+    a_i: Vec<i64>,
+    a_q: Vec<i64>,
+    b_i: Vec<i64>,
+    b_q: Vec<i64>,
 }
 
 impl FixedScratch {
     fn clear(&mut self) {
-        self.c1_i.clear();
-        self.c1_q.clear();
-        self.c2_i.clear();
-        self.c2_q.clear();
-        self.f_i.clear();
-        self.f_q.clear();
+        self.lo.clear();
+        self.a_i.clear();
+        self.a_q.clear();
+        self.b_i.clear();
+        self.b_q.clear();
     }
+}
+
+/// One built stage of the bit-true chain: matched I/Q processors.
+#[derive(Clone, Debug)]
+enum FixedStage {
+    Cic { i: CicDecimator, q: CicDecimator },
+    Fir { i: SequentialFir, q: SequentialFir },
 }
 
 /// The bit-true fixed-point DDC: LUT NCO, saturating mixer, wrapping
 /// CICs and the sequential FIR of Figure 5, all at the bus widths of
 /// [`crate::params::FixedFormat`].
 ///
+/// The chain is built from a [`ChainSpec`] and supports any validated
+/// stage sequence, not only the classic CIC→CIC→FIR shape; the fused
+/// front-end kernel engages whenever the spec's head matches the
+/// NCO→mixer→CIC shape.
+///
 /// # Examples
 ///
 /// ```
+/// use ddc_core::spec::DRM_TOTAL_DECIMATION;
 /// use ddc_core::{DdcConfig, FixedDdc};
 ///
 /// // The paper's Table 1 chain, tuned to 10 MHz, 12-bit datapath.
 /// let mut ddc = FixedDdc::new(DdcConfig::drm(10.0e6));
 /// // 2688 ADC words in → exactly one complex output word.
-/// let out = ddc.process_block(&vec![100i32; 2688]);
+/// let out = ddc.process_block(&vec![100i32; DRM_TOTAL_DECIMATION as usize]);
 /// assert_eq!(out.len(), 1);
 /// ```
 #[derive(Clone, Debug)]
 pub struct FixedDdc {
     nco: LutNco,
     mixer: FixedMixer,
-    cic1_i: CicDecimator,
-    cic1_q: CicDecimator,
-    cic2_i: CicDecimator,
-    cic2_q: CicDecimator,
-    fir_i: SequentialFir,
-    fir_q: SequentialFir,
+    stages: Vec<FixedStage>,
     scratch: FixedScratch,
     probes: Option<ChainProbes>,
     /// Exact linear DC gain of the whole chain (product of the CICs'
-    /// power-of-two-scaled gains and the quantized FIR's DC gain) —
-    /// slightly below 1 because 21⁵ is not a power of two.
+    /// power-of-two-scaled gains and the quantized FIRs' DC gains) —
+    /// slightly below 1 for the reference chain because 21⁵ is not a
+    /// power of two.
     nominal_gain: f64,
-    config: DdcConfig,
+    total_decimation: u32,
+    spec: ChainSpec,
 }
 
 impl FixedDdc {
-    /// Builds the bit-true chain. FIR coefficients are quantized to the
-    /// configured coefficient width.
+    /// Builds the bit-true chain from the classic three-stage
+    /// configuration (a thin wrapper over [`FixedDdc::from_spec`]).
     pub fn new(config: DdcConfig) -> Self {
-        config.validate().expect("invalid DDC configuration");
-        let f = config.format;
-        let coeffs = quantize_taps(&config.fir_taps, f.coeff_bits, f.coeff_frac());
-        let mk_cic1 = || {
-            CicDecimator::new(
-                config.cic1_order,
-                config.cic1_decim,
-                f.data_bits,
-                f.data_bits,
-            )
-        };
-        let mk_cic2 = || {
-            CicDecimator::new(
-                config.cic2_order,
-                config.cic2_decim,
-                f.data_bits,
-                f.data_bits,
-            )
-        };
-        let mk_fir = || {
-            SequentialFir::new(
-                &coeffs,
-                config.fir_decim,
-                f.data_bits,
-                f.coeff_bits,
-                f.fir_acc_bits,
-            )
-        };
-        let fir_dc_gain =
-            coeffs.iter().map(|&c| f64::from(c)).sum::<f64>() / 2f64.powi(f.coeff_frac() as i32);
-        let cic1 = mk_cic1();
-        let cic2 = mk_cic2();
-        let nominal_gain = cic1.scaled_dc_gain() * cic2.scaled_dc_gain() * fir_dc_gain;
+        FixedDdc::from_spec(ChainSpec::from(config))
+    }
+
+    /// Builds the bit-true chain from a validated spec. FIR
+    /// coefficients are quantized to the spec's coefficient width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.validate()` fails; callers handling untrusted
+    /// specs should validate first.
+    pub fn from_spec(spec: ChainSpec) -> Self {
+        spec.validate().expect("invalid DDC chain spec");
+        let f = spec.format;
+        let mut stages = Vec::with_capacity(spec.stages.len());
+        let mut nominal_gain = 1.0;
+        for st in &spec.stages {
+            match st {
+                StageSpec::Cic {
+                    order,
+                    decim,
+                    diff_delay,
+                } => {
+                    let cic = CicDecimator::with_diff_delay(
+                        *order,
+                        *decim,
+                        *diff_delay,
+                        f.data_bits,
+                        f.data_bits,
+                    );
+                    nominal_gain *= cic.scaled_dc_gain();
+                    stages.push(FixedStage::Cic {
+                        i: cic.clone(),
+                        q: cic,
+                    });
+                }
+                StageSpec::Fir { taps, decim } => {
+                    let coeffs = quantize_taps(taps, f.coeff_bits, f.coeff_frac());
+                    nominal_gain *= coeffs.iter().map(|&c| f64::from(c)).sum::<f64>()
+                        / 2f64.powi(f.coeff_frac() as i32);
+                    let fir = SequentialFir::new(
+                        &coeffs,
+                        *decim,
+                        f.data_bits,
+                        f.coeff_bits,
+                        f.fir_acc_bits,
+                    );
+                    stages.push(FixedStage::Fir {
+                        i: fir.clone(),
+                        q: fir,
+                    });
+                }
+            }
+        }
         FixedDdc {
-            nco: LutNco::new(config.tuning_word(), f.lut_addr_bits, f.coeff_bits),
+            nco: LutNco::new(spec.tuning_word(), f.lut_addr_bits, f.coeff_bits),
             mixer: FixedMixer::new(f.data_bits, f.coeff_bits),
-            cic1_i: cic1.clone(),
-            cic1_q: cic1,
-            cic2_i: cic2.clone(),
-            cic2_q: cic2,
-            fir_i: mk_fir(),
-            fir_q: mk_fir(),
+            stages,
             scratch: FixedScratch::default(),
             probes: None,
             nominal_gain,
-            config,
+            total_decimation: spec.total_decimation(),
+            spec,
         }
     }
 
@@ -377,15 +404,16 @@ impl FixedDdc {
     }
 
     /// Enables per-stage switching-activity probes (a small runtime
-    /// cost; off by default).
+    /// cost; off by default). The probes observe the classic
+    /// three-stage positions; stages past the third run unprobed.
     pub fn with_activity(mut self) -> Self {
-        self.probes = Some(ChainProbes::new(self.config.format.data_bits));
+        self.probes = Some(ChainProbes::new(self.spec.format.data_bits));
         self
     }
 
-    /// The configuration in force.
-    pub fn config(&self) -> &DdcConfig {
-        &self.config
+    /// The spec this chain was built from.
+    pub fn spec(&self) -> &ChainSpec {
+        &self.spec
     }
 
     /// The activity probes, when enabled.
@@ -395,8 +423,8 @@ impl FixedDdc {
 
     /// Retunes the NCO without flushing filter state.
     pub fn set_tune_freq(&mut self, freq: f64) {
-        self.config.tune_freq = freq;
-        self.nco.set_tuning_word(self.config.tuning_word());
+        self.spec.tune_freq = freq;
+        self.nco.set_tuning_word(self.spec.tuning_word());
     }
 
     /// Feeds one ADC word (`data_bits` wide); returns an I/Q output
@@ -410,48 +438,41 @@ impl FixedDdc {
             p.mixer_i.observe(m.i);
             p.mixer_q.observe(m.q);
         }
-        let (i1, q1) = match (self.cic1_i.process(m.i), self.cic1_q.process(m.q)) {
-            (Some(a), Some(b)) => (a, b),
-            _ => return None,
-        };
-        if let Some(p) = self.probes.as_mut() {
-            p.cic1_i.observe(i1);
-            p.cic1_q.observe(q1);
-        }
-        let (i2, q2) = match (self.cic2_i.process(i1), self.cic2_q.process(q1)) {
-            (Some(a), Some(b)) => (a, b),
-            _ => return None,
-        };
-        if let Some(p) = self.probes.as_mut() {
-            p.cic2_i.observe(i2);
-            p.cic2_q.observe(q2);
-        }
-        match (self.fir_i.process(i2), self.fir_q.process(q2)) {
-            (Some(i3), Some(q3)) => {
-                if let Some(p) = self.probes.as_mut() {
-                    p.fir_i.observe(i3);
-                    p.fir_q.observe(q3);
+        let (mut vi, mut vq) = (m.i, m.q);
+        for k in 0..self.stages.len() {
+            let (ri, rq) = match &mut self.stages[k] {
+                FixedStage::Cic { i, q } => (i.process(vi), q.process(vq)),
+                FixedStage::Fir { i, q } => (i.process(vi), q.process(vq)),
+            };
+            match (ri, rq) {
+                (Some(a), Some(b)) => {
+                    vi = a;
+                    vq = b;
                 }
-                Some(Iq { i: i3, q: q3 })
+                _ => return None,
             }
-            _ => None,
+            if let Some(p) = self.probes.as_mut() {
+                p.observe_stage(k, vi, vq);
+            }
         }
+        Some(Iq { i: vi, q: vq })
     }
 
     /// Processes a block of ADC words, appending outputs to `out`.
-    /// Bit-exact with per-sample [`FixedDdc::process`]. The entire
-    /// input-rate part of the chain (NCO, mixer, CIC1 integrators)
-    /// runs through the fused single-pass kernel of
+    /// Bit-exact with per-sample [`FixedDdc::process`]. When the chain
+    /// head is a CIC the entire input-rate part (NCO, mixer, CIC
+    /// integrators) runs through the fused single-pass kernel of
     /// [`crate::frontend`], so no intermediate buffer is ever
-    /// materialised at the ADC rate; the CIC1-rate rails onward use
-    /// the stage block kernels. The intermediate buffers are owned by
-    /// the chain and only cleared (capacity kept) between blocks, so
-    /// steady-state processing performs no heap allocation.
+    /// materialised at the ADC rate; later stages (and the whole chain
+    /// for FIR-first specs) use the stage block kernels, ping-ponging
+    /// between two owned rail pairs. Buffers are only cleared
+    /// (capacity kept) between blocks, so steady-state processing
+    /// performs no heap allocation.
     ///
     /// When activity probes are enabled the chain falls back to the
     /// per-sample path, which observes every intermediate word.
     pub fn process_into(&mut self, input: &[i32], out: &mut Vec<Iq>) {
-        out.reserve(input.len() / self.config.total_decimation() as usize + 1);
+        out.reserve(input.len() / self.total_decimation as usize + 1);
         if self.probes.is_some() {
             for &x in input {
                 if let Some(z) = self.process(i64::from(x)) {
@@ -462,29 +483,63 @@ impl FixedDdc {
         }
         let mut s = std::mem::take(&mut self.scratch);
         s.clear();
-        crate::frontend::process_front_end(
-            &mut self.nco,
-            &self.mixer,
-            &mut self.cic1_i,
-            &mut self.cic1_q,
-            input,
-            &mut s.c1_i,
-            &mut s.c1_q,
-        );
-        self.cic2_i.process_block(&s.c1_i, &mut s.c2_i);
-        self.cic2_q.process_block(&s.c1_q, &mut s.c2_q);
-        self.fir_i.process_block(&s.c2_i, &mut s.f_i);
-        self.fir_q.process_block(&s.c2_q, &mut s.f_q);
-        for (&i, &q) in s.f_i.iter().zip(&s.f_q) {
+        let mut cur_i = std::mem::take(&mut s.a_i);
+        let mut cur_q = std::mem::take(&mut s.a_q);
+        let mut nxt_i = std::mem::take(&mut s.b_i);
+        let mut nxt_q = std::mem::take(&mut s.b_q);
+        // Stage 0 consumes the ADC block directly.
+        match &mut self.stages[0] {
+            FixedStage::Cic { i, q } => {
+                crate::frontend::process_front_end(
+                    &mut self.nco,
+                    &self.mixer,
+                    i,
+                    q,
+                    input,
+                    &mut cur_i,
+                    &mut cur_q,
+                );
+            }
+            FixedStage::Fir { i, q } => {
+                self.nco.fill_block(input.len(), &mut s.lo);
+                self.mixer
+                    .mix_block_split(input, &s.lo, &mut nxt_i, &mut nxt_q);
+                i.process_block(&nxt_i, &mut cur_i);
+                q.process_block(&nxt_q, &mut cur_q);
+                nxt_i.clear();
+                nxt_q.clear();
+            }
+        }
+        for stage in self.stages.iter_mut().skip(1) {
+            match stage {
+                FixedStage::Cic { i, q } => {
+                    i.process_block(&cur_i, &mut nxt_i);
+                    q.process_block(&cur_q, &mut nxt_q);
+                }
+                FixedStage::Fir { i, q } => {
+                    i.process_block(&cur_i, &mut nxt_i);
+                    q.process_block(&cur_q, &mut nxt_q);
+                }
+            }
+            std::mem::swap(&mut cur_i, &mut nxt_i);
+            std::mem::swap(&mut cur_q, &mut nxt_q);
+            nxt_i.clear();
+            nxt_q.clear();
+        }
+        for (&i, &q) in cur_i.iter().zip(&cur_q) {
             out.push(Iq { i, q });
         }
+        s.a_i = cur_i;
+        s.a_q = cur_q;
+        s.b_i = nxt_i;
+        s.b_q = nxt_q;
         self.scratch = s;
     }
 
     /// Processes a block of ADC words (a thin wrapper over
     /// [`FixedDdc::process_into`]).
     pub fn process_block(&mut self, input: &[i32]) -> Vec<Iq> {
-        let mut out = Vec::with_capacity(input.len() / self.config.total_decimation() as usize + 1);
+        let mut out = Vec::with_capacity(input.len() / self.total_decimation as usize + 1);
         self.process_into(input, &mut out);
         out
     }
@@ -493,7 +548,7 @@ impl FixedDdc {
     /// Q-scaling **and** compensating the chain's nominal gain, so the
     /// result is directly comparable with [`ReferenceDdc`] output.
     pub fn to_c64(&self, out: &[Iq]) -> Vec<C64> {
-        let scale = 1.0 / (2f64.powi(self.config.format.data_frac() as i32) * self.nominal_gain);
+        let scale = 1.0 / (2f64.powi(self.spec.format.data_frac() as i32) * self.nominal_gain);
         out.iter()
             .map(|iq| C64::new(iq.i as f64 * scale, iq.q as f64 * scale))
             .collect()
@@ -520,7 +575,7 @@ mod tests {
         let mut ddc = ReferenceDdc::new(cfg);
         let sig = Tone::new(10e6, 64_512_000.0, 0.5, 0.0).take_vec(input_len(10));
         let out = ddc.process_block(&sig);
-        assert_eq!(out.len(), input_len(10) / 2688);
+        assert_eq!(out.len(), input_len(10) / DRM_TOTAL_DECIMATION as usize);
     }
 
     #[test]
@@ -630,7 +685,7 @@ mod tests {
         let analog = Tone::new(10e6 + 2_000.0, fs, 0.8, 0.0).take_vec(input_len(50));
         let adc = adc_quantize(&analog, 12);
         let out = ddc.process_block(&adc);
-        assert_eq!(out.len(), adc.len() / 2688);
+        assert_eq!(out.len(), adc.len() / DRM_TOTAL_DECIMATION as usize);
         for iq in &out {
             assert!(iq.i.abs() <= 2048 && iq.q.abs() <= 2048);
         }
@@ -730,5 +785,112 @@ mod tests {
             .map(|z| (z.i * z.i + z.q * z.q) as f64)
             .sum();
         assert!(p2 > p1 * 100.0, "p1={p1} p2={p2}");
+    }
+
+    #[test]
+    fn non_classic_spec_block_matches_per_sample() {
+        // A 4-stage plan no preset describes (CIC2÷8 → CIC3÷6 → CIC4÷7
+        // → FIR÷2, total ÷672) must be bit-exact between the block and
+        // per-sample paths, including across ragged chunk boundaries.
+        use crate::spec::{ChainSpec, StageSpec};
+        let taps = ddc_dsp::firdes::lowpass(
+            64,
+            0.2,
+            ddc_dsp::window::Window::Kaiser(ddc_dsp::window::kaiser_beta(60.0)),
+        );
+        let spec = ChainSpec {
+            name: "custom672".into(),
+            input_rate: 64_512_000.0,
+            tune_freq: 9.3e6,
+            stages: vec![
+                StageSpec::Cic {
+                    order: 2,
+                    decim: 8,
+                    diff_delay: 1,
+                },
+                StageSpec::Cic {
+                    order: 3,
+                    decim: 6,
+                    diff_delay: 2,
+                },
+                StageSpec::Cic {
+                    order: 4,
+                    decim: 7,
+                    diff_delay: 1,
+                },
+                StageSpec::Fir { taps, decim: 2 },
+            ],
+            format: crate::params::FixedFormat::FPGA12,
+        };
+        spec.validate().unwrap();
+        assert_eq!(spec.total_decimation(), 672);
+        assert!(spec.to_config().is_none(), "plan must not be preset-shaped");
+
+        let analog = ddc_dsp::signal::Mix(
+            Tone::new(9.3e6 + 11_000.0, 64_512_000.0, 0.6, 0.3),
+            WhiteNoise::new(5, 0.2),
+        )
+        .take_vec(672 * 40);
+        let adc = adc_quantize(&analog, 12);
+
+        let mut per_sample = FixedDdc::from_spec(spec.clone());
+        let mut expect = Vec::new();
+        for &x in &adc {
+            if let Some(z) = per_sample.process(i64::from(x)) {
+                expect.push(z);
+            }
+        }
+        let mut blocked = FixedDdc::from_spec(spec);
+        let mut got = Vec::new();
+        for chunk in adc.chunks(991) {
+            blocked.process_into(chunk, &mut got);
+        }
+        assert_eq!(got, expect);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn fir_first_spec_block_matches_per_sample() {
+        // Spec whose head is a FIR: the fused front end cannot engage,
+        // exercising the NCO/mixer block fallback in process_into.
+        use crate::spec::{ChainSpec, StageSpec};
+        let taps = ddc_dsp::firdes::lowpass(
+            32,
+            0.04,
+            ddc_dsp::window::Window::Kaiser(ddc_dsp::window::kaiser_beta(50.0)),
+        );
+        let spec = ChainSpec {
+            name: "fir_first".into(),
+            input_rate: 1_000_000.0,
+            tune_freq: 120_000.0,
+            stages: vec![
+                StageSpec::Fir { taps, decim: 5 },
+                StageSpec::Cic {
+                    order: 2,
+                    decim: 4,
+                    diff_delay: 1,
+                },
+            ],
+            format: crate::params::FixedFormat::FPGA12,
+        };
+        spec.validate().unwrap();
+        assert!(!spec.fused_head());
+
+        let analog = WhiteNoise::new(9, 0.7).take_vec(20 * 20 * 37);
+        let adc = adc_quantize(&analog, 12);
+        let mut per_sample = FixedDdc::from_spec(spec.clone());
+        let mut expect = Vec::new();
+        for &x in &adc {
+            if let Some(z) = per_sample.process(i64::from(x)) {
+                expect.push(z);
+            }
+        }
+        let mut blocked = FixedDdc::from_spec(spec);
+        let mut got = Vec::new();
+        for chunk in adc.chunks(613) {
+            blocked.process_into(chunk, &mut got);
+        }
+        assert_eq!(got, expect);
+        assert!(!got.is_empty());
     }
 }

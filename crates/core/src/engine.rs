@@ -4,10 +4,10 @@
 //! channels downconverting the same ADC stream. [`DdcFarm`] is the
 //! host-side analogue scaled past four: a fixed set of channels, each
 //! with its own persistent [`FixedDdc`] state, served by a worker pool
-//! that is spawned **once** and reused across input batches. The old
-//! `run_channels_parallel` spawned (and tore down) one thread per
-//! channel per call, which bounds batch rate by thread-creation cost;
-//! the farm replaces that with:
+//! that is spawned **once** and reused across input batches. An
+//! earlier spawn-per-call helper created (and tore down) one thread
+//! per channel per call, which bounds batch rate by thread-creation
+//! cost; the farm replaces that with:
 //!
 //! * **bounded per-worker job queues** — submission distributes one
 //!   job per channel round-robin across workers, and a full queue
@@ -28,7 +28,7 @@
 
 use crate::chain::FixedDdc;
 use crate::mixer::Iq;
-use crate::params::{ConfigError, DdcConfig};
+use crate::spec::{ChainSpec, SpecError};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -236,12 +236,13 @@ fn worker_loop(me: usize, shared: Arc<Shared>) {
 /// ```
 /// use ddc_core::engine::DdcFarm;
 /// use ddc_core::params::DdcConfig;
+/// use ddc_core::spec::DRM_TOTAL_DECIMATION;
 ///
 /// let mut farm = DdcFarm::new(vec![
 ///     DdcConfig::drm(10e6),
 ///     DdcConfig::drm(20e6),
 /// ]);
-/// let input = vec![100i32; 2688];
+/// let input = vec![100i32; DRM_TOTAL_DECIMATION as usize];
 /// let outputs = farm.submit_block(&input);
 /// assert_eq!(outputs.len(), 2);           // one stream per channel
 /// assert_eq!(outputs[0].len(), 1);        // 2688 inputs -> 1 word
@@ -253,27 +254,29 @@ pub struct DdcFarm {
 }
 
 impl DdcFarm {
-    /// Builds a farm with one [`FixedDdc`] per configuration and as
+    /// Builds a farm with one [`FixedDdc`] per channel plan and as
     /// many workers as the host offers (capped at the channel count —
-    /// extra workers could never have work).
-    pub fn new(configs: Vec<DdcConfig>) -> Self {
+    /// extra workers could never have work). Channels accept anything
+    /// convertible into a [`ChainSpec`] — classic
+    /// [`crate::params::DdcConfig`]s included.
+    pub fn new<S: Into<ChainSpec>>(specs: Vec<S>) -> Self {
         let host = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let workers = host.min(configs.len()).max(1);
-        Self::with_workers(configs, workers)
+        let workers = host.min(specs.len()).max(1);
+        Self::with_workers(specs, workers)
     }
 
     /// Builds a farm with an explicit worker count.
-    pub fn with_workers(configs: Vec<DdcConfig>, workers: usize) -> Self {
-        assert!(!configs.is_empty(), "farm needs at least one channel");
+    pub fn with_workers<S: Into<ChainSpec>>(specs: Vec<S>, workers: usize) -> Self {
+        assert!(!specs.is_empty(), "farm needs at least one channel");
         assert!(workers >= 1, "farm needs at least one worker");
-        let n_channels = configs.len();
-        let channels: Vec<Mutex<ChannelSlot>> = configs
+        let n_channels = specs.len();
+        let channels: Vec<Mutex<ChannelSlot>> = specs
             .into_iter()
-            .map(|cfg| {
+            .map(|spec| {
                 Mutex::new(ChannelSlot {
-                    ddc: FixedDdc::new(cfg),
+                    ddc: FixedDdc::from_spec(spec.into()),
                     stats: ChannelStats::default(),
                 })
             })
@@ -426,20 +429,26 @@ impl DdcFarm {
     }
 
     /// Replaces channel `channel`'s DDC with a fresh chain built from
-    /// `cfg` and zeroes its statistics. The swap is atomic with respect
-    /// to job execution (it takes the channel lock), so an in-flight
-    /// batch finishes on the old chain and everything submitted
-    /// afterwards runs on the new one — the hook a server uses to bind
-    /// a newly configured session to a recycled channel slot.
-    pub fn reconfigure_channel(&self, channel: usize, cfg: DdcConfig) -> Result<(), ConfigError> {
+    /// `spec` (anything convertible into a [`ChainSpec`]) and zeroes
+    /// its statistics. The swap is atomic with respect to job
+    /// execution (it takes the channel lock), so an in-flight batch
+    /// finishes on the old chain and everything submitted afterwards
+    /// runs on the new one — the hook a server uses to bind a newly
+    /// configured session to a recycled channel slot.
+    pub fn reconfigure_channel<S: Into<ChainSpec>>(
+        &self,
+        channel: usize,
+        spec: S,
+    ) -> Result<(), SpecError> {
         assert!(
             channel < self.n_channels,
             "channel {channel} out of range (farm has {})",
             self.n_channels
         );
-        cfg.validate()?;
+        let spec = spec.into();
+        spec.validate()?;
         let mut slot = self.shared.channels[channel].lock().unwrap();
-        slot.ddc = FixedDdc::new(cfg);
+        slot.ddc = FixedDdc::from_spec(spec);
         slot.stats = ChannelStats::default();
         Ok(())
     }
@@ -504,7 +513,11 @@ impl Drop for DdcFarm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::DdcConfig;
     use ddc_dsp::signal::{adc_quantize, SampleSource, Tone, WhiteNoise};
+
+    /// Total decimation of the reference chain the tests drive.
+    const D: usize = crate::spec::DRM_TOTAL_DECIMATION as usize;
 
     fn test_input(n: usize, seed: u64) -> Vec<i32> {
         let mut src = ddc_dsp::signal::Mix(
@@ -522,8 +535,8 @@ mod tests {
             DdcConfig::drm(5e6),
             DdcConfig::drm(25e6),
         ];
-        let block_a = test_input(2688 * 4, 3);
-        let block_b = test_input(2688 * 3 + 511, 4);
+        let block_a = test_input(D * 4, 3);
+        let block_b = test_input(D * 3 + 511, 4);
         let mut farm = DdcFarm::new(cfgs.clone());
         let got_a = farm.submit_block(&block_a);
         let got_b = farm.submit_block(&block_b);
@@ -537,7 +550,7 @@ mod tests {
     #[test]
     fn farm_with_fewer_workers_than_channels_steals_work() {
         let cfgs: Vec<DdcConfig> = (1..=6).map(|k| DdcConfig::drm(k as f64 * 4e6)).collect();
-        let input = test_input(2688 * 2, 9);
+        let input = test_input(D * 2, 9);
         let mut farm = DdcFarm::with_workers(cfgs.clone(), 2);
         assert_eq!(farm.worker_count(), 2);
         let got = farm.submit_block(&input);
@@ -551,7 +564,7 @@ mod tests {
     #[test]
     fn stats_accumulate_and_report_throughput() {
         let mut farm = DdcFarm::new(vec![DdcConfig::drm(10e6)]);
-        let input = test_input(2688 * 2, 5);
+        let input = test_input(D * 2, 5);
         farm.submit_block(&input);
         farm.submit_block(&input);
         let stats = farm.stats();
@@ -573,15 +586,15 @@ mod tests {
     #[test]
     fn explicit_shutdown_joins_cleanly() {
         let mut farm = DdcFarm::with_workers(vec![DdcConfig::drm(10e6)], 1);
-        let _ = farm.submit_block(&test_input(2688, 1));
+        let _ = farm.submit_block(&test_input(D, 1));
         farm.shutdown();
     }
 
     #[test]
     fn submit_channel_matches_solo_chain_and_leaves_others_alone() {
         let cfgs = vec![DdcConfig::drm(10e6), DdcConfig::drm(20e6)];
-        let block_a = test_input(2688 * 3, 21);
-        let block_b = test_input(2688 * 2 + 97, 22);
+        let block_a = test_input(D * 3, 21);
+        let block_b = test_input(D * 2 + 97, 22);
         let farm = DdcFarm::new(cfgs.clone());
         let got_a = farm.submit_channel(1, &block_a).expect("farm running");
         let got_b = farm.submit_channel(1, &block_b).expect("farm running");
@@ -599,7 +612,7 @@ mod tests {
         let cfgs: Vec<DdcConfig> = (1..=4).map(|k| DdcConfig::drm(k as f64 * 5e6)).collect();
         let farm = Arc::new(DdcFarm::with_workers(cfgs.clone(), 2));
         let blocks: Vec<Vec<i32>> = (0..4)
-            .map(|k| test_input(2688 * 2 + k * 31, k as u64))
+            .map(|k| test_input(D * 2 + k * 31, k as u64))
             .collect();
         let mut handles = Vec::new();
         for (ch, block) in blocks.iter().enumerate() {
@@ -637,16 +650,16 @@ mod tests {
     #[test]
     fn submitting_after_halt_returns_none() {
         let farm = DdcFarm::with_workers(vec![DdcConfig::drm(10e6)], 1);
-        assert!(farm.submit_channel(0, &test_input(2688, 7)).is_some());
+        assert!(farm.submit_channel(0, &test_input(D, 7)).is_some());
         farm.halt();
         farm.halt(); // idempotent
-        assert!(farm.submit_channel(0, &test_input(2688, 8)).is_none());
+        assert!(farm.submit_channel(0, &test_input(D, 8)).is_none());
     }
 
     #[test]
     fn reconfigure_channel_resets_state_and_stats() {
         let farm = DdcFarm::new(vec![DdcConfig::drm(10e6)]);
-        let block = test_input(2688 * 2 + 13, 31);
+        let block = test_input(D * 2 + 13, 31);
         let _ = farm.submit_channel(0, &block).unwrap();
         farm.reconfigure_channel(0, DdcConfig::drm(15e6)).unwrap();
         assert_eq!(farm.channel_stats(0).batches, 0, "stats reset");
@@ -677,7 +690,7 @@ mod tests {
                 while !stop.load(Ordering::Relaxed) {
                     for (ch, last) in last.iter_mut().enumerate() {
                         let s = shared.channels[ch].lock().unwrap().stats;
-                        assert_eq!(s.samples_in % 2688, 0, "torn snapshot");
+                        assert_eq!(s.samples_in % D as u64, 0, "torn snapshot");
                         assert!(s.samples_in >= *last, "stats moved backwards");
                         *last = s.samples_in;
                     }
@@ -686,7 +699,7 @@ mod tests {
                 snaps
             })
         };
-        let block = test_input(2688, 41);
+        let block = test_input(D, 41);
         for _ in 0..50 {
             let _ = farm.submit_block(&block);
         }
@@ -694,7 +707,7 @@ mod tests {
         assert!(watcher.join().unwrap() > 0);
         for s in farm.stats() {
             assert_eq!(s.batches, 50);
-            assert_eq!(s.samples_in, 50 * 2688);
+            assert_eq!(s.samples_in, 50 * D as u64);
         }
     }
 }

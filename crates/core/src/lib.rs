@@ -21,7 +21,11 @@
 //!
 //! Module map:
 //!
-//! * [`params`] — stage configuration, validation, DRM/GSM presets.
+//! * [`spec`] — [`spec::ChainSpec`], the single declarative description
+//!   of a chain (rates, tuning, ordered stages, fixed-point formats)
+//!   that every other layer constructs from or views into.
+//! * [`params`] — stage configuration, validation, DRM/GSM presets
+//!   (now views over [`spec::ChainSpec`]).
 //! * [`nco`] — phase-accumulator NCO with LUT sine/cosine (Figure 1).
 //! * [`mixer`] — the complex multiplier producing I/Q.
 //! * [`cic`] — integrator-comb decimators (Figure 2).
@@ -52,8 +56,10 @@ pub mod nco;
 pub mod params;
 pub mod pipeline;
 pub mod pruned;
+pub mod spec;
 
 pub use chain::{FixedDdc, ReferenceDdc};
 pub use engine::DdcFarm;
 pub use frontend::FusedFrontEnd;
 pub use params::{DdcConfig, FixedFormat};
+pub use spec::{ChainSpec, SpecError, StageSpec};

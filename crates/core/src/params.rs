@@ -11,23 +11,17 @@
 //! | 125-tap FIR  | 192 kHz           | 8          |
 //! | Output       | 24 kHz            | —          |
 
+use crate::spec::ChainSpec;
 use ddc_dsp::cic_math::CicParams;
-use ddc_dsp::firdes;
-use ddc_dsp::window::{kaiser_beta, Window};
 use std::fmt;
 
-/// Input sample rate of the reference design, Hz (64.512 MHz).
-pub const DRM_INPUT_RATE: f64 = 64_512_000.0;
-/// Output sample rate of the reference design, Hz (24 kHz).
-pub const DRM_OUTPUT_RATE: f64 = 24_000.0;
-/// Total decimation of the reference design (16 × 21 × 8).
-pub const DRM_TOTAL_DECIMATION: u32 = 2688;
-/// Number of FIR taps in the reference design.
-pub const DRM_FIR_TAPS: usize = 125;
-/// Clock cycles available to compute one FIR output in the sequential
-/// FPGA implementation (§5.2.1: "2688 clock cycles to calculate one
-/// single output sample").
-pub const DRM_FIR_CYCLES_PER_OUTPUT: u32 = 2688;
+// The reference-chain constants are defined once, in `crate::spec`,
+// and re-exported here for the many call sites that grew up against
+// `params`.
+pub use crate::spec::{
+    DRM_FIR_CYCLES_PER_OUTPUT, DRM_FIR_TAPS, DRM_INPUT_RATE, DRM_OUTPUT_RATE,
+    DRM_STAGE_DECIMATIONS, DRM_TOTAL_DECIMATION,
+};
 
 /// Errors produced by [`DdcConfig::validate`].
 #[derive(Clone, Debug, PartialEq)]
@@ -150,27 +144,18 @@ impl DdcConfig {
     /// channel, so the stopband starts there. The 14 kHz transition
     /// band lets 125 Kaiser-windowed taps reach > 80 dB rejection.
     pub fn drm(tune_freq: f64) -> Self {
-        let beta = kaiser_beta(80.0);
-        let taps = firdes::lowpass(DRM_FIR_TAPS, 12_000.0 / 192_000.0, Window::Kaiser(beta));
-        DdcConfig {
-            input_rate: DRM_INPUT_RATE,
-            tune_freq,
-            cic1_order: 2,
-            cic1_decim: 16,
-            cic2_order: 5,
-            cic2_decim: 21,
-            fir_taps: taps,
-            fir_decim: 8,
-            format: FixedFormat::FPGA12,
-        }
+        ChainSpec::drm_reference()
+            .tuned(tune_freq)
+            .to_config()
+            .expect("reference spec has the classic three-stage shape")
     }
 
     /// The reference configuration in the Montium's 16-bit format.
     pub fn drm_montium(tune_freq: f64) -> Self {
-        DdcConfig {
-            format: FixedFormat::MONTIUM16,
-            ..DdcConfig::drm(tune_freq)
-        }
+        ChainSpec::drm_montium()
+            .tuned(tune_freq)
+            .to_config()
+            .expect("montium spec has the classic three-stage shape")
     }
 
     /// A **wide-band** variant: same CICs, FIR decimating by 2 only
@@ -179,13 +164,10 @@ impl DdcConfig {
     /// edge — the situation where droop compensation (the practice
     /// the paper's CIC reference \[7\] describes) actually matters.
     pub fn wideband(tune_freq: f64) -> Self {
-        let beta = kaiser_beta(70.0);
-        let taps = firdes::lowpass(DRM_FIR_TAPS, 46_000.0 / 192_000.0, Window::Kaiser(beta));
-        DdcConfig {
-            fir_decim: 2,
-            fir_taps: taps,
-            ..DdcConfig::drm(tune_freq)
-        }
+        ChainSpec::wideband()
+            .tuned(tune_freq)
+            .to_config()
+            .expect("wideband spec has the classic three-stage shape")
     }
 
     /// The wide-band variant with **CIC droop compensation** folded
@@ -195,16 +177,16 @@ impl DdcConfig {
     /// response stays flat across the ±40 kHz passband instead of
     /// sagging by the CIC5's ~3 dB.
     pub fn wideband_compensated(tune_freq: f64) -> Self {
-        let beta = kaiser_beta(65.0);
-        let channel = firdes::lowpass(95, 46_000.0 / 192_000.0, Window::Kaiser(beta));
-        let comp = firdes::cic_compensator(31, 5, 21, 0.25);
-        let mut taps = firdes::convolve(&channel, &comp);
-        firdes::normalize_dc(&mut taps);
-        debug_assert_eq!(taps.len(), DRM_FIR_TAPS);
-        DdcConfig {
-            fir_taps: taps,
-            ..DdcConfig::wideband(tune_freq)
-        }
+        ChainSpec::wideband_compensated()
+            .tuned(tune_freq)
+            .to_config()
+            .expect("compensated spec has the classic three-stage shape")
+    }
+
+    /// The spec this configuration describes — the classic three-stage
+    /// shape lifted into the general [`ChainSpec`] form.
+    pub fn to_spec(&self) -> ChainSpec {
+        ChainSpec::from_config(self)
     }
 
     /// Checks internal consistency.

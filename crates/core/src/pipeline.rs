@@ -6,9 +6,7 @@
 //!
 //! * independent channels (the GC4016 is a *quad* DDC; running four
 //!   channels at once is the natural data parallelism) — served by the
-//!   persistent worker pool of [`crate::engine::DdcFarm`]; the old
-//!   spawn-per-call [`run_channels_parallel`] survives only as a
-//!   deprecated wrapper over a single-batch farm.
+//!   persistent worker pool of [`crate::engine::DdcFarm`].
 //! * [`run_pipelined`] — a single channel split at the first CIC's
 //!   output into a front-end thread (the fused NCO→mixer→CIC1 kernel
 //!   at the input rate) and a back-end thread (CIC5, FIR at 1/16 the
@@ -16,31 +14,12 @@
 //!   its always-busy and time-multiplexed ALUs.
 
 use crate::cic::CicDecimator;
-use crate::engine::DdcFarm;
 use crate::fir::SequentialFir;
 use crate::frontend::FusedFrontEnd;
 use crate::mixer::Iq;
 use crate::params::DdcConfig;
 use ddc_dsp::firdes::quantize_taps;
 use std::sync::mpsc;
-
-/// Runs one independent [`crate::chain::FixedDdc`] per configuration
-/// over the same input block. Returns per-channel outputs in
-/// configuration order.
-///
-/// Kept as a thin wrapper over a single-use [`DdcFarm`] so existing
-/// callers see identical behaviour (fresh chains, one batch), but the
-/// farm is the supported path: it keeps its worker pool and channel
-/// state alive across batches instead of paying thread spawn/teardown
-/// on every call.
-#[deprecated(
-    since = "0.1.0",
-    note = "spawn-per-call path; build a persistent `ddc_core::engine::DdcFarm` and reuse it across batches"
-)]
-pub fn run_channels_parallel(configs: &[DdcConfig], input: &[i32]) -> Vec<Vec<Iq>> {
-    let mut farm = DdcFarm::new(configs.to_vec());
-    farm.submit_block(input)
-}
 
 /// Block of front-end output carried between pipeline threads.
 type IqBlock = Vec<Iq>;
@@ -189,24 +168,6 @@ mod tests {
         for block in [1usize, 7, 64] {
             let got = run_pipelined(&cfg, &input, block);
             assert_eq!(got, expect, "block size {block}");
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn parallel_channels_match_individual_runs() {
-        let cfgs = vec![
-            DdcConfig::drm(10e6),
-            DdcConfig::drm(20e6),
-            DdcConfig::drm(5e6),
-            DdcConfig::drm(25e6),
-        ];
-        let input = test_input(2688 * 8);
-        let par = run_channels_parallel(&cfgs, &input);
-        assert_eq!(par.len(), 4);
-        for (cfg, got) in cfgs.iter().zip(&par) {
-            let mut solo = FixedDdc::new(cfg.clone());
-            assert_eq!(*got, solo.process_block(&input));
         }
     }
 

@@ -1,0 +1,919 @@
+//! `ChainSpec` — the single declarative description of a DDC chain.
+//!
+//! The paper's Table 1 fixes one reference plan (NCO → CIC2 ÷16 →
+//! CIC5 ÷21 → 125-tap FIR ÷8, 64.512 MSPS → 24 kHz). Before this
+//! module existed that plan was re-stated independently in
+//! `core::params`, the GC4016 model, the GPP programs, the energy
+//! scenarios and the server's preset enum; every copy could drift.
+//! [`ChainSpec`] is now the one source of truth: a validated,
+//! serializable value holding the input rate, the tuning frequency,
+//! the ordered decimation stages (CIC or FIR) and the fixed-point
+//! format. Everything else — [`crate::params::DdcConfig`], the
+//! bit-true [`crate::chain::FixedDdc`], the engine, the wire protocol,
+//! the architecture models and the benchmark registry — is a
+//! constructor of or a view over a `ChainSpec`.
+//!
+//! The paper's numbers are the output of [`ChainSpec::drm_reference`];
+//! the `DRM_*` constants below are the only definition site of the
+//! reference-chain literals.
+
+use crate::params::{DdcConfig, FixedFormat};
+use ddc_dsp::firdes;
+use ddc_dsp::window::{kaiser_beta, Window};
+use std::fmt;
+
+/// Input sample rate of the reference design, Hz (64.512 MHz).
+pub const DRM_INPUT_RATE: f64 = 64_512_000.0;
+/// Per-stage decimation factors of the reference design, in chain
+/// order (CIC2, CIC5, FIR). **The** definition site of `16 × 21 × 8`.
+pub const DRM_STAGE_DECIMATIONS: [u32; 3] = [16, 21, 8];
+/// Order of the reference design's first CIC.
+pub const DRM_CIC1_ORDER: u32 = 2;
+/// Order of the reference design's second CIC.
+pub const DRM_CIC2_ORDER: u32 = 5;
+/// Number of FIR taps in the reference design.
+pub const DRM_FIR_TAPS: usize = 125;
+/// Total decimation of the reference design — derived from
+/// [`DRM_STAGE_DECIMATIONS`], never restated.
+pub const DRM_TOTAL_DECIMATION: u32 = decimation_product(&DRM_STAGE_DECIMATIONS);
+/// Clock cycles available to compute one FIR output in the sequential
+/// FPGA implementation (§5.2.1: "2688 clock cycles to calculate one
+/// single output sample") — the total decimation by construction.
+pub const DRM_FIR_CYCLES_PER_OUTPUT: u32 = DRM_TOTAL_DECIMATION;
+/// Output sample rate of the reference design, Hz (24 kHz) — derived.
+pub const DRM_OUTPUT_RATE: f64 = DRM_INPUT_RATE / DRM_TOTAL_DECIMATION as f64;
+
+/// Most stages a spec may declare (wire frames stay small and the
+/// scratch-buffer chain stays shallow).
+pub const MAX_STAGES: usize = 8;
+/// Most taps a single FIR stage may declare.
+pub const MAX_FIR_TAPS: usize = 4096;
+/// Version byte leading every binary-encoded spec.
+pub const SPEC_ENCODING_VERSION: u8 = 1;
+/// Longest allowed spec name on the wire.
+pub const MAX_NAME_LEN: usize = 64;
+
+/// Compile-time product of stage decimations, so derived constants can
+/// never drift from the per-stage table.
+const fn decimation_product(stages: &[u32]) -> u32 {
+    let mut p = 1u32;
+    let mut k = 0;
+    while k < stages.len() {
+        p *= stages[k];
+        k += 1;
+    }
+    p
+}
+
+/// One decimation stage of a chain.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StageSpec {
+    /// An integrator–comb decimator.
+    Cic {
+        /// Number of integrator/comb pairs (1..=8).
+        order: u32,
+        /// Decimation factor (>= 1).
+        decim: u32,
+        /// Differential delay of the combs (1..=4; 1 in the paper).
+        diff_delay: u32,
+    },
+    /// A decimating FIR filter.
+    Fir {
+        /// Coefficients at the stage input rate (unit DC gain, f64).
+        taps: Vec<f64>,
+        /// Decimation factor (>= 1).
+        decim: u32,
+    },
+}
+
+impl StageSpec {
+    /// The stage's decimation factor.
+    pub fn decimation(&self) -> u32 {
+        match self {
+            StageSpec::Cic { decim, .. } => *decim,
+            StageSpec::Fir { decim, .. } => *decim,
+        }
+    }
+
+    /// Short display label ("cic2r16", "fir125r8").
+    pub fn label(&self) -> String {
+        match self {
+            StageSpec::Cic { order, decim, .. } => format!("cic{order}r{decim}"),
+            StageSpec::Fir { taps, decim } => format!("fir{}r{decim}", taps.len()),
+        }
+    }
+}
+
+/// What [`ChainSpec::validate`] and [`ChainSpec::decode`] can object
+/// to.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// The chain has no stages.
+    NoStages,
+    /// More stages than [`MAX_STAGES`].
+    TooManyStages(usize),
+    /// Stage `.0` declared decimation zero.
+    ZeroDecimation(usize),
+    /// Stage `.0` declared a CIC order outside 1..=8.
+    BadCicOrder(usize, u32),
+    /// Stage `.0` declared a differential delay outside 1..=4.
+    BadDiffDelay(usize, u32),
+    /// Stage `.0` is a FIR with no taps.
+    EmptyFir(usize),
+    /// Stage `.0` declared more taps than [`MAX_FIR_TAPS`].
+    OversizedFir(usize, usize),
+    /// Stage `.0` holds a NaN or infinite tap.
+    NonFiniteTap(usize),
+    /// Stage `.0`'s CIC register would outgrow the 63-bit deferred-wrap
+    /// arithmetic.
+    RegisterTooWide {
+        /// Offending stage index.
+        stage: usize,
+        /// Register width the stage would need.
+        bits: u32,
+    },
+    /// A bit width was outside its supported range.
+    BadWidth(&'static str, u32),
+    /// The input rate was not positive and finite.
+    BadRate(f64),
+    /// Tuning frequency beyond Nyquist.
+    TuneOutOfRange {
+        /// Requested tuning frequency, Hz.
+        freq: f64,
+        /// Nyquist limit, Hz.
+        nyquist: f64,
+    },
+    /// The stage decimation product overflows `u32`.
+    DecimationOverflow,
+    /// A declared total decimation disagrees with the product of the
+    /// stage decimations — the consistency check the wire encoding
+    /// carries redundantly.
+    DecimationMismatch {
+        /// Total the encoder declared.
+        declared: u32,
+        /// Product of the stage decimations.
+        product: u32,
+    },
+    /// The name is not valid UTF-8 or exceeds [`MAX_NAME_LEN`].
+    BadName,
+    /// An encoded spec ended before the named field.
+    Truncated(&'static str),
+    /// An encoded spec had bytes after its last field.
+    TrailingBytes(usize),
+    /// Unknown stage tag byte in an encoded spec.
+    BadStageTag(u8),
+    /// Unsupported spec-encoding version byte.
+    BadEncodingVersion(u8),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoStages => write!(f, "chain needs at least one stage"),
+            SpecError::TooManyStages(n) => {
+                write!(f, "{n} stages exceed the limit of {MAX_STAGES}")
+            }
+            SpecError::ZeroDecimation(k) => write!(f, "stage {k} decimation must be >= 1"),
+            SpecError::BadCicOrder(k, o) => write!(f, "stage {k} CIC order {o} outside 1..=8"),
+            SpecError::BadDiffDelay(k, m) => {
+                write!(f, "stage {k} differential delay {m} outside 1..=4")
+            }
+            SpecError::EmptyFir(k) => write!(f, "stage {k} FIR needs at least one tap"),
+            SpecError::OversizedFir(k, n) => {
+                write!(f, "stage {k} FIR has {n} taps, limit {MAX_FIR_TAPS}")
+            }
+            SpecError::NonFiniteTap(k) => write!(f, "stage {k} holds a non-finite tap"),
+            SpecError::RegisterTooWide { stage, bits } => {
+                write!(
+                    f,
+                    "stage {stage} CIC register would need {bits} bits (> 63)"
+                )
+            }
+            SpecError::BadWidth(s, w) => write!(f, "{s} width {w} outside its supported range"),
+            SpecError::BadRate(r) => write!(f, "input rate {r} must be positive"),
+            SpecError::TuneOutOfRange { freq, nyquist } => {
+                write!(f, "tuning frequency {freq} Hz beyond Nyquist {nyquist} Hz")
+            }
+            SpecError::DecimationOverflow => write!(f, "stage decimation product overflows u32"),
+            SpecError::DecimationMismatch { declared, product } => write!(
+                f,
+                "declared total decimation {declared} != stage product {product}"
+            ),
+            SpecError::BadName => write!(f, "spec name invalid or longer than {MAX_NAME_LEN}"),
+            SpecError::Truncated(what) => write!(f, "encoded spec truncated reading {what}"),
+            SpecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after encoded spec"),
+            SpecError::BadStageTag(t) => write!(f, "unknown stage tag {t}"),
+            SpecError::BadEncodingVersion(v) => write!(f, "unsupported spec encoding version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A validated, serializable description of a full DDC chain: input
+/// rate, tuning, ordered decimation stages and fixed-point format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainSpec {
+    /// Short identifier ("drm", "wideband", …) used by the benchmark
+    /// registry and wire diagnostics.
+    pub name: String,
+    /// Input (ADC) sample rate, Hz.
+    pub input_rate: f64,
+    /// NCO tuning frequency, Hz.
+    pub tune_freq: f64,
+    /// Decimation stages, in signal order after the NCO/mixer.
+    pub stages: Vec<StageSpec>,
+    /// Fixed-point formats for the bit-true chain.
+    pub format: FixedFormat,
+}
+
+impl ChainSpec {
+    // ------------------------------------------------------- presets
+
+    /// The paper's reference chain (Table 1): NCO → CIC2 ÷16 → CIC5
+    /// ÷21 → 125-tap FIR ÷8 in the 12-bit FPGA format, untuned.
+    ///
+    /// The paper does not publish the tap values; we design them for
+    /// the stated role: pass a 10 kHz DRM channel (±5 kHz around the
+    /// tuned centre). At the 192 kHz FIR input rate the passband edge
+    /// is 5/192 ≈ 0.026; after decimating by 8 any energy above
+    /// 24 − 5 = 19 kHz would alias into the channel, so the stopband
+    /// starts there. The 14 kHz transition band lets 125
+    /// Kaiser-windowed taps reach > 80 dB rejection.
+    pub fn drm_reference() -> Self {
+        let beta = kaiser_beta(80.0);
+        let taps = firdes::lowpass(DRM_FIR_TAPS, 12_000.0 / 192_000.0, Window::Kaiser(beta));
+        let [d1, d2, d3] = DRM_STAGE_DECIMATIONS;
+        ChainSpec {
+            name: "drm".into(),
+            input_rate: DRM_INPUT_RATE,
+            tune_freq: 0.0,
+            stages: vec![
+                StageSpec::Cic {
+                    order: DRM_CIC1_ORDER,
+                    decim: d1,
+                    diff_delay: 1,
+                },
+                StageSpec::Cic {
+                    order: DRM_CIC2_ORDER,
+                    decim: d2,
+                    diff_delay: 1,
+                },
+                StageSpec::Fir { taps, decim: d3 },
+            ],
+            format: FixedFormat::FPGA12,
+        }
+    }
+
+    /// The reference chain in the Montium's 16-bit format.
+    pub fn drm_montium() -> Self {
+        ChainSpec {
+            name: "drm_montium".into(),
+            format: FixedFormat::MONTIUM16,
+            ..ChainSpec::drm_reference()
+        }
+    }
+
+    /// The wide-band variant: same CICs, FIR decimating by 2 only
+    /// (total ÷672, 96 kHz complex output, ±40 kHz passband) — the
+    /// relative bandwidth where CIC droop reaches ≈ 3 dB.
+    pub fn wideband() -> Self {
+        let beta = kaiser_beta(70.0);
+        let taps = firdes::lowpass(DRM_FIR_TAPS, 46_000.0 / 192_000.0, Window::Kaiser(beta));
+        let mut s = ChainSpec::drm_reference();
+        s.name = "wideband".into();
+        s.stages[2] = StageSpec::Fir { taps, decim: 2 };
+        s
+    }
+
+    /// The wide-band variant with CIC droop compensation folded into
+    /// the channel filter: a 95-tap prototype convolved with a 31-tap
+    /// inverse-droop compensator — the same 125 total taps, but the
+    /// combined CIC×FIR response stays flat across the passband.
+    pub fn wideband_compensated() -> Self {
+        let beta = kaiser_beta(65.0);
+        let channel = firdes::lowpass(95, 46_000.0 / 192_000.0, Window::Kaiser(beta));
+        let comp = firdes::cic_compensator(31, 5, 21, 0.25);
+        let mut taps = firdes::convolve(&channel, &comp);
+        firdes::normalize_dc(&mut taps);
+        debug_assert_eq!(taps.len(), DRM_FIR_TAPS);
+        let mut s = ChainSpec::wideband();
+        s.name = "wideband_compensated".into();
+        s.stages[2] = StageSpec::Fir { taps, decim: 2 };
+        s
+    }
+
+    /// Every named preset, untuned — the registry the benchmark
+    /// harness enumerates so new plans get benchmarked without
+    /// touching the harness.
+    pub fn registry() -> Vec<ChainSpec> {
+        vec![
+            ChainSpec::drm_reference(),
+            ChainSpec::drm_montium(),
+            ChainSpec::wideband(),
+            ChainSpec::wideband_compensated(),
+        ]
+    }
+
+    /// Looks a preset up by its registry name.
+    pub fn by_name(name: &str) -> Option<ChainSpec> {
+        ChainSpec::registry().into_iter().find(|s| s.name == name)
+    }
+
+    /// Returns the spec retuned to `tune_freq` Hz.
+    pub fn tuned(mut self, tune_freq: f64) -> Self {
+        self.tune_freq = tune_freq;
+        self
+    }
+
+    // ------------------------------------------------- derived values
+
+    /// Total decimation factor (saturating; [`ChainSpec::validate`]
+    /// rejects overflowing products).
+    pub fn total_decimation(&self) -> u32 {
+        self.stages
+            .iter()
+            .fold(1u32, |p, s| p.saturating_mul(s.decimation()))
+    }
+
+    /// Output sample rate, Hz.
+    pub fn output_rate(&self) -> f64 {
+        self.input_rate / self.total_decimation() as f64
+    }
+
+    /// Sample rate at the input of each stage plus the output rate —
+    /// the "Clock/sample rate" column of Table 1, generalised.
+    pub fn stage_rates(&self) -> Vec<f64> {
+        let mut rates = Vec::with_capacity(self.stages.len() + 1);
+        let mut r = self.input_rate;
+        rates.push(r);
+        for s in &self.stages {
+            r /= s.decimation() as f64;
+            rates.push(r);
+        }
+        rates
+    }
+
+    /// The NCO frequency tuning word for a 32-bit phase accumulator:
+    /// `round(tune_freq / input_rate · 2³²)` (wrapping to represent
+    /// negative/aliased frequencies).
+    pub fn tuning_word(&self) -> u32 {
+        let frac = self.tune_freq / self.input_rate;
+        let w = (frac * 2f64.powi(32)).round() as i64;
+        w.rem_euclid(1i64 << 32) as u32
+    }
+
+    /// `true` when the head of the chain is the NCO→mixer→CIC shape
+    /// the fused front-end kernel covers.
+    pub fn fused_head(&self) -> bool {
+        matches!(
+            self.stages.first(),
+            Some(StageSpec::Cic {
+                order: 2,
+                diff_delay: 1,
+                ..
+            })
+        )
+    }
+
+    // ------------------------------------------------------ validate
+
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.len() > MAX_NAME_LEN {
+            return Err(SpecError::BadName);
+        }
+        if !(self.input_rate.is_finite() && self.input_rate > 0.0) {
+            return Err(SpecError::BadRate(self.input_rate));
+        }
+        if self.stages.is_empty() {
+            return Err(SpecError::NoStages);
+        }
+        if self.stages.len() > MAX_STAGES {
+            return Err(SpecError::TooManyStages(self.stages.len()));
+        }
+        for (name, w, lo, hi) in [
+            ("data", self.format.data_bits, 2, 32),
+            ("coeff", self.format.coeff_bits, 2, 32),
+            ("fir accumulator", self.format.fir_acc_bits, 2, 48),
+            ("lut address", self.format.lut_addr_bits, 2, 24),
+        ] {
+            if !(lo..=hi).contains(&w) {
+                return Err(SpecError::BadWidth(name, w));
+            }
+        }
+        let mut product = 1u32;
+        for (k, s) in self.stages.iter().enumerate() {
+            let decim = s.decimation();
+            if decim == 0 {
+                return Err(SpecError::ZeroDecimation(k));
+            }
+            product = product
+                .checked_mul(decim)
+                .ok_or(SpecError::DecimationOverflow)?;
+            match s {
+                StageSpec::Cic {
+                    order,
+                    decim,
+                    diff_delay,
+                } => {
+                    if !(1..=8).contains(order) {
+                        return Err(SpecError::BadCicOrder(k, *order));
+                    }
+                    if !(1..=4).contains(diff_delay) {
+                        return Err(SpecError::BadDiffDelay(k, *diff_delay));
+                    }
+                    // Deferred-wrap CIC arithmetic lives in i64: the
+                    // register (data width + full bit growth) must fit.
+                    let growth = ceil_log2(decim.saturating_mul(*diff_delay)) * order;
+                    let bits = self.format.data_bits + growth;
+                    if bits > 63 {
+                        return Err(SpecError::RegisterTooWide { stage: k, bits });
+                    }
+                }
+                StageSpec::Fir { taps, .. } => {
+                    if taps.is_empty() {
+                        return Err(SpecError::EmptyFir(k));
+                    }
+                    if taps.len() > MAX_FIR_TAPS {
+                        return Err(SpecError::OversizedFir(k, taps.len()));
+                    }
+                    if taps.iter().any(|t| !t.is_finite()) {
+                        return Err(SpecError::NonFiniteTap(k));
+                    }
+                }
+            }
+        }
+        let nyquist = self.input_rate / 2.0;
+        if !self.tune_freq.is_finite() || self.tune_freq.abs() > nyquist {
+            return Err(SpecError::TuneOutOfRange {
+                freq: self.tune_freq,
+                nyquist,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates and additionally checks an externally declared total
+    /// decimation against the stage product — the "inconsistent stage
+    /// products" guard the wire encoding exercises.
+    pub fn validate_against_total(&self, declared: u32) -> Result<(), SpecError> {
+        self.validate()?;
+        let product = self.total_decimation();
+        if declared != product {
+            return Err(SpecError::DecimationMismatch { declared, product });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------- DdcConfig view
+
+    /// Builds a spec from the classic three-stage configuration.
+    pub fn from_config(c: &DdcConfig) -> Self {
+        ChainSpec {
+            name: "config".into(),
+            input_rate: c.input_rate,
+            tune_freq: c.tune_freq,
+            stages: vec![
+                StageSpec::Cic {
+                    order: c.cic1_order,
+                    decim: c.cic1_decim,
+                    diff_delay: 1,
+                },
+                StageSpec::Cic {
+                    order: c.cic2_order,
+                    decim: c.cic2_decim,
+                    diff_delay: 1,
+                },
+                StageSpec::Fir {
+                    taps: c.fir_taps.clone(),
+                    decim: c.fir_decim,
+                },
+            ],
+            format: c.format,
+        }
+    }
+
+    /// The classic three-stage view (CIC → CIC → FIR, unit
+    /// differential delays). `None` for any other shape — the shapes
+    /// only [`ChainSpec`]-aware consumers can run.
+    pub fn to_config(&self) -> Option<DdcConfig> {
+        match self.stages.as_slice() {
+            [StageSpec::Cic {
+                order: o1,
+                decim: d1,
+                diff_delay: 1,
+            }, StageSpec::Cic {
+                order: o2,
+                decim: d2,
+                diff_delay: 1,
+            }, StageSpec::Fir { taps, decim: d3 }] => Some(DdcConfig {
+                input_rate: self.input_rate,
+                tune_freq: self.tune_freq,
+                cic1_order: *o1,
+                cic1_decim: *d1,
+                cic2_order: *o2,
+                cic2_decim: *d2,
+                fir_taps: taps.clone(),
+                fir_decim: *d3,
+                format: self.format,
+            }),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------- wire encoding
+
+    /// Compact binary encoding (little-endian throughout):
+    ///
+    /// ```text
+    /// u8   encoding version (SPEC_ENCODING_VERSION)
+    /// u8   name length, then that many UTF-8 bytes
+    /// u64  input_rate  (f64 bits)
+    /// u64  tune_freq   (f64 bits)
+    /// u8×4 data_bits, coeff_bits, fir_acc_bits, lut_addr_bits
+    /// u32  declared total decimation (redundant consistency check)
+    /// u8   stage count
+    /// per stage: u8 tag (1=CIC, 2=FIR)
+    ///   CIC: u8 order, u8 diff_delay, u32 decim
+    ///   FIR: u32 decim, u32 tap count, u64×taps (f64 bits)
+    /// ```
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + 12 * self.stages.len());
+        out.push(SPEC_ENCODING_VERSION);
+        let name = self.name.as_bytes();
+        debug_assert!(name.len() <= MAX_NAME_LEN);
+        out.push(name.len().min(MAX_NAME_LEN) as u8);
+        out.extend_from_slice(&name[..name.len().min(MAX_NAME_LEN)]);
+        out.extend_from_slice(&self.input_rate.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.tune_freq.to_bits().to_le_bytes());
+        out.push(self.format.data_bits as u8);
+        out.push(self.format.coeff_bits as u8);
+        out.push(self.format.fir_acc_bits as u8);
+        out.push(self.format.lut_addr_bits as u8);
+        out.extend_from_slice(&self.total_decimation().to_le_bytes());
+        out.push(self.stages.len() as u8);
+        for s in &self.stages {
+            match s {
+                StageSpec::Cic {
+                    order,
+                    decim,
+                    diff_delay,
+                } => {
+                    out.push(1);
+                    out.push(*order as u8);
+                    out.push(*diff_delay as u8);
+                    out.extend_from_slice(&decim.to_le_bytes());
+                }
+                StageSpec::Fir { taps, decim } => {
+                    out.push(2);
+                    out.extend_from_slice(&decim.to_le_bytes());
+                    out.extend_from_slice(&(taps.len() as u32).to_le_bytes());
+                    for t in taps {
+                        out.extend_from_slice(&t.to_bits().to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes and fully validates a spec produced by
+    /// [`ChainSpec::encode`], including the declared-total-decimation
+    /// consistency check.
+    pub fn decode(bytes: &[u8]) -> Result<ChainSpec, SpecError> {
+        let mut c = SpecCursor { buf: bytes, pos: 0 };
+        let version = c.u8("encoding version")?;
+        if version != SPEC_ENCODING_VERSION {
+            return Err(SpecError::BadEncodingVersion(version));
+        }
+        let name_len = c.u8("name length")? as usize;
+        if name_len > MAX_NAME_LEN {
+            return Err(SpecError::BadName);
+        }
+        let name = std::str::from_utf8(c.take(name_len, "name")?)
+            .map_err(|_| SpecError::BadName)?
+            .to_string();
+        let input_rate = f64::from_bits(c.u64("input rate")?);
+        let tune_freq = f64::from_bits(c.u64("tune freq")?);
+        let format = FixedFormat {
+            data_bits: c.u8("data bits")? as u32,
+            coeff_bits: c.u8("coeff bits")? as u32,
+            fir_acc_bits: c.u8("fir acc bits")? as u32,
+            lut_addr_bits: c.u8("lut addr bits")? as u32,
+        };
+        let declared_total = c.u32("total decimation")?;
+        let n_stages = c.u8("stage count")? as usize;
+        if n_stages == 0 {
+            return Err(SpecError::NoStages);
+        }
+        if n_stages > MAX_STAGES {
+            return Err(SpecError::TooManyStages(n_stages));
+        }
+        let mut stages = Vec::with_capacity(n_stages);
+        for k in 0..n_stages {
+            match c.u8("stage tag")? {
+                1 => stages.push(StageSpec::Cic {
+                    order: c.u8("cic order")? as u32,
+                    diff_delay: c.u8("cic diff delay")? as u32,
+                    decim: c.u32("cic decimation")?,
+                }),
+                2 => {
+                    let decim = c.u32("fir decimation")?;
+                    let n_taps = c.u32("fir tap count")? as usize;
+                    if n_taps > MAX_FIR_TAPS {
+                        return Err(SpecError::OversizedFir(k, n_taps));
+                    }
+                    let mut taps = Vec::with_capacity(n_taps);
+                    for _ in 0..n_taps {
+                        taps.push(f64::from_bits(c.u64("fir tap")?));
+                    }
+                    stages.push(StageSpec::Fir { taps, decim });
+                }
+                other => return Err(SpecError::BadStageTag(other)),
+            }
+        }
+        if c.remaining() != 0 {
+            return Err(SpecError::TrailingBytes(c.remaining()));
+        }
+        let spec = ChainSpec {
+            name,
+            input_rate,
+            tune_freq,
+            stages,
+            format,
+        };
+        spec.validate_against_total(declared_total)?;
+        Ok(spec)
+    }
+}
+
+impl From<DdcConfig> for ChainSpec {
+    fn from(c: DdcConfig) -> Self {
+        ChainSpec::from_config(&c)
+    }
+}
+
+impl From<&DdcConfig> for ChainSpec {
+    fn from(c: &DdcConfig) -> Self {
+        ChainSpec::from_config(c)
+    }
+}
+
+/// Smallest `n` with `2^n >= x` (0 for `x <= 1`).
+fn ceil_log2(x: u32) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        32 - (x - 1).leading_zeros()
+    }
+}
+
+struct SpecCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SpecCursor<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SpecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(SpecError::Truncated(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self, what: &'static str) -> Result<u8, SpecError> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u32(&mut self, what: &'static str) -> Result<u32, SpecError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+    fn u64(&mut self, what: &'static str) -> Result<u64, SpecError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_constants_follow_the_stage_table() {
+        assert_eq!(DRM_TOTAL_DECIMATION, 16 * 21 * 8);
+        assert_eq!(DRM_FIR_CYCLES_PER_OUTPUT, DRM_TOTAL_DECIMATION);
+        assert!((DRM_OUTPUT_RATE - 24_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drm_reference_reproduces_table1() {
+        let s = ChainSpec::drm_reference();
+        s.validate().unwrap();
+        assert_eq!(s.total_decimation(), DRM_TOTAL_DECIMATION);
+        let rates = s.stage_rates();
+        assert_eq!(rates.len(), 4);
+        assert!((rates[0] - 64_512_000.0).abs() < 1e-6);
+        assert!((rates[1] - 4_032_000.0).abs() < 1e-6);
+        assert!((rates[2] - 192_000.0).abs() < 1e-6);
+        assert!((rates[3] - 24_000.0).abs() < 1e-9);
+        assert!(s.fused_head());
+        match &s.stages[2] {
+            StageSpec::Fir { taps, .. } => assert_eq!(taps.len(), DRM_FIR_TAPS),
+            other => panic!("expected FIR tail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let reg = ChainSpec::registry();
+        for s in &reg {
+            s.validate().unwrap();
+            assert_eq!(ChainSpec::by_name(&s.name).as_ref(), Some(s));
+        }
+        let mut names: Vec<&str> = reg.iter().map(|s| s.name.as_str()).collect();
+        names.dedup();
+        assert_eq!(names.len(), reg.len());
+        assert!(ChainSpec::by_name("no-such-plan").is_none());
+    }
+
+    #[test]
+    fn config_view_roundtrips_for_classic_shapes() {
+        let spec = ChainSpec::drm_reference().tuned(10e6);
+        let cfg = spec.to_config().expect("classic shape");
+        assert_eq!(cfg.total_decimation(), DRM_TOTAL_DECIMATION);
+        let back = ChainSpec::from_config(&cfg);
+        assert_eq!(back.stages, spec.stages);
+        assert_eq!(back.tuning_word(), spec.tuning_word());
+    }
+
+    #[test]
+    fn non_classic_shapes_have_no_config_view() {
+        let mut s = ChainSpec::drm_reference();
+        s.stages.push(StageSpec::Cic {
+            order: 1,
+            decim: 2,
+            diff_delay: 1,
+        });
+        assert!(s.to_config().is_none());
+        s.validate().unwrap(); // …but they are still valid specs
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_exactly() {
+        for spec in ChainSpec::registry() {
+            let spec = spec.tuned(-7.25e6);
+            let bytes = spec.encode();
+            let back = ChainSpec::decode(&bytes).expect("decode");
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_specs() {
+        let good = ChainSpec::drm_reference().encode();
+
+        // bad version byte
+        let mut b = good.clone();
+        b[0] = 99;
+        assert_eq!(
+            ChainSpec::decode(&b),
+            Err(SpecError::BadEncodingVersion(99))
+        );
+
+        // truncation anywhere must error, never panic
+        for n in 0..good.len() {
+            assert!(ChainSpec::decode(&good[..n]).is_err(), "prefix {n} passed");
+        }
+
+        // trailing garbage
+        let mut b = good.clone();
+        b.push(0);
+        assert_eq!(ChainSpec::decode(&b), Err(SpecError::TrailingBytes(1)));
+
+        // corrupt declared total
+        let mut spec = ChainSpec::drm_reference();
+        let bytes = spec.encode();
+        let name_len = bytes[1] as usize;
+        let total_at = 2 + name_len + 16 + 4;
+        let mut b = bytes.clone();
+        b[total_at..total_at + 4].copy_from_slice(&999u32.to_le_bytes());
+        assert_eq!(
+            ChainSpec::decode(&b),
+            Err(SpecError::DecimationMismatch {
+                declared: 999,
+                product: DRM_TOTAL_DECIMATION
+            })
+        );
+
+        // zero decimation in a stage
+        spec.stages[0] = StageSpec::Cic {
+            order: 2,
+            decim: 0,
+            diff_delay: 1,
+        };
+        assert_eq!(
+            ChainSpec::decode(&spec.encode()),
+            Err(SpecError::ZeroDecimation(0))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        let mut s = ChainSpec::drm_reference();
+        s.stages.clear();
+        assert_eq!(s.validate(), Err(SpecError::NoStages));
+
+        let mut s = ChainSpec::drm_reference();
+        s.stages = vec![
+            StageSpec::Cic {
+                order: 1,
+                decim: 2,
+                diff_delay: 1
+            };
+            MAX_STAGES + 1
+        ];
+        assert_eq!(s.validate(), Err(SpecError::TooManyStages(MAX_STAGES + 1)));
+
+        let mut s = ChainSpec::drm_reference();
+        s.stages[1] = StageSpec::Cic {
+            order: 9,
+            decim: 21,
+            diff_delay: 1,
+        };
+        assert_eq!(s.validate(), Err(SpecError::BadCicOrder(1, 9)));
+
+        let mut s = ChainSpec::drm_reference();
+        s.stages[2] = StageSpec::Fir {
+            taps: vec![],
+            decim: 8,
+        };
+        assert_eq!(s.validate(), Err(SpecError::EmptyFir(2)));
+
+        let mut s = ChainSpec::drm_reference();
+        s.stages[2] = StageSpec::Fir {
+            taps: vec![0.0; MAX_FIR_TAPS + 1],
+            decim: 8,
+        };
+        assert_eq!(
+            s.validate(),
+            Err(SpecError::OversizedFir(2, MAX_FIR_TAPS + 1))
+        );
+
+        let mut s = ChainSpec::drm_reference();
+        s.stages[0] = StageSpec::Cic {
+            order: 8,
+            decim: 1 << 10,
+            diff_delay: 1,
+        };
+        assert!(matches!(
+            s.validate(),
+            Err(SpecError::RegisterTooWide { stage: 0, .. })
+        ));
+
+        let mut s = ChainSpec::drm_reference();
+        s.tune_freq = 40e6;
+        assert!(matches!(
+            s.validate(),
+            Err(SpecError::TuneOutOfRange { .. })
+        ));
+
+        let mut s = ChainSpec::drm_reference();
+        s.input_rate = -1.0;
+        assert!(matches!(s.validate(), Err(SpecError::BadRate(_))));
+    }
+
+    #[test]
+    fn declared_total_mismatch_is_a_validation_error() {
+        let s = ChainSpec::drm_reference();
+        assert_eq!(s.validate_against_total(DRM_TOTAL_DECIMATION), Ok(()));
+        assert_eq!(
+            s.validate_against_total(672),
+            Err(SpecError::DecimationMismatch {
+                declared: 672,
+                product: DRM_TOTAL_DECIMATION
+            })
+        );
+    }
+
+    #[test]
+    fn ceil_log2_matches_register_growth() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(16), 4);
+        assert_eq!(ceil_log2(17), 5);
+        assert_eq!(ceil_log2(21), 5);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SpecError::DecimationMismatch {
+            declared: 7,
+            product: 2688,
+        };
+        assert!(e.to_string().contains("declared total decimation 7"));
+    }
+}

@@ -14,8 +14,9 @@ use crate::scenario::{attributable_power, Accounting};
 use crate::summary::Table7;
 use ddc_arch_model::SolutionReport;
 
-/// Output sample rate of the reference DDC, Hz.
-const OUTPUT_RATE_HZ: f64 = 24_000.0;
+/// Output sample rate of the reference DDC, Hz — derived from the
+/// chain plan, not restated here.
+const OUTPUT_RATE_HZ: f64 = ddc_core::spec::DRM_OUTPUT_RATE;
 
 /// A battery described by its capacity.
 #[derive(Clone, Copy, Debug)]

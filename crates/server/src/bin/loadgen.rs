@@ -19,6 +19,8 @@
 //! verification.
 
 use ddc_core::chain::FixedDdc;
+use ddc_core::params::FixedFormat;
+use ddc_core::spec::{ChainSpec, StageSpec, DRM_INPUT_RATE};
 use ddc_server::client::{Client, ClientError};
 use ddc_server::wire::{Backpressure, ConfigPreset, Frame, StatsReport};
 use ddc_server::{serve, ServerConfig};
@@ -37,6 +39,7 @@ struct Opts {
     policy: Backpressure,
     queue_cap: u32,
     preset: ConfigPreset,
+    custom_plan: bool,
     verify: bool,
     delay_ms: u64,
 }
@@ -46,9 +49,11 @@ fn usage() -> ! {
         "usage: loadgen (--addr HOST:PORT | --self-serve) [--sessions N] [--batches B]\n\
          \t[--batch-samples S] [--rate-msps R] [--policy block|drop-oldest|disconnect]\n\
          \t[--queue-cap C] [--preset drm|drm-montium|wideband|wideband-compensated]\n\
-         \t[--verify] [--delay-ms D]\n\
+         \t[--custom-plan] [--verify] [--delay-ms D]\n\
          defaults: --sessions 4 --batches 32 --batch-samples 10752 --rate-msps 0 (unthrottled)\n\
          \t--policy block --queue-cap 0 (server default) --preset drm\n\
+         --custom-plan ignores --preset and configures sessions with a four-stage\n\
+         \tnon-preset ChainSpec sent binary-encoded over the wire\n\
          --delay-ms injects per-batch processing delay (self-serve only, for drop testing)"
     );
     std::process::exit(2);
@@ -65,6 +70,7 @@ fn parse_opts() -> Opts {
         policy: Backpressure::Block,
         queue_cap: 0,
         preset: ConfigPreset::Drm,
+        custom_plan: false,
         verify: false,
         delay_ms: 0,
     };
@@ -114,6 +120,10 @@ fn parse_opts() -> Opts {
                 o.preset = ConfigPreset::parse(&need(k)).unwrap_or_else(|| usage());
                 k += 2;
             }
+            "--custom-plan" => {
+                o.custom_plan = true;
+                k += 1;
+            }
             "--verify" => {
                 o.verify = true;
                 k += 1;
@@ -156,6 +166,58 @@ fn session_tune(k: usize) -> f64 {
     5.0e6 + k as f64 * 2.5e6
 }
 
+/// The `--custom-plan` chain: four stages totalling ÷672
+/// (CIC2÷8 → CIC3÷6 with D=2 comb delay → CIC4÷7 → 64-tap FIR÷2).
+/// No preset byte names this shape, so it has to travel as an
+/// encoded [`ChainSpec`] inside the Configure frame — exactly the
+/// path this flag exists to exercise end to end.
+fn custom_plan(tune_freq: f64) -> ChainSpec {
+    use ddc_dsp::firdes;
+    use ddc_dsp::window::{kaiser_beta, Window};
+    let taps = firdes::lowpass(64, 0.2, Window::Kaiser(kaiser_beta(60.0)));
+    let spec = ChainSpec {
+        name: "loadgen-custom-672".to_string(),
+        input_rate: DRM_INPUT_RATE,
+        tune_freq,
+        stages: vec![
+            StageSpec::Cic {
+                order: 2,
+                decim: 8,
+                diff_delay: 1,
+            },
+            StageSpec::Cic {
+                order: 3,
+                decim: 6,
+                diff_delay: 2,
+            },
+            StageSpec::Cic {
+                order: 4,
+                decim: 7,
+                diff_delay: 1,
+            },
+            StageSpec::Fir { taps, decim: 2 },
+        ],
+        format: FixedFormat::FPGA12,
+    };
+    spec.validate().expect("custom plan must be valid");
+    assert!(
+        spec.to_config().is_none(),
+        "custom plan must not collapse to a preset-shaped config"
+    );
+    spec
+}
+
+/// The chain a session will run: the custom four-stage plan, or the
+/// preset expanded to its canonical spec. `--verify` recomputes from
+/// this same spec, so both paths are checked against one source.
+fn plan_spec(opts: &Opts, tune_freq: f64) -> ChainSpec {
+    if opts.custom_plan {
+        custom_plan(tune_freq)
+    } else {
+        opts.preset.to_spec(tune_freq)
+    }
+}
+
 fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> SessionOutcome {
     let tune = session_tune(k);
     let mut out = SessionOutcome {
@@ -181,7 +243,12 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
             return out;
         }
     };
-    if let Err(e) = client.configure(opts.preset, tune, opts.policy, opts.queue_cap) {
+    let configured = if opts.custom_plan {
+        client.configure_spec(&custom_plan(tune), opts.policy, opts.queue_cap)
+    } else {
+        client.configure(opts.preset, tune, opts.policy, opts.queue_cap)
+    };
+    if let Err(e) = configured {
         out.failure = Some(format!("configure: {e}"));
         return out;
     }
@@ -262,7 +329,7 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
         // Recompute locally over exactly the accepted batches, in
         // index order — the protocol's contract is that the delivered
         // ranges are bit-exact and the dropped ranges are the gaps.
-        let mut ddc = FixedDdc::new(opts.preset.to_config(tune));
+        let mut ddc = FixedDdc::from_spec(plan_spec(opts, tune));
         let mut expect: Vec<(i64, i64)> = Vec::new();
         for &b in acked.keys() {
             let start = (b as usize * batch_samples) % stimulus.len();
@@ -311,11 +378,12 @@ fn main() {
 
     // One deterministic stimulus shared by every session (the sessions
     // differ in tuning frequency, as the GC4016's four channels do).
-    let fmt = opts.preset.to_config(0.0).format;
+    let plan = plan_spec(&opts, 0.0);
+    let fmt = plan.format;
     let n = (opts.batch_samples * opts.batches.min(64) as usize).max(opts.batch_samples);
     let stimulus: Arc<Vec<i32>> = {
         use ddc_dsp::signal::{adc_quantize, Mix, SampleSource, Tone, WhiteNoise};
-        let fs = opts.preset.to_config(0.0).input_rate;
+        let fs = plan.input_rate;
         let mut src = Mix(
             Tone::new(7.5e6 + 3_000.0, fs, 0.5, 0.2),
             WhiteNoise::new(17, 0.15),
@@ -360,6 +428,7 @@ fn main() {
     j.push_str(&format!("    \"rate_msps\": {},\n", opts.rate_msps));
     j.push_str(&format!("    \"policy\": \"{policy_name}\",\n"));
     j.push_str(&format!("    \"queue_cap\": {},\n", opts.queue_cap));
+    j.push_str(&format!("    \"plan\": \"{}\",\n", json_escape(&plan.name)));
     j.push_str(&format!("    \"verify\": {}\n", opts.verify));
     j.push_str("  },\n");
     j.push_str("  \"sessions\": [\n");

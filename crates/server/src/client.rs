@@ -3,7 +3,7 @@
 //! halves for concurrent streaming (the shape `loadgen` uses).
 
 use crate::wire::{
-    read_frame, write_frame, Backpressure, ConfigPreset, Configure, ErrorFrame, Frame,
+    read_frame, write_frame, Backpressure, ChainPlan, ConfigPreset, Configure, ErrorFrame, Frame,
     FrameReadError, Hello, Samples, StatsReport, MAX_PAYLOAD, VERSION,
 };
 use std::io::{self, BufReader, BufWriter};
@@ -157,11 +157,31 @@ impl Client {
         policy: Backpressure,
         queue_cap: u32,
     ) -> Result<StatsReport, ClientError> {
+        self.configure_plan(ChainPlan::Preset { preset, tune_freq }, policy, queue_cap)
+    }
+
+    /// Configures the session with an explicit [`ddc_core::ChainSpec`]
+    /// — the path for plans no preset describes. The spec travels
+    /// binary-encoded inside the Configure frame.
+    pub fn configure_spec(
+        &mut self,
+        spec: &ddc_core::ChainSpec,
+        policy: Backpressure,
+        queue_cap: u32,
+    ) -> Result<StatsReport, ClientError> {
+        self.configure_plan(ChainPlan::Spec(spec.clone()), policy, queue_cap)
+    }
+
+    fn configure_plan(
+        &mut self,
+        plan: ChainPlan,
+        policy: Backpressure,
+        queue_cap: u32,
+    ) -> Result<StatsReport, ClientError> {
         self.sender.send(&Frame::Configure(Configure {
-            preset,
+            plan,
             policy,
             queue_cap,
-            tune_freq,
         }))?;
         match self.receiver.recv()? {
             Frame::StatsReport(r) => Ok(r),

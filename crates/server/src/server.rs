@@ -262,8 +262,8 @@ fn session_dialogue(
             return;
         }
     };
-    let ddc_config = conf.preset.to_config(conf.tune_freq);
-    if let Err(e) = state.farm.reconfigure_channel(slot, ddc_config) {
+    let spec = conf.plan.to_spec();
+    if let Err(e) = state.farm.reconfigure_channel(slot, spec) {
         let _ = writer.send(&Frame::Error(ErrorFrame {
             code: error_code::BAD_CONFIG,
             message: format!("rejected configuration: {e}"),

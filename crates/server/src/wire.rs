@@ -10,7 +10,7 @@
 //! ```text
 //! offset  size  field
 //!      0     2  magic            0xDDC1
-//!      2     1  version          1
+//!      2     1  version          2
 //!      3     1  frame type       Hello=1 … Shutdown=7
 //!      4     4  sequence number  independent monotonic counter per direction
 //!      8     4  payload length   bytes, <= MAX_PAYLOAD
@@ -28,8 +28,10 @@ use std::io::{self, Read, Write};
 
 /// First two bytes of every frame.
 pub const MAGIC: u16 = 0xDDC1;
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this build speaks. Version 2 extended Configure to
+/// carry a full binary-encoded [`ddc_core::ChainSpec`] as an
+/// alternative to the closed preset byte.
+pub const VERSION: u8 = 2;
 /// Size of the fixed frame header, bytes.
 pub const HEADER_LEN: usize = 20;
 /// Upper bound on payload size (guards allocation on decode).
@@ -82,6 +84,9 @@ pub enum WireError {
         /// Bytes actually available for them.
         available: usize,
     },
+    /// An embedded [`ddc_core::ChainSpec`] failed to decode or
+    /// validate (carries the spec error's rendering).
+    BadSpec(String),
 }
 
 impl fmt::Display for WireError {
@@ -104,6 +109,7 @@ impl fmt::Display for WireError {
                 f,
                 "declared {declared} elements but only {available} payload bytes remain"
             ),
+            WireError::BadSpec(detail) => write!(f, "bad chain spec: {detail}"),
         }
     }
 }
@@ -204,6 +210,17 @@ impl ConfigPreset {
         }
     }
 
+    /// Expands the preset byte into its canonical [`ddc_core::ChainSpec`].
+    pub fn to_spec(self, tune_freq: f64) -> ddc_core::ChainSpec {
+        let spec = match self {
+            ConfigPreset::Drm => ddc_core::ChainSpec::drm_reference(),
+            ConfigPreset::DrmMontium => ddc_core::ChainSpec::drm_montium(),
+            ConfigPreset::Wideband => ddc_core::ChainSpec::wideband(),
+            ConfigPreset::WidebandCompensated => ddc_core::ChainSpec::wideband_compensated(),
+        };
+        spec.tuned(tune_freq)
+    }
+
     /// Parses the loadgen/CLI spelling of a preset.
     pub fn parse(s: &str) -> Option<Self> {
         match s {
@@ -227,17 +244,43 @@ pub struct Hello {
     pub info: String,
 }
 
+/// How a Configure frame names the chain to run: a one-byte preset
+/// alias (expanded server-side to its canonical spec, so the wire
+/// never carries 125 f64 coefficients for the built-in plans) or a
+/// full binary-encoded [`ddc_core::ChainSpec`] for plans no preset
+/// describes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChainPlan {
+    /// A built-in preset plus a tuning frequency.
+    Preset {
+        /// Chain preset.
+        preset: ConfigPreset,
+        /// NCO tuning frequency, Hz.
+        tune_freq: f64,
+    },
+    /// An explicit, already-tuned chain spec.
+    Spec(ddc_core::ChainSpec),
+}
+
+impl ChainPlan {
+    /// The canonical spec this plan names.
+    pub fn to_spec(&self) -> ddc_core::ChainSpec {
+        match self {
+            ChainPlan::Preset { preset, tune_freq } => preset.to_spec(*tune_freq),
+            ChainPlan::Spec(spec) => spec.clone(),
+        }
+    }
+}
+
 /// Session configuration request (client → server).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Configure {
-    /// Chain preset.
-    pub preset: ConfigPreset,
+    /// The chain to run (preset alias or explicit spec).
+    pub plan: ChainPlan,
     /// Backpressure policy for the session's input queue.
     pub policy: Backpressure,
     /// Input-queue capacity in batches (0 → server default).
     pub queue_cap: u32,
-    /// NCO tuning frequency, Hz.
-    pub tune_freq: f64,
 }
 
 /// A batch of ADC samples (client → server). `batch_index` starts at 0
@@ -353,12 +396,23 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             put_u16(out, info.len().min(u16::MAX as usize) as u16);
             out.extend_from_slice(&info[..info.len().min(u16::MAX as usize)]);
         }
-        Frame::Configure(c) => {
-            out.push(c.preset.to_u8());
-            out.push(c.policy.to_u8());
-            put_u32(out, c.queue_cap);
-            put_u64(out, c.tune_freq.to_bits());
-        }
+        Frame::Configure(c) => match &c.plan {
+            ChainPlan::Preset { preset, tune_freq } => {
+                out.push(0); // plan kind: preset alias
+                out.push(preset.to_u8());
+                out.push(c.policy.to_u8());
+                put_u32(out, c.queue_cap);
+                put_u64(out, tune_freq.to_bits());
+            }
+            ChainPlan::Spec(spec) => {
+                out.push(1); // plan kind: inline spec
+                out.push(c.policy.to_u8());
+                put_u32(out, c.queue_cap);
+                let bytes = spec.encode();
+                put_u32(out, bytes.len() as u32);
+                out.extend_from_slice(&bytes);
+            }
+        },
         Frame::Samples(s) => {
             put_u64(out, s.batch_index);
             put_u32(out, s.samples.len() as u32);
@@ -527,18 +581,39 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
                 info,
             })
         }
-        2 => {
-            let preset = ConfigPreset::from_u8(c.u8("configure preset")?)?;
-            let policy = Backpressure::from_u8(c.u8("configure policy")?)?;
-            let queue_cap = c.u32("configure queue_cap")?;
-            let tune_freq = f64::from_bits(c.u64("configure tune_freq")?);
-            Frame::Configure(Configure {
-                preset,
-                policy,
-                queue_cap,
-                tune_freq,
-            })
-        }
+        2 => match c.u8("configure plan kind")? {
+            0 => {
+                let preset = ConfigPreset::from_u8(c.u8("configure preset")?)?;
+                let policy = Backpressure::from_u8(c.u8("configure policy")?)?;
+                let queue_cap = c.u32("configure queue_cap")?;
+                let tune_freq = f64::from_bits(c.u64("configure tune_freq")?);
+                Frame::Configure(Configure {
+                    plan: ChainPlan::Preset { preset, tune_freq },
+                    policy,
+                    queue_cap,
+                })
+            }
+            1 => {
+                let policy = Backpressure::from_u8(c.u8("configure policy")?)?;
+                let queue_cap = c.u32("configure queue_cap")?;
+                let n = c.u32("configure spec length")? as usize;
+                let spec_bytes = c.take(n, "configure spec")?;
+                // decode() fully validates, so a Configure that parses
+                // always carries a buildable spec.
+                let spec = ddc_core::ChainSpec::decode(spec_bytes)
+                    .map_err(|e| WireError::BadSpec(e.to_string()))?;
+                Frame::Configure(Configure {
+                    plan: ChainPlan::Spec(spec),
+                    policy,
+                    queue_cap,
+                })
+            }
+            other => {
+                return Err(WireError::BadSpec(format!(
+                    "unknown configure plan kind {other}"
+                )))
+            }
+        },
         3 => {
             let batch_index = c.u64("samples batch_index")?;
             let count = c.u32("samples count")?;
@@ -699,10 +774,17 @@ mod tests {
             info: "ddc-server test".into(),
         }));
         roundtrip(Frame::Configure(Configure {
-            preset: ConfigPreset::Wideband,
+            plan: ChainPlan::Preset {
+                preset: ConfigPreset::Wideband,
+                tune_freq: -10.5e6,
+            },
             policy: Backpressure::DropOldest,
             queue_cap: 7,
-            tune_freq: -10.5e6,
+        }));
+        roundtrip(Frame::Configure(Configure {
+            plan: ChainPlan::Spec(ddc_core::ChainSpec::drm_reference().tuned(3.25e6)),
+            policy: Backpressure::Block,
+            queue_cap: 4,
         }));
         roundtrip(Frame::Samples(Samples {
             batch_index: 99,
@@ -882,5 +964,127 @@ mod tests {
         let cfg = ConfigPreset::Drm.to_config(10e6);
         assert_eq!(cfg.tune_freq, 10e6);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn preset_aliases_expand_to_their_canonical_specs() {
+        for (p, name) in [
+            (ConfigPreset::Drm, "drm"),
+            (ConfigPreset::DrmMontium, "drm_montium"),
+            (ConfigPreset::Wideband, "wideband"),
+            (ConfigPreset::WidebandCompensated, "wideband_compensated"),
+        ] {
+            let spec = p.to_spec(7.5e6);
+            assert_eq!(spec.name, name);
+            assert_eq!(spec.tune_freq, 7.5e6);
+            assert_eq!(
+                spec,
+                ddc_core::ChainSpec::by_name(name).unwrap().tuned(7.5e6)
+            );
+            // the alias and the inline-spec plan name the same chain
+            let plan = ChainPlan::Preset {
+                preset: p,
+                tune_freq: 7.5e6,
+            };
+            assert_eq!(plan.to_spec(), ChainPlan::Spec(spec).to_spec());
+        }
+    }
+
+    /// Builds a spec-plan Configure frame whose embedded spec bytes are
+    /// rewritten by `mutate`, with all checksums recomputed so only the
+    /// spec decoding itself can object.
+    fn configure_with_mutated_spec(mutate: impl FnOnce(&mut Vec<u8>)) -> Result<Frame, WireError> {
+        let mut spec_bytes = ddc_core::ChainSpec::drm_reference().encode();
+        mutate(&mut spec_bytes);
+        let mut payload = vec![1u8]; // plan kind: spec
+        payload.push(0); // policy: block
+        payload.extend_from_slice(&8u32.to_le_bytes());
+        payload.extend_from_slice(&(spec_bytes.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&spec_bytes);
+        let header = FrameHeader {
+            frame_type: 2,
+            seq: 0,
+            payload_len: payload.len() as u32,
+            payload_sum: checksum(&payload),
+        };
+        decode_payload(&header, &payload)
+    }
+
+    #[test]
+    fn malformed_spec_frames_are_rejected() {
+        // intact spec decodes fine
+        assert!(configure_with_mutated_spec(|_| {}).is_ok());
+
+        // bad stage count: zero stages
+        let r = configure_with_mutated_spec(|b| {
+            let stage_count_at = 2 + b[1] as usize + 16 + 4 + 4;
+            b[stage_count_at] = 0;
+            b.truncate(stage_count_at + 1);
+        });
+        assert!(
+            matches!(&r, Err(WireError::BadSpec(m)) if m.contains("at least one stage")),
+            "{r:?}"
+        );
+
+        // bad stage count: over the limit
+        let r = configure_with_mutated_spec(|b| {
+            let stage_count_at = 2 + b[1] as usize + 16 + 4 + 4;
+            b[stage_count_at] = 200;
+        });
+        assert!(
+            matches!(&r, Err(WireError::BadSpec(m)) if m.contains("exceed")),
+            "{r:?}"
+        );
+
+        // zero decimation in the first CIC stage
+        let r = configure_with_mutated_spec(|b| {
+            let first_stage_at = 2 + b[1] as usize + 16 + 4 + 4 + 1;
+            // tag(1) order(1) diff_delay(1) then u32 decim
+            b[first_stage_at + 3..first_stage_at + 7].copy_from_slice(&0u32.to_le_bytes());
+        });
+        assert!(
+            matches!(&r, Err(WireError::BadSpec(m)) if m.contains("decimation must be >= 1")),
+            "{r:?}"
+        );
+
+        // oversized FIR tap count (declared count past the cap, without
+        // shipping the taps — must be rejected before allocation)
+        let r = configure_with_mutated_spec(|b| {
+            let mut spec = ddc_core::ChainSpec::drm_reference();
+            if let ddc_core::StageSpec::Fir { decim, .. } = spec.stages[2] {
+                spec.stages[2] = ddc_core::StageSpec::Fir {
+                    taps: vec![0.0; 1],
+                    decim,
+                };
+            }
+            *b = spec.encode();
+            let n = b.len();
+            // tap count is the last u32 before the single 8-byte tap
+            b[n - 12..n - 8].copy_from_slice(&(1u32 << 30).to_le_bytes());
+        });
+        assert!(
+            matches!(&r, Err(WireError::BadSpec(m)) if m.contains("taps, limit")),
+            "{r:?}"
+        );
+
+        // truncated spec bytes
+        let r = configure_with_mutated_spec(|b| {
+            b.truncate(b.len() - 1);
+        });
+        assert!(matches!(&r, Err(WireError::BadSpec(_))), "{r:?}");
+
+        // unknown plan kind byte
+        let payload = [9u8, 0, 0, 0, 0, 0];
+        let header = FrameHeader {
+            frame_type: 2,
+            seq: 0,
+            payload_len: payload.len() as u32,
+            payload_sum: checksum(&payload),
+        };
+        let r = decode_payload(&header, &payload);
+        assert!(
+            matches!(&r, Err(WireError::BadSpec(m)) if m.contains("plan kind")),
+            "{r:?}"
+        );
     }
 }

@@ -80,6 +80,68 @@ fn single_session_is_bit_exact_with_fixed_ddc() {
 }
 
 #[test]
+fn custom_spec_session_is_bit_exact_with_from_spec_chain() {
+    // A four-stage plan no preset byte can name: the spec must travel
+    // binary-encoded in the Configure frame and come back out as the
+    // exact same chain on the server side.
+    use ddc_core::spec::{ChainSpec, StageSpec};
+    let spec = ChainSpec {
+        name: "loopback-custom-672".to_string(),
+        input_rate: 64_512_000.0,
+        tune_freq: 9.3e6,
+        stages: vec![
+            StageSpec::Cic {
+                order: 2,
+                decim: 8,
+                diff_delay: 1,
+            },
+            StageSpec::Cic {
+                order: 3,
+                decim: 6,
+                diff_delay: 2,
+            },
+            StageSpec::Cic {
+                order: 4,
+                decim: 7,
+                diff_delay: 1,
+            },
+            StageSpec::Fir {
+                taps: ddc_dsp::firdes::lowpass(64, 0.2, ddc_dsp::window::Window::Kaiser(6.0)),
+                decim: 2,
+            },
+        ],
+        format: ddc_core::params::FixedFormat::FPGA12,
+    };
+    assert!(spec.to_config().is_none(), "plan must be non-classic");
+
+    let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let input = stimulus(672 * 40 + 451, 23);
+    let mut client = Client::connect(server.local_addr(), "custom-spec").expect("connect");
+    client
+        .configure_spec(&spec, Backpressure::Block, 8)
+        .expect("configure with spec");
+    let mut got = Vec::new();
+    for (b, chunk) in batches_of(&input, 672 * 4).iter().enumerate() {
+        client.send_samples(b as u64, chunk).expect("send");
+        match client.recv().expect("iq frame") {
+            Frame::Iq(IqPayload { pairs, .. }) => got.extend(pairs),
+            other => panic!("expected Iq, got {other:?}"),
+        }
+    }
+    let _ = client.send(&Frame::Shutdown);
+
+    let mut solo = FixedDdc::from_spec(spec);
+    let expect: Vec<(i64, i64)> = solo
+        .process_block(&input)
+        .into_iter()
+        .map(|z| (z.i, z.q))
+        .collect();
+    assert!(!expect.is_empty());
+    assert_eq!(got, expect, "custom-spec session differs from FixedDdc");
+    assert!(server.shutdown(Duration::from_secs(5)));
+}
+
+#[test]
 fn four_concurrent_sessions_each_bit_exact_at_their_own_tuning() {
     let server = serve(
         "127.0.0.1:0",

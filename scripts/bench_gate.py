@@ -6,16 +6,14 @@ committed baseline and fails (exit 1) if any stage's per-sample or
 block throughput dropped by more than the allowed fraction (default
 25%).
 
-Schema drift is tolerated in both directions so the baseline and the
-binary never have to move in lock-step:
-
-* a stage present only in the *fresh* run is a new stage with no
-  baseline — noted and skipped;
-* a stage present only in the *baseline* is warned about on stderr and
-  skipped (it usually means the baseline was generated by a newer
-  binary, or a stage was renamed).  Pass ``--fail-on-missing`` to turn
-  that warning into a failure when the stage set is expected to be
-  closed.
+Stage names key on the chain-spec registry (``chain_<spec name>``,
+``cic<order>_r<decim>``, ...), so the stage set is expected to be
+closed: a stage present only in the *baseline* is a hard failure by
+default — it usually means a spec or stage was dropped or renamed
+without regenerating the baseline.  Pass ``--allow-missing`` to
+downgrade that to a warning (e.g. while bisecting across a rename).
+A stage present only in the *fresh* run is a new stage with no
+baseline — noted and skipped in either mode.
 
 Usage:
     python3 scripts/bench_gate.py BASELINE.json FRESH.json [--max-drop 0.25]
@@ -48,16 +46,17 @@ def stages_of(doc):
     return stages
 
 
-def run_gate(base, fresh, max_drop, fail_on_missing=False, out=sys.stdout, err=sys.stderr):
+def run_gate(base, fresh, max_drop, allow_missing=False, out=sys.stdout, err=sys.stderr):
     """Gates `fresh` stage dict against `base`; returns the exit code."""
     failures = []
     missing = []
     for name, b in sorted(base.items()):
         f = fresh.get(name)
         if f is None:
+            verdict = "skipped" if allow_missing else "FAIL"
             print(
                 f"WARN  {name}: present in baseline but absent from fresh "
-                f"run (skipped)",
+                f"run ({verdict})",
                 file=err,
             )
             missing.append(name)
@@ -81,10 +80,11 @@ def run_gate(base, fresh, max_drop, fail_on_missing=False, out=sys.stdout, err=s
     for name in sorted(set(fresh) - set(base)):
         print(f"NOTE  {name}: new stage, no baseline (skipped)", file=out)
 
-    if missing and fail_on_missing:
+    if missing and not allow_missing:
         print(
             f"\nbench gate: {len(missing)} baseline stage(s) missing from "
-            f"the fresh run: {', '.join(missing)}",
+            f"the fresh run: {', '.join(missing)} "
+            f"(regenerate the baseline, or pass --allow-missing)",
             file=err,
         )
         return 1
@@ -138,17 +138,17 @@ def self_test():
     code, out, err = gate(base, ok)
     check("10% drop passes", code == 0)
 
-    # 4. baseline-only stage warns on stderr but does not fail
+    # 4. baseline-only stage fails loudly by default
     fresh = doc()
     code, out, err = gate(base, fresh)
     check(
-        "baseline-only stage warns and skips",
-        code == 0 and "WARN" in err and "nco" in err,
+        "baseline-only stage fails by default",
+        code == 1 and "missing" in err and "nco" in err,
     )
 
-    # 5. ... unless --fail-on-missing
-    code, out, err = gate(base, fresh, fail_on_missing=True)
-    check("--fail-on-missing promotes the warning", code == 1)
+    # 5. ... unless --allow-missing downgrades it to a warning
+    code, out, err = gate(base, fresh, allow_missing=True)
+    check("--allow-missing downgrades to a warning", code == 0 and "WARN" in err)
 
     # 6. a fresh-only stage is noted and skipped (superset schema)
     fresh = doc(
@@ -191,9 +191,9 @@ def main():
         help="maximum allowed fractional throughput drop per metric",
     )
     ap.add_argument(
-        "--fail-on-missing",
+        "--allow-missing",
         action="store_true",
-        help="fail (instead of warn) when a baseline stage is absent "
+        help="warn (instead of fail) when a baseline stage is absent "
         "from the fresh run",
     )
     ap.add_argument(
@@ -211,7 +211,7 @@ def main():
     base = load_stages(args.baseline)
     fresh = load_stages(args.fresh)
     return run_gate(
-        base, fresh, args.max_drop, fail_on_missing=args.fail_on_missing
+        base, fresh, args.max_drop, allow_missing=args.allow_missing
     )
 
 

@@ -80,22 +80,6 @@ fn pipeline_equals_sequential_bit_for_bit() {
 }
 
 #[test]
-// run_channels_parallel is deprecated in favour of engine::DdcFarm but
-// must keep working as a thin wrapper; this test pins that behaviour.
-#[allow(deprecated)]
-fn deprecated_run_channels_parallel_still_matches_sequential() {
-    use ddc_suite::core::pipeline::run_channels_parallel;
-    let sig = stimulus(2688 * 3 + 97);
-    let adc = adc_quantize(&sig, 12);
-    let cfgs: Vec<DdcConfig> = [5e6, 15e6].iter().map(|&f| DdcConfig::drm(f)).collect();
-    let par = run_channels_parallel(&cfgs, &adc);
-    for (cfg, got) in cfgs.iter().zip(&par) {
-        let mut solo = FixedDdc::new(cfg.clone());
-        assert_eq!(*got, solo.process_block(&adc));
-    }
-}
-
-#[test]
 fn all_bit_true_paths_track_the_reference_chain() {
     let sig = stimulus(2688 * 150);
 
