@@ -23,6 +23,7 @@ use ddc_core::nco::{CosSin, LutNco};
 use ddc_core::params::DdcConfig;
 use ddc_core::pipeline::run_pipelined;
 use ddc_core::spec::{ChainSpec, DRM_TOTAL_DECIMATION};
+use ddc_core::{chain_metrics_for, MetricsHandle};
 use ddc_dsp::firdes::quantize_taps;
 use ddc_dsp::signal::{adc_quantize, Mix, SampleSource, Tone, WhiteNoise};
 use std::hint::black_box;
@@ -36,6 +37,9 @@ struct StageResult {
     name: String,
     per_sample_msps: Option<f64>,
     block_msps: f64,
+    /// Extra scalar fields emitted verbatim into the stage's JSON
+    /// object (the telemetry-overhead stage carries its ratio here).
+    extra: Vec<(&'static str, f64)>,
 }
 
 impl StageResult {
@@ -103,6 +107,7 @@ fn main() {
             name: "nco_lut".to_string(),
             per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
+            extra: Vec::new(),
         });
     }
 
@@ -138,6 +143,7 @@ fn main() {
             name: "mixer".to_string(),
             per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
+            extra: Vec::new(),
         });
     }
 
@@ -178,6 +184,7 @@ fn main() {
             name: "fused_frontend".to_string(),
             per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
+            extra: Vec::new(),
         });
     }
 
@@ -208,6 +215,7 @@ fn main() {
             name,
             per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
+            extra: Vec::new(),
         });
     }
 
@@ -244,6 +252,7 @@ fn main() {
             name: format!("fir_seq_{}tap_r{}", coeffs.len(), cfg.fir_decim),
             per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
+            extra: Vec::new(),
         });
     }
 
@@ -277,6 +286,54 @@ fn main() {
             name: format!("chain_{}", spec.name),
             per_sample_msps: Some(per / 1e6),
             block_msps: blk / 1e6,
+            extra: Vec::new(),
+        });
+    }
+
+    // --- Telemetry overhead on the reference chain ----------------
+    // The same DRM chain and stimulus, once with the metrics handle
+    // disabled and once with per-stage counters/histograms enabled.
+    // Trials are interleaved and each side keeps its best so a clock
+    // ramp or cache-warming drift cannot masquerade as overhead; the
+    // gate fails the build when the instrumented chain is more than
+    // 1% slower (`--max-telemetry-overhead`).
+    {
+        let spec = ChainSpec::registry()
+            .iter()
+            .find(|s| s.name == "drm")
+            .expect("drm spec in registry")
+            .clone()
+            .tuned(10e6);
+        let adc_s = adc_quantize(&analog, spec.format.data_bits);
+        let mut ddc_off = FixedDdc::from_spec(spec.clone());
+        let mut ddc_on = FixedDdc::from_spec(spec.clone()).with_metrics(MetricsHandle::enabled(
+            std::sync::Arc::new(chain_metrics_for(&spec)),
+        ));
+        let mut out = Vec::with_capacity(n / spec.total_decimation() as usize + 1);
+        let mut best_off = 0.0f64;
+        let mut best_on = 0.0f64;
+        for _ in 0..3 {
+            best_off = best_off.max(measure(n, || {
+                out.clear();
+                ddc_off.process_into(&adc_s, &mut out);
+                black_box(out.len());
+            }));
+            best_on = best_on.max(measure(n, || {
+                out.clear();
+                ddc_on.process_into(&adc_s, &mut out);
+                black_box(out.len());
+            }));
+        }
+        let overhead_frac = ((best_off - best_on) / best_off).max(0.0);
+        results.push(StageResult {
+            name: "telemetry_overhead".to_string(),
+            per_sample_msps: None,
+            block_msps: best_on / 1e6,
+            extra: vec![
+                ("off_msps", best_off / 1e6),
+                ("on_msps", best_on / 1e6),
+                ("overhead_frac", overhead_frac),
+            ],
         });
     }
 
@@ -347,6 +404,7 @@ fn main() {
             name: "server_loopback".to_string(),
             per_sample_msps: None,
             block_msps: blk / 1e6,
+            extra: Vec::new(),
         });
     }
 
@@ -386,6 +444,9 @@ fn main() {
         fields.push_str(&format!(", \"block_msps\": {:.2}", r.block_msps));
         if let Some(s) = r.speedup() {
             fields.push_str(&format!(", \"speedup\": {s:.2}"));
+        }
+        for (key, value) in &r.extra {
+            fields.push_str(&format!(", \"{key}\": {value:.4}"));
         }
         json.push_str(&format!(
             "    {{{fields}}}{}\n",

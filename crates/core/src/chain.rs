@@ -14,6 +14,22 @@ use crate::params::DdcConfig;
 use crate::spec::{ChainSpec, StageSpec};
 use ddc_dsp::firdes::quantize_taps;
 use ddc_dsp::C64;
+use ddc_obs::{ChainMetrics, MetricsHandle};
+use std::time::Instant;
+
+/// Builds zeroed per-stage telemetry matching `spec`'s stage labels
+/// (`cic2r16`, `fir125r8`, ...) — the layout
+/// [`FixedDdc::process_into`] records into when a handle built from it
+/// is installed with [`FixedDdc::set_metrics`].
+pub fn chain_metrics_for(spec: &ChainSpec) -> ChainMetrics {
+    ChainMetrics::new(spec.stages.iter().map(|s| s.label()))
+}
+
+/// Nanoseconds since `t` (0 when telemetry is off and `t` is `None`).
+#[inline]
+fn elapsed_ns(t: Option<Instant>) -> u64 {
+    t.map_or(0, |t| t.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+}
 
 /// A floating-point CIC decimator with unit DC gain — numerically
 /// ideal, used only inside the reference chain.
@@ -318,6 +334,9 @@ pub struct FixedDdc {
     stages: Vec<FixedStage>,
     scratch: FixedScratch,
     probes: Option<ChainProbes>,
+    /// Telemetry sink; the default disabled handle keeps the block
+    /// path free of timing calls entirely.
+    metrics: MetricsHandle,
     /// Exact linear DC gain of the whole chain (product of the CICs'
     /// power-of-two-scaled gains and the quantized FIRs' DC gains) —
     /// slightly below 1 for the reference chain because 21⁵ is not a
@@ -390,6 +409,7 @@ impl FixedDdc {
             stages,
             scratch: FixedScratch::default(),
             probes: None,
+            metrics: MetricsHandle::disabled(),
             nominal_gain,
             total_decimation: spec.total_decimation(),
             spec,
@@ -419,6 +439,26 @@ impl FixedDdc {
     /// The activity probes, when enabled.
     pub fn probes(&self) -> Option<&ChainProbes> {
         self.probes.as_ref()
+    }
+
+    /// Installs (or removes) the telemetry handle the block path
+    /// records into. A handle built over [`chain_metrics_for`] of this
+    /// chain's spec receives per-stage block timings under the spec's
+    /// own stage labels; recording happens once per block, never per
+    /// sample, and performs no heap allocation.
+    pub fn set_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = metrics;
+    }
+
+    /// Builder form of [`FixedDdc::set_metrics`].
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The telemetry handle in force (disabled by default).
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
     }
 
     /// Retunes the NCO without flushing filter state.
@@ -473,11 +513,28 @@ impl FixedDdc {
     /// per-sample path, which observes every intermediate word.
     pub fn process_into(&mut self, input: &[i32], out: &mut Vec<Iq>) {
         out.reserve(input.len() / self.total_decimation as usize + 1);
+        // Cheap handle clone so stage recording can run while
+        // `self.stages` is mutably borrowed; telemetry off means
+        // `mm == None` and every timing site below compiles down to a
+        // never-taken branch — the datapath is identical either way.
+        let metrics = self.metrics.clone();
+        let mm = metrics.get();
+        let out_before = out.len();
+        let t_chain = mm.map(|_| Instant::now());
         if self.probes.is_some() {
+            // Per-sample fallback (probes observe every word): only
+            // whole-chain telemetry, still at block granularity.
             for &x in input {
                 if let Some(z) = self.process(i64::from(x)) {
                     out.push(z);
                 }
+            }
+            if let Some(m) = mm {
+                m.chain.record_block(
+                    input.len() as u64,
+                    (out.len() - out_before) as u64,
+                    elapsed_ns(t_chain),
+                );
             }
             return;
         }
@@ -487,7 +544,10 @@ impl FixedDdc {
         let mut cur_q = std::mem::take(&mut s.a_q);
         let mut nxt_i = std::mem::take(&mut s.b_i);
         let mut nxt_q = std::mem::take(&mut s.b_q);
-        // Stage 0 consumes the ADC block directly.
+        // Stage 0 consumes the ADC block directly. Its recorded time
+        // includes the NCO and mixer, which the fused kernel runs in
+        // the same pass.
+        let t_stage = mm.map(|_| Instant::now());
         match &mut self.stages[0] {
             FixedStage::Cic { i, q } => {
                 crate::frontend::process_front_end(
@@ -510,7 +570,11 @@ impl FixedDdc {
                 nxt_q.clear();
             }
         }
-        for stage in self.stages.iter_mut().skip(1) {
+        if let Some(sm) = mm.and_then(|m| m.stages.first()) {
+            sm.record_block(input.len() as u64, cur_i.len() as u64, elapsed_ns(t_stage));
+        }
+        for (k, stage) in self.stages.iter_mut().enumerate().skip(1) {
+            let t_stage = mm.map(|_| Instant::now());
             match stage {
                 FixedStage::Cic { i, q } => {
                     i.process_block(&cur_i, &mut nxt_i);
@@ -520,6 +584,9 @@ impl FixedDdc {
                     i.process_block(&cur_i, &mut nxt_i);
                     q.process_block(&cur_q, &mut nxt_q);
                 }
+            }
+            if let Some(sm) = mm.and_then(|m| m.stages.get(k)) {
+                sm.record_block(cur_i.len() as u64, nxt_i.len() as u64, elapsed_ns(t_stage));
             }
             std::mem::swap(&mut cur_i, &mut nxt_i);
             std::mem::swap(&mut cur_q, &mut nxt_q);
@@ -534,6 +601,13 @@ impl FixedDdc {
         s.b_i = nxt_i;
         s.b_q = nxt_q;
         self.scratch = s;
+        if let Some(m) = mm {
+            m.chain.record_block(
+                input.len() as u64,
+                (out.len() - out_before) as u64,
+                elapsed_ns(t_chain),
+            );
+        }
     }
 
     /// Processes a block of ADC words (a thin wrapper over
@@ -847,6 +921,56 @@ mod tests {
         }
         assert_eq!(got, expect);
         assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn instrumented_chain_is_bit_exact_and_counts_stage_flow() {
+        use std::sync::Arc;
+        let cfg = DdcConfig::drm(10e6);
+        let adc = adc_quantize(
+            &ddc_dsp::signal::Mix(
+                Tone::new(10e6 + 3_000.0, 64_512_000.0, 0.6, 0.1),
+                WhiteNoise::new(17, 0.2),
+            )
+            .take_vec(input_len(8)),
+            12,
+        );
+
+        let mut plain = FixedDdc::new(cfg.clone());
+        let mut expect = Vec::new();
+        let metrics = Arc::new(chain_metrics_for(&ChainSpec::from(cfg.clone())));
+        let mut instrumented =
+            FixedDdc::new(cfg).with_metrics(MetricsHandle::enabled(Arc::clone(&metrics)));
+        let mut got = Vec::new();
+        for chunk in adc.chunks(997) {
+            plain.process_into(chunk, &mut expect);
+            instrumented.process_into(chunk, &mut got);
+        }
+        // Telemetry only observes: the datapath stays bit-exact.
+        assert_eq!(got, expect);
+
+        let n_blocks = adc.chunks(997).count() as u64;
+        assert_eq!(metrics.chain.blocks.get(), n_blocks);
+        assert_eq!(metrics.chain.samples_in.get(), adc.len() as u64);
+        assert_eq!(metrics.chain.samples_out.get(), expect.len() as u64);
+        assert_eq!(metrics.stages.len(), 3);
+        assert_eq!(metrics.stages[0].name, "cic2r16");
+        assert_eq!(metrics.stages[1].name, "cic5r21");
+        assert_eq!(metrics.stages[2].name, "fir125r8");
+        // Sample flow telescopes stage to stage: what stage k emits is
+        // what stage k+1 consumes, ending at the chain output count.
+        assert_eq!(metrics.stages[0].samples_in.get(), adc.len() as u64);
+        for w in metrics.stages.windows(2) {
+            assert_eq!(w[0].samples_out.get(), w[1].samples_in.get());
+        }
+        assert_eq!(
+            metrics.stages.last().unwrap().samples_out.get(),
+            expect.len() as u64
+        );
+        // Latencies were recorded once per block per stage.
+        for sm in &metrics.stages {
+            assert_eq!(sm.latency_ns.count(), n_blocks, "stage {}", sm.name);
+        }
     }
 
     #[test]

@@ -26,12 +26,14 @@
 //! Only `std` primitives are used (`Mutex`, `Condvar`, atomics,
 //! `thread`), matching the repo's no-external-deps constraint.
 
-use crate::chain::FixedDdc;
+use crate::chain::{chain_metrics_for, FixedDdc};
 use crate::mixer::Iq;
 use crate::spec::{ChainSpec, SpecError};
+use ddc_obs::{drain_merged, kind, Counter, Event, EventRing, LogHistogram, MetricsHandle};
+use ddc_obs::{ChainMetrics, MetricsSnapshot};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// One unit of work: run channel `channel` over `input`.
@@ -118,6 +120,64 @@ struct Shared {
     idle: Mutex<()>,
     work_ready: Condvar,
     stop: AtomicBool,
+    /// Farm-wide lifetime totals. Always on (three relaxed adds per
+    /// job); exported through [`DdcFarm::totals`] and the wire Stats
+    /// frame.
+    jobs_completed: AtomicU64,
+    steals: AtomicU64,
+    orphans_reclaimed: AtomicU64,
+    /// Optional telemetry, installed once by [`DdcFarm::with_telemetry`];
+    /// workers check the `OnceLock` (one load) per job.
+    metrics: OnceLock<Arc<FarmMetrics>>,
+}
+
+/// Farm-wide lifetime totals (one coherent read via
+/// [`DdcFarm::totals`] or [`DdcFarm::stats_with_totals`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FarmTotals {
+    /// Jobs run to completion across all channels and workers.
+    pub jobs_completed: u64,
+    /// Jobs a worker stole from a neighbour's queue.
+    pub steals: u64,
+    /// Queued single-channel jobs reclaimed unrun after a halt.
+    pub orphans_reclaimed: u64,
+}
+
+/// Telemetry state of an instrumented farm: per-worker event rings
+/// and job-latency histograms, plus submission-side histograms. Built
+/// once by [`DdcFarm::with_telemetry`]; recording is lock-free and
+/// allocation-free.
+#[derive(Debug)]
+pub struct FarmMetrics {
+    /// One SPSC event ring per worker (`JOB_DONE` events).
+    worker_rings: Vec<EventRing>,
+    /// Control-plane ring (configure / reconfigure / halt); written
+    /// from submitter threads, which the stamp protocol tolerates.
+    control_ring: EventRing,
+    /// Per-worker job latency (ns per job).
+    worker_job_ns: Vec<LogHistogram>,
+    /// Per-worker jobs executed.
+    worker_jobs: Vec<Counter>,
+    /// Queue depth observed at each enqueue (after the push).
+    queue_depth: LogHistogram,
+    /// ADC samples per submitted job.
+    batch_samples: LogHistogram,
+}
+
+impl FarmMetrics {
+    fn new(workers: usize) -> Self {
+        let origin = Instant::now();
+        FarmMetrics {
+            worker_rings: (0..workers)
+                .map(|_| EventRing::with_origin(1024, origin))
+                .collect(),
+            control_ring: EventRing::with_origin(256, origin),
+            worker_job_ns: (0..workers).map(|_| LogHistogram::new()).collect(),
+            worker_jobs: (0..workers).map(|_| Counter::new()).collect(),
+            queue_depth: LogHistogram::new(),
+            batch_samples: LogHistogram::new(),
+        }
+    }
 }
 
 impl Shared {
@@ -131,6 +191,7 @@ impl Shared {
         for off in 1..n {
             let victim = (me + off) % n;
             if let Some(job) = self.queues[victim].lock().unwrap().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -152,7 +213,9 @@ impl Shared {
     }
 
     /// Runs one job to completion and signals whoever waits for it.
-    fn run_job(&self, job: Job) {
+    fn run_job(&self, me: usize, job: Job) {
+        let channel = job.channel;
+        let busy;
         let single_out = {
             let mut slot = self.channels[job.channel].lock().unwrap();
             match &job.completion {
@@ -161,19 +224,28 @@ impl Shared {
                     let before = out.len();
                     let t0 = Instant::now();
                     slot.ddc.process_into(&job.input, &mut out);
+                    busy = t0.elapsed();
                     let produced = (out.len() - before) as u64;
-                    slot.record(job.input.len() as u64, produced, t0.elapsed());
+                    slot.record(job.input.len() as u64, produced, busy);
                     None
                 }
                 Completion::Single(_) => {
                     let mut out = Vec::new();
                     let t0 = Instant::now();
                     slot.ddc.process_into(&job.input, &mut out);
-                    slot.record(job.input.len() as u64, out.len() as u64, t0.elapsed());
+                    busy = t0.elapsed();
+                    slot.record(job.input.len() as u64, out.len() as u64, busy);
                     Some(out)
                 }
             }
         };
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        if let Some(fm) = self.metrics.get() {
+            let busy_ns = busy.as_nanos().min(u64::MAX as u128) as u64;
+            fm.worker_jobs[me].inc();
+            fm.worker_job_ns[me].record(busy_ns);
+            fm.worker_rings[me].push(kind::JOB_DONE, channel as u64, busy_ns);
+        }
         match job.completion {
             Completion::Batch => {
                 let mut pending = self.pending.lock().unwrap();
@@ -199,6 +271,7 @@ impl Shared {
                 |j| matches!(&j.completion, Completion::Single(d) if Arc::ptr_eq(d, done)),
             ) {
                 q.remove(pos);
+                self.orphans_reclaimed.fetch_add(1, Ordering::Relaxed);
                 return true;
             }
         }
@@ -209,7 +282,7 @@ impl Shared {
 fn worker_loop(me: usize, shared: Arc<Shared>) {
     loop {
         if let Some(job) = shared.find_job(me) {
-            shared.run_job(job);
+            shared.run_job(me, job);
             continue;
         }
         if shared.stop.load(Ordering::Acquire) {
@@ -292,6 +365,10 @@ impl DdcFarm {
             idle: Mutex::new(()),
             work_ready: Condvar::new(),
             stop: AtomicBool::new(false),
+            jobs_completed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            orphans_reclaimed: AtomicU64::new(0),
+            metrics: OnceLock::new(),
         });
         let handles = (0..workers)
             .map(|k| {
@@ -328,6 +405,9 @@ impl DdcFarm {
     /// concurrently.
     pub fn submit_block(&mut self, input: &[i32]) -> Vec<Vec<Iq>> {
         let input = Arc::new(input.to_vec());
+        if let Some(fm) = self.shared.metrics.get() {
+            fm.batch_samples.record(input.len() as u64);
+        }
         *self.shared.pending.lock().unwrap() = self.n_channels;
         let workers = self.workers.len();
         for ch in 0..self.n_channels {
@@ -367,6 +447,9 @@ impl DdcFarm {
                 // worker ever picks up.
                 if q.len() < self.shared.queue_cap || self.shared.stop.load(Ordering::Acquire) {
                     q.push_back(job.take().expect("job offered twice"));
+                    if let Some(fm) = self.shared.metrics.get() {
+                        fm.queue_depth.record(q.len() as u64);
+                    }
                     break;
                 }
             }
@@ -396,6 +479,9 @@ impl DdcFarm {
         );
         if self.shared.stop.load(Ordering::Acquire) {
             return None;
+        }
+        if let Some(fm) = self.shared.metrics.get() {
+            fm.batch_samples.record(input.len() as u64);
         }
         let done = Arc::new(JobDone::default());
         let job = Job {
@@ -450,6 +536,13 @@ impl DdcFarm {
         let mut slot = self.shared.channels[channel].lock().unwrap();
         slot.ddc = FixedDdc::from_spec(spec);
         slot.stats = ChannelStats::default();
+        if let Some(fm) = self.shared.metrics.get() {
+            // Fresh per-stage metrics matching the new spec's labels.
+            let m = Arc::new(chain_metrics_for(slot.ddc.spec()));
+            slot.ddc.set_metrics(MetricsHandle::enabled(m));
+            fm.control_ring
+                .push(kind::CHANNEL_RECONFIGURE, channel as u64, 0);
+        }
         Ok(())
     }
 
@@ -464,18 +557,186 @@ impl DdcFarm {
     /// [`DdcFarm::submit_channel`] calls return `None`; the eventual
     /// drop still joins the worker threads. Idempotent.
     pub fn halt(&self) {
-        self.shared.stop.store(true, Ordering::Release);
+        let was_stopped = self.shared.stop.swap(true, Ordering::AcqRel);
+        if !was_stopped {
+            if let Some(fm) = self.shared.metrics.get() {
+                fm.control_ring.push(
+                    kind::CHANNEL_HALT,
+                    self.shared.jobs_completed.load(Ordering::Relaxed),
+                    0,
+                );
+            }
+        }
         self.shared.notify_workers();
     }
 
     /// Snapshot of every channel's lifetime statistics, in channel
-    /// order.
+    /// order — one coherent epoch: every channel lock is held
+    /// simultaneously before any stats are read, so the returned
+    /// vector can never mix per-channel values from different points
+    /// in time (workers take at most one channel lock, so the ordered
+    /// acquisition cannot deadlock).
     pub fn stats(&self) -> Vec<ChannelStats> {
-        self.shared
+        self.stats_with_totals().0
+    }
+
+    /// Coherent per-channel stats plus the farm-wide totals, read in
+    /// the same epoch (while all channel locks are held).
+    pub fn stats_with_totals(&self) -> (Vec<ChannelStats>, FarmTotals) {
+        let guards: Vec<_> = self
+            .shared
             .channels
             .iter()
-            .map(|c| c.lock().unwrap().stats)
-            .collect()
+            .map(|c| c.lock().unwrap())
+            .collect();
+        let totals = self.totals();
+        (guards.iter().map(|g| g.stats).collect(), totals)
+    }
+
+    /// Farm-wide lifetime totals.
+    pub fn totals(&self) -> FarmTotals {
+        FarmTotals {
+            jobs_completed: self.shared.jobs_completed.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            orphans_reclaimed: self.shared.orphans_reclaimed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Installs telemetry: per-stage chain metrics on every channel
+    /// (under the spec's own stage labels), per-worker job latency
+    /// histograms and event rings, and submission-side queue-depth /
+    /// batch-size histograms. Builder form, meant to run right after
+    /// construction; idempotent (a second call is a no-op). All
+    /// allocation happens here — steady-state recording is lock-free
+    /// and allocation-free.
+    pub fn with_telemetry(self) -> Self {
+        if self.shared.metrics.get().is_some() {
+            return self;
+        }
+        let fm = Arc::new(FarmMetrics::new(self.workers.len()));
+        for (ch, slot) in self.shared.channels.iter().enumerate() {
+            let mut slot = slot.lock().unwrap();
+            let m = Arc::new(chain_metrics_for(slot.ddc.spec()));
+            slot.ddc.set_metrics(MetricsHandle::enabled(m));
+            fm.control_ring.push(kind::CHANNEL_CONFIGURE, ch as u64, 0);
+        }
+        let _ = self.shared.metrics.set(fm);
+        self
+    }
+
+    /// The telemetry state, when [`DdcFarm::with_telemetry`] has run.
+    pub fn telemetry(&self) -> Option<&Arc<FarmMetrics>> {
+        self.shared.metrics.get()
+    }
+
+    /// Merge-and-drain of every worker's event ring plus the control
+    /// ring, ordered by timestamp; returns the count of events newly
+    /// detected as dropped. No-op returning 0 when telemetry is off.
+    /// Single consumer: concurrent drains would race on ring cursors.
+    pub fn drain_events(&self, out: &mut Vec<Event>) -> u64 {
+        match self.shared.metrics.get() {
+            Some(fm) => drain_merged(
+                fm.worker_rings
+                    .iter()
+                    .chain(std::iter::once(&fm.control_ring)),
+                out,
+            ),
+            None => 0,
+        }
+    }
+
+    /// Exports everything the farm measures as a [`MetricsSnapshot`]:
+    /// farm totals, per-worker job counters and latency histograms,
+    /// queue-depth and batch-size histograms, per-channel lifetime
+    /// stats, and — via the per-channel [`ChainMetrics`] — per-stage
+    /// block counters and latency histograms under the ChainSpec stage
+    /// labels. Returns `None` when telemetry is off.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let fm = self.shared.metrics.get()?;
+        let mut snap = MetricsSnapshot::new();
+
+        // One coherent pass over the channels: stats and the chain
+        // metric handles are read while every channel lock is held.
+        let guards: Vec<_> = self
+            .shared
+            .channels
+            .iter()
+            .map(|c| c.lock().unwrap())
+            .collect();
+        let totals = self.totals();
+        let channels: Vec<(ChannelStats, Option<Arc<ChainMetrics>>)> = guards
+            .iter()
+            .map(|g| (g.stats, g.ddc.metrics().shared().cloned()))
+            .collect();
+        drop(guards);
+
+        snap.push_counter("ddc_farm_workers", self.workers.len() as u64);
+        snap.push_counter("ddc_farm_channels", self.n_channels as u64);
+        snap.push_counter("ddc_farm_jobs_completed_total", totals.jobs_completed);
+        snap.push_counter("ddc_farm_steals_total", totals.steals);
+        snap.push_counter("ddc_farm_orphans_reclaimed_total", totals.orphans_reclaimed);
+        let produced: u64 = fm
+            .worker_rings
+            .iter()
+            .chain(std::iter::once(&fm.control_ring))
+            .map(|r| r.produced())
+            .sum();
+        let dropped: u64 = fm
+            .worker_rings
+            .iter()
+            .chain(std::iter::once(&fm.control_ring))
+            .map(|r| r.dropped())
+            .sum();
+        snap.push_counter("ddc_events_produced_total", produced);
+        snap.push_counter("ddc_events_dropped_total", dropped);
+        snap.push_hist("ddc_queue_depth", fm.queue_depth.snapshot());
+        snap.push_hist("ddc_batch_samples", fm.batch_samples.snapshot());
+        for (w, (jobs, ns)) in fm.worker_jobs.iter().zip(&fm.worker_job_ns).enumerate() {
+            snap.push_counter(
+                format!("ddc_worker_jobs_total{{worker=\"{w}\"}}"),
+                jobs.get(),
+            );
+            snap.push_hist(
+                format!("ddc_worker_job_ns{{worker=\"{w}\"}}"),
+                ns.snapshot(),
+            );
+        }
+        for (ch, (stats, cm)) in channels.iter().enumerate() {
+            let lbl = format!("{{channel=\"{ch}\"}}");
+            snap.push_counter(format!("ddc_channel_batches_total{lbl}"), stats.batches);
+            snap.push_counter(
+                format!("ddc_channel_samples_in_total{lbl}"),
+                stats.samples_in,
+            );
+            snap.push_counter(format!("ddc_channel_outputs_total{lbl}"), stats.outputs);
+            snap.push_counter(
+                format!("ddc_channel_busy_ns_total{lbl}"),
+                stats.busy.as_nanos().min(u64::MAX as u128) as u64,
+            );
+            if let Some(cm) = cm {
+                snap.push_hist(
+                    format!("ddc_chain_latency_ns{lbl}"),
+                    cm.chain.latency_ns.snapshot(),
+                );
+                for sm in &cm.stages {
+                    let slbl = format!("{{channel=\"{ch}\",stage=\"{}\"}}", sm.name);
+                    snap.push_counter(format!("ddc_stage_blocks_total{slbl}"), sm.blocks.get());
+                    snap.push_counter(
+                        format!("ddc_stage_samples_in_total{slbl}"),
+                        sm.samples_in.get(),
+                    );
+                    snap.push_counter(
+                        format!("ddc_stage_samples_out_total{slbl}"),
+                        sm.samples_out.get(),
+                    );
+                    snap.push_hist(
+                        format!("ddc_stage_latency_ns{slbl}"),
+                        sm.latency_ns.snapshot(),
+                    );
+                }
+            }
+        }
+        Some(snap)
     }
 
     /// Current queue depth per worker — the backlog a monitor would
@@ -670,6 +931,116 @@ mod tests {
         let mut bad = DdcConfig::drm(0.0);
         bad.fir_taps.clear();
         assert!(farm.reconfigure_channel(0, bad).is_err());
+    }
+
+    #[test]
+    fn telemetry_is_bit_exact_and_exports_per_stage_metrics() {
+        let cfgs = vec![DdcConfig::drm(10e6), DdcConfig::drm(20e6)];
+        let block = test_input(D * 4, 51);
+        let mut plain = DdcFarm::with_workers(cfgs.clone(), 2);
+        let mut instrumented = DdcFarm::with_workers(cfgs, 2).with_telemetry();
+        for _ in 0..3 {
+            assert_eq!(
+                instrumented.submit_block(&block),
+                plain.submit_block(&block),
+                "telemetry must not change the datapath"
+            );
+        }
+        let snap = instrumented.metrics_snapshot().expect("telemetry on");
+        assert_eq!(snap.counter("ddc_farm_channels"), Some(2));
+        assert_eq!(snap.counter("ddc_farm_jobs_completed_total"), Some(6));
+        for ch in 0..2 {
+            assert_eq!(
+                snap.counter(&format!("ddc_channel_batches_total{{channel=\"{ch}\"}}")),
+                Some(3)
+            );
+            // Per-stage counters under the spec-derived stage labels.
+            let head = format!("ddc_stage_samples_in_total{{channel=\"{ch}\",stage=\"cic2r16\"}}");
+            assert_eq!(snap.counter(&head), Some(3 * block.len() as u64));
+            let lat = format!("ddc_stage_latency_ns{{channel=\"{ch}\",stage=\"fir125r8\"}}");
+            let h = snap.histogram(&lat).expect("stage latency exported");
+            assert_eq!(h.count, 3);
+            assert!(h.max > 0);
+        }
+        // Batch-size histogram saw each submit at block granularity.
+        let bs = snap.histogram("ddc_batch_samples").unwrap();
+        assert_eq!(bs.count, 3);
+        assert_eq!(bs.max, block.len() as u64);
+        // Serializers run end-to-end on a real snapshot.
+        assert!(snap
+            .to_prometheus()
+            .contains("# TYPE ddc_stage_latency_ns histogram"));
+        assert!(snap.to_json().starts_with("{\"counters\":{"));
+        // A plain farm exports nothing.
+        assert!(plain.metrics_snapshot().is_none());
+    }
+
+    #[test]
+    fn drain_events_merges_job_and_control_events() {
+        let farm = DdcFarm::with_workers(vec![DdcConfig::drm(10e6), DdcConfig::drm(20e6)], 2)
+            .with_telemetry();
+        let block = test_input(D, 52);
+        for ch in 0..2 {
+            let _ = farm.submit_channel(ch, &block).unwrap();
+        }
+        farm.reconfigure_channel(1, DdcConfig::drm(15e6)).unwrap();
+        let _ = farm.submit_channel(1, &block).unwrap();
+        farm.halt();
+        let mut events = Vec::new();
+        let dropped = farm.drain_events(&mut events);
+        assert_eq!(dropped, 0);
+        assert!(events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        let count = |k: u64| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(ddc_obs::kind::CHANNEL_CONFIGURE), 2);
+        assert_eq!(count(ddc_obs::kind::CHANNEL_RECONFIGURE), 1);
+        assert_eq!(count(ddc_obs::kind::CHANNEL_HALT), 1, "halt is idempotent");
+        assert_eq!(count(ddc_obs::kind::JOB_DONE), 3);
+        // JOB_DONE events carry the channel and a nonzero latency.
+        let job = events
+            .iter()
+            .find(|e| e.kind == ddc_obs::kind::JOB_DONE)
+            .unwrap();
+        assert!(job.a < 2);
+        assert!(job.b > 0);
+    }
+
+    #[test]
+    fn totals_count_jobs_and_reconfigure_keeps_stage_labels_fresh() {
+        let mut farm = DdcFarm::with_workers(vec![DdcConfig::drm(10e6)], 1).with_telemetry();
+        let block = test_input(D * 2, 53);
+        let _ = farm.submit_block(&block);
+        let (stats, totals) = farm.stats_with_totals();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(totals.jobs_completed, 1);
+        // Reconfigure rebuilds the chain metrics for the new spec.
+        let taps = ddc_dsp::firdes::lowpass(
+            32,
+            0.1,
+            ddc_dsp::window::Window::Kaiser(ddc_dsp::window::kaiser_beta(50.0)),
+        );
+        let spec = crate::spec::ChainSpec {
+            name: "short".into(),
+            input_rate: 64_512_000.0,
+            tune_freq: 9e6,
+            stages: vec![
+                crate::spec::StageSpec::Cic {
+                    order: 2,
+                    decim: 16,
+                    diff_delay: 1,
+                },
+                crate::spec::StageSpec::Fir { taps, decim: 4 },
+            ],
+            format: crate::params::FixedFormat::FPGA12,
+        };
+        farm.reconfigure_channel(0, spec).unwrap();
+        let _ = farm.submit_block(&test_input(64 * 8, 54));
+        let snap = farm.metrics_snapshot().unwrap();
+        assert!(
+            snap.counter("ddc_stage_blocks_total{channel=\"0\",stage=\"fir32r4\"}")
+                .is_some(),
+            "stage labels must follow the new spec"
+        );
+        assert_eq!(farm.totals().jobs_completed, 2);
     }
 
     #[test]

@@ -58,8 +58,9 @@ pub mod pipeline;
 pub mod pruned;
 pub mod spec;
 
-pub use chain::{FixedDdc, ReferenceDdc};
-pub use engine::DdcFarm;
+pub use chain::{chain_metrics_for, FixedDdc, ReferenceDdc};
+pub use ddc_obs::{ChainMetrics, MetricsHandle, MetricsSnapshot};
+pub use engine::{DdcFarm, FarmMetrics, FarmTotals};
 pub use frontend::FusedFrontEnd;
 pub use params::{DdcConfig, FixedFormat};
 pub use spec::{ChainSpec, SpecError, StageSpec};

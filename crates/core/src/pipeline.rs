@@ -19,10 +19,25 @@ use crate::frontend::FusedFrontEnd;
 use crate::mixer::Iq;
 use crate::params::DdcConfig;
 use ddc_dsp::firdes::quantize_taps;
+use ddc_obs::{Counter, LogHistogram};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// Block of front-end output carried between pipeline threads.
 type IqBlock = Vec<Iq>;
+
+/// Telemetry for one pipelined run: per-chunk kernel latencies on each
+/// side of the thread split, recorded at block granularity with
+/// relaxed atomics (shareable across the pipeline's scoped threads).
+#[derive(Debug, Default)]
+pub struct PipelineMetrics {
+    /// Front-end (fused NCO→mixer→CIC1) time per input chunk, ns.
+    pub front_block_ns: LogHistogram,
+    /// Back-end (CIC→FIR) time per transferred block, ns.
+    pub back_block_ns: LogHistogram,
+    /// Blocks carried across the thread boundary.
+    pub blocks: Counter,
+}
 
 /// Runs one channel split into a front-end thread (NCO → mixer → CIC1)
 /// and a back-end thread (CIC2 → FIR) connected by a bounded channel.
@@ -33,6 +48,18 @@ type IqBlock = Vec<Iq>;
 /// second bounded channel, so steady-state operation allocates no new
 /// block buffers.
 pub fn run_pipelined(config: &DdcConfig, input: &[i32], block: usize) -> Vec<Iq> {
+    run_pipelined_metered(config, input, block, None)
+}
+
+/// [`run_pipelined`] with optional telemetry: when `metrics` is given,
+/// each front-end chunk and back-end block records its kernel time.
+/// Output is bit-identical with the unmetered run.
+pub fn run_pipelined_metered(
+    config: &DdcConfig,
+    input: &[i32],
+    block: usize,
+    metrics: Option<&PipelineMetrics>,
+) -> Vec<Iq> {
     assert!(block >= 1, "block size must be >= 1");
     config.validate().expect("invalid DDC configuration");
     let f = config.format;
@@ -59,7 +86,11 @@ pub fn run_pipelined(config: &DdcConfig, input: &[i32], block: usize) -> Vec<Iq>
             for chunk in input.chunks(chunk_len) {
                 c1_i.clear();
                 c1_q.clear();
+                let t0 = metrics.map(|_| Instant::now());
                 fe.process_block(chunk, &mut c1_i, &mut c1_q);
+                if let (Some(m), Some(t0)) = (metrics, t0) {
+                    m.front_block_ns.record_duration(t0.elapsed());
+                }
                 for (&i1, &q1) in c1_i.iter().zip(&c1_q) {
                     buf.push(Iq { i: i1, q: q1 });
                     if buf.len() == block {
@@ -130,10 +161,15 @@ pub fn run_pipelined(config: &DdcConfig, input: &[i32], block: usize) -> Vec<Iq>
                 c2_q.clear();
                 f_i.clear();
                 f_q.clear();
+                let t0 = metrics.map(|_| Instant::now());
                 cic_i.process_block(&in_i, &mut c2_i);
                 cic_q.process_block(&in_q, &mut c2_q);
                 fir_i.process_block(&c2_i, &mut f_i);
                 fir_q.process_block(&c2_q, &mut f_q);
+                if let (Some(m), Some(t0)) = (metrics, t0) {
+                    m.back_block_ns.record_duration(t0.elapsed());
+                    m.blocks.inc();
+                }
                 out.extend(f_i.iter().zip(&f_q).map(|(&i, &q)| Iq { i, q }));
             }
             out
@@ -169,6 +205,19 @@ mod tests {
             let got = run_pipelined(&cfg, &input, block);
             assert_eq!(got, expect, "block size {block}");
         }
+    }
+
+    #[test]
+    fn metered_pipeline_is_bit_exact_and_records_blocks() {
+        let cfg = DdcConfig::drm(10e6);
+        let input = test_input(2688 * 6);
+        let expect = run_pipelined(&cfg, &input, 32);
+        let m = PipelineMetrics::default();
+        let got = run_pipelined_metered(&cfg, &input, 32, Some(&m));
+        assert_eq!(got, expect);
+        assert!(m.blocks.get() > 0);
+        assert_eq!(m.back_block_ns.count(), m.blocks.get());
+        assert!(m.front_block_ns.count() > 0);
     }
 
     #[test]

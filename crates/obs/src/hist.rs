@@ -1,0 +1,341 @@
+//! Fixed-bucket base-2 logarithmic histograms.
+//!
+//! A [`LogHistogram`] has 64 buckets: bucket 0 holds the value `0` and
+//! bucket `k` (`1..=63`) holds values in `[2^(k-1), 2^k - 1]`, with the
+//! top bucket absorbing everything from `2^62` upward. Recording is a
+//! handful of relaxed atomic adds — no locks, no allocation — so the
+//! hot path can record one entry per *block* of samples without
+//! perturbing the kernels it measures. Reads produce a plain
+//! [`HistSnapshot`] value that supports exact merging and quantile
+//! estimation bounded by the bucket width (at most a factor of 2).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Number of buckets in every histogram (fixed so merges are exact).
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros`,
+/// capped so values `>= 2^62` all land in the top bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Largest value stored in bucket `idx` (inclusive).
+#[inline]
+pub fn bucket_upper_bound(idx: usize) -> u64 {
+    match idx {
+        0 => 0,
+        i if i >= BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// Lock-free base-2 logarithmic histogram updated via relaxed atomics.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Wait-free: four relaxed atomic RMWs.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded values.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Copies the current contents into a plain value.
+    ///
+    /// Buckets are read individually (relaxed), so a snapshot taken
+    /// while writers are active may be mid-update by a handful of
+    /// entries; it is always a valid histogram of *some* recent prefix
+    /// of the recorded values.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+        }
+    }
+}
+
+/// Plain-value histogram contents: mergeable, serializable, comparable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts (see [`bucket_index`] for the bucket scheme).
+    pub buckets: [u64; BUCKETS],
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates `other` into `self`. Merging is associative and
+    /// commutative and exact: buckets add element-wise, so merging N
+    /// per-worker histograms equals one histogram fed all values.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst = dst.wrapping_add(*src);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate: the inclusive upper bound of the bucket that
+    /// contains the q-th value, clamped to the observed maximum. Exact
+    /// for bucket 0; otherwise within a factor of 2 of the true value.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum = cum.saturating_add(n);
+            if cum >= target {
+                return bucket_upper_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Self::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`Self::quantile`]).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`Self::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference bucket index: the smallest bucket whose inclusive
+    /// upper bound is >= v (linear scan, obviously correct).
+    fn reference_bucket(v: u64) -> usize {
+        (0..BUCKETS)
+            .find(|&k| v <= bucket_upper_bound(k))
+            .expect("top bucket holds u64::MAX")
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index((1 << 62) - 1), 62);
+        assert_eq!(bucket_index(1 << 62), 63);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn record_tracks_count_sum_max() {
+        let h = LogHistogram::new();
+        for v in [0u64, 1, 5, 1000, 5] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1011);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[bucket_index(5)], 2);
+    }
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let h = LogHistogram::new();
+        // 99 values of 1, one value of 1000.
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 1);
+        assert_eq!(s.p95(), 1);
+        // p99 targets the 99th value -> still bucket 1.
+        assert_eq!(s.p99(), 1);
+        assert_eq!(s.quantile(1.0), 1000);
+        // Upper bound clamped to observed max, not bucket edge (1023).
+        assert!(s.quantile(0.999) <= 1000);
+    }
+
+    #[test]
+    fn merge_identity() {
+        let h = LogHistogram::new();
+        h.record(7);
+        h.record(0);
+        let mut s = h.snapshot();
+        s.merge(&HistSnapshot::empty());
+        assert_eq!(s, h.snapshot());
+    }
+
+    fn hist_of(values: &[u64]) -> HistSnapshot {
+        let h = LogHistogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    proptest! {
+        /// Fast bucket index matches the linear-scan reference.
+        #[test]
+        fn bucket_index_matches_reference(v in any::<u64>()) {
+            prop_assert_eq!(bucket_index(v), reference_bucket(v));
+        }
+
+        /// Merging per-part histograms is bucket-exact vs one histogram
+        /// fed the concatenation of the parts.
+        #[test]
+        fn merge_is_bucket_exact(
+            a in prop::collection::vec(any::<u64>(), 0..40),
+            b in prop::collection::vec(any::<u64>(), 0..40),
+        ) {
+            let mut merged = hist_of(&a);
+            merged.merge(&hist_of(&b));
+            let mut all = a.clone();
+            all.extend_from_slice(&b);
+            prop_assert_eq!(merged, hist_of(&all));
+        }
+
+        /// Merge is commutative.
+        #[test]
+        fn merge_is_commutative(
+            a in prop::collection::vec(any::<u64>(), 0..40),
+            b in prop::collection::vec(any::<u64>(), 0..40),
+        ) {
+            let (sa, sb) = (hist_of(&a), hist_of(&b));
+            let mut ab = sa;
+            ab.merge(&sb);
+            let mut ba = sb;
+            ba.merge(&sa);
+            prop_assert_eq!(ab, ba);
+        }
+
+        /// Merge is associative.
+        #[test]
+        fn merge_is_associative(
+            a in prop::collection::vec(any::<u64>(), 0..30),
+            b in prop::collection::vec(any::<u64>(), 0..30),
+            c in prop::collection::vec(any::<u64>(), 0..30),
+        ) {
+            let (sa, sb, sc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+            let mut left = sa; // (a+b)+c
+            left.merge(&sb);
+            left.merge(&sc);
+            let mut bc = sb; // a+(b+c)
+            bc.merge(&sc);
+            let mut right = sa;
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        /// Quantile estimates never exceed the observed maximum and the
+        /// bucket upper bound of the true quantile's bucket.
+        #[test]
+        fn quantile_bounded(values in prop::collection::vec(0u64..1_000_000, 1..60)) {
+            let s = hist_of(&values);
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for &(q, _name) in &[(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                let est = s.quantile(q);
+                let rank = ((q * sorted.len() as f64).ceil() as usize)
+                    .clamp(1, sorted.len()) - 1;
+                let truth = sorted[rank];
+                // est = min(upper_bound(bucket(truth)), max): never below
+                // the true quantile, never above the observed max, never
+                // above the true quantile's bucket edge.
+                prop_assert!(est >= truth);
+                prop_assert!(est <= s.max);
+                prop_assert!(est <= bucket_upper_bound(bucket_index(truth)));
+            }
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Bounded lock-free event rings with drop counting.
+//!
+//! An [`EventRing`] records fixed-size structured [`Event`]s into a
+//! power-of-two slot array. Writers never block and never allocate:
+//! each push claims a sequence number with one `fetch_add` and stamps
+//! the slot with a seqlock-style version word, so a slow reader (or no
+//! reader at all) simply loses the oldest events — and the loss is
+//! *counted*, never silent. The intended deployment is one ring per
+//! worker thread (SPSC), merged at snapshot time with
+//! [`drain_merged`]; the stamp protocol additionally keeps concurrent
+//! producers on one ring safe (rare control events share a ring).
+//!
+//! Safety model: the ring is built entirely from `AtomicU64`s — there
+//! is no `unsafe` — so a racing read can at worst observe a mixed
+//! payload, and the stamp re-validation is what rejects such reads.
+//! The stamp for sequence `s` is `2s + 1` while the slot is being
+//! written and `2s + 2` once published; per-slot stamp values strictly
+//! increase, so a reader that observes the same published stamp before
+//! and after copying the payload knows no writer touched the slot in
+//! between (validated empirically by the contention stress test below;
+//! stamp accesses use `SeqCst`, payload accesses `Acquire`/`Release`).
+
+use std::sync::atomic::{
+    AtomicU64,
+    Ordering::{Acquire, Relaxed, Release, SeqCst},
+};
+use std::time::Instant;
+
+/// Well-known event kinds recorded by the engine and server layers.
+pub mod kind {
+    /// A farm channel was (re)built from a spec at startup.
+    pub const CHANNEL_CONFIGURE: u64 = 1;
+    /// The farm was halted (`a` = jobs completed at halt).
+    pub const CHANNEL_HALT: u64 = 2;
+    /// A live channel was reconfigured (`a` = channel).
+    pub const CHANNEL_RECONFIGURE: u64 = 3;
+    /// A queue rejected or displaced a batch (`a` = channel/session).
+    pub const BACKPRESSURE_DROP: u64 = 4;
+    /// A server session completed its handshake (`a` = session id).
+    pub const SESSION_OPEN: u64 = 5;
+    /// A server session ended (`a` = session id, `b` = batches).
+    pub const SESSION_CLOSE: u64 = 6;
+    /// A worker finished a block job (`a` = channel, `b` = ns).
+    pub const JOB_DONE: u64 = 7;
+
+    /// Human-readable name for a kind value.
+    pub fn name(k: u64) -> &'static str {
+        match k {
+            CHANNEL_CONFIGURE => "channel_configure",
+            CHANNEL_HALT => "channel_halt",
+            CHANNEL_RECONFIGURE => "channel_reconfigure",
+            BACKPRESSURE_DROP => "backpressure_drop",
+            SESSION_OPEN => "session_open",
+            SESSION_CLOSE => "session_close",
+            JOB_DONE => "job_done",
+            _ => "unknown",
+        }
+    }
+}
+
+/// One structured telemetry event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Ring-local sequence number (gap-free per ring).
+    pub seq: u64,
+    /// Nanoseconds since the ring's origin instant.
+    pub t_ns: u64,
+    /// Event kind (see [`kind`]).
+    pub kind: u64,
+    /// Kind-specific argument.
+    pub a: u64,
+    /// Kind-specific argument.
+    pub b: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// 0 = never written; `2s+1` = writing seq `s`; `2s+2` = published.
+    stamp: AtomicU64,
+    t_ns: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    const fn new() -> Self {
+        Self {
+            stamp: AtomicU64::new(0),
+            t_ns: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bounded, drop-counted ring of [`Event`]s. See the module docs.
+#[derive(Debug)]
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    /// Next sequence number to allocate (writer side).
+    head: AtomicU64,
+    /// Next sequence number to read (single-consumer side).
+    cursor: AtomicU64,
+    /// Total events lost to overwrite, accumulated by drains.
+    dropped: AtomicU64,
+    origin: Instant,
+}
+
+impl EventRing {
+    /// Creates a ring holding up to `capacity` events (rounded up to a
+    /// power of two, minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_origin(capacity, Instant::now())
+    }
+
+    /// Creates a ring whose event timestamps count from `origin`.
+    /// Rings that will be merged must share one origin.
+    pub fn with_origin(capacity: usize, origin: Instant) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        let slots: Vec<Slot> = (0..cap).map(|_| Slot::new()).collect();
+        Self {
+            slots: slots.into_boxed_slice(),
+            head: AtomicU64::new(0),
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            origin,
+        }
+    }
+
+    /// Slot capacity (power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever pushed.
+    pub fn produced(&self) -> u64 {
+        self.head.load(Relaxed)
+    }
+
+    /// Total events lost to overwrite, as counted by drains so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+
+    /// The instant event timestamps are measured from.
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+
+    /// Records an event. Never blocks, never allocates; overwrites the
+    /// oldest undrained event when the ring is full.
+    #[inline]
+    pub fn push(&self, kind: u64, a: u64, b: u64) {
+        let t_ns = self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let seq = self.head.fetch_add(1, Relaxed);
+        let slot = &self.slots[(seq as usize) & (self.slots.len() - 1)];
+        slot.stamp.store(2 * seq + 1, SeqCst);
+        slot.t_ns.store(t_ns, Release);
+        slot.kind.store(kind, Release);
+        slot.a.store(a, Release);
+        slot.b.store(b, Release);
+        slot.stamp.store(2 * seq + 2, SeqCst);
+    }
+
+    /// Drains every published event since the last drain into `out`,
+    /// in sequence order, and returns how many events were newly
+    /// detected as dropped (also accumulated into [`Self::dropped`]).
+    ///
+    /// Single-consumer: concurrent drains of one ring race on the
+    /// cursor and would double-deliver; call from one thread at a time.
+    pub fn drain_into(&self, out: &mut Vec<Event>) -> u64 {
+        let head = self.head.load(Acquire);
+        let cap = self.slots.len() as u64;
+        let mut cursor = self.cursor.load(Relaxed);
+        let mut newly_dropped = 0u64;
+
+        // Everything the writers have lapped is gone wholesale.
+        if head.saturating_sub(cursor) > cap {
+            let lost = head - cap - cursor;
+            newly_dropped += lost;
+            cursor = head - cap;
+        }
+
+        while cursor < head {
+            let slot = &self.slots[(cursor as usize) & (self.slots.len() - 1)];
+            let want = 2 * cursor + 2;
+            let s1 = slot.stamp.load(SeqCst);
+            if s1 < want {
+                // Allocated but not yet published (writer mid-push):
+                // stop here and pick it up on the next drain.
+                break;
+            }
+            if s1 > want {
+                // Overwritten by a later event before we got to it.
+                newly_dropped += 1;
+                cursor += 1;
+                continue;
+            }
+            let ev = Event {
+                seq: cursor,
+                t_ns: slot.t_ns.load(Acquire),
+                kind: slot.kind.load(Acquire),
+                a: slot.a.load(Acquire),
+                b: slot.b.load(Acquire),
+            };
+            if slot.stamp.load(SeqCst) == want {
+                out.push(ev);
+            } else {
+                // Overwritten while we copied: reject the torn read.
+                newly_dropped += 1;
+            }
+            cursor += 1;
+        }
+
+        self.cursor.store(cursor, Relaxed);
+        self.dropped.fetch_add(newly_dropped, Relaxed);
+        newly_dropped
+    }
+}
+
+/// Drains several rings (which must share an origin) into one list
+/// ordered by timestamp; returns the total newly dropped count.
+pub fn drain_merged<'a, I>(rings: I, out: &mut Vec<Event>) -> u64
+where
+    I: IntoIterator<Item = &'a EventRing>,
+{
+    let start = out.len();
+    let mut dropped = 0;
+    for ring in rings {
+        dropped += ring.drain_into(out);
+    }
+    out[start..].sort_by_key(|e| e.t_ns);
+    dropped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_without_overflow() {
+        let ring = EventRing::new(16);
+        for i in 0..10u64 {
+            ring.push(kind::JOB_DONE, i, i * 2);
+        }
+        let mut out = Vec::new();
+        assert_eq!(ring.drain_into(&mut out), 0);
+        assert_eq!(out.len(), 10);
+        for (i, ev) in out.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+            assert_eq!(ev.a, i as u64);
+            assert_eq!(ev.b, 2 * i as u64);
+            assert_eq!(ev.kind, kind::JOB_DONE);
+        }
+        // Timestamps are monotone within one ring.
+        assert!(out.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    }
+
+    #[test]
+    fn drain_is_incremental() {
+        let ring = EventRing::new(16);
+        ring.push(1, 0, 0);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 1);
+        ring.push(2, 0, 0);
+        out.clear();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, 2);
+        assert_eq!(out[0].seq, 1);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts_exactly() {
+        let ring = EventRing::new(8); // capacity exactly 8
+        let total = 24u64;
+        for i in 0..total {
+            ring.push(kind::JOB_DONE, i, 0);
+        }
+        let mut out = Vec::new();
+        let dropped = ring.drain_into(&mut out);
+        assert_eq!(dropped, total - ring.capacity() as u64);
+        assert_eq!(out.len(), ring.capacity());
+        // The survivors are exactly the newest `capacity` events.
+        assert_eq!(out.first().unwrap().seq, total - ring.capacity() as u64);
+        assert_eq!(out.last().unwrap().seq, total - 1);
+        assert_eq!(ring.dropped(), dropped);
+        assert_eq!(out.len() as u64 + ring.dropped(), ring.produced());
+    }
+
+    #[test]
+    fn merged_drain_orders_by_time() {
+        let origin = Instant::now();
+        let a = EventRing::with_origin(16, origin);
+        let b = EventRing::with_origin(16, origin);
+        a.push(1, 0, 0);
+        b.push(2, 0, 0);
+        a.push(3, 0, 0);
+        let mut out = Vec::new();
+        let dropped = drain_merged([&a, &b], &mut out);
+        assert_eq!(dropped, 0);
+        assert_eq!(out.len(), 3);
+        assert!(out.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    }
+
+    /// Contention stress: several producers hammer one small ring while
+    /// a consumer drains continuously. Every delivered event must be
+    /// internally consistent (untorn) and the final accounting must be
+    /// exact: delivered + dropped == produced.
+    #[test]
+    fn stress_no_tearing_and_exact_drop_accounting() {
+        const WRITERS: u64 = 4;
+        const PER_WRITER: u64 = 20_000;
+        let ring = Arc::new(EventRing::new(64));
+        let stop = Arc::new(AtomicU64::new(0));
+
+        // A delivered event is untorn iff its payload words satisfy
+        // the invariants the writers establish from (writer, i):
+        // a = writer * PER_WRITER + i, b = a.wrapping_mul(0x9E37_79B9)
+        // ^ kind, kind = 1 + (a % 7).
+        let payload = |a: u64| {
+            let k = 1 + (a % 7);
+            (k, a.wrapping_mul(0x9E37_79B9) ^ k)
+        };
+
+        let mut delivered = Vec::new();
+        let mut drain_dropped = 0u64;
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let ring = Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        let a = w * PER_WRITER + i;
+                        let (k, b) = payload(a);
+                        ring.push(k, a, b);
+                    }
+                });
+            }
+            let consumer = {
+                let ring = Arc::clone(&ring);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut dropped = 0;
+                    while stop.load(Acquire) == 0 {
+                        dropped += ring.drain_into(&mut out);
+                        std::thread::yield_now();
+                    }
+                    dropped += ring.drain_into(&mut out);
+                    (out, dropped)
+                })
+            };
+            // Scope join of producers happens when the closure ends —
+            // but we need producers done before signalling the
+            // consumer, so spawn producers, then busy-wait on count.
+            while ring.produced() < WRITERS * PER_WRITER {
+                std::thread::yield_now();
+            }
+            stop.store(1, Release);
+            let (out, dropped) = consumer.join().unwrap();
+            delivered = out;
+            drain_dropped = dropped;
+        });
+
+        let produced = ring.produced();
+        assert_eq!(produced, WRITERS * PER_WRITER);
+        assert_eq!(
+            delivered.len() as u64 + drain_dropped,
+            produced,
+            "delivered + dropped must equal produced"
+        );
+        assert_eq!(ring.dropped(), drain_dropped);
+        // No torn records: every payload satisfies the invariant.
+        for ev in &delivered {
+            let (k, b) = payload(ev.a);
+            assert_eq!((ev.kind, ev.b), (k, b), "torn event: {ev:?}");
+        }
+        // No double delivery: sequence numbers strictly increase.
+        assert!(delivered.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

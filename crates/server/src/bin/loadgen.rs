@@ -21,10 +21,12 @@
 use ddc_core::chain::FixedDdc;
 use ddc_core::params::FixedFormat;
 use ddc_core::spec::{ChainSpec, StageSpec, DRM_INPUT_RATE};
+use ddc_obs::{HistSnapshot, LogHistogram};
 use ddc_server::client::{Client, ClientError};
-use ddc_server::wire::{Backpressure, ConfigPreset, Frame, StatsReport};
+use ddc_server::wire::{metrics_format, Backpressure, ConfigPreset, Frame, StatsReport};
 use ddc_server::{serve, ServerConfig};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,6 +44,8 @@ struct Opts {
     custom_plan: bool,
     verify: bool,
     delay_ms: u64,
+    metrics_interval_ms: u64,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -50,11 +54,14 @@ fn usage() -> ! {
          \t[--batch-samples S] [--rate-msps R] [--policy block|drop-oldest|disconnect]\n\
          \t[--queue-cap C] [--preset drm|drm-montium|wideband|wideband-compensated]\n\
          \t[--custom-plan] [--verify] [--delay-ms D]\n\
+         \t[--metrics-interval MS] [--metrics-out FILE]\n\
          defaults: --sessions 4 --batches 32 --batch-samples 10752 --rate-msps 0 (unthrottled)\n\
          \t--policy block --queue-cap 0 (server default) --preset drm\n\
          --custom-plan ignores --preset and configures sessions with a four-stage\n\
          \tnon-preset ChainSpec sent binary-encoded over the wire\n\
-         --delay-ms injects per-batch processing delay (self-serve only, for drop testing)"
+         --delay-ms injects per-batch processing delay (self-serve only, for drop testing)\n\
+         --metrics-interval scrapes the server's live telemetry every MS milliseconds\n\
+         --metrics-out writes the last scraped Prometheus snapshot to FILE"
     );
     std::process::exit(2);
 }
@@ -73,6 +80,8 @@ fn parse_opts() -> Opts {
         custom_plan: false,
         verify: false,
         delay_ms: 0,
+        metrics_interval_ms: 0,
+        metrics_out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut k = 0;
@@ -132,6 +141,14 @@ fn parse_opts() -> Opts {
                 o.delay_ms = need(k).parse().unwrap_or_else(|_| usage());
                 k += 2;
             }
+            "--metrics-interval" => {
+                o.metrics_interval_ms = need(k).parse().unwrap_or_else(|_| usage());
+                k += 2;
+            }
+            "--metrics-out" => {
+                o.metrics_out = Some(need(k));
+                k += 2;
+            }
             _ => usage(),
         }
     }
@@ -160,6 +177,12 @@ struct SessionOutcome {
     remote_errors: Vec<String>,
     bit_exact: Option<bool>,
     failure: Option<String>,
+    /// End-to-end batch latency (send → Iq ack), ns.
+    latency: HistSnapshot,
+    /// Telemetry snapshots scraped mid-stream.
+    metrics_scrapes: u64,
+    /// Body of the last scraped Prometheus snapshot.
+    last_metrics: Option<Vec<u8>>,
 }
 
 fn session_tune(k: usize) -> f64 {
@@ -235,6 +258,9 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
         remote_errors: Vec::new(),
         bit_exact: None,
         failure: None,
+        latency: HistSnapshot::empty(),
+        metrics_scrapes: 0,
+        last_metrics: None,
     };
     let mut client = match Client::connect(addr.as_str(), &format!("loadgen-{k}")) {
         Ok(c) => c,
@@ -252,46 +278,91 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
         out.failure = Some(format!("configure: {e}"));
         return out;
     }
+    let scrape_metrics = opts.metrics_interval_ms > 0 || opts.metrics_out.is_some();
+    if scrape_metrics && !client.server_has_metrics() {
+        out.failure = Some("server does not advertise the metrics feature".into());
+        return out;
+    }
     let (mut tx, mut rx) = client.split();
 
     let batches = opts.batches;
     let batch_samples = opts.batch_samples;
-    let receiver = std::thread::spawn(move || {
-        let mut acked: BTreeMap<u64, Vec<(i64, i64)>> = BTreeMap::new();
-        let mut final_stats: Option<StatsReport> = None;
-        let mut protocol_errors = 0u64;
-        let mut remote_errors = Vec::new();
-        loop {
-            match rx.recv() {
-                Ok(Frame::Iq(iq)) => {
-                    acked.insert(iq.batch_index, iq.pairs);
+    // Per-batch send timestamps (ns since `t0`), written by the sender
+    // and read by the receiver at ack time; 0 = not sent yet. Feeds the
+    // same log2 histogram the server uses for its own latencies.
+    let t0 = Instant::now();
+    let sent_at_ns: Arc<Vec<AtomicU64>> = {
+        let mut v = Vec::with_capacity(batches as usize);
+        v.resize_with(batches as usize, || AtomicU64::new(0));
+        Arc::new(v)
+    };
+    let latency_hist = Arc::new(LogHistogram::new());
+
+    let receiver = {
+        let sent_at_ns = Arc::clone(&sent_at_ns);
+        let latency_hist = Arc::clone(&latency_hist);
+        std::thread::spawn(move || {
+            let mut acked: BTreeMap<u64, Vec<(i64, i64)>> = BTreeMap::new();
+            let mut final_stats: Option<StatsReport> = None;
+            let mut protocol_errors = 0u64;
+            let mut remote_errors = Vec::new();
+            let mut metrics_scrapes = 0u64;
+            let mut last_metrics: Option<Vec<u8>> = None;
+            loop {
+                match rx.recv() {
+                    Ok(Frame::Iq(iq)) => {
+                        if let Some(sent) = sent_at_ns.get(iq.batch_index as usize) {
+                            let sent = sent.load(Ordering::Acquire);
+                            if sent > 0 {
+                                let now = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                                latency_hist.record(now.saturating_sub(sent));
+                            }
+                        }
+                        acked.insert(iq.batch_index, iq.pairs);
+                    }
+                    Ok(Frame::StatsReport(r)) => final_stats = Some(r),
+                    Ok(Frame::MetricsReport(m)) => {
+                        metrics_scrapes += 1;
+                        last_metrics = Some(m.body);
+                    }
+                    Ok(Frame::Shutdown) => break,
+                    Ok(Frame::Error(e)) => {
+                        remote_errors.push(format!("code {}: {}", e.code, e.message));
+                        // The server closes after fatal errors; keep
+                        // reading until EOF to collect anything in flight.
+                    }
+                    Ok(_) => protocol_errors += 1,
+                    Err(ClientError::SeqGap { .. }) => protocol_errors += 1,
+                    Err(_) => break,
                 }
-                Ok(Frame::StatsReport(r)) => final_stats = Some(r),
-                Ok(Frame::Shutdown) => break,
-                Ok(Frame::Error(e)) => {
-                    remote_errors.push(format!("code {}: {}", e.code, e.message));
-                    // The server closes after fatal errors; keep
-                    // reading until EOF to collect anything in flight.
-                }
-                Ok(_) => protocol_errors += 1,
-                Err(ClientError::SeqGap { .. }) => protocol_errors += 1,
-                Err(_) => break,
             }
-        }
-        (acked, final_stats, protocol_errors, remote_errors)
-    });
+            (
+                acked,
+                final_stats,
+                protocol_errors,
+                remote_errors,
+                metrics_scrapes,
+                last_metrics,
+            )
+        })
+    };
 
     // Pace the sample stream at the target rate (batch granularity).
-    let t0 = Instant::now();
     let per_batch = if opts.rate_msps > 0.0 {
         Duration::from_secs_f64(batch_samples as f64 / (opts.rate_msps * 1e6))
     } else {
         Duration::ZERO
     };
+    let metrics_interval = Duration::from_millis(opts.metrics_interval_ms);
+    let mut next_scrape = t0 + metrics_interval;
     let mut send_failed = false;
     for b in 0..batches {
         let start = (b as usize * batch_samples) % stimulus.len();
         let end = (start + batch_samples).min(stimulus.len());
+        sent_at_ns[b as usize].store(
+            t0.elapsed().as_nanos().max(1).min(u64::MAX as u128) as u64,
+            Ordering::Release,
+        );
         if tx.send_samples(b, &stimulus[start..end]).is_err() {
             send_failed = true;
             out.batches_sent = b;
@@ -299,6 +370,18 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
         }
         out.batches_sent = b + 1;
         out.samples_sent += (end - start) as u64;
+        if scrape_metrics && opts.metrics_interval_ms > 0 && Instant::now() >= next_scrape {
+            next_scrape = Instant::now() + metrics_interval;
+            if tx
+                .send(&Frame::MetricsRequest {
+                    format: metrics_format::PROMETHEUS,
+                })
+                .is_err()
+            {
+                send_failed = true;
+                break;
+            }
+        }
         if !per_batch.is_zero() {
             let target = t0 + per_batch * (b as u32 + 1);
             let now = Instant::now();
@@ -308,17 +391,35 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
         }
     }
     if !send_failed {
+        // One final scrape so --metrics-out captures the end-of-stream
+        // state even without a periodic interval.
+        if scrape_metrics {
+            let _ = tx.send(&Frame::MetricsRequest {
+                format: metrics_format::PROMETHEUS,
+            });
+        }
         let _ = tx.send(&Frame::Shutdown);
     }
 
-    let (acked, final_stats, protocol_errors, remote_errors) = receiver
-        .join()
-        .unwrap_or_else(|_| (BTreeMap::new(), None, 1, vec!["receiver panicked".into()]));
+    let (acked, final_stats, protocol_errors, remote_errors, metrics_scrapes, last_metrics) =
+        receiver.join().unwrap_or_else(|_| {
+            (
+                BTreeMap::new(),
+                None,
+                1,
+                vec!["receiver panicked".into()],
+                0,
+                None,
+            )
+        });
     out.elapsed_s = t0.elapsed().as_secs_f64();
     out.protocol_errors = protocol_errors;
     out.remote_errors = remote_errors;
     out.batches_acked = acked.len() as u64;
     out.outputs = acked.values().map(|v| v.len() as u64).sum();
+    out.latency = latency_hist.snapshot();
+    out.metrics_scrapes = metrics_scrapes;
+    out.last_metrics = last_metrics;
     if let Some(s) = final_stats {
         out.dropped_reported = s.batches_dropped;
         out.queue_hwm = s.queue_hwm;
@@ -348,6 +449,20 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a latency histogram as the JSON object the report embeds:
+/// quantiles from the shared log2 histogram, not a mean-only figure.
+fn latency_json(h: &HistSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"mean\": {:.0}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+        h.count,
+        h.mean(),
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.max
+    )
 }
 
 fn main() {
@@ -449,6 +564,8 @@ fn main() {
         j.push_str(&format!("\"throughput_msps\": {:.3}, ", ack_msps));
         j.push_str(&format!("\"queue_hwm\": {}, ", o.queue_hwm));
         j.push_str(&format!("\"busy_ns\": {}, ", o.busy_ns));
+        j.push_str(&format!("\"latency_ns\": {}, ", latency_json(&o.latency)));
+        j.push_str(&format!("\"metrics_scrapes\": {}, ", o.metrics_scrapes));
         j.push_str(&format!("\"protocol_errors\": {}, ", o.protocol_errors));
         match o.bit_exact {
             Some(b) => j.push_str(&format!("\"bit_exact\": {b}, ")),
@@ -478,6 +595,17 @@ fn main() {
         "  \"aggregate_send_msps\": {:.3},\n",
         total_samples as f64 / wall_s / 1e6
     ));
+    // Aggregate end-to-end latency: the per-session histograms merge
+    // exactly (bucket-wise sums), so fleet-wide quantiles come from the
+    // same code path as each session's.
+    let agg_latency = outcomes.iter().fold(HistSnapshot::empty(), |mut acc, o| {
+        acc.merge(&o.latency);
+        acc
+    });
+    j.push_str(&format!(
+        "  \"aggregate_latency_ns\": {},\n",
+        latency_json(&agg_latency)
+    ));
     j.push_str(&format!(
         "  \"protocol_errors_total\": {protocol_errors_total},\n"
     ));
@@ -496,6 +624,22 @@ fn main() {
     ));
     j.push_str("}\n");
     println!("{j}");
+
+    if let Some(path) = &opts.metrics_out {
+        let last = outcomes.iter().rev().find_map(|o| o.last_metrics.as_ref());
+        match last {
+            Some(body) => {
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("loadgen: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                eprintln!("loadgen: --metrics-out given but no metrics snapshot was scraped");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if protocol_errors_total > 0 || failures > 0 || verify_failed {
         std::process::exit(1);

@@ -3,8 +3,8 @@
 //! halves for concurrent streaming (the shape `loadgen` uses).
 
 use crate::wire::{
-    read_frame, write_frame, Backpressure, ChainPlan, ConfigPreset, Configure, ErrorFrame, Frame,
-    FrameReadError, Hello, Samples, StatsReport, MAX_PAYLOAD, VERSION,
+    feature, read_frame, write_frame, Backpressure, ChainPlan, ConfigPreset, Configure, ErrorFrame,
+    Frame, FrameReadError, Hello, MetricsReport, Samples, StatsReport, MAX_PAYLOAD, VERSION,
 };
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -135,6 +135,7 @@ impl Client {
             proto: VERSION as u16,
             max_payload: MAX_PAYLOAD,
             info: info.to_string(),
+            features: 0,
         }))?;
         let server_hello = match receiver.recv()? {
             Frame::Hello(h) => h,
@@ -187,6 +188,25 @@ impl Client {
             Frame::StatsReport(r) => Ok(r),
             Frame::Error(e) => Err(ClientError::Remote(e)),
             other => Err(ClientError::Unexpected("StatsReport", format!("{other:?}"))),
+        }
+    }
+
+    /// True when the server advertised the live metrics endpoint in
+    /// its Hello.
+    pub fn server_has_metrics(&self) -> bool {
+        self.server_hello.features & feature::METRICS != 0
+    }
+
+    /// Requests a telemetry snapshot in the given [`crate::wire::metrics_format`].
+    pub fn request_metrics(&mut self, format: u8) -> Result<MetricsReport, ClientError> {
+        self.sender.send(&Frame::MetricsRequest { format })?;
+        match self.receiver.recv()? {
+            Frame::MetricsReport(m) => Ok(m),
+            Frame::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(ClientError::Unexpected(
+                "MetricsReport",
+                format!("{other:?}"),
+            )),
         }
     }
 

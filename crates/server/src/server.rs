@@ -10,15 +10,16 @@
 //! scaled to however many slots the host can serve.
 
 use crate::session::{
-    frame_name, processor_loop, reader_stream_loop, server_hello, FrameWriter, SessionEnd,
-    SessionShared,
+    frame_name, processor_loop, reader_stream_loop, server_hello, FrameWriter, MetricsSource,
+    SessionEnd, SessionObs, SessionShared,
 };
 use crate::wire::{error_code, read_frame, ErrorFrame, Frame, FrameReadError};
 use ddc_core::{DdcConfig, DdcFarm};
+use ddc_obs::{kind, EventRing, MetricsSnapshot};
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -63,6 +64,12 @@ struct ServerState {
     free_slots: Mutex<Vec<usize>>,
     stop: AtomicBool,
     sessions_started: AtomicU64,
+    /// Telemetry handles of live sessions, keyed by session id. Weak:
+    /// the session threads own the data; a dead entry just disappears
+    /// from the next snapshot.
+    session_obs: Mutex<Vec<(u64, Weak<SessionObs>)>>,
+    /// Server lifecycle events (session open/close).
+    events: EventRing,
 }
 
 impl ServerState {
@@ -72,6 +79,76 @@ impl ServerState {
 
     fn release_slot(&self, slot: usize) {
         self.free_slots.lock().unwrap().push(slot);
+    }
+
+    fn register_session(&self, id: u64, obs: &Arc<SessionObs>) {
+        let mut reg = self.session_obs.lock().unwrap();
+        reg.retain(|(_, w)| w.strong_count() > 0);
+        reg.push((id, Arc::downgrade(obs)));
+        self.events.push(kind::SESSION_OPEN, id, 0);
+    }
+
+    fn unregister_session(&self, id: u64) {
+        self.session_obs.lock().unwrap().retain(|(k, _)| *k != id);
+        self.events.push(kind::SESSION_CLOSE, id, 0);
+    }
+}
+
+impl MetricsSource for ServerState {
+    /// One coherent snapshot across every layer: the farm's per-stage/
+    /// per-channel/per-worker metrics, then server-level gauges, then
+    /// each live session's frame-codec and queue telemetry.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.farm.metrics_snapshot().unwrap_or_default();
+        snap.push_counter(
+            "ddc_server_sessions_started_total",
+            self.sessions_started.load(Ordering::Relaxed),
+        );
+        let live: Vec<(u64, Arc<SessionObs>)> = {
+            let reg = self.session_obs.lock().unwrap();
+            reg.iter()
+                .filter_map(|(id, w)| w.upgrade().map(|o| (*id, o)))
+                .collect()
+        };
+        snap.push_counter("ddc_server_sessions_active", live.len() as u64);
+        snap.push_counter(
+            "ddc_server_free_slots",
+            self.free_slots.lock().unwrap().len() as u64,
+        );
+        snap.push_counter("ddc_server_events_produced_total", self.events.produced());
+        snap.push_counter("ddc_server_events_dropped_total", self.events.dropped());
+        for (id, obs) in live {
+            let l = format!("{{session=\"{id}\"}}");
+            snap.push_hist(
+                format!("ddc_session_decode_ns{l}"),
+                obs.decode_ns.snapshot(),
+            );
+            snap.push_hist(
+                format!("ddc_session_encode_ns{l}"),
+                obs.encode_ns.snapshot(),
+            );
+            snap.push_hist(
+                format!("ddc_session_queue_depth{l}"),
+                obs.queue_depth.snapshot(),
+            );
+            snap.push_counter(
+                format!("ddc_session_drops_total{{session=\"{id}\",mode=\"oldest\"}}"),
+                obs.drops_oldest.get(),
+            );
+            snap.push_counter(
+                format!("ddc_session_drops_total{{session=\"{id}\",mode=\"reject\"}}"),
+                obs.drops_reject.get(),
+            );
+            snap.push_counter(
+                format!("ddc_session_stats_requests_total{l}"),
+                obs.stats_requests.get(),
+            );
+            snap.push_counter(
+                format!("ddc_session_metrics_requests_total{l}"),
+                obs.metrics_requests.get(),
+            );
+        }
+        snap
     }
 }
 
@@ -111,12 +188,18 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> std::io::Result<Se
     } else {
         DdcFarm::with_workers(configs, cfg.workers)
     };
+    // Telemetry on from the start: the overhead is block-granular
+    // relaxed atomics (gated under 1% by the benchmark suite), and a
+    // live MetricsRequest endpoint is part of the service contract.
+    let farm = farm.with_telemetry();
     let state = Arc::new(ServerState {
         farm,
         free_slots: Mutex::new((0..cfg.max_sessions).rev().collect()),
         cfg,
         stop: AtomicBool::new(false),
         sessions_started: AtomicU64::new(0),
+        session_obs: Mutex::new(Vec::new()),
+        events: EventRing::new(256),
     });
     let registry: Registry = Arc::new(Mutex::new(Vec::new()));
 
@@ -150,7 +233,7 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>, registry: Registr
                 let st = Arc::clone(&state);
                 let handle = std::thread::Builder::new()
                     .name(format!("ddc-session-{id}"))
-                    .spawn(move || run_session(stream, st))
+                    .spawn(move || run_session(id, stream, st))
                     .expect("cannot spawn session thread");
                 let mut reg = registry.lock().unwrap();
                 reg.retain(|e| !e.handle.is_finished());
@@ -168,14 +251,18 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>, registry: Registr
 }
 
 /// Full lifecycle of one connection, on its own thread.
-fn run_session(stream: TcpStream, state: Arc<ServerState>) {
+fn run_session(id: u64, stream: TcpStream, state: Arc<ServerState>) {
     let read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
     let mut reader = BufReader::new(read_half);
     let writer = Arc::new(FrameWriter::new(stream));
-    session_dialogue(&mut reader, &writer, &state);
+    let obs = Arc::new(SessionObs::default());
+    writer.set_obs(Arc::clone(&obs));
+    state.register_session(id, &obs);
+    session_dialogue(&mut reader, &writer, &state, obs);
+    state.unregister_session(id);
     // The registry keeps its own stream clone alive until server
     // shutdown; close explicitly so the peer sees EOF now.
     writer.close();
@@ -185,6 +272,7 @@ fn session_dialogue(
     reader: &mut BufReader<TcpStream>,
     writer: &Arc<FrameWriter>,
     state: &Arc<ServerState>,
+    obs: Arc<SessionObs>,
 ) {
     // --- Hello ----------------------------------------------------
     match read_frame(reader) {
@@ -276,7 +364,7 @@ fn session_dialogue(
     } else {
         (conf.queue_cap as usize).min(state.cfg.max_queue_cap)
     };
-    let shared = Arc::new(SessionShared::new(slot, queue_cap));
+    let shared = Arc::new(SessionShared::new(slot, queue_cap, obs));
     // Configure is acknowledged with the session's (zeroed) stats so
     // the client learns its channel binding before streaming.
     if writer
@@ -305,7 +393,15 @@ fn session_dialogue(
             .expect("cannot spawn processor thread")
     };
 
-    let _end: SessionEnd = reader_stream_loop(reader, &shared, &state.farm, writer, conf.policy, 2);
+    let _end: SessionEnd = reader_stream_loop(
+        reader,
+        &shared,
+        &state.farm,
+        writer,
+        conf.policy,
+        2,
+        Some(&**state as &dyn MetricsSource),
+    );
 
     // Whatever ended the stream, close the queue so the processor
     // drains every accepted batch and exits; only then release the
@@ -329,6 +425,12 @@ impl ServerHandle {
     /// Number of channel slots currently free.
     pub fn free_slots(&self) -> usize {
         self.state.free_slots.lock().unwrap().len()
+    }
+
+    /// The same telemetry snapshot a [`Frame::MetricsRequest`] gets —
+    /// farm, server and live-session metrics in one coherent view.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSource::metrics_snapshot(&*self.state)
     }
 
     /// Graceful shutdown: stop accepting, nudge live sessions to

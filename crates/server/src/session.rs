@@ -19,15 +19,49 @@
 
 use crate::queue::{BoundedQueue, Push};
 use crate::wire::{
-    error_code, write_frame, Backpressure, ErrorFrame, Frame, FrameReadError, Hello, IqPayload,
-    Samples, StatsReport, MAX_PAYLOAD, VERSION,
+    encode_frame_into, error_code, feature, metrics_format, Backpressure, ErrorFrame, Frame,
+    FrameReadError, Hello, IqPayload, MetricsReport, Samples, StatsReport, MAX_PAYLOAD, VERSION,
 };
 use ddc_core::DdcFarm;
-use std::io::{self, BufReader, BufWriter, Read};
+use ddc_obs::{Counter, LogHistogram, MetricsSnapshot};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-session telemetry, shared by the reader thread (decode times,
+/// queue pressure), the frame writer (encode times) and the server's
+/// metrics endpoint. All fields are relaxed atomics updated at frame
+/// granularity — the session data path never takes a lock for them.
+#[derive(Debug, Default)]
+pub struct SessionObs {
+    /// Frame decode CPU time, ns (header + payload parse, no I/O).
+    pub decode_ns: LogHistogram,
+    /// Frame encode CPU time, ns (serialisation, no I/O).
+    pub encode_ns: LogHistogram,
+    /// Input-queue depth observed after each accepted push.
+    pub queue_depth: LogHistogram,
+    /// Batches evicted under the drop-oldest policy.
+    pub drops_oldest: Counter,
+    /// Batches refused under the disconnect policy (at most 1: the
+    /// refusal ends the session).
+    pub drops_reject: Counter,
+    /// Stats requests answered.
+    pub stats_requests: Counter,
+    /// Metrics requests answered.
+    pub metrics_requests: Counter,
+}
+
+/// Anything that can render a point-in-time telemetry snapshot — the
+/// server implements this over its farm + session registry; tests can
+/// stub it. Threaded into [`reader_stream_loop`] so the session layer
+/// answers [`Frame::MetricsRequest`] without depending on the server
+/// module.
+pub trait MetricsSource: Sync {
+    /// Builds the current snapshot.
+    fn metrics_snapshot(&self) -> MetricsSnapshot;
+}
 
 /// Serialised, sequence-numbered frame writer shared by the reader and
 /// processor threads. Holding the mutex across "allocate seq + write"
@@ -40,6 +74,10 @@ pub struct FrameWriter {
 struct WriterInner {
     stream: BufWriter<TcpStream>,
     seq: u32,
+    /// Reusable encode buffer: the steady-state send path serialises
+    /// into the same allocation every frame.
+    buf: Vec<u8>,
+    obs: Option<Arc<SessionObs>>,
 }
 
 impl FrameWriter {
@@ -49,8 +87,16 @@ impl FrameWriter {
             inner: Mutex::new(WriterInner {
                 stream: BufWriter::new(stream),
                 seq: 0,
+                buf: Vec::with_capacity(256),
+                obs: None,
             }),
         }
+    }
+
+    /// Attaches session telemetry; every subsequent send records its
+    /// encode time.
+    pub fn set_obs(&self, obs: Arc<SessionObs>) {
+        self.inner.lock().unwrap().obs = Some(obs);
     }
 
     /// Sends one frame with the next sequence number.
@@ -58,7 +104,16 @@ impl FrameWriter {
         let mut w = self.inner.lock().unwrap();
         let seq = w.seq;
         w.seq = w.seq.wrapping_add(1);
-        write_frame(&mut w.stream, frame, seq)
+        let t0 = w.obs.is_some().then(Instant::now);
+        let mut buf = std::mem::take(&mut w.buf);
+        encode_frame_into(frame, seq, &mut buf);
+        w.buf = buf;
+        if let (Some(obs), Some(t0)) = (&w.obs, t0) {
+            obs.encode_ns.record_duration(t0.elapsed());
+        }
+        let WriterInner { stream, buf, .. } = &mut *w;
+        stream.write_all(buf)?;
+        stream.flush()
     }
 
     /// Flushes and closes the underlying connection. Because the server
@@ -85,23 +140,28 @@ pub struct SessionShared {
     /// Set when the client asked for a graceful Shutdown — the
     /// processor then closes with a final Stats + Shutdown exchange.
     pub graceful: AtomicBool,
+    /// Session telemetry (also held by the writer and the server's
+    /// metrics registry).
+    pub obs: Arc<SessionObs>,
 }
 
 impl SessionShared {
     /// Builds the session state for a freshly claimed channel.
-    pub fn new(channel: usize, queue_cap: usize) -> Self {
+    pub fn new(channel: usize, queue_cap: usize, obs: Arc<SessionObs>) -> Self {
         SessionShared {
             channel,
             queue: BoundedQueue::new(queue_cap),
             batches_accepted: AtomicU64::new(0),
             graceful: AtomicBool::new(false),
+            obs,
         }
     }
 
     /// Point-in-time statistics combining queue state with the farm's
-    /// per-channel counters.
+    /// per-channel counters and farm-wide totals.
     pub fn stats(&self, farm: &DdcFarm) -> StatsReport {
         let ch = farm.channel_stats(self.channel);
+        let totals = farm.totals();
         StatsReport {
             channel: self.channel as u32,
             batches_accepted: self.batches_accepted.load(Ordering::Relaxed),
@@ -111,6 +171,9 @@ impl SessionShared {
             queue_len: self.queue.len() as u32,
             queue_hwm: self.queue.high_water_mark() as u32,
             busy_ns: ch.busy.as_nanos().min(u64::MAX as u128) as u64,
+            farm_jobs_completed: totals.jobs_completed,
+            farm_steals: totals.steals,
+            farm_orphans_reclaimed: totals.orphans_reclaimed,
         }
     }
 }
@@ -185,10 +248,14 @@ pub fn reader_stream_loop<R: Read>(
     writer: &FrameWriter,
     policy: Backpressure,
     mut expected_seq: u32,
+    metrics: Option<&dyn MetricsSource>,
 ) -> SessionEnd {
     loop {
-        let (seq, frame) = match crate::wire::read_frame(reader) {
-            Ok(x) => x,
+        let (seq, frame) = match crate::wire::read_frame_timed(reader) {
+            Ok((seq, frame, decode_ns)) => {
+                shared.obs.decode_ns.record(decode_ns);
+                (seq, frame)
+            }
             Err(FrameReadError::Eof) => return SessionEnd::Disconnected,
             Err(FrameReadError::Io(_)) => return SessionEnd::Disconnected,
             Err(FrameReadError::Wire(e)) => {
@@ -219,14 +286,18 @@ pub fn reader_stream_loop<R: Read>(
                 match outcome {
                     Push::Accepted => {
                         shared.batches_accepted.fetch_add(1, Ordering::Relaxed);
+                        shared.obs.queue_depth.record(shared.queue.len() as u64);
                     }
                     Push::Displaced(_old) => {
                         // Eviction already counted by the queue; the
                         // displaced batch was never acknowledged, so the
                         // client sees it as a gap in Iq batch indices.
                         shared.batches_accepted.fetch_add(1, Ordering::Relaxed);
+                        shared.obs.drops_oldest.inc();
+                        shared.obs.queue_depth.record(shared.queue.len() as u64);
                     }
                     Push::Full(batch) => {
+                        shared.obs.drops_reject.inc();
                         let _ = writer.send(&Frame::Error(ErrorFrame {
                             code: error_code::QUEUE_OVERFLOW,
                             message: format!(
@@ -240,8 +311,35 @@ pub fn reader_stream_loop<R: Read>(
                 }
             }
             Frame::StatsRequest => {
+                shared.obs.stats_requests.inc();
                 let _ = writer.send(&Frame::StatsReport(shared.stats(farm)));
             }
+            Frame::MetricsRequest { format } => match metrics {
+                Some(src)
+                    if matches!(
+                        format,
+                        metrics_format::JSON | metrics_format::PROMETHEUS | metrics_format::BINARY
+                    ) =>
+                {
+                    shared.obs.metrics_requests.inc();
+                    let snap = src.metrics_snapshot();
+                    let body = match format {
+                        metrics_format::JSON => snap.to_json().into_bytes(),
+                        metrics_format::PROMETHEUS => snap.to_prometheus().into_bytes(),
+                        _ => snap.encode(),
+                    };
+                    let _ = writer.send(&Frame::MetricsReport(MetricsReport { format, body }));
+                }
+                _ => {
+                    // No snapshot source wired in, or an unknown format
+                    // byte: refuse the request but keep the stream
+                    // alive — metrics are advisory, not load-bearing.
+                    let _ = writer.send(&Frame::Error(ErrorFrame {
+                        code: error_code::PROTOCOL,
+                        message: format!("cannot serve metrics format {format}"),
+                    }));
+                }
+            },
             Frame::Shutdown => {
                 shared.graceful.store(true, Ordering::Release);
                 return SessionEnd::Graceful;
@@ -267,14 +365,18 @@ pub(crate) fn frame_name(f: &Frame) -> &'static str {
         Frame::StatsReport(_) => "StatsReport",
         Frame::Error(_) => "Error",
         Frame::Shutdown => "Shutdown",
+        Frame::MetricsRequest { .. } => "MetricsRequest",
+        Frame::MetricsReport(_) => "MetricsReport",
     }
 }
 
-/// The server's half of the version handshake.
+/// The server's half of the version handshake. Advertises the metrics
+/// endpoint so clients know a MetricsRequest will be answered.
 pub fn server_hello(banner: &str) -> Hello {
     Hello {
         proto: VERSION as u16,
         max_payload: MAX_PAYLOAD,
         info: banner.to_string(),
+        features: feature::METRICS,
     }
 }

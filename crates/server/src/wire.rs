@@ -11,7 +11,7 @@
 //! offset  size  field
 //!      0     2  magic            0xDDC1
 //!      2     1  version          2
-//!      3     1  frame type       Hello=1 … Shutdown=7
+//!      3     1  frame type       Hello=1 … Metrics=8
 //!      4     4  sequence number  independent monotonic counter per direction
 //!      8     4  payload length   bytes, <= MAX_PAYLOAD
 //!     12     4  payload checksum Fletcher-32 over the payload bytes
@@ -36,6 +36,26 @@ pub const VERSION: u8 = 2;
 pub const HEADER_LEN: usize = 20;
 /// Upper bound on payload size (guards allocation on decode).
 pub const MAX_PAYLOAD: u32 = 1 << 22; // 4 MiB ≈ 1 M i32 samples
+
+/// Optional capabilities advertised in the [`Hello`] `features`
+/// bitset. The field itself is optional on the wire (older v2 peers
+/// omit it, which reads back as no features), so every bit here is
+/// strictly additive.
+pub mod feature {
+    /// The sender answers [`super::Frame::MetricsRequest`] with live
+    /// telemetry snapshots.
+    pub const METRICS: u32 = 1;
+}
+
+/// Serialisation formats a [`Frame::MetricsRequest`] can ask for.
+pub mod metrics_format {
+    /// `ddc_obs::MetricsSnapshot::to_json` text.
+    pub const JSON: u8 = 0;
+    /// Prometheus text exposition format.
+    pub const PROMETHEUS: u8 = 1;
+    /// `ddc_obs::MetricsSnapshot::encode` binary codec.
+    pub const BINARY: u8 = 2;
+}
 
 /// Error codes carried by [`Frame::Error`].
 pub mod error_code {
@@ -242,6 +262,10 @@ pub struct Hello {
     pub max_payload: u32,
     /// Free-form implementation banner.
     pub info: String,
+    /// Capability bitset ([`feature`]). Encoded only when non-zero and
+    /// optional on decode, so a featureless Hello is byte-identical to
+    /// the original v2 frame.
+    pub features: u32,
 }
 
 /// How a Configure frame names the chain to run: a one-byte preset
@@ -329,6 +353,22 @@ pub struct StatsReport {
     pub queue_hwm: u32,
     /// Nanoseconds the farm spent processing this channel.
     pub busy_ns: u64,
+    /// Farm-wide jobs completed across all channels.
+    pub farm_jobs_completed: u64,
+    /// Farm-wide jobs taken off another worker's queue.
+    pub farm_steals: u64,
+    /// Farm-wide orphaned jobs reclaimed after worker exit.
+    pub farm_orphans_reclaimed: u64,
+}
+
+/// A serialised telemetry snapshot (server → client in answer to a
+/// metrics request).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// One of [`metrics_format`] — echoes the request.
+    pub format: u8,
+    /// The snapshot rendered in that format.
+    pub body: Vec<u8>,
 }
 
 /// Fatal or diagnostic condition (server → client).
@@ -359,6 +399,14 @@ pub enum Frame {
     Error(ErrorFrame),
     /// Graceful end-of-stream (either direction).
     Shutdown,
+    /// Telemetry snapshot request (client → server) naming the wanted
+    /// [`metrics_format`]. Requires [`feature::METRICS`].
+    MetricsRequest {
+        /// One of [`metrics_format`].
+        format: u8,
+    },
+    /// Telemetry snapshot (server → client).
+    MetricsReport(MetricsReport),
 }
 
 impl Frame {
@@ -371,6 +419,7 @@ impl Frame {
             Frame::StatsRequest | Frame::StatsReport(_) => 5,
             Frame::Error(_) => 6,
             Frame::Shutdown => 7,
+            Frame::MetricsRequest { .. } | Frame::MetricsReport(_) => 8,
         }
     }
 }
@@ -395,6 +444,11 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             let info = h.info.as_bytes();
             put_u16(out, info.len().min(u16::MAX as usize) as u16);
             out.extend_from_slice(&info[..info.len().min(u16::MAX as usize)]);
+            // Optional trailing capability bitset: omitted when zero so
+            // the frame stays byte-identical to pre-feature v2 Hellos.
+            if h.features != 0 {
+                put_u32(out, h.features);
+            }
         }
         Frame::Configure(c) => match &c.plan {
             ChainPlan::Preset { preset, tune_freq } => {
@@ -440,6 +494,9 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             put_u32(out, r.queue_len);
             put_u32(out, r.queue_hwm);
             put_u64(out, r.busy_ns);
+            put_u64(out, r.farm_jobs_completed);
+            put_u64(out, r.farm_steals);
+            put_u64(out, r.farm_orphans_reclaimed);
         }
         Frame::Error(e) => {
             put_u16(out, e.code);
@@ -448,6 +505,16 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             out.extend_from_slice(&msg[..msg.len().min(u16::MAX as usize)]);
         }
         Frame::Shutdown => {}
+        Frame::MetricsRequest { format } => {
+            out.push(0);
+            out.push(*format);
+        }
+        Frame::MetricsReport(m) => {
+            out.push(1);
+            out.push(m.format);
+            put_u32(out, m.body.len() as u32);
+            out.extend_from_slice(&m.body);
+        }
     }
 }
 
@@ -506,7 +573,7 @@ pub fn decode_header(bytes: &[u8; HEADER_LEN]) -> Result<FrameHeader, WireError>
         return Err(WireError::BadVersion(bytes[2]));
     }
     let frame_type = bytes[3];
-    if !(1..=7).contains(&frame_type) {
+    if !(1..=8).contains(&frame_type) {
         return Err(WireError::BadType(frame_type));
     }
     let payload_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
@@ -575,10 +642,18 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
             let max_payload = c.u32("hello max_payload")?;
             let n = c.u16("hello info length")? as usize;
             let info = String::from_utf8_lossy(c.take(n, "hello info")?).into_owned();
+            // Trailing capability bitset is optional: peers predating
+            // it simply end the payload here.
+            let features = if c.remaining() >= 4 {
+                c.u32("hello features")?
+            } else {
+                0
+            };
             Frame::Hello(Hello {
                 proto,
                 max_payload,
                 info,
+                features,
             })
         }
         2 => match c.u8("configure plan kind")? {
@@ -658,16 +733,27 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
         }
         5 => match c.u8("stats flag")? {
             0 => Frame::StatsRequest,
-            _ => Frame::StatsReport(StatsReport {
-                channel: c.u32("stats channel")?,
-                batches_accepted: c.u64("stats batches_accepted")?,
-                batches_dropped: c.u64("stats batches_dropped")?,
-                samples_in: c.u64("stats samples_in")?,
-                outputs: c.u64("stats outputs")?,
-                queue_len: c.u32("stats queue_len")?,
-                queue_hwm: c.u32("stats queue_hwm")?,
-                busy_ns: c.u64("stats busy_ns")?,
-            }),
+            _ => {
+                let mut r = StatsReport {
+                    channel: c.u32("stats channel")?,
+                    batches_accepted: c.u64("stats batches_accepted")?,
+                    batches_dropped: c.u64("stats batches_dropped")?,
+                    samples_in: c.u64("stats samples_in")?,
+                    outputs: c.u64("stats outputs")?,
+                    queue_len: c.u32("stats queue_len")?,
+                    queue_hwm: c.u32("stats queue_hwm")?,
+                    busy_ns: c.u64("stats busy_ns")?,
+                    ..StatsReport::default()
+                };
+                // Farm-wide totals are a trailing extension: reports
+                // from peers predating them stop at busy_ns.
+                if c.remaining() >= 24 {
+                    r.farm_jobs_completed = c.u64("stats farm_jobs_completed")?;
+                    r.farm_steals = c.u64("stats farm_steals")?;
+                    r.farm_orphans_reclaimed = c.u64("stats farm_orphans_reclaimed")?;
+                }
+                Frame::StatsReport(r)
+            }
         },
         6 => {
             let code = c.u16("error code")?;
@@ -676,6 +762,23 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
             Frame::Error(ErrorFrame { code, message })
         }
         7 => Frame::Shutdown,
+        8 => match c.u8("metrics flag")? {
+            0 => Frame::MetricsRequest {
+                format: c.u8("metrics format")?,
+            },
+            _ => {
+                let format = c.u8("metrics format")?;
+                let n = c.u32("metrics body length")? as usize;
+                if n != c.remaining() {
+                    return Err(WireError::CountMismatch {
+                        declared: n as u32,
+                        available: c.remaining(),
+                    });
+                }
+                let body = c.take(n, "metrics body")?.to_vec();
+                Frame::MetricsReport(MetricsReport { format, body })
+            }
+        },
         other => return Err(WireError::BadType(other)),
     };
     c.finish()?;
@@ -723,6 +826,13 @@ impl From<WireError> for FrameReadError {
 /// first header byte is [`FrameReadError::Eof`]; EOF mid-frame is an
 /// I/O error.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<(u32, Frame), FrameReadError> {
+    read_frame_timed(r).map(|(seq, frame, _)| (seq, frame))
+}
+
+/// [`read_frame`] that also reports the CPU nanoseconds spent decoding
+/// (header validation + payload parse), excluding the blocking socket
+/// reads — the number a per-session decode-latency histogram wants.
+pub fn read_frame_timed<R: Read>(r: &mut R) -> Result<(u32, Frame, u64), FrameReadError> {
     let mut header = [0u8; HEADER_LEN];
     let mut got = 0;
     while got < HEADER_LEN {
@@ -737,11 +847,15 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(u32, Frame), FrameReadError> {
             n => got += n,
         }
     }
+    let t0 = std::time::Instant::now();
     let h = decode_header(&header)?;
+    let decode_header_ns = t0.elapsed().as_nanos();
     let mut payload = vec![0u8; h.payload_len as usize];
     r.read_exact(&mut payload)?;
+    let t1 = std::time::Instant::now();
     let frame = decode_payload(&h, &payload)?;
-    Ok((h.seq, frame))
+    let decode_ns = (decode_header_ns + t1.elapsed().as_nanos()).min(u64::MAX as u128) as u64;
+    Ok((h.seq, frame, decode_ns))
 }
 
 /// Writes one frame to `w` and flushes it.
@@ -772,6 +886,13 @@ mod tests {
             proto: VERSION as u16,
             max_payload: MAX_PAYLOAD,
             info: "ddc-server test".into(),
+            features: 0,
+        }));
+        roundtrip(Frame::Hello(Hello {
+            proto: VERSION as u16,
+            max_payload: MAX_PAYLOAD,
+            info: "ddc-server test".into(),
+            features: feature::METRICS,
         }));
         roundtrip(Frame::Configure(Configure {
             plan: ChainPlan::Preset {
@@ -809,12 +930,89 @@ mod tests {
             queue_len: 1,
             queue_hwm: 4,
             busy_ns: 123_456_789,
+            farm_jobs_completed: 40,
+            farm_steals: 3,
+            farm_orphans_reclaimed: 1,
         }));
         roundtrip(Frame::Error(ErrorFrame {
             code: error_code::QUEUE_OVERFLOW,
             message: "queue overflow at batch 17".into(),
         }));
         roundtrip(Frame::Shutdown);
+        roundtrip(Frame::MetricsRequest {
+            format: metrics_format::PROMETHEUS,
+        });
+        roundtrip(Frame::MetricsReport(MetricsReport {
+            format: metrics_format::JSON,
+            body: br#"{"counters":{}}"#.to_vec(),
+        }));
+        roundtrip(Frame::MetricsReport(MetricsReport {
+            format: metrics_format::BINARY,
+            body: vec![],
+        }));
+    }
+
+    #[test]
+    fn featureless_hello_is_byte_identical_to_legacy_and_decodes_as_zero() {
+        // features == 0 must not change the encoding at all.
+        let h = Hello {
+            proto: 2,
+            max_payload: 1024,
+            info: "legacy".into(),
+            features: 0,
+        };
+        let bytes = encode_frame(&Frame::Hello(h.clone()), 0);
+        // Hand-build the pre-feature payload and compare byte-for-byte.
+        let mut legacy = Vec::new();
+        put_u16(&mut legacy, h.proto);
+        put_u32(&mut legacy, h.max_payload);
+        put_u16(&mut legacy, h.info.len() as u16);
+        legacy.extend_from_slice(h.info.as_bytes());
+        assert_eq!(&bytes[HEADER_LEN..], legacy.as_slice());
+        // And a legacy payload decodes with features == 0.
+        let header = FrameHeader {
+            frame_type: 1,
+            seq: 0,
+            payload_len: legacy.len() as u32,
+            payload_sum: checksum(&legacy),
+        };
+        assert_eq!(decode_payload(&header, &legacy), Ok(Frame::Hello(h)));
+    }
+
+    #[test]
+    fn legacy_stats_report_decodes_with_zero_farm_totals() {
+        let full = StatsReport {
+            channel: 1,
+            batches_accepted: 8,
+            batches_dropped: 0,
+            samples_in: 1000,
+            outputs: 12,
+            queue_len: 0,
+            queue_hwm: 2,
+            busy_ns: 555,
+            farm_jobs_completed: 9,
+            farm_steals: 2,
+            farm_orphans_reclaimed: 0,
+        };
+        let bytes = encode_frame(&Frame::StatsReport(full), 0);
+        // Strip the three trailing farm totals, as an older peer would
+        // have sent, and recompute the checksums.
+        let legacy = bytes[HEADER_LEN..bytes.len() - 24].to_vec();
+        let header = FrameHeader {
+            frame_type: 5,
+            seq: 0,
+            payload_len: legacy.len() as u32,
+            payload_sum: checksum(&legacy),
+        };
+        match decode_payload(&header, &legacy) {
+            Ok(Frame::StatsReport(r)) => {
+                assert_eq!(r.busy_ns, 555);
+                assert_eq!(r.farm_jobs_completed, 0);
+                assert_eq!(r.farm_steals, 0);
+                assert_eq!(r.farm_orphans_reclaimed, 0);
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
     }
 
     #[test]
@@ -922,6 +1120,7 @@ mod tests {
                 proto: 1,
                 max_payload: 1024,
                 info: "pipe".into(),
+                features: feature::METRICS,
             }),
             Frame::Samples(Samples {
                 batch_index: 0,

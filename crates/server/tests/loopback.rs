@@ -414,6 +414,101 @@ fn graceful_server_shutdown_drains_in_flight_batches() {
 }
 
 #[test]
+fn metrics_request_returns_live_per_stage_telemetry_in_all_formats() {
+    use ddc_server::wire::metrics_format;
+    let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr(), "metrics").expect("connect");
+    assert!(
+        client.server_has_metrics(),
+        "server must advertise the metrics feature in its Hello"
+    );
+    client
+        .configure(ConfigPreset::Drm, 10e6, Backpressure::Block, 8)
+        .expect("configure");
+    let chunk = stimulus(2688 * 2, 29);
+    for b in 0..4u64 {
+        client.send_samples(b, &chunk).expect("send");
+        match client.recv().expect("iq") {
+            Frame::Iq(_) => {}
+            other => panic!("expected Iq, got {other:?}"),
+        }
+    }
+
+    // Binary format: decode and inspect the structured snapshot.
+    let report = client
+        .request_metrics(metrics_format::BINARY)
+        .expect("binary metrics");
+    assert_eq!(report.format, metrics_format::BINARY);
+    let snap = ddc_obs::MetricsSnapshot::decode(&report.body).expect("valid binary snapshot");
+    assert!(snap.counter("ddc_farm_jobs_completed_total").unwrap() >= 4);
+    assert!(snap.counter("ddc_server_sessions_active").unwrap() >= 1);
+    // Per-stage counters of the session's channel: every stage of the
+    // DRM chain must have seen the streamed blocks.
+    let channel = {
+        let stats = match (client.send(&Frame::StatsRequest), client.recv()) {
+            (Ok(()), Ok(Frame::StatsReport(r))) => r,
+            other => panic!("stats exchange failed: {other:?}"),
+        };
+        stats.channel
+    };
+    for stage in ["cic2r16", "cic5r21", "fir125r8"] {
+        let name = format!("ddc_stage_blocks_total{{channel=\"{channel}\",stage=\"{stage}\"}}");
+        let blocks = snap.counter(&name).unwrap_or_else(|| {
+            panic!(
+                "missing per-stage counter {name}; have: {:?}",
+                snap.counters.iter().map(|(n, _)| n).collect::<Vec<_>>()
+            )
+        });
+        assert!(blocks >= 4, "{name} = {blocks}");
+        let lat = format!("ddc_stage_latency_ns{{channel=\"{channel}\",stage=\"{stage}\"}}");
+        let h = snap.histogram(&lat).expect("stage latency histogram");
+        assert_eq!(h.count, blocks, "one latency sample per block for {stage}");
+    }
+    // Session-level codec telemetry is live too.
+    let decode = snap
+        .histograms
+        .iter()
+        .find(|(n, _)| n.starts_with("ddc_session_decode_ns"))
+        .map(|(_, h)| h)
+        .expect("session decode histogram");
+    assert!(decode.count >= 4);
+
+    // JSON format parses as the same top-level shape.
+    let json = client
+        .request_metrics(metrics_format::JSON)
+        .expect("json metrics");
+    let text = String::from_utf8(json.body).expect("utf-8 json");
+    assert!(text.starts_with("{\"counters\":{"));
+    assert!(text.contains("ddc_farm_jobs_completed_total"));
+    assert!(text.contains("ddc_stage_latency_ns"));
+
+    // Prometheus text carries the histogram family with +Inf buckets.
+    let prom = client
+        .request_metrics(metrics_format::PROMETHEUS)
+        .expect("prometheus metrics");
+    let text = String::from_utf8(prom.body).expect("utf-8 prom");
+    assert!(text.contains("# TYPE ddc_farm_jobs_completed_total counter"));
+    assert!(text.contains("le=\"+Inf\""));
+    assert!(text.contains("ddc_stage_latency_ns_bucket"));
+
+    // An unknown format byte is refused without killing the session.
+    match client.request_metrics(99) {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, error_code::PROTOCOL),
+        other => panic!("expected remote error for unknown format, got {other:?}"),
+    }
+    client.send(&Frame::StatsRequest).expect("still alive");
+    match client.recv().expect("stats after refused metrics") {
+        Frame::StatsReport(r) => {
+            assert_eq!(r.batches_accepted, 4);
+            assert!(r.farm_jobs_completed >= 4, "farm totals ride on stats");
+        }
+        other => panic!("expected StatsReport, got {other:?}"),
+    }
+    let _ = client.send(&Frame::Shutdown);
+    assert!(server.shutdown(Duration::from_secs(5)));
+}
+
+#[test]
 fn stats_requests_track_progress_midstream() {
     let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
     let mut client = Client::connect(server.local_addr(), "stats").expect("connect");

@@ -46,7 +46,15 @@ def stages_of(doc):
     return stages
 
 
-def run_gate(base, fresh, max_drop, allow_missing=False, out=sys.stdout, err=sys.stderr):
+def run_gate(
+    base,
+    fresh,
+    max_drop,
+    allow_missing=False,
+    max_telemetry_overhead=None,
+    out=sys.stdout,
+    err=sys.stderr,
+):
     """Gates `fresh` stage dict against `base`; returns the exit code."""
     failures = []
     missing = []
@@ -80,6 +88,29 @@ def run_gate(base, fresh, max_drop, allow_missing=False, out=sys.stdout, err=sys
     for name in sorted(set(fresh) - set(base)):
         print(f"NOTE  {name}: new stage, no baseline (skipped)", file=out)
 
+    # The telemetry-overhead ratio is an absolute bound on the *fresh*
+    # run, not a baseline comparison: instrumentation must stay cheap
+    # no matter what the committed baseline recorded.
+    overhead_bad = False
+    if max_telemetry_overhead is not None:
+        entry = fresh.get("telemetry_overhead")
+        if entry is None or "overhead_frac" not in entry:
+            print(
+                "FAIL  telemetry_overhead.overhead_frac: absent from fresh "
+                "run (expected the bench to emit it)",
+                file=err,
+            )
+            overhead_bad = True
+        else:
+            frac = entry["overhead_frac"]
+            status = "FAIL" if frac > max_telemetry_overhead else "ok"
+            print(
+                f"{status:<5} telemetry_overhead.overhead_frac: {frac:.2%} "
+                f"(limit {max_telemetry_overhead:.1%})",
+                file=out,
+            )
+            overhead_bad = frac > max_telemetry_overhead
+
     if missing and not allow_missing:
         print(
             f"\nbench gate: {len(missing)} baseline stage(s) missing from "
@@ -92,6 +123,13 @@ def run_gate(base, fresh, max_drop, allow_missing=False, out=sys.stdout, err=sys
         print(
             f"\nbench gate: {len(failures)} metric(s) regressed more than "
             f"{max_drop:.0%}",
+            file=err,
+        )
+        return 1
+    if overhead_bad:
+        print(
+            f"\nbench gate: telemetry overhead exceeds "
+            f"{max_telemetry_overhead:.1%}",
             file=err,
         )
         return 1
@@ -166,7 +204,43 @@ def self_test():
     code, out, err = gate(base_partial, doc(server_loopback={"block_msps": 1.0}))
     check("single-metric stages still fail on regression", code == 1)
 
-    # 8. the pipelined scalar key is folded in as a stage
+    # 8. telemetry overhead under the bound passes, over it fails,
+    #    and an absent stage fails loudly when the bound is requested
+    tele_base = doc(
+        nco={"per_sample_msps": 100.0, "block_msps": 200.0},
+        telemetry_overhead={"block_msps": 50.0, "overhead_frac": 0.004},
+    )
+    tele_ok = doc(
+        nco={"per_sample_msps": 100.0, "block_msps": 200.0},
+        telemetry_overhead={"block_msps": 50.0, "overhead_frac": 0.006},
+    )
+    code, out, err = gate(tele_base, tele_ok, max_telemetry_overhead=0.01)
+    check("telemetry overhead under bound passes", code == 0 and "ok" in out)
+    tele_slow = doc(
+        nco={"per_sample_msps": 100.0, "block_msps": 200.0},
+        telemetry_overhead={"block_msps": 50.0, "overhead_frac": 0.03},
+    )
+    code, out, err = gate(tele_base, tele_slow, max_telemetry_overhead=0.01)
+    check(
+        "telemetry overhead over bound fails",
+        code == 1 and "overhead" in err,
+    )
+    code, out, err = gate(
+        tele_base,
+        doc(
+            nco={"per_sample_msps": 100.0, "block_msps": 200.0},
+            telemetry_overhead={"block_msps": 50.0, "overhead_frac": 0.03},
+        ),
+    )
+    check("overhead ignored when no bound is requested", code == 0)
+    no_tele = doc(nco={"per_sample_msps": 100.0, "block_msps": 200.0})
+    code, out, err = gate(tele_base, no_tele, max_telemetry_overhead=0.01)
+    check(
+        "absent overhead stage fails when bound requested",
+        code == 1 and "absent" in err,
+    )
+
+    # 9. the pipelined scalar key is folded in as a stage
     base_scalar = {"stages": [], "pipelined_two_thread_msps": 50.0}
     fresh_scalar = {"stages": [], "pipelined_two_thread_msps": 10.0}
     code, out, err = gate(base_scalar, fresh_scalar)
@@ -197,6 +271,13 @@ def main():
         "from the fresh run",
     )
     ap.add_argument(
+        "--max-telemetry-overhead",
+        type=float,
+        default=None,
+        help="fail when the fresh run's telemetry_overhead.overhead_frac "
+        "exceeds this fraction (absolute bound, no baseline needed)",
+    )
+    ap.add_argument(
         "--self-test",
         action="store_true",
         help="run the gate's own decision-table tests and exit",
@@ -211,7 +292,11 @@ def main():
     base = load_stages(args.baseline)
     fresh = load_stages(args.fresh)
     return run_gate(
-        base, fresh, args.max_drop, allow_missing=args.allow_missing
+        base,
+        fresh,
+        args.max_drop,
+        allow_missing=args.allow_missing,
+        max_telemetry_overhead=args.max_telemetry_overhead,
     )
 
 
