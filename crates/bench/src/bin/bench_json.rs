@@ -254,6 +254,50 @@ fn main() {
             block_msps: blk / 1e6,
             extra: Vec::new(),
         });
+        println!(
+            "fir_seq auto-selected kernel: {} (simd feature {})",
+            fir_b.kernel_label(),
+            if cfg!(feature = "simd") { "on" } else { "off" },
+        );
+
+        // Kernel-layout shootout: the same filter, same stimulus, with
+        // each block kernel forced, racing the layouts against each
+        // other. `fir_seq_*` above stays the auto-selected winner; the
+        // per-variant stages are block-only (the per-sample reference
+        // path is identical for every variant). The SIMD stage exists
+        // only under `--features simd`, so it must not enter the
+        // committed baseline (the gate treats baseline-only stages as
+        // failures).
+        let variants: &[(ddc_core::fir::FirKernelSel, &str)] = &[
+            (ddc_core::fir::FirKernelSel::Generic, "fir_generic"),
+            (ddc_core::fir::FirKernelSel::Flat, "fir_flat"),
+            (ddc_core::fir::FirKernelSel::Poly, "fir_poly"),
+            (ddc_core::fir::FirKernelSel::Sym, "fir_sym"),
+            #[cfg(feature = "simd")]
+            (ddc_core::fir::FirKernelSel::Simd, "fir_simd"),
+        ];
+        for &(sel, prefix) in variants {
+            let mut fir_v = SequentialFir::with_kernel(
+                &coeffs,
+                cfg.fir_decim,
+                f.data_bits,
+                f.coeff_bits,
+                f.fir_acc_bits,
+                sel,
+            );
+            println!("{prefix} resolves to kernel: {}", fir_v.kernel_label());
+            let blk = measure(n, || {
+                out.clear();
+                fir_v.process_block(&adc_i64, &mut out);
+                black_box(out.len());
+            });
+            results.push(StageResult {
+                name: format!("{prefix}_{}tap_r{}", coeffs.len(), cfg.fir_decim),
+                per_sample_msps: None,
+                block_msps: blk / 1e6,
+                extra: Vec::new(),
+            });
+        }
     }
 
     // --- Full fixed-point chains, one per registry spec -----------

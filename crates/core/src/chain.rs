@@ -300,10 +300,20 @@ impl FixedScratch {
 }
 
 /// One built stage of the bit-true chain: matched I/Q processors.
+/// The FIRs are boxed — `SequentialFir` carries its coefficient
+/// layouts and history buffers inline, so an unboxed pair would
+/// dominate the enum size for every CIC stage too; the one pointer
+/// chase per *block* call is free.
 #[derive(Clone, Debug)]
 enum FixedStage {
-    Cic { i: CicDecimator, q: CicDecimator },
-    Fir { i: SequentialFir, q: SequentialFir },
+    Cic {
+        i: CicDecimator,
+        q: CicDecimator,
+    },
+    Fir {
+        i: Box<SequentialFir>,
+        q: Box<SequentialFir>,
+    },
 }
 
 /// The bit-true fixed-point DDC: LUT NCO, saturating mixer, wrapping
@@ -389,13 +399,13 @@ impl FixedDdc {
                     let coeffs = quantize_taps(taps, f.coeff_bits, f.coeff_frac());
                     nominal_gain *= coeffs.iter().map(|&c| f64::from(c)).sum::<f64>()
                         / 2f64.powi(f.coeff_frac() as i32);
-                    let fir = SequentialFir::new(
+                    let fir = Box::new(SequentialFir::new(
                         &coeffs,
                         *decim,
                         f.data_bits,
                         f.coeff_bits,
                         f.fir_acc_bits,
-                    );
+                    ));
                     stages.push(FixedStage::Fir {
                         i: fir.clone(),
                         q: fir,
@@ -439,6 +449,36 @@ impl FixedDdc {
     /// The activity probes, when enabled.
     pub fn probes(&self) -> Option<&ChainProbes> {
         self.probes.as_ref()
+    }
+
+    /// The block kernel each stage resolved to at construction, as
+    /// `(stage label, kernel label)` pairs aligned with the spec's
+    /// stages — `("fir125r8", "sym_const")`, `("cic2r16",
+    /// "fused_avx2")`, … The head CIC reports the front-end kernel
+    /// (NCO + mixer + CIC run fused there); later CICs report the
+    /// plain grouped block kernel. Telemetry exports these labels so
+    /// dashboards can tell *which* code path produced the timings,
+    /// at zero hot-path cost (resolution happened at construction).
+    pub fn stage_kernels(&self) -> Vec<(String, &'static str)> {
+        self.spec
+            .stages
+            .iter()
+            .zip(&self.stages)
+            .enumerate()
+            .map(|(k, (st, built))| {
+                let kernel = match built {
+                    FixedStage::Cic { i, q } => {
+                        if k == 0 {
+                            crate::frontend::front_end_kernel_label(&self.mixer, i, q)
+                        } else {
+                            "cic_block"
+                        }
+                    }
+                    FixedStage::Fir { i, .. } => i.kernel_label(),
+                };
+                (st.label(), kernel)
+            })
+            .collect()
     }
 
     /// Installs (or removes) the telemetry handle the block path
@@ -971,6 +1011,25 @@ mod tests {
         for sm in &metrics.stages {
             assert_eq!(sm.latency_ns.count(), n_blocks, "stage {}", sm.name);
         }
+    }
+
+    #[test]
+    fn stage_kernels_name_every_stage() {
+        let ddc = FixedDdc::new(DdcConfig::drm(10e6));
+        let kernels = ddc.stage_kernels();
+        assert_eq!(kernels.len(), 3);
+        assert_eq!(kernels[0].0, "cic2r16");
+        assert!(
+            kernels[0].1.starts_with("fused"),
+            "head CIC runs the fused front end, got {}",
+            kernels[0].1
+        );
+        assert_eq!(kernels[1], ("cic5r21".into(), "cic_block"));
+        assert_eq!(kernels[2].0, "fir125r8");
+        // The DRM taps are linear-phase and pass the width audit, so
+        // the FIR must have resolved to a specialised kernel, never
+        // the generic reference path.
+        assert_ne!(kernels[2].1, "generic");
     }
 
     #[test]

@@ -664,9 +664,20 @@ impl DdcFarm {
             .map(|c| c.lock().unwrap())
             .collect();
         let totals = self.totals();
-        let channels: Vec<(ChannelStats, Option<Arc<ChainMetrics>>)> = guards
+        type ChannelView = (
+            ChannelStats,
+            Option<Arc<ChainMetrics>>,
+            Vec<(String, &'static str)>,
+        );
+        let channels: Vec<ChannelView> = guards
             .iter()
-            .map(|g| (g.stats, g.ddc.metrics().shared().cloned()))
+            .map(|g| {
+                (
+                    g.stats,
+                    g.ddc.metrics().shared().cloned(),
+                    g.ddc.stage_kernels(),
+                )
+            })
             .collect();
         drop(guards);
 
@@ -701,7 +712,7 @@ impl DdcFarm {
                 ns.snapshot(),
             );
         }
-        for (ch, (stats, cm)) in channels.iter().enumerate() {
+        for (ch, (stats, cm, kernels)) in channels.iter().enumerate() {
             let lbl = format!("{{channel=\"{ch}\"}}");
             snap.push_counter(format!("ddc_channel_batches_total{lbl}"), stats.batches);
             snap.push_counter(
@@ -713,6 +724,19 @@ impl DdcFarm {
                 format!("ddc_channel_busy_ns_total{lbl}"),
                 stats.busy.as_nanos().min(u64::MAX as u128) as u64,
             );
+            // Which specialised kernel each stage resolved to — a
+            // static info gauge (constant 1) in the Prometheus
+            // `build_info` idiom. Resolution happened at chain
+            // construction; reading the label here costs nothing on
+            // the processing path.
+            for (stage, kernel) in kernels {
+                snap.push_counter(
+                    format!(
+                        "ddc_stage_kernel_info{{channel=\"{ch}\",stage=\"{stage}\",kernel=\"{kernel}\"}}"
+                    ),
+                    1,
+                );
+            }
             if let Some(cm) = cm {
                 snap.push_hist(
                     format!("ddc_chain_latency_ns{lbl}"),
@@ -961,6 +985,20 @@ mod tests {
             let h = snap.histogram(&lat).expect("stage latency exported");
             assert_eq!(h.count, 3);
             assert!(h.max > 0);
+            // Each stage reports the kernel it resolved to as an info
+            // gauge; the DRM FIR never runs the generic fallback.
+            let fir_info = snap
+                .counters
+                .iter()
+                .find(|(name, _)| {
+                    name.starts_with("ddc_stage_kernel_info{")
+                        && name.contains(&format!("channel=\"{ch}\""))
+                        && name.contains("stage=\"fir125r8\"")
+                })
+                .map(|(name, v)| (name.clone(), *v))
+                .expect("FIR kernel info exported");
+            assert_eq!(fir_info.1, 1);
+            assert!(!fir_info.0.contains("kernel=\"generic\""), "{}", fir_info.0);
         }
         // Batch-size histogram saw each submit at block granularity.
         let bs = snap.histogram("ddc_batch_samples").unwrap();

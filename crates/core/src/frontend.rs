@@ -72,6 +72,31 @@ pub fn process_front_end(
     }
 }
 
+/// Short label of the kernel [`process_front_end`] will run for these
+/// stage objects — the name per-stage telemetry reports. Resolved the
+/// same way the dispatch above resolves it, including the runtime AVX2
+/// probe, so the label always matches the code that actually runs.
+pub fn front_end_kernel_label(
+    mixer: &FixedMixer,
+    cic_i: &CicDecimator,
+    cic_q: &CicDecimator,
+) -> &'static str {
+    let fusable = cic_i.order() == 2
+        && cic_i.diff_delay() == 1
+        && cic_q.order() == 2
+        && cic_q.diff_delay() == 1
+        && cic_i.decimation() == cic_q.decimation();
+    if !fusable {
+        return "staged_scalar";
+    }
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::usable(mixer, cic_i) {
+        return "fused_avx2";
+    }
+    let _ = mixer;
+    "fused_scalar"
+}
+
 /// The fused fast path: order-2, `M == 1` CIC1 on both rails.
 fn fused_order2(
     nco: &mut LutNco,
@@ -82,6 +107,10 @@ fn fused_order2(
     out_i: &mut Vec<i64>,
     out_q: &mut Vec<i64>,
 ) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::usable(mixer, cic_i) {
+        return simd::fused_order2_avx2(nco, mixer, cic_i, cic_q, input, out_i, out_q);
+    }
     // NCO constants and state, hoisted as in `LutNco::fill_block`.
     let addr_bits = nco.addr_bits();
     let n_shift = 32 - addr_bits;
@@ -156,28 +185,243 @@ fn fused_order2(
             ai1 = wrap(ai1, w);
             aq0 = wrap(aq0, w);
             aq1 = wrap(aq1, w);
-            let mut v = ai1;
-            let t = di0;
-            di0 = v;
-            v = wrap(v.wrapping_sub(t), w);
-            let t = di1;
-            di1 = v;
-            v = wrap(v.wrapping_sub(t), w);
-            out_i.push(saturate(trunc_shift(v, out_shift), out_bits));
-            let mut v = aq1;
-            let t = dq0;
-            dq0 = v;
-            v = wrap(v.wrapping_sub(t), w);
-            let t = dq1;
-            dq1 = v;
-            v = wrap(v.wrapping_sub(t), w);
-            out_q.push(saturate(trunc_shift(v, out_shift), out_bits));
+            out_i.push(comb2_output(
+                ai1, &mut di0, &mut di1, w, out_shift, out_bits,
+            ));
+            out_q.push(comb2_output(
+                aq1, &mut dq0, &mut dq1, w, out_shift, out_bits,
+            ));
         }
     }
 
     nco.set_phase(phase);
     cic_i.set_order2_state(ai0, ai1, di0, di1, cic_phase as u32);
     cic_q.set_order2_state(aq0, aq1, dq0, dq1, cic_phase as u32);
+}
+
+/// AVX2 fused front end (`--features simd`): the mixer runs 8-wide in
+/// `i32` lanes (phase vector arithmetic, two table gathers, `mullo`,
+/// round-shift-clamp) and the order-2 integrator cascade over each
+/// decimation group collapses to two data-parallel reductions via
+///
+/// ```text
+/// a1' = a1 + g·a0 + Σₖ (g−k)·mₖ        a0' = a0 + Σₖ mₖ
+/// ```
+///
+/// (after sample `k` the first integrator holds `a0 + Σ_{j≤k} m_j`, the
+/// second accumulates each of those, and `m_j` appears in `g−j` of
+/// them). Only group-boundary values feed the comb, so the per-sample
+/// serial dependency disappears and both sums vectorise.
+///
+/// Bit-exactness: [`usable`] requires every mixer product (plus the
+/// rounding constant) and every `weight·m` product to fit `i32`, so the
+/// 32-bit lane arithmetic is exact; the group sums are exact in `i64`
+/// (tiny: ≤ `r²·2^{data_bits−1}`); and the final group update uses
+/// wrapping `i64` ops, over which multiplication distributes mod 2⁶⁴ —
+/// the same congruence argument as the scalar path's deferred wrap.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod simd {
+    use super::comb2_output;
+    use crate::cic::CicDecimator;
+    use crate::mixer::FixedMixer;
+    use crate::nco::LutNco;
+    use ddc_dsp::fixed::{max_signed, min_signed, wrap};
+    use std::arch::x86_64::*;
+
+    /// Preconditions for the 32-bit lane arithmetic to be exact, plus
+    /// the runtime CPU check.
+    pub fn usable(mixer: &FixedMixer, cic: &CicDecimator) -> bool {
+        let db = mixer.data_bits();
+        let cb = mixer.coeff_frac() + 1;
+        // Mixer product + rounding constant fits i32 …
+        db + cb <= 32
+            // … post-clamp |m| ≤ 2^(db−1), so weight·m fits i32 when
+            // r·2^(db−1) does …
+            && i64::from(cic.decimation()) * (1i64 << (db - 1)) <= i64::from(i32::MAX)
+            // … and the CPU actually has the instructions.
+            && is_x86_feature_detected!("avx2")
+    }
+
+    /// Horizontal sum of four i64 lanes. Exact: callers only feed it
+    /// group-bounded sums far below i64 range.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epi64(v: __m256i) -> i64 {
+        let mut lanes = [0i64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    }
+
+    /// Widens 8 i32 lanes to 4 i64 lanes by summing adjacent halves.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn widen_sum(v: __m256i) -> __m256i {
+        let lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v));
+        let hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1));
+        _mm256_add_epi64(lo, hi)
+    }
+
+    /// Safe wrapper: construction-time [`usable`] gate guarantees AVX2.
+    pub fn fused_order2_avx2(
+        nco: &mut LutNco,
+        mixer: &FixedMixer,
+        cic_i: &mut CicDecimator,
+        cic_q: &mut CicDecimator,
+        input: &[i32],
+        out_i: &mut Vec<i64>,
+        out_q: &mut Vec<i64>,
+    ) {
+        unsafe { run(nco, mixer, cic_i, cic_q, input, out_i, out_q) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_lines)]
+    unsafe fn run(
+        nco: &mut LutNco,
+        mixer: &FixedMixer,
+        cic_i: &mut CicDecimator,
+        cic_q: &mut CicDecimator,
+        input: &[i32],
+        out_i: &mut Vec<i64>,
+        out_q: &mut Vec<i64>,
+    ) {
+        // Same hoisted state as the scalar kernel.
+        let addr_bits = nco.addr_bits();
+        let n_shift = 32 - addr_bits;
+        let n_mask = (1u32 << addr_bits) - 1;
+        let quarter = 1u32 << (addr_bits - 2);
+        let word = nco.tuning_word();
+        let table = nco.table();
+        let mut phase = nco.phase();
+        let half = 1i32 << (mixer.coeff_frac() - 1);
+        let m_shift = mixer.coeff_frac();
+        let top = max_signed(mixer.data_bits()) as i32;
+        let bot = min_signed(mixer.data_bits()) as i32;
+        let r = cic_i.decimation() as usize;
+        let w = cic_i.register_bits();
+        let out_shift = cic_i.output_shift();
+        let out_bits = cic_i.out_bits();
+        let (mut ai0, mut ai1, mut di0, mut di1, start_phase) = cic_i.order2_state();
+        let (mut aq0, mut aq1, mut dq0, mut dq1, _) = cic_q.order2_state();
+        let mut cic_phase = start_phase as usize;
+
+        out_i.reserve(input.len() / r + 1);
+        out_q.reserve(input.len() / r + 1);
+
+        // Vector constants.
+        let lane_ids = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+        // k·word offsets; mullo wraps mod 2³², matching u32 phase math.
+        let phase_steps = _mm256_mullo_epi32(_mm256_set1_epi32(word as i32), lane_ids);
+        let word8 = word.wrapping_mul(8);
+        let mask_v = _mm256_set1_epi32(n_mask as i32);
+        let quarter_v = _mm256_set1_epi32(quarter as i32);
+        let half_v = _mm256_set1_epi32(half);
+        let top_v = _mm256_set1_epi32(top);
+        let bot_v = _mm256_set1_epi32(bot);
+        let zero = _mm256_setzero_si256();
+        let shift_n = _mm_cvtsi32_si128(n_shift as i32);
+        let shift_m = _mm_cvtsi32_si128(m_shift as i32);
+
+        let mut i = 0;
+        while i < input.len() {
+            let take = (r - cic_phase).min(input.len() - i);
+            let group = &input[i..i + take];
+            let mut sum_i_v = zero;
+            let mut wsum_i_v = zero;
+            let mut sum_q_v = zero;
+            let mut wsum_q_v = zero;
+            let mut k = 0;
+            while k + 8 <= take {
+                let ph = _mm256_add_epi32(_mm256_set1_epi32(phase as i32), phase_steps);
+                let idx = _mm256_srl_epi32(ph, shift_n);
+                let sin_idx = _mm256_and_si256(idx, mask_v);
+                let cos_idx = _mm256_and_si256(_mm256_add_epi32(idx, quarter_v), mask_v);
+                let sin = _mm256_i32gather_epi32::<4>(table.as_ptr(), sin_idx);
+                let cos = _mm256_i32gather_epi32::<4>(table.as_ptr(), cos_idx);
+                let x = _mm256_loadu_si256(group.as_ptr().add(k) as *const __m256i);
+                let pi = _mm256_add_epi32(_mm256_mullo_epi32(x, cos), half_v);
+                let pq =
+                    _mm256_add_epi32(_mm256_mullo_epi32(x, _mm256_sub_epi32(zero, sin)), half_v);
+                let mi = _mm256_max_epi32(
+                    _mm256_min_epi32(_mm256_sra_epi32(pi, shift_m), top_v),
+                    bot_v,
+                );
+                let mq = _mm256_max_epi32(
+                    _mm256_min_epi32(_mm256_sra_epi32(pq, shift_m), top_v),
+                    bot_v,
+                );
+                // Per-lane weights g−k, g−k−1, …, g−k−7.
+                let wv = _mm256_sub_epi32(_mm256_set1_epi32((take - k) as i32), lane_ids);
+                sum_i_v = _mm256_add_epi64(sum_i_v, widen_sum(mi));
+                wsum_i_v = _mm256_add_epi64(wsum_i_v, widen_sum(_mm256_mullo_epi32(wv, mi)));
+                sum_q_v = _mm256_add_epi64(sum_q_v, widen_sum(mq));
+                wsum_q_v = _mm256_add_epi64(wsum_q_v, widen_sum(_mm256_mullo_epi32(wv, mq)));
+                phase = phase.wrapping_add(word8);
+                k += 8;
+            }
+            let mut sum_i = hsum_epi64(sum_i_v);
+            let mut wsum_i = hsum_epi64(wsum_i_v);
+            let mut sum_q = hsum_epi64(sum_q_v);
+            let mut wsum_q = hsum_epi64(wsum_q_v);
+            // Scalar tail of the group, weights continuing downward.
+            let mut weight = (take - k) as i64;
+            for &x in &group[k..] {
+                let idx = phase >> n_shift;
+                let sin = i64::from(table[(idx & n_mask) as usize]);
+                let cos = i64::from(table[(idx.wrapping_add(quarter) & n_mask) as usize]);
+                phase = phase.wrapping_add(word);
+                let xw = i64::from(x);
+                let mi =
+                    ((xw * cos + i64::from(half)) >> m_shift).clamp(i64::from(bot), i64::from(top));
+                let mq = ((xw * -sin + i64::from(half)) >> m_shift)
+                    .clamp(i64::from(bot), i64::from(top));
+                sum_i += mi;
+                wsum_i += weight * mi;
+                sum_q += mq;
+                wsum_q += weight * mq;
+                weight -= 1;
+            }
+            let g = take as i64;
+            ai1 = ai1.wrapping_add(g.wrapping_mul(ai0)).wrapping_add(wsum_i);
+            ai0 = ai0.wrapping_add(sum_i);
+            aq1 = aq1.wrapping_add(g.wrapping_mul(aq0)).wrapping_add(wsum_q);
+            aq0 = aq0.wrapping_add(sum_q);
+            i += take;
+            cic_phase += take;
+            if cic_phase == r {
+                cic_phase = 0;
+                ai0 = wrap(ai0, w);
+                ai1 = wrap(ai1, w);
+                aq0 = wrap(aq0, w);
+                aq1 = wrap(aq1, w);
+                out_i.push(comb2_output(
+                    ai1, &mut di0, &mut di1, w, out_shift, out_bits,
+                ));
+                out_q.push(comb2_output(
+                    aq1, &mut dq0, &mut dq1, w, out_shift, out_bits,
+                ));
+            }
+        }
+
+        nco.set_phase(phase);
+        cic_i.set_order2_state(ai0, ai1, di0, di1, cic_phase as u32);
+        cic_q.set_order2_state(aq0, aq1, dq0, dq1, cic_phase as u32);
+    }
+}
+
+/// The order-2 comb pair and the truncate-saturate output stage, shared
+/// by the scalar and SIMD fused kernels.
+#[inline]
+fn comb2_output(a1: i64, d0: &mut i64, d1: &mut i64, w: u32, out_shift: u32, out_bits: u32) -> i64 {
+    let mut v = a1;
+    let t = *d0;
+    *d0 = v;
+    v = wrap(v.wrapping_sub(t), w);
+    let t = *d1;
+    *d1 = v;
+    v = wrap(v.wrapping_sub(t), w);
+    saturate(trunc_shift(v, out_shift), out_bits)
 }
 
 /// A self-contained fused front end: owns the NCO, mixer and the two

@@ -41,7 +41,11 @@
 //! * [`pruned`] — a Hogenauer register-pruned CIC (area/noise study).
 //! * [`duc`] — the transmit-side dual (up-converter) for loopback tests.
 
-#![forbid(unsafe_code)]
+// The only unsafe in the crate is the feature-gated `std::arch` FIR
+// kernel (`fir::simd`), which carries its own scoped allow; default
+// builds still forbid unsafe outright.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod activity;
@@ -63,4 +67,4 @@ pub use ddc_obs::{ChainMetrics, MetricsHandle, MetricsSnapshot};
 pub use engine::{DdcFarm, FarmMetrics, FarmTotals};
 pub use frontend::FusedFrontEnd;
 pub use params::{DdcConfig, FixedFormat};
-pub use spec::{ChainSpec, SpecError, StageSpec};
+pub use spec::{ChainSpec, SpecError, SpecNote, SpecNoteKind, StageSpec};

@@ -210,6 +210,32 @@ impl fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
+/// Kinds of non-fatal observation [`ChainSpec::notes`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecNoteKind {
+    /// A FIR stage's taps, once quantized to the spec's coefficient
+    /// width, are not an even-symmetric palindrome, so the
+    /// symmetric-fold FIR kernel cannot engage and the stage falls
+    /// back to an unfolded dot product. Valid but slower — worth
+    /// surfacing because linear-phase designs normally survive
+    /// quantization symmetric, and losing symmetry usually means the
+    /// taps were post-processed (truncated, perturbed) after design.
+    AsymmetricFirTaps,
+}
+
+/// One non-fatal, structured observation about a valid spec —
+/// something [`ChainSpec::validate`] deliberately does *not* reject
+/// but that changes which kernels the bit-true chain can select.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecNote {
+    /// Index of the stage the note concerns.
+    pub stage: usize,
+    /// Machine-readable category.
+    pub kind: SpecNoteKind,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
 /// A validated, serializable description of a full DDC chain: input
 /// rate, tuning, ordered decimation stages and fixed-point format.
 #[derive(Clone, Debug, PartialEq)]
@@ -452,6 +478,45 @@ impl ChainSpec {
             });
         }
         Ok(())
+    }
+
+    /// Non-fatal observations about the plan: structured notes for
+    /// conditions [`ChainSpec::validate`] accepts but that degrade the
+    /// kernels [`crate::chain::FixedDdc`] can select. Today that is
+    /// one condition — FIR taps that quantize asymmetric at this
+    /// spec's coefficient width ([`SpecNoteKind::AsymmetricFirTaps`]),
+    /// which makes the symmetric-fold kernel fall back cleanly to an
+    /// unfolded dot instead of silently mis-folding. The check runs on
+    /// the *quantized* taps, exactly the values the bit-true chain
+    /// will load.
+    pub fn notes(&self) -> Vec<SpecNote> {
+        let f = self.format;
+        let mut notes = Vec::new();
+        for (k, s) in self.stages.iter().enumerate() {
+            if let StageSpec::Fir { taps, .. } = s {
+                // Skip shapes validate() rejects; notes are only
+                // meaningful on top of a valid spec.
+                if taps.is_empty() || taps.iter().any(|t| !t.is_finite()) {
+                    continue;
+                }
+                let q = firdes::quantize_taps(taps, f.coeff_bits, f.coeff_frac());
+                if !firdes::is_linear_phase(&q) {
+                    notes.push(SpecNote {
+                        stage: k,
+                        kind: SpecNoteKind::AsymmetricFirTaps,
+                        message: format!(
+                            "stage {k} ({}) FIR taps quantize asymmetric at \
+                             {} coefficient bits: the symmetric-fold kernel \
+                             cannot engage and the stage falls back to an \
+                             unfolded dot product",
+                            s.label(),
+                            f.coeff_bits,
+                        ),
+                    });
+                }
+            }
+        }
+        notes
     }
 
     /// Validates and additionally checks an externally declared total
@@ -883,6 +948,41 @@ mod tests {
         let mut s = ChainSpec::drm_reference();
         s.input_rate = -1.0;
         assert!(matches!(s.validate(), Err(SpecError::BadRate(_))));
+    }
+
+    #[test]
+    fn notes_flag_asymmetric_quantized_fir_taps() {
+        // Every preset designs linear-phase FIRs that stay palindromic
+        // through quantization: no notes.
+        for s in ChainSpec::registry() {
+            assert_eq!(s.notes(), vec![], "unexpected notes on {}", s.name);
+        }
+
+        // Perturbing one tap by well over an LSB breaks the quantized
+        // palindrome: a structured note names the stage, and the spec
+        // stays valid (fallback, not rejection).
+        let mut s = ChainSpec::drm_reference();
+        if let StageSpec::Fir { taps, .. } = &mut s.stages[2] {
+            taps[3] += 0.01;
+        }
+        s.validate().unwrap();
+        let notes = s.notes();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].stage, 2);
+        assert_eq!(notes[0].kind, SpecNoteKind::AsymmetricFirTaps);
+        assert!(
+            notes[0].message.contains("fir125r8"),
+            "{}",
+            notes[0].message
+        );
+
+        // Non-FIR stages and invalid tap shapes produce no notes.
+        let mut s = ChainSpec::drm_reference();
+        s.stages[2] = StageSpec::Fir {
+            taps: vec![f64::NAN; 5],
+            decim: 8,
+        };
+        assert!(s.notes().is_empty());
     }
 
     #[test]

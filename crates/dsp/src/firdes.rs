@@ -240,6 +240,18 @@ pub fn quantize_taps(h: &[f64], bits: u32, frac_bits: u32) -> Vec<i32> {
         .collect()
 }
 
+/// True when quantized taps are an even-symmetric palindrome
+/// (`h[i] == h[N−1−i]` for all `i`) — a linear-phase type I/II design.
+/// Only this symmetry admits the fold `h[i]·(x[i] + x[N−1−i])` that the
+/// symmetric FIR kernel uses to halve its multiplies; odd-symmetric
+/// (type III/IV) and asymmetric designs return `false` and must take a
+/// non-folding kernel. The check runs on the *quantized* taps: rounding
+/// can break a symmetry the `f64` design had, and exact integer
+/// equality is what the fold's bit-exactness actually requires.
+pub fn is_linear_phase(coeffs: &[i32]) -> bool {
+    !coeffs.is_empty() && coeffs.iter().eq(coeffs.iter().rev())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +269,31 @@ mod tests {
         for i in 0..h.len() {
             assert!((h[i] - h[h.len() - 1 - i]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn is_linear_phase_accepts_quantized_symmetric_designs() {
+        for n in [124usize, 125] {
+            let h = lowpass(n, 0.1, Window::Kaiser(8.0));
+            let q = quantize_taps(&h, 12, 11);
+            assert!(is_linear_phase(&q), "n = {n}");
+        }
+        assert!(is_linear_phase(&[7]));
+        assert!(is_linear_phase(&[3, -5, -5, 3]));
+        assert!(is_linear_phase(&[3, -5, 9, -5, 3]));
+    }
+
+    #[test]
+    fn is_linear_phase_rejects_asymmetric_and_odd_symmetric() {
+        assert!(!is_linear_phase(&[]));
+        assert!(!is_linear_phase(&[1, 2, 3]));
+        // Odd (type III/IV) symmetry h[i] == −h[N−1−i] must not fold.
+        assert!(!is_linear_phase(&[3, -5, 0, 5, -3]));
+        // One LSB of quantization noise breaks the fold contract.
+        let h = lowpass(125, 0.1, Window::Kaiser(8.0));
+        let mut q = quantize_taps(&h, 12, 11);
+        q[0] += 1;
+        assert!(!is_linear_phase(&q));
     }
 
     #[test]

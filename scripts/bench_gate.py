@@ -15,8 +15,15 @@ downgrade that to a warning (e.g. while bisecting across a rename).
 A stage present only in the *fresh* run is a new stage with no
 baseline — noted and skipped in either mode.
 
+Absolute floors (``--min stage:metric=value``, repeatable) gate the
+*fresh* run directly, with no baseline comparison: the FIR-kernel
+shootout's acceptance numbers (e.g. ``fir_seq_125tap_r8:block_msps``)
+are claims about absolute throughput, which a relative gate cannot
+protect once a slow run is ever committed as the baseline.
+
 Usage:
     python3 scripts/bench_gate.py BASELINE.json FRESH.json [--max-drop 0.25]
+    python3 scripts/bench_gate.py BASE.json FRESH.json --min fir_seq_125tap_r8:block_msps=213
     python3 scripts/bench_gate.py --self-test
 """
 
@@ -46,12 +53,25 @@ def stages_of(doc):
     return stages
 
 
+def parse_min(spec):
+    """Parses one ``stage:metric=value`` floor into a tuple."""
+    try:
+        target, value = spec.rsplit("=", 1)
+        stage, metric = target.split(":", 1)
+        return stage, metric, float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected stage:metric=value, got {spec!r}"
+        )
+
+
 def run_gate(
     base,
     fresh,
     max_drop,
     allow_missing=False,
     max_telemetry_overhead=None,
+    mins=(),
     out=sys.stdout,
     err=sys.stderr,
 ):
@@ -111,6 +131,30 @@ def run_gate(
             )
             overhead_bad = frac > max_telemetry_overhead
 
+    # Absolute floors on the fresh run: the shootout's acceptance
+    # numbers must hold outright, independent of what the committed
+    # baseline happens to record.
+    floor_bad = False
+    for stage, metric, floor in mins:
+        entry = fresh.get(stage)
+        value = None if entry is None else entry.get(metric)
+        if value is None:
+            print(
+                f"FAIL  {stage}.{metric}: absent from fresh run "
+                f"(floor {floor:.2f} requested)",
+                file=err,
+            )
+            floor_bad = True
+            continue
+        status = "FAIL" if value < floor else "ok"
+        print(
+            f"{status:<5} {stage}.{metric}: {value:.2f} "
+            f"(floor {floor:.2f})",
+            file=out,
+        )
+        if value < floor:
+            floor_bad = True
+
     if missing and not allow_missing:
         print(
             f"\nbench gate: {len(missing)} baseline stage(s) missing from "
@@ -132,6 +176,9 @@ def run_gate(
             f"{max_telemetry_overhead:.1%}",
             file=err,
         )
+        return 1
+    if floor_bad:
+        print("\nbench gate: absolute floor(s) not met", file=err)
         return 1
     print("\nbench gate: ok", file=out)
     return 0
@@ -240,7 +287,32 @@ def self_test():
         code == 1 and "absent" in err,
     )
 
-    # 9. the pipelined scalar key is folded in as a stage
+    # 9. absolute floors: met passes, unmet fails, absent stage fails,
+    #    and the spec parser round-trips / rejects malformed specs
+    fast = doc(fir_seq_125tap_r8={"per_sample_msps": 78.0, "block_msps": 274.0})
+    code, out, err = gate(
+        fast, fast, mins=[("fir_seq_125tap_r8", "block_msps", 213.0)]
+    )
+    check("met absolute floor passes", code == 0 and "floor 213.00" in out)
+    code, out, err = gate(
+        fast, fast, mins=[("fir_seq_125tap_r8", "block_msps", 300.0)]
+    )
+    check("unmet absolute floor fails", code == 1 and "floor(s) not met" in err)
+    code, out, err = gate(
+        fast, fast, mins=[("chain_drm", "block_msps", 320.0)]
+    )
+    check("floor on absent stage fails", code == 1 and "absent" in err)
+    check(
+        "floor spec parser round-trips",
+        parse_min("chain_drm:block_msps=320") == ("chain_drm", "block_msps", 320.0),
+    )
+    try:
+        parse_min("no-equals-sign")
+        check("malformed floor spec rejected", False)
+    except argparse.ArgumentTypeError:
+        check("malformed floor spec rejected", True)
+
+    # 10. the pipelined scalar key is folded in as a stage
     base_scalar = {"stages": [], "pipelined_two_thread_msps": 50.0}
     fresh_scalar = {"stages": [], "pipelined_two_thread_msps": 10.0}
     code, out, err = gate(base_scalar, fresh_scalar)
@@ -278,6 +350,16 @@ def main():
         "exceeds this fraction (absolute bound, no baseline needed)",
     )
     ap.add_argument(
+        "--min",
+        dest="mins",
+        action="append",
+        type=parse_min,
+        default=[],
+        metavar="STAGE:METRIC=VALUE",
+        help="absolute floor on the fresh run (repeatable), e.g. "
+        "fir_seq_125tap_r8:block_msps=213",
+    )
+    ap.add_argument(
         "--self-test",
         action="store_true",
         help="run the gate's own decision-table tests and exit",
@@ -297,6 +379,7 @@ def main():
         args.max_drop,
         allow_missing=args.allow_missing,
         max_telemetry_overhead=args.max_telemetry_overhead,
+        mins=args.mins,
     )
 
 

@@ -70,6 +70,69 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 
+    /// Every specialised FIR kernel, forced via `FirKernelSel`, must be
+    /// bit-exact with the per-sample reference: across randomly-sized
+    /// chunks (the carried phase crosses every block boundary),
+    /// optionally symmetrized taps (engaging the symmetric fold and —
+    /// at 125 taps — the const-generic instantiations), decimations
+    /// longer than the delay line, and a whole-stream single block
+    /// (one input run strictly longer than `taps()`, exercising the
+    /// history double-buffer wrap). Forcing `Simd` in a build without
+    /// the `simd` feature exercises the scalar fallback path.
+    #[test]
+    fn every_fir_kernel_variant_equals_per_sample(
+        coeffs in prop::collection::vec(-1024i32..=1023, 1..140),
+        symmetric in any::<bool>(),
+        decim in 1u32..=160,
+        input in prop::collection::vec(-2048i64..=2047, 150..600),
+        chunks in prop::collection::vec(1usize..180, 1..12),
+    ) {
+        use ddc_suite::core::fir::FirKernelSel;
+        let mut coeffs = coeffs;
+        if symmetric {
+            let n = coeffs.len();
+            for j in 0..n / 2 {
+                coeffs[n - 1 - j] = coeffs[j];
+            }
+        }
+        let mut reference = SequentialFir::new(&coeffs, decim, 12, 12, 45);
+        let expect: Vec<i64> = input.iter().filter_map(|&x| reference.process(x)).collect();
+        for sel in [
+            FirKernelSel::Generic,
+            FirKernelSel::Flat,
+            FirKernelSel::Poly,
+            FirKernelSel::Sym,
+            FirKernelSel::Simd,
+        ] {
+            // Randomly-sized chunks: phase carry at every boundary.
+            let mut blocked = SequentialFir::with_kernel(&coeffs, decim, 12, 12, 45, sel);
+            let mut got = Vec::new();
+            let (mut i, mut c) = (0, 0);
+            while i < input.len() {
+                let take = chunks[c % chunks.len()].min(input.len() - i);
+                blocked.process_block(&input[i..i + take], &mut got);
+                i += take;
+                c += 1;
+            }
+            prop_assert_eq!(
+                &got, &expect,
+                "kernel {:?} (runs as {}) diverged on chunked input",
+                sel, blocked.kernel_label()
+            );
+            // Whole stream as one block: a single run longer than the
+            // delay line (input is at least 150 samples, taps at most
+            // 139), so the history fast-forward path must engage.
+            let mut whole = SequentialFir::with_kernel(&coeffs, decim, 12, 12, 45, sel);
+            let mut got_whole = Vec::new();
+            whole.process_block(&input, &mut got_whole);
+            prop_assert_eq!(
+                &got_whole, &expect,
+                "kernel {:?} (runs as {}) diverged on a single whole-stream block",
+                sel, whole.kernel_label()
+            );
+        }
+    }
+
     /// Polyphase (f64) FIR: f64 addition is order-sensitive, so exact
     /// bit equality proves the block path preserves the per-sample
     /// accumulation order.
