@@ -158,6 +158,11 @@ pub struct FarmMetrics {
     worker_job_ns: Vec<LogHistogram>,
     /// Per-worker jobs executed.
     worker_jobs: Vec<Counter>,
+    /// Single-channel jobs run inline on the submitting thread (the
+    /// caller-runs fast path of [`DdcFarm::submit_channel_shared`]).
+    inline_jobs: Counter,
+    /// Latency of inline-run jobs (ns per job).
+    inline_job_ns: LogHistogram,
     /// Queue depth observed at each enqueue (after the push).
     queue_depth: LogHistogram,
     /// ADC samples per submitted job.
@@ -174,6 +179,8 @@ impl FarmMetrics {
             control_ring: EventRing::with_origin(256, origin),
             worker_job_ns: (0..workers).map(|_| LogHistogram::new()).collect(),
             worker_jobs: (0..workers).map(|_| Counter::new()).collect(),
+            inline_jobs: Counter::new(),
+            inline_job_ns: LogHistogram::new(),
             queue_depth: LogHistogram::new(),
             batch_samples: LogHistogram::new(),
         }
@@ -472,6 +479,16 @@ impl DdcFarm {
     /// [`DdcFarm::halt`] or shutdown) before the job could run; jobs a
     /// worker has already started are always finished and returned.
     pub fn submit_channel(&self, channel: usize, input: &[i32]) -> Option<Vec<Iq>> {
+        self.submit_channel_shared(channel, Arc::new(input.to_vec()))
+    }
+
+    /// [`DdcFarm::submit_channel`] without the defensive input copy:
+    /// the caller hands over an `Arc`'d buffer the worker reads
+    /// directly. This is the zero-copy submission path — the streaming
+    /// server decodes a Samples frame straight into a reusable scratch
+    /// `Vec`, wraps it in an `Arc`, and reclaims the allocation via
+    /// `Arc::try_unwrap` after the job completes.
+    pub fn submit_channel_shared(&self, channel: usize, input: Arc<Vec<i32>>) -> Option<Vec<Iq>> {
         assert!(
             channel < self.n_channels,
             "channel {channel} out of range (farm has {})",
@@ -483,10 +500,38 @@ impl DdcFarm {
         if let Some(fm) = self.shared.metrics.get() {
             fm.batch_samples.record(input.len() as u64);
         }
+        // Caller-runs fast path: when the channel slot is uncontended,
+        // run the chain on the submitting thread instead of paying two
+        // thread hand-offs (enqueue → worker wake, completion → waiter
+        // wake — four context switches on a single-core host). The
+        // streaming server drives each channel from exactly one
+        // processor at a time, so this is its steady state; contention
+        // (a stats read, a reconfigure, a whole-farm batch touching
+        // the slot) falls back to the queued path below.
+        if let Ok(mut slot) = self.shared.channels[channel].try_lock() {
+            let mut out = Vec::new();
+            let t0 = Instant::now();
+            slot.ddc.process_into(&input, &mut out);
+            let busy = t0.elapsed();
+            slot.record(input.len() as u64, out.len() as u64, busy);
+            drop(slot);
+            self.shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            if let Some(fm) = self.shared.metrics.get() {
+                let busy_ns = busy.as_nanos().min(u64::MAX as u128) as u64;
+                fm.inline_jobs.inc();
+                fm.inline_job_ns.record(busy_ns);
+                // JOB_DONE lands in the control ring (no worker index
+                // to attribute it to); drain_events merges the rings,
+                // so consumers see one ordered job stream either way.
+                fm.control_ring
+                    .push(kind::JOB_DONE, channel as u64, busy_ns);
+            }
+            return Some(out);
+        }
         let done = Arc::new(JobDone::default());
         let job = Job {
             channel,
-            input: Arc::new(input.to_vec()),
+            input,
             completion: Completion::Single(Arc::clone(&done)),
         };
         self.push_job(channel % self.workers.len().max(1), job);
@@ -702,6 +747,8 @@ impl DdcFarm {
         snap.push_counter("ddc_events_dropped_total", dropped);
         snap.push_hist("ddc_queue_depth", fm.queue_depth.snapshot());
         snap.push_hist("ddc_batch_samples", fm.batch_samples.snapshot());
+        snap.push_counter("ddc_farm_inline_jobs_total", fm.inline_jobs.get());
+        snap.push_hist("ddc_farm_inline_job_ns", fm.inline_job_ns.snapshot());
         for (w, (jobs, ns)) in fm.worker_jobs.iter().zip(&fm.worker_job_ns).enumerate() {
             snap.push_counter(
                 format!("ddc_worker_jobs_total{{worker=\"{w}\"}}"),

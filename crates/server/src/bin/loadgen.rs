@@ -185,8 +185,35 @@ struct SessionOutcome {
     last_metrics: Option<Vec<u8>>,
 }
 
+/// Per-session tuning frequency: a 2.5 MHz comb from 5 MHz, wrapped
+/// so arbitrarily many sessions stay below the DRM input Nyquist
+/// (32.256 MHz) — at high session counts the comb repeats, which is
+/// fine: sessions at the same tune still verify independently.
 fn session_tune(k: usize) -> f64 {
-    5.0e6 + k as f64 * 2.5e6
+    5.0e6 + (k % 11) as f64 * 2.5e6
+}
+
+/// Stack size for session sender/receiver threads. The session loops
+/// are shallow (no recursion, no big locals), and at 500+ sessions the
+/// default 8 MiB stacks would reserve gigabytes of address space.
+const SESSION_STACK: usize = 256 * 1024;
+
+/// Connects with retry: at high session counts hundreds of SYNs race
+/// one accept loop, and the listen backlog can refuse some — a refused
+/// connect is congestion, not failure, so back off and try again.
+fn connect_with_retry(addr: &str, info: &str) -> Result<Client, ClientError> {
+    let mut last = None;
+    for attempt in 0..50u32 {
+        match Client::connect(addr, info) {
+            Ok(c) => return Ok(c),
+            Err(ClientError::Io(e)) => {
+                last = Some(ClientError::Io(e));
+                std::thread::sleep(Duration::from_millis(5 + 5 * attempt.min(20) as u64));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| ClientError::Protocol("connect retries exhausted".into())))
 }
 
 /// The `--custom-plan` chain: four stages totalling ÷672
@@ -262,7 +289,7 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
         metrics_scrapes: 0,
         last_metrics: None,
     };
-    let mut client = match Client::connect(addr.as_str(), &format!("loadgen-{k}")) {
+    let mut client = match connect_with_retry(addr.as_str(), &format!("loadgen-{k}")) {
         Ok(c) => c,
         Err(e) => {
             out.failure = Some(format!("connect: {e}"));
@@ -301,50 +328,55 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
     let receiver = {
         let sent_at_ns = Arc::clone(&sent_at_ns);
         let latency_hist = Arc::clone(&latency_hist);
-        std::thread::spawn(move || {
-            let mut acked: BTreeMap<u64, Vec<(i64, i64)>> = BTreeMap::new();
-            let mut final_stats: Option<StatsReport> = None;
-            let mut protocol_errors = 0u64;
-            let mut remote_errors = Vec::new();
-            let mut metrics_scrapes = 0u64;
-            let mut last_metrics: Option<Vec<u8>> = None;
-            loop {
-                match rx.recv() {
-                    Ok(Frame::Iq(iq)) => {
-                        if let Some(sent) = sent_at_ns.get(iq.batch_index as usize) {
-                            let sent = sent.load(Ordering::Acquire);
-                            if sent > 0 {
-                                let now = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                                latency_hist.record(now.saturating_sub(sent));
+        let builder = std::thread::Builder::new()
+            .name(format!("lg-rx-{k}"))
+            .stack_size(SESSION_STACK);
+        builder
+            .spawn(move || {
+                let mut acked: BTreeMap<u64, Vec<(i64, i64)>> = BTreeMap::new();
+                let mut final_stats: Option<StatsReport> = None;
+                let mut protocol_errors = 0u64;
+                let mut remote_errors = Vec::new();
+                let mut metrics_scrapes = 0u64;
+                let mut last_metrics: Option<Vec<u8>> = None;
+                loop {
+                    match rx.recv() {
+                        Ok(Frame::Iq(iq)) => {
+                            if let Some(sent) = sent_at_ns.get(iq.batch_index as usize) {
+                                let sent = sent.load(Ordering::Acquire);
+                                if sent > 0 {
+                                    let now = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                                    latency_hist.record(now.saturating_sub(sent));
+                                }
                             }
+                            acked.insert(iq.batch_index, iq.pairs);
                         }
-                        acked.insert(iq.batch_index, iq.pairs);
+                        Ok(Frame::StatsReport(r)) => final_stats = Some(r),
+                        Ok(Frame::MetricsReport(m)) => {
+                            metrics_scrapes += 1;
+                            last_metrics = Some(m.body);
+                        }
+                        Ok(Frame::Shutdown) => break,
+                        Ok(Frame::Error(e)) => {
+                            remote_errors.push(format!("code {}: {}", e.code, e.message));
+                            // The server closes after fatal errors; keep
+                            // reading until EOF to collect anything in flight.
+                        }
+                        Ok(_) => protocol_errors += 1,
+                        Err(ClientError::SeqGap { .. }) => protocol_errors += 1,
+                        Err(_) => break,
                     }
-                    Ok(Frame::StatsReport(r)) => final_stats = Some(r),
-                    Ok(Frame::MetricsReport(m)) => {
-                        metrics_scrapes += 1;
-                        last_metrics = Some(m.body);
-                    }
-                    Ok(Frame::Shutdown) => break,
-                    Ok(Frame::Error(e)) => {
-                        remote_errors.push(format!("code {}: {}", e.code, e.message));
-                        // The server closes after fatal errors; keep
-                        // reading until EOF to collect anything in flight.
-                    }
-                    Ok(_) => protocol_errors += 1,
-                    Err(ClientError::SeqGap { .. }) => protocol_errors += 1,
-                    Err(_) => break,
                 }
-            }
-            (
-                acked,
-                final_stats,
-                protocol_errors,
-                remote_errors,
-                metrics_scrapes,
-                last_metrics,
-            )
-        })
+                (
+                    acked,
+                    final_stats,
+                    protocol_errors,
+                    remote_errors,
+                    metrics_scrapes,
+                    last_metrics,
+                )
+            })
+            .expect("cannot spawn receiver thread")
     };
 
     // Pace the sample stream at the target rate (batch granularity).
@@ -512,7 +544,20 @@ fn main() {
         let addr = addr.clone();
         let stim = Arc::clone(&stimulus);
         let o = opts.clone();
-        handles.push(std::thread::spawn(move || run_session(addr, k, &o, stim)));
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("lg-tx-{k}"))
+                .stack_size(SESSION_STACK)
+                .spawn(move || run_session(addr, k, &o, stim))
+                .expect("cannot spawn session thread"),
+        );
+        // Stagger connection storms: hundreds of simultaneous SYNs
+        // against one accept loop overflow the listen backlog for no
+        // measurement benefit — ramping in small waves keeps every
+        // session's steady-state window overlapping.
+        if opts.sessions > 64 && k % 32 == 31 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
     let outcomes: Vec<SessionOutcome> = handles
         .into_iter()

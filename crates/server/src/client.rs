@@ -3,10 +3,10 @@
 //! halves for concurrent streaming (the shape `loadgen` uses).
 
 use crate::wire::{
-    feature, read_frame, write_frame, Backpressure, ChainPlan, ConfigPreset, Configure, ErrorFrame,
-    Frame, FrameReadError, Hello, MetricsReport, Samples, StatsReport, MAX_PAYLOAD, VERSION,
+    feature, read_frame_buffered, Backpressure, ChainPlan, ConfigPreset, Configure, ErrorFrame,
+    Frame, FrameBuf, FrameReadError, Hello, MetricsReport, StatsReport, MAX_PAYLOAD, VERSION,
 };
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// Errors of a client exchange.
@@ -63,9 +63,13 @@ impl From<FrameReadError> for ClientError {
     }
 }
 
-/// Sending half: owns the outbound sequence counter.
+/// Sending half: owns the outbound sequence counter and one reusable
+/// encode buffer, so steady-state streaming allocates nothing — each
+/// Samples batch is serialised (checksum fused into the same pass) and
+/// handed to the kernel as a single vectored write.
 pub struct ClientSender {
-    stream: BufWriter<TcpStream>,
+    stream: TcpStream,
+    buf: FrameBuf,
     seq: u32,
 }
 
@@ -74,28 +78,34 @@ impl ClientSender {
     pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
         let seq = self.seq;
         self.seq = self.seq.wrapping_add(1);
-        write_frame(&mut self.stream, frame, seq)
+        self.buf.encode(frame, seq);
+        self.buf.write_to(&mut self.stream)
     }
 
-    /// Convenience: sends one Samples batch.
+    /// Sends one Samples batch through the fused encoder: one pass
+    /// over the samples produces both the wire bytes and the
+    /// Fletcher-32 checksum, with no intermediate `Vec<i32>`.
     pub fn send_samples(&mut self, batch_index: u64, samples: &[i32]) -> io::Result<()> {
-        self.send(&Frame::Samples(Samples {
-            batch_index,
-            samples: samples.to_vec(),
-        }))
+        let seq = self.seq;
+        self.seq = self.seq.wrapping_add(1);
+        self.buf.encode_samples(seq, batch_index, samples);
+        self.buf.write_to(&mut self.stream)
     }
 }
 
-/// Receiving half: validates the server's sequence numbers.
+/// Receiving half: validates the server's sequence numbers. Payload
+/// bytes land in one reusable scratch buffer instead of a fresh
+/// allocation per frame.
 pub struct ClientReceiver {
     reader: BufReader<TcpStream>,
+    scratch: Vec<u8>,
     expected_seq: u32,
 }
 
 impl ClientReceiver {
     /// Receives the next frame, enforcing sequence continuity.
     pub fn recv(&mut self) -> Result<Frame, ClientError> {
-        let (seq, frame) = read_frame(&mut self.reader)?;
+        let (seq, frame, _decode_ns) = read_frame_buffered(&mut self.reader, &mut self.scratch)?;
         if seq != self.expected_seq {
             return Err(ClientError::SeqGap {
                 expected: self.expected_seq,
@@ -124,11 +134,13 @@ impl Client {
         stream.set_nodelay(true)?;
         let read_half = stream.try_clone()?;
         let mut sender = ClientSender {
-            stream: BufWriter::new(stream),
+            stream,
+            buf: FrameBuf::new(),
             seq: 0,
         };
         let mut receiver = ClientReceiver {
             reader: BufReader::new(read_half),
+            scratch: Vec::new(),
             expected_seq: 0,
         };
         sender.send(&Frame::Hello(Hello {

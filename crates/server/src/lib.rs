@@ -9,27 +9,38 @@
 //! traffic generator.
 //!
 //! * [`wire`] — versioned frame types (Hello/Configure/Samples/Iq/
-//!   Stats/Error/Shutdown) with pure, socket-free encode/decode.
+//!   Stats/Error/Shutdown) with pure, socket-free encode/decode,
+//!   including the zero-copy Samples decode and the fused-checksum
+//!   [`wire::FrameBuf`] egress encoders.
 //! * [`queue`] — the bounded per-session input queue implementing the
 //!   three backpressure policies (block, drop-oldest, disconnect).
-//! * [`session`] — the per-connection state machine: reader thread,
-//!   processor thread, frame writer, statistics.
-//! * [`server`] — the listener runtime: slot allocation over one
-//!   shared farm, session registry, graceful drain-then-join shutdown.
+//! * [`session`] — the per-connection state machine (handshake →
+//!   configured → streaming → draining) with partial-read/partial-write
+//!   cursors, driven by the readiness runtime.
+//! * [`sys`] — the thin scoped-`unsafe` readiness shim: epoll on
+//!   Linux, a portable `poll(2)` fallback elsewhere, plus a pipe-based
+//!   cross-thread waker.
+//! * [`server`] — the sharded readiness runtime: one accept thread, N
+//!   I/O shard threads multiplexing non-blocking sockets, a processor
+//!   pool feeding the shared farm, graceful drain-then-join shutdown.
 //! * [`client`] — blocking client with sequence-checked receive,
 //!   splittable for concurrent send/receive.
 //!
 //! No external dependencies: sockets are `std::net`, threading is
 //! `std::thread`, synchronisation is `Mutex`/`Condvar`/atomics —
-//! matching the repo's offline-build constraint.
+//! matching the repo's offline-build constraint. `unsafe` is denied
+//! crate-wide and allowed only inside [`sys`], whose whole job is to
+//! wrap four syscalls (`epoll_create1`/`epoll_ctl`/`epoll_wait` or
+//! `poll`, plus `pipe2`) behind a safe API.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod queue;
 pub mod server;
 pub mod session;
+pub mod sys;
 pub mod wire;
 
 pub use client::{Client, ClientError};

@@ -168,6 +168,32 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Non-blocking pop for readiness-driven consumers: an empty open
+    /// queue reports [`Pop::TimedOut`] immediately instead of waiting
+    /// (there is no timeout — the name keeps the `Pop` contract of
+    /// "nothing now, queue still usable").
+    pub fn try_pop(&self) -> Pop<T> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(item) = inner.q.pop_front() {
+            self.not_full.notify_one();
+            return Pop::Item(item);
+        }
+        if inner.closed {
+            return Pop::Drained;
+        }
+        Pop::TimedOut
+    }
+
+    /// The fixed capacity this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
     /// Closes the queue: future pushes are refused, queued items remain
     /// poppable, and blocked producers/consumers wake up.
     pub fn close(&self) {

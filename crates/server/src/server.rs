@@ -1,5 +1,6 @@
-//! The TCP server runtime: listener, session registry, channel-slot
-//! allocation and graceful shutdown.
+//! The sharded readiness runtime: listener, shard loops, processor
+//! pool, session registry, channel-slot allocation and graceful
+//! shutdown.
 //!
 //! The server owns one [`DdcFarm`] with `max_sessions` channels. A
 //! connection claims a free channel slot at Configure time (binding the
@@ -8,18 +9,40 @@
 //! session while channel state stays strictly per-session — the same
 //! organisation as the GC4016's four hard channels behind one ADC bus,
 //! scaled to however many slots the host can serve.
+//!
+//! Thread shape (replacing the old two-threads-per-connection model):
+//!
+//! ```text
+//!            ┌─ shard 0 ─ poller ── conns {a, b, …}
+//! accept ────┼─ shard 1 ─ poller ── conns {c, d, …}   ──▶ Dispatch ──▶ processor pool ──▶ farm
+//!            └─ …      (N readiness loops)                 (P threads, one conn at a time)
+//! ```
+//!
+//! Shards own all socket I/O and poller interest bookkeeping; sessions
+//! whose queues hold work are handed to the processor pool through a
+//! [`Dispatch`] queue, with a per-connection `scheduled` flag ensuring
+//! at most one processor drives a session at a time (preserving
+//! in-order Iq acknowledgements). Thread count is now a function of
+//! the host, not the session count, so hundreds of concurrent
+//! sessions cost hundreds of sockets — not hundreds of threads.
 
+use crate::queue::{BoundedQueue, Pop, Push};
 use crate::session::{
-    frame_name, processor_loop, reader_stream_loop, server_hello, FrameWriter, MetricsSource,
-    SessionEnd, SessionObs, SessionShared,
+    frame_name, server_hello, Batch, Conn, EndKind, FlushState, MetricsSource, Notice, Reader,
+    SessionObs, SessionState, ShardMailbox, OUT_HWM, READ_BUDGET, READ_CHUNK,
 };
-use crate::wire::{error_code, read_frame, ErrorFrame, Frame, FrameReadError};
+use crate::sys::{fd_of, Event, Interest, Poller};
+use crate::wire::{
+    decode_header, decode_payload, decode_samples_into, error_code, metrics_format, Backpressure,
+    ErrorFrame, Frame, FrameBuf, MetricsReport, HEADER_LEN, VERSION,
+};
 use ddc_core::{DdcConfig, DdcFarm};
-use ddc_obs::{kind, EventRing, MetricsSnapshot};
-use std::io::BufReader;
+use ddc_obs::{kind, Counter, EventRing, MetricsSnapshot};
+use std::collections::{HashMap, VecDeque};
+use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -31,6 +54,13 @@ pub struct ServerConfig {
     /// Worker threads for the farm; 0 = one per host core, capped at
     /// the slot count.
     pub workers: usize,
+    /// I/O shard threads multiplexing the sockets; 0 = one per host
+    /// core, capped at 4 (a shard comfortably drives hundreds of
+    /// non-blocking sessions).
+    pub io_shards: usize,
+    /// Processor threads draining session queues into the farm; 0 =
+    /// one per host core, clamped to [2, 8].
+    pub processors: usize,
     /// Queue capacity used when Configure asks for 0.
     pub default_queue_cap: usize,
     /// Hard ceiling on the per-session queue capacity.
@@ -48,6 +78,8 @@ impl Default for ServerConfig {
         ServerConfig {
             max_sessions: 8,
             workers: 0,
+            io_shards: 0,
+            processors: 0,
             default_queue_cap: 8,
             max_queue_cap: 64,
             processing_delay: Duration::ZERO,
@@ -64,12 +96,20 @@ struct ServerState {
     free_slots: Mutex<Vec<usize>>,
     stop: AtomicBool,
     sessions_started: AtomicU64,
+    /// Accepted connections that could not be set up (socket mode /
+    /// poller registration) — each one also got a structured Error
+    /// frame instead of a silent drop.
+    accept_failures: Counter,
     /// Telemetry handles of live sessions, keyed by session id. Weak:
-    /// the session threads own the data; a dead entry just disappears
+    /// the connection owns the data; a dead entry just disappears
     /// from the next snapshot.
     session_obs: Mutex<Vec<(u64, Weak<SessionObs>)>>,
     /// Server lifecycle events (session open/close).
     events: EventRing,
+    /// Live (registered, not yet closed) connections, with a condvar
+    /// so shutdown can wait for the drain instead of polling joins.
+    active: Mutex<usize>,
+    active_cv: Condvar,
 }
 
 impl ServerState {
@@ -86,11 +126,15 @@ impl ServerState {
         reg.retain(|(_, w)| w.strong_count() > 0);
         reg.push((id, Arc::downgrade(obs)));
         self.events.push(kind::SESSION_OPEN, id, 0);
+        *self.active.lock().unwrap() += 1;
     }
 
     fn unregister_session(&self, id: u64) {
         self.session_obs.lock().unwrap().retain(|(k, _)| *k != id);
         self.events.push(kind::SESSION_CLOSE, id, 0);
+        let mut g = self.active.lock().unwrap();
+        *g = g.saturating_sub(1);
+        self.active_cv.notify_all();
     }
 }
 
@@ -114,6 +158,10 @@ impl MetricsSource for ServerState {
         snap.push_counter(
             "ddc_server_free_slots",
             self.free_slots.lock().unwrap().len() as u64,
+        );
+        snap.push_counter(
+            "ddc_server_accept_failures_total",
+            self.accept_failures.get(),
         );
         snap.push_counter("ddc_server_events_produced_total", self.events.produced());
         snap.push_counter("ddc_server_events_dropped_total", self.events.dropped());
@@ -152,22 +200,62 @@ impl MetricsSource for ServerState {
     }
 }
 
-/// One tracked connection: the reader thread handle plus a stream
-/// clone the shutdown path can nudge.
-struct SessionEntry {
-    handle: JoinHandle<()>,
-    stream: TcpStream,
+/// Hand-off queue between the shard threads (producers: sessions with
+/// queued batches) and the processor pool.
+struct Dispatch {
+    q: Mutex<(VecDeque<Arc<Conn>>, bool)>,
+    cv: Condvar,
 }
 
-type Registry = Arc<Mutex<Vec<SessionEntry>>>;
+impl Dispatch {
+    fn new() -> Arc<Dispatch> {
+        Arc::new(Dispatch {
+            q: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Queues `conn` for a processor unless it is already queued or
+    /// being processed (the `scheduled` flag is the mutual exclusion:
+    /// at most one processor owns a session at a time, so Iq
+    /// acknowledgements stay in batch order).
+    fn schedule(&self, conn: &Arc<Conn>) {
+        if !conn.scheduled.swap(true, Ordering::SeqCst) {
+            let mut g = self.q.lock().unwrap();
+            g.0.push_back(Arc::clone(conn));
+            drop(g);
+            self.cv.notify_one();
+        }
+    }
+
+    fn pop(&self) -> Option<Arc<Conn>> {
+        let mut g = self.q.lock().unwrap();
+        loop {
+            if let Some(c) = g.0.pop_front() {
+                return Some(c);
+            }
+            if g.1 {
+                return None;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.q.lock().unwrap().1 = true;
+        self.cv.notify_all();
+    }
+}
 
 /// A running streaming server. Dropping the handle performs a hard
 /// shutdown; call [`ServerHandle::shutdown`] for the graceful path.
 pub struct ServerHandle {
     local_addr: SocketAddr,
     state: Arc<ServerState>,
-    registry: Registry,
     accept_thread: Option<JoinHandle<()>>,
+    shards: Vec<(Arc<ShardMailbox>, Option<JoinHandle<()>>)>,
+    processors: Vec<JoinHandle<()>>,
+    dispatch: Arc<Dispatch>,
 }
 
 /// Binds the streaming service and starts accepting connections.
@@ -179,6 +267,18 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> std::io::Result<Se
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let n_shards = if cfg.io_shards == 0 {
+        cores.min(4)
+    } else {
+        cfg.io_shards
+    };
+    let n_procs = if cfg.processors == 0 {
+        cores.clamp(2, 8)
+    } else {
+        cfg.processors
+    };
 
     // Placeholder configs; every slot is rebuilt by reconfigure_channel
     // when a session claims it.
@@ -198,49 +298,80 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> std::io::Result<Se
         cfg,
         stop: AtomicBool::new(false),
         sessions_started: AtomicU64::new(0),
+        accept_failures: Counter::default(),
         session_obs: Mutex::new(Vec::new()),
         events: EventRing::new(256),
+        active: Mutex::new(0),
+        active_cv: Condvar::new(),
     });
-    let registry: Registry = Arc::new(Mutex::new(Vec::new()));
+    let dispatch = Dispatch::new();
+
+    let mut shards = Vec::with_capacity(n_shards);
+    for k in 0..n_shards {
+        let poller = Poller::new()?;
+        let mailbox = ShardMailbox::new(poller.waker());
+        let thread = {
+            let state = Arc::clone(&state);
+            let dispatch = Arc::clone(&dispatch);
+            let mailbox = Arc::clone(&mailbox);
+            std::thread::Builder::new()
+                .name(format!("ddc-shard-{k}"))
+                .spawn(move || shard_loop(poller, mailbox, state, dispatch))
+                .expect("cannot spawn shard thread")
+        };
+        shards.push((mailbox, Some(thread)));
+    }
+
+    let mut processors = Vec::with_capacity(n_procs);
+    for k in 0..n_procs {
+        let state = Arc::clone(&state);
+        let dispatch = Arc::clone(&dispatch);
+        processors.push(
+            std::thread::Builder::new()
+                .name(format!("ddc-proc-{k}"))
+                .spawn(move || processor_loop(state, dispatch))
+                .expect("cannot spawn processor thread"),
+        );
+    }
 
     let accept_thread = {
         let state = Arc::clone(&state);
-        let registry = Arc::clone(&registry);
+        let mailboxes: Vec<Arc<ShardMailbox>> = shards.iter().map(|(m, _)| Arc::clone(m)).collect();
         std::thread::Builder::new()
             .name("ddc-accept".into())
-            .spawn(move || accept_loop(listener, state, registry))
+            .spawn(move || accept_loop(listener, state, mailboxes))
             .expect("cannot spawn accept thread")
     };
 
     Ok(ServerHandle {
         local_addr,
         state,
-        registry,
         accept_thread: Some(accept_thread),
+        shards,
+        processors,
+        dispatch,
     })
 }
 
-fn accept_loop(listener: TcpListener, state: Arc<ServerState>, registry: Registry) {
+// ------------------------------------------------------------- accept
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>, shards: Vec<Arc<ShardMailbox>>) {
+    let mut next = 0usize;
     while !state.stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = stream.set_nodelay(true);
-                let clone = match stream.try_clone() {
-                    Ok(c) => c,
-                    Err(_) => continue,
-                };
+                if let Err(e) = stream.set_nonblocking(true) {
+                    reject_setup_failure(&state, stream, &e);
+                    continue;
+                }
                 let id = state.sessions_started.fetch_add(1, Ordering::Relaxed);
-                let st = Arc::clone(&state);
-                let handle = std::thread::Builder::new()
-                    .name(format!("ddc-session-{id}"))
-                    .spawn(move || run_session(id, stream, st))
-                    .expect("cannot spawn session thread");
-                let mut reg = registry.lock().unwrap();
-                reg.retain(|e| !e.handle.is_finished());
-                reg.push(SessionEntry {
-                    handle,
-                    stream: clone,
-                });
+                let obs = Arc::new(SessionObs::default());
+                let mailbox = Arc::clone(&shards[next % shards.len()]);
+                next = next.wrapping_add(1);
+                let conn = Conn::new(id, stream, Arc::clone(&mailbox), Arc::clone(&obs));
+                state.register_session(id, &obs);
+                mailbox.post(Notice::Accept(conn));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -250,166 +381,823 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>, registry: Registr
     }
 }
 
-/// Full lifecycle of one connection, on its own thread.
-fn run_session(id: u64, stream: TcpStream, state: Arc<ServerState>) {
-    let read_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(read_half);
-    let writer = Arc::new(FrameWriter::new(stream));
-    let obs = Arc::new(SessionObs::default());
-    writer.set_obs(Arc::clone(&obs));
-    state.register_session(id, &obs);
-    session_dialogue(&mut reader, &writer, &state, obs);
-    state.unregister_session(id);
-    // The registry keeps its own stream clone alive until server
-    // shutdown; close explicitly so the peer sees EOF now.
-    writer.close();
+/// Accept-time setup failure: count it and tell the peer with a
+/// structured Error frame before closing (the old runtime dropped the
+/// connection silently).
+fn reject_setup_failure(state: &ServerState, mut stream: TcpStream, err: &std::io::Error) {
+    state.accept_failures.inc();
+    let mut fb = FrameBuf::new();
+    fb.encode(
+        &Frame::Error(ErrorFrame {
+            code: error_code::SESSION_SETUP,
+            message: format!("session setup failed: {err}"),
+        }),
+        0,
+    );
+    let _ = stream.set_nonblocking(false);
+    let _ = fb.write_to(&mut stream);
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn session_dialogue(
-    reader: &mut BufReader<TcpStream>,
-    writer: &Arc<FrameWriter>,
-    state: &Arc<ServerState>,
-    obs: Arc<SessionObs>,
+// ------------------------------------------------------------- shards
+
+/// Shard-local bookkeeping for one registered connection.
+struct ShardEntry {
+    conn: Arc<Conn>,
+    interest: Interest,
+}
+
+/// What the read pump asks the shard to do with the fd afterwards.
+enum ReadOutcome {
+    /// Keep current interest.
+    Continue,
+    /// Block-policy pause: disarm read until the processor frees room.
+    Pause,
+    /// Input side ended: disarm read; the drain (or the flush) will
+    /// finish the teardown.
+    Drain,
+}
+
+fn shard_loop(
+    poller: Poller,
+    mailbox: Arc<ShardMailbox>,
+    state: Arc<ServerState>,
+    dispatch: Arc<Dispatch>,
 ) {
-    // --- Hello ----------------------------------------------------
-    match read_frame(reader) {
-        Ok((0, Frame::Hello(h))) => {
-            if h.proto != crate::wire::VERSION as u16 {
-                let _ = writer.send(&Frame::Error(ErrorFrame {
-                    code: error_code::PROTOCOL,
-                    message: format!("unsupported protocol version {}", h.proto),
-                }));
-                return;
+    let mut conns: HashMap<u64, ShardEntry> = HashMap::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut notices: Vec<Notice> = Vec::new();
+    loop {
+        if poller.wait(&mut events, None).is_err() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        mailbox.drain_into(&mut notices);
+        for n in notices.drain(..) {
+            match n {
+                Notice::Accept(conn) => {
+                    let fd = fd_of(&conn.stream);
+                    match poller.add(fd, conn.id, Interest::READ) {
+                        Ok(()) => {
+                            let id = conn.id;
+                            conns.insert(
+                                id,
+                                ShardEntry {
+                                    conn,
+                                    interest: Interest::READ,
+                                },
+                            );
+                            // The client's Hello may already be queued
+                            // in the kernel; with level-triggered
+                            // polling the next wait reports it.
+                        }
+                        Err(e) => {
+                            state.accept_failures.inc();
+                            conn.enqueue(&Frame::Error(ErrorFrame {
+                                code: error_code::SESSION_SETUP,
+                                message: format!("session setup failed: {e}"),
+                            }));
+                            let _ = conn.flush();
+                            let _ = conn.stream.shutdown(Shutdown::Both);
+                            state.unregister_session(conn.id);
+                        }
+                    }
+                }
+                Notice::ResumeRead(id) => {
+                    if let Some(entry) = conns.get_mut(&id) {
+                        conn_set_interest(
+                            &poller,
+                            entry,
+                            Interest {
+                                read: true,
+                                ..entry.interest
+                            },
+                        );
+                        let conn = Arc::clone(&entry.conn);
+                        handle_readable(&poller, &mut conns, &state, &dispatch, &conn);
+                    }
+                }
+                Notice::WriteReady(id) => {
+                    if let Some(entry) = conns.get_mut(&id) {
+                        conn_set_interest(
+                            &poller,
+                            entry,
+                            Interest {
+                                write: true,
+                                ..entry.interest
+                            },
+                        );
+                    }
+                }
+                Notice::Deregister(id) => {
+                    do_close(&poller, &mut conns, &state, id);
+                }
+                Notice::DrainAll => {
+                    let ids: Vec<u64> = conns.keys().copied().collect();
+                    for id in ids {
+                        server_drain(&poller, &mut conns, &state, &dispatch, id);
+                    }
+                }
+                Notice::HardCloseAll => {
+                    for entry in conns.values() {
+                        let _ = entry.conn.stream.shutdown(Shutdown::Both);
+                    }
+                }
+                Notice::Exit => {
+                    let ids: Vec<u64> = conns.keys().copied().collect();
+                    for id in ids {
+                        do_close(&poller, &mut conns, &state, id);
+                    }
+                    return;
+                }
             }
         }
-        Ok((seq, other)) => {
-            let _ = writer.send(&Frame::Error(ErrorFrame {
-                code: error_code::PROTOCOL,
-                message: format!(
-                    "expected Hello with seq 0, got {} with seq {seq}",
-                    frame_name(&other)
-                ),
-            }));
-            return;
+        for &ev in &events {
+            let Some(entry) = conns.get(&ev.token) else {
+                continue;
+            };
+            let conn = Arc::clone(&entry.conn);
+            if ev.readable {
+                handle_readable(&poller, &mut conns, &state, &dispatch, &conn);
+            }
+            if ev.writable && conns.contains_key(&ev.token) {
+                handle_writable(&poller, &mut conns, &state, &dispatch, &conn);
+            }
         }
-        Err(FrameReadError::Wire(e)) => {
-            let _ = writer.send(&Frame::Error(ErrorFrame {
-                code: error_code::PROTOCOL,
-                message: format!("bad opening frame: {e}"),
-            }));
-            return;
-        }
-        Err(_) => return,
     }
-    if writer
-        .send(&Frame::Hello(server_hello(&state.cfg.banner)))
-        .is_err()
-    {
-        return;
-    }
-
-    // --- Configure ------------------------------------------------
-    let conf = match read_frame(reader) {
-        Ok((1, Frame::Configure(c))) => c,
-        Ok((seq, other)) => {
-            let _ = writer.send(&Frame::Error(ErrorFrame {
-                code: error_code::NOT_CONFIGURED,
-                message: format!(
-                    "expected Configure with seq 1, got {} with seq {seq}",
-                    frame_name(&other)
-                ),
-            }));
-            return;
-        }
-        Err(FrameReadError::Wire(e)) => {
-            let _ = writer.send(&Frame::Error(ErrorFrame {
-                code: error_code::PROTOCOL,
-                message: format!("bad Configure frame: {e}"),
-            }));
-            return;
-        }
-        Err(_) => return,
-    };
-    if state.stop.load(Ordering::Acquire) {
-        let _ = writer.send(&Frame::Error(ErrorFrame {
-            code: error_code::SHUTTING_DOWN,
-            message: "server is shutting down".into(),
-        }));
-        return;
-    }
-    let slot = match state.claim_slot() {
-        Some(s) => s,
-        None => {
-            let _ = writer.send(&Frame::Error(ErrorFrame {
-                code: error_code::SERVER_FULL,
-                message: format!("all {} channels are in use", state.cfg.max_sessions),
-            }));
-            return;
-        }
-    };
-    let spec = conf.plan.to_spec();
-    if let Err(e) = state.farm.reconfigure_channel(slot, spec) {
-        let _ = writer.send(&Frame::Error(ErrorFrame {
-            code: error_code::BAD_CONFIG,
-            message: format!("rejected configuration: {e}"),
-        }));
-        state.release_slot(slot);
-        return;
-    }
-    let queue_cap = if conf.queue_cap == 0 {
-        state.cfg.default_queue_cap
-    } else {
-        (conf.queue_cap as usize).min(state.cfg.max_queue_cap)
-    };
-    let shared = Arc::new(SessionShared::new(slot, queue_cap, obs));
-    // Configure is acknowledged with the session's (zeroed) stats so
-    // the client learns its channel binding before streaming.
-    if writer
-        .send(&Frame::StatsReport(shared.stats(&state.farm)))
-        .is_err()
-    {
-        state.release_slot(slot);
-        return;
-    }
-
-    // --- Streaming ------------------------------------------------
-    let processor = {
-        let shared = Arc::clone(&shared);
-        let writer = Arc::clone(writer);
-        let state_p = Arc::clone(state);
-        std::thread::Builder::new()
-            .name(format!("ddc-proc-{slot}"))
-            .spawn(move || {
-                processor_loop(
-                    &shared,
-                    &state_p.farm,
-                    &writer,
-                    state_p.cfg.processing_delay,
-                )
-            })
-            .expect("cannot spawn processor thread")
-    };
-
-    let _end: SessionEnd = reader_stream_loop(
-        reader,
-        &shared,
-        &state.farm,
-        writer,
-        conf.policy,
-        2,
-        Some(&**state as &dyn MetricsSource),
-    );
-
-    // Whatever ended the stream, close the queue so the processor
-    // drains every accepted batch and exits; only then release the
-    // channel slot (no in-flight submissions may outlive the claim).
-    shared.queue.close();
-    let _ = processor.join();
-    state.release_slot(slot);
 }
+
+fn conn_set_interest(poller: &Poller, entry: &mut ShardEntry, want: Interest) {
+    if entry.interest != want {
+        let _ = poller.modify(fd_of(&entry.conn.stream), entry.conn.id, want);
+        entry.interest = want;
+    }
+}
+
+/// Deregisters, shuts and forgets one connection. The only place a
+/// session leaves the shard map.
+fn do_close(
+    poller: &Poller,
+    conns: &mut HashMap<u64, ShardEntry>,
+    state: &Arc<ServerState>,
+    id: u64,
+) {
+    let Some(entry) = conns.remove(&id) else {
+        return;
+    };
+    let _ = poller.del(fd_of(&entry.conn.stream));
+    let _ = entry.conn.stream.shutdown(Shutdown::Both);
+    {
+        let mut r = entry.conn.reader.lock().unwrap();
+        r.state = SessionState::Closed;
+        r.buf = Vec::new();
+        r.filled = 0;
+        r.pos = 0;
+    }
+    state.unregister_session(id);
+}
+
+/// Server-initiated drain of one session (graceful shutdown): behaves
+/// exactly as if the client had half-closed — accepted batches still
+/// process and acknowledge, then the connection closes.
+fn server_drain(
+    poller: &Poller,
+    conns: &mut HashMap<u64, ShardEntry>,
+    state: &Arc<ServerState>,
+    dispatch: &Arc<Dispatch>,
+    id: u64,
+) {
+    let Some(entry) = conns.get_mut(&id) else {
+        return;
+    };
+    let conn = Arc::clone(&entry.conn);
+    let outcome = {
+        let mut r = conn.reader.lock().unwrap();
+        if matches!(r.state, SessionState::Draining | SessionState::Closed) {
+            ReadOutcome::Continue
+        } else {
+            end_input(&mut r, &conn, dispatch, EndKind::Disconnected)
+        }
+    };
+    apply_outcome(poller, conns, state, dispatch, &conn, outcome);
+}
+
+fn handle_readable(
+    poller: &Poller,
+    conns: &mut HashMap<u64, ShardEntry>,
+    state: &Arc<ServerState>,
+    dispatch: &Arc<Dispatch>,
+    conn: &Arc<Conn>,
+) {
+    let outcome = pump_read(state, dispatch, conn);
+    apply_outcome(poller, conns, state, dispatch, conn, outcome);
+}
+
+fn apply_outcome(
+    poller: &Poller,
+    conns: &mut HashMap<u64, ShardEntry>,
+    state: &Arc<ServerState>,
+    dispatch: &Arc<Dispatch>,
+    conn: &Arc<Conn>,
+    outcome: ReadOutcome,
+) {
+    if let Some(entry) = conns.get_mut(&conn.id) {
+        match outcome {
+            ReadOutcome::Continue => {}
+            ReadOutcome::Pause | ReadOutcome::Drain => {
+                conn_set_interest(
+                    poller,
+                    entry,
+                    Interest {
+                        read: false,
+                        ..entry.interest
+                    },
+                );
+            }
+        }
+    }
+    flush_on_shard(poller, conns, state, dispatch, conn);
+}
+
+/// Shard-side flush: performs the writes and applies the follow-up
+/// directly (no mailbox round-trip) — arming or disarming write
+/// interest, finishing the close, and releasing a processor that
+/// paused on outbound backlog.
+fn handle_writable(
+    poller: &Poller,
+    conns: &mut HashMap<u64, ShardEntry>,
+    state: &Arc<ServerState>,
+    dispatch: &Arc<Dispatch>,
+    conn: &Arc<Conn>,
+) {
+    flush_on_shard(poller, conns, state, dispatch, conn);
+}
+
+fn flush_on_shard(
+    poller: &Poller,
+    conns: &mut HashMap<u64, ShardEntry>,
+    state: &Arc<ServerState>,
+    dispatch: &Arc<Dispatch>,
+    conn: &Arc<Conn>,
+) {
+    if !conns.contains_key(&conn.id) {
+        return;
+    }
+    match conn.flush() {
+        FlushState::Done => {
+            do_close(poller, conns, state, conn.id);
+            return;
+        }
+        FlushState::Pending => {
+            if let Some(entry) = conns.get_mut(&conn.id) {
+                conn_set_interest(
+                    poller,
+                    entry,
+                    Interest {
+                        write: true,
+                        ..entry.interest
+                    },
+                );
+            }
+        }
+        FlushState::Idle => {
+            if let Some(entry) = conns.get_mut(&conn.id) {
+                conn_set_interest(
+                    poller,
+                    entry,
+                    Interest {
+                        write: false,
+                        ..entry.interest
+                    },
+                );
+            }
+        }
+    }
+    if conn.out_pending() <= OUT_HWM && conn.awaiting_drain.swap(false, Ordering::SeqCst) {
+        dispatch.schedule(conn);
+    }
+}
+
+// ---------------------------------------------------------- read pump
+
+enum ParseStep {
+    /// Not enough buffered bytes for the next header/payload.
+    NeedMore,
+    /// Block-policy pause: leave the pending frame un-consumed.
+    Pause,
+    /// The input side is over (error texts already queued).
+    End(EndKind),
+}
+
+/// Reads and parses until the socket would block, the per-event budget
+/// is spent, the session pauses, or the input side ends.
+fn pump_read(state: &Arc<ServerState>, dispatch: &Arc<Dispatch>, conn: &Arc<Conn>) -> ReadOutcome {
+    let mut r = conn.reader.lock().unwrap();
+    if matches!(r.state, SessionState::Draining | SessionState::Closed) {
+        return ReadOutcome::Continue;
+    }
+    let mut budget = READ_BUDGET;
+    let mut drained = false;
+    let outcome = loop {
+        match parse_frames(state, dispatch, conn, &mut r) {
+            ParseStep::NeedMore => {}
+            ParseStep::Pause => break ReadOutcome::Pause,
+            ParseStep::End(kind) => break end_input(&mut r, conn, dispatch, kind),
+        }
+        // A short read means the socket buffer is empty: skip the
+        // speculative read that would just return WouldBlock — the
+        // level-triggered poll re-reports the fd when bytes arrive.
+        if drained || budget == 0 {
+            break ReadOutcome::Continue;
+        }
+        // Make room for the next read without re-zeroing: compact the
+        // consumed prefix in place, and only grow (zero-filling the new
+        // tail once) when a frame genuinely straddles the whole buffer.
+        if r.buf.len() - r.filled < READ_CHUNK {
+            compact(&mut r);
+            if r.buf.len() - r.filled < READ_CHUNK {
+                let need = r.filled + READ_CHUNK;
+                r.buf.resize(need, 0);
+            }
+        }
+        let start = r.filled;
+        let want = r.buf.len() - start;
+        match (&conn.stream).read(&mut r.buf[start..]) {
+            Ok(0) => break end_input(&mut r, conn, dispatch, EndKind::Disconnected),
+            Ok(n) => {
+                r.filled += n;
+                budget = budget.saturating_sub(n);
+                drained = n < want;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                break ReadOutcome::Continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break end_input(&mut r, conn, dispatch, EndKind::Disconnected),
+        }
+    };
+    compact(&mut r);
+    outcome
+}
+
+/// Moves the unconsumed tail of the read buffer to the front. Safe at
+/// any point: a validated-but-unconsumed header lives in `r.header`
+/// (owned), never as an offset into `buf`.
+fn compact(r: &mut Reader) {
+    if r.pos > 0 {
+        let (pos, filled) = (r.pos, r.filled);
+        r.buf.copy_within(pos..filled, 0);
+        r.filled -= pos;
+        r.pos = 0;
+    }
+}
+
+/// Transitions the input side into Draining and arranges for the
+/// epilogue to run: streaming sessions close their queue and go
+/// through the processor (drain accepted batches, then
+/// `finish_conn`); pre-Configure sessions just flush out and close.
+fn end_input(
+    r: &mut Reader,
+    conn: &Arc<Conn>,
+    dispatch: &Arc<Dispatch>,
+    kind: EndKind,
+) -> ReadOutcome {
+    if kind == EndKind::Graceful {
+        conn.graceful.store(true, Ordering::Release);
+    }
+    r.state = SessionState::Draining;
+    if let Some(q) = conn.queue.get() {
+        q.close();
+        dispatch.schedule(conn);
+    } else {
+        conn.set_close_after_flush();
+    }
+    ReadOutcome::Drain
+}
+
+/// Consumes as many complete frames from the read buffer as possible,
+/// running the protocol state machine on each.
+fn parse_frames(
+    state: &Arc<ServerState>,
+    dispatch: &Arc<Dispatch>,
+    conn: &Arc<Conn>,
+    r: &mut Reader,
+) -> ParseStep {
+    loop {
+        if r.header.is_none() {
+            if r.filled - r.pos < HEADER_LEN {
+                return ParseStep::NeedMore;
+            }
+            let hb: [u8; HEADER_LEN] = r.buf[r.pos..r.pos + HEADER_LEN].try_into().unwrap();
+            match decode_header(&hb) {
+                Ok(h) => {
+                    r.header = Some(h);
+                    r.pos += HEADER_LEN;
+                }
+                Err(e) => {
+                    let message = match r.state {
+                        SessionState::ExpectHello => format!("bad opening frame: {e}"),
+                        SessionState::ExpectConfigure => format!("bad Configure frame: {e}"),
+                        _ => format!("unreadable frame: {e}"),
+                    };
+                    conn.enqueue(&Frame::Error(ErrorFrame {
+                        code: error_code::PROTOCOL,
+                        message,
+                    }));
+                    return ParseStep::End(EndKind::Errored);
+                }
+            }
+        }
+        let h = r.header.unwrap();
+        if r.filled - r.pos < h.payload_len as usize {
+            return ParseStep::NeedMore;
+        }
+
+        // Block-policy admission: a full queue stops consumption right
+        // here — the un-read bytes back up through TCP flow control to
+        // the client, exactly like the old blocking reader. The pause
+        // flag is set *before* the re-check so a concurrent pop cannot
+        // slip between "queue is full" and "reader is pausing" without
+        // posting the resume.
+        if h.frame_type == 3
+            && r.state == SessionState::Streaming
+            && r.policy == Backpressure::Block
+        {
+            let q = conn.queue.get().expect("streaming session has a queue");
+            if q.len() >= q.capacity() {
+                conn.read_paused.store(true, Ordering::SeqCst);
+                if q.len() >= q.capacity() {
+                    return ParseStep::Pause;
+                }
+                conn.read_paused.store(false, Ordering::SeqCst);
+            }
+        }
+
+        let start = r.pos;
+        let end = start + h.payload_len as usize;
+        r.pos = end;
+        r.header = None;
+
+        // The streaming-Samples hot path: decode borrowed payload bytes
+        // straight into a pooled farm-input buffer, checksum fused into
+        // the same pass — no intermediate Vec, no second walk.
+        if h.frame_type == 3 && r.state == SessionState::Streaming {
+            let mut scratch = conn.take_scratch();
+            let decoded = {
+                let payload = &r.buf[start..end];
+                let t0 = Instant::now();
+                let res = decode_samples_into(&h, payload, &mut scratch);
+                conn.obs.decode_ns.record_duration(t0.elapsed());
+                res
+            };
+            let batch_index = match decoded {
+                Ok(ix) => ix,
+                Err(e) => {
+                    conn.recycle_scratch(scratch);
+                    conn.enqueue(&Frame::Error(ErrorFrame {
+                        code: error_code::PROTOCOL,
+                        message: format!("unreadable frame: {e}"),
+                    }));
+                    return ParseStep::End(EndKind::Errored);
+                }
+            };
+            if h.seq != r.expected_seq {
+                conn.recycle_scratch(scratch);
+                conn.enqueue(&Frame::Error(ErrorFrame {
+                    code: error_code::PROTOCOL,
+                    message: format!("sequence gap: expected {}, got {}", r.expected_seq, h.seq),
+                }));
+                return ParseStep::End(EndKind::Errored);
+            }
+            r.expected_seq = r.expected_seq.wrapping_add(1);
+            let q = Arc::clone(conn.queue.get().expect("streaming session has a queue"));
+            let batch = Batch {
+                index: batch_index,
+                samples: Arc::new(scratch),
+            };
+            let outcome = match r.policy {
+                // Admission above guarantees room, and this reader is
+                // the only producer, so the blocking push cannot block.
+                Backpressure::Block => q.push_wait(batch),
+                Backpressure::DropOldest => q.push_drop_oldest(batch),
+                Backpressure::Disconnect => q.push_or_reject(batch),
+            };
+            match outcome {
+                Push::Accepted => {
+                    conn.batches_accepted.fetch_add(1, Ordering::Relaxed);
+                    conn.obs.queue_depth.record(q.len() as u64);
+                    dispatch.schedule(conn);
+                }
+                Push::Displaced(old) => {
+                    // Eviction already counted by the queue; the
+                    // displaced batch was never acknowledged, so the
+                    // client sees it as a gap in Iq batch indices.
+                    conn.batches_accepted.fetch_add(1, Ordering::Relaxed);
+                    conn.obs.drops_oldest.inc();
+                    conn.obs.queue_depth.record(q.len() as u64);
+                    conn.recycle_batch(old);
+                    dispatch.schedule(conn);
+                }
+                Push::Full(batch) => {
+                    conn.obs.drops_reject.inc();
+                    conn.enqueue(&Frame::Error(ErrorFrame {
+                        code: error_code::QUEUE_OVERFLOW,
+                        message: format!(
+                            "queue full at batch {} under disconnect policy",
+                            batch.index
+                        ),
+                    }));
+                    return ParseStep::End(EndKind::Errored);
+                }
+                Push::Closed(_) => return ParseStep::End(EndKind::Disconnected),
+            }
+            continue;
+        }
+
+        // Control frames (and anything pre-Streaming): owned decode —
+        // they are small and rare, so the extra checksum pass is noise.
+        let decoded = {
+            let payload = &r.buf[start..end];
+            let t0 = Instant::now();
+            let res = decode_payload(&h, payload);
+            conn.obs.decode_ns.record_duration(t0.elapsed());
+            res
+        };
+        match r.state {
+            SessionState::ExpectHello => match decoded {
+                Ok(Frame::Hello(hello)) if h.seq == 0 => {
+                    if hello.proto != VERSION as u16 {
+                        conn.enqueue(&Frame::Error(ErrorFrame {
+                            code: error_code::PROTOCOL,
+                            message: format!("unsupported protocol version {}", hello.proto),
+                        }));
+                        return ParseStep::End(EndKind::Errored);
+                    }
+                    conn.enqueue(&Frame::Hello(server_hello(&state.cfg.banner)));
+                    r.state = SessionState::ExpectConfigure;
+                    r.expected_seq = 1;
+                }
+                Ok(other) => {
+                    conn.enqueue(&Frame::Error(ErrorFrame {
+                        code: error_code::PROTOCOL,
+                        message: format!(
+                            "expected Hello with seq 0, got {} with seq {}",
+                            frame_name(&other),
+                            h.seq
+                        ),
+                    }));
+                    return ParseStep::End(EndKind::Errored);
+                }
+                Err(e) => {
+                    conn.enqueue(&Frame::Error(ErrorFrame {
+                        code: error_code::PROTOCOL,
+                        message: format!("bad opening frame: {e}"),
+                    }));
+                    return ParseStep::End(EndKind::Errored);
+                }
+            },
+            SessionState::ExpectConfigure => match decoded {
+                Ok(Frame::Configure(c)) if h.seq == 1 => {
+                    if state.stop.load(Ordering::Acquire) {
+                        conn.enqueue(&Frame::Error(ErrorFrame {
+                            code: error_code::SHUTTING_DOWN,
+                            message: "server is shutting down".into(),
+                        }));
+                        return ParseStep::End(EndKind::Errored);
+                    }
+                    let slot = match state.claim_slot() {
+                        Some(s) => s,
+                        None => {
+                            conn.enqueue(&Frame::Error(ErrorFrame {
+                                code: error_code::SERVER_FULL,
+                                message: format!(
+                                    "all {} channels are in use",
+                                    state.cfg.max_sessions
+                                ),
+                            }));
+                            return ParseStep::End(EndKind::Errored);
+                        }
+                    };
+                    let spec = c.plan.to_spec();
+                    if let Err(e) = state.farm.reconfigure_channel(slot, spec) {
+                        conn.enqueue(&Frame::Error(ErrorFrame {
+                            code: error_code::BAD_CONFIG,
+                            message: format!("rejected configuration: {e}"),
+                        }));
+                        state.release_slot(slot);
+                        return ParseStep::End(EndKind::Errored);
+                    }
+                    let queue_cap = if c.queue_cap == 0 {
+                        state.cfg.default_queue_cap
+                    } else {
+                        (c.queue_cap as usize).min(state.cfg.max_queue_cap)
+                    };
+                    *conn.slot.lock().unwrap() = Some(slot);
+                    let _ = conn.queue.set(Arc::new(BoundedQueue::new(queue_cap)));
+                    r.policy = c.policy;
+                    // Configure is acknowledged with the session's
+                    // (zeroed) stats so the client learns its channel
+                    // binding before streaming.
+                    conn.enqueue(&Frame::StatsReport(conn.stats(&state.farm)));
+                    r.state = SessionState::Streaming;
+                    r.expected_seq = 2;
+                }
+                Ok(other) => {
+                    conn.enqueue(&Frame::Error(ErrorFrame {
+                        code: error_code::NOT_CONFIGURED,
+                        message: format!(
+                            "expected Configure with seq 1, got {} with seq {}",
+                            frame_name(&other),
+                            h.seq
+                        ),
+                    }));
+                    return ParseStep::End(EndKind::Errored);
+                }
+                Err(e) => {
+                    conn.enqueue(&Frame::Error(ErrorFrame {
+                        code: error_code::PROTOCOL,
+                        message: format!("bad Configure frame: {e}"),
+                    }));
+                    return ParseStep::End(EndKind::Errored);
+                }
+            },
+            SessionState::Streaming => {
+                let frame = match decoded {
+                    Ok(f) => f,
+                    Err(e) => {
+                        // After a framing error the byte stream cannot
+                        // be trusted; report and drop the connection.
+                        conn.enqueue(&Frame::Error(ErrorFrame {
+                            code: error_code::PROTOCOL,
+                            message: format!("unreadable frame: {e}"),
+                        }));
+                        return ParseStep::End(EndKind::Errored);
+                    }
+                };
+                if h.seq != r.expected_seq {
+                    conn.enqueue(&Frame::Error(ErrorFrame {
+                        code: error_code::PROTOCOL,
+                        message: format!(
+                            "sequence gap: expected {}, got {}",
+                            r.expected_seq, h.seq
+                        ),
+                    }));
+                    return ParseStep::End(EndKind::Errored);
+                }
+                r.expected_seq = r.expected_seq.wrapping_add(1);
+                match frame {
+                    Frame::StatsRequest => {
+                        conn.obs.stats_requests.inc();
+                        conn.enqueue(&Frame::StatsReport(conn.stats(&state.farm)));
+                    }
+                    Frame::MetricsRequest { format }
+                        if matches!(
+                            format,
+                            metrics_format::JSON
+                                | metrics_format::PROMETHEUS
+                                | metrics_format::BINARY
+                        ) =>
+                    {
+                        conn.obs.metrics_requests.inc();
+                        let snap = state.metrics_snapshot();
+                        let body = match format {
+                            metrics_format::JSON => snap.to_json().into_bytes(),
+                            metrics_format::PROMETHEUS => snap.to_prometheus().into_bytes(),
+                            _ => snap.encode(),
+                        };
+                        conn.enqueue(&Frame::MetricsReport(MetricsReport { format, body }));
+                    }
+                    Frame::MetricsRequest { format } => {
+                        // Unknown format byte: refuse the request but
+                        // keep the stream alive — metrics are advisory,
+                        // not load-bearing.
+                        conn.enqueue(&Frame::Error(ErrorFrame {
+                            code: error_code::PROTOCOL,
+                            message: format!("cannot serve metrics format {format}"),
+                        }));
+                    }
+                    Frame::Shutdown => {
+                        return ParseStep::End(EndKind::Graceful);
+                    }
+                    other => {
+                        conn.enqueue(&Frame::Error(ErrorFrame {
+                            code: error_code::PROTOCOL,
+                            message: format!(
+                                "unexpected {:?} frame mid-stream",
+                                frame_name(&other)
+                            ),
+                        }));
+                        return ParseStep::End(EndKind::Errored);
+                    }
+                }
+            }
+            SessionState::Draining | SessionState::Closed => return ParseStep::NeedMore,
+        }
+    }
+}
+
+// --------------------------------------------------------- processors
+
+fn processor_loop(state: Arc<ServerState>, dispatch: Arc<Dispatch>) {
+    while let Some(conn) = dispatch.pop() {
+        process_conn(&state, &dispatch, &conn);
+    }
+}
+
+/// Drains one session's queue in order, submitting each batch to the
+/// farm and acknowledging it with an Iq frame — until the queue runs
+/// dry, the outbound backlog passes [`OUT_HWM`], or the queue drains
+/// closed (then the epilogue runs). The `scheduled` flag is released
+/// last, with a re-check, so work that arrived mid-release is never
+/// stranded.
+fn process_conn(state: &Arc<ServerState>, dispatch: &Arc<Dispatch>, conn: &Arc<Conn>) {
+    let Some(q) = conn.queue.get().cloned() else {
+        conn.scheduled.store(false, Ordering::SeqCst);
+        return;
+    };
+    let channel = conn.slot.lock().unwrap().unwrap_or(0);
+    loop {
+        if conn.out_pending() > OUT_HWM {
+            conn.awaiting_drain.store(true, Ordering::SeqCst);
+            if conn.out_pending() > OUT_HWM {
+                // The shard's flush clears the flag and reschedules.
+                break;
+            }
+            conn.awaiting_drain.store(false, Ordering::SeqCst);
+        }
+        match q.try_pop() {
+            Pop::Item(batch) => {
+                if !state.cfg.processing_delay.is_zero() {
+                    // Fault-injection knob: simulates an overloaded
+                    // backend so tests can force queue growth
+                    // deterministically.
+                    std::thread::sleep(state.cfg.processing_delay);
+                }
+                match state
+                    .farm
+                    .submit_channel_shared(channel, Arc::clone(&batch.samples))
+                {
+                    Some(pairs) => {
+                        conn.enqueue_iq(batch.index, q.dropped(), &pairs);
+                        conn.flush_and_post();
+                    }
+                    None => {
+                        // Farm halted (hard server stop): nothing more
+                        // can be processed; drop the rest of the queue.
+                        conn.enqueue(&Frame::Error(ErrorFrame {
+                            code: error_code::SHUTTING_DOWN,
+                            message: "server halted before batch was processed".into(),
+                        }));
+                        q.close();
+                        finish_conn(state, conn);
+                        conn.scheduled.store(false, Ordering::SeqCst);
+                        return;
+                    }
+                }
+                conn.recycle_batch(batch);
+                if conn.read_paused.load(Ordering::SeqCst) && q.len() < q.capacity() {
+                    conn.mailbox.post(Notice::ResumeRead(conn.id));
+                }
+            }
+            Pop::Drained => {
+                finish_conn(state, conn);
+                conn.scheduled.store(false, Ordering::SeqCst);
+                return;
+            }
+            Pop::TimedOut => break,
+        }
+    }
+    conn.scheduled.store(false, Ordering::SeqCst);
+    let more = (!q.is_empty() || q.is_closed())
+        && !conn.awaiting_drain.load(Ordering::SeqCst)
+        && !conn.finish_started.load(Ordering::SeqCst);
+    if more {
+        dispatch.schedule(conn);
+    }
+}
+
+/// The drain epilogue, run exactly once per configured session after
+/// its queue drains closed: the graceful Stats + Shutdown exchange,
+/// slot release (no in-flight submission may outlive the claim — the
+/// drained queue guarantees that), and the close-after-flush hand-off.
+fn finish_conn(state: &Arc<ServerState>, conn: &Arc<Conn>) {
+    if conn.finish_started.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    if conn.graceful.load(Ordering::Acquire) {
+        // Client-initiated shutdown: a final snapshot then the closing
+        // Shutdown frame, so the client can read end-of-stream stats
+        // without racing the connection teardown.
+        conn.enqueue(&Frame::StatsReport(conn.stats(&state.farm)));
+        conn.enqueue(&Frame::Shutdown);
+    }
+    if let Some(slot) = conn.slot.lock().unwrap().take() {
+        state.release_slot(slot);
+    }
+    conn.set_close_after_flush();
+    conn.flush_and_post();
+}
+
+// ------------------------------------------------------------- handle
 
 impl ServerHandle {
     /// The address the listener is bound to.
@@ -433,70 +1221,89 @@ impl ServerHandle {
         MetricsSource::metrics_snapshot(&*self.state)
     }
 
-    /// Graceful shutdown: stop accepting, nudge live sessions to
-    /// drain (half-close of the read side lets in-flight batches
-    /// finish and their Iq frames flush), join everything within
-    /// `timeout`, then halt the farm. Returns `true` if every thread
-    /// joined inside the deadline.
+    /// Graceful shutdown: stop accepting, drain every live session
+    /// (accepted batches finish and their Iq frames flush), close the
+    /// connections, then stop the shard/processor/farm threads within
+    /// `timeout`. Returns `true` if every session closed inside the
+    /// deadline.
     pub fn shutdown(mut self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         self.state.stop.store(true, Ordering::Release);
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
-        let sessions: Vec<SessionEntry> = std::mem::take(&mut *self.registry.lock().unwrap());
-        // Half-close: the session reader sees EOF and begins its
-        // drain; the write side stays open for the remaining Iq frames.
-        for s in &sessions {
-            let _ = s.stream.shutdown(Shutdown::Read);
+        for (mailbox, _) in &self.shards {
+            mailbox.post(Notice::DrainAll);
         }
         let half_deadline = Instant::now() + timeout / 2;
-        let mut all_joined = true;
         let mut hard_closed = false;
-        let mut pending: Vec<SessionEntry> = sessions;
-        while !pending.is_empty() {
-            pending.retain(|e| !e.handle.is_finished());
-            if pending.is_empty() {
-                break;
-            }
-            let now = Instant::now();
-            if !hard_closed && now >= half_deadline {
-                // Past the halfway point: sever the write side too so
-                // blocked writes fail fast.
-                for s in &pending {
-                    let _ = s.stream.shutdown(Shutdown::Both);
+        let mut all_closed = true;
+        {
+            let mut active = self.state.active.lock().unwrap();
+            while *active > 0 {
+                let now = Instant::now();
+                if now >= deadline {
+                    all_closed = false;
+                    break;
                 }
-                hard_closed = true;
+                if !hard_closed && now >= half_deadline {
+                    // Past the halfway point: sever every socket so
+                    // blocked peers fail fast.
+                    for (mailbox, _) in &self.shards {
+                        mailbox.post(Notice::HardCloseAll);
+                    }
+                    hard_closed = true;
+                }
+                let next_edge = if hard_closed { deadline } else { half_deadline };
+                let wait = (next_edge - now).min(Duration::from_millis(50));
+                let (guard, _) = self
+                    .state
+                    .active_cv
+                    .wait_timeout(active, wait.max(Duration::from_millis(1)))
+                    .unwrap();
+                active = guard;
             }
-            if now >= deadline {
-                all_joined = false;
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(5));
         }
-        if all_joined {
-            for e in std::mem::take(&mut pending) {
-                let _ = e.handle.join();
+        self.stop_threads();
+        all_closed
+    }
+
+    /// Tears down the runtime threads (idempotent; shared by the
+    /// graceful path and Drop).
+    fn stop_threads(&mut self) {
+        for (mailbox, thread) in &mut self.shards {
+            if thread.is_some() {
+                mailbox.post(Notice::Exit);
             }
+        }
+        for (_, thread) in &mut self.shards {
+            if let Some(t) = thread.take() {
+                let _ = t.join();
+            }
+        }
+        self.dispatch.close();
+        for t in std::mem::take(&mut self.processors) {
+            let _ = t.join();
         }
         // Only after the sessions are done: stop the farm's workers.
         self.state.farm.halt();
-        all_joined
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         // Hard path (handle dropped without shutdown()): stop the
-        // accept loop and halt the farm; session threads unwind as
-        // their sockets fail.
+        // accept loop, sever every socket, close whatever remains.
+        // After shutdown() everything below is a no-op.
         self.state.stop.store(true, Ordering::Release);
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
-        for s in self.registry.lock().unwrap().iter() {
-            let _ = s.stream.shutdown(Shutdown::Both);
+        for (mailbox, thread) in &self.shards {
+            if thread.is_some() {
+                mailbox.post(Notice::HardCloseAll);
+            }
         }
-        self.state.farm.halt();
+        self.stop_threads();
     }
 }

@@ -24,7 +24,7 @@
 //! top for the server and client runtimes.
 
 use std::fmt;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 /// First two bytes of every frame.
 pub const MAGIC: u16 = 0xDDC1;
@@ -71,6 +71,9 @@ pub mod error_code {
     pub const NOT_CONFIGURED: u16 = 5;
     /// The server is shutting down.
     pub const SHUTTING_DOWN: u16 = 6;
+    /// Accept-time session setup failed (socket mode or poller
+    /// registration) — the connection was never serviceable.
+    pub const SESSION_SETUP: u16 = 7;
 }
 
 /// What the codec can object to. Distinct from I/O errors: a
@@ -148,6 +151,144 @@ pub fn checksum(bytes: &[u8]) -> u32 {
         b = (b + a) % 65535;
     }
     (b << 16) | a
+}
+
+/// Incremental Fletcher-32, bit-exact with [`checksum`], for fusing
+/// the checksum into the pass that already moves the payload bytes
+/// (encode serialisation, zero-copy decode). Uses 64-bit accumulators
+/// with a deferred modulo: the reference reduces after every 16-bit
+/// word, but reduction is a ring homomorphism, so folding only every
+/// [`FOLD_EVERY`] words leaves both residues unchanged while keeping
+/// the sums far from overflow (a < 2^27, b < 2^37 between folds).
+#[derive(Clone, Debug)]
+pub struct Fletcher32 {
+    a: u64,
+    b: u64,
+    unfolded: u32,
+    pending: Option<u8>,
+    /// Whether any word has been absorbed — the reference only reduces
+    /// per word, so an empty input keeps the raw 0xffff seeds.
+    any: bool,
+}
+
+/// Words accumulated between modulo folds of [`Fletcher32`].
+const FOLD_EVERY: u32 = 1024;
+
+impl Default for Fletcher32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fletcher32 {
+    /// A fresh accumulator (equivalent to `checksum(&[])` state).
+    pub fn new() -> Self {
+        Fletcher32 {
+            a: 0xffff,
+            b: 0xffff,
+            unfolded: 0,
+            pending: None,
+            any: false,
+        }
+    }
+
+    #[inline(always)]
+    fn word(&mut self, w: u16) {
+        self.a += w as u64;
+        self.b += self.a;
+        self.any = true;
+        self.unfolded += 1;
+        if self.unfolded >= FOLD_EVERY {
+            self.fold();
+        }
+    }
+
+    #[inline]
+    fn fold(&mut self) {
+        self.a %= 65535;
+        self.b %= 65535;
+        self.unfolded = 0;
+    }
+
+    /// Absorbs `bytes`, continuing any odd-length tail from the
+    /// previous call.
+    ///
+    /// The body runs in [`BLOCK`]-word steps using the closed form of
+    /// the recurrence: absorbing k words w₀..wₖ₋₁ from state (a, b)
+    /// yields a' = a + S and b' = b + k·a + T, with S = Σ wᵢ and
+    /// T = Σ (k−i)·wᵢ. Unlike the serial `b += a += w` chain, S and T
+    /// are independent multiply-adds the CPU can pipeline, which is
+    /// what makes checksumming run near copy speed on large payloads.
+    /// Folding may land a block late (unfolded ≤ FOLD_EVERY − 1 +
+    /// BLOCK words), which the deferred-modulo bounds absorb.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut bytes = bytes;
+        if let Some(lo) = self.pending.take() {
+            match bytes.split_first() {
+                Some((&hi, rest)) => {
+                    self.word(lo as u16 | ((hi as u16) << 8));
+                    bytes = rest;
+                }
+                None => {
+                    self.pending = Some(lo);
+                    return;
+                }
+            }
+        }
+        /// Words per closed-form step.
+        const BLOCK: usize = 32;
+        let mut blocks = bytes.chunks_exact(2 * BLOCK);
+        for blk in &mut blocks {
+            // u32 lane math: w < 2^16 and coefficients ≤ BLOCK keep
+            // every product under 2^21 and both block sums under 2^26,
+            // narrow enough for the compiler to use packed 32-bit SIMD.
+            let mut s: u32 = 0;
+            let mut t: u32 = 0;
+            for (i, c) in blk.chunks_exact(2).enumerate() {
+                let w = c[0] as u32 | ((c[1] as u32) << 8);
+                s += w;
+                t += (BLOCK - i) as u32 * w;
+            }
+            self.b += BLOCK as u64 * self.a + t as u64;
+            self.a += s as u64;
+            self.any = true;
+            self.unfolded += BLOCK as u32;
+            if self.unfolded >= FOLD_EVERY {
+                self.fold();
+            }
+        }
+        let mut chunks = blocks.remainder().chunks_exact(2);
+        for c in &mut chunks {
+            self.word(c[0] as u16 | ((c[1] as u16) << 8));
+        }
+        if let [last] = chunks.remainder() {
+            self.pending = Some(*last);
+        }
+    }
+
+    /// Absorbs one little-endian 32-bit value (two words) — the
+    /// sample-copy fast path. Callers must be 2-byte aligned in the
+    /// stream (no pending odd byte).
+    #[inline(always)]
+    pub fn push_u32_le(&mut self, v: u32) {
+        debug_assert!(self.pending.is_none(), "push_u32_le on odd byte boundary");
+        self.word(v as u16);
+        self.word((v >> 16) as u16);
+    }
+
+    /// The Fletcher-32 of everything absorbed so far (odd tail
+    /// zero-padded, exactly like [`checksum`]). Non-destructive.
+    pub fn finish(&self) -> u32 {
+        let mut a = self.a;
+        let mut b = self.b;
+        if let Some(lo) = self.pending {
+            a += lo as u64;
+            b += a;
+        } else if !self.any {
+            return 0xffff_ffff; // checksum(&[]) never reduces its seeds
+        }
+        (((b % 65535) as u32) << 16) | (a % 65535) as u32
+    }
 }
 
 /// Backpressure policy a session chooses at Configure time.
@@ -544,6 +685,142 @@ pub fn encode_frame_into(frame: &Frame, seq: u32, buf: &mut Vec<u8>) {
     buf[16..20].copy_from_slice(&header_sum.to_le_bytes());
 }
 
+/// An encoded frame kept as separate header and payload segments — the
+/// natural shape for vectored socket writes (`write_vectored` sends
+/// both with one syscall and no concatenation copy). Reused across
+/// frames, the payload `Vec` makes the steady-state egress path
+/// allocation-free.
+///
+/// The hot-path frame types have dedicated encoders
+/// ([`encode_samples`](FrameBuf::encode_samples),
+/// [`encode_iq`](FrameBuf::encode_iq)) that fold the Fletcher-32
+/// payload checksum into the serialisation pass itself, so the payload
+/// bytes are walked exactly once; [`encode`](FrameBuf::encode) covers
+/// every frame type generically (control frames are tiny, so their
+/// separate checksum pass costs nothing).
+#[derive(Clone, Debug, Default)]
+pub struct FrameBuf {
+    /// The sealed 20-byte frame header.
+    pub header: [u8; HEADER_LEN],
+    /// The payload bytes (without the header).
+    pub payload: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// An empty buffer ready for any `encode_*` call.
+    pub fn new() -> Self {
+        FrameBuf {
+            header: [0u8; HEADER_LEN],
+            payload: Vec::new(),
+        }
+    }
+
+    /// Total wire size of the encoded frame.
+    pub fn total_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Fills in the header for the current payload.
+    fn seal(&mut self, frame_type: u8, seq: u32, payload_sum: u32) {
+        debug_assert!(
+            self.payload.len() <= MAX_PAYLOAD as usize,
+            "oversized frame"
+        );
+        let h = &mut self.header;
+        h[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+        h[2] = VERSION;
+        h[3] = frame_type;
+        h[4..8].copy_from_slice(&seq.to_le_bytes());
+        h[8..12].copy_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        h[12..16].copy_from_slice(&payload_sum.to_le_bytes());
+        let header_sum = checksum(&h[0..16]);
+        h[16..20].copy_from_slice(&header_sum.to_le_bytes());
+    }
+
+    /// Serialises any frame (two passes over the payload: serialise,
+    /// then checksum — fine for small control frames).
+    pub fn encode(&mut self, frame: &Frame, seq: u32) {
+        self.payload.clear();
+        encode_payload(frame, &mut self.payload);
+        let sum = checksum(&self.payload);
+        self.seal(frame.type_byte(), seq, sum);
+    }
+
+    /// Fused Samples encoder: serialises the batch and computes its
+    /// payload checksum in the same single pass over `samples` — the
+    /// serial Fletcher chain hides entirely under the copy latency.
+    /// Byte-identical to `encode(&Frame::Samples(..))`.
+    pub fn encode_samples(&mut self, seq: u32, batch_index: u64, samples: &[i32]) {
+        self.payload.clear();
+        self.payload.reserve(12 + samples.len() * 4);
+        put_u64(&mut self.payload, batch_index);
+        put_u32(&mut self.payload, samples.len() as u32);
+        let mut acc = Fletcher32::new();
+        acc.update(&self.payload);
+        for &x in samples {
+            self.payload.extend_from_slice(&x.to_le_bytes());
+            acc.push_u32_le(x as u32);
+        }
+        self.seal(3, seq, acc.finish());
+    }
+
+    /// Fused Iq encoder: one pass over the output pairs. Byte-identical
+    /// to `encode(&Frame::Iq(..))`.
+    pub fn encode_iq(
+        &mut self,
+        seq: u32,
+        batch_index: u64,
+        dropped_total: u64,
+        pairs: &[ddc_core::mixer::Iq],
+    ) {
+        self.payload.clear();
+        self.payload.reserve(20 + pairs.len() * 16);
+        put_u64(&mut self.payload, batch_index);
+        put_u64(&mut self.payload, dropped_total);
+        put_u32(&mut self.payload, pairs.len() as u32);
+        let mut acc = Fletcher32::new();
+        acc.update(&self.payload);
+        for p in pairs {
+            for v in [p.i, p.q] {
+                self.payload.extend_from_slice(&v.to_le_bytes());
+                let u = v as u64;
+                acc.push_u32_le(u as u32);
+                acc.push_u32_le((u >> 32) as u32);
+            }
+        }
+        self.seal(4, seq, acc.finish());
+    }
+
+    /// Writes the whole frame to a blocking writer with vectored
+    /// header+payload submission (no intermediate concatenation).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let total = self.total_len();
+        let mut done = 0usize;
+        while done < total {
+            let r = if done < HEADER_LEN {
+                w.write_vectored(&[
+                    IoSlice::new(&self.header[done..]),
+                    IoSlice::new(&self.payload),
+                ])
+            } else {
+                w.write(&self.payload[done - HEADER_LEN..])
+            };
+            match r {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted no bytes",
+                    ))
+                }
+                Ok(n) => done += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
 // ---------------------------------------------------------------- decode
 
 /// A validated frame header.
@@ -785,6 +1062,64 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
     Ok(frame)
 }
 
+/// Zero-copy Samples decode: parses the payload prefix and then moves
+/// the sample words straight into `out` (appending), folding the
+/// Fletcher-32 verification into that same copy pass — the payload is
+/// walked exactly once, against twice for
+/// [`decode_payload`]-into-`Vec` (checksum pass, then parse/copy
+/// pass). `out` is typically a session's reusable farm-input scratch
+/// buffer, so the bytes go from the connection read buffer to the DSP
+/// input with no intermediate `Vec`.
+///
+/// Returns the batch index. On any error `out` is restored to its
+/// original length. Error equivalence with the owned path is pinned by
+/// `tests/zero_copy_equiv.rs`.
+pub fn decode_samples_into(
+    header: &FrameHeader,
+    payload: &[u8],
+    out: &mut Vec<i32>,
+) -> Result<u64, WireError> {
+    debug_assert_eq!(payload.len(), header.payload_len as usize);
+    debug_assert_eq!(header.frame_type, 3);
+    let well_formed = payload.len() >= 12 && (payload.len() - 12).is_multiple_of(4) && {
+        let count = u32::from_le_bytes(payload[8..12].try_into().unwrap());
+        count as usize * 4 == payload.len() - 12
+    };
+    if !well_formed {
+        // Cold path: mirror decode_payload's error order exactly
+        // (checksum verdict first, structural objection second).
+        if checksum(payload) != header.payload_sum {
+            return Err(WireError::PayloadChecksum);
+        }
+        if payload.len() < 8 {
+            return Err(WireError::Truncated("samples batch_index"));
+        }
+        if payload.len() < 12 {
+            return Err(WireError::Truncated("samples count"));
+        }
+        return Err(WireError::CountMismatch {
+            declared: u32::from_le_bytes(payload[8..12].try_into().unwrap()),
+            available: payload.len() - 12,
+        });
+    }
+    let batch_index = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let count = (payload.len() - 12) / 4;
+    let base = out.len();
+    out.reserve(count);
+    let mut acc = Fletcher32::new();
+    acc.update(&payload[..12]);
+    for chunk in payload[12..].chunks_exact(4) {
+        let v = u32::from_le_bytes(chunk.try_into().unwrap());
+        acc.push_u32_le(v);
+        out.push(v as i32);
+    }
+    if acc.finish() != header.payload_sum {
+        out.truncate(base);
+        return Err(WireError::PayloadChecksum);
+    }
+    Ok(batch_index)
+}
+
 // ------------------------------------------------------------- blocking I/O
 
 /// Why [`read_frame`] failed.
@@ -833,6 +1168,16 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(u32, Frame), FrameReadError> {
 /// (header validation + payload parse), excluding the blocking socket
 /// reads — the number a per-session decode-latency histogram wants.
 pub fn read_frame_timed<R: Read>(r: &mut R) -> Result<(u32, Frame, u64), FrameReadError> {
+    read_frame_buffered(r, &mut Vec::new())
+}
+
+/// [`read_frame_timed`] with a caller-owned payload scratch buffer, so
+/// a long-lived receiver reads every frame without a per-frame heap
+/// allocation. `scratch` is clobbered.
+pub fn read_frame_buffered<R: Read>(
+    r: &mut R,
+    scratch: &mut Vec<u8>,
+) -> Result<(u32, Frame, u64), FrameReadError> {
     let mut header = [0u8; HEADER_LEN];
     let mut got = 0;
     while got < HEADER_LEN {
@@ -850,10 +1195,11 @@ pub fn read_frame_timed<R: Read>(r: &mut R) -> Result<(u32, Frame, u64), FrameRe
     let t0 = std::time::Instant::now();
     let h = decode_header(&header)?;
     let decode_header_ns = t0.elapsed().as_nanos();
-    let mut payload = vec![0u8; h.payload_len as usize];
-    r.read_exact(&mut payload)?;
+    scratch.clear();
+    scratch.resize(h.payload_len as usize, 0);
+    r.read_exact(scratch)?;
     let t1 = std::time::Instant::now();
-    let frame = decode_payload(&h, &payload)?;
+    let frame = decode_payload(&h, scratch)?;
     let decode_ns = (decode_header_ns + t1.elapsed().as_nanos()).min(u64::MAX as u128) as u64;
     Ok((h.seq, frame, decode_ns))
 }
@@ -1012,6 +1358,141 @@ mod tests {
                 assert_eq!(r.farm_orphans_reclaimed, 0);
             }
             other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_fletcher_matches_reference_at_any_split() {
+        // Deterministic pseudo-random bytes, odd and even lengths.
+        let mut state = 0x1234_5678u32;
+        let mut next = move || {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 24) as u8
+        };
+        for len in [0usize, 1, 2, 3, 7, 64, 65, 2047, 4096, 5000] {
+            let bytes: Vec<u8> = (0..len).map(|_| next()).collect();
+            let want = checksum(&bytes);
+            // one shot
+            let mut acc = Fletcher32::new();
+            acc.update(&bytes);
+            assert_eq!(acc.finish(), want, "one-shot len {len}");
+            // every possible two-way split (including odd boundaries
+            // that leave a pending byte across the calls)
+            for cut in 0..=len.min(64) {
+                let mut acc = Fletcher32::new();
+                acc.update(&bytes[..cut]);
+                acc.update(&bytes[cut..]);
+                assert_eq!(acc.finish(), want, "len {len} cut {cut}");
+            }
+            // byte-at-a-time
+            let mut acc = Fletcher32::new();
+            for b in &bytes {
+                acc.update(std::slice::from_ref(b));
+            }
+            assert_eq!(acc.finish(), want, "byte-at-a-time len {len}");
+        }
+    }
+
+    #[test]
+    fn incremental_fletcher_u32_push_matches_bytes() {
+        let values = [0u32, 1, 0xffff, 0x1_0000, u32::MAX, 0xDEAD_BEEF];
+        let mut bytes = Vec::new();
+        let mut acc = Fletcher32::new();
+        for &v in &values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+            acc.push_u32_le(v);
+        }
+        assert_eq!(acc.finish(), checksum(&bytes));
+    }
+
+    #[test]
+    fn fused_samples_encode_is_byte_identical_to_generic() {
+        for samples in [
+            vec![],
+            vec![0],
+            vec![i32::MIN, -1, 0, 1, i32::MAX],
+            (0..2688).map(|k| k * 40503 - 7).collect::<Vec<i32>>(),
+        ] {
+            let frame = Frame::Samples(Samples {
+                batch_index: 77,
+                samples: samples.clone(),
+            });
+            let want = encode_frame(&frame, 9);
+            let mut fb = FrameBuf::new();
+            fb.encode_samples(9, 77, &samples);
+            let mut got = fb.header.to_vec();
+            got.extend_from_slice(&fb.payload);
+            assert_eq!(got, want, "fused samples encode diverged");
+        }
+    }
+
+    #[test]
+    fn fused_iq_encode_is_byte_identical_to_generic() {
+        let pairs = vec![
+            ddc_core::mixer::Iq {
+                i: i64::MIN,
+                q: i64::MAX,
+            },
+            ddc_core::mixer::Iq { i: -5, q: 5 },
+            ddc_core::mixer::Iq { i: 0, q: 0 },
+        ];
+        let frame = Frame::Iq(IqPayload {
+            batch_index: 3,
+            dropped_total: 2,
+            pairs: pairs.iter().map(|p| (p.i, p.q)).collect(),
+        });
+        let want = encode_frame(&frame, 5);
+        let mut fb = FrameBuf::new();
+        fb.encode_iq(5, 3, 2, &pairs);
+        let mut got = fb.header.to_vec();
+        got.extend_from_slice(&fb.payload);
+        assert_eq!(got, want, "fused iq encode diverged");
+    }
+
+    #[test]
+    fn frame_buf_generic_encode_and_write_to_match_write_frame() {
+        let frame = Frame::Error(ErrorFrame {
+            code: error_code::PROTOCOL,
+            message: "odd length payload …".into(),
+        });
+        let mut want = Vec::new();
+        write_frame(&mut want, &frame, 11).unwrap();
+        let mut fb = FrameBuf::new();
+        fb.encode(&frame, 11);
+        assert_eq!(fb.total_len(), want.len());
+        let mut got = Vec::new();
+        fb.write_to(&mut got).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zero_copy_samples_decode_matches_owned_and_restores_on_error() {
+        let samples: Vec<i32> = (0..500).map(|k| k * 123456 - 999).collect();
+        let bytes = encode_frame(
+            &Frame::Samples(Samples {
+                batch_index: 42,
+                samples: samples.clone(),
+            }),
+            0,
+        );
+        let h = decode_header(bytes[..HEADER_LEN].try_into().unwrap()).unwrap();
+        let payload = &bytes[HEADER_LEN..];
+        let mut out = vec![7i32; 3]; // pre-existing content must survive
+        let idx = decode_samples_into(&h, payload, &mut out).unwrap();
+        assert_eq!(idx, 42);
+        assert_eq!(&out[..3], &[7, 7, 7]);
+        assert_eq!(&out[3..], samples.as_slice());
+        // corrupt any payload byte → PayloadChecksum and out untouched
+        for k in [0usize, 8, 12, 500, payload.len() - 1] {
+            let mut bad = payload.to_vec();
+            bad[k] ^= 0x20;
+            let mut out = vec![1i32, 2];
+            assert_eq!(
+                decode_samples_into(&h, &bad, &mut out),
+                Err(WireError::PayloadChecksum),
+                "byte {k}"
+            );
+            assert_eq!(out, vec![1, 2], "out mutated on checksum failure");
         }
     }
 
