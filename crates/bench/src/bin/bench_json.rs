@@ -419,6 +419,39 @@ fn main() {
         });
     }
 
+    // --- Polyphase channelizer: amortisation across N --------------
+    // One bank replaces N independent chains: the polyphase front end
+    // costs a fixed `taps_per_branch` MACs per wideband input sample
+    // regardless of N, and the FFT adds only O(log N) per input
+    // sample — so the cost *per channel* falls as the bank widens.
+    // `block_msps` is wideband input throughput (one pass serves all
+    // N channels); `per_channel_cost_ns` is the amortised cost of one
+    // input sample on one channel, the number that must fall
+    // monotonically with N for the bank to beat per-channel DDCs
+    // (bench_gate checks that curve whenever these stages are
+    // present).
+    for channels in [8u32, 64, 256] {
+        use ddc_core::spec::ChannelizerSpec;
+        use ddc_core::ChannelizerFarm;
+        let spec = ChannelizerSpec::uniform(channels, fs);
+        let mut bank = ChannelizerFarm::from_spec(spec).expect("channelizer spec");
+        let blk = measure(n, || {
+            let rows = bank.process_block(&adc);
+            black_box(rows.len());
+        });
+        let per_channel_cost_ns = 1e9 / blk / f64::from(channels);
+        results.push(StageResult {
+            name: format!("channelizer_n{channels}"),
+            per_sample_msps: None,
+            block_msps: blk / 1e6,
+            extra: vec![
+                ("channels", f64::from(channels)),
+                ("per_channel_cost_ns", per_channel_cost_ns),
+                ("aggregate_msps", blk * f64::from(channels) / 1e6),
+            ],
+        });
+    }
+
     // --- Streaming service over TCP loopback -----------------------
     // End-to-end service throughput: one session, Block policy,
     // lock-step send/ack over a real socket — so the number includes

@@ -50,6 +50,7 @@
 
 pub mod activity;
 pub mod chain;
+pub mod channelizer;
 pub mod cic;
 pub mod duc;
 pub mod engine;
@@ -63,8 +64,9 @@ pub mod pruned;
 pub mod spec;
 
 pub use chain::{chain_metrics_for, FixedDdc, ReferenceDdc};
+pub use channelizer::{ChannelBackend, Channelizer, ChannelizerFarm, ChannelizerMetrics};
 pub use ddc_obs::{ChainMetrics, MetricsHandle, MetricsSnapshot};
 pub use engine::{DdcFarm, FarmMetrics, FarmTotals};
 pub use frontend::FusedFrontEnd;
 pub use params::{DdcConfig, FixedFormat};
-pub use spec::{ChainSpec, SpecError, SpecNote, SpecNoteKind, StageSpec};
+pub use spec::{ChainSpec, ChannelizerSpec, SpecError, SpecNote, SpecNoteKind, StageSpec};

@@ -19,6 +19,7 @@
 
 use crate::params::{DdcConfig, FixedFormat};
 use ddc_dsp::firdes;
+use ddc_dsp::remez;
 use ddc_dsp::window::{kaiser_beta, Window};
 use std::fmt;
 
@@ -52,6 +53,17 @@ pub const MAX_FIR_TAPS: usize = 4096;
 pub const SPEC_ENCODING_VERSION: u8 = 1;
 /// Longest allowed spec name on the wire.
 pub const MAX_NAME_LEN: usize = 64;
+/// Most channels a [`ChannelizerSpec`] may declare (the FFT plan cache
+/// and the per-output branch scratch are sized for this).
+pub const MAX_CHANNELS: u32 = 1024;
+/// Most prototype taps per polyphase branch.
+pub const MAX_TAPS_PER_BRANCH: u32 = 64;
+/// Version byte leading every binary-encoded channelizer spec.
+pub const CHANNELIZER_ENCODING_VERSION: u8 = 1;
+/// Longest prototype the Parks–McClellan designer is allowed to chew
+/// on — its exchange iteration is O(taps²), so big banks must use the
+/// closed-form Kaiser design instead.
+pub const MAX_REMEZ_PROTOTYPE_TAPS: u32 = 1024;
 
 /// Compile-time product of stage decimations, so derived constants can
 /// never drift from the per-stage table.
@@ -164,6 +176,33 @@ pub enum SpecError {
     BadStageTag(u8),
     /// Unsupported spec-encoding version byte.
     BadEncodingVersion(u8),
+    /// A channelizer declared a channel count outside 2..=[`MAX_CHANNELS`].
+    BadChannelCount(u32),
+    /// A channelizer declared a taps-per-branch outside
+    /// 1..=[`MAX_TAPS_PER_BRANCH`].
+    BadTapsPerBranch(u32),
+    /// A channelizer declared an oversampling factor that is not 1 or 2,
+    /// or 2 with an odd channel count (the M/2 commutator needs N even).
+    BadOversample(u32),
+    /// Unknown prototype-design tag byte in an encoded channelizer spec.
+    BadDesignTag(u8),
+    /// A channelizer prototype design parameter was out of range.
+    BadDesignParam(&'static str, f64),
+    /// A channelizer enabled no channels at all.
+    NoEnabledChannels,
+    /// A channelizer enable mask set bits past the channel count.
+    BadEnableMask,
+    /// An encoded channelizer declared a prototype length disagreeing
+    /// with channels × taps-per-branch — the redundant consistency
+    /// check the wire encoding carries.
+    PrototypeMismatch {
+        /// Prototype tap count the encoder declared.
+        declared: u32,
+        /// channels × taps_per_branch.
+        product: u32,
+    },
+    /// The prototype designer failed (Parks–McClellan non-convergence).
+    DesignFailed(String),
 }
 
 impl fmt::Display for SpecError {
@@ -204,6 +243,28 @@ impl fmt::Display for SpecError {
             SpecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after encoded spec"),
             SpecError::BadStageTag(t) => write!(f, "unknown stage tag {t}"),
             SpecError::BadEncodingVersion(v) => write!(f, "unsupported spec encoding version {v}"),
+            SpecError::BadChannelCount(n) => {
+                write!(f, "channel count {n} outside 2..={MAX_CHANNELS}")
+            }
+            SpecError::BadTapsPerBranch(l) => {
+                write!(f, "taps per branch {l} outside 1..={MAX_TAPS_PER_BRANCH}")
+            }
+            SpecError::BadOversample(m) => {
+                write!(f, "oversampling factor {m} must be 1, or 2 with even N")
+            }
+            SpecError::BadDesignTag(t) => write!(f, "unknown prototype design tag {t}"),
+            SpecError::BadDesignParam(what, v) => {
+                write!(f, "prototype design parameter {what} = {v} out of range")
+            }
+            SpecError::NoEnabledChannels => write!(f, "channelizer enables no channels"),
+            SpecError::BadEnableMask => {
+                write!(f, "enable mask sets bits past the channel count")
+            }
+            SpecError::PrototypeMismatch { declared, product } => write!(
+                f,
+                "declared prototype length {declared} != channels x taps_per_branch {product}"
+            ),
+            SpecError::DesignFailed(why) => write!(f, "prototype design failed: {why}"),
         }
     }
 }
@@ -221,6 +282,15 @@ pub enum SpecNoteKind {
     /// quantization symmetric, and losing symmetry usually means the
     /// taps were post-processed (truncated, perturbed) after design.
     AsymmetricFirTaps,
+    /// A channelizer's channel count is not a power of two, so the
+    /// per-output transform falls back from the radix-2 FFT to the
+    /// naive O(N²) DFT. Valid but much slower at large N.
+    NonPowerOfTwoChannels,
+    /// A channelizer prototype's estimated transition band is wider
+    /// than the channel spacing, so adjacent-channel energy aliases
+    /// into every extracted channel. Valid — the bank still computes —
+    /// but the channels are not isolated the way a channelizer promises.
+    WideTransitionBand,
 }
 
 /// One non-fatal, structured observation about a valid spec —
@@ -725,6 +795,429 @@ impl From<&DdcConfig> for ChainSpec {
     }
 }
 
+// ===================================================================
+// Channelizer spec
+// ===================================================================
+
+/// How the channelizer's prototype lowpass is designed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrototypeDesign {
+    /// Closed-form Kaiser-windowed sinc — always converges, any length.
+    Kaiser,
+    /// Parks–McClellan equiripple via `dsp::remez` — tighter transition
+    /// for the same length, but O(taps²) per exchange iteration, so
+    /// capped at [`MAX_REMEZ_PROTOTYPE_TAPS`] total taps.
+    Remez,
+}
+
+impl PrototypeDesign {
+    fn to_u8(self) -> u8 {
+        match self {
+            PrototypeDesign::Kaiser => 0,
+            PrototypeDesign::Remez => 1,
+        }
+    }
+
+    fn from_u8(tag: u8) -> Result<Self, SpecError> {
+        match tag {
+            0 => Ok(PrototypeDesign::Kaiser),
+            1 => Ok(PrototypeDesign::Remez),
+            other => Err(SpecError::BadDesignTag(other)),
+        }
+    }
+}
+
+/// Declarative description of a polyphase filter-bank channelizer: one
+/// wideband real input split into `channels` uniformly spaced complex
+/// basebands in a single pass. The sibling of [`ChainSpec`] — same
+/// validation discipline, same binary-encoding discipline, same
+/// structured [`SpecNote`] advisories — describing the N-channel
+/// front end instead of a single-carrier chain.
+///
+/// Channel `k` (0 ≤ k < N) sits at centre frequency `k·fs/N` for
+/// `k ≤ N/2` and `(k−N)·fs/N` above (the usual signed FFT-bin order).
+/// Each channel is the bounds-equivalent of a standalone
+/// [`crate::chain::FixedDdc`] running a single `L·N`-tap FIR decimating
+/// by `N/oversample`, tuned to that centre.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChannelizerSpec {
+    /// Short identifier, used by the server's ingest registry and the
+    /// benchmark naming (`channelizer_n64`).
+    pub name: String,
+    /// Wideband input (ADC) sample rate, Hz.
+    pub input_rate: f64,
+    /// Number of uniformly spaced channels N (2..=[`MAX_CHANNELS`]).
+    /// Powers of two run on the radix-2 FFT; other counts fall back to
+    /// the naive DFT (see [`SpecNoteKind::NonPowerOfTwoChannels`]).
+    pub channels: u32,
+    /// Prototype taps per polyphase branch L; the prototype lowpass has
+    /// `L·N` taps total.
+    pub taps_per_branch: u32,
+    /// 1 = critically sampled (commutator advances N per output),
+    /// 2 = M/2-oversampled (advances N/2; output rate doubles and the
+    /// channel edges stay alias-free through the transition band).
+    pub oversample: u32,
+    /// Prototype design method.
+    pub design: PrototypeDesign,
+    /// Target stopband attenuation for the prototype, dB.
+    pub atten_db: f64,
+    /// Passband cutoff as a fraction of the half channel spacing
+    /// `0.5·fs/N`; 1.0 puts the −6 dB point exactly at the channel
+    /// crossover (adjacent channels meet at −6 dB, the classic bank).
+    pub cutoff_scale: f64,
+    /// Fixed-point formats for the bit-true bank (prototype taps are
+    /// quantized to `coeff_bits` exactly like a [`ChainSpec`] FIR).
+    pub format: FixedFormat,
+    /// Per-channel enable mask, length `channels`; disabled channels
+    /// skip their backend and their wire fan-out but still ride the
+    /// shared transform for free.
+    pub enabled: Vec<bool>,
+}
+
+impl ChannelizerSpec {
+    /// A uniform all-channels-enabled bank with the reference defaults:
+    /// 8 taps per branch, critically sampled, Kaiser 80 dB prototype,
+    /// −6 dB crossover at the channel edges, 12-bit FPGA format.
+    pub fn uniform(channels: u32, input_rate: f64) -> Self {
+        ChannelizerSpec {
+            name: format!("pfb{channels}"),
+            input_rate,
+            channels,
+            taps_per_branch: 8,
+            oversample: 1,
+            design: PrototypeDesign::Kaiser,
+            atten_db: 80.0,
+            cutoff_scale: 1.0,
+            format: FixedFormat::FPGA12,
+            enabled: vec![true; channels as usize],
+        }
+    }
+
+    /// Commutator advance per output sample: `N / oversample` input
+    /// samples are consumed between consecutive output vectors.
+    pub fn decimation(&self) -> u32 {
+        self.channels / self.oversample
+    }
+
+    /// Per-channel output sample rate, Hz.
+    pub fn output_rate(&self) -> f64 {
+        self.input_rate / self.decimation() as f64
+    }
+
+    /// Total prototype length `L·N`.
+    pub fn prototype_len(&self) -> u32 {
+        self.channels * self.taps_per_branch
+    }
+
+    /// Centre frequency of channel `k`, Hz, in signed FFT-bin order.
+    pub fn channel_freq(&self, k: u32) -> f64 {
+        let n = self.channels;
+        let ks = if k <= n / 2 {
+            k as i64
+        } else {
+            k as i64 - n as i64
+        };
+        ks as f64 * self.input_rate / n as f64
+    }
+
+    /// Indices of the enabled channels, ascending.
+    pub fn enabled_channels(&self) -> Vec<usize> {
+        self.enabled
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &on)| on.then_some(k))
+            .collect()
+    }
+
+    /// Estimated prototype transition width, cycles/sample at the input
+    /// rate — Kaiser's formula `Δf ≈ (A − 7.95)/(14.36·(taps − 1))`,
+    /// which also upper-bounds the equiripple design.
+    pub fn transition_width(&self) -> f64 {
+        let taps = self.prototype_len().max(2) as f64;
+        ((self.atten_db - 7.95) / (14.36 * (taps - 1.0))).max(0.0)
+    }
+
+    /// Designs the prototype lowpass (unit DC gain, `L·N` f64 taps).
+    /// The cutoff sits at `cutoff_scale · 0.5/N`. Kaiser designs cannot
+    /// fail; Parks–McClellan returns [`SpecError::DesignFailed`] when
+    /// the exchange does not converge.
+    pub fn prototype_taps(&self) -> Result<Vec<f64>, SpecError> {
+        let total = self.prototype_len() as usize;
+        let half_spacing = 0.5 / self.channels as f64;
+        let cutoff = self.cutoff_scale * half_spacing;
+        match self.design {
+            PrototypeDesign::Kaiser => {
+                let beta = kaiser_beta(self.atten_db);
+                Ok(firdes::lowpass(total, cutoff, Window::Kaiser(beta)))
+            }
+            PrototypeDesign::Remez => {
+                // Equiripple pass/stop edges symmetric about the channel
+                // crossover: pass at s·h, stop at (2−s)·h. The designer
+                // wants an odd length; an even L·N designs one tap short
+                // and pads a trailing zero (identical output values, one
+                // sample of added group delay the bank never resolves).
+                let odd = if total % 2 == 1 { total } else { total - 1 };
+                let spec = remez::LowpassSpec {
+                    taps: odd,
+                    f_pass: cutoff,
+                    f_stop: (2.0 - self.cutoff_scale) * half_spacing,
+                    pass_weight: 1.0,
+                };
+                let mut taps = remez::remez_lowpass(spec)
+                    .map_err(SpecError::DesignFailed)?
+                    .taps;
+                firdes::normalize_dc(&mut taps);
+                taps.resize(total, 0.0);
+                Ok(taps)
+            }
+        }
+    }
+
+    /// Checks internal consistency — the same contract as
+    /// [`ChainSpec::validate`].
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.len() > MAX_NAME_LEN {
+            return Err(SpecError::BadName);
+        }
+        if !(self.input_rate.is_finite() && self.input_rate > 0.0) {
+            return Err(SpecError::BadRate(self.input_rate));
+        }
+        if !(2..=MAX_CHANNELS).contains(&self.channels) {
+            return Err(SpecError::BadChannelCount(self.channels));
+        }
+        if !(1..=MAX_TAPS_PER_BRANCH).contains(&self.taps_per_branch) {
+            return Err(SpecError::BadTapsPerBranch(self.taps_per_branch));
+        }
+        match self.oversample {
+            1 => {}
+            2 if self.channels.is_multiple_of(2) => {}
+            m => return Err(SpecError::BadOversample(m)),
+        }
+        if !(self.atten_db.is_finite() && (20.0..=160.0).contains(&self.atten_db)) {
+            return Err(SpecError::BadDesignParam("atten_db", self.atten_db));
+        }
+        if !(self.cutoff_scale.is_finite() && self.cutoff_scale > 0.0 && self.cutoff_scale <= 1.0) {
+            return Err(SpecError::BadDesignParam("cutoff_scale", self.cutoff_scale));
+        }
+        if self.design == PrototypeDesign::Remez {
+            if self.prototype_len() > MAX_REMEZ_PROTOTYPE_TAPS {
+                return Err(SpecError::BadDesignParam(
+                    "remez prototype taps",
+                    self.prototype_len() as f64,
+                ));
+            }
+            // The exchange needs a real transition band and ≥ 7 taps.
+            if self.cutoff_scale > 0.95 {
+                return Err(SpecError::BadDesignParam(
+                    "remez cutoff_scale",
+                    self.cutoff_scale,
+                ));
+            }
+            if self.prototype_len() < 8 {
+                return Err(SpecError::BadDesignParam(
+                    "remez prototype taps",
+                    self.prototype_len() as f64,
+                ));
+            }
+        }
+        for (name, w, lo, hi) in [
+            ("data", self.format.data_bits, 2, 32),
+            ("coeff", self.format.coeff_bits, 2, 32),
+            ("fir accumulator", self.format.fir_acc_bits, 2, 48),
+            ("lut address", self.format.lut_addr_bits, 2, 24),
+        ] {
+            if !(lo..=hi).contains(&w) {
+                return Err(SpecError::BadWidth(name, w));
+            }
+        }
+        if self.enabled.len() != self.channels as usize {
+            return Err(SpecError::BadEnableMask);
+        }
+        if !self.enabled.iter().any(|&on| on) {
+            return Err(SpecError::NoEnabledChannels);
+        }
+        Ok(())
+    }
+
+    /// Non-fatal advisories — the channelizer counterpart of
+    /// [`ChainSpec::notes`]. `stage` 0 is the transform, 1 the
+    /// prototype.
+    pub fn notes(&self) -> Vec<SpecNote> {
+        let mut notes = Vec::new();
+        if !self.channels.is_power_of_two() {
+            notes.push(SpecNote {
+                stage: 0,
+                kind: SpecNoteKind::NonPowerOfTwoChannels,
+                message: format!(
+                    "{} channels is not a power of two: the per-output \
+                     transform falls back from the radix-2 FFT to the \
+                     naive O(N²) DFT",
+                    self.channels
+                ),
+            });
+        }
+        let spacing = 1.0 / self.channels as f64;
+        let width = self.transition_width();
+        if width > spacing {
+            notes.push(SpecNote {
+                stage: 1,
+                kind: SpecNoteKind::WideTransitionBand,
+                message: format!(
+                    "prototype transition band ≈ {width:.5} cycles/sample \
+                     exceeds the channel spacing {spacing:.5}: adjacent \
+                     channels alias into every extracted channel; use more \
+                     taps per branch or relax atten_db"
+                ),
+            });
+        }
+        notes
+    }
+
+    /// Compact binary encoding (little-endian throughout):
+    ///
+    /// ```text
+    /// u8   encoding version (CHANNELIZER_ENCODING_VERSION)
+    /// u8   name length, then that many UTF-8 bytes
+    /// u64  input_rate (f64 bits)
+    /// u32  channels
+    /// u32  taps_per_branch
+    /// u8   oversample
+    /// u8   design tag (0=Kaiser, 1=Remez)
+    /// u64  atten_db (f64 bits)
+    /// u64  cutoff_scale (f64 bits)
+    /// u8×4 data_bits, coeff_bits, fir_acc_bits, lut_addr_bits
+    /// u32  declared prototype length (redundant consistency check)
+    /// ceil(channels/8) enable-mask bytes, LSB-first; trailing bits 0
+    /// ```
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48 + self.channels as usize / 8);
+        out.push(CHANNELIZER_ENCODING_VERSION);
+        let name = self.name.as_bytes();
+        debug_assert!(name.len() <= MAX_NAME_LEN);
+        out.push(name.len().min(MAX_NAME_LEN) as u8);
+        out.extend_from_slice(&name[..name.len().min(MAX_NAME_LEN)]);
+        out.extend_from_slice(&self.input_rate.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.channels.to_le_bytes());
+        out.extend_from_slice(&self.taps_per_branch.to_le_bytes());
+        out.push(self.oversample as u8);
+        out.push(self.design.to_u8());
+        out.extend_from_slice(&self.atten_db.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.cutoff_scale.to_bits().to_le_bytes());
+        out.push(self.format.data_bits as u8);
+        out.push(self.format.coeff_bits as u8);
+        out.push(self.format.fir_acc_bits as u8);
+        out.push(self.format.lut_addr_bits as u8);
+        out.extend_from_slice(&self.prototype_len().to_le_bytes());
+        let mask_bytes = (self.channels as usize).div_ceil(8);
+        let mut mask = vec![0u8; mask_bytes];
+        for (k, &on) in self.enabled.iter().enumerate() {
+            if on {
+                mask[k / 8] |= 1 << (k % 8);
+            }
+        }
+        out.extend_from_slice(&mask);
+        out
+    }
+
+    /// Decodes and fully validates a spec produced by
+    /// [`ChannelizerSpec::encode`], including the declared prototype
+    /// length and the trailing-mask-bit checks.
+    pub fn decode(bytes: &[u8]) -> Result<ChannelizerSpec, SpecError> {
+        let mut c = SpecCursor { buf: bytes, pos: 0 };
+        let version = c.u8("encoding version")?;
+        if version != CHANNELIZER_ENCODING_VERSION {
+            return Err(SpecError::BadEncodingVersion(version));
+        }
+        let name_len = c.u8("name length")? as usize;
+        if name_len > MAX_NAME_LEN {
+            return Err(SpecError::BadName);
+        }
+        let name = std::str::from_utf8(c.take(name_len, "name")?)
+            .map_err(|_| SpecError::BadName)?
+            .to_string();
+        let input_rate = f64::from_bits(c.u64("input rate")?);
+        let channels = c.u32("channel count")?;
+        if !(2..=MAX_CHANNELS).contains(&channels) {
+            return Err(SpecError::BadChannelCount(channels));
+        }
+        let taps_per_branch = c.u32("taps per branch")?;
+        let oversample = c.u8("oversample")? as u32;
+        let design = PrototypeDesign::from_u8(c.u8("design tag")?)?;
+        let atten_db = f64::from_bits(c.u64("atten db")?);
+        let cutoff_scale = f64::from_bits(c.u64("cutoff scale")?);
+        let format = FixedFormat {
+            data_bits: c.u8("data bits")? as u32,
+            coeff_bits: c.u8("coeff bits")? as u32,
+            fir_acc_bits: c.u8("fir acc bits")? as u32,
+            lut_addr_bits: c.u8("lut addr bits")? as u32,
+        };
+        let declared_len = c.u32("prototype length")?;
+        let mask_bytes = (channels as usize).div_ceil(8);
+        let mask = c.take(mask_bytes, "enable mask")?;
+        let mut enabled = Vec::with_capacity(channels as usize);
+        for k in 0..channels as usize {
+            enabled.push(mask[k / 8] & (1 << (k % 8)) != 0);
+        }
+        // Bits past the channel count must be clear — a corrupted mask
+        // must not decode to a different-but-valid bank.
+        for (byte_idx, &b) in mask.iter().enumerate() {
+            for bit in 0..8 {
+                if byte_idx * 8 + bit >= channels as usize && b & (1 << bit) != 0 {
+                    return Err(SpecError::BadEnableMask);
+                }
+            }
+        }
+        if c.remaining() != 0 {
+            return Err(SpecError::TrailingBytes(c.remaining()));
+        }
+        let spec = ChannelizerSpec {
+            name,
+            input_rate,
+            channels,
+            taps_per_branch,
+            oversample,
+            design,
+            atten_db,
+            cutoff_scale,
+            format,
+            enabled,
+        };
+        spec.validate()?;
+        if declared_len != spec.prototype_len() {
+            return Err(SpecError::PrototypeMismatch {
+                declared: declared_len,
+                product: spec.prototype_len(),
+            });
+        }
+        Ok(spec)
+    }
+
+    /// The [`ChainSpec`] of the standalone single-carrier DDC that
+    /// channel `k` of this bank is the bounds-equivalent of: one
+    /// `L·N`-tap FIR decimating by `N/oversample`, tuned to the channel
+    /// centre — the correctness anchor the equivalence tests run
+    /// against. `None` when the prototype design fails or the prototype
+    /// is too long for a [`ChainSpec`] FIR stage.
+    pub fn channel_chain(&self, k: u32) -> Option<ChainSpec> {
+        let taps = self.prototype_taps().ok()?;
+        if taps.len() > MAX_FIR_TAPS {
+            return None;
+        }
+        let spec = ChainSpec {
+            name: format!("{}ch{k}", self.name),
+            input_rate: self.input_rate,
+            tune_freq: self.channel_freq(k),
+            stages: vec![StageSpec::Fir {
+                taps,
+                decim: self.decimation(),
+            }],
+            format: self.format,
+        };
+        spec.validate().ok()?;
+        Some(spec)
+    }
+}
+
 /// Smallest `n` with `2^n >= x` (0 for `x <= 1`).
 fn ceil_log2(x: u32) -> u32 {
     if x <= 1 {
@@ -1015,5 +1508,193 @@ mod tests {
             product: 2688,
         };
         assert!(e.to_string().contains("declared total decimation 7"));
+        let e = SpecError::PrototypeMismatch {
+            declared: 9,
+            product: 512,
+        };
+        assert!(e.to_string().contains("declared prototype length 9"));
+    }
+
+    // ---------------------------------------------- channelizer spec
+
+    #[test]
+    fn channelizer_uniform_is_valid_and_derives_rates() {
+        let s = ChannelizerSpec::uniform(64, DRM_INPUT_RATE);
+        s.validate().unwrap();
+        assert_eq!(s.decimation(), 64);
+        assert_eq!(s.prototype_len(), 512);
+        assert!((s.output_rate() - DRM_INPUT_RATE / 64.0).abs() < 1e-9);
+        assert_eq!(s.enabled_channels().len(), 64);
+        // Signed bin order: k=1 positive, k=N-1 is -1 bin.
+        assert!(s.channel_freq(1) > 0.0);
+        assert!((s.channel_freq(63) + s.channel_freq(1)).abs() < 1e-9);
+        assert_eq!(s.notes(), vec![]);
+    }
+
+    #[test]
+    fn channelizer_oversampled_halves_the_commutator_advance() {
+        let mut s = ChannelizerSpec::uniform(64, 1.0e6);
+        s.oversample = 2;
+        s.validate().unwrap();
+        assert_eq!(s.decimation(), 32);
+        assert!((s.output_rate() - 1.0e6 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channelizer_prototypes_have_unit_dc_gain() {
+        let k = ChannelizerSpec::uniform(16, 1.0e6);
+        let taps = k.prototype_taps().unwrap();
+        assert_eq!(taps.len(), 128);
+        assert!((taps.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+
+        let mut r = ChannelizerSpec::uniform(8, 1.0e6);
+        r.design = PrototypeDesign::Remez;
+        r.cutoff_scale = 0.8;
+        r.validate().unwrap();
+        let taps = r.prototype_taps().unwrap();
+        assert_eq!(taps.len(), 64);
+        assert!((taps.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Even L·N designs one short and pads a trailing zero.
+        assert_eq!(taps[63], 0.0);
+    }
+
+    #[test]
+    fn channelizer_validate_rejects_bad_shapes() {
+        let base = |f: fn(&mut ChannelizerSpec)| {
+            let mut s = ChannelizerSpec::uniform(16, 1.0e6);
+            f(&mut s);
+            s.validate()
+        };
+        assert_eq!(
+            base(|s| s.channels = 1).unwrap_err(),
+            SpecError::BadChannelCount(1)
+        );
+        assert_eq!(
+            base(|s| s.channels = MAX_CHANNELS + 1).unwrap_err(),
+            SpecError::BadChannelCount(MAX_CHANNELS + 1)
+        );
+        assert_eq!(
+            base(|s| s.taps_per_branch = 0).unwrap_err(),
+            SpecError::BadTapsPerBranch(0)
+        );
+        assert_eq!(
+            base(|s| s.oversample = 3).unwrap_err(),
+            SpecError::BadOversample(3)
+        );
+        assert_eq!(
+            base(|s| s.atten_db = 300.0).unwrap_err(),
+            SpecError::BadDesignParam("atten_db", 300.0)
+        );
+        assert_eq!(
+            base(|s| s.cutoff_scale = 0.0).unwrap_err(),
+            SpecError::BadDesignParam("cutoff_scale", 0.0)
+        );
+        assert_eq!(
+            base(|s| s.enabled = vec![false; 16]).unwrap_err(),
+            SpecError::NoEnabledChannels
+        );
+        assert_eq!(
+            base(|s| s.enabled = vec![true; 15]).unwrap_err(),
+            SpecError::BadEnableMask
+        );
+        assert!(matches!(
+            base(|s| s.input_rate = f64::NAN).unwrap_err(),
+            SpecError::BadRate(_)
+        ));
+        // Oversample 2 needs even N.
+        let mut s = ChannelizerSpec::uniform(15, 1.0e6);
+        s.oversample = 2;
+        assert_eq!(s.validate().unwrap_err(), SpecError::BadOversample(2));
+        // Remez is capped: a 64×32 = 2048-tap prototype must use Kaiser.
+        let mut s = ChannelizerSpec::uniform(64, 1.0e6);
+        s.taps_per_branch = 32;
+        s.design = PrototypeDesign::Remez;
+        s.cutoff_scale = 0.8;
+        assert!(matches!(
+            s.validate(),
+            Err(SpecError::BadDesignParam("remez prototype taps", _))
+        ));
+    }
+
+    #[test]
+    fn channelizer_notes_flag_non_pow2_and_wide_transition() {
+        let mut s = ChannelizerSpec::uniform(12, 1.0e6);
+        s.validate().unwrap();
+        let notes = s.notes();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].kind, SpecNoteKind::NonPowerOfTwoChannels);
+
+        // Two taps per branch at 80 dB cannot reach the channel
+        // spacing: transition-band advisory.
+        s = ChannelizerSpec::uniform(64, 1.0e6);
+        s.taps_per_branch = 2;
+        s.validate().unwrap();
+        let notes = s.notes();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].kind, SpecNoteKind::WideTransitionBand);
+        assert!(notes[0].message.contains("transition band"));
+    }
+
+    #[test]
+    fn channelizer_encode_decode_roundtrips_exactly() {
+        let mut s = ChannelizerSpec::uniform(64, DRM_INPUT_RATE);
+        s.enabled[3] = false;
+        s.enabled[63] = false;
+        s.oversample = 2;
+        s.atten_db = 70.0;
+        s.cutoff_scale = 0.9;
+        let back = ChannelizerSpec::decode(&s.encode()).expect("decode");
+        assert_eq!(back, s);
+
+        let mut r = ChannelizerSpec::uniform(10, 1.0e6);
+        r.design = PrototypeDesign::Remez;
+        r.cutoff_scale = 0.8;
+        let back = ChannelizerSpec::decode(&r.encode()).expect("decode");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn channelizer_decode_rejects_malformed_bytes() {
+        let good = ChannelizerSpec::uniform(16, 1.0e6).encode();
+
+        let mut b = good.clone();
+        b[0] = 9;
+        assert_eq!(
+            ChannelizerSpec::decode(&b),
+            Err(SpecError::BadEncodingVersion(9))
+        );
+
+        for n in 0..good.len() {
+            assert!(
+                ChannelizerSpec::decode(&good[..n]).is_err(),
+                "prefix {n} passed"
+            );
+        }
+
+        let mut b = good.clone();
+        b.push(0);
+        assert_eq!(
+            ChannelizerSpec::decode(&b),
+            Err(SpecError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn channel_chain_is_a_single_fir_at_the_channel_centre() {
+        let s = ChannelizerSpec::uniform(64, DRM_INPUT_RATE);
+        let chain = s.channel_chain(5).expect("chain");
+        chain.validate().unwrap();
+        assert_eq!(chain.total_decimation(), 64);
+        assert!((chain.tune_freq - 5.0 * DRM_INPUT_RATE / 64.0).abs() < 1e-6);
+        match &chain.stages[0] {
+            StageSpec::Fir { taps, decim } => {
+                assert_eq!(taps.len(), 512);
+                assert_eq!(*decim, 64);
+            }
+            other => panic!("expected FIR, got {other:?}"),
+        }
+        // A 1024-channel prototype (8192 taps) exceeds a ChainSpec FIR.
+        let big = ChannelizerSpec::uniform(1024, DRM_INPUT_RATE);
+        assert!(big.channel_chain(0).is_none());
     }
 }

@@ -81,6 +81,17 @@ impl Fft {
         }
     }
 
+    /// In-place inverse DFT *without* the `1/N` normalisation:
+    /// `X[k] = Σ_n x[n]·e^{+2πikn/N}` — the raw synthesis sum a
+    /// polyphase filter-bank channelizer applies across its branch
+    /// outputs, where folding `1/N` in would silently rescale the
+    /// fixed-point output words.
+    pub fn inverse_unnormalized(&self, buf: &mut [C64]) {
+        assert_eq!(buf.len(), self.n, "buffer length must equal plan size");
+        self.permute(buf);
+        self.butterflies(buf, true);
+    }
+
     /// Forward transform of a real signal, zero-padding or panicking on
     /// mismatch is avoided by requiring exact length.
     pub fn forward_real(&self, input: &[f64]) -> Vec<C64> {
@@ -180,6 +191,21 @@ mod tests {
         fft.forward(&mut buf);
         fft.inverse(&mut buf);
         assert!(max_err(&buf, &input) < 1e-10);
+    }
+
+    #[test]
+    fn inverse_unnormalized_is_scaled_inverse() {
+        let n = 64;
+        let fft = Fft::new(n);
+        let input: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 0.7).cos(), (i as f64 * 0.3).sin()))
+            .collect();
+        let mut raw = input.clone();
+        fft.inverse_unnormalized(&mut raw);
+        let mut norm = input;
+        fft.inverse(&mut norm);
+        let scaled: Vec<C64> = norm.iter().map(|z| z.scale(n as f64)).collect();
+        assert!(max_err(&raw, &scaled) < 1e-9);
     }
 
     #[test]

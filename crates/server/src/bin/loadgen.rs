@@ -46,6 +46,10 @@ struct Opts {
     delay_ms: u64,
     metrics_interval_ms: u64,
     metrics_out: Option<String>,
+    /// N > 0: channelizer-farm mode — one wideband ingest session
+    /// drives an N-channel polyphase bank and one subscriber session
+    /// per channel receives its output (replaces the chain sessions).
+    channelizer: u32,
 }
 
 fn usage() -> ! {
@@ -53,12 +57,15 @@ fn usage() -> ! {
         "usage: loadgen (--addr HOST:PORT | --self-serve) [--sessions N] [--batches B]\n\
          \t[--batch-samples S] [--rate-msps R] [--policy block|drop-oldest|disconnect]\n\
          \t[--queue-cap C] [--preset drm|drm-montium|wideband|wideband-compensated]\n\
-         \t[--custom-plan] [--verify] [--delay-ms D]\n\
+         \t[--custom-plan] [--channelizer N] [--verify] [--delay-ms D]\n\
          \t[--metrics-interval MS] [--metrics-out FILE]\n\
          defaults: --sessions 4 --batches 32 --batch-samples 10752 --rate-msps 0 (unthrottled)\n\
          \t--policy block --queue-cap 0 (server default) --preset drm\n\
          --custom-plan ignores --preset and configures sessions with a four-stage\n\
          \tnon-preset ChainSpec sent binary-encoded over the wire\n\
+         --channelizer N replaces the chain sessions with one wideband ingest driving\n\
+         \tan N-channel polyphase bank plus one subscriber session per channel;\n\
+         \t--verify then checks every channel bit-exact against a local replica\n\
          --delay-ms injects per-batch processing delay (self-serve only, for drop testing)\n\
          --metrics-interval scrapes the server's live telemetry every MS milliseconds\n\
          --metrics-out writes the last scraped Prometheus snapshot to FILE"
@@ -82,6 +89,7 @@ fn parse_opts() -> Opts {
         delay_ms: 0,
         metrics_interval_ms: 0,
         metrics_out: None,
+        channelizer: 0,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut k = 0;
@@ -132,6 +140,10 @@ fn parse_opts() -> Opts {
             "--custom-plan" => {
                 o.custom_plan = true;
                 k += 1;
+            }
+            "--channelizer" => {
+                o.channelizer = need(k).parse().unwrap_or_else(|_| usage());
+                k += 2;
             }
             "--verify" => {
                 o.verify = true;
@@ -479,6 +491,213 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
     out
 }
 
+fn blank_outcome(session: usize, tune_hz: f64) -> SessionOutcome {
+    SessionOutcome {
+        session,
+        tune_hz,
+        batches_sent: 0,
+        batches_acked: 0,
+        dropped_reported: 0,
+        samples_sent: 0,
+        outputs: 0,
+        elapsed_s: 0.0,
+        queue_hwm: 0,
+        busy_ns: 0,
+        protocol_errors: 0,
+        remote_errors: Vec::new(),
+        bit_exact: None,
+        failure: None,
+        latency: HistSnapshot::empty(),
+        metrics_scrapes: 0,
+        last_metrics: None,
+    }
+}
+
+/// The `--channelizer N` mode: one wideband ingest session configures
+/// an N-channel polyphase bank on the server, one subscriber session
+/// attaches per channel, and the ingest streams the shared stimulus in
+/// lock-step (each batch acknowledged with an empty Iq). Subscribers
+/// drain until the bank's teardown Shutdown. With `--verify`, every
+/// channel must be bit-exact against a local [`ChannelizerFarm`]
+/// replica over the same batches — the bank is deterministic integer
+/// arithmetic, so transport must change nothing.
+///
+/// Outcome rows: index 0 is the ingest, rows 1..=N are the channels
+/// (tune_hz reports each channel's center frequency `k·fs/N`).
+fn run_channelizer(addr: &str, opts: &Opts, stimulus: Arc<Vec<i32>>) -> Vec<SessionOutcome> {
+    use ddc_core::spec::ChannelizerSpec;
+    use ddc_core::ChannelizerFarm;
+    use std::sync::Barrier;
+
+    let n = opts.channelizer;
+    let spec = ChannelizerSpec::uniform(n, DRM_INPUT_RATE);
+    let mut ingest_out = blank_outcome(0, 0.0);
+
+    let mut ingest = match connect_with_retry(addr, "loadgen-ingest") {
+        Ok(c) => c,
+        Err(e) => {
+            ingest_out.failure = Some(format!("connect: {e}"));
+            return vec![ingest_out];
+        }
+    };
+    // The bank's lock-step ingest always blocks (drop policies would
+    // make per-channel verification depend on timing).
+    if let Err(e) = ingest.configure_channelizer(&spec, Backpressure::Block, opts.queue_cap) {
+        ingest_out.failure = Some(format!("configure channelizer: {e}"));
+        return vec![ingest_out];
+    }
+
+    // Every subscriber must be attached before the first Samples frame
+    // so all of them see the full stream; the barrier holds the ingest
+    // until the last Subscribe ack.
+    let barrier = Arc::new(Barrier::new(n as usize + 1));
+    let mut sub_handles = Vec::new();
+    for k in 0..n {
+        let addr = addr.to_string();
+        let bank = spec.name.clone();
+        let barrier = Arc::clone(&barrier);
+        let handle = std::thread::Builder::new()
+            .name(format!("lg-sub-{k}"))
+            .stack_size(SESSION_STACK)
+            .spawn(move || {
+                let mut acked: BTreeMap<u64, Vec<(i64, i64)>> = BTreeMap::new();
+                let mut protocol_errors = 0u64;
+                let mut remote_errors = Vec::new();
+                let attached = connect_with_retry(&addr, &format!("loadgen-sub-{k}"))
+                    .and_then(|mut c| c.subscribe(&bank, k, Backpressure::Block, 0).map(|_| c));
+                let mut client = match attached {
+                    Ok(c) => {
+                        barrier.wait();
+                        c
+                    }
+                    Err(e) => {
+                        barrier.wait();
+                        return (acked, 0, Vec::new(), Some(format!("subscribe: {e}")));
+                    }
+                };
+                loop {
+                    match client.recv() {
+                        Ok(Frame::Iq(iq)) => {
+                            acked.insert(iq.batch_index, iq.pairs);
+                        }
+                        Ok(Frame::Shutdown) => break,
+                        Ok(Frame::Error(e)) => {
+                            remote_errors.push(format!("code {}: {}", e.code, e.message));
+                        }
+                        Ok(_) => protocol_errors += 1,
+                        Err(ClientError::SeqGap { .. }) => protocol_errors += 1,
+                        Err(_) => break,
+                    }
+                }
+                (acked, protocol_errors, remote_errors, None)
+            })
+            .expect("cannot spawn subscriber thread");
+        sub_handles.push(handle);
+    }
+    barrier.wait();
+
+    let t0 = Instant::now();
+    let latency = LogHistogram::new();
+    let per_batch = if opts.rate_msps > 0.0 {
+        Duration::from_secs_f64(opts.batch_samples as f64 / (opts.rate_msps * 1e6))
+    } else {
+        Duration::ZERO
+    };
+    for b in 0..opts.batches {
+        let start = (b as usize * opts.batch_samples) % stimulus.len();
+        let end = (start + opts.batch_samples).min(stimulus.len());
+        let sent = Instant::now();
+        if ingest.send_samples(b, &stimulus[start..end]).is_err() {
+            ingest_out.failure = Some("send failed mid-stream".into());
+            break;
+        }
+        ingest_out.batches_sent = b + 1;
+        ingest_out.samples_sent += (end - start) as u64;
+        match ingest.recv() {
+            Ok(Frame::Iq(_)) => {
+                latency.record_duration(sent.elapsed());
+                ingest_out.batches_acked += 1;
+            }
+            Ok(Frame::Error(e)) => {
+                ingest_out
+                    .remote_errors
+                    .push(format!("code {}: {}", e.code, e.message));
+                break;
+            }
+            Ok(_) => ingest_out.protocol_errors += 1,
+            Err(e) => {
+                ingest_out.failure = Some(format!("ingest recv: {e}"));
+                break;
+            }
+        }
+        if !per_batch.is_zero() {
+            let target = t0 + per_batch * (b as u32 + 1);
+            let now = Instant::now();
+            if now < target {
+                std::thread::sleep(target - now);
+            }
+        }
+    }
+    if opts.metrics_out.is_some() || opts.metrics_interval_ms > 0 {
+        match ingest.request_metrics(metrics_format::PROMETHEUS) {
+            Ok(m) => {
+                ingest_out.metrics_scrapes = 1;
+                ingest_out.last_metrics = Some(m.body);
+            }
+            Err(e) => ingest_out.failure = Some(format!("metrics scrape: {e}")),
+        }
+    }
+    let _ = ingest.send(&Frame::Shutdown);
+    loop {
+        match ingest.recv() {
+            Ok(Frame::StatsReport(r)) => {
+                ingest_out.dropped_reported = r.batches_dropped;
+                ingest_out.outputs = r.outputs;
+                ingest_out.queue_hwm = r.queue_hwm;
+            }
+            Ok(Frame::Shutdown) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    ingest_out.elapsed_s = t0.elapsed().as_secs_f64();
+    ingest_out.latency = latency.snapshot();
+
+    // Local bit-exact replica over exactly the batches the ingest sent
+    // (block policy: sent == processed == delivered).
+    let mut expect_rows: Vec<Vec<(i64, i64)>> = Vec::new();
+    if opts.verify {
+        let mut farm = ChannelizerFarm::from_spec(spec.clone()).expect("replica farm");
+        expect_rows = vec![Vec::new(); n as usize];
+        for b in 0..ingest_out.batches_sent {
+            let start = (b as usize * opts.batch_samples) % stimulus.len();
+            let end = (start + opts.batch_samples).min(stimulus.len());
+            let rows = farm.process_block(&stimulus[start..end]);
+            for (row, out) in rows.iter().enumerate() {
+                expect_rows[row].extend(out.iter().map(|z| (z.i, z.q)));
+            }
+        }
+    }
+
+    let mut outcomes = vec![ingest_out];
+    for (k, h) in sub_handles.into_iter().enumerate() {
+        let (acked, protocol_errors, remote_errors, failure) =
+            h.join().expect("subscriber thread panicked");
+        let mut o = blank_outcome(k + 1, k as f64 * DRM_INPUT_RATE / n as f64);
+        o.batches_acked = acked.len() as u64;
+        o.outputs = acked.values().map(|v| v.len() as u64).sum();
+        o.protocol_errors = protocol_errors;
+        o.remote_errors = remote_errors;
+        o.failure = failure;
+        if opts.verify && o.failure.is_none() {
+            let got: Vec<(i64, i64)> = acked.into_values().flatten().collect();
+            o.bit_exact = Some(got == expect_rows[k]);
+        }
+        outcomes.push(o);
+    }
+    outcomes
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -539,30 +758,34 @@ fn main() {
     };
 
     let t0 = Instant::now();
-    let mut handles = Vec::new();
-    for k in 0..opts.sessions {
-        let addr = addr.clone();
-        let stim = Arc::clone(&stimulus);
-        let o = opts.clone();
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("lg-tx-{k}"))
-                .stack_size(SESSION_STACK)
-                .spawn(move || run_session(addr, k, &o, stim))
-                .expect("cannot spawn session thread"),
-        );
-        // Stagger connection storms: hundreds of simultaneous SYNs
-        // against one accept loop overflow the listen backlog for no
-        // measurement benefit — ramping in small waves keeps every
-        // session's steady-state window overlapping.
-        if opts.sessions > 64 && k % 32 == 31 {
-            std::thread::sleep(Duration::from_millis(5));
+    let outcomes: Vec<SessionOutcome> = if opts.channelizer > 0 {
+        run_channelizer(&addr, &opts, Arc::clone(&stimulus))
+    } else {
+        let mut handles = Vec::new();
+        for k in 0..opts.sessions {
+            let addr = addr.clone();
+            let stim = Arc::clone(&stimulus);
+            let o = opts.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("lg-tx-{k}"))
+                    .stack_size(SESSION_STACK)
+                    .spawn(move || run_session(addr, k, &o, stim))
+                    .expect("cannot spawn session thread"),
+            );
+            // Stagger connection storms: hundreds of simultaneous SYNs
+            // against one accept loop overflow the listen backlog for no
+            // measurement benefit — ramping in small waves keeps every
+            // session's steady-state window overlapping.
+            if opts.sessions > 64 && k % 32 == 31 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
         }
-    }
-    let outcomes: Vec<SessionOutcome> = handles
-        .into_iter()
-        .map(|h| h.join().expect("session thread panicked"))
-        .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    };
     let wall_s = t0.elapsed().as_secs_f64();
 
     let server_joined = server.map(|h| h.shutdown(Duration::from_secs(10)));
@@ -582,13 +805,18 @@ fn main() {
     j.push_str("{\n");
     j.push_str("  \"loadgen\": {\n");
     j.push_str(&format!("    \"addr\": \"{}\",\n", json_escape(&addr)));
-    j.push_str(&format!("    \"sessions\": {},\n", opts.sessions));
+    j.push_str(&format!("    \"sessions\": {},\n", outcomes.len()));
     j.push_str(&format!("    \"batches\": {},\n", opts.batches));
     j.push_str(&format!("    \"batch_samples\": {},\n", opts.batch_samples));
     j.push_str(&format!("    \"rate_msps\": {},\n", opts.rate_msps));
     j.push_str(&format!("    \"policy\": \"{policy_name}\",\n"));
     j.push_str(&format!("    \"queue_cap\": {},\n", opts.queue_cap));
-    j.push_str(&format!("    \"plan\": \"{}\",\n", json_escape(&plan.name)));
+    let plan_name = if opts.channelizer > 0 {
+        format!("channelizer_n{}", opts.channelizer)
+    } else {
+        plan.name.clone()
+    };
+    j.push_str(&format!("    \"plan\": \"{}\",\n", json_escape(&plan_name)));
     j.push_str(&format!("    \"verify\": {}\n", opts.verify));
     j.push_str("  },\n");
     j.push_str("  \"sessions\": [\n");

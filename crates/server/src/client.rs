@@ -185,6 +185,41 @@ impl Client {
         self.configure_plan(ChainPlan::Spec(spec.clone()), policy, queue_cap)
     }
 
+    /// Opens a channelizer ingest session: this connection streams the
+    /// wideband input, and per-channel outputs fan out to subscriber
+    /// sessions attached with [`Client::subscribe`] under the spec's
+    /// name. The ingest's own Samples batches are acknowledged with
+    /// empty Iq frames (outputs travel on the subscriber connections).
+    pub fn configure_channelizer(
+        &mut self,
+        spec: &ddc_core::ChannelizerSpec,
+        policy: Backpressure,
+        queue_cap: u32,
+    ) -> Result<StatsReport, ClientError> {
+        self.configure_plan(ChainPlan::Channelizer(spec.clone()), policy, queue_cap)
+    }
+
+    /// Attaches this connection to one channel of a live channelizer
+    /// bank (opened by another session via
+    /// [`Client::configure_channelizer`]). The session then receives
+    /// that channel's Iq frames; it must not send Samples.
+    pub fn subscribe(
+        &mut self,
+        name: &str,
+        channel: u32,
+        policy: Backpressure,
+        queue_cap: u32,
+    ) -> Result<StatsReport, ClientError> {
+        self.configure_plan(
+            ChainPlan::Subscribe {
+                name: name.to_string(),
+                channel,
+            },
+            policy,
+            queue_cap,
+        )
+    }
+
     fn configure_plan(
         &mut self,
         plan: ChainPlan,

@@ -28,15 +28,15 @@
 
 use crate::queue::{BoundedQueue, Pop, Push};
 use crate::session::{
-    frame_name, server_hello, Batch, Conn, EndKind, FlushState, MetricsSource, Notice, Reader,
-    SessionObs, SessionState, ShardMailbox, OUT_HWM, READ_BUDGET, READ_CHUNK,
+    frame_name, server_hello, Bank, Batch, Conn, EndKind, FlushState, MetricsSource, Notice,
+    Reader, Role, SessionObs, SessionState, ShardMailbox, OUT_HWM, READ_BUDGET, READ_CHUNK,
 };
 use crate::sys::{fd_of, Event, Interest, Poller};
 use crate::wire::{
     decode_header, decode_payload, decode_samples_into, error_code, metrics_format, Backpressure,
-    ErrorFrame, Frame, FrameBuf, MetricsReport, HEADER_LEN, VERSION,
+    ChainPlan, ErrorFrame, Frame, FrameBuf, MetricsReport, HEADER_LEN, VERSION,
 };
-use ddc_core::{DdcConfig, DdcFarm};
+use ddc_core::{ChannelizerFarm, DdcConfig, DdcFarm};
 use ddc_obs::{kind, Counter, EventRing, MetricsSnapshot};
 use std::collections::{HashMap, VecDeque};
 use std::io::Read;
@@ -104,6 +104,10 @@ struct ServerState {
     /// the connection owns the data; a dead entry just disappears
     /// from the next snapshot.
     session_obs: Mutex<Vec<(u64, Weak<SessionObs>)>>,
+    /// Live channelizer banks keyed by spec name. A bank is owned by
+    /// its ingest session and removed when that session's drain
+    /// epilogue runs.
+    banks: Mutex<HashMap<String, Arc<Bank>>>,
     /// Server lifecycle events (session open/close).
     events: EventRing,
     /// Live (registered, not yet closed) connections, with a condvar
@@ -165,6 +169,14 @@ impl MetricsSource for ServerState {
         );
         snap.push_counter("ddc_server_events_produced_total", self.events.produced());
         snap.push_counter("ddc_server_events_dropped_total", self.events.dropped());
+        // Channelizer banks, each under its own bank="name" label so
+        // concurrently live banks never collide in one scrape.
+        let banks: Vec<Arc<Bank>> = self.banks.lock().unwrap().values().cloned().collect();
+        for bank in banks {
+            if let Some(m) = &bank.metrics {
+                m.snapshot_labeled(&mut snap, Some(&bank.name));
+            }
+        }
         for (id, obs) in live {
             let l = format!("{{session=\"{id}\"}}");
             snap.push_hist(
@@ -300,6 +312,7 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> std::io::Result<Se
         sessions_started: AtomicU64::new(0),
         accept_failures: Counter::default(),
         session_obs: Mutex::new(Vec::new()),
+        banks: Mutex::new(HashMap::new()),
         events: EventRing::new(256),
         active: Mutex::new(0),
         active_cv: Condvar::new(),
@@ -544,6 +557,14 @@ fn do_close(
     let Some(entry) = conns.remove(&id) else {
         return;
     };
+    if let Some(Role::Subscriber { bank, channel }) = entry.conn.role.get() {
+        // Eager unsubscribe (the Weak would also be pruned lazily at
+        // the next delivery): a closed subscriber stops costing the
+        // ingest's delivery loop anything.
+        if let Some(list) = bank.subs.lock().unwrap().get_mut(channel) {
+            list.retain(|w| w.upgrade().is_some_and(|c| c.id != id));
+        }
+    }
     let _ = poller.del(fd_of(&entry.conn.stream));
     let _ = entry.conn.stream.shutdown(Shutdown::Both);
     {
@@ -769,6 +790,11 @@ fn end_input(
         q.close();
         dispatch.schedule(conn);
     } else {
+        if kind == EndKind::Graceful && conn.role.get().is_some() {
+            // A subscriber has no queue to drain; answer its graceful
+            // Shutdown inline so the client sees a clean end-of-stream.
+            conn.enqueue(&Frame::Shutdown);
+        }
         conn.set_close_after_flush();
     }
     ReadOutcome::Drain
@@ -822,13 +848,16 @@ fn parse_frames(
             && r.state == SessionState::Streaming
             && r.policy == Backpressure::Block
         {
-            let q = conn.queue.get().expect("streaming session has a queue");
-            if q.len() >= q.capacity() {
-                conn.read_paused.store(true, Ordering::SeqCst);
+            // Subscriber sessions have no queue; their Samples frames
+            // are rejected below without admission control.
+            if let Some(q) = conn.queue.get() {
                 if q.len() >= q.capacity() {
-                    return ParseStep::Pause;
+                    conn.read_paused.store(true, Ordering::SeqCst);
+                    if q.len() >= q.capacity() {
+                        return ParseStep::Pause;
+                    }
+                    conn.read_paused.store(false, Ordering::SeqCst);
                 }
-                conn.read_paused.store(false, Ordering::SeqCst);
             }
         }
 
@@ -841,6 +870,14 @@ fn parse_frames(
         // straight into a pooled farm-input buffer, checksum fused into
         // the same pass — no intermediate Vec, no second walk.
         if h.frame_type == 3 && r.state == SessionState::Streaming {
+            let Some(q) = conn.queue.get().cloned() else {
+                // A subscriber's data flows outbound only.
+                conn.enqueue(&Frame::Error(ErrorFrame {
+                    code: error_code::PROTOCOL,
+                    message: "subscriber sessions cannot send Samples".into(),
+                }));
+                return ParseStep::End(EndKind::Errored);
+            };
             let mut scratch = conn.take_scratch();
             let decoded = {
                 let payload = &r.buf[start..end];
@@ -869,7 +906,6 @@ fn parse_frames(
                 return ParseStep::End(EndKind::Errored);
             }
             r.expected_seq = r.expected_seq.wrapping_add(1);
-            let q = Arc::clone(conn.queue.get().expect("streaming session has a queue"));
             let batch = Batch {
                 index: batch_index,
                 samples: Arc::new(scratch),
@@ -964,35 +1000,109 @@ fn parse_frames(
                         }));
                         return ParseStep::End(EndKind::Errored);
                     }
-                    let slot = match state.claim_slot() {
-                        Some(s) => s,
-                        None => {
-                            conn.enqueue(&Frame::Error(ErrorFrame {
-                                code: error_code::SERVER_FULL,
-                                message: format!(
-                                    "all {} channels are in use",
-                                    state.cfg.max_sessions
-                                ),
-                            }));
-                            return ParseStep::End(EndKind::Errored);
-                        }
-                    };
-                    let spec = c.plan.to_spec();
-                    if let Err(e) = state.farm.reconfigure_channel(slot, spec) {
-                        conn.enqueue(&Frame::Error(ErrorFrame {
-                            code: error_code::BAD_CONFIG,
-                            message: format!("rejected configuration: {e}"),
-                        }));
-                        state.release_slot(slot);
-                        return ParseStep::End(EndKind::Errored);
-                    }
                     let queue_cap = if c.queue_cap == 0 {
                         state.cfg.default_queue_cap
                     } else {
                         (c.queue_cap as usize).min(state.cfg.max_queue_cap)
                     };
-                    *conn.slot.lock().unwrap() = Some(slot);
-                    let _ = conn.queue.set(Arc::new(BoundedQueue::new(queue_cap)));
+                    match &c.plan {
+                        // Chain sessions: claim a farm slot, bind the
+                        // spec to it.
+                        ChainPlan::Preset { .. } | ChainPlan::Spec(_) => {
+                            let slot = match state.claim_slot() {
+                                Some(s) => s,
+                                None => {
+                                    conn.enqueue(&Frame::Error(ErrorFrame {
+                                        code: error_code::SERVER_FULL,
+                                        message: format!(
+                                            "all {} channels are in use",
+                                            state.cfg.max_sessions
+                                        ),
+                                    }));
+                                    return ParseStep::End(EndKind::Errored);
+                                }
+                            };
+                            let spec = c
+                                .plan
+                                .to_spec()
+                                .expect("preset/spec plans lower to a ChainSpec");
+                            if let Err(e) = state.farm.reconfigure_channel(slot, spec) {
+                                conn.enqueue(&Frame::Error(ErrorFrame {
+                                    code: error_code::BAD_CONFIG,
+                                    message: format!("rejected configuration: {e}"),
+                                }));
+                                state.release_slot(slot);
+                                return ParseStep::End(EndKind::Errored);
+                            }
+                            *conn.slot.lock().unwrap() = Some(slot);
+                            let _ = conn.queue.set(Arc::new(BoundedQueue::new(queue_cap)));
+                        }
+                        // Channelizer ingest: build the bank inline
+                        // (no farm slot — the bank runs on the
+                        // processor pool) and publish it by name.
+                        ChainPlan::Channelizer(cspec) => {
+                            let farm = match ChannelizerFarm::from_spec(cspec.clone()) {
+                                Ok(f) => f.with_telemetry(),
+                                Err(e) => {
+                                    conn.enqueue(&Frame::Error(ErrorFrame {
+                                        code: error_code::BAD_CONFIG,
+                                        message: format!("rejected channelizer: {e}"),
+                                    }));
+                                    return ParseStep::End(EndKind::Errored);
+                                }
+                            };
+                            let bank = {
+                                let mut banks = state.banks.lock().unwrap();
+                                if banks.contains_key(&cspec.name) {
+                                    drop(banks);
+                                    conn.enqueue(&Frame::Error(ErrorFrame {
+                                        code: error_code::BAD_CONFIG,
+                                        message: format!(
+                                            "channelizer bank \"{}\" is already live",
+                                            cspec.name
+                                        ),
+                                    }));
+                                    return ParseStep::End(EndKind::Errored);
+                                }
+                                let bank = Arc::new(Bank {
+                                    name: cspec.name.clone(),
+                                    channels: farm.enabled_channels().to_vec(),
+                                    metrics: farm.metrics().cloned(),
+                                    farm: Mutex::new(farm),
+                                    subs: Mutex::new(HashMap::new()),
+                                });
+                                banks.insert(cspec.name.clone(), Arc::clone(&bank));
+                                bank
+                            };
+                            let _ = conn.role.set(Role::Ingest(bank));
+                            let _ = conn.queue.set(Arc::new(BoundedQueue::new(queue_cap)));
+                        }
+                        // Subscriber: attach to one enabled channel of
+                        // a live bank. No input queue — data flows
+                        // outbound only.
+                        ChainPlan::Subscribe { name, channel } => {
+                            let bank = state.banks.lock().unwrap().get(name).cloned();
+                            let Some(bank) = bank else {
+                                conn.enqueue(&Frame::Error(ErrorFrame {
+                                    code: error_code::BAD_CONFIG,
+                                    message: format!("no live channelizer bank named \"{name}\""),
+                                }));
+                                return ParseStep::End(EndKind::Errored);
+                            };
+                            let ch = *channel as usize;
+                            if !bank.channels.contains(&ch) {
+                                conn.enqueue(&Frame::Error(ErrorFrame {
+                                    code: error_code::BAD_CONFIG,
+                                    message: format!(
+                                        "channel {channel} is not enabled in bank \"{name}\""
+                                    ),
+                                }));
+                                return ParseStep::End(EndKind::Errored);
+                            }
+                            bank.subscribe(ch, conn);
+                            let _ = conn.role.set(Role::Subscriber { bank, channel: ch });
+                        }
+                    }
                     r.policy = c.policy;
                     // Configure is acknowledged with the session's
                     // (zeroed) stats so the client learns its channel
@@ -1132,6 +1242,50 @@ fn process_conn(state: &Arc<ServerState>, dispatch: &Arc<Dispatch>, conn: &Arc<C
                     // deterministically.
                     std::thread::sleep(state.cfg.processing_delay);
                 }
+                if let Some(Role::Ingest(bank)) = conn.role.get() {
+                    // Channelizer ingest: run the bank inline on this
+                    // processor and fan each channel's output to its
+                    // subscribers. The `scheduled` flag already
+                    // guarantees one processor per session, so the
+                    // farm lock never contends in steady state.
+                    {
+                        let mut farm = bank.farm.lock().unwrap();
+                        let rows = farm.process_block(&batch.samples);
+                        let mut subs = bank.subs.lock().unwrap();
+                        for (row, ch) in bank.channels.iter().enumerate() {
+                            let Some(list) = subs.get_mut(ch) else {
+                                continue;
+                            };
+                            list.retain(|w| match w.upgrade() {
+                                Some(sub) => {
+                                    if sub.out_pending() > OUT_HWM {
+                                        // A stalled subscriber loses
+                                        // batches instead of growing
+                                        // its backlog unboundedly; it
+                                        // sees the loss as a gap in Iq
+                                        // batch indices.
+                                        sub.obs.drops_oldest.inc();
+                                    } else {
+                                        sub.enqueue_iq(batch.index, 0, &rows[row]);
+                                        sub.flush_and_post();
+                                    }
+                                    true
+                                }
+                                None => false,
+                            });
+                        }
+                    }
+                    // The ingest's own ack: an empty Iq frame keeps
+                    // the one-ack-per-batch contract (and drop
+                    // accounting) on the ingest connection.
+                    conn.enqueue_iq(batch.index, q.dropped(), &[]);
+                    conn.flush_and_post();
+                    conn.recycle_batch(batch);
+                    if conn.read_paused.load(Ordering::SeqCst) && q.len() < q.capacity() {
+                        conn.mailbox.post(Notice::ResumeRead(conn.id));
+                    }
+                    continue;
+                }
                 match state
                     .farm
                     .submit_channel_shared(channel, Arc::clone(&batch.samples))
@@ -1182,6 +1336,22 @@ fn process_conn(state: &Arc<ServerState>, dispatch: &Arc<Dispatch>, conn: &Arc<C
 fn finish_conn(state: &Arc<ServerState>, conn: &Arc<Conn>) {
     if conn.finish_started.swap(true, Ordering::SeqCst) {
         return;
+    }
+    if let Some(Role::Ingest(bank)) = conn.role.get() {
+        // The bank dies with its ingest: unpublish it, then end every
+        // subscriber gracefully — each gets a Shutdown after its last
+        // flushed Iq frame.
+        state.banks.lock().unwrap().remove(&bank.name);
+        let mut subs = bank.subs.lock().unwrap();
+        for list in subs.values_mut() {
+            for w in list.drain(..) {
+                if let Some(sub) = w.upgrade() {
+                    sub.enqueue(&Frame::Shutdown);
+                    sub.set_close_after_flush();
+                    sub.flush_and_post();
+                }
+            }
+        }
     }
     if conn.graceful.load(Ordering::Acquire) {
         // Client-initiated shutdown: a final snapshot then the closing

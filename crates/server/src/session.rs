@@ -24,13 +24,13 @@ use crate::sys::Waker;
 use crate::wire::{
     feature, Frame, FrameBuf, FrameHeader, Hello, StatsReport, HEADER_LEN, MAX_PAYLOAD, VERSION,
 };
-use ddc_core::DdcFarm;
+use ddc_core::{ChannelizerFarm, ChannelizerMetrics, DdcFarm};
 use ddc_obs::{Counter, LogHistogram, MetricsSnapshot};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, IoSlice, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
 
 /// Bytes read from the socket per `read` call while pumping a session.
@@ -169,6 +169,59 @@ impl ShardMailbox {
     }
 }
 
+/// One live channelizer bank: a [`ChannelizerFarm`] driven by exactly
+/// one ingest session's wideband Samples, fanning each enabled
+/// channel's output to that channel's subscriber sessions. Registered
+/// in the server's bank registry under the spec's `name` for the
+/// ingest's lifetime — the bank dies (and its subscribers are shut
+/// down) when the ingest session ends.
+pub(crate) struct Bank {
+    /// Registry key — the [`ddc_core::ChannelizerSpec`] name.
+    pub name: String,
+    /// The farm. Locked only by the ingest's processor per block (and
+    /// briefly at Subscribe time), so subscribers never contend on it.
+    pub farm: Mutex<ChannelizerFarm>,
+    /// Enabled channel indices in farm-row order, cached so the
+    /// delivery loop and Subscribe validation never lock `farm`.
+    pub channels: Vec<usize>,
+    /// Telemetry handle cloned out of the farm, so stats and the
+    /// metrics endpoint read counters without locking the farm.
+    pub metrics: Option<Arc<ChannelizerMetrics>>,
+    /// channel index → subscribers. Weak: teardown of a subscriber
+    /// needs no cooperation from the bank — dead entries are pruned
+    /// lazily at each delivery and at bank teardown.
+    pub subs: Mutex<HashMap<usize, Vec<Weak<Conn>>>>,
+}
+
+impl Bank {
+    /// Attaches a subscriber to one enabled channel.
+    pub(crate) fn subscribe(&self, channel: usize, conn: &Arc<Conn>) {
+        self.subs
+            .lock()
+            .unwrap()
+            .entry(channel)
+            .or_default()
+            .push(Arc::downgrade(conn));
+    }
+}
+
+/// The channelizer role a session adopted at Configure time. Plain
+/// chain sessions (Preset/Spec plans) never set one.
+pub(crate) enum Role {
+    /// Streams the wideband input that drives the bank's farm; its own
+    /// Samples batches are acknowledged with empty Iq frames (channel
+    /// outputs travel on the subscriber connections).
+    Ingest(Arc<Bank>),
+    /// Receives one channel's Iq stream; sends no Samples and owns no
+    /// input queue.
+    Subscriber {
+        /// The bank this session is attached to.
+        bank: Arc<Bank>,
+        /// Enabled channel index within the bank.
+        channel: usize,
+    },
+}
+
 /// One accepted Samples batch queued for the processor pool. The
 /// samples sit behind an `Arc` so the farm submission shares the
 /// buffer instead of copying it, and the emptied vector can return to
@@ -256,8 +309,12 @@ pub(crate) struct Conn {
     /// Ingest state machine.
     pub reader: Mutex<Reader>,
     out: Mutex<Outbound>,
-    /// Input queue, created at Configure time.
+    /// Input queue, created at Configure time. Subscriber sessions
+    /// never get one (their data flows outbound only).
     pub queue: OnceLock<Arc<BoundedQueue<Batch>>>,
+    /// Channelizer role, set at Configure time for ingest/subscriber
+    /// sessions; never set for plain chain sessions.
+    pub role: OnceLock<Role>,
     /// Farm channel slot, claimed at Configure, released by the drain
     /// epilogue (never while a submission may be in flight).
     pub slot: Mutex<Option<usize>>,
@@ -312,6 +369,7 @@ impl Conn {
                 close_after_flush: false,
             }),
             queue: OnceLock::new(),
+            role: OnceLock::new(),
             slot: Mutex::new(None),
             batches_accepted: AtomicU64::new(0),
             graceful: AtomicBool::new(false),
@@ -483,24 +541,53 @@ impl Conn {
     }
 
     /// Point-in-time statistics combining queue state with the farm's
-    /// per-channel counters and farm-wide totals.
+    /// per-channel counters and farm-wide totals. Channelizer sessions
+    /// substitute their bank's flow counters for the farm channel's
+    /// (an ingest owns no farm slot; a subscriber reports the channel
+    /// index it is attached to).
     pub(crate) fn stats(&self, farm: &DdcFarm) -> StatsReport {
-        let channel = self.slot.lock().unwrap().unwrap_or(0);
-        let q = self.queue.get();
-        let ch = farm.channel_stats(channel);
         let totals = farm.totals();
-        StatsReport {
-            channel: channel as u32,
+        let q = self.queue.get();
+        let base = StatsReport {
+            channel: 0,
             batches_accepted: self.batches_accepted.load(Ordering::Relaxed),
             batches_dropped: q.map_or(0, |q| q.dropped()),
-            samples_in: ch.samples_in,
-            outputs: ch.outputs,
+            samples_in: 0,
+            outputs: 0,
             queue_len: q.map_or(0, |q| q.len()) as u32,
             queue_hwm: q.map_or(0, |q| q.high_water_mark()) as u32,
-            busy_ns: ch.busy.as_nanos().min(u64::MAX as u128) as u64,
+            busy_ns: 0,
             farm_jobs_completed: totals.jobs_completed,
             farm_steals: totals.steals,
             farm_orphans_reclaimed: totals.orphans_reclaimed,
+        };
+        match self.role.get() {
+            Some(Role::Ingest(bank)) => {
+                let (samples_in, outputs) = bank
+                    .metrics
+                    .as_ref()
+                    .map_or((0, 0), |m| (m.samples_in.get(), m.samples_out.get()));
+                StatsReport {
+                    samples_in,
+                    outputs,
+                    ..base
+                }
+            }
+            Some(Role::Subscriber { channel, .. }) => StatsReport {
+                channel: *channel as u32,
+                ..base
+            },
+            None => {
+                let channel = self.slot.lock().unwrap().unwrap_or(0);
+                let ch = farm.channel_stats(channel);
+                StatsReport {
+                    channel: channel as u32,
+                    samples_in: ch.samples_in,
+                    outputs: ch.outputs,
+                    busy_ns: ch.busy.as_nanos().min(u64::MAX as u128) as u64,
+                    ..base
+                }
+            }
         }
     }
 }

@@ -409,11 +409,14 @@ pub struct Hello {
     pub features: u32,
 }
 
-/// How a Configure frame names the chain to run: a one-byte preset
+/// How a Configure frame names the work to run: a one-byte preset
 /// alias (expanded server-side to its canonical spec, so the wire
-/// never carries 125 f64 coefficients for the built-in plans) or a
-/// full binary-encoded [`ddc_core::ChainSpec`] for plans no preset
-/// describes.
+/// never carries 125 f64 coefficients for the built-in plans), a full
+/// binary-encoded [`ddc_core::ChainSpec`] for plans no preset
+/// describes, a [`ddc_core::ChannelizerSpec`] opening a wideband
+/// ingest session whose polyphase bank fans out to subscribers, or a
+/// subscription binding this connection to one channel of a named
+/// live channelizer bank.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ChainPlan {
     /// A built-in preset plus a tuning frequency.
@@ -425,14 +428,28 @@ pub enum ChainPlan {
     },
     /// An explicit, already-tuned chain spec.
     Spec(ddc_core::ChainSpec),
+    /// A channelizer ingest session: this connection streams the
+    /// wideband input; per-channel outputs go to subscriber sessions.
+    Channelizer(ddc_core::ChannelizerSpec),
+    /// A subscriber session: receives one channel of a named live
+    /// channelizer bank (no Samples may be sent on this connection).
+    Subscribe {
+        /// Name of the [`ChainPlan::Channelizer`] spec to attach to.
+        name: String,
+        /// Channel index within that bank (must be enabled).
+        channel: u32,
+    },
 }
 
 impl ChainPlan {
-    /// The canonical spec this plan names.
-    pub fn to_spec(&self) -> ddc_core::ChainSpec {
+    /// The canonical chain spec this plan names, when it names one
+    /// (channelizer and subscriber plans describe fan-out sessions,
+    /// not a single chain).
+    pub fn to_spec(&self) -> Option<ddc_core::ChainSpec> {
         match self {
-            ChainPlan::Preset { preset, tune_freq } => preset.to_spec(*tune_freq),
-            ChainPlan::Spec(spec) => spec.clone(),
+            ChainPlan::Preset { preset, tune_freq } => Some(preset.to_spec(*tune_freq)),
+            ChainPlan::Spec(spec) => Some(spec.clone()),
+            ChainPlan::Channelizer(_) | ChainPlan::Subscribe { .. } => None,
         }
     }
 }
@@ -606,6 +623,23 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
                 let bytes = spec.encode();
                 put_u32(out, bytes.len() as u32);
                 out.extend_from_slice(&bytes);
+            }
+            ChainPlan::Channelizer(spec) => {
+                out.push(2); // plan kind: channelizer ingest
+                out.push(c.policy.to_u8());
+                put_u32(out, c.queue_cap);
+                let bytes = spec.encode();
+                put_u32(out, bytes.len() as u32);
+                out.extend_from_slice(&bytes);
+            }
+            ChainPlan::Subscribe { name, channel } => {
+                out.push(3); // plan kind: channel subscription
+                out.push(c.policy.to_u8());
+                put_u32(out, c.queue_cap);
+                let bytes = name.as_bytes();
+                out.push(bytes.len().min(u8::MAX as usize) as u8);
+                out.extend_from_slice(&bytes[..bytes.len().min(u8::MAX as usize)]);
+                put_u32(out, *channel);
             }
         },
         Frame::Samples(s) => {
@@ -960,6 +994,31 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
                     queue_cap,
                 })
             }
+            2 => {
+                let policy = Backpressure::from_u8(c.u8("configure policy")?)?;
+                let queue_cap = c.u32("configure queue_cap")?;
+                let n = c.u32("configure channelizer spec length")? as usize;
+                let spec_bytes = c.take(n, "configure channelizer spec")?;
+                let spec = ddc_core::ChannelizerSpec::decode(spec_bytes)
+                    .map_err(|e| WireError::BadSpec(e.to_string()))?;
+                Frame::Configure(Configure {
+                    plan: ChainPlan::Channelizer(spec),
+                    policy,
+                    queue_cap,
+                })
+            }
+            3 => {
+                let policy = Backpressure::from_u8(c.u8("configure policy")?)?;
+                let queue_cap = c.u32("configure queue_cap")?;
+                let n = c.u8("configure bank name length")? as usize;
+                let name = String::from_utf8_lossy(c.take(n, "configure bank name")?).into_owned();
+                let channel = c.u32("configure channel")?;
+                Frame::Configure(Configure {
+                    plan: ChainPlan::Subscribe { name, channel },
+                    policy,
+                    queue_cap,
+                })
+            }
             other => {
                 return Err(WireError::BadSpec(format!(
                     "unknown configure plan kind {other}"
@@ -1252,6 +1311,19 @@ mod tests {
             plan: ChainPlan::Spec(ddc_core::ChainSpec::drm_reference().tuned(3.25e6)),
             policy: Backpressure::Block,
             queue_cap: 4,
+        }));
+        roundtrip(Frame::Configure(Configure {
+            plan: ChainPlan::Channelizer(ddc_core::ChannelizerSpec::uniform(64, 64_512_000.0)),
+            policy: Backpressure::Block,
+            queue_cap: 8,
+        }));
+        roundtrip(Frame::Configure(Configure {
+            plan: ChainPlan::Subscribe {
+                name: "pfb64".into(),
+                channel: 17,
+            },
+            policy: Backpressure::Block,
+            queue_cap: 0,
         }));
         roundtrip(Frame::Samples(Samples {
             batch_index: 99,
@@ -1766,5 +1838,38 @@ mod tests {
             matches!(&r, Err(WireError::BadSpec(m)) if m.contains("plan kind")),
             "{r:?}"
         );
+    }
+
+    #[test]
+    fn malformed_channelizer_spec_frames_are_rejected() {
+        // A channelizer-plan Configure whose embedded spec bytes are
+        // corrupted must surface the structured spec error, not panic
+        // or fall through to a half-built session.
+        let good = ddc_core::ChannelizerSpec::uniform(16, 1.0e6).encode();
+        let mut cases: Vec<(Vec<u8>, &str)> = Vec::new();
+        let mut truncated = good.clone();
+        truncated.truncate(truncated.len() - 1);
+        cases.push((truncated, "truncated"));
+        let mut bad_version = good.clone();
+        bad_version[0] = 99;
+        cases.push((bad_version, "bad version"));
+        let mut huge_channels = good.clone();
+        let at = 2 + good[1] as usize + 8;
+        huge_channels[at..at + 4].copy_from_slice(&(1u32 << 30).to_le_bytes());
+        cases.push((huge_channels, "absurd channel count"));
+        for (spec_bytes, what) in cases {
+            let mut payload = vec![2u8, 0]; // plan kind: channelizer; policy: block
+            payload.extend_from_slice(&8u32.to_le_bytes());
+            payload.extend_from_slice(&(spec_bytes.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&spec_bytes);
+            let header = FrameHeader {
+                frame_type: 2,
+                seq: 0,
+                payload_len: payload.len() as u32,
+                payload_sum: checksum(&payload),
+            };
+            let r = decode_payload(&header, &payload);
+            assert!(matches!(&r, Err(WireError::BadSpec(_))), "{what}: {r:?}");
+        }
     }
 }

@@ -30,6 +30,7 @@ Usage:
 import argparse
 import io
 import json
+import re
 import sys
 
 
@@ -131,6 +132,28 @@ def run_gate(
             )
             overhead_bad = frac > max_telemetry_overhead
 
+    # Channelizer amortisation curve: whenever the fresh run carries
+    # two or more channelizer_n<N> stages, the amortised per-channel
+    # cost must fall as the bank widens — the polyphase front end's
+    # whole argument is that one shared filter + FFT beats N
+    # independent chains, and that advantage must grow with N.
+    curve_bad = False
+    curve = sorted(
+        (int(m.group(1)), entry["per_channel_cost_ns"])
+        for name, entry in fresh.items()
+        if (m := re.fullmatch(r"channelizer_n(\d+)", name))
+        and "per_channel_cost_ns" in entry
+    )
+    for (n_lo, cost_lo), (n_hi, cost_hi) in zip(curve, curve[1:]):
+        status = "FAIL" if cost_hi >= cost_lo else "ok"
+        print(
+            f"{status:<5} channelizer amortisation: n{n_lo} "
+            f"{cost_lo:.2f} -> n{n_hi} {cost_hi:.2f} ns/channel-sample",
+            file=out,
+        )
+        if cost_hi >= cost_lo:
+            curve_bad = True
+
     # Absolute floors on the fresh run: the shootout's acceptance
     # numbers must hold outright, independent of what the committed
     # baseline happens to record.
@@ -174,6 +197,13 @@ def run_gate(
         print(
             f"\nbench gate: telemetry overhead exceeds "
             f"{max_telemetry_overhead:.1%}",
+            file=err,
+        )
+        return 1
+    if curve_bad:
+        print(
+            "\nbench gate: channelizer per-channel cost does not fall "
+            "as the bank widens",
             file=err,
         )
         return 1
@@ -312,7 +342,31 @@ def self_test():
     except argparse.ArgumentTypeError:
         check("malformed floor spec rejected", True)
 
-    # 10. the pipelined scalar key is folded in as a stage
+    # 10. channelizer amortisation: a falling per-channel cost passes,
+    #     a flat or rising one fails, and a lone stage has no curve to
+    #     check (sorting is numeric, so n64 orders after n8)
+    falling = doc(
+        channelizer_n8={"block_msps": 40.0, "per_channel_cost_ns": 3.1},
+        channelizer_n64={"block_msps": 30.0, "per_channel_cost_ns": 0.5},
+        channelizer_n256={"block_msps": 20.0, "per_channel_cost_ns": 0.2},
+    )
+    code, out, err = gate(falling, falling)
+    check("falling channelizer curve passes", code == 0 and "amortisation" in out)
+    rising = doc(
+        channelizer_n8={"block_msps": 40.0, "per_channel_cost_ns": 3.1},
+        channelizer_n64={"block_msps": 30.0, "per_channel_cost_ns": 0.5},
+        channelizer_n256={"block_msps": 2.0, "per_channel_cost_ns": 2.0},
+    )
+    code, out, err = gate(falling, rising, max_drop=0.95)
+    check(
+        "rising channelizer curve fails",
+        code == 1 and "does not fall" in err,
+    )
+    lone = doc(channelizer_n8={"block_msps": 40.0, "per_channel_cost_ns": 3.1})
+    code, out, err = gate(lone, lone)
+    check("lone channelizer stage has no curve to fail", code == 0)
+
+    # 11. the pipelined scalar key is folded in as a stage
     base_scalar = {"stages": [], "pipelined_two_thread_msps": 50.0}
     fresh_scalar = {"stages": [], "pipelined_two_thread_msps": 10.0}
     code, out, err = gate(base_scalar, fresh_scalar)

@@ -196,6 +196,26 @@ def self_test():
     code, out, err = run(good, require_nonzero=["ddc_farm_jobs"])
     check("require-nonzero satisfied passes", code == 0)
 
+    # The channelizer families as the server exports them: every series
+    # carries a bank="..." label (and stage="..." on the histograms) so
+    # concurrently live banks never collide in one scrape.
+    chan = (
+        "# TYPE ddc_channelizer_channels_active counter\n"
+        'ddc_channelizer_channels_active{bank="pfb8"} 8\n'
+        "# TYPE ddc_channelizer_blocks_total counter\n"
+        'ddc_channelizer_blocks_total{bank="pfb8"} 12\n'
+        "# TYPE ddc_channelizer_stage_ns histogram\n"
+        'ddc_channelizer_stage_ns_bucket{bank="pfb8",stage="fft",le="2048"} 2\n'
+        'ddc_channelizer_stage_ns_bucket{bank="pfb8",stage="fft",le="+Inf"} 12\n'
+        'ddc_channelizer_stage_ns_sum{bank="pfb8",stage="fft"} 31000\n'
+        'ddc_channelizer_stage_ns_count{bank="pfb8",stage="fft"} 12\n'
+    )
+    code, out, err = run(
+        chan,
+        require_nonzero=["ddc_channelizer_blocks_total", "ddc_channelizer_stage_ns_count"],
+    )
+    check("bank-labelled channelizer families pass", code == 0)
+
     code, out, err = run(good, require_nonzero=["ddc_worker_jobs"])
     check(
         "require-nonzero unmet fails",

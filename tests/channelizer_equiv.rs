@@ -1,0 +1,113 @@
+//! The channelizer's correctness contract, proptested at the issue's
+//! reference size: every enabled channel of an N=64 polyphase bank must
+//! bounds-match a standalone [`FixedDdc`] tuned to that carrier and
+//! running the same quantized prototype as a single FIR stage.
+//!
+//! The match is bounded, not bit-exact: the standalone chain mixes
+//! through quantized hardware (LUT NCO, rounded mixer, truncated FIR
+//! output) *before* filtering, while the bank filters in exact integer
+//! arithmetic and rotates in f64. For power-of-two N ≤ 1024 the NCO
+//! tuning word keeps its low bits clear so phase truncation vanishes,
+//! and the remaining LUT/rounding terms stay under 0.3% of full scale —
+//! `BOUNDS_TOLERANCE` (1%) covers them with margin. The error budget is
+//! derived in `core::channelizer`'s module docs and DESIGN.md §3.7.
+
+use ddc_suite::core::chain::FixedDdc;
+use ddc_suite::core::channelizer::{Channelizer, BOUNDS_TOLERANCE};
+use ddc_suite::core::mixer::Iq;
+use ddc_suite::core::spec::ChannelizerSpec;
+use proptest::prelude::*;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+fn random_input(seed: u64, len: usize) -> Vec<i32> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| (xorshift(&mut s) % 4096) as i32 - 2048)
+        .collect()
+}
+
+/// Runs one channel of the bank (chunked as requested) and the
+/// standalone chain over the same input, then compares the normalized
+/// complex outputs sample by sample.
+fn check_channel(spec: &ChannelizerSpec, k: u32, input: &[i32], chunk: usize) {
+    let mut bank = Channelizer::from_spec(spec.clone()).unwrap();
+    let row = bank
+        .enabled_channels()
+        .iter()
+        .position(|&c| c == k as usize)
+        .expect("channel enabled");
+    let mut out: Vec<Vec<Iq>> = vec![Vec::new(); bank.enabled_channels().len()];
+    for piece in input.chunks(chunk.max(1)) {
+        bank.process_into(piece, &mut out);
+    }
+    let mut ddc = FixedDdc::from_spec(spec.channel_chain(k).expect("valid channel chain"));
+    let want = ddc.process_block(input);
+    let a = bank.to_c64(&out[row]);
+    let b = ddc.to_c64(&want);
+    assert_eq!(a.len(), b.len(), "channel {k}: output length");
+    for (j, (x, y)) in a.iter().zip(&b).enumerate() {
+        let err = (*x - *y).abs();
+        assert!(
+            err < BOUNDS_TOLERANCE,
+            "channel {k} output {j}: |Δ| = {err:.5} >= {BOUNDS_TOLERANCE}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random channel index, random block length, random chunking —
+    /// the N=64 bank always bounds-matches the standalone DDC.
+    #[test]
+    fn n64_channel_bounds_matches_fixed_ddc(
+        seed in any::<u64>(),
+        k in 0u32..64,
+        chunk in 1usize..1500,
+    ) {
+        let spec = ChannelizerSpec::uniform(64, 64_512_000.0);
+        let len = 64 * 24 + (seed % 640) as usize;
+        check_channel(&spec, k, &random_input(seed, len), chunk);
+    }
+
+    /// Sparse random enable masks keep rows aligned with
+    /// `enabled_channels()` and every surviving channel still matches.
+    #[test]
+    fn n64_sparse_mask_channels_match(seed in any::<u64>()) {
+        let mut spec = ChannelizerSpec::uniform(64, 64_512_000.0);
+        let mut s = seed | 1;
+        for e in spec.enabled.iter_mut() {
+            *e = xorshift(&mut s).is_multiple_of(4);
+        }
+        if !spec.enabled.iter().any(|&e| e) {
+            spec.enabled[17] = true;
+        }
+        let input = random_input(seed ^ 0xABCD, 64 * 20);
+        let picks: Vec<u32> = spec
+            .enabled_channels()
+            .iter()
+            .take(3)
+            .map(|&k| k as u32)
+            .collect();
+        for k in picks {
+            check_channel(&spec, k, &input, 777);
+        }
+    }
+}
+
+/// Deterministic exhaustive sweep: all 64 channels of the reference
+/// bank, one fixed seed — the acceptance criterion verbatim.
+#[test]
+fn n64_every_channel_bounds_matches() {
+    let spec = ChannelizerSpec::uniform(64, 64_512_000.0);
+    let input = random_input(0x5EED_2026, 64 * 20);
+    for k in 0..64u32 {
+        check_channel(&spec, k, &input, usize::MAX);
+    }
+}

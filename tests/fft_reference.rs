@@ -1,0 +1,94 @@
+//! Property-based anchoring of `dsp::fft` against the obviously-correct
+//! O(N²) DFT, over random complex inputs and every power-of-two size
+//! the channelizer can request (N ≤ 1024, checked here up to 2048), plus
+//! the fft→ifft round-trip with an explicit error bound.
+//!
+//! Error model: a radix-2 FFT of size N accumulates O(ε·log₂N) relative
+//! rounding error per bin while the naive DFT reference accumulates
+//! O(ε·N); with unit-bounded inputs both are well inside `1e-9·N`
+//! absolute per bin, which is the bound asserted throughout.
+
+use ddc_suite::dsp::fft::{dft, Fft};
+use ddc_suite::dsp::C64;
+use proptest::prelude::*;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// Random complex vector with components uniform in [−1, 1).
+fn random_input(seed: u64, n: usize) -> Vec<C64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            let re = (xorshift(&mut s) >> 11) as f64 / (1u64 << 52) as f64;
+            let im = (xorshift(&mut s) >> 11) as f64 / (1u64 << 52) as f64;
+            C64::new(2.0 * re - 1.0, 2.0 * im - 1.0)
+        })
+        .collect()
+}
+
+fn max_err(a: &[C64], b: &[C64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Forward FFT equals the naive DFT at every power-of-two size the
+    /// channelizer supports, on random complex inputs.
+    #[test]
+    fn fft_matches_naive_dft_all_pow2_sizes(seed in any::<u64>()) {
+        let mut n = 2usize;
+        while n <= 2048 {
+            let input = random_input(seed ^ n as u64, n);
+            let reference = dft(&input);
+            let mut buf = input.clone();
+            Fft::new(n).forward(&mut buf);
+            let bound = 1e-9 * n as f64;
+            let err = max_err(&buf, &reference);
+            prop_assert!(err < bound, "size {}: err {} >= bound {}", n, err, bound);
+            n *= 2;
+        }
+    }
+
+    /// fft→ifft round-trips to the identity within an explicit bound.
+    #[test]
+    fn fft_ifft_roundtrip_is_identity(seed in any::<u64>()) {
+        let mut n = 2usize;
+        while n <= 1 << 14 {
+            let fft = Fft::new(n);
+            let input = random_input(seed ^ (n as u64).rotate_left(17), n);
+            let mut buf = input.clone();
+            fft.forward(&mut buf);
+            fft.inverse(&mut buf);
+            let bound = 1e-12 * (n as f64) + 1e-12;
+            let err = max_err(&buf, &input);
+            prop_assert!(err < bound, "size {}: err {} >= bound {}", n, err, bound);
+            n *= 4;
+        }
+    }
+
+    /// The unnormalised inverse (the channelizer's synthesis transform)
+    /// equals the naive conjugate DFT sum `Σ x[n]·e^{+2πikn/N}`.
+    #[test]
+    fn inverse_unnormalized_matches_conjugate_dft(seed in any::<u64>()) {
+        for n in [2usize, 8, 64, 256, 1024] {
+            let input = random_input(seed ^ (n as u64).wrapping_mul(0x9e37), n);
+            // Σ x·e^{+jθ} = conj(DFT(conj(x))).
+            let conj_in: Vec<C64> = input.iter().map(|z| z.conj()).collect();
+            let reference: Vec<C64> = dft(&conj_in).iter().map(|z| z.conj()).collect();
+            let mut buf = input.clone();
+            Fft::new(n).inverse_unnormalized(&mut buf);
+            let bound = 1e-9 * n as f64;
+            let err = max_err(&buf, &reference);
+            prop_assert!(err < bound, "size {}: err {} >= bound {}", n, err, bound);
+        }
+    }
+}

@@ -6,7 +6,7 @@
 
 use ddc_suite::core::chain::FixedDdc;
 use ddc_suite::core::params::FixedFormat;
-use ddc_suite::core::spec::{ChainSpec, SpecError, StageSpec};
+use ddc_suite::core::spec::{ChainSpec, ChannelizerSpec, SpecError, StageSpec};
 use proptest::prelude::*;
 
 /// Small deterministic generator so a single `u64` seed can drive an
@@ -217,5 +217,108 @@ fn inconsistent_declared_total_is_rejected() {
             declared: 999,
             product: spec.total_decimation(),
         })
+    );
+}
+
+// ---- malformed channelizer-spec rejection -------------------------
+//
+// Offsets follow the channelizer v1 layout: version(1) name_len(1)
+// name(k) input_rate(8) channels(4) taps_per_branch(4) oversample(1)
+// design(1) atten_db(8) cutoff_scale(8) format(4) declared_len(4)
+// mask(ceil(N/8)).
+
+/// Byte offset of the channels field for a spec named `name`.
+fn channels_offset(name: &str) -> usize {
+    2 + name.len() + 8
+}
+
+#[test]
+fn channelizer_roundtrips_with_sparse_mask() {
+    let mut s = ChannelizerSpec::uniform(64, 64_512_000.0);
+    for k in 0..64 {
+        s.enabled[k] = k % 3 == 0;
+    }
+    let back = ChannelizerSpec::decode(&s.encode()).expect("own encoding decodes");
+    assert_eq!(back, s);
+}
+
+#[test]
+fn channelizer_every_truncation_is_rejected() {
+    let b = ChannelizerSpec::uniform(16, 1.0e6).encode();
+    for len in 0..b.len() {
+        assert!(
+            ChannelizerSpec::decode(&b[..len]).is_err(),
+            "prefix of length {len} decoded"
+        );
+    }
+}
+
+#[test]
+fn channelizer_bad_channel_count_is_rejected_before_mask_allocation() {
+    let s = ChannelizerSpec::uniform(16, 1.0e6);
+    let mut b = s.encode();
+    let at = channels_offset(&s.name);
+    // An absurd channel count must be rejected by range check, not by
+    // attempting to read a multi-megabyte mask.
+    b[at..at + 4].copy_from_slice(&(1u32 << 30).to_le_bytes());
+    assert_eq!(
+        ChannelizerSpec::decode(&b),
+        Err(SpecError::BadChannelCount(1 << 30))
+    );
+}
+
+#[test]
+fn channelizer_unknown_design_tag_is_rejected() {
+    let s = ChannelizerSpec::uniform(16, 1.0e6);
+    let mut b = s.encode();
+    let design_at = channels_offset(&s.name) + 4 + 4 + 1;
+    b[design_at] = 9;
+    assert_eq!(ChannelizerSpec::decode(&b), Err(SpecError::BadDesignTag(9)));
+}
+
+#[test]
+fn channelizer_trailing_mask_bits_are_rejected() {
+    // 12 channels → 2 mask bytes with 4 trailing bits that must be 0.
+    let s = ChannelizerSpec::uniform(12, 1.0e6);
+    let mut b = s.encode();
+    let last = b.len() - 1;
+    b[last] |= 0xF0;
+    assert_eq!(ChannelizerSpec::decode(&b), Err(SpecError::BadEnableMask));
+}
+
+#[test]
+fn channelizer_all_clear_mask_is_rejected() {
+    let s = ChannelizerSpec::uniform(16, 1.0e6);
+    let mut b = s.encode();
+    let len = b.len();
+    b[len - 2..].fill(0);
+    assert_eq!(
+        ChannelizerSpec::decode(&b),
+        Err(SpecError::NoEnabledChannels)
+    );
+}
+
+#[test]
+fn channelizer_inconsistent_prototype_length_is_rejected() {
+    let s = ChannelizerSpec::uniform(16, 1.0e6);
+    let mut b = s.encode();
+    let declared_at = b.len() - 2 - 4; // mask(2) then declared_len(4)
+    b[declared_at..declared_at + 4].copy_from_slice(&7u32.to_le_bytes());
+    assert_eq!(
+        ChannelizerSpec::decode(&b),
+        Err(SpecError::PrototypeMismatch {
+            declared: 7,
+            product: 128,
+        })
+    );
+}
+
+#[test]
+fn channelizer_trailing_bytes_are_rejected() {
+    let mut b = ChannelizerSpec::uniform(16, 1.0e6).encode();
+    b.push(0);
+    assert_eq!(
+        ChannelizerSpec::decode(&b),
+        Err(SpecError::TrailingBytes(1))
     );
 }
