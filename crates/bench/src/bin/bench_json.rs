@@ -505,6 +505,67 @@ fn main() {
         });
     }
 
+    // --- Latency-QoS loopback: the DRM chain under a bounded-delay
+    // profile. Same lock-step workload as `server_loopback`, but the
+    // session negotiates `Latency{budget_us}`, so the server
+    // sub-batches farm jobs (the batch is deliberately larger than the
+    // quarter-budget chunk, forcing the bounded in-flight path) and
+    // annotates every ack with queue-wait/service timing. Lock-step
+    // send→ack is the natural pacing for a bounded-delay claim: there
+    // is never more than one batch in flight, so the client-side e2e
+    // quantiles measure the service path, not self-inflicted queueing.
+    // `latency_p99_us` is gated with an absolute ceiling
+    // (`bench_gate.py --max chain_drm_latency:latency_p99_us=...`):
+    // the budget is a promise, so the quantile must hold outright.
+    {
+        use ddc_obs::LogHistogram;
+        use ddc_server::wire::{Backpressure, ConfigPreset, Frame, QosProfile};
+        use ddc_server::{serve, Client, ServerConfig};
+        let budget_us: u32 = 5_000;
+        let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+        let mut client = Client::connect(server.local_addr(), "bench-latency")
+            .expect("connect")
+            .with_qos(QosProfile::Latency { budget_us });
+        client
+            .configure(ConfigPreset::Drm, 10e6, Backpressure::Block, 8)
+            .expect("configure");
+        let batch = DRM_TOTAL_DECIMATION as usize * 32;
+        let mut batch_index = 0u64;
+        let e2e = LogHistogram::new();
+        let service = LogHistogram::new();
+        let blk = measure(n, || {
+            for chunk in adc.chunks(batch) {
+                let t0 = Instant::now();
+                client.send_samples(batch_index, chunk).expect("send");
+                batch_index += 1;
+                match client.recv().expect("recv") {
+                    Frame::Iq(iq) => {
+                        black_box(iq.pairs.len());
+                        let t = iq.timing.expect("latency session acks carry timing");
+                        service.record(t.service_ns);
+                    }
+                    other => panic!("expected Iq, got {other:?}"),
+                }
+                e2e.record_duration(t0.elapsed());
+            }
+        });
+        let _ = client.send(&Frame::Shutdown);
+        assert!(server.shutdown(std::time::Duration::from_secs(10)));
+        let e2e = e2e.snapshot();
+        let service = service.snapshot();
+        results.push(StageResult {
+            name: "chain_drm_latency".to_string(),
+            per_sample_msps: None,
+            block_msps: blk / 1e6,
+            extra: vec![
+                ("budget_us", f64::from(budget_us)),
+                ("latency_p50_us", e2e.p50() as f64 / 1e3),
+                ("latency_p99_us", e2e.p99() as f64 / 1e3),
+                ("service_p99_us", service.p99() as f64 / 1e3),
+            ],
+        });
+    }
+
     // --- Service scaling: latency quantiles vs session count --------
     // The readiness runtime's core claim is that session count is
     // decoupled from thread count: S concurrent lock-step sessions

@@ -935,6 +935,7 @@ mod tests {
                 StageSpec::Fir { taps, decim: 2 },
             ],
             format: crate::params::FixedFormat::FPGA12,
+            budget: None,
         };
         spec.validate().unwrap();
         assert_eq!(spec.total_decimation(), 672);
@@ -1055,6 +1056,7 @@ mod tests {
                 },
             ],
             format: crate::params::FixedFormat::FPGA12,
+            budget: None,
         };
         spec.validate().unwrap();
         assert!(!spec.fused_head());

@@ -508,24 +508,8 @@ impl DdcFarm {
         // processor at a time, so this is its steady state; contention
         // (a stats read, a reconfigure, a whole-farm batch touching
         // the slot) falls back to the queued path below.
-        if let Ok(mut slot) = self.shared.channels[channel].try_lock() {
-            let mut out = Vec::new();
-            let t0 = Instant::now();
-            slot.ddc.process_into(&input, &mut out);
-            let busy = t0.elapsed();
-            slot.record(input.len() as u64, out.len() as u64, busy);
-            drop(slot);
-            self.shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
-            if let Some(fm) = self.shared.metrics.get() {
-                let busy_ns = busy.as_nanos().min(u64::MAX as u128) as u64;
-                fm.inline_jobs.inc();
-                fm.inline_job_ns.record(busy_ns);
-                // JOB_DONE lands in the control ring (no worker index
-                // to attribute it to); drain_events merges the rings,
-                // so consumers see one ordered job stream either way.
-                fm.control_ring
-                    .push(kind::JOB_DONE, channel as u64, busy_ns);
-            }
+        let mut out = Vec::new();
+        if self.run_inline(channel, &input, &mut out) {
             return Some(out);
         }
         let done = Arc::new(JobDone::default());
@@ -557,6 +541,88 @@ impl DdcFarm {
                 return None;
             }
         }
+    }
+
+    /// Runs one batch on the submitting thread if the channel slot is
+    /// uncontended, appending output to `out` and recording the same
+    /// stats/telemetry as a worker would. Returns `false` on
+    /// contention (caller takes the queued path).
+    fn run_inline(&self, channel: usize, input: &[i32], out: &mut Vec<Iq>) -> bool {
+        let Ok(mut slot) = self.shared.channels[channel].try_lock() else {
+            return false;
+        };
+        let before = out.len();
+        let t0 = Instant::now();
+        slot.ddc.process_into(input, out);
+        let busy = t0.elapsed();
+        slot.record(input.len() as u64, (out.len() - before) as u64, busy);
+        drop(slot);
+        self.shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        if let Some(fm) = self.shared.metrics.get() {
+            let busy_ns = busy.as_nanos().min(u64::MAX as u128) as u64;
+            fm.inline_jobs.inc();
+            fm.inline_job_ns.record(busy_ns);
+            // JOB_DONE lands in the control ring (no worker index
+            // to attribute it to); drain_events merges the rings,
+            // so consumers see one ordered job stream either way.
+            fm.control_ring
+                .push(kind::JOB_DONE, channel as u64, busy_ns);
+        }
+        true
+    }
+
+    /// Bounded-latency variant of [`DdcFarm::submit_channel_shared`]:
+    /// runs `input` through channel `channel` in sub-batches of at most
+    /// `max_batch` samples, appending every output word to `out`.
+    ///
+    /// Chunking is bit-exact with one whole-buffer submission — channel
+    /// state persists across chunks exactly as it persists across
+    /// calls — but it bounds how much input is ever in flight inside
+    /// the chain at once. A latency-QoS session picks `max_batch` from
+    /// its negotiated budget so no single farm job can occupy the
+    /// channel longer than the budget allows; each chunk is a separate
+    /// job for stats/telemetry purposes.
+    ///
+    /// Returns `None` if the farm is halted before every chunk has run;
+    /// output from chunks that did complete stays in `out` (the caller
+    /// is tearing the session down at that point anyway).
+    pub fn submit_channel_chunked(
+        &self,
+        channel: usize,
+        input: &[i32],
+        max_batch: usize,
+        out: &mut Vec<Iq>,
+    ) -> Option<()> {
+        assert!(
+            channel < self.n_channels,
+            "channel {channel} out of range (farm has {})",
+            self.n_channels
+        );
+        let max_batch = max_batch.max(1);
+        if input.len() <= max_batch {
+            // Single-chunk batches (including empty keep-alives) take
+            // the ordinary path so their accounting is identical.
+            let pairs = self.submit_channel(channel, input)?;
+            out.extend_from_slice(&pairs);
+            return Some(());
+        }
+        for chunk in input.chunks(max_batch) {
+            if self.shared.stop.load(Ordering::Acquire) {
+                return None;
+            }
+            if self.run_inline(channel, chunk, out) {
+                if let Some(fm) = self.shared.metrics.get() {
+                    fm.batch_samples.record(chunk.len() as u64);
+                }
+            } else {
+                // Contended slot (stats read, reconfigure): fall back
+                // to the queued path for this chunk only (it does its
+                // own batch_samples accounting).
+                let pairs = self.submit_channel_shared(channel, Arc::new(chunk.to_vec()))?;
+                out.extend_from_slice(&pairs);
+            }
+        }
+        Some(())
     }
 
     /// Replaces channel `channel`'s DDC with a fresh chain built from
@@ -940,6 +1006,38 @@ mod tests {
     }
 
     #[test]
+    fn chunked_submission_is_bit_exact_with_whole_batch() {
+        let cfgs = vec![DdcConfig::drm(10e6), DdcConfig::drm(20e6)];
+        // A ragged length so the final chunk is partial, plus a second
+        // batch to prove state carries across chunked calls too.
+        let block_a = test_input(D * 3 + 41, 77);
+        let block_b = test_input(D * 2 + 13, 78);
+        let whole = DdcFarm::new(cfgs.clone());
+        let chunked = DdcFarm::new(cfgs.clone());
+        for (block, chunk) in [(&block_a, 1000), (&block_b, D)] {
+            let expect = whole.submit_channel(1, block).expect("farm running");
+            let mut got = Vec::new();
+            chunked
+                .submit_channel_chunked(1, block, chunk, &mut got)
+                .expect("farm running");
+            assert_eq!(got, expect);
+        }
+        // A chunk size larger than the batch degrades to one job.
+        let jobs_before = chunked.channel_stats(1).batches;
+        let mut got = Vec::new();
+        chunked
+            .submit_channel_chunked(1, &[], 4096, &mut got)
+            .expect("farm running");
+        assert!(got.is_empty());
+        assert_eq!(chunked.channel_stats(1).batches, jobs_before + 1);
+        // Chunked after halt reports the farm as stopped.
+        chunked.halt();
+        assert!(chunked
+            .submit_channel_chunked(1, &block_a, 1000, &mut got)
+            .is_none());
+    }
+
+    #[test]
     fn concurrent_channel_submissions_are_independent() {
         let cfgs: Vec<DdcConfig> = (1..=4).map(|k| DdcConfig::drm(k as f64 * 5e6)).collect();
         let farm = Arc::new(DdcFarm::with_workers(cfgs.clone(), 2));
@@ -1116,6 +1214,7 @@ mod tests {
                 crate::spec::StageSpec::Fir { taps, decim: 4 },
             ],
             format: crate::params::FixedFormat::FPGA12,
+            budget: None,
         };
         farm.reconfigure_channel(0, spec).unwrap();
         let _ = farm.submit_block(&test_input(64 * 8, 54));

@@ -51,6 +51,11 @@ pub const MAX_STAGES: usize = 8;
 pub const MAX_FIR_TAPS: usize = 4096;
 /// Version byte leading every binary-encoded spec.
 pub const SPEC_ENCODING_VERSION: u8 = 1;
+/// Version byte for specs carrying an optional latency budget as a
+/// trailing field. Specs without a budget keep emitting version 1
+/// byte-identically, so every pre-existing consumer and every pinned
+/// offset stays valid.
+pub const SPEC_ENCODING_VERSION_V2: u8 = 2;
 /// Longest allowed spec name on the wire.
 pub const MAX_NAME_LEN: usize = 64;
 /// Most channels a [`ChannelizerSpec`] may declare (the FFT plan cache
@@ -203,6 +208,16 @@ pub enum SpecError {
     },
     /// The prototype designer failed (Parks–McClellan non-convergence).
     DesignFailed(String),
+    /// A declared latency budget was not positive and finite.
+    BadLatencyBudget(f64),
+    /// The chain's intrinsic group delay exceeds its declared latency
+    /// budget — no runtime scheduling can meet it.
+    LatencyBudgetExceeded {
+        /// Group delay the stages add up to, µs.
+        required_us: f64,
+        /// Budget the spec declared, µs.
+        budget_us: f64,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -265,6 +280,17 @@ impl fmt::Display for SpecError {
                 "declared prototype length {declared} != channels x taps_per_branch {product}"
             ),
             SpecError::DesignFailed(why) => write!(f, "prototype design failed: {why}"),
+            SpecError::BadLatencyBudget(us) => {
+                write!(f, "latency budget {us} µs must be positive and finite")
+            }
+            SpecError::LatencyBudgetExceeded {
+                required_us,
+                budget_us,
+            } => write!(
+                f,
+                "chain group delay {required_us:.1} µs exceeds the declared \
+                 latency budget {budget_us:.1} µs"
+            ),
         }
     }
 }
@@ -306,6 +332,59 @@ pub struct SpecNote {
     pub message: String,
 }
 
+/// A declared bound on the chain's end-to-end group delay. Carried by
+/// the spec (optionally) so a plan that *cannot* meet its application's
+/// deadline is rejected at validation time, before any runtime
+/// scheduling gets a chance to fail it — the Troeng–Doolittle
+/// control-loop requirement made declarative.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyBudget {
+    /// Largest acceptable intrinsic group delay, µs, sample-in to
+    /// IQ-out, referred to the chain input.
+    pub max_us: f64,
+}
+
+/// Group delay of one stage, in the accounting of
+/// [`ChainSpec::latency_budget`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageDelay {
+    /// The stage's display label ("cic2r16", "fir125r8").
+    pub label: String,
+    /// Sample rate at the stage input, Hz.
+    pub input_rate: f64,
+    /// Group delay in samples at the stage's own input rate.
+    pub stage_samples: f64,
+    /// The same delay referred to the *chain* input (multiplied by the
+    /// cumulative decimation of all preceding stages).
+    pub input_samples: f64,
+}
+
+/// Per-stage group-delay accounting for a chain: exact sample counts
+/// from CIC order/decimation and FIR tap geometry, each referred to the
+/// chain input so they add.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyReport {
+    /// One entry per stage, in chain order.
+    pub stages: Vec<StageDelay>,
+    /// Total group delay in chain-input samples.
+    pub total_input_samples: f64,
+    /// Chain input rate, Hz (denominator for the time conversions).
+    pub input_rate: f64,
+}
+
+impl LatencyReport {
+    /// Total group delay in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_input_samples / self.input_rate
+    }
+
+    /// Total group delay in microseconds — the unit latency budgets
+    /// and the wire QoS profile use.
+    pub fn total_us(&self) -> f64 {
+        self.total_seconds() * 1e6
+    }
+}
+
 /// A validated, serializable description of a full DDC chain: input
 /// rate, tuning, ordered decimation stages and fixed-point format.
 #[derive(Clone, Debug, PartialEq)]
@@ -321,6 +400,9 @@ pub struct ChainSpec {
     pub stages: Vec<StageSpec>,
     /// Fixed-point formats for the bit-true chain.
     pub format: FixedFormat,
+    /// Optional declared group-delay bound; `validate` rejects chains
+    /// whose intrinsic delay ([`ChainSpec::latency_budget`]) exceeds it.
+    pub budget: Option<LatencyBudget>,
 }
 
 impl ChainSpec {
@@ -358,7 +440,31 @@ impl ChainSpec {
                 StageSpec::Fir { taps, decim: d3 },
             ],
             format: FixedFormat::FPGA12,
+            budget: None,
         }
+    }
+
+    /// The reference chain rebuilt for control-loop latency: the same
+    /// CICs, but the 125-tap channel filter redesigned minimum-phase
+    /// ([`firdes::lowpass_min_phase`] — same magnitude contract, group
+    /// delay collapsed from 62 to ~19 samples at 192 kHz) and a
+    /// declared 150 µs latency budget the spec enforces. The linear-
+    /// phase reference needs ≈ 336 µs of group delay, so this budget is
+    /// only reachable with the minimum-phase tail — [`ChainSpec::validate`]
+    /// proves it, and [`ChainSpec::notes`] flags the deliberate
+    /// asymmetry (the FIR runs the unfolded kernel).
+    pub fn drm_low_latency() -> Self {
+        let beta = kaiser_beta(80.0);
+        let taps =
+            firdes::lowpass_min_phase(DRM_FIR_TAPS, 12_000.0 / 192_000.0, Window::Kaiser(beta));
+        let mut s = ChainSpec::drm_reference();
+        s.name = "drm_low_latency".into();
+        s.stages[2] = StageSpec::Fir {
+            taps,
+            decim: DRM_STAGE_DECIMATIONS[2],
+        };
+        s.budget = Some(LatencyBudget { max_us: 150.0 });
+        s
     }
 
     /// The reference chain in the Montium's 16-bit format.
@@ -448,6 +554,57 @@ impl ChainSpec {
             rates.push(r);
         }
         rates
+    }
+
+    /// Per-stage group-delay accounting: exact sample counts derived
+    /// from the stage geometry, each referred to the chain input so
+    /// they add into one end-to-end figure.
+    ///
+    /// * A CIC of order `O`, decimation `R`, differential delay `M` is
+    ///   the `O`-fold convolution of a boxcar of length `R·M`; its
+    ///   group delay is exactly `O·(R·M − 1)/2` input samples.
+    /// * A linear-phase FIR of `T` taps delays `(T − 1)/2` samples at
+    ///   its input rate; an asymmetric (e.g. minimum-phase) FIR is
+    ///   accounted at its dominant-tap index
+    ///   ([`firdes::nominal_delay`]).
+    ///
+    /// The NCO and mixer are memoryless and add nothing. This is the
+    /// *intrinsic* delay of the signal path — queueing and batching
+    /// delays live in the runtime and are measured, not declared.
+    pub fn latency_budget(&self) -> LatencyReport {
+        let mut stages = Vec::with_capacity(self.stages.len());
+        let mut cum_decim = 1.0f64;
+        let mut total = 0.0f64;
+        for s in &self.stages {
+            let stage_samples = match s {
+                StageSpec::Cic {
+                    order,
+                    decim,
+                    diff_delay,
+                } => f64::from(*order) * (f64::from(*decim) * f64::from(*diff_delay) - 1.0) / 2.0,
+                StageSpec::Fir { taps, .. } => {
+                    if taps.is_empty() || taps.iter().any(|t| !t.is_finite()) {
+                        0.0 // shapes validate() rejects; keep accounting total
+                    } else {
+                        firdes::nominal_delay(taps)
+                    }
+                }
+            };
+            let input_samples = stage_samples * cum_decim;
+            stages.push(StageDelay {
+                label: s.label(),
+                input_rate: self.input_rate / cum_decim,
+                stage_samples,
+                input_samples,
+            });
+            total += input_samples;
+            cum_decim *= f64::from(s.decimation());
+        }
+        LatencyReport {
+            stages,
+            total_input_samples: total,
+            input_rate: self.input_rate,
+        }
     }
 
     /// The NCO frequency tuning word for a 32-bit phase accumulator:
@@ -547,6 +704,18 @@ impl ChainSpec {
                 nyquist,
             });
         }
+        if let Some(b) = &self.budget {
+            if !(b.max_us.is_finite() && b.max_us > 0.0) {
+                return Err(SpecError::BadLatencyBudget(b.max_us));
+            }
+            let required_us = self.latency_budget().total_us();
+            if required_us > b.max_us {
+                return Err(SpecError::LatencyBudgetExceeded {
+                    required_us,
+                    budget_us: b.max_us,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -626,6 +795,7 @@ impl ChainSpec {
                 },
             ],
             format: c.format,
+            budget: None,
         }
     }
 
@@ -672,10 +842,19 @@ impl ChainSpec {
     /// per stage: u8 tag (1=CIC, 2=FIR)
     ///   CIC: u8 order, u8 diff_delay, u32 decim
     ///   FIR: u32 decim, u32 tap count, u64×taps (f64 bits)
+    /// version 2 only: u64 latency budget max_us (f64 bits)
     /// ```
+    ///
+    /// A spec without a latency budget emits version 1, byte-identical
+    /// to every earlier build; declaring a budget bumps the version
+    /// byte to 2 and appends the budget as a trailing field.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + 12 * self.stages.len());
-        out.push(SPEC_ENCODING_VERSION);
+        out.push(if self.budget.is_some() {
+            SPEC_ENCODING_VERSION_V2
+        } else {
+            SPEC_ENCODING_VERSION
+        });
         let name = self.name.as_bytes();
         debug_assert!(name.len() <= MAX_NAME_LEN);
         out.push(name.len().min(MAX_NAME_LEN) as u8);
@@ -710,6 +889,9 @@ impl ChainSpec {
                 }
             }
         }
+        if let Some(b) = &self.budget {
+            out.extend_from_slice(&b.max_us.to_bits().to_le_bytes());
+        }
         out
     }
 
@@ -719,7 +901,7 @@ impl ChainSpec {
     pub fn decode(bytes: &[u8]) -> Result<ChainSpec, SpecError> {
         let mut c = SpecCursor { buf: bytes, pos: 0 };
         let version = c.u8("encoding version")?;
-        if version != SPEC_ENCODING_VERSION {
+        if version != SPEC_ENCODING_VERSION && version != SPEC_ENCODING_VERSION_V2 {
             return Err(SpecError::BadEncodingVersion(version));
         }
         let name_len = c.u8("name length")? as usize;
@@ -768,6 +950,13 @@ impl ChainSpec {
                 other => return Err(SpecError::BadStageTag(other)),
             }
         }
+        let budget = if version == SPEC_ENCODING_VERSION_V2 {
+            Some(LatencyBudget {
+                max_us: f64::from_bits(c.u64("latency budget")?),
+            })
+        } else {
+            None
+        };
         if c.remaining() != 0 {
             return Err(SpecError::TrailingBytes(c.remaining()));
         }
@@ -777,6 +966,7 @@ impl ChainSpec {
             tune_freq,
             stages,
             format,
+            budget,
         };
         spec.validate_against_total(declared_total)?;
         Ok(spec)
@@ -1212,9 +1402,30 @@ impl ChannelizerSpec {
                 decim: self.decimation(),
             }],
             format: self.format,
+            budget: None,
         };
         spec.validate().ok()?;
         Some(spec)
+    }
+
+    /// Group-delay accounting for the bank — the channelizer
+    /// counterpart of [`ChainSpec::latency_budget`]. Every prototype
+    /// design here is linear phase, so each channel sees exactly
+    /// `(L·N − 1)/2` samples of delay at the wideband input rate (the
+    /// polyphase decomposition commutes the decimation through the
+    /// filter without changing its delay).
+    pub fn latency_budget(&self) -> LatencyReport {
+        let stage_samples = (self.prototype_len() as f64 - 1.0) / 2.0;
+        LatencyReport {
+            stages: vec![StageDelay {
+                label: format!("pfb{}", self.channels),
+                input_rate: self.input_rate,
+                stage_samples,
+                input_samples: stage_samples,
+            }],
+            total_input_samples: stage_samples,
+            input_rate: self.input_rate,
+        }
     }
 }
 
@@ -1513,6 +1724,109 @@ mod tests {
             product: 512,
         };
         assert!(e.to_string().contains("declared prototype length 9"));
+    }
+
+    // ------------------------------------------------ latency budget
+
+    #[test]
+    fn latency_budget_accounts_the_reference_chain() {
+        let rep = ChainSpec::drm_reference().latency_budget();
+        // CIC2÷16: 2·(16−1)/2 = 15 input samples; CIC5÷21: 5·(21−1)/2 =
+        // 50 stage samples × ÷16 = 800; 125-tap linear-phase FIR: 62
+        // stage samples × ÷336 = 20832. Total 21647 ≈ 335.6 µs.
+        assert_eq!(rep.stages.len(), 3);
+        assert!((rep.stages[0].input_samples - 15.0).abs() < 1e-9);
+        assert!((rep.stages[1].input_samples - 800.0).abs() < 1e-9);
+        assert!((rep.stages[2].input_samples - 20832.0).abs() < 1e-9);
+        assert!((rep.total_input_samples - 21647.0).abs() < 1e-9);
+        assert!((rep.total_us() - 21647.0 / 64.512).abs() < 1e-6);
+        assert!((rep.stages[2].input_rate - 192_000.0).abs() < 1e-6);
+        // Differential delay scales the CIC boxcar length.
+        let mut s = ChainSpec::drm_reference();
+        s.stages[0] = StageSpec::Cic {
+            order: 2,
+            decim: 16,
+            diff_delay: 2,
+        };
+        let rep2 = s.latency_budget();
+        assert!((rep2.stages[0].stage_samples - 31.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_latency_preset_meets_a_budget_linear_phase_cannot() {
+        let s = ChainSpec::drm_low_latency();
+        s.validate().unwrap();
+        let us = s.latency_budget().total_us();
+        assert!(us < 150.0, "min-phase chain delay {us} µs");
+        // The same 150 µs budget on the linear-phase reference is
+        // structurally impossible — validation proves it.
+        let mut lin = ChainSpec::drm_reference();
+        lin.budget = Some(LatencyBudget { max_us: 150.0 });
+        assert!(matches!(
+            lin.validate(),
+            Err(SpecError::LatencyBudgetExceeded { .. })
+        ));
+        // The min-phase tail is deliberately asymmetric: the advisory
+        // fires and the FIR takes the unfolded kernel.
+        let notes = s.notes();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].kind, SpecNoteKind::AsymmetricFirTaps);
+    }
+
+    #[test]
+    fn budget_encoding_is_versioned_and_roundtrips() {
+        // No budget → version 1: byte-identical with every older build.
+        assert_eq!(
+            ChainSpec::drm_reference().encode()[0],
+            SPEC_ENCODING_VERSION
+        );
+        // With a budget → version 2 plus an 8-byte trailing field.
+        let ll = ChainSpec::drm_low_latency();
+        let bytes = ll.encode();
+        assert_eq!(bytes[0], SPEC_ENCODING_VERSION_V2);
+        let mut stripped = ll.clone();
+        stripped.budget = None;
+        assert_eq!(bytes.len(), stripped.encode().len() + 8);
+        assert_eq!(ChainSpec::decode(&bytes).expect("decode"), ll);
+        // Truncation anywhere must still error, never panic.
+        for n in 0..bytes.len() {
+            assert!(ChainSpec::decode(&bytes[..n]).is_err(), "prefix {n} passed");
+        }
+        // Trailing garbage after the budget field is still rejected.
+        let mut b = bytes.clone();
+        b.push(0);
+        assert_eq!(ChainSpec::decode(&b), Err(SpecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn validate_rejects_bad_budgets() {
+        let mut s = ChainSpec::drm_reference();
+        s.budget = Some(LatencyBudget { max_us: f64::NAN });
+        assert!(matches!(s.validate(), Err(SpecError::BadLatencyBudget(_))));
+        s.budget = Some(LatencyBudget { max_us: 0.0 });
+        assert_eq!(s.validate(), Err(SpecError::BadLatencyBudget(0.0)));
+        s.budget = Some(LatencyBudget { max_us: -5.0 });
+        assert_eq!(s.validate(), Err(SpecError::BadLatencyBudget(-5.0)));
+        // A generous budget validates (and decode re-validates it).
+        s.budget = Some(LatencyBudget { max_us: 1000.0 });
+        s.validate().unwrap();
+        assert_eq!(ChainSpec::decode(&s.encode()).expect("decode"), s);
+    }
+
+    #[test]
+    fn channelizer_latency_budget_is_the_prototype_delay() {
+        let s = ChannelizerSpec::uniform(64, DRM_INPUT_RATE);
+        let rep = s.latency_budget();
+        // 512-tap linear-phase prototype → 255.5 samples at the
+        // wideband rate, decimation notwithstanding.
+        assert_eq!(rep.stages.len(), 1);
+        assert!((rep.total_input_samples - 255.5).abs() < 1e-9);
+        assert_eq!(rep.stages[0].label, "pfb64");
+        // …and it agrees with the per-channel standalone chain's own
+        // accounting (the equivalence anchor).
+        let chain = s.channel_chain(0).expect("chain");
+        let chain_rep = chain.latency_budget();
+        assert!((chain_rep.total_input_samples - rep.total_input_samples).abs() < 1e-9);
     }
 
     // ---------------------------------------------- channelizer spec

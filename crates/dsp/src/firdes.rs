@@ -7,7 +7,8 @@
 //! rate, suppress everything that would alias) with the standard
 //! windowed-sinc method, plus a CIC droop compensator as an extension.
 
-use crate::fft::dtft;
+use crate::complex::C64;
+use crate::fft::{dtft, Fft};
 use crate::window::Window;
 use std::f64::consts::PI;
 
@@ -252,6 +253,96 @@ pub fn is_linear_phase(coeffs: &[i32]) -> bool {
     !coeffs.is_empty() && coeffs.iter().eq(coeffs.iter().rev())
 }
 
+/// Transforms a FIR into its minimum-phase counterpart with the same
+/// magnitude response, via the real-cepstrum method: take `log|H|` on a
+/// heavily oversampled FFT grid, fold the anticausal half of the
+/// cepstrum onto the causal half, and re-exponentiate. The result
+/// concentrates the impulse energy at the front, collapsing the group
+/// delay from the linear-phase `(N−1)/2` to a few samples, while the
+/// passband/stopband contract survives unchanged (verify with
+/// [`measure_lowpass`]). The output has the same length as the input;
+/// a minimum-phase response decays fast enough that the truncated tail
+/// carries negligible energy.
+///
+/// Spectral nulls are clamped 200 dB below the response peak before
+/// the log — deep stopbands stay deep, but the cepstrum stays finite.
+pub fn minimum_phase(h: &[f64]) -> Vec<f64> {
+    assert!(!h.is_empty(), "need at least one tap");
+    assert!(h.iter().all(|t| t.is_finite()), "non-finite tap");
+    // Oversample hard: cepstral aliasing falls off with grid size, and
+    // these are one-time design computations, not hot-path work.
+    let n = (h.len() * 32).next_power_of_two().max(1024);
+    let fft = Fft::new(n);
+    let mut buf: Vec<C64> = (0..n)
+        .map(|i| C64::new(h.get(i).copied().unwrap_or(0.0), 0.0))
+        .collect();
+    fft.forward(&mut buf);
+    let peak = buf.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+    assert!(peak > 0.0, "cannot min-phase an all-zero filter");
+    let floor = peak * 1e-10;
+    let mut cep: Vec<C64> = buf
+        .iter()
+        .map(|z| C64::new(z.abs().max(floor).ln(), 0.0))
+        .collect();
+    fft.inverse(&mut cep);
+    // Fold the anticausal cepstrum onto the causal side: keep c[0] and
+    // c[n/2], double 1..n/2, zero the upper half.
+    for c in cep.iter_mut().take(n / 2).skip(1) {
+        *c = c.scale(2.0);
+    }
+    for c in cep.iter_mut().skip(n / 2 + 1) {
+        *c = C64::ZERO;
+    }
+    fft.forward(&mut cep);
+    let mut spec: Vec<C64> = cep
+        .iter()
+        .map(|z| {
+            let m = z.re.exp();
+            C64::new(m * z.im.cos(), m * z.im.sin())
+        })
+        .collect();
+    fft.inverse(&mut spec);
+    spec[..h.len()].iter().map(|z| z.re).collect()
+}
+
+/// Designs a minimum-delay low-pass FIR: the windowed-sinc design of
+/// [`lowpass`] pushed through [`minimum_phase`], renormalised to exactly
+/// unit DC gain (the same contract as [`lowpass`]). Same magnitude
+/// response as the linear-phase design, but the group delay in the
+/// passband drops from `(taps−1)/2` to a few samples — the option a
+/// latency-budgeted control-loop chain selects. The taps are
+/// deliberately asymmetric, so the bit-true chain's symmetric-fold
+/// kernel falls back to the unfolded dot product
+/// ([`is_linear_phase`] returns `false` on the quantized taps).
+pub fn lowpass_min_phase(taps: usize, cutoff: f64, window: Window) -> Vec<f64> {
+    let mut h = minimum_phase(&lowpass(taps, cutoff, window));
+    normalize_dc(&mut h);
+    h
+}
+
+/// Nominal group delay of a FIR in samples at its input rate: exactly
+/// `(N−1)/2` for even-symmetric (linear-phase) taps, and the index of
+/// the dominant tap otherwise — minimum-phase designs concentrate their
+/// energy at the front, and the impulse peak is the delay a control
+/// loop actually observes. Symmetry is judged with a relative `1e−9`
+/// tolerance so float noise in a symmetric design does not flip the
+/// accounting to the peak rule.
+pub fn nominal_delay(h: &[f64]) -> f64 {
+    assert!(!h.is_empty(), "need at least one tap");
+    let peak = h.iter().fold(0.0f64, |m, t| m.max(t.abs()));
+    let tol = peak * 1e-9;
+    let symmetric = (0..h.len() / 2).all(|i| (h[i] - h[h.len() - 1 - i]).abs() <= tol);
+    if symmetric {
+        (h.len() - 1) as f64 / 2.0
+    } else {
+        h.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .map(|(i, _)| i as f64)
+            .unwrap_or(0.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,5 +561,65 @@ mod tests {
     #[should_panic(expected = "mod 4")]
     fn halfband_rejects_bad_length() {
         halfband(21, Window::Hann);
+    }
+
+    #[test]
+    fn minimum_phase_preserves_the_magnitude_response() {
+        // The DRM channel filter's own design point: 125 taps, 80 dB.
+        let beta = crate::window::kaiser_beta(80.0);
+        let h = lowpass(125, 12.0 / 192.0, Window::Kaiser(beta));
+        let m = minimum_phase(&h);
+        assert_eq!(m.len(), h.len());
+        // Pointwise |H| match across the whole band, both passband and
+        // deep stopband (absolute tolerance: the truncated min-phase
+        // tail perturbs the response at the ~1e-6 level).
+        for k in 0..=100 {
+            let f = 0.5 * k as f64 / 100.0;
+            let a = dtft(&h, f).abs();
+            let b = dtft(&m, f).abs();
+            assert!((a - b).abs() < 5e-4, "at f={f}: |H|={a} vs |Hmin|={b}");
+        }
+        // And the band contract survives the transformation.
+        let lin = measure_lowpass(&h, 5.0 / 192.0, 19.0 / 192.0, 200);
+        let min = measure_lowpass(&m, 5.0 / 192.0, 19.0 / 192.0, 200);
+        assert!(min.stopband_atten_db > lin.stopband_atten_db - 1.0);
+        assert!(min.passband_ripple_db < lin.passband_ripple_db + 0.01);
+    }
+
+    #[test]
+    fn minimum_phase_collapses_the_group_delay() {
+        let beta = crate::window::kaiser_beta(80.0);
+        let h = lowpass(125, 12.0 / 192.0, Window::Kaiser(beta));
+        assert_eq!(nominal_delay(&h), 62.0);
+        let m = lowpass_min_phase(125, 12.0 / 192.0, Window::Kaiser(beta));
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let d = nominal_delay(&m);
+        assert!(d < 26.0, "min-phase delay {d} samples, expected ≪ 62");
+        // Energy concentrates at the front: ≥ 95% in the first half.
+        let total: f64 = m.iter().map(|t| t * t).sum();
+        let front: f64 = m[..62].iter().map(|t| t * t).sum();
+        assert!(front / total > 0.95, "front energy {}", front / total);
+    }
+
+    #[test]
+    fn min_phase_taps_quantize_asymmetric() {
+        // The property the chain's kernel selection keys on: quantized
+        // min-phase taps are not a palindrome, so the symmetric-fold
+        // kernel must not engage.
+        let beta = crate::window::kaiser_beta(80.0);
+        let m = lowpass_min_phase(125, 12.0 / 192.0, Window::Kaiser(beta));
+        let q = quantize_taps(&m, 12, 11);
+        assert!(!is_linear_phase(&q));
+    }
+
+    #[test]
+    fn nominal_delay_rules() {
+        // Symmetric designs report the exact linear-phase delay…
+        assert_eq!(nominal_delay(&[0.25, 0.5, 0.25]), 1.0);
+        assert_eq!(nominal_delay(&lowpass(124, 0.1, Window::Hamming)), 61.5);
+        // …asymmetric ones report the dominant-tap index.
+        assert_eq!(nominal_delay(&[1.0, 0.5, 0.25]), 0.0);
+        assert_eq!(nominal_delay(&[0.1, 0.2, 0.9, 0.3]), 2.0);
+        assert_eq!(nominal_delay(&[5.0]), 0.0);
     }
 }

@@ -23,7 +23,9 @@ use ddc_core::params::FixedFormat;
 use ddc_core::spec::{ChainSpec, StageSpec, DRM_INPUT_RATE};
 use ddc_obs::{HistSnapshot, LogHistogram};
 use ddc_server::client::{Client, ClientError};
-use ddc_server::wire::{metrics_format, Backpressure, ConfigPreset, Frame, StatsReport};
+use ddc_server::wire::{
+    metrics_format, Backpressure, ConfigPreset, Frame, QosProfile, StatsReport,
+};
 use ddc_server::{serve, ServerConfig};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +42,7 @@ struct Opts {
     rate_msps: f64,
     policy: Backpressure,
     queue_cap: u32,
+    qos: QosProfile,
     preset: ConfigPreset,
     custom_plan: bool,
     verify: bool,
@@ -56,11 +59,15 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen (--addr HOST:PORT | --self-serve) [--sessions N] [--batches B]\n\
          \t[--batch-samples S] [--rate-msps R] [--policy block|drop-oldest|disconnect]\n\
-         \t[--queue-cap C] [--preset drm|drm-montium|wideband|wideband-compensated]\n\
+         \t[--queue-cap C] [--qos throughput|latency:<N>us|latency:<N>ms]\n\
+         \t[--preset drm|drm-montium|wideband|wideband-compensated]\n\
          \t[--custom-plan] [--channelizer N] [--verify] [--delay-ms D]\n\
          \t[--metrics-interval MS] [--metrics-out FILE]\n\
          defaults: --sessions 4 --batches 32 --batch-samples 10752 --rate-msps 0 (unthrottled)\n\
-         \t--policy block --queue-cap 0 (server default) --preset drm\n\
+         \t--policy block --queue-cap 0 (server default) --preset drm --qos throughput\n\
+         --qos latency:500us negotiates a per-batch latency budget; the server then\n\
+         \tchunks farm jobs, flushes on deadline, and stamps each Iq ack with the\n\
+         \tqueue-wait/service split reported under queue_wait_ns / service_ns\n\
          --custom-plan ignores --preset and configures sessions with a four-stage\n\
          \tnon-preset ChainSpec sent binary-encoded over the wire\n\
          --channelizer N replaces the chain sessions with one wideband ingest driving\n\
@@ -83,6 +90,7 @@ fn parse_opts() -> Opts {
         rate_msps: 0.0,
         policy: Backpressure::Block,
         queue_cap: 0,
+        qos: QosProfile::Throughput,
         preset: ConfigPreset::Drm,
         custom_plan: false,
         verify: false,
@@ -131,6 +139,10 @@ fn parse_opts() -> Opts {
             }
             "--queue-cap" => {
                 o.queue_cap = need(k).parse().unwrap_or_else(|_| usage());
+                k += 2;
+            }
+            "--qos" => {
+                o.qos = QosProfile::parse(&need(k)).unwrap_or_else(|| usage());
                 k += 2;
             }
             "--preset" => {
@@ -189,8 +201,17 @@ struct SessionOutcome {
     remote_errors: Vec<String>,
     bit_exact: Option<bool>,
     failure: Option<String>,
-    /// End-to-end batch latency (send → Iq ack), ns.
+    /// End-to-end batch latency (send → Iq ack), ns. This figure
+    /// conflates time spent waiting in the server's input queue with
+    /// time spent actually processing; the two server-stamped
+    /// histograms below split it.
     latency: HistSnapshot,
+    /// Server-reported enqueue wait (batch accepted → processor picked
+    /// it up), ns. Populated only under `--qos latency:...` — the
+    /// server stamps the split onto each Iq ack.
+    queue_wait: HistSnapshot,
+    /// Server-reported service time (farm submission → ack queued), ns.
+    service: HistSnapshot,
     /// Telemetry snapshots scraped mid-stream.
     metrics_scrapes: u64,
     /// Body of the last scraped Prometheus snapshot.
@@ -260,6 +281,7 @@ fn custom_plan(tune_freq: f64) -> ChainSpec {
             StageSpec::Fir { taps, decim: 2 },
         ],
         format: FixedFormat::FPGA12,
+        budget: None,
     };
     spec.validate().expect("custom plan must be valid");
     assert!(
@@ -298,6 +320,8 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
         bit_exact: None,
         failure: None,
         latency: HistSnapshot::empty(),
+        queue_wait: HistSnapshot::empty(),
+        service: HistSnapshot::empty(),
         metrics_scrapes: 0,
         last_metrics: None,
     };
@@ -308,6 +332,7 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
             return out;
         }
     };
+    client.set_qos(opts.qos);
     let configured = if opts.custom_plan {
         client.configure_spec(&custom_plan(tune), opts.policy, opts.queue_cap)
     } else {
@@ -336,10 +361,14 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
         Arc::new(v)
     };
     let latency_hist = Arc::new(LogHistogram::new());
+    let queue_wait_hist = Arc::new(LogHistogram::new());
+    let service_hist = Arc::new(LogHistogram::new());
 
     let receiver = {
         let sent_at_ns = Arc::clone(&sent_at_ns);
         let latency_hist = Arc::clone(&latency_hist);
+        let queue_wait_hist = Arc::clone(&queue_wait_hist);
+        let service_hist = Arc::clone(&service_hist);
         let builder = std::thread::Builder::new()
             .name(format!("lg-rx-{k}"))
             .stack_size(SESSION_STACK);
@@ -360,6 +389,15 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
                                     let now = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                                     latency_hist.record(now.saturating_sub(sent));
                                 }
+                            }
+                            // Latency-QoS acks carry the server's own
+                            // split of the round trip: queue wait vs
+                            // service. Client-side send→ack conflates
+                            // the two (plus the network), so quantile
+                            // analysis uses these stamps.
+                            if let Some(t) = iq.timing {
+                                queue_wait_hist.record(t.queue_wait_ns);
+                                service_hist.record(t.service_ns);
                             }
                             acked.insert(iq.batch_index, iq.pairs);
                         }
@@ -462,6 +500,8 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
     out.batches_acked = acked.len() as u64;
     out.outputs = acked.values().map(|v| v.len() as u64).sum();
     out.latency = latency_hist.snapshot();
+    out.queue_wait = queue_wait_hist.snapshot();
+    out.service = service_hist.snapshot();
     out.metrics_scrapes = metrics_scrapes;
     out.last_metrics = last_metrics;
     if let Some(s) = final_stats {
@@ -508,6 +548,8 @@ fn blank_outcome(session: usize, tune_hz: f64) -> SessionOutcome {
         bit_exact: None,
         failure: None,
         latency: HistSnapshot::empty(),
+        queue_wait: HistSnapshot::empty(),
+        service: HistSnapshot::empty(),
         metrics_scrapes: 0,
         last_metrics: None,
     }
@@ -800,6 +842,10 @@ fn main() {
         Backpressure::DropOldest => "drop-oldest",
         Backpressure::Disconnect => "disconnect",
     };
+    let qos_name = match opts.qos {
+        QosProfile::Throughput => "throughput".to_string(),
+        QosProfile::Latency { budget_us } => format!("latency:{budget_us}us"),
+    };
 
     let mut j = String::new();
     j.push_str("{\n");
@@ -810,6 +856,7 @@ fn main() {
     j.push_str(&format!("    \"batch_samples\": {},\n", opts.batch_samples));
     j.push_str(&format!("    \"rate_msps\": {},\n", opts.rate_msps));
     j.push_str(&format!("    \"policy\": \"{policy_name}\",\n"));
+    j.push_str(&format!("    \"qos\": \"{qos_name}\",\n"));
     j.push_str(&format!("    \"queue_cap\": {},\n", opts.queue_cap));
     let plan_name = if opts.channelizer > 0 {
         format!("channelizer_n{}", opts.channelizer)
@@ -838,6 +885,11 @@ fn main() {
         j.push_str(&format!("\"queue_hwm\": {}, ", o.queue_hwm));
         j.push_str(&format!("\"busy_ns\": {}, ", o.busy_ns));
         j.push_str(&format!("\"latency_ns\": {}, ", latency_json(&o.latency)));
+        j.push_str(&format!(
+            "\"queue_wait_ns\": {}, ",
+            latency_json(&o.queue_wait)
+        ));
+        j.push_str(&format!("\"service_ns\": {}, ", latency_json(&o.service)));
         j.push_str(&format!("\"metrics_scrapes\": {}, ", o.metrics_scrapes));
         j.push_str(&format!("\"protocol_errors\": {}, ", o.protocol_errors));
         match o.bit_exact {
@@ -878,6 +930,24 @@ fn main() {
     j.push_str(&format!(
         "  \"aggregate_latency_ns\": {},\n",
         latency_json(&agg_latency)
+    ));
+    // The server-stamped split of the same round trips (latency QoS
+    // only): how much of the e2e figure was queueing vs processing.
+    let agg_queue_wait = outcomes.iter().fold(HistSnapshot::empty(), |mut acc, o| {
+        acc.merge(&o.queue_wait);
+        acc
+    });
+    let agg_service = outcomes.iter().fold(HistSnapshot::empty(), |mut acc, o| {
+        acc.merge(&o.service);
+        acc
+    });
+    j.push_str(&format!(
+        "  \"aggregate_queue_wait_ns\": {},\n",
+        latency_json(&agg_queue_wait)
+    ));
+    j.push_str(&format!(
+        "  \"aggregate_service_ns\": {},\n",
+        latency_json(&agg_service)
     ));
     j.push_str(&format!(
         "  \"protocol_errors_total\": {protocol_errors_total},\n"

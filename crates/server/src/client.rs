@@ -4,7 +4,8 @@
 
 use crate::wire::{
     feature, read_frame_buffered, Backpressure, ChainPlan, ConfigPreset, Configure, ErrorFrame,
-    Frame, FrameBuf, FrameReadError, Hello, MetricsReport, StatsReport, MAX_PAYLOAD, VERSION,
+    Frame, FrameBuf, FrameReadError, Hello, MetricsReport, QosProfile, StatsReport, MAX_PAYLOAD,
+    VERSION,
 };
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -123,6 +124,8 @@ impl ClientReceiver {
 pub struct Client {
     sender: ClientSender,
     receiver: ClientReceiver,
+    /// QoS profile the next Configure carries (default Throughput).
+    qos: QosProfile,
     /// The server's Hello banner.
     pub server_hello: Hello,
 }
@@ -157,8 +160,24 @@ impl Client {
         Ok(Client {
             sender,
             receiver,
+            qos: QosProfile::Throughput,
             server_hello,
         })
+    }
+
+    /// Sets the QoS profile carried by subsequent Configure frames:
+    /// `QosProfile::Latency { budget_us }` asks the server to bound
+    /// end-to-end batch latency (sub-batched farm jobs, deadline
+    /// flushes, timing-annotated Iq acks) instead of maximising bulk
+    /// throughput. Returns `self` so it chains before `configure*`.
+    pub fn with_qos(mut self, qos: QosProfile) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// In-place variant of [`Client::with_qos`].
+    pub fn set_qos(&mut self, qos: QosProfile) {
+        self.qos = qos;
     }
 
     /// Configures the session; returns the server's initial stats
@@ -230,6 +249,7 @@ impl Client {
             plan,
             policy,
             queue_cap,
+            qos: self.qos,
         }))?;
         match self.receiver.recv()? {
             Frame::StatsReport(r) => Ok(r),

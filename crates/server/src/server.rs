@@ -28,13 +28,14 @@
 
 use crate::queue::{BoundedQueue, Pop, Push};
 use crate::session::{
-    frame_name, server_hello, Bank, Batch, Conn, EndKind, FlushState, MetricsSource, Notice,
-    Reader, Role, SessionObs, SessionState, ShardMailbox, OUT_HWM, READ_BUDGET, READ_CHUNK,
+    frame_name, server_hello, Bank, Batch, Conn, EndKind, FlushState, LatencyCtl, MetricsSource,
+    Notice, Reader, Role, SessionObs, SessionState, ShardMailbox, OUT_HWM, READ_BUDGET, READ_CHUNK,
 };
 use crate::sys::{fd_of, Event, Interest, Poller};
 use crate::wire::{
     decode_header, decode_payload, decode_samples_into, error_code, metrics_format, Backpressure,
-    ChainPlan, ErrorFrame, Frame, FrameBuf, MetricsReport, HEADER_LEN, VERSION,
+    ChainPlan, ErrorFrame, Frame, FrameBuf, IqTiming, MetricsReport, QosProfile, HEADER_LEN,
+    VERSION,
 };
 use ddc_core::{ChannelizerFarm, DdcConfig, DdcFarm};
 use ddc_obs::{kind, Counter, EventRing, MetricsSnapshot};
@@ -207,6 +208,18 @@ impl MetricsSource for ServerState {
                 format!("ddc_session_metrics_requests_total{l}"),
                 obs.metrics_requests.get(),
             );
+            // Latency family: exported only for sessions that
+            // negotiated a latency QoS budget, so throughput scrapes
+            // stay byte-identical to earlier builds.
+            let budget_us = obs.latency_budget_us.load(Ordering::Relaxed);
+            if budget_us > 0 {
+                snap.push_counter(format!("ddc_latency_budget_us{l}"), budget_us);
+                snap.push_hist(format!("ddc_latency_e2e_ns{l}"), obs.e2e_ns.snapshot());
+                snap.push_counter(
+                    format!("ddc_latency_deadline_misses_total{l}"),
+                    obs.deadline_misses.get(),
+                );
+            }
         }
         snap
     }
@@ -431,6 +444,26 @@ enum ReadOutcome {
     Drain,
 }
 
+/// Largest farm sub-batch a latency session may submit in one job:
+/// a quarter-budget's worth of input samples, so decode, queue wait,
+/// processing and egress together fit inside the budget with headroom.
+/// Floored at one output word per chunk (below the total decimation a
+/// chunk could produce nothing and the ack would still wait for the
+/// whole batch) and capped to keep degenerate budgets from disabling
+/// chunking arithmetic.
+fn latency_chunk_samples(input_rate: f64, total_decimation: u32, budget_us: u32) -> usize {
+    let quarter = input_rate * f64::from(budget_us) * 1e-6 / 4.0;
+    let floor = (total_decimation as usize).max(1);
+    (quarter as usize).clamp(floor, 1 << 22)
+}
+
+/// A duration as whole nanoseconds, saturating at `u64::MAX` (584
+/// years — only a frozen clock gets near it, but the wire field is
+/// fixed-width).
+fn saturating_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 fn shard_loop(
     poller: Poller,
     mailbox: Arc<ShardMailbox>,
@@ -441,7 +474,16 @@ fn shard_loop(
     let mut events: Vec<Event> = Vec::new();
     let mut notices: Vec<Notice> = Vec::new();
     loop {
-        if poller.wait(&mut events, None).is_err() {
+        // Throughput sessions let the poller sleep until readiness;
+        // latency sessions bound the sleep so queued-but-unwritten
+        // output is flushed on a deadline (a fraction of the tightest
+        // budget) instead of waiting for the next readiness event.
+        let timeout = conns
+            .values()
+            .filter_map(|e| e.conn.latency.get().map(|l| l.budget_us))
+            .min()
+            .map(|us| Duration::from_micros(u64::from(us / 4).clamp(1_000, 10_000)));
+        if poller.wait(&mut events, timeout).is_err() {
             std::thread::sleep(Duration::from_millis(1));
         }
         mailbox.drain_into(&mut notices);
@@ -534,6 +576,18 @@ fn shard_loop(
             }
             if ev.writable && conns.contains_key(&ev.token) {
                 handle_writable(&poller, &mut conns, &state, &dispatch, &conn);
+            }
+        }
+        // Deadline flush: push any latency session's pending output to
+        // the socket now rather than on the next readiness event.
+        if timeout.is_some() {
+            let due: Vec<Arc<Conn>> = conns
+                .values()
+                .filter(|e| e.conn.latency.get().is_some() && e.conn.out_pending() > 0)
+                .map(|e| Arc::clone(&e.conn))
+                .collect();
+            for conn in due {
+                flush_on_shard(&poller, &mut conns, &state, &dispatch, &conn);
             }
         }
     }
@@ -909,6 +963,7 @@ fn parse_frames(
             let batch = Batch {
                 index: batch_index,
                 samples: Arc::new(scratch),
+                arrived: Instant::now(),
             };
             let outcome = match r.policy {
                 // Admission above guarantees room, and this reader is
@@ -1026,6 +1081,34 @@ fn parse_frames(
                                 .plan
                                 .to_spec()
                                 .expect("preset/spec plans lower to a ChainSpec");
+                            // Latency QoS: the chain's own group delay
+                            // is a hard floor no runtime can get under,
+                            // so a budget below it is a config error,
+                            // not a stream of deadline misses. The farm
+                            // sub-batch bound comes from the budget
+                            // before the spec moves into the slot.
+                            if let QosProfile::Latency { budget_us } = c.qos {
+                                let group_us = spec.latency_budget().total_us();
+                                if group_us > f64::from(budget_us) {
+                                    conn.enqueue(&Frame::Error(ErrorFrame {
+                                        code: error_code::BAD_CONFIG,
+                                        message: format!(
+                                            "chain group delay {group_us:.1} us exceeds \
+                                             latency budget {budget_us} us"
+                                        ),
+                                    }));
+                                    state.release_slot(slot);
+                                    return ParseStep::End(EndKind::Errored);
+                                }
+                                let _ = conn.latency.set(LatencyCtl {
+                                    budget_us,
+                                    chunk_samples: latency_chunk_samples(
+                                        spec.input_rate,
+                                        spec.total_decimation(),
+                                        budget_us,
+                                    ),
+                                });
+                            }
                             if let Err(e) = state.farm.reconfigure_channel(slot, spec) {
                                 conn.enqueue(&Frame::Error(ErrorFrame {
                                     code: error_code::BAD_CONFIG,
@@ -1104,6 +1187,14 @@ fn parse_frames(
                         }
                     }
                     r.policy = c.policy;
+                    // Every plan kind exports its negotiated budget
+                    // (gating the ddc_latency_* metrics family); only
+                    // chain sessions also chunk farm submissions.
+                    if let QosProfile::Latency { budget_us } = c.qos {
+                        conn.obs
+                            .latency_budget_us
+                            .store(u64::from(budget_us), Ordering::Relaxed);
+                    }
                     // Configure is acknowledged with the session's
                     // (zeroed) stats so the client learns its channel
                     // binding before streaming.
@@ -1266,7 +1357,7 @@ fn process_conn(state: &Arc<ServerState>, dispatch: &Arc<Dispatch>, conn: &Arc<C
                                         // batch indices.
                                         sub.obs.drops_oldest.inc();
                                     } else {
-                                        sub.enqueue_iq(batch.index, 0, &rows[row]);
+                                        sub.enqueue_iq(batch.index, 0, &rows[row], None);
                                         sub.flush_and_post();
                                     }
                                     true
@@ -1278,7 +1369,7 @@ fn process_conn(state: &Arc<ServerState>, dispatch: &Arc<Dispatch>, conn: &Arc<C
                     // The ingest's own ack: an empty Iq frame keeps
                     // the one-ack-per-batch contract (and drop
                     // accounting) on the ingest connection.
-                    conn.enqueue_iq(batch.index, q.dropped(), &[]);
+                    conn.enqueue_iq(batch.index, q.dropped(), &[], None);
                     conn.flush_and_post();
                     conn.recycle_batch(batch);
                     if conn.read_paused.load(Ordering::SeqCst) && q.len() < q.capacity() {
@@ -1286,13 +1377,46 @@ fn process_conn(state: &Arc<ServerState>, dispatch: &Arc<Dispatch>, conn: &Arc<C
                     }
                     continue;
                 }
-                match state
-                    .farm
-                    .submit_channel_shared(channel, Arc::clone(&batch.samples))
-                {
+                // Latency sessions split the farm submission into
+                // budget-bounded sub-batches (bit-exact with one whole
+                // submission — channel state persists across chunks)
+                // and report the queue-wait/service split on the ack.
+                let service_start = Instant::now();
+                let queue_wait = service_start.duration_since(batch.arrived);
+                let result = match conn.latency.get() {
+                    Some(l) => {
+                        let mut pairs = Vec::new();
+                        state
+                            .farm
+                            .submit_channel_chunked(
+                                channel,
+                                &batch.samples,
+                                l.chunk_samples,
+                                &mut pairs,
+                            )
+                            .map(|()| pairs)
+                    }
+                    None => state
+                        .farm
+                        .submit_channel_shared(channel, Arc::clone(&batch.samples)),
+                };
+                match result {
                     Some(pairs) => {
-                        conn.enqueue_iq(batch.index, q.dropped(), &pairs);
+                        let timing = conn.latency.get().map(|_| IqTiming {
+                            queue_wait_ns: saturating_ns(queue_wait),
+                            service_ns: saturating_ns(service_start.elapsed()),
+                        });
+                        conn.enqueue_iq(batch.index, q.dropped(), &pairs, timing);
                         conn.flush_and_post();
+                        if let Some(l) = conn.latency.get() {
+                            // End-to-end: frame accepted → ack queued
+                            // and pushed toward the socket.
+                            let e2e = batch.arrived.elapsed();
+                            conn.obs.e2e_ns.record(saturating_ns(e2e));
+                            if e2e.as_micros() > u128::from(l.budget_us) {
+                                conn.obs.deadline_misses.inc();
+                            }
+                        }
                     }
                     None => {
                         // Farm halted (hard server stop): nothing more

@@ -22,7 +22,8 @@
 use crate::queue::BoundedQueue;
 use crate::sys::Waker;
 use crate::wire::{
-    feature, Frame, FrameBuf, FrameHeader, Hello, StatsReport, HEADER_LEN, MAX_PAYLOAD, VERSION,
+    feature, Frame, FrameBuf, FrameHeader, Hello, IqTiming, StatsReport, HEADER_LEN, MAX_PAYLOAD,
+    VERSION,
 };
 use ddc_core::{ChannelizerFarm, ChannelizerMetrics, DdcFarm};
 use ddc_obs::{Counter, LogHistogram, MetricsSnapshot};
@@ -76,6 +77,15 @@ pub struct SessionObs {
     pub stats_requests: Counter,
     /// Metrics requests answered.
     pub metrics_requests: Counter,
+    /// End-to-end batch latency, ns: Samples frame accepted → its Iq
+    /// ack handed to the outbound queue. Recorded only for sessions on
+    /// the latency QoS profile.
+    pub e2e_ns: LogHistogram,
+    /// Batches whose end-to-end latency exceeded the negotiated budget.
+    pub deadline_misses: Counter,
+    /// Negotiated latency budget in µs; 0 = throughput profile (the
+    /// `ddc_latency_*` metrics family is exported only when non-zero).
+    pub latency_budget_us: AtomicU64,
 }
 
 /// Anything that can render a point-in-time telemetry snapshot — the
@@ -231,6 +241,22 @@ pub(crate) struct Batch {
     pub index: u64,
     /// Decoded ADC samples, written straight from the wire payload.
     pub samples: Arc<Vec<i32>>,
+    /// When the decoded batch was accepted into the input queue — the
+    /// zero point for queue-wait and end-to-end latency accounting.
+    pub arrived: Instant,
+}
+
+/// Latency-QoS parameters negotiated at Configure time, fixed for the
+/// session's lifetime.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LatencyCtl {
+    /// The budget the client asked for, µs.
+    pub budget_us: u32,
+    /// Largest farm sub-batch the processor submits at once, derived
+    /// from the budget and the chain's input rate so a single job
+    /// cannot occupy the channel for more than a budget's worth of
+    /// samples.
+    pub chunk_samples: usize,
 }
 
 /// The ingest half of a connection: unparsed bytes, partial-frame
@@ -318,6 +344,10 @@ pub(crate) struct Conn {
     /// Farm channel slot, claimed at Configure, released by the drain
     /// epilogue (never while a submission may be in flight).
     pub slot: Mutex<Option<usize>>,
+    /// Latency-QoS parameters, set at Configure time when the client
+    /// negotiated `QosProfile::Latency`; never set for throughput
+    /// sessions.
+    pub latency: OnceLock<LatencyCtl>,
     /// Batches accepted into the queue (≥ batches processed).
     pub batches_accepted: AtomicU64,
     /// Client asked for a graceful Shutdown: the drain epilogue sends
@@ -371,6 +401,7 @@ impl Conn {
             queue: OnceLock::new(),
             role: OnceLock::new(),
             slot: Mutex::new(None),
+            latency: OnceLock::new(),
             batches_accepted: AtomicU64::new(0),
             graceful: AtomicBool::new(false),
             read_paused: AtomicBool::new(false),
@@ -429,6 +460,7 @@ impl Conn {
         batch_index: u64,
         dropped_total: u64,
         pairs: &[ddc_core::mixer::Iq],
+        timing: Option<IqTiming>,
     ) {
         let mut o = self.out.lock().unwrap();
         if o.dead {
@@ -438,7 +470,7 @@ impl Conn {
         let seq = o.seq;
         o.seq = o.seq.wrapping_add(1);
         let t0 = Instant::now();
-        fb.encode_iq(seq, batch_index, dropped_total, pairs);
+        fb.encode_iq(seq, batch_index, dropped_total, pairs, timing);
         self.obs.encode_ns.record_duration(t0.elapsed());
         o.pending_bytes += fb.total_len();
         o.frames.push_back(fb);

@@ -15,6 +15,12 @@
 //!   handle `WouldBlock`) but not efficient. It keeps the crate
 //!   compiling and the tests passing off-Unix.
 //!
+//! On Linux the portable `poll(2)` backend is compiled in as well and
+//! selected at runtime when `DDC_FORCE_POLL` is set in the environment
+//! (any value other than empty or `0`). Without the override the
+//! fallback was dead code on the platform every CI runner uses; with
+//! it, the same loopback suite exercises both backends.
+//!
 //! Each [`Poller`] also owns a [`Waker`] — a `pipe(2)` whose read end
 //! sits in the interest set — so processor threads can interrupt a
 //! blocked `wait` the moment they enqueue work for a shard, instead of
@@ -152,10 +158,117 @@ fn timeout_ms(timeout: Option<Duration>) -> i32 {
     }
 }
 
-// ------------------------------------------------------------ linux: epoll
+/// True when `DDC_FORCE_POLL` asks for the portable `poll(2)` backend
+/// (any non-empty value other than `0`). Read once: mixing backends
+/// within a process would be confusing for no benefit.
+#[cfg(target_os = "linux")]
+fn force_poll() -> bool {
+    static FORCE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCE.get_or_init(|| {
+        std::env::var_os("DDC_FORCE_POLL").is_some_and(|v| !v.is_empty() && v != *"0")
+    })
+}
+
+/// Which readiness backend new [`Poller`]s use: `"epoll"`, `"poll"` or
+/// `"degraded"` — for startup logs and the CI smoke that proves the
+/// `DDC_FORCE_POLL` override took effect.
+pub fn backend_name() -> &'static str {
+    #[cfg(target_os = "linux")]
+    {
+        if force_poll() {
+            "poll"
+        } else {
+            "epoll"
+        }
+    }
+    #[cfg(all(unix, not(target_os = "linux")))]
+    {
+        "poll"
+    }
+    #[cfg(not(unix))]
+    {
+        "degraded"
+    }
+}
+
+// ---------------------------------------- linux: epoll/poll dispatch
 
 #[cfg(target_os = "linux")]
 mod imp {
+    use super::{poll_imp, Event, Interest, OsFd};
+    use std::io;
+    use std::time::Duration;
+
+    pub enum Poller {
+        Epoll(super::epoll_imp::Poller),
+        Poll(poll_imp::Poller),
+    }
+
+    #[derive(Clone)]
+    pub enum Waker {
+        Epoll(super::epoll_imp::Waker),
+        Poll(poll_imp::Waker),
+    }
+
+    impl Waker {
+        pub fn wake(&self) {
+            match self {
+                Waker::Epoll(w) => w.wake(),
+                Waker::Poll(w) => w.wake(),
+            }
+        }
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            if super::force_poll() {
+                poll_imp::Poller::new().map(Poller::Poll)
+            } else {
+                super::epoll_imp::Poller::new().map(Poller::Epoll)
+            }
+        }
+
+        pub fn waker(&self) -> Waker {
+            match self {
+                Poller::Epoll(p) => Waker::Epoll(p.waker()),
+                Poller::Poll(p) => Waker::Poll(p.waker()),
+            }
+        }
+
+        pub fn add(&self, fd: OsFd, token: u64, interest: Interest) -> io::Result<()> {
+            match self {
+                Poller::Epoll(p) => p.add(fd, token, interest),
+                Poller::Poll(p) => p.add(fd, token, interest),
+            }
+        }
+
+        pub fn modify(&self, fd: OsFd, token: u64, interest: Interest) -> io::Result<()> {
+            match self {
+                Poller::Epoll(p) => p.modify(fd, token, interest),
+                Poller::Poll(p) => p.modify(fd, token, interest),
+            }
+        }
+
+        pub fn del(&self, fd: OsFd) -> io::Result<()> {
+            match self {
+                Poller::Epoll(p) => p.del(fd),
+                Poller::Poll(p) => p.del(fd),
+            }
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            match self {
+                Poller::Epoll(p) => p.wait(events, timeout),
+                Poller::Poll(p) => p.wait(events, timeout),
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ linux: epoll
+
+#[cfg(target_os = "linux")]
+mod epoll_imp {
     use super::{Event, Interest, OsFd, WAKE_TOKEN};
     use std::io;
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -349,10 +462,15 @@ mod imp {
     }
 }
 
-// ------------------------------------------------------- other unix: poll(2)
+// ------------------------------------------------ any unix: poll(2)
 
+// On non-Linux Unix this is the only real backend; on Linux it is the
+// `DDC_FORCE_POLL` alternative behind the dispatch enum above.
 #[cfg(all(unix, not(target_os = "linux")))]
-mod imp {
+use poll_imp as imp;
+
+#[cfg(unix)]
+mod poll_imp {
     use super::{Event, Interest, OsFd, WAKE_TOKEN};
     use std::collections::HashMap;
     use std::io;
@@ -633,6 +751,66 @@ mod tests {
     use std::io::{Read, Write};
     use std::net::{TcpListener, TcpStream};
     use std::time::Instant;
+
+    #[test]
+    fn backend_selection_honours_force_poll() {
+        let forced = std::env::var_os("DDC_FORCE_POLL").is_some_and(|v| !v.is_empty() && v != *"0");
+        let expected = if cfg!(not(unix)) {
+            "degraded"
+        } else if forced || cfg!(all(unix, not(target_os = "linux"))) {
+            "poll"
+        } else {
+            "epoll"
+        };
+        assert_eq!(backend_name(), expected);
+    }
+
+    /// The poll(2) backend itself, driven directly so the suite covers
+    /// it even on Linux runs where epoll is the default.
+    #[cfg(unix)]
+    #[test]
+    fn poll_backend_reports_readability_and_waker() {
+        use super::poll_imp;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = poll_imp::Poller::new().unwrap();
+        poller.add(fd_of(&server), 11, Interest::READ).unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 11 && e.readable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "poll backend never reported");
+        }
+        // Waker interrupts a long poll(2) sleep too.
+        let waker = poller.waker();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.wake();
+        });
+        // Drain the readable socket first so only the waker can end
+        // the wait early.
+        let mut buf = [0u8; 8];
+        let _ = (&server).read(&mut buf).unwrap();
+        poller.del(fd_of(&server)).unwrap();
+        let t0 = Instant::now();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(5), "waker did not fire");
+        t.join().unwrap();
+    }
 
     #[test]
     fn waker_interrupts_a_long_wait() {

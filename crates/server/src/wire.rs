@@ -454,6 +454,61 @@ impl ChainPlan {
     }
 }
 
+/// Per-session quality-of-service profile, negotiated at Configure
+/// time. `Throughput` is the historical behaviour (fill buffers, let
+/// batches queue); `Latency` bounds the end-to-end sample-in → IQ-out
+/// delay: the session chunks farm submissions so no batch holds more
+/// than the budget's worth of input, acks carry queue-wait/service
+/// timing, and the readiness loop flushes on deadline instead of
+/// waiting for buffers to fill.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QosProfile {
+    /// Maximise samples/sec; latency is whatever the buffers give.
+    #[default]
+    Throughput,
+    /// Bound end-to-end latency to roughly `budget_us` microseconds.
+    Latency {
+        /// Target end-to-end budget, microseconds (must be non-zero).
+        budget_us: u32,
+    },
+}
+
+impl QosProfile {
+    /// Parses the loadgen/CLI spelling: `throughput`, or
+    /// `latency:<N>us` / `latency:<N>ms` / `latency:<N>` (µs default).
+    pub fn parse(s: &str) -> Option<QosProfile> {
+        if s.eq_ignore_ascii_case("throughput") {
+            return Some(QosProfile::Throughput);
+        }
+        let rest = s
+            .strip_prefix("latency:")
+            .or_else(|| s.strip_prefix("latency="))?;
+        let (digits, scale) = if let Some(d) = rest.strip_suffix("ms") {
+            (d, 1000u64)
+        } else if let Some(d) = rest.strip_suffix("us") {
+            (d, 1)
+        } else {
+            (rest, 1)
+        };
+        let n: u64 = digits.parse().ok()?;
+        let us = n.checked_mul(scale)?;
+        if us == 0 || us > u32::MAX as u64 {
+            return None;
+        }
+        Some(QosProfile::Latency {
+            budget_us: us as u32,
+        })
+    }
+
+    /// The latency budget in microseconds, if one is set.
+    pub fn budget_us(&self) -> Option<u32> {
+        match self {
+            QosProfile::Throughput => None,
+            QosProfile::Latency { budget_us } => Some(*budget_us),
+        }
+    }
+}
+
 /// Session configuration request (client → server).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Configure {
@@ -463,6 +518,10 @@ pub struct Configure {
     pub policy: Backpressure,
     /// Input-queue capacity in batches (0 → server default).
     pub queue_cap: u32,
+    /// QoS profile. Encoded only when not `Throughput` (trailing
+    /// bytes), so a throughput Configure is byte-identical to the
+    /// pre-QoS wire format.
+    pub qos: QosProfile,
 }
 
 /// A batch of ADC samples (client → server). `batch_index` starts at 0
@@ -489,6 +548,22 @@ pub struct IqPayload {
     pub dropped_total: u64,
     /// Complex output words, (i, q) pairs.
     pub pairs: Vec<(i64, i64)>,
+    /// Server-side timing for this batch (sent on latency-QoS
+    /// sessions; trailing bytes, absent on throughput sessions so the
+    /// legacy encoding is unchanged).
+    pub timing: Option<IqTiming>,
+}
+
+/// Server-side per-batch timestamps riding an Iq ack, so the client
+/// can split its observed send→ack latency into queue-wait and
+/// service-time components instead of conflating them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IqTiming {
+    /// Nanoseconds the batch sat in the session's input queue between
+    /// arrival and the farm starting on it.
+    pub queue_wait_ns: u64,
+    /// Nanoseconds the farm spent processing the batch.
+    pub service_ns: u64,
 }
 
 /// Point-in-time session statistics (server → client in answer to a
@@ -608,40 +683,48 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
                 put_u32(out, h.features);
             }
         }
-        Frame::Configure(c) => match &c.plan {
-            ChainPlan::Preset { preset, tune_freq } => {
-                out.push(0); // plan kind: preset alias
-                out.push(preset.to_u8());
-                out.push(c.policy.to_u8());
-                put_u32(out, c.queue_cap);
-                put_u64(out, tune_freq.to_bits());
+        Frame::Configure(c) => {
+            match &c.plan {
+                ChainPlan::Preset { preset, tune_freq } => {
+                    out.push(0); // plan kind: preset alias
+                    out.push(preset.to_u8());
+                    out.push(c.policy.to_u8());
+                    put_u32(out, c.queue_cap);
+                    put_u64(out, tune_freq.to_bits());
+                }
+                ChainPlan::Spec(spec) => {
+                    out.push(1); // plan kind: inline spec
+                    out.push(c.policy.to_u8());
+                    put_u32(out, c.queue_cap);
+                    let bytes = spec.encode();
+                    put_u32(out, bytes.len() as u32);
+                    out.extend_from_slice(&bytes);
+                }
+                ChainPlan::Channelizer(spec) => {
+                    out.push(2); // plan kind: channelizer ingest
+                    out.push(c.policy.to_u8());
+                    put_u32(out, c.queue_cap);
+                    let bytes = spec.encode();
+                    put_u32(out, bytes.len() as u32);
+                    out.extend_from_slice(&bytes);
+                }
+                ChainPlan::Subscribe { name, channel } => {
+                    out.push(3); // plan kind: channel subscription
+                    out.push(c.policy.to_u8());
+                    put_u32(out, c.queue_cap);
+                    let bytes = name.as_bytes();
+                    out.push(bytes.len().min(u8::MAX as usize) as u8);
+                    out.extend_from_slice(&bytes[..bytes.len().min(u8::MAX as usize)]);
+                    put_u32(out, *channel);
+                }
             }
-            ChainPlan::Spec(spec) => {
-                out.push(1); // plan kind: inline spec
-                out.push(c.policy.to_u8());
-                put_u32(out, c.queue_cap);
-                let bytes = spec.encode();
-                put_u32(out, bytes.len() as u32);
-                out.extend_from_slice(&bytes);
+            // Trailing QoS extension (any plan kind): tag + budget.
+            // Omitted for Throughput so the legacy layout is unchanged.
+            if let QosProfile::Latency { budget_us } = c.qos {
+                out.push(1);
+                put_u32(out, budget_us);
             }
-            ChainPlan::Channelizer(spec) => {
-                out.push(2); // plan kind: channelizer ingest
-                out.push(c.policy.to_u8());
-                put_u32(out, c.queue_cap);
-                let bytes = spec.encode();
-                put_u32(out, bytes.len() as u32);
-                out.extend_from_slice(&bytes);
-            }
-            ChainPlan::Subscribe { name, channel } => {
-                out.push(3); // plan kind: channel subscription
-                out.push(c.policy.to_u8());
-                put_u32(out, c.queue_cap);
-                let bytes = name.as_bytes();
-                out.push(bytes.len().min(u8::MAX as usize) as u8);
-                out.extend_from_slice(&bytes[..bytes.len().min(u8::MAX as usize)]);
-                put_u32(out, *channel);
-            }
-        },
+        }
         Frame::Samples(s) => {
             put_u64(out, s.batch_index);
             put_u32(out, s.samples.len() as u32);
@@ -656,6 +739,12 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             for &(i, q) in &iq.pairs {
                 out.extend_from_slice(&i.to_le_bytes());
                 out.extend_from_slice(&q.to_le_bytes());
+            }
+            // Trailing per-batch timing (latency-QoS sessions only):
+            // two u64s after the declared pairs. Absent → legacy frame.
+            if let Some(t) = &iq.timing {
+                put_u64(out, t.queue_wait_ns);
+                put_u64(out, t.service_ns);
             }
         }
         Frame::StatsRequest => out.push(0),
@@ -799,16 +888,18 @@ impl FrameBuf {
     }
 
     /// Fused Iq encoder: one pass over the output pairs. Byte-identical
-    /// to `encode(&Frame::Iq(..))`.
+    /// to `encode(&Frame::Iq(..))`, including the optional trailing
+    /// timing extension.
     pub fn encode_iq(
         &mut self,
         seq: u32,
         batch_index: u64,
         dropped_total: u64,
         pairs: &[ddc_core::mixer::Iq],
+        timing: Option<IqTiming>,
     ) {
         self.payload.clear();
-        self.payload.reserve(20 + pairs.len() * 16);
+        self.payload.reserve(36 + pairs.len() * 16);
         put_u64(&mut self.payload, batch_index);
         put_u64(&mut self.payload, dropped_total);
         put_u32(&mut self.payload, pairs.len() as u32);
@@ -820,6 +911,13 @@ impl FrameBuf {
                 let u = v as u64;
                 acc.push_u32_le(u as u32);
                 acc.push_u32_le((u >> 32) as u32);
+            }
+        }
+        if let Some(t) = timing {
+            for v in [t.queue_wait_ns, t.service_ns] {
+                self.payload.extend_from_slice(&v.to_le_bytes());
+                acc.push_u32_le(v as u32);
+                acc.push_u32_le((v >> 32) as u32);
             }
         }
         self.seal(4, seq, acc.finish());
@@ -967,64 +1065,77 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
                 features,
             })
         }
-        2 => match c.u8("configure plan kind")? {
-            0 => {
-                let preset = ConfigPreset::from_u8(c.u8("configure preset")?)?;
-                let policy = Backpressure::from_u8(c.u8("configure policy")?)?;
-                let queue_cap = c.u32("configure queue_cap")?;
-                let tune_freq = f64::from_bits(c.u64("configure tune_freq")?);
-                Frame::Configure(Configure {
-                    plan: ChainPlan::Preset { preset, tune_freq },
-                    policy,
-                    queue_cap,
-                })
-            }
-            1 => {
-                let policy = Backpressure::from_u8(c.u8("configure policy")?)?;
-                let queue_cap = c.u32("configure queue_cap")?;
-                let n = c.u32("configure spec length")? as usize;
-                let spec_bytes = c.take(n, "configure spec")?;
-                // decode() fully validates, so a Configure that parses
-                // always carries a buildable spec.
-                let spec = ddc_core::ChainSpec::decode(spec_bytes)
-                    .map_err(|e| WireError::BadSpec(e.to_string()))?;
-                Frame::Configure(Configure {
-                    plan: ChainPlan::Spec(spec),
-                    policy,
-                    queue_cap,
-                })
-            }
-            2 => {
-                let policy = Backpressure::from_u8(c.u8("configure policy")?)?;
-                let queue_cap = c.u32("configure queue_cap")?;
-                let n = c.u32("configure channelizer spec length")? as usize;
-                let spec_bytes = c.take(n, "configure channelizer spec")?;
-                let spec = ddc_core::ChannelizerSpec::decode(spec_bytes)
-                    .map_err(|e| WireError::BadSpec(e.to_string()))?;
-                Frame::Configure(Configure {
-                    plan: ChainPlan::Channelizer(spec),
-                    policy,
-                    queue_cap,
-                })
-            }
-            3 => {
-                let policy = Backpressure::from_u8(c.u8("configure policy")?)?;
-                let queue_cap = c.u32("configure queue_cap")?;
-                let n = c.u8("configure bank name length")? as usize;
-                let name = String::from_utf8_lossy(c.take(n, "configure bank name")?).into_owned();
-                let channel = c.u32("configure channel")?;
-                Frame::Configure(Configure {
-                    plan: ChainPlan::Subscribe { name, channel },
-                    policy,
-                    queue_cap,
-                })
-            }
-            other => {
-                return Err(WireError::BadSpec(format!(
-                    "unknown configure plan kind {other}"
-                )))
-            }
-        },
+        2 => {
+            let (plan, policy, queue_cap) = match c.u8("configure plan kind")? {
+                0 => {
+                    let preset = ConfigPreset::from_u8(c.u8("configure preset")?)?;
+                    let policy = Backpressure::from_u8(c.u8("configure policy")?)?;
+                    let queue_cap = c.u32("configure queue_cap")?;
+                    let tune_freq = f64::from_bits(c.u64("configure tune_freq")?);
+                    (ChainPlan::Preset { preset, tune_freq }, policy, queue_cap)
+                }
+                1 => {
+                    let policy = Backpressure::from_u8(c.u8("configure policy")?)?;
+                    let queue_cap = c.u32("configure queue_cap")?;
+                    let n = c.u32("configure spec length")? as usize;
+                    let spec_bytes = c.take(n, "configure spec")?;
+                    // decode() fully validates, so a Configure that
+                    // parses always carries a buildable spec.
+                    let spec = ddc_core::ChainSpec::decode(spec_bytes)
+                        .map_err(|e| WireError::BadSpec(e.to_string()))?;
+                    (ChainPlan::Spec(spec), policy, queue_cap)
+                }
+                2 => {
+                    let policy = Backpressure::from_u8(c.u8("configure policy")?)?;
+                    let queue_cap = c.u32("configure queue_cap")?;
+                    let n = c.u32("configure channelizer spec length")? as usize;
+                    let spec_bytes = c.take(n, "configure channelizer spec")?;
+                    let spec = ddc_core::ChannelizerSpec::decode(spec_bytes)
+                        .map_err(|e| WireError::BadSpec(e.to_string()))?;
+                    (ChainPlan::Channelizer(spec), policy, queue_cap)
+                }
+                3 => {
+                    let policy = Backpressure::from_u8(c.u8("configure policy")?)?;
+                    let queue_cap = c.u32("configure queue_cap")?;
+                    let n = c.u8("configure bank name length")? as usize;
+                    let name =
+                        String::from_utf8_lossy(c.take(n, "configure bank name")?).into_owned();
+                    let channel = c.u32("configure channel")?;
+                    (ChainPlan::Subscribe { name, channel }, policy, queue_cap)
+                }
+                other => {
+                    return Err(WireError::BadSpec(format!(
+                        "unknown configure plan kind {other}"
+                    )))
+                }
+            };
+            // Trailing QoS extension: absent (legacy peer) → Throughput.
+            let qos = if c.remaining() > 0 {
+                match c.u8("configure qos tag")? {
+                    0 => QosProfile::Throughput,
+                    1 => {
+                        let budget_us = c.u32("configure qos budget")?;
+                        if budget_us == 0 {
+                            return Err(WireError::BadSpec(
+                                "latency qos budget must be non-zero".into(),
+                            ));
+                        }
+                        QosProfile::Latency { budget_us }
+                    }
+                    other => {
+                        return Err(WireError::BadSpec(format!("unknown qos tag {other}")));
+                    }
+                }
+            } else {
+                QosProfile::Throughput
+            };
+            Frame::Configure(Configure {
+                plan,
+                policy,
+                queue_cap,
+                qos,
+            })
+        }
         3 => {
             let batch_index = c.u64("samples batch_index")?;
             let count = c.u32("samples count")?;
@@ -1049,22 +1160,36 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
             let batch_index = c.u64("iq batch_index")?;
             let dropped_total = c.u64("iq dropped_total")?;
             let count = c.u32("iq count")?;
-            if count as usize * 16 != c.remaining() {
+            // The declared count pins the pair bytes exactly; the only
+            // other shape accepted is exactly 16 further bytes — the
+            // trailing timing extension from latency-QoS sessions.
+            let pair_bytes = count as usize * 16;
+            if c.remaining() != pair_bytes && c.remaining() != pair_bytes + 16 {
                 return Err(WireError::CountMismatch {
                     declared: count,
                     available: c.remaining(),
                 });
             }
+            let timed = c.remaining() == pair_bytes + 16;
             let mut pairs = Vec::with_capacity(count as usize);
             for _ in 0..count {
                 let i = i64::from_le_bytes(c.take(8, "iq i word")?.try_into().unwrap());
                 let q = i64::from_le_bytes(c.take(8, "iq q word")?.try_into().unwrap());
                 pairs.push((i, q));
             }
+            let timing = if timed {
+                Some(IqTiming {
+                    queue_wait_ns: c.u64("iq queue_wait_ns")?,
+                    service_ns: c.u64("iq service_ns")?,
+                })
+            } else {
+                None
+            };
             Frame::Iq(IqPayload {
                 batch_index,
                 dropped_total,
                 pairs,
+                timing,
             })
         }
         5 => match c.u8("stats flag")? {
@@ -1306,16 +1431,34 @@ mod tests {
             },
             policy: Backpressure::DropOldest,
             queue_cap: 7,
+            qos: QosProfile::Throughput,
+        }));
+        roundtrip(Frame::Configure(Configure {
+            plan: ChainPlan::Preset {
+                preset: ConfigPreset::Drm,
+                tune_freq: 4.5e6,
+            },
+            policy: Backpressure::Block,
+            queue_cap: 2,
+            qos: QosProfile::Latency { budget_us: 500 },
         }));
         roundtrip(Frame::Configure(Configure {
             plan: ChainPlan::Spec(ddc_core::ChainSpec::drm_reference().tuned(3.25e6)),
             policy: Backpressure::Block,
             queue_cap: 4,
+            qos: QosProfile::Throughput,
+        }));
+        roundtrip(Frame::Configure(Configure {
+            plan: ChainPlan::Spec(ddc_core::ChainSpec::drm_low_latency().tuned(3.25e6)),
+            policy: Backpressure::Block,
+            queue_cap: 4,
+            qos: QosProfile::Latency { budget_us: 150 },
         }));
         roundtrip(Frame::Configure(Configure {
             plan: ChainPlan::Channelizer(ddc_core::ChannelizerSpec::uniform(64, 64_512_000.0)),
             policy: Backpressure::Block,
             queue_cap: 8,
+            qos: QosProfile::Throughput,
         }));
         roundtrip(Frame::Configure(Configure {
             plan: ChainPlan::Subscribe {
@@ -1324,6 +1467,9 @@ mod tests {
             },
             policy: Backpressure::Block,
             queue_cap: 0,
+            qos: QosProfile::Latency {
+                budget_us: 1_000_000,
+            },
         }));
         roundtrip(Frame::Samples(Samples {
             batch_index: 99,
@@ -1337,6 +1483,25 @@ mod tests {
             batch_index: 3,
             dropped_total: 2,
             pairs: vec![(i64::MIN, i64::MAX), (-5, 5), (0, 0)],
+            timing: None,
+        }));
+        roundtrip(Frame::Iq(IqPayload {
+            batch_index: 4,
+            dropped_total: 0,
+            pairs: vec![(1, -1)],
+            timing: Some(IqTiming {
+                queue_wait_ns: 12_345,
+                service_ns: u64::MAX,
+            }),
+        }));
+        roundtrip(Frame::Iq(IqPayload {
+            batch_index: 5,
+            dropped_total: 0,
+            pairs: vec![],
+            timing: Some(IqTiming {
+                queue_wait_ns: 0,
+                service_ns: 7,
+            }),
         }));
         roundtrip(Frame::StatsRequest);
         roundtrip(Frame::StatsReport(StatsReport {
@@ -1508,17 +1673,136 @@ mod tests {
             ddc_core::mixer::Iq { i: -5, q: 5 },
             ddc_core::mixer::Iq { i: 0, q: 0 },
         ];
-        let frame = Frame::Iq(IqPayload {
-            batch_index: 3,
-            dropped_total: 2,
-            pairs: pairs.iter().map(|p| (p.i, p.q)).collect(),
+        for timing in [
+            None,
+            Some(IqTiming {
+                queue_wait_ns: 98_765,
+                service_ns: 43_210,
+            }),
+        ] {
+            let frame = Frame::Iq(IqPayload {
+                batch_index: 3,
+                dropped_total: 2,
+                pairs: pairs.iter().map(|p| (p.i, p.q)).collect(),
+                timing,
+            });
+            let want = encode_frame(&frame, 5);
+            let mut fb = FrameBuf::new();
+            fb.encode_iq(5, 3, 2, &pairs, timing);
+            let mut got = fb.header.to_vec();
+            got.extend_from_slice(&fb.payload);
+            assert_eq!(got, want, "fused iq encode diverged ({timing:?})");
+        }
+    }
+
+    #[test]
+    fn throughput_configure_is_byte_identical_to_legacy_and_decodes() {
+        // A Throughput Configure must carry no trailing qos bytes: the
+        // preset-plan payload is exactly the 15 pre-QoS bytes.
+        let frame = Frame::Configure(Configure {
+            plan: ChainPlan::Preset {
+                preset: ConfigPreset::Drm,
+                tune_freq: 1.0e6,
+            },
+            policy: Backpressure::Block,
+            queue_cap: 8,
+            qos: QosProfile::Throughput,
         });
-        let want = encode_frame(&frame, 5);
-        let mut fb = FrameBuf::new();
-        fb.encode_iq(5, 3, 2, &pairs);
-        let mut got = fb.header.to_vec();
-        got.extend_from_slice(&fb.payload);
-        assert_eq!(got, want, "fused iq encode diverged");
+        let bytes = encode_frame(&frame, 0);
+        assert_eq!(bytes.len() - HEADER_LEN, 1 + 1 + 1 + 4 + 8);
+        // A latency profile appends exactly tag(1) + budget(4).
+        let timed = Frame::Configure(Configure {
+            plan: ChainPlan::Preset {
+                preset: ConfigPreset::Drm,
+                tune_freq: 1.0e6,
+            },
+            policy: Backpressure::Block,
+            queue_cap: 8,
+            qos: QosProfile::Latency { budget_us: 500 },
+        });
+        let timed_bytes = encode_frame(&timed, 0);
+        assert_eq!(timed_bytes.len(), bytes.len() + 5);
+        assert_eq!(&timed_bytes[HEADER_LEN..bytes.len()], &bytes[HEADER_LEN..]);
+        // Zero-budget latency profiles are rejected at decode.
+        let mut payload = timed_bytes[HEADER_LEN..].to_vec();
+        let n = payload.len();
+        payload[n - 4..].copy_from_slice(&0u32.to_le_bytes());
+        let header = FrameHeader {
+            frame_type: 2,
+            seq: 0,
+            payload_len: payload.len() as u32,
+            payload_sum: checksum(&payload),
+        };
+        let r = decode_payload(&header, &payload);
+        assert!(
+            matches!(&r, Err(WireError::BadSpec(m)) if m.contains("non-zero")),
+            "{r:?}"
+        );
+        // An unknown qos tag is rejected, not silently ignored.
+        let mut payload = timed_bytes[HEADER_LEN..].to_vec();
+        let n = payload.len();
+        payload[n - 5] = 9;
+        let header = FrameHeader {
+            frame_type: 2,
+            seq: 0,
+            payload_len: payload.len() as u32,
+            payload_sum: checksum(&payload),
+        };
+        let r = decode_payload(&header, &payload);
+        assert!(
+            matches!(&r, Err(WireError::BadSpec(m)) if m.contains("qos tag")),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn qos_profile_parses_cli_spellings() {
+        assert_eq!(
+            QosProfile::parse("throughput"),
+            Some(QosProfile::Throughput)
+        );
+        assert_eq!(
+            QosProfile::parse("latency:500us"),
+            Some(QosProfile::Latency { budget_us: 500 })
+        );
+        assert_eq!(
+            QosProfile::parse("latency:2ms"),
+            Some(QosProfile::Latency { budget_us: 2000 })
+        );
+        assert_eq!(
+            QosProfile::parse("latency:750"),
+            Some(QosProfile::Latency { budget_us: 750 })
+        );
+        for bad in ["latency:0us", "latency:", "latency:-1", "fast", ""] {
+            assert_eq!(QosProfile::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn untimed_iq_is_byte_identical_to_legacy_and_timing_is_16_bytes() {
+        let base = Frame::Iq(IqPayload {
+            batch_index: 9,
+            dropped_total: 1,
+            pairs: vec![(3, -3), (4, -4)],
+            timing: None,
+        });
+        let legacy = encode_frame(&base, 0);
+        assert_eq!(legacy.len() - HEADER_LEN, 8 + 8 + 4 + 2 * 16);
+        let timed = Frame::Iq(IqPayload {
+            batch_index: 9,
+            dropped_total: 1,
+            pairs: vec![(3, -3), (4, -4)],
+            timing: Some(IqTiming {
+                queue_wait_ns: 11,
+                service_ns: 22,
+            }),
+        });
+        let timed_bytes = encode_frame(&timed, 0);
+        assert_eq!(timed_bytes.len(), legacy.len() + 16);
+        assert_eq!(
+            &timed_bytes[HEADER_LEN..legacy.len()],
+            &legacy[HEADER_LEN..]
+        );
     }
 
     #[test]

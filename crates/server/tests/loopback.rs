@@ -111,6 +111,7 @@ fn custom_spec_session_is_bit_exact_with_from_spec_chain() {
             },
         ],
         format: ddc_core::params::FixedFormat::FPGA12,
+        budget: None,
     };
     assert!(spec.to_config().is_none(), "plan must be non-classic");
 
@@ -505,6 +506,99 @@ fn metrics_request_returns_live_per_stage_telemetry_in_all_formats() {
         other => panic!("expected StatsReport, got {other:?}"),
     }
     let _ = client.send(&Frame::Shutdown);
+    assert!(server.shutdown(Duration::from_secs(5)));
+}
+
+#[test]
+fn latency_qos_session_is_bit_exact_and_reports_timing() {
+    use ddc_server::wire::QosProfile;
+    let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let input = stimulus(2688 * 12 + 407, 41);
+    // A 500 µs budget on the DRM chain: the group delay (≈336 µs)
+    // fits, and the derived farm sub-batch bound (≈8064 samples) is
+    // smaller than the 10752-sample batches, so the server must chunk
+    // submissions — the bit-exactness assertion below covers that path
+    // end to end.
+    let mut client = Client::connect(server.local_addr(), "latency")
+        .expect("connect")
+        .with_qos(QosProfile::Latency { budget_us: 500 });
+    client
+        .configure(ConfigPreset::Drm, 10e6, Backpressure::Block, 8)
+        .expect("configure");
+    let mut got = Vec::new();
+    let mut acks = 0u64;
+    for (b, chunk) in batches_of(&input, 2688 * 4).iter().enumerate() {
+        client.send_samples(b as u64, chunk).expect("send");
+        match client.recv().expect("iq frame") {
+            Frame::Iq(iq) => {
+                assert_eq!(iq.batch_index, b as u64, "acks arrive in order");
+                let t = iq.timing.expect("latency sessions annotate every ack");
+                assert!(t.service_ns > 0, "service time is measured");
+                acks += 1;
+                got.extend(iq.pairs);
+            }
+            other => panic!("expected Iq, got {other:?}"),
+        }
+    }
+    // Chunked farm submission must stay bit-exact with one whole-batch
+    // chain run over the same input.
+    let mut solo = FixedDdc::new(ddc_core::DdcConfig::drm(10e6));
+    let expect: Vec<(i64, i64)> = solo
+        .process_block(&input)
+        .into_iter()
+        .map(|z| (z.i, z.q))
+        .collect();
+    assert_eq!(got, expect, "latency profile changed the output");
+    // The negotiated budget gates the ddc_latency_* metrics family.
+    let snap = server.metrics_snapshot();
+    let budget = snap
+        .counters
+        .iter()
+        .find(|(n, _)| n.starts_with("ddc_latency_budget_us"))
+        .map(|(_, v)| *v)
+        .expect("latency budget gauge exported");
+    assert_eq!(budget, 500);
+    let e2e = snap
+        .histograms
+        .iter()
+        .find(|(n, _)| n.starts_with("ddc_latency_e2e_ns"))
+        .map(|(_, h)| h)
+        .expect("e2e latency histogram exported");
+    assert_eq!(e2e.count, acks, "one e2e sample per acknowledged batch");
+    assert!(snap
+        .counters
+        .iter()
+        .any(|(n, _)| n.starts_with("ddc_latency_deadline_misses_total")));
+    let _ = client.send(&Frame::Shutdown);
+    assert!(server.shutdown(Duration::from_secs(5)));
+}
+
+#[test]
+fn latency_budget_below_chain_group_delay_is_rejected() {
+    use ddc_server::wire::QosProfile;
+    let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    // The DRM chain's own group delay is ≈336 µs — a 200 µs budget is
+    // physically unachievable and must be refused at Configure time.
+    let mut client = Client::connect(server.local_addr(), "tight")
+        .expect("connect")
+        .with_qos(QosProfile::Latency { budget_us: 200 });
+    match client.configure(ConfigPreset::Drm, 10e6, Backpressure::Block, 8) {
+        Err(ClientError::Remote(e)) => {
+            assert_eq!(e.code, error_code::BAD_CONFIG);
+            assert!(
+                e.message.contains("group delay"),
+                "error names the cause: {}",
+                e.message
+            );
+        }
+        other => panic!("expected BAD_CONFIG, got {other:?}"),
+    }
+    // The rejected session must not leak its claimed slot.
+    let mut retry = Client::connect(server.local_addr(), "retry").expect("connect");
+    retry
+        .configure(ConfigPreset::Drm, 10e6, Backpressure::Block, 8)
+        .expect("slot was released");
+    let _ = retry.send(&Frame::Shutdown);
     assert!(server.shutdown(Duration::from_secs(5)));
 }
 

@@ -21,9 +21,16 @@ shootout's acceptance numbers (e.g. ``fir_seq_125tap_r8:block_msps``)
 are claims about absolute throughput, which a relative gate cannot
 protect once a slow run is ever committed as the baseline.
 
+Absolute ceilings (``--max stage:metric=value``, repeatable) are the
+mirror image, for metrics where *smaller* is better: latency
+quantiles (``chain_drm_latency:latency_p99_us``) must stay under the
+declared QoS budget outright, and a relative gate would let them
+creep if a slow run were ever committed.
+
 Usage:
     python3 scripts/bench_gate.py BASELINE.json FRESH.json [--max-drop 0.25]
     python3 scripts/bench_gate.py BASE.json FRESH.json --min fir_seq_125tap_r8:block_msps=213
+    python3 scripts/bench_gate.py BASE.json FRESH.json --max chain_drm_latency:latency_p99_us=2000
     python3 scripts/bench_gate.py --self-test
 """
 
@@ -54,8 +61,9 @@ def stages_of(doc):
     return stages
 
 
-def parse_min(spec):
-    """Parses one ``stage:metric=value`` floor into a tuple."""
+def parse_bound(spec):
+    """Parses one ``stage:metric=value`` bound into a tuple (shared by
+    ``--min`` floors and ``--max`` ceilings)."""
     try:
         target, value = spec.rsplit("=", 1)
         stage, metric = target.split(":", 1)
@@ -66,6 +74,10 @@ def parse_min(spec):
         )
 
 
+# Backwards-compatible alias (the floor parser predates the ceilings).
+parse_min = parse_bound
+
+
 def run_gate(
     base,
     fresh,
@@ -73,6 +85,7 @@ def run_gate(
     allow_missing=False,
     max_telemetry_overhead=None,
     mins=(),
+    maxes=(),
     out=sys.stdout,
     err=sys.stderr,
 ):
@@ -178,6 +191,30 @@ def run_gate(
         if value < floor:
             floor_bad = True
 
+    # Absolute ceilings on the fresh run: the latency-QoS stage's
+    # quantiles are claims about bounded delay — they must hold
+    # outright, for the same reason the floors do.
+    ceiling_bad = False
+    for stage, metric, ceiling in maxes:
+        entry = fresh.get(stage)
+        value = None if entry is None else entry.get(metric)
+        if value is None:
+            print(
+                f"FAIL  {stage}.{metric}: absent from fresh run "
+                f"(ceiling {ceiling:.2f} requested)",
+                file=err,
+            )
+            ceiling_bad = True
+            continue
+        status = "FAIL" if value > ceiling else "ok"
+        print(
+            f"{status:<5} {stage}.{metric}: {value:.2f} "
+            f"(ceiling {ceiling:.2f})",
+            file=out,
+        )
+        if value > ceiling:
+            ceiling_bad = True
+
     if missing and not allow_missing:
         print(
             f"\nbench gate: {len(missing)} baseline stage(s) missing from "
@@ -209,6 +246,9 @@ def run_gate(
         return 1
     if floor_bad:
         print("\nbench gate: absolute floor(s) not met", file=err)
+        return 1
+    if ceiling_bad:
+        print("\nbench gate: absolute ceiling(s) exceeded", file=err)
         return 1
     print("\nbench gate: ok", file=out)
     return 0
@@ -342,6 +382,32 @@ def self_test():
     except argparse.ArgumentTypeError:
         check("malformed floor spec rejected", True)
 
+    # 9b. absolute ceilings: under passes, over fails, absent stage
+    #     fails, and floors + ceilings compose in one invocation
+    quick = doc(chain_drm_latency={"block_msps": 90.0, "latency_p99_us": 480.0})
+    code, out, err = gate(
+        quick, quick, maxes=[("chain_drm_latency", "latency_p99_us", 2000.0)]
+    )
+    check("met absolute ceiling passes", code == 0 and "ceiling 2000.00" in out)
+    code, out, err = gate(
+        quick, quick, maxes=[("chain_drm_latency", "latency_p99_us", 100.0)]
+    )
+    check(
+        "exceeded absolute ceiling fails",
+        code == 1 and "ceiling(s) exceeded" in err,
+    )
+    code, out, err = gate(
+        quick, quick, maxes=[("server_loopback", "lat_p99_ns", 1e6)]
+    )
+    check("ceiling on absent stage fails", code == 1 and "absent" in err)
+    code, out, err = gate(
+        quick,
+        quick,
+        mins=[("chain_drm_latency", "block_msps", 50.0)],
+        maxes=[("chain_drm_latency", "latency_p99_us", 2000.0)],
+    )
+    check("floors and ceilings compose", code == 0)
+
     # 10. channelizer amortisation: a falling per-channel cost passes,
     #     a flat or rising one fails, and a lone stage has no curve to
     #     check (sorting is numeric, so n64 orders after n8)
@@ -407,11 +473,21 @@ def main():
         "--min",
         dest="mins",
         action="append",
-        type=parse_min,
+        type=parse_bound,
         default=[],
         metavar="STAGE:METRIC=VALUE",
         help="absolute floor on the fresh run (repeatable), e.g. "
         "fir_seq_125tap_r8:block_msps=213",
+    )
+    ap.add_argument(
+        "--max",
+        dest="maxes",
+        action="append",
+        type=parse_bound,
+        default=[],
+        metavar="STAGE:METRIC=VALUE",
+        help="absolute ceiling on the fresh run (repeatable), e.g. "
+        "chain_drm_latency:latency_p99_us=2000",
     )
     ap.add_argument(
         "--self-test",
@@ -434,6 +510,7 @@ def main():
         allow_missing=args.allow_missing,
         max_telemetry_overhead=args.max_telemetry_overhead,
         mins=args.mins,
+        maxes=args.maxes,
     )
 
 

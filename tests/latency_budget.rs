@@ -1,0 +1,172 @@
+//! Property-based check that the declarative group-delay accounting
+//! ([`ChainSpec::latency_budget`]) matches the delay the bit-true
+//! chain actually exhibits: for random valid specs — both FIR kernel
+//! selections (linear-phase and minimum-phase), decimation carried
+//! across stages — a full-scale step driven through [`FixedDdc`]
+//! transitions where the report says it will.
+//!
+//! A step is used rather than a unit impulse because the chain is
+//! DC-gain-normalised: a single impulse's response peak scales like
+//! `1 / kernel_width` and quantises to zero on the 12-bit data bus.
+//! The step response rises through full scale instead, and its first
+//! difference *is* the impulse response integrated over one output
+//! period — its peak bin brackets the group delay to within one
+//! output sample plus the decimator's phase offset.
+
+use ddc_suite::core::chain::FixedDdc;
+use ddc_suite::core::params::FixedFormat;
+use ddc_suite::core::spec::{ChainSpec, StageSpec};
+use ddc_suite::dsp::firdes;
+use ddc_suite::dsp::window::{kaiser_beta, Window};
+use proptest::prelude::*;
+
+/// Same deterministic sub-generator `spec_roundtrip.rs` uses: one
+/// `u64` seed drives an arbitrary-shaped spec (the compat proptest
+/// has no `flat_map`).
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// A random valid, *measurable* spec: 1–2 CIC stages, then (usually)
+/// a designed lowpass FIR — linear-phase or minimum-phase on a coin
+/// flip, so both branches of [`firdes::nominal_delay`]'s accounting
+/// are exercised — in either fixed-point format. Untuned, because the
+/// step stimulus measures the delay through the DC passband. Returns
+/// the spec plus the FIR's own decimation (1 when no FIR), which
+/// scales the tolerance for minimum-phase peak-shape slack.
+fn random_measurable_spec(mut seed: u64) -> (ChainSpec, u32, bool) {
+    let r = &mut seed;
+    let n_cic = 1 + (xorshift(r) % 2) as usize;
+    let mut stages = Vec::new();
+    for _ in 0..n_cic {
+        stages.push(StageSpec::Cic {
+            order: 1 + (xorshift(r) % 3) as u32,
+            decim: 1 + (xorshift(r) % 6) as u32,
+            diff_delay: 1 + (xorshift(r) % 2) as u32,
+        });
+    }
+    let mut fir_decim = 1u32;
+    let mut min_phase = false;
+    // Three quarters of the shapes append a designed FIR; the rest
+    // stay CIC-only so the pure polynomial accounting is covered too.
+    if !xorshift(r).is_multiple_of(4) {
+        fir_decim = 1 + (xorshift(r) % 3) as u32;
+        let n_taps = 15 + 2 * (xorshift(r) % 17) as usize; // odd, 15..=47
+                                                           // Keep the passband inside the post-decimation Nyquist so the
+                                                           // step's DC component rides through at unit gain.
+        let cutoff = 0.5 / (2.0 * f64::from(fir_decim) + 1.0);
+        let beta = kaiser_beta(60.0);
+        min_phase = xorshift(r).is_multiple_of(2);
+        let taps = if min_phase {
+            firdes::lowpass_min_phase(n_taps, cutoff, Window::Kaiser(beta))
+        } else {
+            firdes::lowpass(n_taps, cutoff, Window::Kaiser(beta))
+        };
+        stages.push(StageSpec::Fir {
+            taps,
+            decim: fir_decim,
+        });
+    }
+    let format = if xorshift(r).is_multiple_of(2) {
+        FixedFormat::FPGA12
+    } else {
+        FixedFormat::MONTIUM16
+    };
+    let spec = ChainSpec {
+        name: format!("lat-{}", xorshift(r) % 10_000),
+        input_rate: 1.0e6,
+        tune_freq: 0.0,
+        stages,
+        format,
+        budget: None,
+    };
+    spec.validate().expect("generated spec must be valid");
+    (spec, fir_decim, min_phase)
+}
+
+/// Drives a half-scale step through the chain and returns the output
+/// index whose first difference is largest — the output bin holding
+/// the bulk of the (integrated) impulse response.
+fn measured_step_peak(spec: &ChainSpec, n_outputs: usize) -> usize {
+    let amp = ((1i32 << (spec.format.data_bits - 1)) - 1) / 2;
+    let n_in = n_outputs * spec.total_decimation() as usize;
+    let input = vec![amp; n_in];
+    let mut ddc = FixedDdc::from_spec(spec.clone());
+    let mut out = Vec::new();
+    ddc.process_into(&input, &mut out);
+    assert_eq!(out.len(), n_outputs);
+    let settled = out.last().expect("at least one output").i;
+    assert!(
+        settled.unsigned_abs() > amp.unsigned_abs() as u64 / 8,
+        "step response never settled: final I = {settled}, drive = {amp}"
+    );
+    let mut best = (0usize, 0u64);
+    for k in 1..out.len() {
+        let d = (out[k].i - out[k - 1].i).unsigned_abs();
+        if d > best.1 {
+            best = (k, d);
+        }
+    }
+    best.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `latency_budget()` predicts where the bit-true chain's step
+    /// response actually transitions, for random stage mixes in both
+    /// formats and both FIR kernel designs. The stage delays are
+    /// referred to the chain input through the cumulative decimation,
+    /// so a mismatch in the carry-across shows up magnified here.
+    #[test]
+    fn latency_budget_matches_measured_group_delay(seed in any::<u64>()) {
+        let (spec, fir_decim, min_phase) = random_measurable_spec(seed);
+        let report = spec.latency_budget();
+        let r_total = f64::from(spec.total_decimation());
+        let predicted_in = report.total_input_samples;
+
+        // Run long enough to settle well past the predicted delay.
+        let n_outputs = (predicted_in / r_total).ceil() as usize * 2 + 16;
+        let peak = measured_step_peak(&spec, n_outputs) as f64;
+
+        // The peak bin brackets the delay to within one output period
+        // on either side (bin width + unknown decimator phase). A
+        // minimum-phase kernel adds shape slack: the accounting uses
+        // the dominant-tap index while the step's steepest bin tracks
+        // the local mass of an asymmetric peak — a few samples at the
+        // FIR's input rate.
+        let cum_before_fir = r_total / f64::from(fir_decim);
+        let shape_slack = if min_phase { 4.0 * cum_before_fir } else { 0.0 };
+        let tolerance = 2.0 * r_total + shape_slack;
+        let measured_in = peak * r_total;
+        let err = (measured_in - predicted_in).abs();
+        prop_assert!(
+            err <= tolerance,
+            "spec {:?}: predicted {predicted_in} input samples, measured peak bin {peak} \
+             (~{measured_in} input samples), err {err} > tolerance {tolerance}",
+            spec.name
+        );
+    }
+}
+
+/// The per-stage report is self-consistent: input-referred delays are
+/// the stage delays scaled by the decimation of everything upstream,
+/// and they sum to the total the time conversions use.
+#[test]
+fn report_totals_are_input_referred_sums() {
+    let spec = ChainSpec::drm_reference();
+    let report = spec.latency_budget();
+    let mut cum = 1.0f64;
+    let mut sum = 0.0f64;
+    for (stage, delay) in spec.stages.iter().zip(&report.stages) {
+        assert!((delay.input_samples - delay.stage_samples * cum).abs() < 1e-9);
+        assert!((delay.input_rate - spec.input_rate / cum).abs() < 1e-6);
+        sum += delay.input_samples;
+        cum *= f64::from(stage.decimation());
+    }
+    assert!((report.total_input_samples - sum).abs() < 1e-9);
+    assert!((report.total_us() - report.total_input_samples / spec.input_rate * 1e6).abs() < 1e-9);
+}

@@ -49,13 +49,22 @@ fn random_spec(mut seed: u64) -> ChainSpec {
         FixedFormat::MONTIUM16
     };
     let input_rate = [1.0e6, 10.0e6, 64_512_000.0][(xorshift(r) % 3) as usize];
-    let spec = ChainSpec {
+    let mut spec = ChainSpec {
         name: format!("prop-{}", xorshift(r) % 10_000),
         input_rate,
         tune_freq: (xorshift(r) % 1000) as f64 / 1000.0 * input_rate * 0.49,
         stages,
         format,
+        budget: None,
     };
+    // A quarter of the shapes declare a (satisfiable) latency budget,
+    // so the versioned trailing-field encoding rides the same
+    // round-trip and bit-exactness properties as the v1 layout.
+    if xorshift(r).is_multiple_of(4) {
+        spec.budget = Some(ddc_suite::core::spec::LatencyBudget {
+            max_us: spec.latency_budget().total_us() * 2.0 + 1.0,
+        });
+    }
     spec.validate().expect("generated spec must be valid");
     spec
 }
@@ -158,6 +167,7 @@ fn oversized_fir_tap_count_is_rejected_before_allocation() {
             decim: 1,
         }],
         format: FixedFormat::FPGA12,
+        budget: None,
     };
     let mut b = spec.encode();
     // FIR stage: tag(1) decim(4) n_taps(4) taps...
