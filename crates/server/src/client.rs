@@ -169,7 +169,11 @@ impl Client {
     /// `QosProfile::Latency { budget_us }` asks the server to bound
     /// end-to-end batch latency (sub-batched farm jobs, deadline
     /// flushes, timing-annotated Iq acks) instead of maximising bulk
-    /// throughput. Returns `self` so it chains before `configure*`.
+    /// throughput. Chain sessions only ([`Client::configure`] /
+    /// [`Client::configure_spec`]): the server refuses a latency
+    /// budget on channelizer and subscriber plans with `BAD_CONFIG`,
+    /// since nothing in their path enforces one. Returns `self` so it
+    /// chains before `configure*`.
     pub fn with_qos(mut self, qos: QosProfile) -> Self {
         self.qos = qos;
         self

@@ -452,9 +452,16 @@ enum ReadOutcome {
 /// whole batch) and capped to keep degenerate budgets from disabling
 /// chunking arithmetic.
 fn latency_chunk_samples(input_rate: f64, total_decimation: u32, budget_us: u32) -> usize {
+    /// Upper bound on the derived chunk, samples.
+    const CHUNK_CAP: usize = 1 << 22;
     let quarter = input_rate * f64::from(budget_us) * 1e-6 / 4.0;
-    let floor = (total_decimation as usize).max(1);
-    (quarter as usize).clamp(floor, 1 << 22)
+    // The floor must itself respect the cap: ChainSpec::validate only
+    // bounds the decimation product to fit u32, so a valid spec can
+    // exceed 2^22 — an uncapped floor would invert the clamp range and
+    // panic on the shard thread (one bad Configure killing every
+    // session on the shard).
+    let floor = (total_decimation as usize).clamp(1, CHUNK_CAP);
+    (quarter as usize).clamp(floor, CHUNK_CAP)
 }
 
 /// A duration as whole nanoseconds, saturating at `u64::MAX` (584
@@ -1060,6 +1067,22 @@ fn parse_frames(
                     } else {
                         (c.queue_cap as usize).min(state.cfg.max_queue_cap)
                     };
+                    // Latency QoS is enforced by chunked farm
+                    // submission and the deadline flush, which exist
+                    // only for chain sessions. Accepting it on other
+                    // plans would negotiate a bound nothing enforces,
+                    // so refuse instead of silently degrading.
+                    if matches!(c.qos, QosProfile::Latency { .. })
+                        && !matches!(c.plan, ChainPlan::Preset { .. } | ChainPlan::Spec(_))
+                    {
+                        conn.enqueue(&Frame::Error(ErrorFrame {
+                            code: error_code::BAD_CONFIG,
+                            message: "latency QoS requires a chain plan (preset or spec); \
+                                      channelizer and subscribe sessions are throughput-only"
+                                .into(),
+                        }));
+                        return ParseStep::End(EndKind::Errored);
+                    }
                     match &c.plan {
                         // Chain sessions: claim a farm slot, bind the
                         // spec to it.
@@ -1187,9 +1210,10 @@ fn parse_frames(
                         }
                     }
                     r.policy = c.policy;
-                    // Every plan kind exports its negotiated budget
-                    // (gating the ddc_latency_* metrics family); only
-                    // chain sessions also chunk farm submissions.
+                    // Only chain plans reach here with a latency
+                    // profile (other plan kinds were refused above);
+                    // exporting the negotiated budget gates the
+                    // ddc_latency_* metrics family.
                     if let QosProfile::Latency { budget_us } = c.qos {
                         conn.obs
                             .latency_budget_us
@@ -1599,5 +1623,26 @@ impl Drop for ServerHandle {
             }
         }
         self.stop_threads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::latency_chunk_samples;
+
+    #[test]
+    fn latency_chunk_floor_never_exceeds_cap() {
+        // Regression: a total decimation above the 2^22 chunk cap made
+        // clamp's min exceed its max and panic mid-parse on the shard
+        // thread — one hostile Configure killed every session on the
+        // shard. Extreme-but-valid decimations must saturate instead.
+        assert_eq!(latency_chunk_samples(1e6, 8_000_000, 100), 1 << 22);
+        assert_eq!(latency_chunk_samples(1e6, u32::MAX, 1), 1 << 22);
+        // Unaffected ranges keep their prior behaviour: a 500 µs
+        // budget at the DRM input rate is a quarter-budget chunk …
+        assert_eq!(latency_chunk_samples(64_512_000.0, 168, 500), 8064);
+        // … and a budget worth less than one output word floors at
+        // the total decimation (one output word per chunk).
+        assert_eq!(latency_chunk_samples(1e3, 168, 10), 168);
     }
 }

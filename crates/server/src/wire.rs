@@ -460,7 +460,9 @@ impl ChainPlan {
 /// delay: the session chunks farm submissions so no batch holds more
 /// than the budget's worth of input, acks carry queue-wait/service
 /// timing, and the readiness loop flushes on deadline instead of
-/// waiting for buffers to fill.
+/// waiting for buffers to fill. `Latency` is valid on chain plans
+/// only; the server refuses it on channelizer ingest and subscriber
+/// plans (`BAD_CONFIG`) rather than accept a bound it cannot enforce.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum QosProfile {
     /// Maximise samples/sec; latency is whatever the buffers give.
@@ -553,6 +555,13 @@ pub struct IqPayload {
     /// legacy encoding is unchanged).
     pub timing: Option<IqTiming>,
 }
+
+/// Tag byte opening the optional Iq timing trailer. The trailer is 17
+/// bytes (tag + two u64s) — deliberately not a multiple of the 16-byte
+/// pair stride, and the tag is verified at decode — so a frame whose
+/// declared count undercounts its pairs can never alias into a timed
+/// frame; it fails `CountMismatch` as it always did.
+pub const IQ_TIMING_TAG: u8 = 1;
 
 /// Server-side per-batch timestamps riding an Iq ack, so the client
 /// can split its observed send→ack latency into queue-wait and
@@ -741,8 +750,10 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
                 out.extend_from_slice(&q.to_le_bytes());
             }
             // Trailing per-batch timing (latency-QoS sessions only):
-            // two u64s after the declared pairs. Absent → legacy frame.
+            // a tag byte then two u64s after the declared pairs.
+            // Absent → legacy frame.
             if let Some(t) = &iq.timing {
+                out.push(IQ_TIMING_TAG);
                 put_u64(out, t.queue_wait_ns);
                 put_u64(out, t.service_ns);
             }
@@ -914,11 +925,13 @@ impl FrameBuf {
             }
         }
         if let Some(t) = timing {
-            for v in [t.queue_wait_ns, t.service_ns] {
-                self.payload.extend_from_slice(&v.to_le_bytes());
-                acc.push_u32_le(v as u32);
-                acc.push_u32_le((v >> 32) as u32);
-            }
+            // The tag byte breaks u32-word alignment, so the trailer
+            // is absorbed bytewise (update pairs odd boundaries up).
+            let trailer_start = self.payload.len();
+            self.payload.push(IQ_TIMING_TAG);
+            self.payload.extend_from_slice(&t.queue_wait_ns.to_le_bytes());
+            self.payload.extend_from_slice(&t.service_ns.to_le_bytes());
+            acc.update(&self.payload[trailer_start..]);
         }
         self.seal(4, seq, acc.finish());
     }
@@ -1161,16 +1174,22 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
             let dropped_total = c.u64("iq dropped_total")?;
             let count = c.u32("iq count")?;
             // The declared count pins the pair bytes exactly; the only
-            // other shape accepted is exactly 16 further bytes — the
-            // trailing timing extension from latency-QoS sessions.
+            // other shape accepted is the 17-byte tagged timing trailer
+            // from latency-QoS sessions. 17 is not a multiple of the
+            // pair stride and the tag is verified below, so a frame
+            // whose count undercounts its pairs (16 stray bytes) fails
+            // CountMismatch instead of silently decoding as timed.
             let pair_bytes = count as usize * 16;
-            if c.remaining() != pair_bytes && c.remaining() != pair_bytes + 16 {
-                return Err(WireError::CountMismatch {
-                    declared: count,
-                    available: c.remaining(),
-                });
-            }
-            let timed = c.remaining() == pair_bytes + 16;
+            let timed = match c.remaining() {
+                r if r == pair_bytes => false,
+                r if r == pair_bytes + 17 => true,
+                _ => {
+                    return Err(WireError::CountMismatch {
+                        declared: count,
+                        available: c.remaining(),
+                    })
+                }
+            };
             let mut pairs = Vec::with_capacity(count as usize);
             for _ in 0..count {
                 let i = i64::from_le_bytes(c.take(8, "iq i word")?.try_into().unwrap());
@@ -1178,10 +1197,15 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
                 pairs.push((i, q));
             }
             let timing = if timed {
-                Some(IqTiming {
-                    queue_wait_ns: c.u64("iq queue_wait_ns")?,
-                    service_ns: c.u64("iq service_ns")?,
-                })
+                match c.u8("iq timing tag")? {
+                    IQ_TIMING_TAG => Some(IqTiming {
+                        queue_wait_ns: c.u64("iq queue_wait_ns")?,
+                        service_ns: c.u64("iq service_ns")?,
+                    }),
+                    other => {
+                        return Err(WireError::BadSpec(format!("unknown iq timing tag {other}")))
+                    }
+                }
             } else {
                 None
             };
@@ -1779,7 +1803,7 @@ mod tests {
     }
 
     #[test]
-    fn untimed_iq_is_byte_identical_to_legacy_and_timing_is_16_bytes() {
+    fn untimed_iq_is_byte_identical_to_legacy_and_timing_is_tagged_17_bytes() {
         let base = Frame::Iq(IqPayload {
             batch_index: 9,
             dropped_total: 1,
@@ -1798,10 +1822,69 @@ mod tests {
             }),
         });
         let timed_bytes = encode_frame(&timed, 0);
-        assert_eq!(timed_bytes.len(), legacy.len() + 16);
+        assert_eq!(timed_bytes.len(), legacy.len() + 17);
         assert_eq!(
             &timed_bytes[HEADER_LEN..legacy.len()],
             &legacy[HEADER_LEN..]
+        );
+        assert_eq!(timed_bytes[legacy.len()], IQ_TIMING_TAG);
+    }
+
+    #[test]
+    fn undercounted_iq_is_not_mistaken_for_a_timed_frame() {
+        // Encode three pairs, then lie: declare count = 2 so exactly
+        // one stray pair (16 bytes) trails the declared pairs — the
+        // shape the pre-tag decoder misread as a timing trailer,
+        // turning the last pair into queue_wait/service values.
+        let frame = Frame::Iq(IqPayload {
+            batch_index: 9,
+            dropped_total: 1,
+            pairs: vec![(3, -3), (4, -4), (5, -5)],
+            timing: None,
+        });
+        let mut payload = encode_frame(&frame, 0)[HEADER_LEN..].to_vec();
+        payload[16..20].copy_from_slice(&2u32.to_le_bytes());
+        let header = FrameHeader {
+            frame_type: 4,
+            seq: 0,
+            payload_len: payload.len() as u32,
+            payload_sum: checksum(&payload),
+        };
+        let r = decode_payload(&header, &payload);
+        assert!(
+            matches!(
+                r,
+                Err(WireError::CountMismatch {
+                    declared: 2,
+                    available: 48,
+                })
+            ),
+            "{r:?}"
+        );
+        // And a trailer whose tag byte is wrong is rejected too, not
+        // decoded on length alone.
+        let timed = Frame::Iq(IqPayload {
+            batch_index: 9,
+            dropped_total: 1,
+            pairs: vec![(3, -3), (4, -4)],
+            timing: Some(IqTiming {
+                queue_wait_ns: 11,
+                service_ns: 22,
+            }),
+        });
+        let mut payload = encode_frame(&timed, 0)[HEADER_LEN..].to_vec();
+        let tag_at = 8 + 8 + 4 + 2 * 16;
+        payload[tag_at] = 7;
+        let header = FrameHeader {
+            frame_type: 4,
+            seq: 0,
+            payload_len: payload.len() as u32,
+            payload_sum: checksum(&payload),
+        };
+        let r = decode_payload(&header, &payload);
+        assert!(
+            matches!(&r, Err(WireError::BadSpec(m)) if m.contains("timing tag")),
+            "{r:?}"
         );
     }
 

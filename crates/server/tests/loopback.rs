@@ -603,6 +603,38 @@ fn latency_budget_below_chain_group_delay_is_rejected() {
 }
 
 #[test]
+fn latency_qos_on_non_chain_plans_is_rejected() {
+    use ddc_server::wire::QosProfile;
+    // Latency QoS is enforced through chunked farm submission and the
+    // deadline flush, which only chain sessions have. A channelizer
+    // (or subscriber) asking for a budget must get a structured
+    // refusal, not a silently unenforced bound.
+    let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr(), "bank")
+        .expect("connect")
+        .with_qos(QosProfile::Latency { budget_us: 500 });
+    let spec = ddc_core::ChannelizerSpec::uniform(8, 8_192_000.0);
+    match client.configure_channelizer(&spec, Backpressure::Block, 8) {
+        Err(ClientError::Remote(e)) => {
+            assert_eq!(e.code, error_code::BAD_CONFIG);
+            assert!(
+                e.message.contains("chain plan"),
+                "error names the constraint: {}",
+                e.message
+            );
+        }
+        other => panic!("expected BAD_CONFIG, got {other:?}"),
+    }
+    // The refused Configure must not have published the bank.
+    let mut probe = Client::connect(server.local_addr(), "probe").expect("connect");
+    probe
+        .configure_channelizer(&spec, Backpressure::Block, 8)
+        .expect("name was not leaked by the refused session");
+    let _ = probe.send(&Frame::Shutdown);
+    assert!(server.shutdown(Duration::from_secs(5)));
+}
+
+#[test]
 fn stats_requests_track_progress_midstream() {
     let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
     let mut client = Client::connect(server.local_addr(), "stats").expect("connect");
