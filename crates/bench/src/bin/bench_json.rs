@@ -384,6 +384,60 @@ fn main() {
         });
     }
 
+    // --- Span-trace overhead on the reference chain ---------------
+    // Same interleaved best-of-3 protocol as telemetry_overhead: the
+    // DRM chain with the trace handle compiled in but disabled versus
+    // enabled with 1-in-64 head sampling (the shipping default). The
+    // gate fails the build when the traced chain is more than 1%
+    // slower (`--max trace_overhead:overhead_frac=0.01`).
+    {
+        let spec = ChainSpec::registry()
+            .iter()
+            .find(|s| s.name == "drm")
+            .expect("drm spec in registry")
+            .clone()
+            .tuned(10e6);
+        let adc_s = adc_quantize(&analog, spec.format.data_bits);
+        let mut ddc_off = FixedDdc::from_spec(spec.clone());
+        let mut ddc_on = FixedDdc::from_spec(spec.clone());
+        ddc_on.set_tracer(ddc_obs::TraceHandle::enabled(std::sync::Arc::new(
+            ddc_obs::TraceSink::new(2, 4096),
+        )));
+        let mut out = Vec::with_capacity(n / spec.total_decimation() as usize + 1);
+        let mut best_off = 0.0f64;
+        let mut best_on = 0.0f64;
+        let mut block = 0u64;
+        for _ in 0..3 {
+            best_off = best_off.max(measure(n, || {
+                out.clear();
+                ddc_off.process_into(&adc_s, &mut out);
+                black_box(out.len());
+            }));
+            best_on = best_on.max(measure(n, || {
+                out.clear();
+                let trace_id = if block.is_multiple_of(64) {
+                    block + 1
+                } else {
+                    0
+                };
+                block += 1;
+                ddc_on.process_into_traced(&adc_s, &mut out, trace_id, 0);
+                black_box(out.len());
+            }));
+        }
+        let overhead_frac = ((best_off - best_on) / best_off).max(0.0);
+        results.push(StageResult {
+            name: "trace_overhead".to_string(),
+            per_sample_msps: None,
+            block_msps: best_on / 1e6,
+            extra: vec![
+                ("off_msps", best_off / 1e6),
+                ("on_msps", best_on / 1e6),
+                ("overhead_frac", overhead_frac),
+            ],
+        });
+    }
+
     // --- Two-thread pipelined chain (block kernels both ends) -----
     let pipelined_msps = measure(n, || {
         black_box(run_pipelined(&cfg, &adc, 4096).len());

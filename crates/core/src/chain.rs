@@ -14,7 +14,7 @@ use crate::params::DdcConfig;
 use crate::spec::{ChainSpec, StageSpec};
 use ddc_dsp::firdes::quantize_taps;
 use ddc_dsp::C64;
-use ddc_obs::{ChainMetrics, MetricsHandle};
+use ddc_obs::{ChainMetrics, MetricsHandle, TraceHandle};
 use std::time::Instant;
 
 /// Builds zeroed per-stage telemetry matching `spec`'s stage labels
@@ -347,6 +347,18 @@ pub struct FixedDdc {
     /// Telemetry sink; the default disabled handle keeps the block
     /// path free of timing calls entirely.
     metrics: MetricsHandle,
+    /// Span recorder; spans are emitted only for calls carrying a
+    /// nonzero in-flight trace ID (see
+    /// [`FixedDdc::process_into_traced`]).
+    tracer: TraceHandle,
+    /// Interned per-stage span-name indices, registered into the
+    /// tracer's sink when it is installed (hot path records indices,
+    /// never strings).
+    trace_names: Vec<u16>,
+    /// Trace ID of the in-flight traced call (0 = untraced).
+    active_trace: u64,
+    /// Execution track attributed to the in-flight traced call.
+    active_track: u32,
     /// Exact linear DC gain of the whole chain (product of the CICs'
     /// power-of-two-scaled gains and the quantized FIRs' DC gains) —
     /// slightly below 1 for the reference chain because 21⁵ is not a
@@ -420,6 +432,10 @@ impl FixedDdc {
             scratch: FixedScratch::default(),
             probes: None,
             metrics: MetricsHandle::disabled(),
+            tracer: TraceHandle::disabled(),
+            trace_names: Vec::new(),
+            active_trace: 0,
+            active_track: 0,
             nominal_gain,
             total_decimation: spec.total_decimation(),
             spec,
@@ -501,6 +517,54 @@ impl FixedDdc {
         &self.metrics
     }
 
+    /// Installs (or removes) the span tracer. The spec's stage labels
+    /// are interned into the sink's name table here, at configure
+    /// time, so the hot path records only indices. Per-stage spans are
+    /// emitted only by [`FixedDdc::process_into_traced`] calls with a
+    /// nonzero trace ID; plain [`FixedDdc::process_into`] pays one
+    /// never-taken branch, exactly like disabled metrics.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.trace_names = match tracer.get() {
+            Some(sink) => self
+                .spec
+                .stages
+                .iter()
+                .map(|s| sink.register_name(&s.label()))
+                .collect(),
+            None => Vec::new(),
+        };
+        self.tracer = tracer;
+    }
+
+    /// Builder form of [`FixedDdc::set_tracer`].
+    pub fn with_tracer(mut self, tracer: TraceHandle) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// The tracer handle in force (disabled by default).
+    pub fn tracer(&self) -> &TraceHandle {
+        &self.tracer
+    }
+
+    /// [`FixedDdc::process_into`] plus flight recording: when
+    /// `trace_id` is nonzero and a tracer is installed, every stage
+    /// emits a begin/end span pair tagged with the trace ID on
+    /// `track`. The DSP output is bit-exact with the untraced path —
+    /// tracing only observes — and recording allocates nothing.
+    pub fn process_into_traced(
+        &mut self,
+        input: &[i32],
+        out: &mut Vec<Iq>,
+        trace_id: u64,
+        track: u32,
+    ) {
+        self.active_trace = trace_id;
+        self.active_track = track;
+        self.process_into(input, out);
+        self.active_trace = 0;
+    }
+
     /// Retunes the NCO without flushing filter state.
     pub fn set_tune_freq(&mut self, freq: f64) {
         self.spec.tune_freq = freq;
@@ -559,6 +623,16 @@ impl FixedDdc {
         // never-taken branch — the datapath is identical either way.
         let metrics = self.metrics.clone();
         let mm = metrics.get();
+        // Span recording is live only for a traced call (nonzero
+        // in-flight trace ID): the untraced path pays one u64 compare.
+        let tracer = if self.active_trace != 0 {
+            self.tracer.clone()
+        } else {
+            TraceHandle::disabled()
+        };
+        let tr = tracer.get();
+        let trace_id = self.active_trace;
+        let track = self.active_track;
         let out_before = out.len();
         let t_chain = mm.map(|_| Instant::now());
         if self.probes.is_some() {
@@ -588,6 +662,7 @@ impl FixedDdc {
         // includes the NCO and mixer, which the fused kernel runs in
         // the same pass.
         let t_stage = mm.map(|_| Instant::now());
+        let ts0 = tr.map(|s| s.now_ns());
         match &mut self.stages[0] {
             FixedStage::Cic { i, q } => {
                 crate::frontend::process_front_end(
@@ -613,8 +688,13 @@ impl FixedDdc {
         if let Some(sm) = mm.and_then(|m| m.stages.first()) {
             sm.record_block(input.len() as u64, cur_i.len() as u64, elapsed_ns(t_stage));
         }
+        if let Some(s) = tr {
+            let name = self.trace_names.first().copied().unwrap_or(0);
+            s.span(track, trace_id, name, ts0.unwrap_or(0), s.now_ns());
+        }
         for (k, stage) in self.stages.iter_mut().enumerate().skip(1) {
             let t_stage = mm.map(|_| Instant::now());
+            let ts0 = tr.map(|s| s.now_ns());
             match stage {
                 FixedStage::Cic { i, q } => {
                     i.process_block(&cur_i, &mut nxt_i);
@@ -627,6 +707,10 @@ impl FixedDdc {
             }
             if let Some(sm) = mm.and_then(|m| m.stages.get(k)) {
                 sm.record_block(cur_i.len() as u64, nxt_i.len() as u64, elapsed_ns(t_stage));
+            }
+            if let Some(s) = tr {
+                let name = self.trace_names.get(k).copied().unwrap_or(0);
+                s.span(track, trace_id, name, ts0.unwrap_or(0), s.now_ns());
             }
             std::mem::swap(&mut cur_i, &mut nxt_i);
             std::mem::swap(&mut cur_q, &mut nxt_q);
@@ -1012,6 +1096,57 @@ mod tests {
         for sm in &metrics.stages {
             assert_eq!(sm.latency_ns.count(), n_blocks, "stage {}", sm.name);
         }
+    }
+
+    #[test]
+    fn traced_chain_is_bit_exact_and_emits_stage_spans() {
+        use ddc_obs::{span_kind, TraceSink};
+        use std::sync::Arc;
+        let cfg = DdcConfig::drm(10e6);
+        let adc = adc_quantize(
+            &ddc_dsp::signal::Mix(
+                Tone::new(10e6 + 3_000.0, 64_512_000.0, 0.6, 0.1),
+                WhiteNoise::new(17, 0.2),
+            )
+            .take_vec(input_len(8)),
+            12,
+        );
+
+        let mut plain = FixedDdc::new(cfg.clone());
+        let mut expect = Vec::new();
+        let sink = Arc::new(TraceSink::new(1, 1024));
+        let mut traced = FixedDdc::new(cfg).with_tracer(TraceHandle::enabled(Arc::clone(&sink)));
+        let mut got = Vec::new();
+        for (b, chunk) in adc.chunks(997).enumerate() {
+            plain.process_into(chunk, &mut expect);
+            // Sample every other block, like a 1-in-N head sampler.
+            let trace_id = if b % 2 == 0 { 0x100 + b as u64 } else { 0 };
+            traced.process_into_traced(chunk, &mut got, trace_id, 7);
+        }
+        // Tracing only observes: the datapath stays bit-exact.
+        assert_eq!(got, expect);
+
+        let n_blocks = adc.chunks(997).count();
+        let sampled = n_blocks.div_ceil(2);
+        let mut spans = Vec::new();
+        assert_eq!(sink.drain(&mut spans), 0);
+        // 3 stages x begin+end per sampled block, nothing for the rest.
+        assert_eq!(spans.len(), sampled * 3 * 2);
+        assert!(spans.iter().all(|e| e.track == 7));
+        assert!(spans.iter().all(|e| e.trace_id >= 0x100));
+        let begins = spans.iter().filter(|e| e.kind == span_kind::BEGIN).count();
+        let ends = spans.iter().filter(|e| e.kind == span_kind::END).count();
+        assert_eq!(begins, ends);
+        // Spans carry the spec-derived stage names.
+        let names: std::collections::BTreeSet<String> =
+            spans.iter().map(|e| sink.name_of(e.name)).collect();
+        assert_eq!(
+            names,
+            ["cic2r16", "cic5r21", "fir125r8"]
+                .into_iter()
+                .map(String::from)
+                .collect()
+        );
     }
 
     #[test]

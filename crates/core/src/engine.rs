@@ -30,7 +30,7 @@ use crate::chain::{chain_metrics_for, FixedDdc};
 use crate::mixer::Iq;
 use crate::spec::{ChainSpec, SpecError};
 use ddc_obs::{drain_merged, kind, Counter, Event, EventRing, LogHistogram, MetricsHandle};
-use ddc_obs::{ChainMetrics, MetricsSnapshot};
+use ddc_obs::{ChainMetrics, MetricsSnapshot, TraceHandle, TraceSink};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -41,6 +41,8 @@ struct Job {
     channel: usize,
     input: Arc<Vec<i32>>,
     completion: Completion,
+    /// Trace context riding with the job (0 = unsampled batch).
+    trace_id: u64,
 }
 
 /// How a finished job reports back.
@@ -129,6 +131,21 @@ struct Shared {
     /// Optional telemetry, installed once by [`DdcFarm::with_telemetry`];
     /// workers check the `OnceLock` (one load) per job.
     metrics: OnceLock<Arc<FarmMetrics>>,
+    /// Optional span tracing, installed once by
+    /// [`DdcFarm::with_tracing`]; consulted only for jobs that carry a
+    /// nonzero trace ID.
+    tracer: OnceLock<FarmTracer>,
+}
+
+/// Tracing state of a traced farm: the shared sink, the interned
+/// whole-job span name, and the track-ID base. Worker `w` records on
+/// track `track_base + w`; inline (caller-runs) jobs record on
+/// `track_base + worker_count`.
+#[derive(Debug)]
+struct FarmTracer {
+    sink: Arc<TraceSink>,
+    job_name: u16,
+    track_base: u32,
 }
 
 /// Farm-wide lifetime totals (one coherent read via
@@ -222,6 +239,15 @@ impl Shared {
     /// Runs one job to completion and signals whoever waits for it.
     fn run_job(&self, me: usize, job: Job) {
         let channel = job.channel;
+        // Trace context: only jobs carrying a nonzero trace ID on a
+        // traced farm pay anything beyond one compare.
+        let ft = if job.trace_id != 0 {
+            self.tracer.get()
+        } else {
+            None
+        };
+        let track = ft.map_or(0, |t| t.track_base + me as u32);
+        let ts0 = ft.map(|t| t.sink.now_ns());
         let busy;
         let single_out = {
             let mut slot = self.channels[job.channel].lock().unwrap();
@@ -230,7 +256,8 @@ impl Shared {
                     let mut out = self.results[job.channel].lock().unwrap();
                     let before = out.len();
                     let t0 = Instant::now();
-                    slot.ddc.process_into(&job.input, &mut out);
+                    slot.ddc
+                        .process_into_traced(&job.input, &mut out, job.trace_id, track);
                     busy = t0.elapsed();
                     let produced = (out.len() - before) as u64;
                     slot.record(job.input.len() as u64, produced, busy);
@@ -239,13 +266,23 @@ impl Shared {
                 Completion::Single(_) => {
                     let mut out = Vec::new();
                     let t0 = Instant::now();
-                    slot.ddc.process_into(&job.input, &mut out);
+                    slot.ddc
+                        .process_into_traced(&job.input, &mut out, job.trace_id, track);
                     busy = t0.elapsed();
                     slot.record(job.input.len() as u64, out.len() as u64, busy);
                     Some(out)
                 }
             }
         };
+        if let Some(t) = ft {
+            t.sink.span(
+                track,
+                job.trace_id,
+                t.job_name,
+                ts0.unwrap_or(0),
+                t.sink.now_ns(),
+            );
+        }
         self.jobs_completed.fetch_add(1, Ordering::Relaxed);
         if let Some(fm) = self.metrics.get() {
             let busy_ns = busy.as_nanos().min(u64::MAX as u128) as u64;
@@ -376,6 +413,7 @@ impl DdcFarm {
             steals: AtomicU64::new(0),
             orphans_reclaimed: AtomicU64::new(0),
             metrics: OnceLock::new(),
+            tracer: OnceLock::new(),
         });
         let handles = (0..workers)
             .map(|k| {
@@ -422,6 +460,7 @@ impl DdcFarm {
                 channel: ch,
                 input: Arc::clone(&input),
                 completion: Completion::Batch,
+                trace_id: 0,
             };
             self.push_job(ch % workers, job);
         }
@@ -489,6 +528,19 @@ impl DdcFarm {
     /// `Vec`, wraps it in an `Arc`, and reclaims the allocation via
     /// `Arc::try_unwrap` after the job completes.
     pub fn submit_channel_shared(&self, channel: usize, input: Arc<Vec<i32>>) -> Option<Vec<Iq>> {
+        self.submit_channel_shared_traced(channel, input, 0)
+    }
+
+    /// [`DdcFarm::submit_channel_shared`] with trace context: when
+    /// `trace_id` is nonzero and [`DdcFarm::with_tracing`] has run,
+    /// the job (inline or queued) emits a whole-job span plus
+    /// per-stage spans tagged with the trace ID.
+    pub fn submit_channel_shared_traced(
+        &self,
+        channel: usize,
+        input: Arc<Vec<i32>>,
+        trace_id: u64,
+    ) -> Option<Vec<Iq>> {
         assert!(
             channel < self.n_channels,
             "channel {channel} out of range (farm has {})",
@@ -509,7 +561,7 @@ impl DdcFarm {
         // (a stats read, a reconfigure, a whole-farm batch touching
         // the slot) falls back to the queued path below.
         let mut out = Vec::new();
-        if self.run_inline(channel, &input, &mut out) {
+        if self.run_inline(channel, &input, &mut out, trace_id) {
             return Some(out);
         }
         let done = Arc::new(JobDone::default());
@@ -517,6 +569,7 @@ impl DdcFarm {
             channel,
             input,
             completion: Completion::Single(Arc::clone(&done)),
+            trace_id,
         };
         self.push_job(channel % self.workers.len().max(1), job);
         let mut result = done.result.lock().unwrap();
@@ -547,16 +600,32 @@ impl DdcFarm {
     /// uncontended, appending output to `out` and recording the same
     /// stats/telemetry as a worker would. Returns `false` on
     /// contention (caller takes the queued path).
-    fn run_inline(&self, channel: usize, input: &[i32], out: &mut Vec<Iq>) -> bool {
+    fn run_inline(&self, channel: usize, input: &[i32], out: &mut Vec<Iq>, trace_id: u64) -> bool {
         let Ok(mut slot) = self.shared.channels[channel].try_lock() else {
             return false;
         };
+        let ft = if trace_id != 0 {
+            self.shared.tracer.get()
+        } else {
+            None
+        };
+        let track = ft.map_or(0, |t| t.track_base + self.workers.len() as u32);
+        let ts0 = ft.map(|t| t.sink.now_ns());
         let before = out.len();
         let t0 = Instant::now();
-        slot.ddc.process_into(input, out);
+        slot.ddc.process_into_traced(input, out, trace_id, track);
         let busy = t0.elapsed();
         slot.record(input.len() as u64, (out.len() - before) as u64, busy);
         drop(slot);
+        if let Some(t) = ft {
+            t.sink.span(
+                track,
+                trace_id,
+                t.job_name,
+                ts0.unwrap_or(0),
+                t.sink.now_ns(),
+            );
+        }
         self.shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
         if let Some(fm) = self.shared.metrics.get() {
             let busy_ns = busy.as_nanos().min(u64::MAX as u128) as u64;
@@ -593,6 +662,20 @@ impl DdcFarm {
         max_batch: usize,
         out: &mut Vec<Iq>,
     ) -> Option<()> {
+        self.submit_channel_chunked_traced(channel, input, max_batch, out, 0)
+    }
+
+    /// [`DdcFarm::submit_channel_chunked`] with trace context: every
+    /// chunk-job of a sampled batch records spans under the same trace
+    /// ID (see [`DdcFarm::submit_channel_shared_traced`]).
+    pub fn submit_channel_chunked_traced(
+        &self,
+        channel: usize,
+        input: &[i32],
+        max_batch: usize,
+        out: &mut Vec<Iq>,
+        trace_id: u64,
+    ) -> Option<()> {
         assert!(
             channel < self.n_channels,
             "channel {channel} out of range (farm has {})",
@@ -602,7 +685,8 @@ impl DdcFarm {
         if input.len() <= max_batch {
             // Single-chunk batches (including empty keep-alives) take
             // the ordinary path so their accounting is identical.
-            let pairs = self.submit_channel(channel, input)?;
+            let pairs =
+                self.submit_channel_shared_traced(channel, Arc::new(input.to_vec()), trace_id)?;
             out.extend_from_slice(&pairs);
             return Some(());
         }
@@ -610,7 +694,7 @@ impl DdcFarm {
             if self.shared.stop.load(Ordering::Acquire) {
                 return None;
             }
-            if self.run_inline(channel, chunk, out) {
+            if self.run_inline(channel, chunk, out, trace_id) {
                 if let Some(fm) = self.shared.metrics.get() {
                     fm.batch_samples.record(chunk.len() as u64);
                 }
@@ -618,7 +702,8 @@ impl DdcFarm {
                 // Contended slot (stats read, reconfigure): fall back
                 // to the queued path for this chunk only (it does its
                 // own batch_samples accounting).
-                let pairs = self.submit_channel_shared(channel, Arc::new(chunk.to_vec()))?;
+                let pairs =
+                    self.submit_channel_shared_traced(channel, Arc::new(chunk.to_vec()), trace_id)?;
                 out.extend_from_slice(&pairs);
             }
         }
@@ -653,6 +738,11 @@ impl DdcFarm {
             slot.ddc.set_metrics(MetricsHandle::enabled(m));
             fm.control_ring
                 .push(kind::CHANNEL_RECONFIGURE, channel as u64, 0);
+        }
+        if let Some(ft) = self.shared.tracer.get() {
+            // Re-intern the new spec's stage labels on the fresh chain.
+            slot.ddc
+                .set_tracer(TraceHandle::enabled(Arc::clone(&ft.sink)));
         }
         Ok(())
     }
@@ -738,6 +828,36 @@ impl DdcFarm {
     /// The telemetry state, when [`DdcFarm::with_telemetry`] has run.
     pub fn telemetry(&self) -> Option<&Arc<FarmMetrics>> {
         self.shared.metrics.get()
+    }
+
+    /// Installs span tracing: every channel chain gets a
+    /// [`TraceHandle`] on `sink` (interning its spec's stage labels),
+    /// and traced submissions record a whole-job span per worker.
+    /// Worker `w` writes on span track `track_base + w`; inline jobs
+    /// (caller-run fast path) use `track_base + worker_count`. Builder
+    /// form, idempotent; all allocation happens here. Untraced
+    /// submissions (`trace_id == 0`, i.e. every plain `submit_*` call)
+    /// stay span-free and bit-exact.
+    pub fn with_tracing(self, sink: Arc<TraceSink>, track_base: u32) -> Self {
+        if self.shared.tracer.get().is_some() {
+            return self;
+        }
+        let job_name = sink.register_name("ddc_job");
+        for slot in self.shared.channels.iter() {
+            let mut slot = slot.lock().unwrap();
+            slot.ddc.set_tracer(TraceHandle::enabled(Arc::clone(&sink)));
+        }
+        let _ = self.shared.tracer.set(FarmTracer {
+            sink,
+            job_name,
+            track_base,
+        });
+        self
+    }
+
+    /// The trace sink, when [`DdcFarm::with_tracing`] has run.
+    pub fn tracer(&self) -> Option<&Arc<TraceSink>> {
+        self.shared.tracer.get().map(|t| &t.sink)
     }
 
     /// Merge-and-drain of every worker's event ring plus the control
@@ -1156,6 +1276,63 @@ mod tests {
         assert!(snap.to_json().starts_with("{\"counters\":{"));
         // A plain farm exports nothing.
         assert!(plain.metrics_snapshot().is_none());
+    }
+
+    #[test]
+    fn tracing_is_bit_exact_and_emits_job_plus_stage_spans() {
+        use ddc_obs::{span_kind, SpanEvent, TraceSink};
+        let cfgs = vec![DdcConfig::drm(10e6)];
+        let block = test_input(D * 2, 53);
+        let plain = DdcFarm::with_workers(cfgs.clone(), 2);
+        let sink = Arc::new(TraceSink::new(4, 256));
+        let traced = DdcFarm::with_workers(cfgs, 2).with_tracing(Arc::clone(&sink), 10);
+        let want = plain.submit_channel(0, &block).unwrap();
+
+        // Untraced submit on a tracing farm: bit-exact, no spans.
+        let got = traced.submit_channel(0, &block).unwrap();
+        assert_eq!(got, want, "tracing off-path must not change the datapath");
+        assert_eq!(sink.produced(), 0, "untraced submit must emit no spans");
+
+        // Traced submit: still bit-exact (filter state persists, so
+        // compare against the plain farm's same-numbered submit), job
+        // span + one span per stage.
+        let want = plain.submit_channel(0, &block).unwrap();
+        let got = traced
+            .submit_channel_shared_traced(0, Arc::new(block.clone()), 0xABCD)
+            .unwrap();
+        assert_eq!(got, want, "tracing must not change the datapath");
+        let mut spans: Vec<SpanEvent> = Vec::new();
+        assert_eq!(sink.drain(&mut spans), 0);
+        let n_stages = 3; // DRM chain: cic2r16, cic5r21, fir125r8
+        assert_eq!(spans.len(), 2 * (1 + n_stages), "job + per-stage B/E pairs");
+        assert!(spans.iter().all(|s| s.trace_id == 0xABCD));
+        let begins = spans.iter().filter(|s| s.kind == span_kind::BEGIN).count();
+        let ends = spans.iter().filter(|s| s.kind == span_kind::END).count();
+        assert_eq!((begins, ends), (1 + n_stages, 1 + n_stages));
+        // All spans land on one track in [track_base, track_base+workers].
+        let track = spans[0].track;
+        assert!((10..=12).contains(&track), "track {track} outside layout");
+        assert!(spans.iter().all(|s| s.track == track));
+        let names: std::collections::BTreeSet<String> =
+            spans.iter().map(|s| sink.name_of(s.name)).collect();
+        let want_names: std::collections::BTreeSet<String> =
+            ["ddc_job", "cic2r16", "cic5r21", "fir125r8"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        assert_eq!(names, want_names);
+
+        // Chunked traced submit stays bit-exact too.
+        let want2 = plain.submit_channel(0, &block).unwrap();
+        let mut out = Vec::new();
+        traced
+            .submit_channel_chunked_traced(0, &block, D, &mut out, 0xEF01)
+            .unwrap();
+        assert_eq!(out, want2);
+        spans.clear();
+        sink.drain(&mut spans);
+        assert!(!spans.is_empty());
+        assert!(spans.iter().all(|s| s.trace_id == 0xEF01));
     }
 
     #[test]

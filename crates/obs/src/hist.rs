@@ -40,6 +40,8 @@ pub fn bucket_upper_bound(idx: usize) -> u64 {
 #[derive(Debug)]
 pub struct LogHistogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Per-bucket value sums, anchoring quantile interpolation.
+    bucket_sums: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
@@ -56,16 +58,19 @@ impl LogHistogram {
     pub const fn new() -> Self {
         Self {
             buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            bucket_sums: [const { AtomicU64::new(0) }; BUCKETS],
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
         }
     }
 
-    /// Records one value. Wait-free: four relaxed atomic RMWs.
+    /// Records one value. Wait-free: five relaxed atomic RMWs.
     #[inline]
     pub fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        let idx = bucket_index(v);
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.bucket_sums[idx].fetch_add(v, Relaxed);
         self.count.fetch_add(1, Relaxed);
         self.sum.fetch_add(v, Relaxed);
         self.max.fetch_max(v, Relaxed);
@@ -94,8 +99,13 @@ impl LogHistogram {
         for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
             *dst = src.load(Relaxed);
         }
+        let mut bucket_sums = [0u64; BUCKETS];
+        for (dst, src) in bucket_sums.iter_mut().zip(self.bucket_sums.iter()) {
+            *dst = src.load(Relaxed);
+        }
         HistSnapshot {
             buckets,
+            bucket_sums,
             count: self.count.load(Relaxed),
             sum: self.sum.load(Relaxed),
             max: self.max.load(Relaxed),
@@ -108,6 +118,9 @@ impl LogHistogram {
 pub struct HistSnapshot {
     /// Per-bucket counts (see [`bucket_index`] for the bucket scheme).
     pub buckets: [u64; BUCKETS],
+    /// Per-bucket value sums (wrapping), anchoring quantile
+    /// interpolation within a bucket.
+    pub bucket_sums: [u64; BUCKETS],
     /// Total number of recorded values.
     pub count: u64,
     /// Sum of all recorded values (wrapping on overflow).
@@ -120,6 +133,7 @@ impl Default for HistSnapshot {
     fn default() -> Self {
         Self {
             buckets: [0; BUCKETS],
+            bucket_sums: [0; BUCKETS],
             count: 0,
             sum: 0,
             max: 0,
@@ -140,6 +154,9 @@ impl HistSnapshot {
         for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *dst = dst.wrapping_add(*src);
         }
+        for (dst, src) in self.bucket_sums.iter_mut().zip(other.bucket_sums.iter()) {
+            *dst = dst.wrapping_add(*src);
+        }
         self.count = self.count.wrapping_add(other.count);
         self.sum = self.sum.wrapping_add(other.sum);
         self.max = self.max.max(other.max);
@@ -154,9 +171,16 @@ impl HistSnapshot {
         }
     }
 
-    /// Quantile estimate: the inclusive upper bound of the bucket that
-    /// contains the q-th value, clamped to the observed maximum. Exact
-    /// for bucket 0; otherwise within a factor of 2 of the true value.
+    /// Quantile estimate: linear interpolation within the log2 bucket
+    /// that contains the q-th value, across an interval centred on the
+    /// bucket's *measured* mean (`bucket_sums[idx] / buckets[idx]`)
+    /// and clamped to the bucket bounds and the observed maximum.
+    ///
+    /// The anchoring matters at the tails: without it, every quantile
+    /// landing in one bucket snaps to the same edge (p50 == p99), which
+    /// is exactly the saturation this estimator replaces. Estimates
+    /// stay within the true quantile's bucket, are monotone in `q`, and
+    /// are exact when a bucket holds a single repeated value.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -165,12 +189,39 @@ impl HistSnapshot {
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cum = 0u64;
         for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = cum;
             cum = cum.saturating_add(n);
             if cum >= target {
-                return bucket_upper_bound(idx).min(self.max);
+                return self.interpolate(idx, n, target - before);
             }
         }
         self.max
+    }
+
+    /// Estimates the value at 1-based `rank` within bucket `idx`
+    /// holding `n` entries: uniform interpolation across an interval
+    /// centred on the bucket's measured mean, with its half-width
+    /// shrunk so the interval stays inside the bucket. A bucket whose
+    /// mass sits at one edge (e.g. a single repeated value) gets a
+    /// zero-width interval and an exact estimate.
+    fn interpolate(&self, idx: usize, n: u64, rank: u64) -> u64 {
+        let lo = if idx == 0 {
+            0
+        } else {
+            bucket_upper_bound(idx - 1) + 1
+        };
+        let hi = bucket_upper_bound(idx).min(self.max);
+        if hi <= lo {
+            return lo.min(self.max);
+        }
+        let mean = (self.bucket_sums[idx] as f64 / n as f64).clamp(lo as f64, hi as f64);
+        let w = (mean - lo as f64).min(hi as f64 - mean);
+        let pos = (rank as f64 - 0.5) / n as f64;
+        let est = (mean - w + 2.0 * w * pos).round();
+        est.clamp(lo as f64, hi as f64) as u64
     }
 
     /// Median estimate (see [`Self::quantile`]).
@@ -241,9 +292,43 @@ mod tests {
         assert_eq!(s.p95(), 1);
         // p99 targets the 99th value -> still bucket 1.
         assert_eq!(s.p99(), 1);
+        // Interpolation anchored on the bucket sum recovers the exact
+        // value of a single-entry bucket, not the bucket edge (1023).
         assert_eq!(s.quantile(1.0), 1000);
-        // Upper bound clamped to observed max, not bucket edge (1023).
         assert!(s.quantile(0.999) <= 1000);
+    }
+
+    #[test]
+    fn quantiles_do_not_saturate_within_a_bucket() {
+        // All values land in bucket 10 ([512, 1023]); the old
+        // edge-snapping estimator reported p50 == p99 == 1023 here.
+        let h = LogHistogram::new();
+        for _ in 0..90 {
+            h.record(600);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        assert!(s.p50() < s.p99(), "p50={} p99={}", s.p50(), s.p99());
+        assert!((512..=1000).contains(&s.p50()));
+        assert!((512..=1000).contains(&s.p99()));
+        // Mean anchoring keeps the median near the bulk of the mass.
+        assert!(s.p50() < 750, "p50={}", s.p50());
+    }
+
+    #[test]
+    fn quantile_exact_for_repeated_value() {
+        for v in [0u64, 1, 7, 262_143, 1_000_000] {
+            let h = LogHistogram::new();
+            for _ in 0..50 {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(s.quantile(q), v, "q={q} v={v}");
+            }
+        }
     }
 
     #[test]
@@ -317,24 +402,47 @@ mod tests {
             prop_assert_eq!(left, right);
         }
 
-        /// Quantile estimates never exceed the observed maximum and the
-        /// bucket upper bound of the true quantile's bucket.
+        /// Quantile estimates stay inside the true quantile's bucket
+        /// (and under the observed max), and are monotone in q.
         #[test]
         fn quantile_bounded(values in prop::collection::vec(0u64..1_000_000, 1..60)) {
             let s = hist_of(&values);
             let mut sorted = values.clone();
             sorted.sort_unstable();
+            let mut prev = 0u64;
             for &(q, _name) in &[(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
                 let est = s.quantile(q);
                 let rank = ((q * sorted.len() as f64).ceil() as usize)
                     .clamp(1, sorted.len()) - 1;
                 let truth = sorted[rank];
-                // est = min(upper_bound(bucket(truth)), max): never below
-                // the true quantile, never above the observed max, never
-                // above the true quantile's bucket edge.
-                prop_assert!(est >= truth);
+                // Interpolated within the true quantile's bucket: never
+                // below its lower bound, never above its edge or the
+                // observed max.
+                let idx = bucket_index(truth);
+                let bucket_lo = if idx == 0 { 0 } else { bucket_upper_bound(idx - 1) + 1 };
+                prop_assert!(est >= bucket_lo);
                 prop_assert!(est <= s.max);
-                prop_assert!(est <= bucket_upper_bound(bucket_index(truth)));
+                prop_assert!(est <= bucket_upper_bound(idx));
+                prop_assert!(est >= prev, "quantiles must be monotone in q");
+                prev = est;
+            }
+        }
+
+        /// Interpolated quantiles of merged parts equal the quantiles
+        /// of one histogram fed everything (merge stays exact with
+        /// per-bucket sums).
+        #[test]
+        fn merged_quantiles_match_whole(
+            a in prop::collection::vec(0u64..1_000_000, 1..40),
+            b in prop::collection::vec(0u64..1_000_000, 1..40),
+        ) {
+            let mut merged = hist_of(&a);
+            merged.merge(&hist_of(&b));
+            let mut all = a.clone();
+            all.extend_from_slice(&b);
+            let whole = hist_of(&all);
+            for q in [0.5, 0.95, 0.99, 1.0] {
+                prop_assert_eq!(merged.quantile(q), whole.quantile(q));
             }
         }
     }

@@ -15,6 +15,9 @@
 //! - [`MetricsSnapshot`]: the export surface — JSON, Prometheus text,
 //!   and a validated binary codec used by the wire protocol's
 //!   `MetricsReport` frame.
+//! - [`TraceSink`] / [`TraceHandle`]: sampled per-batch span tracing
+//!   (begin/end/instant events with 64-bit trace/span IDs in seqlock
+//!   [`SpanRing`]s), exported as Chrome trace-event JSON for Perfetto.
 //!
 //! Allocation discipline: building metrics (names, rings) allocates at
 //! *configure* time; recording in steady state performs no heap
@@ -27,8 +30,12 @@ mod hist;
 mod metrics;
 mod ring;
 mod snapshot;
+mod trace;
 
 pub use hist::{bucket_index, bucket_upper_bound, HistSnapshot, LogHistogram, BUCKETS};
 pub use metrics::{ChainMetrics, Counter, MetricsHandle, StageMetrics};
 pub use ring::{drain_merged, kind, Event, EventRing};
 pub use snapshot::{MetricsSnapshot, SnapshotDecodeError, SNAPSHOT_VERSION};
+pub use trace::{
+    render_chrome_events, span_kind, SpanEvent, SpanRing, TraceHandle, TraceSink, SERVER_TRACE_BIT,
+};

@@ -14,7 +14,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Binary encoding version for [`MetricsSnapshot::encode`].
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// Version 2 added per-bucket value sums (quantile interpolation
+/// anchors) to every histogram record.
+pub const SNAPSHOT_VERSION: u8 = 2;
 
 /// A point-in-time view of every exported counter and histogram.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -223,6 +225,7 @@ impl MetricsSnapshot {
                 if n != 0 {
                     buf.push(idx as u8);
                     buf.extend_from_slice(&n.to_le_bytes());
+                    buf.extend_from_slice(&h.bucket_sums[idx].to_le_bytes());
                 }
             }
         }
@@ -258,18 +261,23 @@ impl MetricsSnapshot {
             let sum = cur.u64()?;
             let max = cur.u64()?;
             let nonzero = cur.u8()? as usize;
+            // Each nonzero-bucket record is 1 (index) + 8 (count) + 8 (sum).
+            cur.ensure(nonzero.saturating_mul(17))?;
             let mut buckets = [0u64; BUCKETS];
+            let mut bucket_sums = [0u64; BUCKETS];
             for _ in 0..nonzero {
                 let idx = cur.u8()?;
                 if idx as usize >= BUCKETS {
                     return Err(SnapshotDecodeError::BadBucketIndex(idx));
                 }
                 buckets[idx as usize] = cur.u64()?;
+                bucket_sums[idx as usize] = cur.u64()?;
             }
             histograms.push((
                 name,
                 HistSnapshot {
                     buckets,
+                    bucket_sums,
                     count,
                     sum,
                     max,

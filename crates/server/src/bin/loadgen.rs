@@ -21,10 +21,10 @@
 use ddc_core::chain::FixedDdc;
 use ddc_core::params::FixedFormat;
 use ddc_core::spec::{ChainSpec, StageSpec, DRM_INPUT_RATE};
-use ddc_obs::{HistSnapshot, LogHistogram};
+use ddc_obs::{HistSnapshot, LogHistogram, SpanEvent, TraceSink};
 use ddc_server::client::{Client, ClientError};
 use ddc_server::wire::{
-    metrics_format, Backpressure, ConfigPreset, Frame, QosProfile, StatsReport,
+    error_code, metrics_format, Backpressure, ConfigPreset, Frame, QosProfile, StatsReport,
 };
 use ddc_server::{serve, ServerConfig};
 use std::collections::BTreeMap;
@@ -49,6 +49,11 @@ struct Opts {
     delay_ms: u64,
     metrics_interval_ms: u64,
     metrics_out: Option<String>,
+    /// Assemble client + server span traces into this Chrome
+    /// trace-event JSON file after the run.
+    trace_out: Option<String>,
+    /// Stamp every Nth batch of each session with a trace id.
+    trace_sample: u32,
     /// N > 0: channelizer-farm mode — one wideband ingest session
     /// drives an N-channel polyphase bank and one subscriber session
     /// per channel receives its output (replaces the chain sessions).
@@ -63,6 +68,7 @@ fn usage() -> ! {
          \t[--preset drm|drm-montium|wideband|wideband-compensated]\n\
          \t[--custom-plan] [--channelizer N] [--verify] [--delay-ms D]\n\
          \t[--metrics-interval MS] [--metrics-out FILE]\n\
+         \t[--trace-out FILE] [--trace-sample N]\n\
          defaults: --sessions 4 --batches 32 --batch-samples 10752 --rate-msps 0 (unthrottled)\n\
          \t--policy block --queue-cap 0 (server default) --preset drm --qos throughput\n\
          --qos latency:500us negotiates a per-batch latency budget; the server then\n\
@@ -75,7 +81,11 @@ fn usage() -> ! {
          \t--verify then checks every channel bit-exact against a local replica\n\
          --delay-ms injects per-batch processing delay (self-serve only, for drop testing)\n\
          --metrics-interval scrapes the server's live telemetry every MS milliseconds\n\
-         --metrics-out writes the last scraped Prometheus snapshot to FILE"
+         --metrics-out writes the last scraped Prometheus snapshot to FILE\n\
+         --trace-out stamps every Nth batch (N from --trace-sample, default 64) with a\n\
+         \tspan-trace id, scrapes the server's flight recorder after the run, and\n\
+         \twrites the spliced client+server spans as Chrome trace-event JSON to FILE\n\
+         \t(load it in chrome://tracing or ui.perfetto.dev)"
     );
     std::process::exit(2);
 }
@@ -97,6 +107,8 @@ fn parse_opts() -> Opts {
         delay_ms: 0,
         metrics_interval_ms: 0,
         metrics_out: None,
+        trace_out: None,
+        trace_sample: 64,
         channelizer: 0,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -173,13 +185,21 @@ fn parse_opts() -> Opts {
                 o.metrics_out = Some(need(k));
                 k += 2;
             }
+            "--trace-out" => {
+                o.trace_out = Some(need(k));
+                k += 2;
+            }
+            "--trace-sample" => {
+                o.trace_sample = need(k).parse().unwrap_or_else(|_| usage());
+                k += 2;
+            }
             _ => usage(),
         }
     }
     if o.addr.is_none() && !o.self_serve {
         usage();
     }
-    if o.sessions == 0 || o.batches == 0 || o.batch_samples == 0 {
+    if o.sessions == 0 || o.batches == 0 || o.batch_samples == 0 || o.trace_sample == 0 {
         usage();
     }
     o
@@ -216,6 +236,8 @@ struct SessionOutcome {
     metrics_scrapes: u64,
     /// Body of the last scraped Prometheus snapshot.
     last_metrics: Option<Vec<u8>>,
+    /// Iq acks that echoed a non-zero trace id (`--trace-out` runs).
+    traced_acked: u64,
 }
 
 /// Per-session tuning frequency: a 2.5 MHz comb from 5 MHz, wrapped
@@ -302,7 +324,20 @@ fn plan_spec(opts: &Opts, tune_freq: f64) -> ChainSpec {
     }
 }
 
-fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> SessionOutcome {
+/// Trace id stamped on batch `b` of session `k`: unique across the
+/// run, never zero, top bit clear (set ids are server-allocated — see
+/// [`ddc_obs::SERVER_TRACE_BIT`]).
+fn client_trace_id(k: usize, b: u64) -> u64 {
+    ((k as u64 + 1) << 40) | (b + 1)
+}
+
+fn run_session(
+    addr: String,
+    k: usize,
+    opts: &Opts,
+    stimulus: Arc<Vec<i32>>,
+    tracer: Option<Arc<TraceSink>>,
+) -> SessionOutcome {
     let tune = session_tune(k);
     let mut out = SessionOutcome {
         session: k,
@@ -324,6 +359,7 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
         service: HistSnapshot::empty(),
         metrics_scrapes: 0,
         last_metrics: None,
+        traced_acked: 0,
     };
     let mut client = match connect_with_retry(addr.as_str(), &format!("loadgen-{k}")) {
         Ok(c) => c,
@@ -347,6 +383,10 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
         out.failure = Some("server does not advertise the metrics feature".into());
         return out;
     }
+    if tracer.is_some() && !client.server_has_trace() {
+        out.failure = Some("server does not advertise the trace feature".into());
+        return out;
+    }
     let (mut tx, mut rx) = client.split();
 
     let batches = opts.batches;
@@ -363,12 +403,28 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
     let latency_hist = Arc::new(LogHistogram::new());
     let queue_wait_hist = Arc::new(LogHistogram::new());
     let service_hist = Arc::new(LogHistogram::new());
+    // Per-batch trace-send timestamps on the client sink's clock, so
+    // the receiver can close a client_rtt span around the round trip
+    // (0 = batch was not stamped).
+    let trace_sent_ns: Arc<Vec<AtomicU64>> = {
+        let mut v = Vec::with_capacity(batches as usize);
+        v.resize_with(batches as usize, || AtomicU64::new(0));
+        Arc::new(v)
+    };
+    let trace_names = tracer.as_ref().map(|t| {
+        (
+            t.register_name("client_send"),
+            t.register_name("client_rtt"),
+        )
+    });
 
     let receiver = {
         let sent_at_ns = Arc::clone(&sent_at_ns);
         let latency_hist = Arc::clone(&latency_hist);
         let queue_wait_hist = Arc::clone(&queue_wait_hist);
         let service_hist = Arc::clone(&service_hist);
+        let tracer = tracer.clone();
+        let trace_sent_ns = Arc::clone(&trace_sent_ns);
         let builder = std::thread::Builder::new()
             .name(format!("lg-rx-{k}"))
             .stack_size(SESSION_STACK);
@@ -380,9 +436,23 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
                 let mut remote_errors = Vec::new();
                 let mut metrics_scrapes = 0u64;
                 let mut last_metrics: Option<Vec<u8>> = None;
+                let mut traced_acked = 0u64;
                 loop {
                     match rx.recv() {
                         Ok(Frame::Iq(iq)) => {
+                            // An echoed trace id closes the client-side
+                            // round-trip span for that batch.
+                            if iq.trace_id != 0 {
+                                traced_acked += 1;
+                                if let (Some(t), Some((_, rtt))) = (&tracer, trace_names) {
+                                    let sent = trace_sent_ns
+                                        .get(iq.batch_index as usize)
+                                        .map_or(0, |s| s.load(Ordering::Acquire));
+                                    if sent > 0 {
+                                        t.span(k as u32, iq.trace_id, rtt, sent, t.now_ns());
+                                    }
+                                }
+                            }
                             if let Some(sent) = sent_at_ns.get(iq.batch_index as usize) {
                                 let sent = sent.load(Ordering::Acquire);
                                 if sent > 0 {
@@ -424,6 +494,7 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
                     remote_errors,
                     metrics_scrapes,
                     last_metrics,
+                    traced_acked,
                 )
             })
             .expect("cannot spawn receiver thread")
@@ -445,7 +516,22 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
             t0.elapsed().as_nanos().max(1).min(u64::MAX as u128) as u64,
             Ordering::Release,
         );
-        if tx.send_samples(b, &stimulus[start..end]).is_err() {
+        // Head sampling: every Nth batch carries a trace id and an
+        // instant marking the client-side send on this session's track.
+        let trace_id = match (&tracer, trace_names) {
+            (Some(t), Some((send_name, _))) if b.is_multiple_of(opts.trace_sample as u64) => {
+                let id = client_trace_id(k, b);
+                let now = t.now_ns();
+                trace_sent_ns[b as usize].store(now.max(1), Ordering::Release);
+                t.instant_at(now.max(1), k as u32, id, send_name);
+                id
+            }
+            _ => 0,
+        };
+        if tx
+            .send_samples_traced(b, &stimulus[start..end], trace_id)
+            .is_err()
+        {
             send_failed = true;
             out.batches_sent = b;
             break;
@@ -483,17 +569,25 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
         let _ = tx.send(&Frame::Shutdown);
     }
 
-    let (acked, final_stats, protocol_errors, remote_errors, metrics_scrapes, last_metrics) =
-        receiver.join().unwrap_or_else(|_| {
-            (
-                BTreeMap::new(),
-                None,
-                1,
-                vec!["receiver panicked".into()],
-                0,
-                None,
-            )
-        });
+    let (
+        acked,
+        final_stats,
+        protocol_errors,
+        remote_errors,
+        metrics_scrapes,
+        last_metrics,
+        traced_acked,
+    ) = receiver.join().unwrap_or_else(|_| {
+        (
+            BTreeMap::new(),
+            None,
+            1,
+            vec!["receiver panicked".into()],
+            0,
+            None,
+            0,
+        )
+    });
     out.elapsed_s = t0.elapsed().as_secs_f64();
     out.protocol_errors = protocol_errors;
     out.remote_errors = remote_errors;
@@ -504,6 +598,7 @@ fn run_session(addr: String, k: usize, opts: &Opts, stimulus: Arc<Vec<i32>>) -> 
     out.service = service_hist.snapshot();
     out.metrics_scrapes = metrics_scrapes;
     out.last_metrics = last_metrics;
+    out.traced_acked = traced_acked;
     if let Some(s) = final_stats {
         out.dropped_reported = s.batches_dropped;
         out.queue_hwm = s.queue_hwm;
@@ -552,6 +647,7 @@ fn blank_outcome(session: usize, tune_hz: f64) -> SessionOutcome {
         service: HistSnapshot::empty(),
         metrics_scrapes: 0,
         last_metrics: None,
+        traced_acked: 0,
     }
 }
 
@@ -740,6 +836,59 @@ fn run_channelizer(addr: &str, opts: &Opts, stimulus: Arc<Vec<i32>>) -> Vec<Sess
     outcomes
 }
 
+/// Scrapes the server's flight recorder over a fresh session. Runs
+/// after every load session has shut down, so the rings hold the whole
+/// run; polls briefly for a free slot since session teardown races the
+/// scrape connect. Returns (overwritten span count, JSON fragment).
+fn scrape_server_trace(addr: &str) -> Result<(u64, Vec<u8>), String> {
+    let mut last = String::from("no free session slot for the trace scrape");
+    for _ in 0..200 {
+        let mut c = connect_with_retry(addr, "loadgen-trace-scrape")
+            .map_err(|e| format!("trace scrape connect: {e}"))?;
+        if !c.server_has_trace() {
+            return Err("server does not advertise the trace feature".into());
+        }
+        match c.configure(ConfigPreset::Drm, 5.0e6, Backpressure::Block, 2) {
+            Ok(_) => {
+                let report = c
+                    .request_trace()
+                    .map_err(|e| format!("trace scrape request: {e}"))?;
+                let _ = c.send(&Frame::Shutdown);
+                return Ok((report.dropped, report.body));
+            }
+            Err(ClientError::Remote(e)) if e.code == error_code::SERVER_FULL => {
+                last = format!("trace scrape refused: {}", e.message);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(format!("trace scrape configure: {e}")),
+        }
+    }
+    Err(last)
+}
+
+/// Splices the server's scraped fragment and the client sink's spans
+/// into one complete Chrome trace-event document and writes it.
+fn write_trace_out(path: &str, addr: &str, sink: &TraceSink) -> Result<(), String> {
+    let (server_dropped, server_body) = scrape_server_trace(addr)?;
+    let server_frag =
+        String::from_utf8(server_body).map_err(|e| format!("server trace fragment: {e}"))?;
+    let mut spans: Vec<SpanEvent> = Vec::new();
+    let client_dropped = sink.drain(&mut spans);
+    let mut doc = String::from("{\"traceEvents\":[");
+    doc.push_str(&server_frag);
+    // render_chrome comma-splices against whatever the buffer already
+    // ends with, so an empty server fragment stays valid.
+    sink.render_chrome(&spans, "client", 2000, &mut doc);
+    doc.push_str("]}\n");
+    if server_dropped > 0 || client_dropped > 0 {
+        eprintln!(
+            "loadgen: trace rings overflowed (server {server_dropped}, client \
+             {client_dropped} spans lost) — raise --trace-sample to thin the stream"
+        );
+    }
+    std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -799,6 +948,14 @@ fn main() {
         Arc::new(adc_quantize(&src.take_vec(n), fmt.data_bits))
     };
 
+    // One shared client-side flight recorder: each session records on
+    // its own track, and the final document splices these spans (cat
+    // "client") against the server's scrape (cat "server").
+    let client_trace: Option<Arc<TraceSink>> = opts
+        .trace_out
+        .as_ref()
+        .map(|_| Arc::new(TraceSink::new(8, 4096)));
+
     let t0 = Instant::now();
     let outcomes: Vec<SessionOutcome> = if opts.channelizer > 0 {
         run_channelizer(&addr, &opts, Arc::clone(&stimulus))
@@ -808,11 +965,12 @@ fn main() {
             let addr = addr.clone();
             let stim = Arc::clone(&stimulus);
             let o = opts.clone();
+            let tracer = client_trace.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("lg-tx-{k}"))
                     .stack_size(SESSION_STACK)
-                    .spawn(move || run_session(addr, k, &o, stim))
+                    .spawn(move || run_session(addr, k, &o, stim, tracer))
                     .expect("cannot spawn session thread"),
             );
             // Stagger connection storms: hundreds of simultaneous SYNs
@@ -829,6 +987,16 @@ fn main() {
             .collect()
     };
     let wall_s = t0.elapsed().as_secs_f64();
+
+    // Assemble the trace document while the server is still up — the
+    // scrape rides the same wire protocol as everything else.
+    let mut trace_failure: Option<String> = None;
+    if let (Some(path), Some(sink)) = (&opts.trace_out, &client_trace) {
+        if let Err(e) = write_trace_out(path, &addr, sink) {
+            eprintln!("loadgen: {e}");
+            trace_failure = Some(e);
+        }
+    }
 
     let server_joined = server.map(|h| h.shutdown(Duration::from_secs(10)));
 
@@ -891,6 +1059,7 @@ fn main() {
         ));
         j.push_str(&format!("\"service_ns\": {}, ", latency_json(&o.service)));
         j.push_str(&format!("\"metrics_scrapes\": {}, ", o.metrics_scrapes));
+        j.push_str(&format!("\"traced_acked\": {}, ", o.traced_acked));
         j.push_str(&format!("\"protocol_errors\": {}, ", o.protocol_errors));
         match o.bit_exact {
             Some(b) => j.push_str(&format!("\"bit_exact\": {b}, ")),
@@ -984,7 +1153,7 @@ fn main() {
         }
     }
 
-    if protocol_errors_total > 0 || failures > 0 || verify_failed {
+    if protocol_errors_total > 0 || failures > 0 || verify_failed || trace_failure.is_some() {
         std::process::exit(1);
     }
     if let Some(false) = server_joined {

@@ -4,8 +4,8 @@
 
 use crate::wire::{
     feature, read_frame_buffered, Backpressure, ChainPlan, ConfigPreset, Configure, ErrorFrame,
-    Frame, FrameBuf, FrameReadError, Hello, MetricsReport, QosProfile, StatsReport, MAX_PAYLOAD,
-    VERSION,
+    Frame, FrameBuf, FrameReadError, Hello, MetricsReport, QosProfile, StatsReport, TraceReport,
+    MAX_PAYLOAD, VERSION,
 };
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -87,9 +87,23 @@ impl ClientSender {
     /// over the samples produces both the wire bytes and the
     /// Fletcher-32 checksum, with no intermediate `Vec<i32>`.
     pub fn send_samples(&mut self, batch_index: u64, samples: &[i32]) -> io::Result<()> {
+        self.send_samples_traced(batch_index, samples, 0)
+    }
+
+    /// [`ClientSender::send_samples`] with a span-trace stamp:
+    /// non-zero `trace_id` rides the 9-byte trailing extension (only
+    /// send one to a server that advertised [`feature::TRACE`]); zero
+    /// is byte-identical to the untraced path.
+    pub fn send_samples_traced(
+        &mut self,
+        batch_index: u64,
+        samples: &[i32],
+        trace_id: u64,
+    ) -> io::Result<()> {
         let seq = self.seq;
         self.seq = self.seq.wrapping_add(1);
-        self.buf.encode_samples(seq, batch_index, samples);
+        self.buf
+            .encode_samples_traced(seq, batch_index, samples, trace_id);
         self.buf.write_to(&mut self.stream)
     }
 }
@@ -126,6 +140,9 @@ pub struct Client {
     receiver: ClientReceiver,
     /// QoS profile the next Configure carries (default Throughput).
     qos: QosProfile,
+    /// Server-side trace sampling interval the next Configure carries
+    /// (default 0 = off).
+    trace_interval: u32,
     /// The server's Hello banner.
     pub server_hello: Hello,
 }
@@ -150,7 +167,10 @@ impl Client {
             proto: VERSION as u16,
             max_payload: MAX_PAYLOAD,
             info: info.to_string(),
-            features: 0,
+            // The client can parse trace trailers on Iq acks and
+            // TraceReport frames; advertising it lets the server echo
+            // trace IDs without risking a featureless peer.
+            features: feature::TRACE,
         }))?;
         let server_hello = match receiver.recv()? {
             Frame::Hello(h) => h,
@@ -161,6 +181,7 @@ impl Client {
             sender,
             receiver,
             qos: QosProfile::Throughput,
+            trace_interval: 0,
             server_hello,
         })
     }
@@ -182,6 +203,22 @@ impl Client {
     /// In-place variant of [`Client::with_qos`].
     pub fn set_qos(&mut self, qos: QosProfile) {
         self.qos = qos;
+    }
+
+    /// Sets the server-side trace head-sampling interval carried by
+    /// subsequent Configure frames: every `n`th accepted batch that
+    /// arrives without a client trace stamp gets a server-allocated
+    /// trace ID. 0 (the default) disables server-side sampling. Only
+    /// meaningful against a server that advertised
+    /// [`feature::TRACE`]; chains before `configure*`.
+    pub fn with_trace_interval(mut self, n: u32) -> Self {
+        self.trace_interval = n;
+        self
+    }
+
+    /// In-place variant of [`Client::with_trace_interval`].
+    pub fn set_trace_interval(&mut self, n: u32) {
+        self.trace_interval = n;
     }
 
     /// Configures the session; returns the server's initial stats
@@ -254,6 +291,7 @@ impl Client {
             policy,
             queue_cap,
             qos: self.qos,
+            trace_interval: self.trace_interval,
         }))?;
         match self.receiver.recv()? {
             Frame::StatsReport(r) => Ok(r),
@@ -266,6 +304,22 @@ impl Client {
     /// its Hello.
     pub fn server_has_metrics(&self) -> bool {
         self.server_hello.features & feature::METRICS != 0
+    }
+
+    /// True when the server advertised span tracing in its Hello.
+    pub fn server_has_trace(&self) -> bool {
+        self.server_hello.features & feature::TRACE != 0
+    }
+
+    /// Drains the server's span-trace rings into a Chrome trace-event
+    /// JSON fragment (see [`TraceReport`]).
+    pub fn request_trace(&mut self) -> Result<TraceReport, ClientError> {
+        self.sender.send(&Frame::TraceRequest)?;
+        match self.receiver.recv()? {
+            Frame::TraceReport(t) => Ok(t),
+            Frame::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(ClientError::Unexpected("TraceReport", format!("{other:?}"))),
+        }
     }
 
     /// Requests a telemetry snapshot in the given [`crate::wire::metrics_format`].
@@ -284,6 +338,18 @@ impl Client {
     /// Sends one Samples batch.
     pub fn send_samples(&mut self, batch_index: u64, samples: &[i32]) -> io::Result<()> {
         self.sender.send_samples(batch_index, samples)
+    }
+
+    /// Sends one Samples batch stamped with a span-trace id (see
+    /// [`ClientSender::send_samples_traced`]).
+    pub fn send_samples_traced(
+        &mut self,
+        batch_index: u64,
+        samples: &[i32],
+        trace_id: u64,
+    ) -> io::Result<()> {
+        self.sender
+            .send_samples_traced(batch_index, samples, trace_id)
     }
 
     /// Sends an arbitrary frame.

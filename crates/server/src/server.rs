@@ -34,11 +34,11 @@ use crate::session::{
 use crate::sys::{fd_of, Event, Interest, Poller};
 use crate::wire::{
     decode_header, decode_payload, decode_samples_into, error_code, metrics_format, Backpressure,
-    ChainPlan, ErrorFrame, Frame, FrameBuf, IqTiming, MetricsReport, QosProfile, HEADER_LEN,
-    VERSION,
+    ChainPlan, ErrorFrame, Frame, FrameBuf, IqTiming, MetricsReport, QosProfile, TraceReport,
+    HEADER_LEN, VERSION,
 };
 use ddc_core::{ChannelizerFarm, DdcConfig, DdcFarm};
-use ddc_obs::{kind, Counter, EventRing, MetricsSnapshot};
+use ddc_obs::{kind, Counter, EventRing, MetricsSnapshot, SpanEvent, TraceSink};
 use std::collections::{HashMap, VecDeque};
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -91,8 +91,32 @@ impl Default for ServerConfig {
 
 /// Shared server state: the farm, the slot free-list, and the
 /// lifecycle flags.
+/// Span tracks below this base belong to farm workers (one per worker
+/// plus one for inline jobs); session-level spans (ingest, queue-wait,
+/// service, egress) land on `SESSION_TRACK_BASE + id % 0x10000`, so
+/// each session renders as its own Perfetto process row. Collisions
+/// between long-lived sessions merely share a display row — span
+/// identity always comes from the trace/span IDs, never the track.
+const SESSION_TRACK_BASE: u32 = 64;
+
+/// Interned span-name indices for the session-level trace points.
+#[derive(Clone, Copy)]
+struct TraceNames {
+    ingest: u16,
+    queue_wait: u16,
+    service: u16,
+    egress: u16,
+}
+
 struct ServerState {
     farm: DdcFarm,
+    /// Server-wide span sink: farm workers and sessions all record
+    /// into its rings; a TraceRequest drains them.
+    trace: Arc<TraceSink>,
+    trace_names: TraceNames,
+    /// Single-consumer drain guard for TraceRequest (ring cursors are
+    /// not safe under concurrent drains).
+    trace_drain: Mutex<Vec<SpanEvent>>,
     cfg: ServerConfig,
     free_slots: Mutex<Vec<usize>>,
     stop: AtomicBool,
@@ -317,8 +341,23 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> std::io::Result<Se
     // relaxed atomics (gated under 1% by the benchmark suite), and a
     // live MetricsRequest endpoint is part of the service contract.
     let farm = farm.with_telemetry();
+    // Span tracing is compiled in but costs one u64 compare per block
+    // until a batch actually carries a trace ID (head-sampled). Farm
+    // workers take tracks 0..workers+1; session spans start at
+    // SESSION_TRACK_BASE.
+    let trace = Arc::new(TraceSink::new(16, 4096));
+    let trace_names = TraceNames {
+        ingest: trace.register_name("ingest"),
+        queue_wait: trace.register_name("queue_wait"),
+        service: trace.register_name("service"),
+        egress: trace.register_name("egress"),
+    };
+    let farm = farm.with_tracing(Arc::clone(&trace), 0);
     let state = Arc::new(ServerState {
         farm,
+        trace,
+        trace_names,
+        trace_drain: Mutex::new(Vec::new()),
         free_slots: Mutex::new((0..cfg.max_sessions).rev().collect()),
         cfg,
         stop: AtomicBool::new(false),
@@ -947,7 +986,7 @@ fn parse_frames(
                 conn.obs.decode_ns.record_duration(t0.elapsed());
                 res
             };
-            let batch_index = match decoded {
+            let (batch_index, wire_trace) = match decoded {
                 Ok(ix) => ix,
                 Err(e) => {
                     conn.recycle_scratch(scratch);
@@ -967,10 +1006,36 @@ fn parse_frames(
                 return ParseStep::End(EndKind::Errored);
             }
             r.expected_seq = r.expected_seq.wrapping_add(1);
+            // Trace context: a client-stamped ID wins; otherwise the
+            // Configure-negotiated interval head-samples every Nth
+            // accepted batch with a server-allocated ID (top bit set,
+            // so the two namespaces never collide).
+            let trace_id = if wire_trace != 0 {
+                wire_trace
+            } else {
+                let n = conn.trace_interval.load(Ordering::Relaxed);
+                if n != 0
+                    && conn
+                        .trace_count
+                        .fetch_add(1, Ordering::Relaxed)
+                        .is_multiple_of(u64::from(n))
+                {
+                    state.trace.alloc_trace_id()
+                } else {
+                    0
+                }
+            };
+            if trace_id != 0 {
+                let track = SESSION_TRACK_BASE + (conn.id % 0x10000) as u32;
+                state
+                    .trace
+                    .instant(track, trace_id, state.trace_names.ingest);
+            }
             let batch = Batch {
                 index: batch_index,
                 samples: Arc::new(scratch),
                 arrived: Instant::now(),
+                trace_id,
             };
             let outcome = match r.policy {
                 // Admission above guarantees room, and this reader is
@@ -1083,6 +1148,11 @@ fn parse_frames(
                         }));
                         return ParseStep::End(EndKind::Errored);
                     }
+                    // Server-side trace head-sampling applies to any
+                    // plan that accepts Samples; harmless on
+                    // subscriber sessions (they have no input).
+                    conn.trace_interval
+                        .store(c.trace_interval, Ordering::Relaxed);
                     match &c.plan {
                         // Chain sessions: claim a farm slot, bind the
                         // spec to it.
@@ -1300,6 +1370,20 @@ fn parse_frames(
                             message: format!("cannot serve metrics format {format}"),
                         }));
                     }
+                    Frame::TraceRequest => {
+                        // Drain every ring under the single-consumer
+                        // guard and render the merged spans as a Chrome
+                        // trace-event fragment (pids 1000+track).
+                        let mut spans = state.trace_drain.lock().unwrap();
+                        spans.clear();
+                        let dropped = state.trace.drain(&mut spans);
+                        let mut body = String::new();
+                        state.trace.render_chrome(&spans, "server", 1000, &mut body);
+                        conn.enqueue(&Frame::TraceReport(TraceReport {
+                            dropped,
+                            body: body.into_bytes(),
+                        }));
+                    }
                     Frame::Shutdown => {
                         return ParseStep::End(EndKind::Graceful);
                     }
@@ -1381,7 +1465,7 @@ fn process_conn(state: &Arc<ServerState>, dispatch: &Arc<Dispatch>, conn: &Arc<C
                                         // batch indices.
                                         sub.obs.drops_oldest.inc();
                                     } else {
-                                        sub.enqueue_iq(batch.index, 0, &rows[row], None);
+                                        sub.enqueue_iq(batch.index, 0, &rows[row], None, 0);
                                         sub.flush_and_post();
                                     }
                                     true
@@ -1393,7 +1477,7 @@ fn process_conn(state: &Arc<ServerState>, dispatch: &Arc<Dispatch>, conn: &Arc<C
                     // The ingest's own ack: an empty Iq frame keeps
                     // the one-ack-per-batch contract (and drop
                     // accounting) on the ingest connection.
-                    conn.enqueue_iq(batch.index, q.dropped(), &[], None);
+                    conn.enqueue_iq(batch.index, q.dropped(), &[], None, batch.trace_id);
                     conn.flush_and_post();
                     conn.recycle_batch(batch);
                     if conn.read_paused.load(Ordering::SeqCst) && q.len() < q.capacity() {
@@ -1407,22 +1491,43 @@ fn process_conn(state: &Arc<ServerState>, dispatch: &Arc<Dispatch>, conn: &Arc<C
                 // and report the queue-wait/service split on the ack.
                 let service_start = Instant::now();
                 let queue_wait = service_start.duration_since(batch.arrived);
+                // Session-level spans for sampled batches: queue-wait
+                // (batch accepted → farm start) then service, on the
+                // session's own track; the per-stage kernel spans the
+                // traced submission emits land on the worker tracks.
+                let trace_track = SESSION_TRACK_BASE + (conn.id % 0x10000) as u32;
+                let service_t0 = if batch.trace_id != 0 {
+                    let now = state.trace.now_ns();
+                    state.trace.span(
+                        trace_track,
+                        batch.trace_id,
+                        state.trace_names.queue_wait,
+                        now.saturating_sub(saturating_ns(queue_wait)),
+                        now,
+                    );
+                    now
+                } else {
+                    0
+                };
                 let result = match conn.latency.get() {
                     Some(l) => {
                         let mut pairs = Vec::new();
                         state
                             .farm
-                            .submit_channel_chunked(
+                            .submit_channel_chunked_traced(
                                 channel,
                                 &batch.samples,
                                 l.chunk_samples,
                                 &mut pairs,
+                                batch.trace_id,
                             )
                             .map(|()| pairs)
                     }
-                    None => state
-                        .farm
-                        .submit_channel_shared(channel, Arc::clone(&batch.samples)),
+                    None => state.farm.submit_channel_shared_traced(
+                        channel,
+                        Arc::clone(&batch.samples),
+                        batch.trace_id,
+                    ),
                 };
                 match result {
                     Some(pairs) => {
@@ -1430,7 +1535,25 @@ fn process_conn(state: &Arc<ServerState>, dispatch: &Arc<Dispatch>, conn: &Arc<C
                             queue_wait_ns: saturating_ns(queue_wait),
                             service_ns: saturating_ns(service_start.elapsed()),
                         });
-                        conn.enqueue_iq(batch.index, q.dropped(), &pairs, timing);
+                        if batch.trace_id != 0 {
+                            state.trace.span(
+                                trace_track,
+                                batch.trace_id,
+                                state.trace_names.service,
+                                service_t0,
+                                state.trace.now_ns(),
+                            );
+                        }
+                        conn.enqueue_iq(batch.index, q.dropped(), &pairs, timing, batch.trace_id);
+                        if batch.trace_id != 0 {
+                            // The ack is queued and pushed toward the
+                            // socket: the server-side end of the loop.
+                            state.trace.instant(
+                                trace_track,
+                                batch.trace_id,
+                                state.trace_names.egress,
+                            );
+                        }
                         conn.flush_and_post();
                         if let Some(l) = conn.latency.get() {
                             // End-to-end: frame accepted → ack queued

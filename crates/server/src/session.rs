@@ -30,7 +30,7 @@ use ddc_obs::{Counter, LogHistogram, MetricsSnapshot};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, IoSlice, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
 
@@ -244,6 +244,11 @@ pub(crate) struct Batch {
     /// When the decoded batch was accepted into the input queue — the
     /// zero point for queue-wait and end-to-end latency accounting.
     pub arrived: Instant,
+    /// Span-trace ID riding this batch (client-stamped, or
+    /// server-allocated under the Configure `trace_interval` tag);
+    /// 0 = unsampled. Threaded through the farm job and echoed on the
+    /// Iq ack.
+    pub trace_id: u64,
 }
 
 /// Latency-QoS parameters negotiated at Configure time, fixed for the
@@ -348,6 +353,11 @@ pub(crate) struct Conn {
     /// negotiated `QosProfile::Latency`; never set for throughput
     /// sessions.
     pub latency: OnceLock<LatencyCtl>,
+    /// Server-side trace head-sampling interval (0 = off), set at
+    /// Configure time from the `trace_interval` tag.
+    pub trace_interval: AtomicU32,
+    /// Accepted-batch counter driving server-side head sampling.
+    pub trace_count: AtomicU64,
     /// Batches accepted into the queue (≥ batches processed).
     pub batches_accepted: AtomicU64,
     /// Client asked for a graceful Shutdown: the drain epilogue sends
@@ -402,6 +412,8 @@ impl Conn {
             role: OnceLock::new(),
             slot: Mutex::new(None),
             latency: OnceLock::new(),
+            trace_interval: AtomicU32::new(0),
+            trace_count: AtomicU64::new(0),
             batches_accepted: AtomicU64::new(0),
             graceful: AtomicBool::new(false),
             read_paused: AtomicBool::new(false),
@@ -461,6 +473,7 @@ impl Conn {
         dropped_total: u64,
         pairs: &[ddc_core::mixer::Iq],
         timing: Option<IqTiming>,
+        trace_id: u64,
     ) {
         let mut o = self.out.lock().unwrap();
         if o.dead {
@@ -470,7 +483,7 @@ impl Conn {
         let seq = o.seq;
         o.seq = o.seq.wrapping_add(1);
         let t0 = Instant::now();
-        fb.encode_iq(seq, batch_index, dropped_total, pairs, timing);
+        fb.encode_iq(seq, batch_index, dropped_total, pairs, timing, trace_id);
         self.obs.encode_ns.record_duration(t0.elapsed());
         o.pending_bytes += fb.total_len();
         o.frames.push_back(fb);
@@ -636,17 +649,20 @@ pub(crate) fn frame_name(f: &Frame) -> &'static str {
         Frame::Shutdown => "Shutdown",
         Frame::MetricsRequest { .. } => "MetricsRequest",
         Frame::MetricsReport(_) => "MetricsReport",
+        Frame::TraceRequest => "TraceRequest",
+        Frame::TraceReport(_) => "TraceReport",
     }
 }
 
 /// The server's half of the version handshake. Advertises the metrics
-/// endpoint so clients know a MetricsRequest will be answered.
+/// and span-trace endpoints so clients know a MetricsRequest or
+/// TraceRequest will be answered.
 pub fn server_hello(banner: &str) -> Hello {
     Hello {
         proto: VERSION as u16,
         max_payload: MAX_PAYLOAD,
         info: banner.to_string(),
-        features: feature::METRICS,
+        features: feature::METRICS | feature::TRACE,
     }
 }
 

@@ -45,6 +45,10 @@ pub mod feature {
     /// The sender answers [`super::Frame::MetricsRequest`] with live
     /// telemetry snapshots.
     pub const METRICS: u32 = 1;
+    /// The sender understands per-batch span tracing: trace-ID
+    /// trailers on Samples/Iq frames, the `trace_interval` Configure
+    /// tag, and [`super::Frame::TraceRequest`] scrapes.
+    pub const TRACE: u32 = 2;
 }
 
 /// Serialisation formats a [`Frame::MetricsRequest`] can ask for.
@@ -524,6 +528,13 @@ pub struct Configure {
     /// bytes), so a throughput Configure is byte-identical to the
     /// pre-QoS wire format.
     pub qos: QosProfile,
+    /// Server-side trace head-sampling interval: every `N`th accepted
+    /// batch that arrives *without* a client-stamped trace ID gets a
+    /// server-allocated one. 0 disables server-side sampling and is
+    /// omitted on the wire (trailing tag 2 + u32 when non-zero), so a
+    /// trace-free Configure stays byte-identical to the legacy layout.
+    /// Requires [`feature::TRACE`].
+    pub trace_interval: u32,
 }
 
 /// A batch of ADC samples (client → server). `batch_index` starts at 0
@@ -536,7 +547,20 @@ pub struct Samples {
     pub batch_index: u64,
     /// ADC samples.
     pub samples: Vec<i32>,
+    /// Span-trace ID stamped by the sender on head-sampled batches
+    /// (0 = unsampled). Non-zero IDs ride a 9-byte trailing extension
+    /// ([`SAMPLES_TRACE_TAG`] + u64) after the sample words; zero is
+    /// omitted, so untraced frames are byte-identical to the legacy
+    /// encoding. Requires [`feature::TRACE`] on the receiving peer.
+    pub trace_id: u64,
 }
+
+/// Tag byte opening the optional Samples trace trailer (tag + u64 =
+/// 9 bytes — deliberately not a multiple of the 4-byte sample stride,
+/// so a frame whose declared count undercounts its samples can never
+/// alias into a traced frame; it fails `CountMismatch` as it always
+/// did).
+pub const SAMPLES_TRACE_TAG: u8 = 1;
 
 /// The I/Q output for one accepted Samples batch (server → client).
 /// Exactly one Iq frame answers every *accepted* batch — possibly with
@@ -554,6 +578,12 @@ pub struct IqPayload {
     /// sessions; trailing bytes, absent on throughput sessions so the
     /// legacy encoding is unchanged).
     pub timing: Option<IqTiming>,
+    /// Span-trace ID echo: the trace ID the corresponding Samples
+    /// batch carried (or that the server assigned under the
+    /// `trace_interval` Configure tag), so the client can close the
+    /// span loop on the ack. 0 = untraced; non-zero rides a 9-byte
+    /// trailer ([`IQ_TRACE_TAG`] + u64) after any timing trailer.
+    pub trace_id: u64,
 }
 
 /// Tag byte opening the optional Iq timing trailer. The trailer is 17
@@ -562,6 +592,12 @@ pub struct IqPayload {
 /// declared count undercounts its pairs can never alias into a timed
 /// frame; it fails `CountMismatch` as it always did.
 pub const IQ_TIMING_TAG: u8 = 1;
+
+/// Tag byte opening the optional Iq trace-ID echo trailer (tag + u64 =
+/// 9 bytes). Trailer shapes after the declared pairs are mutually
+/// unambiguous: +0 (legacy), +17 (timing), +9 (trace), +26 (timing
+/// then trace) — none a multiple of the 16-byte pair stride.
+pub const IQ_TRACE_TAG: u8 = 2;
 
 /// Server-side per-batch timestamps riding an Iq ack, so the client
 /// can split its observed send→ack latency into queue-wait and
@@ -613,6 +649,20 @@ pub struct MetricsReport {
     pub body: Vec<u8>,
 }
 
+/// A drained span-trace export (server → client in answer to a
+/// [`Frame::TraceRequest`]). The body is a Chrome trace-event JSON
+/// *fragment*: comma-separated event objects without the enclosing
+/// `[...]`, so the client can splice server and client events into one
+/// `{"traceEvents":[...]}` document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Spans newly detected as overwritten (ring overflow) since the
+    /// previous scrape — non-zero means the export has gaps.
+    pub dropped: u64,
+    /// Chrome trace-event JSON fragment (UTF-8).
+    pub body: Vec<u8>,
+}
+
 /// Fatal or diagnostic condition (server → client).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ErrorFrame {
@@ -649,6 +699,11 @@ pub enum Frame {
     },
     /// Telemetry snapshot (server → client).
     MetricsReport(MetricsReport),
+    /// Span-trace export request (client → server, empty). Drains the
+    /// server's trace rings. Requires [`feature::TRACE`].
+    TraceRequest,
+    /// Span-trace export (server → client).
+    TraceReport(TraceReport),
 }
 
 impl Frame {
@@ -662,6 +717,7 @@ impl Frame {
             Frame::Error(_) => 6,
             Frame::Shutdown => 7,
             Frame::MetricsRequest { .. } | Frame::MetricsReport(_) => 8,
+            Frame::TraceRequest | Frame::TraceReport(_) => 9,
         }
     }
 }
@@ -727,11 +783,16 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
                     put_u32(out, *channel);
                 }
             }
-            // Trailing QoS extension (any plan kind): tag + budget.
-            // Omitted for Throughput so the legacy layout is unchanged.
+            // Trailing tagged extensions (any plan kind), in tag
+            // order. Omitted when at their defaults so a legacy
+            // Configure is byte-identical to the pre-extension layout.
             if let QosProfile::Latency { budget_us } = c.qos {
                 out.push(1);
                 put_u32(out, budget_us);
+            }
+            if c.trace_interval != 0 {
+                out.push(2);
+                put_u32(out, c.trace_interval);
             }
         }
         Frame::Samples(s) => {
@@ -739,6 +800,11 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             put_u32(out, s.samples.len() as u32);
             for &x in &s.samples {
                 out.extend_from_slice(&x.to_le_bytes());
+            }
+            // Trailing trace-ID stamp on head-sampled batches only.
+            if s.trace_id != 0 {
+                out.push(SAMPLES_TRACE_TAG);
+                put_u64(out, s.trace_id);
             }
         }
         Frame::Iq(iq) => {
@@ -756,6 +822,11 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
                 out.push(IQ_TIMING_TAG);
                 put_u64(out, t.queue_wait_ns);
                 put_u64(out, t.service_ns);
+            }
+            // Trace-ID echo, after any timing trailer.
+            if iq.trace_id != 0 {
+                out.push(IQ_TRACE_TAG);
+                put_u64(out, iq.trace_id);
             }
         }
         Frame::StatsRequest => out.push(0),
@@ -789,6 +860,13 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             out.push(m.format);
             put_u32(out, m.body.len() as u32);
             out.extend_from_slice(&m.body);
+        }
+        Frame::TraceRequest => out.push(0),
+        Frame::TraceReport(t) => {
+            out.push(1);
+            put_u64(out, t.dropped);
+            put_u32(out, t.body.len() as u32);
+            out.extend_from_slice(&t.body);
         }
     }
 }
@@ -885,8 +963,21 @@ impl FrameBuf {
     /// serial Fletcher chain hides entirely under the copy latency.
     /// Byte-identical to `encode(&Frame::Samples(..))`.
     pub fn encode_samples(&mut self, seq: u32, batch_index: u64, samples: &[i32]) {
+        self.encode_samples_traced(seq, batch_index, samples, 0);
+    }
+
+    /// [`FrameBuf::encode_samples`] with a trace-ID stamp: non-zero
+    /// `trace_id` appends the 9-byte [`SAMPLES_TRACE_TAG`] trailer;
+    /// zero is byte-identical to the untraced encoder.
+    pub fn encode_samples_traced(
+        &mut self,
+        seq: u32,
+        batch_index: u64,
+        samples: &[i32],
+        trace_id: u64,
+    ) {
         self.payload.clear();
-        self.payload.reserve(12 + samples.len() * 4);
+        self.payload.reserve(21 + samples.len() * 4);
         put_u64(&mut self.payload, batch_index);
         put_u32(&mut self.payload, samples.len() as u32);
         let mut acc = Fletcher32::new();
@@ -895,12 +986,20 @@ impl FrameBuf {
             self.payload.extend_from_slice(&x.to_le_bytes());
             acc.push_u32_le(x as u32);
         }
+        if trace_id != 0 {
+            // The tag byte breaks u32-word alignment, so the trailer
+            // is absorbed bytewise.
+            let trailer_start = self.payload.len();
+            self.payload.push(SAMPLES_TRACE_TAG);
+            self.payload.extend_from_slice(&trace_id.to_le_bytes());
+            acc.update(&self.payload[trailer_start..]);
+        }
         self.seal(3, seq, acc.finish());
     }
 
     /// Fused Iq encoder: one pass over the output pairs. Byte-identical
     /// to `encode(&Frame::Iq(..))`, including the optional trailing
-    /// timing extension.
+    /// timing and trace-echo extensions.
     pub fn encode_iq(
         &mut self,
         seq: u32,
@@ -908,6 +1007,7 @@ impl FrameBuf {
         dropped_total: u64,
         pairs: &[ddc_core::mixer::Iq],
         timing: Option<IqTiming>,
+        trace_id: u64,
     ) {
         self.payload.clear();
         self.payload.reserve(36 + pairs.len() * 16);
@@ -929,8 +1029,15 @@ impl FrameBuf {
             // is absorbed bytewise (update pairs odd boundaries up).
             let trailer_start = self.payload.len();
             self.payload.push(IQ_TIMING_TAG);
-            self.payload.extend_from_slice(&t.queue_wait_ns.to_le_bytes());
+            self.payload
+                .extend_from_slice(&t.queue_wait_ns.to_le_bytes());
             self.payload.extend_from_slice(&t.service_ns.to_le_bytes());
+            acc.update(&self.payload[trailer_start..]);
+        }
+        if trace_id != 0 {
+            let trailer_start = self.payload.len();
+            self.payload.push(IQ_TRACE_TAG);
+            self.payload.extend_from_slice(&trace_id.to_le_bytes());
             acc.update(&self.payload[trailer_start..]);
         }
         self.seal(4, seq, acc.finish());
@@ -995,7 +1102,7 @@ pub fn decode_header(bytes: &[u8; HEADER_LEN]) -> Result<FrameHeader, WireError>
         return Err(WireError::BadVersion(bytes[2]));
     }
     let frame_type = bytes[3];
-    if !(1..=8).contains(&frame_type) {
+    if !(1..=9).contains(&frame_type) {
         return Err(WireError::BadType(frame_type));
     }
     let payload_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
@@ -1122,10 +1229,13 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
                     )))
                 }
             };
-            // Trailing QoS extension: absent (legacy peer) → Throughput.
-            let qos = if c.remaining() > 0 {
-                match c.u8("configure qos tag")? {
-                    0 => QosProfile::Throughput,
+            // Trailing tagged extensions: absent (legacy peer) →
+            // defaults. Each tag may appear at most once.
+            let mut qos = QosProfile::Throughput;
+            let mut trace_interval = 0u32;
+            while c.remaining() > 0 {
+                match c.u8("configure extension tag")? {
+                    0 => qos = QosProfile::Throughput,
                     1 => {
                         let budget_us = c.u32("configure qos budget")?;
                         if budget_us == 0 {
@@ -1133,40 +1243,76 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
                                 "latency qos budget must be non-zero".into(),
                             ));
                         }
-                        QosProfile::Latency { budget_us }
+                        qos = QosProfile::Latency { budget_us };
+                    }
+                    2 => {
+                        trace_interval = c.u32("configure trace interval")?;
+                        if trace_interval == 0 {
+                            return Err(WireError::BadSpec(
+                                "trace interval must be non-zero when tagged".into(),
+                            ));
+                        }
                     }
                     other => {
                         return Err(WireError::BadSpec(format!("unknown qos tag {other}")));
                     }
                 }
-            } else {
-                QosProfile::Throughput
-            };
+            }
             Frame::Configure(Configure {
                 plan,
                 policy,
                 queue_cap,
                 qos,
+                trace_interval,
             })
         }
         3 => {
             let batch_index = c.u64("samples batch_index")?;
             let count = c.u32("samples count")?;
-            if count as usize * 4 != c.remaining() {
-                return Err(WireError::CountMismatch {
-                    declared: count,
-                    available: c.remaining(),
-                });
-            }
+            // Exactly the declared samples, or the declared samples
+            // plus the 9-byte trace trailer. 9 is not a multiple of
+            // the 4-byte sample stride, so the shapes cannot alias.
+            let sample_bytes = count as usize * 4;
+            let traced = match c.remaining() {
+                r if r == sample_bytes => false,
+                r if r == sample_bytes + 9 => true,
+                _ => {
+                    return Err(WireError::CountMismatch {
+                        declared: count,
+                        available: c.remaining(),
+                    })
+                }
+            };
             let mut samples = Vec::with_capacity(count as usize);
             for _ in 0..count {
                 samples.push(i32::from_le_bytes(
                     c.take(4, "sample word")?.try_into().unwrap(),
                 ));
             }
+            let trace_id = if traced {
+                match c.u8("samples trace tag")? {
+                    SAMPLES_TRACE_TAG => {
+                        let id = c.u64("samples trace_id")?;
+                        if id == 0 {
+                            return Err(WireError::BadSpec(
+                                "samples trace_id must be non-zero when tagged".into(),
+                            ));
+                        }
+                        id
+                    }
+                    other => {
+                        return Err(WireError::BadSpec(format!(
+                            "unknown samples trailer tag {other}"
+                        )))
+                    }
+                }
+            } else {
+                0
+            };
             Frame::Samples(Samples {
                 batch_index,
                 samples,
+                trace_id,
             })
         }
         4 => {
@@ -1174,15 +1320,18 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
             let dropped_total = c.u64("iq dropped_total")?;
             let count = c.u32("iq count")?;
             // The declared count pins the pair bytes exactly; the only
-            // other shape accepted is the 17-byte tagged timing trailer
-            // from latency-QoS sessions. 17 is not a multiple of the
-            // pair stride and the tag is verified below, so a frame
-            // whose count undercounts its pairs (16 stray bytes) fails
-            // CountMismatch instead of silently decoding as timed.
+            // other shapes accepted are the tagged trailers: +17
+            // (timing), +9 (trace echo), +26 (timing then trace).
+            // None is a multiple of the pair stride and every tag is
+            // verified below, so a frame whose count undercounts its
+            // pairs (16 stray bytes) fails CountMismatch instead of
+            // silently decoding as trailed.
             let pair_bytes = count as usize * 16;
-            let timed = match c.remaining() {
-                r if r == pair_bytes => false,
-                r if r == pair_bytes + 17 => true,
+            let (timed, traced) = match c.remaining() {
+                r if r == pair_bytes => (false, false),
+                r if r == pair_bytes + 17 => (true, false),
+                r if r == pair_bytes + 9 => (false, true),
+                r if r == pair_bytes + 26 => (true, true),
                 _ => {
                     return Err(WireError::CountMismatch {
                         declared: count,
@@ -1209,11 +1358,30 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
             } else {
                 None
             };
+            let trace_id = if traced {
+                match c.u8("iq trace tag")? {
+                    IQ_TRACE_TAG => {
+                        let id = c.u64("iq trace_id")?;
+                        if id == 0 {
+                            return Err(WireError::BadSpec(
+                                "iq trace_id must be non-zero when tagged".into(),
+                            ));
+                        }
+                        id
+                    }
+                    other => {
+                        return Err(WireError::BadSpec(format!("unknown iq trace tag {other}")))
+                    }
+                }
+            } else {
+                0
+            };
             Frame::Iq(IqPayload {
                 batch_index,
                 dropped_total,
                 pairs,
                 timing,
+                trace_id,
             })
         }
         5 => match c.u8("stats flag")? {
@@ -1264,6 +1432,21 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
                 Frame::MetricsReport(MetricsReport { format, body })
             }
         },
+        9 => match c.u8("trace flag")? {
+            0 => Frame::TraceRequest,
+            _ => {
+                let dropped = c.u64("trace dropped")?;
+                let n = c.u32("trace body length")? as usize;
+                if n != c.remaining() {
+                    return Err(WireError::CountMismatch {
+                        declared: n as u32,
+                        available: c.remaining(),
+                    });
+                }
+                let body = c.take(n, "trace body")?.to_vec();
+                Frame::TraceReport(TraceReport { dropped, body })
+            }
+        },
         other => return Err(WireError::BadType(other)),
     };
     c.finish()?;
@@ -1279,21 +1462,29 @@ pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Frame, Wir
 /// buffer, so the bytes go from the connection read buffer to the DSP
 /// input with no intermediate `Vec`.
 ///
-/// Returns the batch index. On any error `out` is restored to its
-/// original length. Error equivalence with the owned path is pinned by
+/// Returns `(batch_index, trace_id)` (`trace_id` is 0 for untraced
+/// frames). On any error `out` is restored to its original length.
+/// Error equivalence with the owned path is pinned by
 /// `tests/zero_copy_equiv.rs`.
 pub fn decode_samples_into(
     header: &FrameHeader,
     payload: &[u8],
     out: &mut Vec<i32>,
-) -> Result<u64, WireError> {
+) -> Result<(u64, u64), WireError> {
     debug_assert_eq!(payload.len(), header.payload_len as usize);
     debug_assert_eq!(header.frame_type, 3);
-    let well_formed = payload.len() >= 12 && (payload.len() - 12).is_multiple_of(4) && {
+    // Either exactly the declared samples, or the declared samples
+    // plus the 9-byte trace trailer (tag + u64 — 9 is not a multiple
+    // of the sample stride, so the shapes cannot alias).
+    let declared = |len: usize| {
         let count = u32::from_le_bytes(payload[8..12].try_into().unwrap());
-        count as usize * 4 == payload.len() - 12
+        count as usize * 4 == len
     };
-    if !well_formed {
+    let (sample_end, traced) = if payload.len() >= 12 && declared(payload.len() - 12) {
+        (payload.len(), false)
+    } else if payload.len() >= 21 && declared(payload.len() - 21) {
+        (payload.len() - 9, true)
+    } else {
         // Cold path: mirror decode_payload's error order exactly
         // (checksum verdict first, structural objection second).
         if checksum(payload) != header.payload_sum {
@@ -1309,23 +1500,44 @@ pub fn decode_samples_into(
             declared: u32::from_le_bytes(payload[8..12].try_into().unwrap()),
             available: payload.len() - 12,
         });
-    }
+    };
     let batch_index = u64::from_le_bytes(payload[0..8].try_into().unwrap());
-    let count = (payload.len() - 12) / 4;
+    let count = (sample_end - 12) / 4;
     let base = out.len();
     out.reserve(count);
     let mut acc = Fletcher32::new();
     acc.update(&payload[..12]);
-    for chunk in payload[12..].chunks_exact(4) {
+    for chunk in payload[12..sample_end].chunks_exact(4) {
         let v = u32::from_le_bytes(chunk.try_into().unwrap());
         acc.push_u32_le(v);
         out.push(v as i32);
     }
+    let trace_id = if traced {
+        acc.update(&payload[sample_end..]);
+        let id = u64::from_le_bytes(payload[sample_end + 1..].try_into().unwrap());
+        // Tag and non-zero ID are structural; checked after the
+        // checksum verdict below to keep decode_payload's error order.
+        id
+    } else {
+        0
+    };
     if acc.finish() != header.payload_sum {
         out.truncate(base);
         return Err(WireError::PayloadChecksum);
     }
-    Ok(batch_index)
+    if traced && (payload[sample_end] != SAMPLES_TRACE_TAG || trace_id == 0) {
+        out.truncate(base);
+        if payload[sample_end] != SAMPLES_TRACE_TAG {
+            return Err(WireError::BadSpec(format!(
+                "unknown samples trailer tag {}",
+                payload[sample_end]
+            )));
+        }
+        return Err(WireError::BadSpec(
+            "samples trace_id must be non-zero when tagged".into(),
+        ));
+    }
+    Ok((batch_index, trace_id))
 }
 
 // ------------------------------------------------------------- blocking I/O
@@ -1456,6 +1668,7 @@ mod tests {
             policy: Backpressure::DropOldest,
             queue_cap: 7,
             qos: QosProfile::Throughput,
+            trace_interval: 0,
         }));
         roundtrip(Frame::Configure(Configure {
             plan: ChainPlan::Preset {
@@ -1465,24 +1678,28 @@ mod tests {
             policy: Backpressure::Block,
             queue_cap: 2,
             qos: QosProfile::Latency { budget_us: 500 },
+            trace_interval: 0,
         }));
         roundtrip(Frame::Configure(Configure {
             plan: ChainPlan::Spec(ddc_core::ChainSpec::drm_reference().tuned(3.25e6)),
             policy: Backpressure::Block,
             queue_cap: 4,
             qos: QosProfile::Throughput,
+            trace_interval: 0,
         }));
         roundtrip(Frame::Configure(Configure {
             plan: ChainPlan::Spec(ddc_core::ChainSpec::drm_low_latency().tuned(3.25e6)),
             policy: Backpressure::Block,
             queue_cap: 4,
             qos: QosProfile::Latency { budget_us: 150 },
+            trace_interval: 0,
         }));
         roundtrip(Frame::Configure(Configure {
             plan: ChainPlan::Channelizer(ddc_core::ChannelizerSpec::uniform(64, 64_512_000.0)),
             policy: Backpressure::Block,
             queue_cap: 8,
             qos: QosProfile::Throughput,
+            trace_interval: 0,
         }));
         roundtrip(Frame::Configure(Configure {
             plan: ChainPlan::Subscribe {
@@ -1494,20 +1711,24 @@ mod tests {
             qos: QosProfile::Latency {
                 budget_us: 1_000_000,
             },
+            trace_interval: 0,
         }));
         roundtrip(Frame::Samples(Samples {
             batch_index: 99,
             samples: vec![i32::MIN, -1, 0, 1, i32::MAX],
+            trace_id: 0,
         }));
         roundtrip(Frame::Samples(Samples {
             batch_index: 0,
             samples: vec![],
+            trace_id: 0,
         }));
         roundtrip(Frame::Iq(IqPayload {
             batch_index: 3,
             dropped_total: 2,
             pairs: vec![(i64::MIN, i64::MAX), (-5, 5), (0, 0)],
             timing: None,
+            trace_id: 0,
         }));
         roundtrip(Frame::Iq(IqPayload {
             batch_index: 4,
@@ -1517,6 +1738,7 @@ mod tests {
                 queue_wait_ns: 12_345,
                 service_ns: u64::MAX,
             }),
+            trace_id: 0,
         }));
         roundtrip(Frame::Iq(IqPayload {
             batch_index: 5,
@@ -1526,6 +1748,7 @@ mod tests {
                 queue_wait_ns: 0,
                 service_ns: 7,
             }),
+            trace_id: 0,
         }));
         roundtrip(Frame::StatsRequest);
         roundtrip(Frame::StatsReport(StatsReport {
@@ -1556,6 +1779,52 @@ mod tests {
         roundtrip(Frame::MetricsReport(MetricsReport {
             format: metrics_format::BINARY,
             body: vec![],
+        }));
+        roundtrip(Frame::Configure(Configure {
+            plan: ChainPlan::Preset {
+                preset: ConfigPreset::Drm,
+                tune_freq: 4.5e6,
+            },
+            policy: Backpressure::Block,
+            queue_cap: 2,
+            qos: QosProfile::Throughput,
+            trace_interval: 64,
+        }));
+        roundtrip(Frame::Samples(Samples {
+            batch_index: 100,
+            samples: vec![7, -7, 7],
+            trace_id: 0x0001_0000_0000_002A,
+        }));
+        roundtrip(Frame::Samples(Samples {
+            batch_index: 101,
+            samples: vec![],
+            trace_id: u64::MAX,
+        }));
+        roundtrip(Frame::Iq(IqPayload {
+            batch_index: 6,
+            dropped_total: 0,
+            pairs: vec![(9, -9)],
+            timing: None,
+            trace_id: ddc_obs::SERVER_TRACE_BIT | 1,
+        }));
+        roundtrip(Frame::Iq(IqPayload {
+            batch_index: 7,
+            dropped_total: 3,
+            pairs: vec![(i64::MIN, i64::MAX)],
+            timing: Some(IqTiming {
+                queue_wait_ns: 1,
+                service_ns: 2,
+            }),
+            trace_id: 0x0001_0000_0000_002A,
+        }));
+        roundtrip(Frame::TraceRequest);
+        roundtrip(Frame::TraceReport(TraceReport {
+            dropped: 0,
+            body: vec![],
+        }));
+        roundtrip(Frame::TraceReport(TraceReport {
+            dropped: 17,
+            body: br#"{"ph":"B","name":"ingest"}"#.to_vec(),
         }));
     }
 
@@ -1677,6 +1946,7 @@ mod tests {
             let frame = Frame::Samples(Samples {
                 batch_index: 77,
                 samples: samples.clone(),
+                trace_id: 0,
             });
             let want = encode_frame(&frame, 9);
             let mut fb = FrameBuf::new();
@@ -1704,18 +1974,24 @@ mod tests {
                 service_ns: 43_210,
             }),
         ] {
-            let frame = Frame::Iq(IqPayload {
-                batch_index: 3,
-                dropped_total: 2,
-                pairs: pairs.iter().map(|p| (p.i, p.q)).collect(),
-                timing,
-            });
-            let want = encode_frame(&frame, 5);
-            let mut fb = FrameBuf::new();
-            fb.encode_iq(5, 3, 2, &pairs, timing);
-            let mut got = fb.header.to_vec();
-            got.extend_from_slice(&fb.payload);
-            assert_eq!(got, want, "fused iq encode diverged ({timing:?})");
+            for trace_id in [0u64, 0x8000_0000_0000_0123] {
+                let frame = Frame::Iq(IqPayload {
+                    batch_index: 3,
+                    dropped_total: 2,
+                    pairs: pairs.iter().map(|p| (p.i, p.q)).collect(),
+                    timing,
+                    trace_id,
+                });
+                let want = encode_frame(&frame, 5);
+                let mut fb = FrameBuf::new();
+                fb.encode_iq(5, 3, 2, &pairs, timing, trace_id);
+                let mut got = fb.header.to_vec();
+                got.extend_from_slice(&fb.payload);
+                assert_eq!(
+                    got, want,
+                    "fused iq encode diverged ({timing:?}, {trace_id:#x})"
+                );
+            }
         }
     }
 
@@ -1731,6 +2007,7 @@ mod tests {
             policy: Backpressure::Block,
             queue_cap: 8,
             qos: QosProfile::Throughput,
+            trace_interval: 0,
         });
         let bytes = encode_frame(&frame, 0);
         assert_eq!(bytes.len() - HEADER_LEN, 1 + 1 + 1 + 4 + 8);
@@ -1743,6 +2020,7 @@ mod tests {
             policy: Backpressure::Block,
             queue_cap: 8,
             qos: QosProfile::Latency { budget_us: 500 },
+            trace_interval: 0,
         });
         let timed_bytes = encode_frame(&timed, 0);
         assert_eq!(timed_bytes.len(), bytes.len() + 5);
@@ -1809,6 +2087,7 @@ mod tests {
             dropped_total: 1,
             pairs: vec![(3, -3), (4, -4)],
             timing: None,
+            trace_id: 0,
         });
         let legacy = encode_frame(&base, 0);
         assert_eq!(legacy.len() - HEADER_LEN, 8 + 8 + 4 + 2 * 16);
@@ -1820,6 +2099,7 @@ mod tests {
                 queue_wait_ns: 11,
                 service_ns: 22,
             }),
+            trace_id: 0,
         });
         let timed_bytes = encode_frame(&timed, 0);
         assert_eq!(timed_bytes.len(), legacy.len() + 17);
@@ -1841,6 +2121,7 @@ mod tests {
             dropped_total: 1,
             pairs: vec![(3, -3), (4, -4), (5, -5)],
             timing: None,
+            trace_id: 0,
         });
         let mut payload = encode_frame(&frame, 0)[HEADER_LEN..].to_vec();
         payload[16..20].copy_from_slice(&2u32.to_le_bytes());
@@ -1871,6 +2152,7 @@ mod tests {
                 queue_wait_ns: 11,
                 service_ns: 22,
             }),
+            trace_id: 0,
         });
         let mut payload = encode_frame(&timed, 0)[HEADER_LEN..].to_vec();
         let tag_at = 8 + 8 + 4 + 2 * 16;
@@ -1886,6 +2168,131 @@ mod tests {
             matches!(&r, Err(WireError::BadSpec(m)) if m.contains("timing tag")),
             "{r:?}"
         );
+    }
+
+    /// Re-seal a mutated payload under a fresh checksum so decode
+    /// reaches the structural checks instead of failing on the sum.
+    fn reseal(frame_type: u8, payload: &[u8]) -> FrameHeader {
+        FrameHeader {
+            frame_type,
+            seq: 0,
+            payload_sum: checksum(payload),
+            payload_len: payload.len() as u32,
+        }
+    }
+
+    #[test]
+    fn corrupt_trace_trailers_are_rejected_structurally() {
+        // A traced Samples frame: bad tag byte and zeroed trace id must
+        // both fail BadSpec — on the generic path and the zero-copy
+        // path — never silently decode as an untraced frame.
+        let traced = Frame::Samples(Samples {
+            batch_index: 5,
+            samples: vec![10, -20, 30],
+            trace_id: 0xBEEF,
+        });
+        let full = encode_frame(&traced, 0);
+        let payload = full[HEADER_LEN..].to_vec();
+        let tag_at = payload.len() - 9;
+
+        let mut bad_tag = payload.clone();
+        bad_tag[tag_at] = 3;
+        let h = reseal(3, &bad_tag);
+        let r = decode_payload(&h, &bad_tag);
+        assert!(
+            matches!(&r, Err(WireError::BadSpec(m)) if m.contains("samples trailer tag")),
+            "{r:?}"
+        );
+        let mut out = vec![1, 2, 3];
+        let r = decode_samples_into(&h, &bad_tag, &mut out);
+        assert!(
+            matches!(&r, Err(WireError::BadSpec(m)) if m.contains("samples trailer tag")),
+            "{r:?}"
+        );
+        assert_eq!(out, vec![1, 2, 3], "error must restore the out buffer");
+
+        let mut zero_id = payload.clone();
+        zero_id[tag_at + 1..].fill(0);
+        let h = reseal(3, &zero_id);
+        let r = decode_payload(&h, &zero_id);
+        assert!(
+            matches!(&r, Err(WireError::BadSpec(m)) if m.contains("non-zero")),
+            "{r:?}"
+        );
+        let r = decode_samples_into(&h, &zero_id, &mut out);
+        assert!(
+            matches!(&r, Err(WireError::BadSpec(m)) if m.contains("non-zero")),
+            "{r:?}"
+        );
+        assert_eq!(out, vec![1, 2, 3]);
+
+        // Truncating the trailer at any interior byte changes the
+        // length to a shape that is neither plain nor traced (9 is not
+        // a multiple of the 4-byte stride), so decode must object —
+        // with the checksum verdict, or CountMismatch once resealed.
+        for cut in 1..9 {
+            let short = &payload[..payload.len() - cut];
+            let h = reseal(3, short);
+            let r = decode_payload(&h, short);
+            assert!(
+                matches!(r, Err(WireError::CountMismatch { .. })),
+                "cut {cut}: {r:?}"
+            );
+            let r = decode_samples_into(&h, short, &mut out);
+            assert!(
+                matches!(r, Err(WireError::CountMismatch { .. })),
+                "cut {cut}: {r:?}"
+            );
+            assert_eq!(out, vec![1, 2, 3]);
+        }
+
+        // Same discipline for the Iq trailer shapes (+9 and +26).
+        for timing in [
+            None,
+            Some(IqTiming {
+                queue_wait_ns: 4,
+                service_ns: 5,
+            }),
+        ] {
+            let traced = Frame::Iq(IqPayload {
+                batch_index: 8,
+                dropped_total: 0,
+                pairs: vec![(1, -1), (2, -2)],
+                timing,
+                trace_id: 0xBEEF,
+            });
+            let full = encode_frame(&traced, 0);
+            let payload = full[HEADER_LEN..].to_vec();
+            let tag_at = payload.len() - 9;
+
+            let mut bad_tag = payload.clone();
+            bad_tag[tag_at] = 9;
+            let h = reseal(4, &bad_tag);
+            let r = decode_payload(&h, &bad_tag);
+            assert!(
+                matches!(&r, Err(WireError::BadSpec(m)) if m.contains("iq trace tag")),
+                "{timing:?}: {r:?}"
+            );
+
+            let mut zero_id = payload.clone();
+            zero_id[tag_at + 1..].fill(0);
+            let h = reseal(4, &zero_id);
+            let r = decode_payload(&h, &zero_id);
+            assert!(
+                matches!(&r, Err(WireError::BadSpec(m)) if m.contains("non-zero")),
+                "{timing:?}: {r:?}"
+            );
+
+            for cut in 1..9 {
+                let short = &payload[..payload.len() - cut];
+                let h = reseal(4, short);
+                let r = decode_payload(&h, short);
+                assert!(
+                    matches!(r, Err(WireError::CountMismatch { .. })),
+                    "{timing:?} cut {cut}: {r:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -1911,14 +2318,15 @@ mod tests {
             &Frame::Samples(Samples {
                 batch_index: 42,
                 samples: samples.clone(),
+                trace_id: 0,
             }),
             0,
         );
         let h = decode_header(bytes[..HEADER_LEN].try_into().unwrap()).unwrap();
         let payload = &bytes[HEADER_LEN..];
         let mut out = vec![7i32; 3]; // pre-existing content must survive
-        let idx = decode_samples_into(&h, payload, &mut out).unwrap();
-        assert_eq!(idx, 42);
+        let (idx, trace) = decode_samples_into(&h, payload, &mut out).unwrap();
+        assert_eq!((idx, trace), (42, 0));
         assert_eq!(&out[..3], &[7, 7, 7]);
         assert_eq!(&out[3..], samples.as_slice());
         // corrupt any payload byte → PayloadChecksum and out untouched
@@ -1941,6 +2349,7 @@ mod tests {
             &Frame::Samples(Samples {
                 batch_index: 5,
                 samples: vec![1, 2, 3],
+                trace_id: 0,
             }),
             7,
         );
@@ -1958,6 +2367,7 @@ mod tests {
             &Frame::Samples(Samples {
                 batch_index: 5,
                 samples: vec![1, 2, 3],
+                trace_id: 0,
             }),
             7,
         );
@@ -2004,6 +2414,7 @@ mod tests {
             &Frame::Samples(Samples {
                 batch_index: 1,
                 samples: vec![10, 20],
+                trace_id: 0,
             }),
             0,
         );
@@ -2045,6 +2456,7 @@ mod tests {
             Frame::Samples(Samples {
                 batch_index: 0,
                 samples: (0..1000).collect(),
+                trace_id: 0,
             }),
             Frame::Shutdown,
         ];

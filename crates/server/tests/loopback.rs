@@ -635,6 +635,140 @@ fn latency_qos_on_non_chain_plans_is_rejected() {
 }
 
 #[test]
+fn traced_batches_echo_their_ids_and_scrape_as_connected_spans() {
+    let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr(), "traced").expect("connect");
+    assert!(
+        client.server_has_trace(),
+        "server must advertise span tracing in its Hello"
+    );
+    client
+        .configure(ConfigPreset::Drm, 10e6, Backpressure::Block, 8)
+        .expect("configure");
+    let chunk = stimulus(2688 * 2, 31);
+    // Stamp every second batch with a client-chosen trace id (top bit
+    // clear — the server's own ids have it set); leave the others
+    // unstamped so the legacy path runs interleaved on one session.
+    let id_for = |b: u64| b.is_multiple_of(2).then_some(0x0100_0000 + b + 1);
+    let mut echoed = Vec::new();
+    for b in 0..6u64 {
+        match id_for(b) {
+            Some(id) => client.send_samples_traced(b, &chunk, id).expect("send"),
+            None => client.send_samples(b, &chunk).expect("send"),
+        }
+        match client.recv().expect("iq frame") {
+            Frame::Iq(iq) => {
+                assert_eq!(iq.batch_index, b);
+                assert_eq!(
+                    iq.trace_id,
+                    id_for(b).unwrap_or(0),
+                    "ack must echo exactly the stamped trace id"
+                );
+                if iq.trace_id != 0 {
+                    echoed.push(iq.trace_id);
+                }
+            }
+            other => panic!("expected Iq, got {other:?}"),
+        }
+    }
+    assert_eq!(echoed.len(), 3, "three stamped batches, three echoes");
+
+    // Scrape the flight recorder: the fragment must mention every
+    // stamped trace id, the per-stage kernel spans, and the session
+    // lifecycle spans — one connected story per sampled batch.
+    let report = client.request_trace().expect("trace report");
+    assert_eq!(report.dropped, 0, "rings must not have overflowed");
+    let body = String::from_utf8(report.body).expect("utf-8 fragment");
+    for id in &echoed {
+        assert!(
+            body.contains(&format!("{id:#x}")),
+            "trace {id:#x} missing from scrape"
+        );
+    }
+    for name in [
+        "ingest",
+        "queue_wait",
+        "service",
+        "egress",
+        "ddc_job",
+        "cic2r16",
+        "cic5r21",
+        "fir125r8",
+    ] {
+        assert!(
+            body.contains(&format!("\"name\":\"{name}\"")),
+            "span family {name} missing from scrape"
+        );
+    }
+    // The fragment splices into a valid Chrome trace-event array: equal
+    // numbers of B and E events, and no trailing comma inside events.
+    let b_count = body.matches("\"ph\":\"B\"").count();
+    let e_count = body.matches("\"ph\":\"E\"").count();
+    assert!(
+        b_count > 0 && b_count == e_count,
+        "B/E balance {b_count}/{e_count}"
+    );
+
+    // A second scrape starts from a drained ring: the old ids must not
+    // reappear.
+    let again = client.request_trace().expect("second trace report");
+    let body2 = String::from_utf8(again.body).expect("utf-8");
+    for id in &echoed {
+        assert!(
+            !body2.contains(&format!("{id:#x}")),
+            "drain must consume spans: {id:#x} scraped twice"
+        );
+    }
+    let _ = client.send(&Frame::Shutdown);
+    assert!(server.shutdown(Duration::from_secs(5)));
+}
+
+#[test]
+fn server_side_sampling_traces_every_nth_batch_without_client_stamps() {
+    let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    // trace_interval = 2 rides the Configure frame: the server stamps
+    // batches 0, 2, 4 itself with SERVER_TRACE_BIT set.
+    let mut client = Client::connect(server.local_addr(), "sampled")
+        .expect("connect")
+        .with_trace_interval(2);
+    client
+        .configure(ConfigPreset::Drm, 10e6, Backpressure::Block, 8)
+        .expect("configure");
+    let chunk = stimulus(2688, 37);
+    let mut server_ids = Vec::new();
+    for b in 0..6u64 {
+        client.send_samples(b, &chunk).expect("send");
+        match client.recv().expect("iq frame") {
+            Frame::Iq(iq) => {
+                if b.is_multiple_of(2) {
+                    assert_ne!(iq.trace_id, 0, "batch {b} must be head-sampled");
+                    assert_ne!(
+                        iq.trace_id & ddc_obs::SERVER_TRACE_BIT,
+                        0,
+                        "server-allocated ids carry the origin bit"
+                    );
+                    server_ids.push(iq.trace_id);
+                } else {
+                    assert_eq!(iq.trace_id, 0, "batch {b} must not be sampled");
+                }
+            }
+            other => panic!("expected Iq, got {other:?}"),
+        }
+    }
+    assert_eq!(server_ids.len(), 3);
+    let report = client.request_trace().expect("trace report");
+    let body = String::from_utf8(report.body).expect("utf-8");
+    for id in &server_ids {
+        assert!(
+            body.contains(&format!("{id:#x}")),
+            "sampled trace {id:#x} missing from scrape"
+        );
+    }
+    let _ = client.send(&Frame::Shutdown);
+    assert!(server.shutdown(Duration::from_secs(5)));
+}
+
+#[test]
 fn stats_requests_track_progress_midstream() {
     let server = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
     let mut client = Client::connect(server.local_addr(), "stats").expect("connect");

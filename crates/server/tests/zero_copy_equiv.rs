@@ -46,10 +46,11 @@ impl Read for TornReader<'_> {
 }
 
 /// One wire-encoded Samples frame (header + payload), via the same
-/// fused encoder the client's hot path uses.
-fn frame_bytes(seq: u32, batch_index: u64, samples: &[i32]) -> Vec<u8> {
+/// fused encoder the client's hot path uses. `trace_id` 0 encodes the
+/// legacy untraced layout; non-zero appends the 9-byte trace trailer.
+fn frame_bytes(seq: u32, batch_index: u64, samples: &[i32], trace_id: u64) -> Vec<u8> {
     let mut fb = FrameBuf::new();
-    fb.encode_samples(seq, batch_index, samples);
+    fb.encode_samples_traced(seq, batch_index, samples, trace_id);
     let mut bytes = Vec::new();
     fb.write_to(&mut bytes)
         .expect("writing to a Vec cannot fail");
@@ -66,8 +67,9 @@ proptest! {
         batch_index in any::<u64>(),
         seq in any::<u32>(),
         pieces in prop::collection::vec(1usize..97, 1..24),
+        trace_id in any::<u64>(),
     ) {
-        let bytes = frame_bytes(seq, batch_index, &samples);
+        let bytes = frame_bytes(seq, batch_index, &samples, trace_id);
 
         // Owned reference path, reading through torn boundaries.
         let mut torn = TornReader { bytes: &bytes, pieces: &pieces, pos: 0, turn: 0 };
@@ -86,6 +88,7 @@ proptest! {
             }
         };
         prop_assert_eq!(owned.batch_index, batch_index);
+        prop_assert_eq!(owned.trace_id, trace_id);
         prop_assert_eq!(&owned.samples, &samples);
 
         // Borrowed zero-copy path over the reassembled payload. The
@@ -94,13 +97,14 @@ proptest! {
         let header = decode_header(bytes[..HEADER_LEN].try_into().expect("header slice"))
             .expect("header is untouched");
         let mut out = vec![7i32; 3];
-        let idx = match decode_samples_into(&header, &bytes[HEADER_LEN..], &mut out) {
-            Ok(idx) => idx,
+        let (idx, got_trace) = match decode_samples_into(&header, &bytes[HEADER_LEN..], &mut out) {
+            Ok(pair) => pair,
             Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
                 format!("valid frame rejected by borrowed path: {e:?}"),
             )),
         };
         prop_assert_eq!(idx, batch_index);
+        prop_assert_eq!(got_trace, trace_id);
         prop_assert_eq!(&out[..3], &[7i32; 3][..]);
         prop_assert_eq!(&out[3..], &owned.samples[..]);
     }
@@ -118,8 +122,9 @@ proptest! {
         corrupt_at in any::<u64>(),
         flip in 1u8..=255u8,
         pieces in prop::collection::vec(1usize..97, 1..24),
+        trace_id in any::<u64>(),
     ) {
-        let mut bytes = frame_bytes(seq, batch_index, &samples);
+        let mut bytes = frame_bytes(seq, batch_index, &samples, trace_id);
         let payload_len = bytes.len() - HEADER_LEN;
         let at = HEADER_LEN + (corrupt_at as usize % payload_len);
         bytes[at] ^= flip;

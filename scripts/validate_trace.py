@@ -1,0 +1,326 @@
+#!/usr/bin/env python3
+"""Chrome trace-event validator for the DDC flight recorder.
+
+Checks the document ``loadgen --trace-out`` writes (the server's span
+scrape spliced with the client's own spans) is well-formed:
+
+* the file parses as JSON with a ``traceEvents`` array;
+* every event carries ``ph``/``pid``/``tid``/``ts``/``name``/``cat``
+  and an ``args.trace`` id, with a known phase (``B``, ``E`` or ``i``);
+* duration events balance: on each (pid, tid) track the ``B``/``E``
+  events nest like parentheses — every begin has its end, in order;
+* timestamps are monotone non-decreasing per track and stream kind
+  (the exporter renders each track's instants, then its duration
+  sweep, each sorted by time — Chrome/Perfetto re-sorts on load).
+
+``--require-cat CAT`` / ``--require-span NAME`` (repeatable) demand at
+least one event of that category / name. ``--min-traces N`` demands at
+least N distinct non-zero trace ids. ``--connected`` demands every
+client-stamped trace id (events with ``cat == "client"``) also appears
+on a server event and vice versa for echoed ids — proving the wire
+carried the context both ways, not two disjoint timelines.
+
+Usage:
+    python3 scripts/validate_trace.py trace.json \
+        [--require-cat client] [--require-span ddc_job] \
+        [--min-traces 8] [--connected]
+    python3 scripts/validate_trace.py --self-test
+"""
+
+import argparse
+import io
+import json
+import sys
+
+KNOWN_PHASES = {"B", "E", "i"}
+REQUIRED_FIELDS = ("ph", "pid", "tid", "ts", "name", "cat")
+
+
+def validate(
+    text,
+    require_cats=(),
+    require_spans=(),
+    min_traces=0,
+    connected=False,
+    out=sys.stdout,
+    err=sys.stderr,
+):
+    """Validates one trace document; returns the exit code."""
+    errors = []
+    try:
+        doc = json.loads(text)
+    except ValueError as e:
+        print(f"FAIL  document is not JSON: {e}", file=err)
+        return 1
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print("FAIL  document has no traceEvents array", file=err)
+        return 1
+
+    cats = set()
+    names = set()
+    traces_by_cat = {}  # cat -> set of trace ids
+    stacks = {}  # (pid, tid) -> list of open span names
+    last_ts = {}  # (pid, tid, kind) -> last timestamp in that stream
+    for k, ev in enumerate(events):
+        where = f"event {k}"
+        missing = [f for f in REQUIRED_FIELDS if f not in ev]
+        if missing:
+            errors.append(f"{where}: missing field(s) {', '.join(missing)}")
+            continue
+        ph = ev["ph"]
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        trace = ev.get("args", {}).get("trace")
+        if trace is None:
+            errors.append(f"{where}: no args.trace id")
+            continue
+        try:
+            trace_val = int(trace, 16)
+        except (TypeError, ValueError):
+            errors.append(f"{where}: args.trace {trace!r} is not a hex id")
+            continue
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            errors.append(f"{where}: bad timestamp {ev['ts']!r}")
+            continue
+        cats.add(ev["cat"])
+        names.add(ev["name"])
+        if trace_val != 0:
+            traces_by_cat.setdefault(ev["cat"], set()).add(trace_val)
+        track = (ev["pid"], ev["tid"])
+        stream = (ev["pid"], ev["tid"], "i" if ph == "i" else "BE")
+        if ev["ts"] < last_ts.get(stream, 0):
+            errors.append(
+                f"{where}: timestamp {ev['ts']} goes backwards on "
+                f"pid {ev['pid']} tid {ev['tid']}"
+            )
+        last_ts[stream] = ev["ts"]
+        stack = stacks.setdefault(track, [])
+        if ph == "B":
+            stack.append(ev["name"])
+        elif ph == "E":
+            if not stack:
+                errors.append(
+                    f"{where}: E without a matching B on pid {ev['pid']} "
+                    f"tid {ev['tid']}"
+                )
+            else:
+                stack.pop()
+    for (pid, tid), stack in sorted(stacks.items()):
+        if stack:
+            errors.append(
+                f"pid {pid} tid {tid}: {len(stack)} span(s) never ended: "
+                f"{', '.join(stack)}"
+            )
+
+    all_traces = set().union(*traces_by_cat.values()) if traces_by_cat else set()
+    for cat in require_cats:
+        if cat not in cats:
+            errors.append(f"required category missing: no {cat!r} events")
+    for name in require_spans:
+        if name not in names:
+            errors.append(f"required span missing: no {name!r} events")
+    if len(all_traces) < min_traces:
+        errors.append(
+            f"too few distinct trace ids: {len(all_traces)} < {min_traces}"
+        )
+    if connected:
+        # Every trace id must appear in >= 2 categories (e.g. the
+        # client's send/rtt spans AND the server's pipeline spans):
+        # that is what makes it one connected story across the wire.
+        for trace in sorted(all_traces):
+            seen_in = [c for c, ids in traces_by_cat.items() if trace in ids]
+            if len(seen_in) < 2:
+                errors.append(
+                    f"trace {trace:#x} appears only in {seen_in} — "
+                    f"not connected across the wire"
+                )
+
+    if errors:
+        for e in errors:
+            print(f"FAIL  {e}", file=err)
+        print(
+            f"\nvalidate_trace: {len(errors)} error(s) in {len(events)} "
+            f"event(s) across {len(all_traces)} trace(s)",
+            file=err,
+        )
+        return 1
+    print(
+        f"validate_trace: ok ({len(events)} events, {len(all_traces)} traces, "
+        f"{len(stacks)} tracks, cats: {', '.join(sorted(cats))})",
+        file=out,
+    )
+    return 0
+
+
+def self_test():
+    """Exercises the validator's decision table on synthetic traces."""
+
+    def ev(ph, ts, name, cat, trace, pid=1, tid=0):
+        e = {
+            "ph": ph,
+            "pid": pid,
+            "tid": tid,
+            "ts": ts,
+            "name": name,
+            "cat": cat,
+            "args": {"trace": trace},
+        }
+        if ph == "i":
+            e["s"] = "t"
+        return e
+
+    def doc(*events):
+        return json.dumps({"traceEvents": list(events)})
+
+    def run(text, **kw):
+        out, errstream = io.StringIO(), io.StringIO()
+        code = validate(text, out=out, err=errstream, **kw)
+        return code, out.getvalue(), errstream.getvalue()
+
+    good = doc(
+        ev("i", 1.0, "client_send", "client", "0x10000000001", pid=2000),
+        ev("B", 2.0, "ingest", "server", "0x10000000001", pid=1064),
+        ev("B", 3.0, "ddc_job", "server", "0x10000000001"),
+        ev("B", 3.5, "cic2r16", "server", "0x10000000001"),
+        ev("E", 4.0, "cic2r16", "server", "0x10000000001"),
+        ev("E", 5.0, "ddc_job", "server", "0x10000000001"),
+        ev("E", 6.0, "ingest", "server", "0x10000000001", pid=1064),
+        ev("B", 1.5, "client_rtt", "client", "0x10000000001", pid=2000, tid=1),
+        ev("E", 7.0, "client_rtt", "client", "0x10000000001", pid=2000, tid=1),
+    )
+
+    checks = []
+
+    def check(label, cond):
+        checks.append((label, cond))
+        print(f"{'ok' if cond else 'FAIL':<5} self-test: {label}")
+
+    code, out, err = run(good)
+    check("well-formed trace passes", code == 0 and "ok" in out)
+
+    code, out, err = run(
+        good,
+        require_cats=["client", "server"],
+        require_spans=["ddc_job", "client_rtt"],
+        min_traces=1,
+        connected=True,
+    )
+    check("connected client+server trace passes all requirements", code == 0)
+
+    code, out, err = run("this is not json")
+    check("non-JSON fails", code == 1 and "not JSON" in err)
+
+    code, out, err = run(json.dumps({"other": []}))
+    check("missing traceEvents fails", code == 1 and "traceEvents" in err)
+
+    code, out, err = run(doc({"ph": "B", "pid": 1}))
+    check("missing fields fail", code == 1 and "missing field" in err)
+
+    code, out, err = run(doc(ev("X", 1.0, "a", "server", "0x1")))
+    check("unknown phase fails", code == 1 and "unknown phase" in err)
+
+    unbalanced = doc(
+        ev("B", 1.0, "ddc_job", "server", "0x1"),
+        ev("B", 2.0, "cic2r16", "server", "0x1"),
+        ev("E", 3.0, "cic2r16", "server", "0x1"),
+    )
+    code, out, err = run(unbalanced)
+    check("unended span fails", code == 1 and "never ended" in err)
+
+    code, out, err = run(doc(ev("E", 1.0, "ddc_job", "server", "0x1")))
+    check("E without B fails", code == 1 and "without a matching B" in err)
+
+    backwards = doc(
+        ev("B", 5.0, "ddc_job", "server", "0x1"),
+        ev("E", 4.0, "ddc_job", "server", "0x1"),
+    )
+    code, out, err = run(backwards)
+    check("backwards timestamps fail", code == 1 and "backwards" in err)
+
+    code, out, err = run(doc(ev("i", 1.0, "x", "server", "zzz")))
+    check("non-hex trace id fails", code == 1 and "hex" in err)
+
+    code, out, err = run(good, require_cats=["kernelpanic"])
+    check("missing required cat fails", code == 1 and "kernelpanic" in err)
+
+    code, out, err = run(good, require_spans=["egress"])
+    check("missing required span fails", code == 1 and "egress" in err)
+
+    code, out, err = run(good, min_traces=2)
+    check("too few traces fails", code == 1 and "too few" in err)
+
+    disjoint = doc(
+        ev("i", 1.0, "client_send", "client", "0x2", pid=2000),
+        ev("B", 2.0, "ddc_job", "server", "0x3"),
+        ev("E", 3.0, "ddc_job", "server", "0x3"),
+    )
+    code, out, err = run(disjoint, connected=True)
+    check("disjoint timelines fail --connected", code == 1 and "not connected" in err)
+
+    bad = [label for label, cond in checks if not cond]
+    if bad:
+        print(
+            f"\nvalidate_trace self-test: {len(bad)} check(s) failed",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nvalidate_trace self-test: all {len(checks)} checks passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", nargs="?", help="trace JSON file to validate")
+    ap.add_argument(
+        "--require-cat",
+        action="append",
+        default=[],
+        metavar="CAT",
+        help="demand at least one event with this category (repeatable)",
+    )
+    ap.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="demand at least one event with this span name (repeatable)",
+    )
+    ap.add_argument(
+        "--min-traces",
+        type=int,
+        default=0,
+        metavar="N",
+        help="demand at least N distinct non-zero trace ids",
+    )
+    ap.add_argument(
+        "--connected",
+        action="store_true",
+        help="demand every trace id appears in at least two categories "
+        "(client AND server side of the wire)",
+    )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the validator's own decision-table tests and exit",
+    )
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.file:
+        ap.error("a trace file is required unless --self-test")
+    with open(args.file) as fh:
+        text = fh.read()
+    return validate(
+        text,
+        require_cats=args.require_cat,
+        require_spans=args.require_span,
+        min_traces=args.min_traces,
+        connected=args.connected,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,6 +103,88 @@ fn instrumented_block_path_is_allocation_free_in_steady_state() {
 }
 
 #[test]
+fn traced_block_path_is_allocation_free_in_steady_state() {
+    use ddc_core::{ChainSpec, FixedDdc};
+    use ddc_obs::{TraceHandle, TraceSink};
+
+    let spec = ChainSpec::registry()
+        .iter()
+        .find(|s| s.name == "drm")
+        .expect("drm spec in registry")
+        .clone()
+        .tuned(10e6);
+    let decim = spec.total_decimation() as usize;
+    let adc: Vec<i32> = (0..decim * 16)
+        .map(|k| ((k * 41) % 255) as i32 - 127)
+        .collect();
+
+    let sink = Arc::new(TraceSink::new(2, 1024));
+    let mut ddc = FixedDdc::from_spec(spec.clone());
+    ddc.set_tracer(TraceHandle::enabled(Arc::clone(&sink)));
+    let mut out = Vec::with_capacity(adc.len() / decim + 16);
+
+    // Warm-up: sizes the output vector and any internal scratch (the
+    // span-name table was interned by set_tracer, before measurement).
+    for k in 0..4u64 {
+        out.clear();
+        ddc.process_into_traced(&adc, &mut out, k + 1, 0);
+    }
+    assert!(!out.is_empty(), "warm-up produced no output");
+    let produced_before = sink.produced();
+
+    let allocs = allocations_during(|| {
+        for k in 0..8u64 {
+            out.clear();
+            // Alternate stamped and unstamped blocks, the shape 1-in-N
+            // head sampling produces: both sides of the branch must be
+            // allocation-free.
+            let trace_id = if k.is_multiple_of(2) { 0x1000 + k } else { 0 };
+            ddc.process_into_traced(&adc, &mut out, trace_id, 0);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state traced process_into allocated {allocs} time(s)"
+    );
+
+    // The stamped blocks must actually have been recorded: one
+    // whole-block span pair per stage per traced block.
+    let stages = spec.stages.len() as u64;
+    assert_eq!(
+        sink.produced() - produced_before,
+        4 * stages * 2,
+        "each of the 4 stamped blocks records begin+end per stage"
+    );
+}
+
+#[test]
+fn span_ring_push_and_drain_do_not_allocate() {
+    use ddc_obs::{span_kind, SpanRing};
+
+    let ring = SpanRing::new(64);
+    ring.push(1, 1, span_kind::BEGIN, 0, 0);
+
+    let allocs = allocations_during(|| {
+        for k in 0..10_000u64 {
+            ring.push(k, k, span_kind::INSTANT, 0, 0);
+        }
+    });
+    assert_eq!(allocs, 0, "span push allocated {allocs} time(s)");
+    assert_eq!(ring.produced(), 10_001);
+
+    // The ring wrapped; a drain into a pre-reserved vec must stay
+    // allocation-free and account for every overwritten span.
+    let mut spans = Vec::with_capacity(64);
+    let newly_dropped = allocations_during(|| {
+        let dropped = ring.drain_into(&mut spans);
+        assert!(dropped > 0, "wrapping the ring reported no drops");
+    });
+    assert_eq!(newly_dropped, 0, "drain into reserved vec allocated");
+    assert!(!spans.is_empty());
+    assert_eq!(ring.dropped() + spans.len() as u64, 10_001);
+}
+
+#[test]
 fn histogram_record_and_event_ring_push_do_not_allocate() {
     use ddc_obs::{kind, EventRing, LogHistogram};
 
